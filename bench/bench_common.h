@@ -1,0 +1,75 @@
+#ifndef PWS_BENCH_BENCH_COMMON_H_
+#define PWS_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "util/arg_parser.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace pws::bench {
+
+/// Shared workload flags so every experiment binary can be scaled up or
+/// down from the command line:
+///   --docs=N --users=N --queries_per_class=N --train_days=N --test_days=N
+///   --queries_per_user_day=N --seed=N --sim_seed=N
+struct BenchConfig {
+  eval::WorldConfig world;
+  eval::SimulationOptions sim;
+  /// Seed-averaged repetitions per configuration (--reps).
+  int repetitions = 3;
+};
+
+inline BenchConfig ParseBenchConfig(int argc, const char* const* argv) {
+  ArgParser args(argc, argv);
+  BenchConfig config;
+  config.world.seed = args.GetInt("seed", 42);
+  config.world.num_topics = static_cast<int>(args.GetInt("topics", 16));
+  config.world.corpus.num_documents =
+      static_cast<int>(args.GetInt("docs", 12000));
+  config.world.users.num_users = static_cast<int>(args.GetInt("users", 40));
+  config.world.queries.queries_per_class =
+      static_cast<int>(args.GetInt("queries_per_class", 40));
+  // The engine re-ranks a deeper pool than it displays: personalization
+  // needs candidates to promote (the paper re-ranks the backend top-k).
+  config.world.backend.page_size =
+      static_cast<int>(args.GetInt("page_size", 30));
+  config.sim.seed = args.GetInt("sim_seed", 7);
+  config.sim.train_days = static_cast<int>(args.GetInt("train_days", 12));
+  config.sim.queries_per_user_day =
+      static_cast<int>(args.GetInt("queries_per_user_day", 6));
+  config.sim.test_queries_per_user =
+      static_cast<int>(args.GetInt("test_queries_per_user", 30));
+  config.repetitions = static_cast<int>(args.GetInt("reps", 3));
+  return config;
+}
+
+/// Engine configuration for one named strategy with the default knobs
+/// used across the experiments.
+inline core::EngineOptions MakeEngineOptions(ranking::Strategy strategy) {
+  core::EngineOptions options;
+  options.strategy = strategy;
+  return options;
+}
+
+/// The relative improvement of `value` over `baseline` in percent, where
+/// lower raw values are better (average rank).
+inline double ImprovementLowerBetter(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - value) / baseline;
+}
+
+/// The relative improvement in percent where higher is better (CTR, P@k).
+inline double ImprovementHigherBetter(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (value - baseline) / baseline;
+}
+
+}  // namespace pws::bench
+
+#endif  // PWS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,156 @@
+// E10 — Microbenchmarks (google-benchmark): index build, BM25 search,
+// snippet generation, concept extraction, feature extraction, and the
+// full personalized Serve path. These bound the serve-time cost of the
+// personalization layer relative to plain retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include "backend/search_backend.h"
+#include "concepts/content_extractor.h"
+#include "concepts/location_concepts.h"
+#include "core/pws_engine.h"
+#include "corpus/corpus_generator.h"
+#include "eval/world.h"
+#include "ranking/features.h"
+#include "ranking/ranker.h"
+
+namespace {
+
+using namespace pws;
+
+// One shared world for all microbenchmarks (built on first use).
+const eval::World& SharedWorld() {
+  static const eval::World& world = *[] {
+    eval::WorldConfig config;
+    config.corpus.num_documents = 20000;
+    config.users.num_users = 8;
+    config.backend.page_size = 30;
+    return new eval::World(config);
+  }();
+  return world;
+}
+
+const std::vector<std::string>& BenchQueries() {
+  static const auto& queries = *[] {
+    auto* out = new std::vector<std::string>();
+    for (const auto& intent : SharedWorld().queries()) {
+      out->push_back(intent.text);
+    }
+    return out;
+  }();
+  return queries;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  for (auto _ : state) {
+    backend::InvertedIndex index(&world.corpus());
+    benchmark::DoNotOptimize(index.num_documents());
+  }
+  state.SetItemsProcessed(state.iterations() * world.corpus().size());
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_Bm25Search(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto& queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto page = world.search_backend().Search(queries[i % queries.size()]);
+    benchmark::DoNotOptimize(page.results.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bm25Search)->Unit(benchmark::kMicrosecond);
+
+void BM_ContentConceptExtraction(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto page = world.search_backend().Search("hotel booking");
+  concepts::ContentConceptExtractor extractor(
+      concepts::ContentExtractorOptions{});
+  for (auto _ : state) {
+    concepts::SnippetIncidence incidence;
+    const auto concepts_found = extractor.Extract(page, &incidence);
+    benchmark::DoNotOptimize(concepts_found.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContentConceptExtraction)->Unit(benchmark::kMicrosecond);
+
+void BM_LocationConceptExtraction(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto page = world.search_backend().Search("hotel booking");
+  concepts::LocationConceptExtractor extractor(
+      &world.ontology(), concepts::LocationConceptOptions{});
+  for (auto _ : state) {
+    const auto locations = extractor.Extract(page, world.corpus());
+    benchmark::DoNotOptimize(locations.aggregated.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocationConceptExtraction)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeColdCache(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto& queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    // Fresh engine per iteration: measures the full analyze+rank path.
+    core::PwsEngine engine(&world.search_backend(), &world.ontology(),
+                           core::EngineOptions{});
+    engine.RegisterUser(0);
+    const auto page = engine.Serve(0, queries[i % queries.size()]);
+    benchmark::DoNotOptimize(page.order.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeColdCache)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeWarmCache(benchmark::State& state) {
+  const auto& queries = BenchQueries();
+  static core::PwsEngine& engine = *[] {
+    auto* e = new core::PwsEngine(&SharedWorld().search_backend(),
+                                  &SharedWorld().ontology(),
+                                  core::EngineOptions{});
+    e->RegisterUser(0);
+    for (const auto& q : BenchQueries()) {
+      (void)e->Serve(0, q);  // Warm the per-query analysis cache.
+    }
+    return e;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto page = engine.Serve(0, queries[i % queries.size()]);
+    benchmark::DoNotOptimize(page.order.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeWarmCache)->Unit(benchmark::kMicrosecond);
+
+void BM_RankSvmTrain(benchmark::State& state) {
+  Random rng(3);
+  std::vector<ranking::TrainingPair> pairs;
+  for (int i = 0; i < 500; ++i) {
+    ranking::TrainingPair pair;
+    pair.preferred.resize(ranking::kFeatureCount);
+    pair.other.resize(ranking::kFeatureCount);
+    for (int d = 0; d < ranking::kFeatureCount; ++d) {
+      pair.preferred[d] = rng.UniformDouble();
+      pair.other[d] = rng.UniformDouble();
+    }
+    pairs.push_back(std::move(pair));
+  }
+  for (auto _ : state) {
+    ranking::RankSvm model(ranking::kFeatureCount);
+    benchmark::DoNotOptimize(model.Train(pairs, ranking::RankSvmOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations() * pairs.size());
+}
+BENCHMARK(BM_RankSvmTrain)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E11 — Alternative personalization baselines from the literature,
+// under the identical protocol: P-Click (re-promote this user's past
+// clicks for the same query), G-Click (pooled across users), a random
+// re-ranker (control lower bound), and the paper's Combined method.
+//
+// Expected shape: random << backend baseline; P-/G-Click recover some of
+// the repeated-query gains but cannot generalize to unseen queries or to
+// documents never clicked; Combined beats both because concept/location
+// profiles transfer across queries.
+
+#include "baselines/click_history.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  Table table({"method", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
+  auto add = [&](const std::string& label, const eval::StrategyMetrics& m) {
+    table.AddNumericRow(
+        label, {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1}, 3);
+  };
+
+  add("backend baseline",
+      harness.RunAveraged(
+          bench::MakeEngineOptions(ranking::Strategy::kBaseline), 1));
+  {
+    eval::PersonalizerFactory factory = [&world]() {
+      return std::make_unique<baselines::RandomReRanker>(
+          &world.search_backend(), 99);
+    };
+    add("random re-rank",
+        harness.RunPersonalizer(factory, false, nullptr));
+  }
+  {
+    eval::PersonalizerFactory factory = [&world]() {
+      baselines::ClickHistoryOptions options;
+      options.mode = baselines::ClickHistoryMode::kPersonal;
+      return std::make_unique<baselines::ClickHistoryPersonalizer>(
+          &world.search_backend(), options);
+    };
+    add("p-click", harness.RunPersonalizer(factory, false, nullptr));
+  }
+  {
+    eval::PersonalizerFactory factory = [&world]() {
+      baselines::ClickHistoryOptions options;
+      options.mode = baselines::ClickHistoryMode::kGlobal;
+      return std::make_unique<baselines::ClickHistoryPersonalizer>(
+          &world.search_backend(), options);
+    };
+    add("g-click", harness.RunPersonalizer(factory, false, nullptr));
+  }
+  add("combined (this paper)",
+      harness.RunAveraged(
+          bench::MakeEngineOptions(ranking::Strategy::kCombined),
+          config.repetitions));
+
+  table.Print(std::cout, "E11: literature baselines vs the Combined method");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E13 — Interest drift (extension / future-work experiment): halfway
+// through the training period every user RELOCATES to a different city.
+// Profiles learned before the move become wrong; the exponential profile
+// decay controls how quickly the engine forgets. Sweeps the decay factor
+// and reports post-move quality on location-heavy queries.
+//
+// Expected shape: with no decay (1.0) the stale home preference lingers
+// and post-move location quality suffers; moderate decay adapts fastest;
+// extreme decay forgets faster than it can relearn.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace pws;
+
+// Runs train(move-aware) + test with the given decay; returns metrics on
+// the post-move user identities.
+eval::StrategyMetrics RunWithMove(const eval::World& world,
+                                  const eval::SimulationHarness& harness,
+                                  const bench::BenchConfig& config,
+                                  double daily_decay) {
+  core::EngineOptions options =
+      bench::MakeEngineOptions(ranking::Strategy::kCombined);
+  options.profile_update.daily_decay = daily_decay;
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(),
+                         options);
+
+  // Post-move identities: same tastes, new home (deterministic shuffle
+  // of home cities across users).
+  std::vector<click::SimulatedUser> moved = world.users();
+  for (size_t u = 0; u < moved.size(); ++u) {
+    moved[u].home_city =
+        world.users()[(u + moved.size() / 2) % moved.size()].home_city;
+    moved[u].place_affinity.clear();
+  }
+
+  Random rng(config.sim.seed);
+  for (const auto& user : world.users()) engine.RegisterUser(user.id);
+  const int total_days = config.sim.train_days;
+  const int move_day = total_days / 2;
+  for (int day = 0; day < total_days; ++day) {
+    for (size_t u = 0; u < world.users().size(); ++u) {
+      const auto& identity = day < move_day ? world.users()[u] : moved[u];
+      for (int q = 0; q < config.sim.queries_per_user_day; ++q) {
+        const auto& intent = harness.SampleQuery(identity, rng);
+        auto page = engine.Serve(identity.id, intent.text);
+        const auto record = world.click_model().Simulate(
+            identity, intent, page.ShownPage(), world.corpus(), day, rng);
+        engine.Observe(identity.id, page, record);
+      }
+    }
+    engine.AdvanceDay();
+    engine.TrainAllUsers();
+  }
+
+  // Test against the post-move identities.
+  eval::StrategyMetrics metrics;
+  eval::MeanAccumulator mrr;
+  eval::MeanAccumulator loc_rank;
+  for (const auto& identity : moved) {
+    for (const auto* intent : harness.TestQueriesFor(identity)) {
+      auto page = engine.Serve(identity.id, intent->text);
+      const auto shown = page.ShownPage();
+      eval::GradeList grades;
+      for (const auto& result : shown.results) {
+        grades.push_back(world.relevance().TrueGrade(
+            identity, *intent, world.corpus().doc(result.doc)));
+      }
+      mrr.Add(eval::ReciprocalRank(grades));
+      if (intent->query_class == click::QueryClass::kLocationHeavy) {
+        loc_rank.AddOptional(eval::AverageRankOfRelevant(grades));
+      }
+      ++metrics.impressions;
+    }
+  }
+  metrics.mrr = mrr.Mean();
+  metrics.avg_rank_by_class[1] = loc_rank.Mean();
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  Table table({"daily_decay", "post-move MRR", "post-move rank_loc"});
+  for (double decay : {1.0, 0.995, 0.97, 0.9, 0.7}) {
+    const auto m = RunWithMove(world, harness, config, decay);
+    table.AddNumericRow(FormatDouble(decay, 3),
+                        {m.mrr, m.avg_rank_by_class[1]}, 3);
+  }
+  table.Print(std::cout,
+              "E13: profile decay vs mid-simulation relocation (extension)");
+  return 0;
+}

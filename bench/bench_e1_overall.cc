@@ -1,0 +1,55 @@
+// E1 — Overall comparison table (reconstruction of the paper's headline
+// table): average rank of relevant results, MRR, NDCG@10 and simulated
+// CTR@1 for Baseline vs ContentOnly vs LocationOnly vs Combined vs
+// Combined+GPS, on the shared world.
+//
+// Expected shape: every personalized strategy beats Baseline on average
+// rank; Combined beats both single-aspect strategies; Combined+GPS is at
+// least as good as Combined.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  const ranking::Strategy strategies[] = {
+      ranking::Strategy::kBaseline, ranking::Strategy::kContentOnly,
+      ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
+      ranking::Strategy::kCombinedGps};
+
+  Table table({"strategy", "avg_rank", "improv_%", "MRR", "NDCG@10",
+               "CTR@1", "impressions"});
+  Table by_class({"strategy", "content", "loc-heavy", "mixed",
+                  "ctr1_content", "ctr1_loc", "ctr1_mixed"});
+  double baseline_rank = 0.0;
+  for (ranking::Strategy strategy : strategies) {
+    const eval::StrategyMetrics m = harness.RunAveraged(
+        bench::MakeEngineOptions(strategy), config.repetitions);
+    if (strategy == ranking::Strategy::kBaseline) {
+      baseline_rank = m.avg_rank_relevant;
+    }
+    table.AddRow({ranking::StrategyToString(strategy),
+                  FormatDouble(m.avg_rank_relevant, 3),
+                  FormatDouble(bench::ImprovementLowerBetter(
+                                   baseline_rank, m.avg_rank_relevant),
+                               2),
+                  FormatDouble(m.mrr, 3), FormatDouble(m.ndcg10, 3),
+                  FormatDouble(m.ctr_at_1, 3),
+                  std::to_string(m.impressions)});
+    by_class.AddRow({ranking::StrategyToString(strategy),
+                     FormatDouble(m.avg_rank_by_class[0], 3),
+                     FormatDouble(m.avg_rank_by_class[1], 3),
+                     FormatDouble(m.avg_rank_by_class[2], 3),
+                     FormatDouble(m.ctr1_by_class[0], 3),
+                     FormatDouble(m.ctr1_by_class[1], 3),
+                     FormatDouble(m.ctr1_by_class[2], 3)});
+  }
+  table.Print(std::cout,
+              "E1: overall strategy comparison (lower avg_rank is better)");
+  by_class.Print(std::cout,
+                 "E1b: average rank / CTR@1 by query class");
+  return 0;
+}

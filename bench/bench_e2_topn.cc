@@ -1,0 +1,32 @@
+// E2 — Top-N precision curves (reconstruction of the paper's P@N
+// figure): P@1..P@10 for each strategy on the shared world.
+//
+// Expected shape: personalized strategies dominate the baseline at small
+// N (that's where re-ranking concentrates relevant results); curves
+// converge as N approaches the page size.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  const ranking::Strategy strategies[] = {
+      ranking::Strategy::kBaseline, ranking::Strategy::kContentOnly,
+      ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
+      ranking::Strategy::kCombinedGps};
+
+  std::vector<std::string> headers = {"strategy"};
+  for (int k = 1; k <= 10; ++k) headers.push_back("P@" + std::to_string(k));
+  Table table(std::move(headers));
+  for (ranking::Strategy strategy : strategies) {
+    const eval::StrategyMetrics m = harness.RunAveraged(
+        bench::MakeEngineOptions(strategy), config.repetitions);
+    std::vector<double> row(m.precision_at.begin(), m.precision_at.end());
+    table.AddNumericRow(ranking::StrategyToString(strategy), row, 3);
+  }
+  table.Print(std::cout, "E2: top-N precision by strategy");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E3 — Learning curve (reconstruction of the paper's training-data
+// figure): quality of the Combined strategy as the fraction of training
+// clickthrough grows from 10% to 100%.
+//
+// Expected shape: monotone improvement saturating toward the full-data
+// point; the baseline is flat by construction.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+
+  Table table({"train_fraction", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
+  const double fractions[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+  for (double fraction : fractions) {
+    eval::SimulationOptions sim = config.sim;
+    sim.training_fraction = fraction;
+    eval::SimulationHarness harness(&world, sim);
+    const eval::StrategyMetrics m = harness.RunAveraged(
+        bench::MakeEngineOptions(ranking::Strategy::kCombined),
+        config.repetitions);
+    table.AddNumericRow(FormatDouble(fraction, 2),
+                        {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1},
+                        3);
+  }
+  // Reference row: the untrained baseline.
+  {
+    eval::SimulationHarness harness(&world, config.sim);
+    const eval::StrategyMetrics m = harness.Run(
+        bench::MakeEngineOptions(ranking::Strategy::kBaseline));
+    table.AddNumericRow("baseline",
+                        {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1},
+                        3);
+  }
+  table.Print(std::cout,
+              "E3: Combined quality vs fraction of training clickthrough");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// E4 — Content/location blend sweep (reconstruction of the paper's α
+// figure): Combined quality as the location blend weight α goes 0 → 1,
+// overall and per query class.
+//
+// Expected shape: unimodal in α with a class-dependent optimum —
+// location-heavy queries prefer high α, content-heavy queries low α,
+// which motivates the entropy-adaptive blend (E5).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  Table table({"alpha", "MRR", "NDCG@10", "avg_rank", "rank_content",
+               "rank_loc", "rank_mixed"});
+  for (double alpha = 0.0; alpha <= 1.0001; alpha += 0.125) {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.alpha = alpha;
+    const eval::StrategyMetrics m =
+        harness.RunAveraged(options, config.repetitions);
+    table.AddNumericRow(
+        FormatDouble(alpha, 3),
+        {m.mrr, m.ndcg10, m.avg_rank_relevant, m.avg_rank_by_class[0],
+         m.avg_rank_by_class[1], m.avg_rank_by_class[2]},
+        3);
+  }
+  table.Print(std::cout, "E4: Combined quality vs location blend alpha");
+  return 0;
+}

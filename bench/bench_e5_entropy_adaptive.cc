@@ -1,0 +1,46 @@
+// E5 — Entropy-adaptive blending (reconstruction of the paper's
+// query-characterization table): the fixed-α Combined strategy at three
+// settings vs the entropy-adaptive blend that picks α per query from its
+// click location entropy.
+//
+// Expected shape: each fixed α wins somewhere and loses somewhere; the
+// adaptive blend tracks the best fixed α per class without knowing the
+// class, and wins (or ties the best) overall.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_content",
+               "rank_loc", "rank_mixed"});
+  auto add_row = [&](const std::string& label,
+                     const core::EngineOptions& options) {
+    const eval::StrategyMetrics m =
+        harness.RunAveraged(options, config.repetitions);
+    table.AddNumericRow(
+        label,
+        {m.mrr, m.ndcg10, m.avg_rank_relevant, m.avg_rank_by_class[0],
+         m.avg_rank_by_class[1], m.avg_rank_by_class[2]},
+        3);
+  };
+
+  for (double alpha : {0.2, 0.5, 0.8}) {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.alpha = alpha;
+    add_row("fixed a=" + FormatDouble(alpha, 1), options);
+  }
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.entropy_adaptive_alpha = true;
+    add_row("entropy-adaptive", options);
+  }
+  table.Print(std::cout,
+              "E5: fixed blend vs click-entropy-adaptive blend");
+  return 0;
+}

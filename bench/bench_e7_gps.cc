@@ -1,0 +1,39 @@
+// E7 — GPS augmentation (reconstruction of the paper's mobile-scenario
+// table): Combined vs Combined+GPS as training data grows, so the
+// cold-start value of physical-position evidence is visible. All users
+// carry GPS traces in this world so the comparison isn't diluted.
+//
+// Expected shape: with little or no clickthrough, GPS-seeded location
+// profiles give Combined+GPS a clear lead on location-heavy queries;
+// the gap narrows as click-learned profiles catch up.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  config.world.users.gps_fraction = 1.0;  // Everyone is a mobile user.
+  eval::World world(config.world);
+
+  Table table({"train_days", "combined_MRR", "gps_MRR", "combined_rank_loc",
+               "gps_rank_loc", "combined_NDCG", "gps_NDCG"});
+  for (int days : {0, 2, 4, 8, 12}) {
+    eval::SimulationOptions sim = config.sim;
+    sim.train_days = days;
+    eval::SimulationHarness harness(&world, sim);
+    const eval::StrategyMetrics combined = harness.RunAveraged(
+        bench::MakeEngineOptions(ranking::Strategy::kCombined),
+        config.repetitions);
+    const eval::StrategyMetrics gps = harness.RunAveraged(
+        bench::MakeEngineOptions(ranking::Strategy::kCombinedGps),
+        config.repetitions);
+    table.AddNumericRow(
+        std::to_string(days),
+        {combined.mrr, gps.mrr, combined.avg_rank_by_class[1],
+         gps.avg_rank_by_class[1], combined.ndcg10, gps.ndcg10},
+        3);
+  }
+  table.Print(std::cout,
+              "E7: GPS augmentation vs training days (all-mobile world)");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E8 — Concept extraction quality (reconstruction of the paper's
+// extraction-precision table): precision/recall of extracted content
+// concepts against the generative topic vocabulary, and of extracted
+// location concepts against the planted document locations, as the
+// support threshold sweeps.
+//
+// Expected shape: raising min_support trades recall for precision;
+// location extraction is near-exact because the gazetteer is closed.
+
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "concepts/content_extractor.h"
+#include "concepts/location_concepts.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace pws;
+
+// A content concept counts as "topical" when every token of it stems to
+// a token of some core/filler term of the query's topic (or of any
+// topic, for the lenient variant used for secondary topics).
+std::unordered_set<std::string> TopicStems(const corpus::TopicModel& topics) {
+  std::unordered_set<std::string> stems;
+  for (int t = 0; t < topics.num_topics(); ++t) {
+    for (const auto& term : topics.topic(t).core_terms) {
+      for (const auto& tok : text::Tokenize(term)) {
+        stems.insert(text::PorterStem(tok));
+      }
+    }
+    for (const auto& term : topics.topic(t).filler_terms) {
+      for (const auto& tok : text::Tokenize(term)) {
+        stems.insert(text::PorterStem(tok));
+      }
+    }
+  }
+  return stems;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  const auto topic_stems = TopicStems(world.topics());
+
+  Table table({"min_support", "concepts/query", "content_precision",
+               "loc_precision", "loc_recall"});
+  for (double support : {0.05, 0.08, 0.15, 0.25, 0.4}) {
+    concepts::ContentExtractorOptions copts;
+    copts.min_support = support;
+    concepts::ContentConceptExtractor content_extractor(copts);
+    concepts::LocationConceptExtractor location_extractor(
+        &world.ontology(), concepts::LocationConceptOptions{});
+
+    double concepts_total = 0.0;
+    double content_topical = 0.0;
+    double content_total = 0.0;
+    double loc_correct = 0.0;
+    double loc_total = 0.0;
+    double loc_found = 0.0;
+    double loc_planted = 0.0;
+    int queries = 0;
+    for (const auto& intent : world.queries()) {
+      const auto page = world.search_backend().Search(intent.text);
+      if (page.results.empty()) continue;
+      ++queries;
+      const auto extracted = content_extractor.Extract(page, nullptr);
+      concepts_total += static_cast<double>(extracted.size());
+      for (const auto& concept_entry : extracted) {
+        ++content_total;
+        bool topical = true;
+        for (const auto& tok : text::Tokenize(concept_entry.term)) {
+          if (topic_stems.count(tok) == 0) {
+            topical = false;
+            break;
+          }
+        }
+        if (topical) ++content_topical;
+      }
+      // Location concepts: compare per-result extraction against planted
+      // ground truth.
+      const auto locations =
+          location_extractor.Extract(page, world.corpus());
+      for (size_t i = 0; i < page.results.size(); ++i) {
+        const auto& doc = world.corpus().doc(page.results[i].doc);
+        std::unordered_set<geo::LocationId> truth(
+            doc.planted_locations_truth.begin(),
+            doc.planted_locations_truth.end());
+        loc_planted += static_cast<double>(truth.size());
+        for (geo::LocationId loc : locations.per_result[i]) {
+          ++loc_total;
+          if (truth.count(loc) > 0) {
+            ++loc_correct;
+            ++loc_found;
+          }
+        }
+      }
+    }
+    table.AddNumericRow(
+        FormatDouble(support, 2),
+        {concepts_total / std::max(1, queries),
+         content_total > 0 ? content_topical / content_total : 0.0,
+         loc_total > 0 ? loc_correct / loc_total : 0.0,
+         loc_planted > 0 ? loc_found / loc_planted : 0.0},
+        3);
+  }
+  table.Print(std::cout,
+              "E8: concept extraction quality vs support threshold");
+  return 0;
+}

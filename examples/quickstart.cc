@@ -1,0 +1,93 @@
+// Quickstart: build a small world, run the personalized engine for one
+// simulated user, and watch the ranking adapt to their location and
+// topical preferences.
+//
+// Run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "util/logging.h"
+
+namespace {
+
+void PrintPage(const pws::eval::World& world,
+               const pws::core::PersonalizedPage& page, int top_n) {
+  const auto shown = page.ShownPage();
+  for (int i = 0; i < top_n && i < static_cast<int>(shown.results.size());
+       ++i) {
+    const auto& result = shown.results[i];
+    const auto& doc = world.corpus().doc(result.doc);
+    std::string where = "-";
+    if (doc.primary_location_truth != pws::geo::kInvalidLocation) {
+      where = world.ontology().node(doc.primary_location_truth).name;
+    }
+    std::cout << "  " << (i + 1) << ". " << result.title << "  [topic="
+              << world.topics().topic(doc.primary_topic_truth).name
+              << ", location=" << where << "]\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A small world so the example runs in seconds.
+  pws::eval::WorldConfig config;
+  config.seed = 42;
+  config.num_topics = 12;
+  config.corpus.num_documents = 6000;
+  config.users.num_users = 8;
+  config.queries.queries_per_class = 20;
+  pws::eval::World world(config);
+
+  pws::core::EngineOptions options;
+  options.strategy = pws::ranking::Strategy::kCombined;
+  pws::core::PwsEngine engine(&world.search_backend(), &world.ontology(),
+                              options);
+
+  // Pick a user and a location-heavy query they would issue.
+  const auto& user = world.users()[0];
+  engine.RegisterUser(user.id);
+  std::cout << "User " << user.id << " lives in "
+            << world.ontology().node(user.home_city).name << "\n";
+
+  const std::string query = "hotel booking";
+  std::cout << "\nBefore any feedback, query \"" << query << "\":\n";
+  auto page = engine.Serve(user.id, query);
+  PrintPage(world, page, 5);
+
+  // Simulate two weeks of this user searching and clicking.
+  pws::Random rng(7);
+  const auto intents = world.QueriesOfClass(
+      pws::click::QueryClass::kLocationHeavy);
+  for (int day = 0; day < 14; ++day) {
+    for (int q = 0; q < 4; ++q) {
+      const auto& intent = *intents[rng.UniformUint64(intents.size())];
+      auto served = engine.Serve(user.id, intent.text);
+      const auto record = world.click_model().Simulate(
+          user, intent, served.ShownPage(), world.corpus(), day, rng);
+      engine.Observe(user.id, served, record);
+    }
+    engine.AdvanceDay();
+  }
+  engine.TrainUser(user.id);
+
+  std::cout << "\nAfter 14 days of clickthrough, query \"" << query
+            << "\":\n";
+  page = engine.Serve(user.id, query);
+  PrintPage(world, page, 5);
+
+  // Inspect the learned profile.
+  const auto& profile = engine.user_profile(user.id);
+  std::cout << "\nTop learned location preferences:\n";
+  for (const auto& [loc, weight] : profile.TopLocations(5)) {
+    std::cout << "  " << world.ontology().node(loc).name << "  ("
+              << weight << ")\n";
+  }
+  std::cout << "\nTop learned content concepts:\n";
+  for (const auto& [term, weight] : profile.TopContentConcepts(5)) {
+    std::cout << "  " << term << "  (" << weight << ")\n";
+  }
+  return 0;
+}

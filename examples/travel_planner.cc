@@ -1,0 +1,139 @@
+// Travel-planning scenario: a user who repeatedly researches one
+// destination builds up a location preference through clicks alone, and
+// the engine starts favouring that region across *different* queries —
+// hotel searches inform ski searches (ontology generalization).
+//
+// Run:  ./build/examples/travel_planner
+
+#include <iostream>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+
+namespace {
+
+using namespace pws;
+
+// Simulates the user clicking exactly the results about `target_region`
+// (a deliberate, deterministic click policy — this example is about the
+// profile mechanics, not the stochastic click model).
+click::ClickRecord ClickResultsAbout(const eval::World& world,
+                                     const core::PersonalizedPage& page,
+                                     geo::LocationId target_region) {
+  const auto shown = page.ShownPage();
+  click::ClickRecord record;
+  record.user = 0;
+  record.query_text = shown.query;
+  bool clicked_any = false;
+  for (size_t j = 0; j < shown.results.size(); ++j) {
+    click::Interaction interaction;
+    interaction.doc = shown.results[j].doc;
+    interaction.rank = static_cast<int>(j);
+    const auto& doc = world.corpus().doc(shown.results[j].doc);
+    if (doc.primary_location_truth != geo::kInvalidLocation &&
+        world.ontology().IsAncestorOf(target_region,
+                                      doc.primary_location_truth)) {
+      interaction.clicked = true;
+      interaction.dwell_units = 450.0;  // Long, satisfied reads.
+      clicked_any = true;
+    }
+    record.interactions.push_back(interaction);
+  }
+  if (clicked_any) {
+    for (auto it = record.interactions.rbegin();
+         it != record.interactions.rend(); ++it) {
+      if (it->clicked) {
+        it->last_click_in_session = true;
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+double MeanShownPosition(const eval::World& world,
+                         const core::PersonalizedPage& page,
+                         geo::LocationId region) {
+  const auto shown = page.ShownPage();
+  double sum = 0.0;
+  int count = 0;
+  for (size_t j = 0; j < shown.results.size(); ++j) {
+    const auto& doc = world.corpus().doc(shown.results[j].doc);
+    if (doc.primary_location_truth != geo::kInvalidLocation &&
+        world.ontology().IsAncestorOf(region, doc.primary_location_truth)) {
+      sum += static_cast<double>(j + 1);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  eval::WorldConfig config;
+  config.seed = 23;
+  config.corpus.num_documents = 9000;
+  config.users.num_users = 2;
+  config.backend.page_size = 30;
+  eval::World world(config);
+
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+  engine.RegisterUser(0);
+
+  // The user is planning a British Columbia trip.
+  const auto bc = world.ontology().Lookup("british columbia");
+  std::cout << "User researches a British Columbia trip by clicking only\n"
+               "BC results on planning queries.\n\n";
+
+  const std::vector<std::string> planning_queries = {
+      "hotel rooms", "hotel booking", "restaurant dinner", "hotel suite",
+      "restaurant reservation"};
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& query : planning_queries) {
+      auto page = engine.Serve(0, query);
+      engine.Observe(0, page, ClickResultsAbout(world, page, bc[0]));
+    }
+    engine.TrainUser(0);
+  }
+
+  // Cross-query transfer: a query vertical the user never issued during
+  // planning. Pick the first candidate whose result pool contains BC
+  // documents at all (otherwise there is nothing to promote).
+  core::PwsEngine cold(&world.search_backend(), &world.ontology(), options);
+  cold.RegisterUser(1);
+  std::string transfer_query;
+  for (const char* candidate :
+       {"ski slopes", "ski lift", "snowboard powder", "museum tour",
+        "flight airport", "coffee espresso", "apartment rent"}) {
+    auto probe = cold.Serve(1, candidate);
+    if (MeanShownPosition(world, probe, bc[0]) > 0) {
+      transfer_query = candidate;
+      break;
+    }
+  }
+  if (transfer_query.empty()) transfer_query = "ski slopes";
+  auto personalized = engine.Serve(0, transfer_query);
+  const double personalized_pos =
+      MeanShownPosition(world, personalized, bc[0]);
+  auto baseline = cold.Serve(1, transfer_query);
+  const double baseline_pos = MeanShownPosition(world, baseline, bc[0]);
+
+  std::cout << "Mean position of BC results for new query \""
+            << transfer_query << "\":\n";
+  std::cout << "  cold profile:     " << baseline_pos << "\n";
+  std::cout << "  after BC clicks:  " << personalized_pos << "\n\n";
+
+  const auto& profile = engine.user_profile(0);
+  std::cout << "Learned location preferences (note the region/country\n"
+               "roll-up — clicks on Whistler also credit BC and Canada):\n";
+  for (const auto& [loc, weight] : profile.TopLocations(5)) {
+    const auto& node = world.ontology().node(loc);
+    std::cout << "  " << node.name << " ["
+              << geo::LocationLevelToString(node.level) << "]  weight "
+              << weight << "\n";
+  }
+  return 0;
+}

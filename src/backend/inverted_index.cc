@@ -1,0 +1,126 @@
+#include "backend/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace pws::backend {
+namespace {
+
+// Title tokens are indexed twice: a cheap stand-in for field weighting.
+constexpr int kTitleBoost = 2;
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const corpus::Corpus* corpus) : corpus_(corpus) {
+  PWS_CHECK(corpus_ != nullptr);
+  num_documents_ = corpus_->size();
+  doc_lengths_.resize(num_documents_, 0);
+  int64_t total_length = 0;
+  for (corpus::DocId id = 0; id < num_documents_; ++id) {
+    const corpus::Document& doc = corpus_->doc(id);
+    std::unordered_map<text::TermId, int> counts;
+    const auto title_tokens = text::Tokenize(doc.title);
+    const auto body_tokens = text::Tokenize(doc.body);
+    for (const auto& tok : title_tokens) {
+      counts[vocabulary_.GetOrAdd(tok)] += kTitleBoost;
+    }
+    for (const auto& tok : body_tokens) {
+      counts[vocabulary_.GetOrAdd(tok)] += 1;
+    }
+    int length = 0;
+    for (const auto& [term, count] : counts) {
+      if (term >= static_cast<text::TermId>(postings_.size())) {
+        postings_.resize(term + 1);
+      }
+      postings_[term].push_back({id, count});
+      length += count;
+    }
+    doc_lengths_[id] = length;
+    total_length += length;
+  }
+  avg_doc_length_ =
+      num_documents_ > 0
+          ? static_cast<double>(total_length) / num_documents_
+          : 0.0;
+}
+
+int InvertedIndex::DocumentLength(corpus::DocId doc) const {
+  PWS_CHECK_GE(doc, 0);
+  PWS_CHECK_LT(doc, num_documents_);
+  return doc_lengths_[doc];
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    const std::string& term) const {
+  const text::TermId id = vocabulary_.Get(term);
+  if (id == text::kUnknownTerm) return empty_postings_;
+  return postings_[id];
+}
+
+double InvertedIndex::Idf(const std::vector<Posting>& postings) const {
+  const double df = static_cast<double>(postings.size());
+  return std::log(1.0 + (num_documents_ - df + 0.5) / (df + 0.5));
+}
+
+double InvertedIndex::Score(const std::vector<std::string>& query_tokens,
+                            corpus::DocId doc, const Bm25Params& params) const {
+  double score = 0.0;
+  for (const auto& token : query_tokens) {
+    const auto& postings = PostingsFor(token);
+    if (postings.empty()) continue;
+    const auto it = std::lower_bound(
+        postings.begin(), postings.end(), doc,
+        [](const Posting& p, corpus::DocId d) { return p.doc < d; });
+    if (it == postings.end() || it->doc != doc) continue;
+    const double tf = it->term_frequency;
+    const double norm = params.k1 * (1.0 - params.b +
+                                     params.b * DocumentLength(doc) /
+                                         avg_doc_length_);
+    score += Idf(postings) * tf * (params.k1 + 1.0) / (tf + norm);
+  }
+  return score;
+}
+
+std::vector<corpus::DocId> InvertedIndex::TopK(
+    const std::vector<std::string>& query_tokens, int k,
+    const Bm25Params& params) const {
+  PWS_CHECK_GT(k, 0);
+  // Accumulate scores document-at-a-time over the union of postings.
+  std::unordered_map<corpus::DocId, double> scores;
+  for (const auto& token : query_tokens) {
+    const auto& postings = PostingsFor(token);
+    if (postings.empty()) continue;
+    const double idf = Idf(postings);
+    for (const Posting& p : postings) {
+      const double tf = p.term_frequency;
+      const double norm = params.k1 * (1.0 - params.b +
+                                       params.b * DocumentLength(p.doc) /
+                                           avg_doc_length_);
+      scores[p.doc] += idf * tf * (params.k1 + 1.0) / (tf + norm);
+    }
+  }
+  std::vector<std::pair<corpus::DocId, double>> ranked(scores.begin(),
+                                                       scores.end());
+  const auto better = [](const std::pair<corpus::DocId, double>& a,
+                         const std::pair<corpus::DocId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (static_cast<int>(ranked.size()) > k) {
+    std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                      better);
+    ranked.resize(k);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), better);
+  }
+  std::vector<corpus::DocId> out;
+  out.reserve(ranked.size());
+  for (const auto& [doc, score] : ranked) out.push_back(doc);
+  return out;
+}
+
+}  // namespace pws::backend

@@ -1,0 +1,65 @@
+#ifndef PWS_BACKEND_INVERTED_INDEX_H_
+#define PWS_BACKEND_INVERTED_INDEX_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/vocabulary.h"
+
+namespace pws::backend {
+
+/// One posting: a document and the term's frequency in it.
+struct Posting {
+  corpus::DocId doc = corpus::kInvalidDoc;
+  int32_t term_frequency = 0;
+};
+
+/// BM25 scoring parameters (standard Robertson defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Disk-free inverted index over a Corpus (title + body, title tokens
+/// double-counted to mimic field boosts). Provides BM25 top-k retrieval —
+/// the stand-in for the commercial search backend of the paper.
+class InvertedIndex {
+ public:
+  /// Indexes every document in `corpus`. The corpus must outlive the
+  /// index (documents are referenced, not copied).
+  explicit InvertedIndex(const corpus::Corpus* corpus);
+
+  int num_documents() const { return num_documents_; }
+  int vocabulary_size() const { return vocabulary_.size(); }
+  double average_document_length() const { return avg_doc_length_; }
+
+  /// Document length in tokens (with the title boost applied).
+  int DocumentLength(corpus::DocId doc) const;
+
+  /// Postings for a term string (empty for unknown terms).
+  const std::vector<Posting>& PostingsFor(const std::string& term) const;
+
+  /// BM25 score of `doc` for the tokenized query.
+  double Score(const std::vector<std::string>& query_tokens,
+               corpus::DocId doc, const Bm25Params& params) const;
+
+  /// Returns the ids of the top-k documents by BM25, best first. Ties
+  /// break toward lower doc ids so results are deterministic.
+  std::vector<corpus::DocId> TopK(const std::vector<std::string>& query_tokens,
+                                  int k, const Bm25Params& params) const;
+
+ private:
+  double Idf(const std::vector<Posting>& postings) const;
+
+  const corpus::Corpus* corpus_;
+  text::Vocabulary vocabulary_;
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<int> doc_lengths_;
+  int num_documents_ = 0;
+  double avg_doc_length_ = 0.0;
+  std::vector<Posting> empty_postings_;
+};
+
+}  // namespace pws::backend
+
+#endif  // PWS_BACKEND_INVERTED_INDEX_H_

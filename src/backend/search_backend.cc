@@ -1,0 +1,43 @@
+#include "backend/search_backend.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace pws::backend {
+
+SearchBackend::SearchBackend(const corpus::Corpus* corpus,
+                             SearchBackendOptions options)
+    : corpus_(corpus), options_(options), index_(corpus) {
+  PWS_CHECK(corpus_ != nullptr);
+  PWS_CHECK_GT(options_.page_size, 0);
+}
+
+ResultPage SearchBackend::Search(const std::string& query) const {
+  return Search(query, options_.page_size);
+}
+
+ResultPage SearchBackend::Search(const std::string& query, int k) const {
+  k = std::max(1, k);
+  ResultPage page;
+  page.query = query;
+  const std::vector<std::string> tokens = text::Tokenize(query);
+  if (tokens.empty()) return page;
+  const std::vector<corpus::DocId> top = index_.TopK(tokens, k, options_.bm25);
+  page.results.reserve(top.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    const corpus::Document& doc = corpus_->doc(top[i]);
+    SearchResult result;
+    result.doc = doc.id;
+    result.rank = static_cast<int>(i);
+    result.score = index_.Score(tokens, doc.id, options_.bm25);
+    result.url = doc.url;
+    result.title = doc.title;
+    result.snippet = MakeSnippet(doc.body, tokens, options_.snippet);
+    page.results.push_back(std::move(result));
+  }
+  return page;
+}
+
+}  // namespace pws::backend

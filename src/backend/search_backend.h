@@ -1,0 +1,67 @@
+#ifndef PWS_BACKEND_SEARCH_BACKEND_H_
+#define PWS_BACKEND_SEARCH_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/inverted_index.h"
+#include "backend/snippet.h"
+#include "corpus/corpus.h"
+
+namespace pws::backend {
+
+/// One entry of a result page, as the personalization layer sees it:
+/// rank, score, and display text. `doc` links back to the corpus so the
+/// evaluation harness can consult ground truth; the personalizer itself
+/// only reads the text fields.
+struct SearchResult {
+  corpus::DocId doc = corpus::kInvalidDoc;
+  int rank = 0;  // 0-based position in the backend ranking.
+  double score = 0.0;
+  std::string url;
+  std::string title;
+  std::string snippet;
+};
+
+/// A full result page for one query.
+struct ResultPage {
+  std::string query;
+  std::vector<SearchResult> results;
+};
+
+/// Configuration of the simulated commercial backend.
+struct SearchBackendOptions {
+  Bm25Params bm25;
+  SnippetOptions snippet;
+  int page_size = 10;
+};
+
+/// The "commercial search engine" substitute: BM25 retrieval over the
+/// synthetic corpus plus query-biased snippets. The personalized engine
+/// treats this component as a black box, exactly as the paper treats the
+/// backend it re-ranks.
+class SearchBackend {
+ public:
+  /// `corpus` must outlive the backend. Builds the index eagerly.
+  SearchBackend(const corpus::Corpus* corpus, SearchBackendOptions options);
+
+  /// Runs `query` and returns up to options.page_size results.
+  ResultPage Search(const std::string& query) const;
+
+  /// Same, with an explicit result count (clamped to >= 1).
+  ResultPage Search(const std::string& query, int k) const;
+
+  const InvertedIndex& index() const { return index_; }
+  const corpus::Corpus& corpus() const { return *corpus_; }
+  int page_size() const { return options_.page_size; }
+
+ private:
+  const corpus::Corpus* corpus_;
+  SearchBackendOptions options_;
+  InvertedIndex index_;
+};
+
+}  // namespace pws::backend
+
+#endif  // PWS_BACKEND_SEARCH_BACKEND_H_

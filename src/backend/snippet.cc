@@ -1,0 +1,43 @@
+#include "backend/snippet.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace pws::backend {
+
+std::string MakeSnippet(const std::string& body,
+                        const std::vector<std::string>& query_tokens,
+                        const SnippetOptions& options) {
+  const std::vector<std::string> tokens = text::Tokenize(body);
+  if (tokens.empty()) return "";
+  const int window = std::max(1, options.window_tokens);
+  const int n = static_cast<int>(tokens.size());
+  if (n <= window) return StrJoin(tokens, " ");
+
+  std::unordered_set<std::string> query_set(query_tokens.begin(),
+                                            query_tokens.end());
+  // Score each window start by the number of distinct query tokens inside.
+  int best_start = 0;
+  int best_hits = -1;
+  for (int start = 0; start + window <= n; ++start) {
+    std::unordered_set<std::string> seen;
+    int hits = 0;
+    for (int i = start; i < start + window; ++i) {
+      if (query_set.count(tokens[i]) > 0 && seen.insert(tokens[i]).second) {
+        ++hits;
+      }
+    }
+    if (hits > best_hits) {
+      best_hits = hits;
+      best_start = start;
+    }
+  }
+  std::vector<std::string> slice(tokens.begin() + best_start,
+                                 tokens.begin() + best_start + window);
+  return StrJoin(slice, " ");
+}
+
+}  // namespace pws::backend

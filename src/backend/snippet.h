@@ -1,0 +1,26 @@
+#ifndef PWS_BACKEND_SNIPPET_H_
+#define PWS_BACKEND_SNIPPET_H_
+
+#include <string>
+#include <vector>
+
+namespace pws::backend {
+
+/// Snippet extraction knobs.
+struct SnippetOptions {
+  /// Target snippet length in tokens.
+  int window_tokens = 30;
+};
+
+/// Returns a query-biased snippet of `body`: the window of
+/// `options.window_tokens` tokens that covers the most (distinct) query
+/// tokens, preferring earlier windows on ties — the same heuristic
+/// commercial engines use for result teasers. Falls back to the document
+/// prefix when no query token occurs.
+std::string MakeSnippet(const std::string& body,
+                        const std::vector<std::string>& query_tokens,
+                        const SnippetOptions& options);
+
+}  // namespace pws::backend
+
+#endif  // PWS_BACKEND_SNIPPET_H_

@@ -1,0 +1,108 @@
+#include "baselines/click_history.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace pws::baselines {
+
+ClickHistoryPersonalizer::ClickHistoryPersonalizer(
+    const backend::SearchBackend* search_backend, ClickHistoryOptions options)
+    : backend_(search_backend), options_(options) {
+  PWS_CHECK(backend_ != nullptr);
+  PWS_CHECK_GT(options_.beta, 0.0);
+}
+
+void ClickHistoryPersonalizer::RegisterUser(click::UserId user) {
+  (void)user;  // Stateless per user beyond the history map.
+}
+
+std::string ClickHistoryPersonalizer::KeyFor(click::UserId user,
+                                             const std::string& query) const {
+  if (options_.mode == ClickHistoryMode::kGlobal) return query;
+  return std::to_string(user) + "\t" + query;
+}
+
+core::PersonalizedPage ClickHistoryPersonalizer::Serve(
+    click::UserId user, const std::string& query) {
+  core::PersonalizedPage page;
+  page.backend_page = backend_->Search(query);
+  const int n = static_cast<int>(page.backend_page.results.size());
+  page.order.resize(n);
+  std::iota(page.order.begin(), page.order.end(), 0);
+
+  auto it = history_.find(KeyFor(user, query));
+  if (it != history_.end() && it->second.total_clicks > 0) {
+    const QueryHistory& history = it->second;
+    std::vector<double> scores(n);
+    for (int i = 0; i < n; ++i) {
+      const corpus::DocId doc = page.backend_page.results[i].doc;
+      double click_score = 0.0;
+      auto doc_it = history.doc_clicks.find(doc);
+      if (doc_it != history.doc_clicks.end()) {
+        click_score = static_cast<double>(doc_it->second) /
+                      (history.total_clicks + options_.beta);
+      }
+      scores[i] = options_.history_weight * click_score +
+                  options_.rank_prior_weight / (1.0 + i);
+    }
+    std::stable_sort(page.order.begin(), page.order.end(),
+                     [&](int a, int b) { return scores[a] > scores[b]; });
+  }
+  return page;
+}
+
+void ClickHistoryPersonalizer::Observe(click::UserId user,
+                                       const core::PersonalizedPage& page,
+                                       const click::ClickRecord& record) {
+  QueryHistory& history = history_[KeyFor(user, page.backend_page.query)];
+  for (size_t j = 0; j < record.interactions.size(); ++j) {
+    if (!record.interactions[j].clicked) continue;
+    const int backend_index = page.order[j];
+    ++history.doc_clicks[page.backend_page.results[backend_index].doc];
+    ++history.total_clicks;
+  }
+}
+
+int ClickHistoryPersonalizer::ClickCount(click::UserId user,
+                                         const std::string& query,
+                                         corpus::DocId doc) const {
+  auto it = history_.find(KeyFor(user, query));
+  if (it == history_.end()) return 0;
+  auto doc_it = it->second.doc_clicks.find(doc);
+  return doc_it == it->second.doc_clicks.end() ? 0 : doc_it->second;
+}
+
+RandomReRanker::RandomReRanker(const backend::SearchBackend* search_backend,
+                               uint64_t shuffle_seed)
+    : backend_(search_backend), shuffle_seed_(shuffle_seed) {
+  PWS_CHECK(backend_ != nullptr);
+}
+
+void RandomReRanker::RegisterUser(click::UserId user) { (void)user; }
+
+core::PersonalizedPage RandomReRanker::Serve(click::UserId user,
+                                             const std::string& query) {
+  (void)user;
+  core::PersonalizedPage page;
+  page.backend_page = backend_->Search(query);
+  page.order.resize(page.backend_page.results.size());
+  std::iota(page.order.begin(), page.order.end(), 0);
+  uint64_t seed = shuffle_seed_;
+  for (char c : query) seed = seed * 131 + static_cast<unsigned char>(c);
+  Random rng(seed);
+  rng.Shuffle(page.order);
+  return page;
+}
+
+void RandomReRanker::Observe(click::UserId user,
+                             const core::PersonalizedPage& page,
+                             const click::ClickRecord& record) {
+  (void)user;
+  (void)page;
+  (void)record;
+}
+
+}  // namespace pws::baselines

@@ -1,0 +1,94 @@
+#ifndef PWS_BASELINES_CLICK_HISTORY_H_
+#define PWS_BASELINES_CLICK_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "backend/search_backend.h"
+#include "core/personalizer.h"
+#include "core/pws_engine.h"
+
+namespace pws::baselines {
+
+/// Comparison baselines from the personalization literature that re-rank
+/// purely from historic clicks, with no concept extraction or learning:
+///
+///  * P-Click (Dou et al., "A large-scale evaluation and analysis of
+///    personalized search strategies", WWW 2007): promote documents THIS
+///    user clicked for THIS query before,
+///        score(u, q, d) = |clicks(u, q, d)| / (|clicks(u, q)| + beta).
+///  * G-Click: the same statistic pooled over all users — group rather
+///    than personal preference.
+///
+/// Both add the score to a backend-order prior so unclicked documents
+/// keep their original relative order.
+enum class ClickHistoryMode {
+  kPersonal = 0,  // P-Click
+  kGlobal = 1,    // G-Click
+};
+
+struct ClickHistoryOptions {
+  ClickHistoryMode mode = ClickHistoryMode::kPersonal;
+  /// Smoothing constant beta in the P-Click formula.
+  double beta = 0.5;
+  /// Weight of the click-history score against the backend-order prior
+  /// rank_prior_weight / (1 + rank).
+  double history_weight = 2.0;
+  double rank_prior_weight = 1.0;
+};
+
+/// The P-Click / G-Click personalizer. Drives through the same
+/// core::Personalizer contract as PwsEngine so the evaluation harness
+/// can compare them under an identical protocol.
+class ClickHistoryPersonalizer : public core::Personalizer {
+ public:
+  /// `search_backend` must outlive the personalizer.
+  ClickHistoryPersonalizer(const backend::SearchBackend* search_backend,
+                           ClickHistoryOptions options);
+
+  void RegisterUser(click::UserId user) override;
+  core::PersonalizedPage Serve(click::UserId user,
+                               const std::string& query) override;
+  void Observe(click::UserId user, const core::PersonalizedPage& page,
+               const click::ClickRecord& record) override;
+
+  /// Historic click count for a (user, query, doc) triple under the
+  /// configured mode (user ignored for kGlobal).
+  int ClickCount(click::UserId user, const std::string& query,
+                 corpus::DocId doc) const;
+
+ private:
+  struct QueryHistory {
+    std::unordered_map<corpus::DocId, int> doc_clicks;
+    int total_clicks = 0;
+  };
+  /// Key: query text for kGlobal; "user\tquery" for kPersonal.
+  std::string KeyFor(click::UserId user, const std::string& query) const;
+
+  const backend::SearchBackend* backend_;
+  ClickHistoryOptions options_;
+  std::unordered_map<std::string, QueryHistory> history_;
+};
+
+/// A deterministic random re-ranker (control lower bound): shuffles the
+/// page with a hash seeded by (query, shuffle_seed). Learns nothing.
+class RandomReRanker : public core::Personalizer {
+ public:
+  RandomReRanker(const backend::SearchBackend* search_backend,
+                 uint64_t shuffle_seed);
+
+  void RegisterUser(click::UserId user) override;
+  core::PersonalizedPage Serve(click::UserId user,
+                               const std::string& query) override;
+  void Observe(click::UserId user, const core::PersonalizedPage& page,
+               const click::ClickRecord& record) override;
+
+ private:
+  const backend::SearchBackend* backend_;
+  uint64_t shuffle_seed_;
+};
+
+}  // namespace pws::baselines
+
+#endif  // PWS_BASELINES_CLICK_HISTORY_H_

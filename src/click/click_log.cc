@@ -1,0 +1,137 @@
+#include "click/click_log.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pws::click {
+
+int ClickRecord::ClickCount() const {
+  int count = 0;
+  for (const auto& i : interactions) {
+    if (i.clicked) ++count;
+  }
+  return count;
+}
+
+int ClickRecord::FirstClickRank() const {
+  int best = -1;
+  for (const auto& i : interactions) {
+    if (i.clicked && (best == -1 || i.rank < best)) best = i.rank;
+  }
+  return best;
+}
+
+std::vector<RelevanceGrade> ClickRecord::GradeInteractions(
+    const DwellGradeThresholds& thresholds) const {
+  std::vector<RelevanceGrade> grades;
+  grades.reserve(interactions.size());
+  for (const auto& i : interactions) {
+    grades.push_back(GradeFromDwell(i.clicked, i.dwell_units,
+                                    i.last_click_in_session, thresholds));
+  }
+  return grades;
+}
+
+void ClickLog::Add(ClickRecord record) { records_.push_back(std::move(record)); }
+
+const ClickRecord& ClickLog::record(int index) const {
+  PWS_CHECK_GE(index, 0);
+  PWS_CHECK_LT(index, size());
+  return records_[index];
+}
+
+std::vector<const ClickRecord*> ClickLog::RecordsForUser(UserId user) const {
+  std::vector<const ClickRecord*> out;
+  for (const auto& r : records_) {
+    if (r.user == user) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const ClickRecord*> ClickLog::RecordsBeforeDay(
+    int day_cutoff) const {
+  std::vector<const ClickRecord*> out;
+  for (const auto& r : records_) {
+    if (r.day < day_cutoff) out.push_back(&r);
+  }
+  return out;
+}
+
+std::string ClickLog::ToTsv() const {
+  std::string out;
+  for (const auto& r : records_) {
+    for (const auto& i : r.interactions) {
+      out += std::to_string(r.user);
+      out += '\t';
+      out += std::to_string(r.day);
+      out += '\t';
+      out += std::to_string(r.query_id);
+      out += '\t';
+      out += r.query_text;
+      out += '\t';
+      out += std::to_string(i.doc);
+      out += '\t';
+      out += std::to_string(i.rank);
+      out += '\t';
+      out += i.clicked ? '1' : '0';
+      out += '\t';
+      out += FormatDouble(i.dwell_units, 2);
+      out += '\t';
+      out += i.last_click_in_session ? '1' : '0';
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+StatusOr<ClickLog> ClickLog::FromTsv(const std::string& tsv) {
+  ClickLog log;
+  ClickRecord current;
+  bool has_current = false;
+  auto flush = [&]() {
+    if (has_current) log.Add(std::move(current));
+    current = ClickRecord{};
+    has_current = false;
+  };
+  for (const std::string& line : StrSplit(tsv, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 9) {
+      return InvalidArgumentError("bad click log line: " + line);
+    }
+    int64_t user = 0;
+    int64_t day = 0;
+    int64_t query_id = 0;
+    int64_t doc = 0;
+    int64_t rank = 0;
+    double dwell = 0.0;
+    if (!ParseInt64(fields[0], &user) || !ParseInt64(fields[1], &day) ||
+        !ParseInt64(fields[2], &query_id) || !ParseInt64(fields[4], &doc) ||
+        !ParseInt64(fields[5], &rank) || !ParseDouble(fields[7], &dwell)) {
+      return InvalidArgumentError("bad numeric field in line: " + line);
+    }
+    const bool new_record =
+        !has_current || current.user != static_cast<UserId>(user) ||
+        current.day != static_cast<int>(day) ||
+        current.query_id != static_cast<int>(query_id);
+    if (new_record) {
+      flush();
+      current.user = static_cast<UserId>(user);
+      current.day = static_cast<int>(day);
+      current.query_id = static_cast<int>(query_id);
+      current.query_text = fields[3];
+      has_current = true;
+    }
+    Interaction interaction;
+    interaction.doc = static_cast<corpus::DocId>(doc);
+    interaction.rank = static_cast<int>(rank);
+    interaction.clicked = fields[6] == "1";
+    interaction.dwell_units = dwell;
+    interaction.last_click_in_session = fields[8] == "1";
+    current.interactions.push_back(interaction);
+  }
+  flush();
+  return log;
+}
+
+}  // namespace pws::click

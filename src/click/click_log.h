@@ -1,0 +1,72 @@
+#ifndef PWS_CLICK_CLICK_LOG_H_
+#define PWS_CLICK_CLICK_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "click/relevance.h"
+#include "click/simulated_user.h"
+#include "corpus/document.h"
+#include "util/status.h"
+
+namespace pws::click {
+
+/// One interaction with one shown result.
+struct Interaction {
+  corpus::DocId doc = corpus::kInvalidDoc;
+  int rank = 0;  // Position at which the result was shown (0-based).
+  bool clicked = false;
+  double dwell_units = 0.0;
+  bool last_click_in_session = false;
+};
+
+/// One logged impression: a user issued a query on a day, saw a ranked
+/// list, and interacted with it.
+struct ClickRecord {
+  UserId user = -1;
+  int day = 0;
+  int query_id = -1;
+  std::string query_text;
+  std::vector<Interaction> interactions;
+
+  /// Number of clicks in the record.
+  int ClickCount() const;
+  /// Rank (0-based) of the first click, or -1 when nothing was clicked.
+  int FirstClickRank() const;
+  /// Grades every interaction by dwell (the engine-facing relevance
+  /// labels, as opposed to simulator ground truth).
+  std::vector<RelevanceGrade> GradeInteractions(
+      const DwellGradeThresholds& thresholds) const;
+};
+
+/// An append-only collection of ClickRecords with TSV (de)serialization —
+/// the clickthrough dataset the learning pipeline consumes.
+class ClickLog {
+ public:
+  ClickLog() = default;
+
+  void Add(ClickRecord record);
+  int size() const { return static_cast<int>(records_.size()); }
+  const ClickRecord& record(int index) const;
+  const std::vector<ClickRecord>& records() const { return records_; }
+
+  /// Records of one user, in insertion order.
+  std::vector<const ClickRecord*> RecordsForUser(UserId user) const;
+
+  /// Records with day < `day_cutoff` (train/test splitting helper).
+  std::vector<const ClickRecord*> RecordsBeforeDay(int day_cutoff) const;
+
+  /// Serializes to TSV: one line per interaction, prefixed by the record
+  /// key (user, day, query_id, query_text with spaces kept).
+  std::string ToTsv() const;
+
+  /// Parses the format produced by ToTsv (round-trip safe).
+  static StatusOr<ClickLog> FromTsv(const std::string& tsv);
+
+ private:
+  std::vector<ClickRecord> records_;
+};
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_CLICK_LOG_H_

@@ -1,0 +1,67 @@
+#include "click/click_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace pws::click {
+
+CascadeClickModel::CascadeClickModel(const RelevanceModel* relevance,
+                                     ClickModelOptions options)
+    : relevance_(relevance), options_(options) {
+  PWS_CHECK(relevance_ != nullptr);
+  PWS_CHECK_GT(options_.examination_decay, 0.0);
+  PWS_CHECK_LE(options_.examination_decay, 1.0);
+}
+
+ClickRecord CascadeClickModel::Simulate(const SimulatedUser& user,
+                                        const QueryIntent& intent,
+                                        const backend::ResultPage& page,
+                                        const corpus::Corpus& corpus, int day,
+                                        Random& rng) const {
+  ClickRecord record;
+  record.user = user.id;
+  record.day = day;
+  record.query_id = intent.id;
+  record.query_text = page.query;
+  record.interactions.reserve(page.results.size());
+
+  double examine_probability = 1.0;
+  int last_click_index = -1;
+  bool stopped = false;
+  for (size_t i = 0; i < page.results.size(); ++i) {
+    const auto& result = page.results[i];
+    Interaction interaction;
+    interaction.doc = result.doc;
+    interaction.rank = static_cast<int>(i);
+
+    if (!stopped && rng.Bernoulli(examine_probability)) {
+      const double rel =
+          relevance_->TrueRelevance(user, intent, corpus.doc(result.doc));
+      const double p_click = Sigmoid(options_.attractiveness_gain *
+                                     (rel - options_.attractiveness_offset));
+      if (rng.Bernoulli(p_click)) {
+        interaction.clicked = true;
+        const double dwell =
+            options_.dwell_base + rel * rel * options_.dwell_span +
+            rng.Gaussian(0.0, options_.dwell_noise_stddev);
+        interaction.dwell_units = std::max(1.0, dwell);
+        last_click_index = static_cast<int>(record.interactions.size());
+        // A satisfying click may end the session.
+        if (rng.Bernoulli(options_.satisfaction_stop_scale * rel)) {
+          stopped = true;
+        }
+      }
+    }
+    record.interactions.push_back(interaction);
+    examine_probability *= options_.examination_decay;
+  }
+  if (last_click_index >= 0) {
+    record.interactions[last_click_index].last_click_in_session = true;
+  }
+  return record;
+}
+
+}  // namespace pws::click

@@ -1,0 +1,57 @@
+#ifndef PWS_CLICK_CLICK_MODEL_H_
+#define PWS_CLICK_CLICK_MODEL_H_
+
+#include "backend/search_backend.h"
+#include "click/click_log.h"
+#include "click/relevance.h"
+
+namespace pws::click {
+
+/// Position-biased cascade click model parameters.
+struct ClickModelOptions {
+  /// Probability of examining rank r is examination_decay^r. The default
+  /// models study participants who scan most of the list (the paper's
+  /// clickthrough came from instructed subjects); web-typical position
+  /// bias would be ~0.8.
+  double examination_decay = 0.93;
+  /// Click probability given examination: sigmoid(gain*(rel - offset)).
+  double attractiveness_gain = 7.0;
+  double attractiveness_offset = 0.45;
+  /// Probability of abandoning the page after a satisfying click, scaled
+  /// by relevance.
+  double satisfaction_stop_scale = 0.9;
+  /// Dwell time: base + relevance^2 * span (+ Gaussian noise).
+  double dwell_base = 20.0;
+  double dwell_span = 600.0;
+  double dwell_noise_stddev = 30.0;
+};
+
+/// Simulates how a user interacts with one result page: scan top-down
+/// with geometric examination decay, click by relevance-driven
+/// attractiveness, dwell longer on more relevant pages, stop when
+/// satisfied. Produces the ClickRecord the learning pipeline consumes.
+///
+/// This is the behavioural substitute for the paper's human clickthrough
+/// collection (DESIGN.md §2): it reproduces position bias, preference-
+/// driven clicks, dwell-time signal, and noise.
+class CascadeClickModel {
+ public:
+  CascadeClickModel(const RelevanceModel* relevance,
+                    ClickModelOptions options);
+
+  /// Simulates one impression. `day` stamps the record.
+  ClickRecord Simulate(const SimulatedUser& user, const QueryIntent& intent,
+                       const backend::ResultPage& page,
+                       const corpus::Corpus& corpus, int day,
+                       Random& rng) const;
+
+  const ClickModelOptions& options() const { return options_; }
+
+ private:
+  const RelevanceModel* relevance_;
+  ClickModelOptions options_;
+};
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_CLICK_MODEL_H_

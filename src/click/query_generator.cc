@@ -1,0 +1,100 @@
+#include "click/query_generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::click {
+namespace {
+
+// Picks a topic, preferring location-sensitive ones when `want_geo`.
+int PickTopic(const corpus::TopicModel& topics, bool want_geo, Random& rng) {
+  std::vector<double> weights(topics.num_topics());
+  for (int t = 0; t < topics.num_topics(); ++t) {
+    const bool geo = topics.topic(t).location_sensitive;
+    weights[t] = (geo == want_geo) ? 1.0 : 0.05;
+  }
+  return rng.Categorical(weights);
+}
+
+}  // namespace
+
+const char* QueryClassToString(QueryClass query_class) {
+  switch (query_class) {
+    case QueryClass::kContentHeavy:
+      return "content-heavy";
+    case QueryClass::kLocationHeavy:
+      return "location-heavy";
+    case QueryClass::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+std::vector<QueryIntent> GenerateQueryPool(
+    const corpus::TopicModel& topics, const geo::LocationOntology& ontology,
+    const QueryPoolOptions& options, Random& rng) {
+  PWS_CHECK_GT(options.queries_per_class, 0);
+  const std::vector<geo::LocationId> cities =
+      ontology.CitiesUnder(ontology.root());
+  PWS_CHECK(!cities.empty());
+  std::vector<double> city_weights;
+  city_weights.reserve(cities.size());
+  for (geo::LocationId city : cities) {
+    city_weights.push_back(
+        std::log1p(ontology.node(city).population / 1000.0) + 0.1);
+  }
+
+  std::vector<QueryIntent> pool;
+  int next_id = 0;
+  const QueryClass classes[] = {QueryClass::kContentHeavy,
+                                QueryClass::kLocationHeavy,
+                                QueryClass::kMixed};
+  for (QueryClass query_class : classes) {
+    for (int q = 0; q < options.queries_per_class; ++q) {
+      QueryIntent intent;
+      intent.id = next_id++;
+      intent.query_class = query_class;
+      const bool want_geo = query_class != QueryClass::kContentHeavy;
+      intent.topic = PickTopic(topics, want_geo, rng);
+
+      // Query text: one or two core terms of the topic.
+      std::string text = topics.SampleCoreTerm(intent.topic, rng);
+      if (rng.Bernoulli(0.6)) {
+        const std::string& second = topics.SampleCoreTerm(intent.topic, rng);
+        if (second != text) text += " " + second;
+      }
+
+      switch (query_class) {
+        case QueryClass::kContentHeavy:
+          intent.location_intent_weight =
+              options.content_heavy_location_weight;
+          break;
+        case QueryClass::kLocationHeavy:
+          intent.location_intent_weight =
+              options.location_heavy_location_weight;
+          if (rng.Bernoulli(options.explicit_location_fraction)) {
+            intent.explicit_location = cities[rng.Categorical(city_weights)];
+            text += " " + ontology.node(intent.explicit_location).name;
+          } else {
+            intent.implicit_local = true;
+          }
+          break;
+        case QueryClass::kMixed:
+          intent.location_intent_weight = options.mixed_location_weight;
+          if (rng.Bernoulli(0.5)) {
+            intent.explicit_location = cities[rng.Categorical(city_weights)];
+            text += " " + ontology.node(intent.explicit_location).name;
+          } else {
+            intent.implicit_local = true;
+          }
+          break;
+      }
+      intent.text = std::move(text);
+      pool.push_back(std::move(intent));
+    }
+  }
+  return pool;
+}
+
+}  // namespace pws::click

@@ -1,0 +1,65 @@
+#ifndef PWS_CLICK_QUERY_GENERATOR_H_
+#define PWS_CLICK_QUERY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/topic_model.h"
+#include "geo/location_ontology.h"
+#include "util/random.h"
+
+namespace pws::click {
+
+/// The three query classes used throughout the reconstructed evaluation.
+enum class QueryClass {
+  /// "camera lens reviews" — the information need has no location aspect.
+  kContentHeavy = 0,
+  /// "hotel whistler" or a local-intent "restaurant menu" — the location
+  /// aspect dominates.
+  kLocationHeavy = 1,
+  /// "university admission london" — both aspects matter.
+  kMixed = 2,
+};
+
+const char* QueryClassToString(QueryClass query_class);
+
+/// A query with its latent intent. The engine sees only `text`; the
+/// simulator and the evaluation harness read the intent fields.
+struct QueryIntent {
+  int id = -1;
+  std::string text;
+  QueryClass query_class = QueryClass::kContentHeavy;
+  /// The intended topic.
+  int topic = -1;
+  /// Explicit target location named in the text (kInvalidLocation when
+  /// the query is location-free or implicitly local).
+  geo::LocationId explicit_location = geo::kInvalidLocation;
+  /// True when the query has local intent without naming a place ("pizza
+  /// near me" behaviour): relevance then keys on the user's home city.
+  bool implicit_local = false;
+  /// Blend of the location aspect in ground-truth relevance, in [0, 1].
+  double location_intent_weight = 0.0;
+};
+
+/// Query pool generation knobs.
+struct QueryPoolOptions {
+  int queries_per_class = 40;
+  /// Location-heavy queries name an explicit city with this probability
+  /// (otherwise they are implicit-local).
+  double explicit_location_fraction = 0.5;
+  /// Intent blend per class.
+  double content_heavy_location_weight = 0.1;
+  double location_heavy_location_weight = 0.65;
+  double mixed_location_weight = 0.35;
+};
+
+/// Generates a pool of queries over the topic catalogue and gazetteer:
+/// content-heavy queries use non-location-sensitive topics; location
+/// queries use location-sensitive topics and (usually) name a city.
+std::vector<QueryIntent> GenerateQueryPool(
+    const corpus::TopicModel& topics, const geo::LocationOntology& ontology,
+    const QueryPoolOptions& options, Random& rng);
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_QUERY_GENERATOR_H_

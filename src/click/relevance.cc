@@ -1,0 +1,95 @@
+#include "click/relevance.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace pws::click {
+
+RelevanceGrade GradeFromDwell(bool clicked, double dwell_units,
+                              bool last_click_in_session,
+                              const DwellGradeThresholds& thresholds) {
+  if (!clicked) return RelevanceGrade::kIrrelevant;
+  if (last_click_in_session) return RelevanceGrade::kHighlyRelevant;
+  if (dwell_units >= thresholds.highly_relevant_min) {
+    return RelevanceGrade::kHighlyRelevant;
+  }
+  if (dwell_units >= thresholds.relevant_min) {
+    return RelevanceGrade::kRelevant;
+  }
+  return RelevanceGrade::kIrrelevant;
+}
+
+RelevanceModel::RelevanceModel(const geo::LocationOntology* ontology,
+                               RelevanceModelOptions options)
+    : ontology_(ontology), options_(options) {
+  PWS_CHECK(ontology_ != nullptr);
+}
+
+double RelevanceModel::ContentScore(const SimulatedUser& user,
+                                    const QueryIntent& intent,
+                                    const corpus::Document& doc) const {
+  PWS_CHECK_GE(intent.topic, 0);
+  PWS_CHECK_LT(intent.topic,
+               static_cast<int>(doc.topic_mixture_truth.size()));
+  const double intent_match = doc.topic_mixture_truth[intent.topic];
+  // Taste: how much the user likes the doc's topical blend, rescaled so a
+  // doc fully on a favourite topic scores ~1.
+  double taste = 0.0;
+  double max_affinity = 0.0;
+  for (double a : user.topic_affinity) max_affinity = std::max(max_affinity, a);
+  if (max_affinity > 0.0) {
+    for (size_t t = 0; t < doc.topic_mixture_truth.size(); ++t) {
+      taste += doc.topic_mixture_truth[t] * user.topic_affinity[t];
+    }
+    taste /= max_affinity;
+  }
+  return options_.intent_topic_weight * intent_match +
+         (1.0 - options_.intent_topic_weight) * taste;
+}
+
+double RelevanceModel::LocationScore(const SimulatedUser& user,
+                                     const QueryIntent& intent,
+                                     const corpus::Document& doc) const {
+  if (doc.primary_location_truth == geo::kInvalidLocation) {
+    return options_.locationless_doc_score;
+  }
+  if (intent.explicit_location != geo::kInvalidLocation) {
+    return ontology_->Similarity(intent.explicit_location,
+                                 doc.primary_location_truth);
+  }
+  if (intent.implicit_local) {
+    // Blend of the home/affine-place match and the user's locality taste.
+    const double affinity =
+        user.LocationAffinity(*ontology_, doc.primary_location_truth);
+    return user.locality_preference * affinity +
+           (1.0 - user.locality_preference) * 0.3;
+  }
+  // Location-free query: a document's location neither helps nor hurts
+  // much; mild preference for places the user cares about.
+  return 0.3 + 0.2 * user.LocationAffinity(*ontology_,
+                                           doc.primary_location_truth);
+}
+
+double RelevanceModel::TrueRelevance(const SimulatedUser& user,
+                                     const QueryIntent& intent,
+                                     const corpus::Document& doc) const {
+  const double w = Clamp(intent.location_intent_weight, 0.0, 1.0);
+  const double rel = (1.0 - w) * ContentScore(user, intent, doc) +
+                     w * LocationScore(user, intent, doc);
+  return Clamp(rel, 0.0, 1.0);
+}
+
+RelevanceGrade RelevanceModel::TrueGrade(const SimulatedUser& user,
+                                         const QueryIntent& intent,
+                                         const corpus::Document& doc) const {
+  const double rel = TrueRelevance(user, intent, doc);
+  if (rel >= options_.highly_relevant_cutoff) {
+    return RelevanceGrade::kHighlyRelevant;
+  }
+  if (rel >= options_.relevant_cutoff) return RelevanceGrade::kRelevant;
+  return RelevanceGrade::kIrrelevant;
+}
+
+}  // namespace pws::click

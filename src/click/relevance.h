@@ -1,0 +1,82 @@
+#ifndef PWS_CLICK_RELEVANCE_H_
+#define PWS_CLICK_RELEVANCE_H_
+
+#include "click/query_generator.h"
+#include "click/simulated_user.h"
+#include "corpus/corpus.h"
+#include "geo/location_ontology.h"
+
+namespace pws::click {
+
+/// Three-grade relevance, following the dwell-time labelling convention
+/// common to log-based personalization studies.
+enum class RelevanceGrade : int {
+  kIrrelevant = 0,
+  kRelevant = 1,
+  kHighlyRelevant = 2,
+};
+
+/// Dwell-time thresholds (in abstract time units) separating the grades.
+struct DwellGradeThresholds {
+  double relevant_min = 50.0;
+  double highly_relevant_min = 400.0;
+};
+
+/// Maps an observed interaction to a grade: no click -> irrelevant;
+/// clicked with dwell in [relevant_min, highly_relevant_min) -> relevant;
+/// longer dwell, or the session-ending click, -> highly relevant.
+RelevanceGrade GradeFromDwell(bool clicked, double dwell_units,
+                              bool last_click_in_session,
+                              const DwellGradeThresholds& thresholds);
+
+/// Ground-truth relevance weights.
+struct RelevanceModelOptions {
+  /// Weight of the intent topic vs. the user's general topical taste in
+  /// the content component.
+  double intent_topic_weight = 0.6;
+  /// Relevance floor for location-free documents on located queries
+  /// (a generic "best ski resorts" page is not useless for "ski whistler").
+  double locationless_doc_score = 0.15;
+  /// Grade cutoffs on the continuous relevance.
+  double relevant_cutoff = 0.45;
+  double highly_relevant_cutoff = 0.65;
+};
+
+/// Computes the *true* relevance of a document to (user, query intent) in
+/// [0, 1] from generative ground truth. The engine never calls this; the
+/// click simulator and evaluation harness do.
+///
+/// content = intent_topic_weight * doc-topic match on the query topic
+///         + (1 - intent_topic_weight) * user's taste for the doc's mix
+/// location = ontology similarity between the doc's city and the query's
+///            explicit city (or home/affine places for implicit-local).
+/// relevance = (1 - w) * content + w * location, w = location intent.
+class RelevanceModel {
+ public:
+  RelevanceModel(const geo::LocationOntology* ontology,
+                 RelevanceModelOptions options);
+
+  /// Continuous relevance in [0, 1].
+  double TrueRelevance(const SimulatedUser& user, const QueryIntent& intent,
+                       const corpus::Document& doc) const;
+
+  /// Continuous relevance thresholded to three grades.
+  RelevanceGrade TrueGrade(const SimulatedUser& user,
+                           const QueryIntent& intent,
+                           const corpus::Document& doc) const;
+
+  const RelevanceModelOptions& options() const { return options_; }
+
+ private:
+  double ContentScore(const SimulatedUser& user, const QueryIntent& intent,
+                      const corpus::Document& doc) const;
+  double LocationScore(const SimulatedUser& user, const QueryIntent& intent,
+                       const corpus::Document& doc) const;
+
+  const geo::LocationOntology* ontology_;
+  RelevanceModelOptions options_;
+};
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_RELEVANCE_H_

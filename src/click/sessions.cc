@@ -1,0 +1,72 @@
+#include "click/sessions.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pws::click {
+
+std::vector<Session> SegmentSessions(const ClickLog& log,
+                                     const SessionOptions& options) {
+  // Group record indices per user, stably ordered by day then log order.
+  std::map<UserId, std::vector<int>> per_user;
+  for (int i = 0; i < log.size(); ++i) {
+    per_user[log.record(i).user].push_back(i);
+  }
+  std::vector<Session> sessions;
+  for (auto& [user, indices] : per_user) {
+    std::stable_sort(indices.begin(), indices.end(), [&](int a, int b) {
+      return log.record(a).day < log.record(b).day;
+    });
+    Session current;
+    for (int index : indices) {
+      const int day = log.record(index).day;
+      if (current.record_indices.empty()) {
+        current.user = user;
+        current.first_day = day;
+        current.last_day = day;
+        current.record_indices.push_back(index);
+        continue;
+      }
+      if (static_cast<double>(day - current.last_day) >
+          options.max_gap_days) {
+        sessions.push_back(std::move(current));
+        current = Session{};
+        current.user = user;
+        current.first_day = day;
+      }
+      current.last_day = day;
+      current.record_indices.push_back(index);
+    }
+    if (!current.record_indices.empty()) {
+      sessions.push_back(std::move(current));
+    }
+  }
+  return sessions;
+}
+
+SessionStats ComputeSessionStats(const ClickLog& log,
+                                 const std::vector<Session>& sessions) {
+  SessionStats stats;
+  stats.sessions = static_cast<int>(sessions.size());
+  if (sessions.empty()) return stats;
+  double total_impressions = 0.0;
+  double total_clicks = 0.0;
+  int single_query = 0;
+  for (const auto& session : sessions) {
+    total_impressions += session.ImpressionCount();
+    std::set<std::string> queries;
+    for (int index : session.record_indices) {
+      total_clicks += log.record(index).ClickCount();
+      queries.insert(log.record(index).query_text);
+    }
+    if (queries.size() == 1) ++single_query;
+  }
+  stats.mean_impressions_per_session = total_impressions / sessions.size();
+  stats.mean_clicks_per_session = total_clicks / sessions.size();
+  stats.single_query_fraction =
+      static_cast<double>(single_query) / sessions.size();
+  return stats;
+}
+
+}  // namespace pws::click

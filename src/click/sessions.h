@@ -1,0 +1,54 @@
+#ifndef PWS_CLICK_SESSIONS_H_
+#define PWS_CLICK_SESSIONS_H_
+
+#include <vector>
+
+#include "click/click_log.h"
+
+namespace pws::click {
+
+/// A search session: a maximal run of one user's impressions with no
+/// gap exceeding the segmentation threshold. Time is measured in days
+/// (the harness logs one integer day per impression; finer-grained
+/// timestamps segment identically through the same API).
+struct Session {
+  UserId user = -1;
+  int first_day = 0;
+  int last_day = 0;
+  /// Indices into the source ClickLog's records, in time order.
+  std::vector<int> record_indices;
+
+  int ImpressionCount() const {
+    return static_cast<int>(record_indices.size());
+  }
+};
+
+/// Segmentation options.
+struct SessionOptions {
+  /// A gap strictly greater than this many days starts a new session.
+  double max_gap_days = 0.0;  // Default: one session per active day.
+};
+
+/// Splits a click log into per-user sessions by time gap — the standard
+/// log-preprocessing step for session-aware personalization pipelines.
+/// Records are processed in (user, day, log order); the relative order
+/// of a user's same-day records is preserved.
+std::vector<Session> SegmentSessions(const ClickLog& log,
+                                     const SessionOptions& options);
+
+/// Summary statistics over a segmentation (for log analyses).
+struct SessionStats {
+  int sessions = 0;
+  double mean_impressions_per_session = 0.0;
+  double mean_clicks_per_session = 0.0;
+  /// Fraction of sessions whose every click shares one query text
+  /// (single-intent sessions).
+  double single_query_fraction = 0.0;
+};
+
+SessionStats ComputeSessionStats(const ClickLog& log,
+                                 const std::vector<Session>& sessions);
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_SESSIONS_H_

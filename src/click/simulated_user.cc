@@ -1,0 +1,97 @@
+#include "click/simulated_user.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::click {
+
+double SimulatedUser::LocationAffinity(const geo::LocationOntology& ontology,
+                                       geo::LocationId location) const {
+  if (location == geo::kInvalidLocation) return 0.0;
+  double best = 0.0;
+  if (home_city != geo::kInvalidLocation) {
+    best = ontology.Similarity(home_city, location);
+  }
+  for (const auto& [place, affinity] : place_affinity) {
+    best = std::max(best, affinity * ontology.Similarity(place, location));
+  }
+  return best;
+}
+
+std::vector<SimulatedUser> GenerateUserPopulation(
+    const corpus::TopicModel& topics, const geo::LocationOntology& ontology,
+    const UserPopulationOptions& options, Random& rng) {
+  PWS_CHECK_GT(options.num_users, 0);
+  PWS_CHECK_GT(options.favourite_topics, 0);
+  PWS_CHECK_GT(options.favourite_mass, 0.0);
+  PWS_CHECK_LE(options.favourite_mass, 1.0);
+
+  const std::vector<geo::LocationId> cities =
+      ontology.CitiesUnder(ontology.root());
+  PWS_CHECK(!cities.empty());
+  std::vector<double> city_weights;
+  city_weights.reserve(cities.size());
+  // sqrt(population), matching where documents are about: users and
+  // pages cluster in the same big cities.
+  for (geo::LocationId city : cities) {
+    city_weights.push_back(std::sqrt(ontology.node(city).population + 1000.0));
+  }
+
+  const int num_topics = topics.num_topics();
+  const int favourites = std::min(options.favourite_topics, num_topics);
+
+  std::vector<SimulatedUser> users;
+  users.reserve(options.num_users);
+  for (int u = 0; u < options.num_users; ++u) {
+    SimulatedUser user;
+    user.id = u;
+
+    // Topic affinity: favourite topics share `favourite_mass`, the rest
+    // share the remainder uniformly.
+    user.topic_affinity.assign(num_topics, 0.0);
+    const std::vector<int> favs =
+        rng.SampleWithoutReplacement(num_topics, favourites);
+    for (int f : favs) {
+      user.topic_affinity[f] = options.favourite_mass / favourites;
+    }
+    const double rest_mass = 1.0 - options.favourite_mass;
+    const int rest_count = num_topics - favourites;
+    if (rest_count > 0) {
+      for (int t = 0; t < num_topics; ++t) {
+        if (user.topic_affinity[t] == 0.0) {
+          user.topic_affinity[t] = rest_mass / rest_count;
+        }
+      }
+    }
+
+    user.home_city = cities[rng.Categorical(city_weights)];
+    user.locality_preference = rng.UniformDouble(0.4, 0.95);
+
+    const bool traveller = rng.Bernoulli(options.traveller_fraction);
+    geo::LocationId travel_city = geo::kInvalidLocation;
+    if (traveller) {
+      do {
+        travel_city = cities[rng.Categorical(city_weights)];
+      } while (travel_city == user.home_city);
+      user.place_affinity.push_back({travel_city, rng.UniformDouble(0.5, 0.9)});
+    }
+
+    if (rng.Bernoulli(options.gps_fraction)) {
+      geo::GpsTraceOptions gps_options = options.gps;
+      if (traveller) {
+        gps_options.travel_city = travel_city;
+        if (gps_options.travel_day_probability <= 0.0) {
+          gps_options.travel_day_probability = 0.3;
+        }
+      }
+      user.gps_trace =
+          GenerateGpsTrace(ontology, user.home_city, gps_options, rng);
+    }
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+}  // namespace pws::click

@@ -1,0 +1,65 @@
+#ifndef PWS_CLICK_SIMULATED_USER_H_
+#define PWS_CLICK_SIMULATED_USER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/topic_model.h"
+#include "geo/gps.h"
+#include "geo/location_ontology.h"
+#include "util/random.h"
+
+namespace pws::click {
+
+/// Dense user id within a user population.
+using UserId = int32_t;
+
+/// A synthetic searcher with latent preferences — the substitute for the
+/// paper's human subjects (DESIGN.md §2). The personalization pipeline
+/// never reads these fields directly; they drive click simulation and
+/// exact evaluation only.
+struct SimulatedUser {
+  UserId id = -1;
+  /// Interest in each topic, sums to 1. Peaked on a few favourites.
+  std::vector<double> topic_affinity;
+  /// The user's home city in the gazetteer.
+  geo::LocationId home_city = geo::kInvalidLocation;
+  /// How strongly the user prefers results near home when the query has
+  /// local intent but no explicit location, in [0, 1].
+  double locality_preference = 0.5;
+  /// Cities the user cares about beyond home (e.g. travel destinations),
+  /// with affinities in [0, 1].
+  std::vector<std::pair<geo::LocationId, double>> place_affinity;
+  /// Simulated device positions (empty for desktop users).
+  geo::GpsTrace gps_trace;
+
+  /// Affinity for an arbitrary location: max over home (1.0) and
+  /// place_affinity entries of affinity * ontology-similarity.
+  double LocationAffinity(const geo::LocationOntology& ontology,
+                          geo::LocationId location) const;
+};
+
+/// Population generation knobs.
+struct UserPopulationOptions {
+  int num_users = 50;
+  /// Number of favourite topics per user (their affinity mass share).
+  int favourite_topics = 3;
+  double favourite_mass = 0.8;
+  /// Fraction of users that also have a travel destination affinity.
+  double traveller_fraction = 0.3;
+  /// Generate GPS traces for this fraction of users.
+  double gps_fraction = 0.5;
+  geo::GpsTraceOptions gps;
+};
+
+/// Generates a deterministic population of users over `topics` and
+/// `ontology`. Home cities are sampled population-weighted; travellers
+/// get a second city plus GPS travel days there.
+std::vector<SimulatedUser> GenerateUserPopulation(
+    const corpus::TopicModel& topics, const geo::LocationOntology& ontology,
+    const UserPopulationOptions& options, Random& rng);
+
+}  // namespace pws::click
+
+#endif  // PWS_CLICK_SIMULATED_USER_H_

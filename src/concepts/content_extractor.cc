@@ -1,0 +1,110 @@
+#include "concepts/content_extractor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/ngram.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace pws::concepts {
+namespace {
+
+// Tokenizes display text the way concepts are defined: lowercased,
+// stopwords removed, stemmed.
+std::vector<std::string> ConceptTokens(const std::string& raw,
+                                       int min_token_length) {
+  text::TokenizerOptions opts;
+  opts.remove_stopwords = true;
+  opts.stem = true;
+  opts.min_token_length = min_token_length;
+  return text::Tokenize(raw, opts);
+}
+
+}  // namespace
+
+ContentConceptExtractor::ContentConceptExtractor(
+    ContentExtractorOptions options)
+    : options_(options) {
+  PWS_CHECK_GT(options_.min_support, 0.0);
+  PWS_CHECK_LE(options_.min_support, 1.0);
+  PWS_CHECK_GE(options_.max_support, options_.min_support);
+  PWS_CHECK_GT(options_.max_concepts, 0);
+}
+
+std::vector<ContentConcept> ContentConceptExtractor::Extract(
+    const backend::ResultPage& page, SnippetIncidence* incidence) const {
+  std::vector<ContentConcept> concepts;
+  if (incidence != nullptr) incidence->clear();
+  if (page.results.empty()) return concepts;
+
+  // Query terms (stemmed) are never concepts of their own query.
+  std::unordered_set<std::string> query_terms;
+  for (const auto& tok : ConceptTokens(page.query, 1)) {
+    query_terms.insert(tok);
+  }
+
+  // Collect candidates per snippet.
+  const int num_snippets = static_cast<int>(page.results.size());
+  std::vector<std::unordered_set<std::string>> per_snippet(num_snippets);
+  std::unordered_map<std::string, int> snippet_counts;
+  for (int s = 0; s < num_snippets; ++s) {
+    const auto& result = page.results[s];
+    const std::vector<std::string> tokens =
+        ConceptTokens(result.title + " " + result.snippet,
+                      options_.min_token_length);
+    std::vector<std::string> candidates =
+        options_.include_bigrams ? text::ExtractUnigramsAndBigrams(tokens)
+                                 : tokens;
+    for (auto& cand : candidates) {
+      // Skip candidates containing a query term.
+      bool contains_query_term = false;
+      for (const auto& piece : text::Tokenize(cand)) {
+        if (query_terms.count(piece) > 0) {
+          contains_query_term = true;
+          break;
+        }
+      }
+      if (contains_query_term) continue;
+      if (per_snippet[s].insert(cand).second) ++snippet_counts[cand];
+    }
+  }
+
+  // Threshold by support (and drop near-universal page words).
+  for (const auto& [term, count] : snippet_counts) {
+    const double support = static_cast<double>(count) / num_snippets;
+    if (support + 1e-12 >= options_.min_support &&
+        support <= options_.max_support + 1e-12) {
+      concepts.push_back({term, support, count});
+    }
+  }
+  std::sort(concepts.begin(), concepts.end(),
+            [](const ContentConcept& a, const ContentConcept& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.term < b.term;
+            });
+  if (static_cast<int>(concepts.size()) > options_.max_concepts) {
+    concepts.resize(options_.max_concepts);
+  }
+
+  if (incidence != nullptr) {
+    std::unordered_map<std::string, int> concept_index;
+    for (size_t i = 0; i < concepts.size(); ++i) {
+      concept_index[concepts[i].term] = static_cast<int>(i);
+    }
+    incidence->resize(num_snippets);
+    for (int s = 0; s < num_snippets; ++s) {
+      auto& row = (*incidence)[s];
+      for (const auto& term : per_snippet[s]) {
+        auto it = concept_index.find(term);
+        if (it != concept_index.end()) row.push_back(it->second);
+      }
+      std::sort(row.begin(), row.end());
+    }
+  }
+  return concepts;
+}
+
+}  // namespace pws::concepts

@@ -1,0 +1,62 @@
+#ifndef PWS_CONCEPTS_CONTENT_EXTRACTOR_H_
+#define PWS_CONCEPTS_CONTENT_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "backend/search_backend.h"
+
+namespace pws::concepts {
+
+/// One content concept mined from a result page: a stemmed unigram or
+/// bigram that appears in enough snippets to characterize an aspect of
+/// the query ("booking", "ski resort", ...).
+struct ContentConcept {
+  std::string term;
+  /// Fraction of the page's snippets containing the term.
+  double support = 0.0;
+  /// Absolute snippet count.
+  int snippet_count = 0;
+};
+
+/// Extraction thresholds (the support threshold is the paper's key knob;
+/// E8 sweeps it).
+struct ContentExtractorOptions {
+  /// Keep concepts appearing in at least this fraction of snippets.
+  double min_support = 0.08;
+  /// Drop concepts appearing in more than this fraction of snippets:
+  /// near-universal page words ("best", "guide") cannot discriminate.
+  double max_support = 0.85;
+  /// Hard cap on concepts per query (highest support wins).
+  int max_concepts = 120;
+  /// Also consider bigrams as candidate concepts.
+  bool include_bigrams = true;
+  /// Minimum token length for unigram candidates.
+  int min_token_length = 3;
+};
+
+/// The per-snippet concept incidence used to build the content ontology:
+/// element s is the set of concept indices present in snippet s.
+using SnippetIncidence = std::vector<std::vector<int>>;
+
+/// Mines content concepts from the snippets (and titles) of a result
+/// page, excluding the query's own terms. This is the paper's content
+/// concept extraction step: concepts are terms that co-occur with the
+/// query in enough web-snippets.
+class ContentConceptExtractor {
+ public:
+  explicit ContentConceptExtractor(ContentExtractorOptions options);
+
+  /// Extracts concepts ordered by descending support. If `incidence` is
+  /// non-null it receives the per-snippet concept sets (aligned with the
+  /// returned concept indices) for ontology construction.
+  std::vector<ContentConcept> Extract(const backend::ResultPage& page,
+                                      SnippetIncidence* incidence) const;
+
+ private:
+  ContentExtractorOptions options_;
+};
+
+}  // namespace pws::concepts
+
+#endif  // PWS_CONCEPTS_CONTENT_EXTRACTOR_H_

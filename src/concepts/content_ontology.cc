@@ -1,0 +1,78 @@
+#include "concepts/content_ontology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::concepts {
+
+ContentOntology::ContentOntology(std::vector<ContentConcept> concepts,
+                                 const SnippetIncidence& incidence)
+    : concepts_(std::move(concepts)) {
+  const int n = size();
+  similarity_.assign(static_cast<size_t>(n) * n, 0.0);
+  if (n == 0) return;
+  std::vector<int> occurrence(n, 0);
+  std::vector<int> cooccurrence(static_cast<size_t>(n) * n, 0);
+  for (const auto& row : incidence) {
+    for (int i : row) {
+      PWS_CHECK_GE(i, 0);
+      PWS_CHECK_LT(i, n);
+      ++occurrence[i];
+      for (int j : row) {
+        if (j > i) ++cooccurrence[static_cast<size_t>(i) * n + j];
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (occurrence[i] > 0) similarity_[static_cast<size_t>(i) * n + i] = 1.0;
+    for (int j = i + 1; j < n; ++j) {
+      if (occurrence[i] == 0 || occurrence[j] == 0) continue;
+      const double sim =
+          cooccurrence[static_cast<size_t>(i) * n + j] /
+          std::sqrt(static_cast<double>(occurrence[i]) * occurrence[j]);
+      similarity_[static_cast<size_t>(i) * n + j] = sim;
+      similarity_[static_cast<size_t>(j) * n + i] = sim;
+    }
+  }
+}
+
+const ContentConcept& ContentOntology::concept_at(int index) const {
+  PWS_CHECK_GE(index, 0);
+  PWS_CHECK_LT(index, size());
+  return concepts_[index];
+}
+
+double ContentOntology::Similarity(int i, int j) const {
+  PWS_CHECK_GE(i, 0);
+  PWS_CHECK_LT(i, size());
+  PWS_CHECK_GE(j, 0);
+  PWS_CHECK_LT(j, size());
+  return similarity_[static_cast<size_t>(i) * size() + j];
+}
+
+std::vector<int> ContentOntology::Neighbors(int i,
+                                            double min_similarity) const {
+  std::vector<int> out;
+  for (int j = 0; j < size(); ++j) {
+    if (j == i) continue;
+    if (Similarity(i, j) >= min_similarity) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end(), [&](int a, int b) {
+    const double sa = Similarity(i, a);
+    const double sb = Similarity(i, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return out;
+}
+
+int ContentOntology::Find(const std::string& term) const {
+  for (int i = 0; i < size(); ++i) {
+    if (concepts_[i].term == term) return i;
+  }
+  return -1;
+}
+
+}  // namespace pws::concepts

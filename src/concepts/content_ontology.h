@@ -1,0 +1,50 @@
+#ifndef PWS_CONCEPTS_CONTENT_ONTOLOGY_H_
+#define PWS_CONCEPTS_CONTENT_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "concepts/content_extractor.h"
+
+namespace pws::concepts {
+
+/// The per-query content ontology: extracted concepts plus a similarity
+/// relation derived from snippet co-occurrence,
+///   sim(i, j) = |snippets with both| / sqrt(|with i| * |with j|),
+/// i.e. the cosine of the incidence vectors. The profile layer uses it to
+/// spread clicked-concept weight to related concepts.
+class ContentOntology {
+ public:
+  /// An empty ontology (no concepts).
+  ContentOntology() = default;
+
+  /// Builds the similarity matrix from the extractor's outputs. The
+  /// incidence rows must reference indices into `concepts`.
+  ContentOntology(std::vector<ContentConcept> concepts,
+                  const SnippetIncidence& incidence);
+
+  int size() const { return static_cast<int>(concepts_.size()); }
+  const std::vector<ContentConcept>& concepts() const { return concepts_; }
+  const ContentConcept& concept_at(int index) const;
+
+  /// Similarity in [0, 1]; Similarity(i, i) == 1 for concepts that occur
+  /// anywhere.
+  double Similarity(int i, int j) const;
+
+  /// Concepts with Similarity(i, ·) >= min_similarity, excluding i,
+  /// ordered by descending similarity.
+  std::vector<int> Neighbors(int i, double min_similarity) const;
+
+  /// Index of `term` among the concepts, or -1.
+  int Find(const std::string& term) const;
+
+ private:
+  std::vector<ContentConcept> concepts_;
+  /// Dense row-major size() x size() similarity matrix; per-query concept
+  /// counts are small (<= max_concepts), so dense storage is fine.
+  std::vector<double> similarity_;
+};
+
+}  // namespace pws::concepts
+
+#endif  // PWS_CONCEPTS_CONTENT_ONTOLOGY_H_

@@ -1,0 +1,72 @@
+#include "concepts/location_concepts.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pws::concepts {
+
+double QueryLocationConcepts::WeightOf(geo::LocationId location) const {
+  for (const auto& lc : aggregated) {
+    if (lc.location == location) return lc.weight;
+  }
+  return 0.0;
+}
+
+LocationConceptExtractor::LocationConceptExtractor(
+    const geo::LocationOntology* ontology, LocationConceptOptions options)
+    : ontology_(ontology),
+      options_(options),
+      extractor_(ontology, options.extractor) {
+  PWS_CHECK(ontology_ != nullptr);
+  PWS_CHECK_GE(options_.min_doc_count, 1);
+}
+
+QueryLocationConcepts LocationConceptExtractor::Extract(
+    const backend::ResultPage& page, const corpus::Corpus& corpus) const {
+  QueryLocationConcepts out;
+  out.per_result.resize(page.results.size());
+  std::unordered_map<geo::LocationId, int> doc_counts;
+
+  for (size_t i = 0; i < page.results.size(); ++i) {
+    const corpus::Document& doc = corpus.doc(page.results[i].doc);
+    const auto mentions = extractor_.Extract(doc.title + " " + doc.body);
+    std::unordered_set<geo::LocationId> direct;
+    for (const auto& mention : mentions) direct.insert(mention.location);
+    out.per_result[i].assign(direct.begin(), direct.end());
+    std::sort(out.per_result[i].begin(), out.per_result[i].end());
+
+    // Count each node once per document; optionally roll up to ancestors.
+    std::unordered_set<geo::LocationId> counted;
+    for (geo::LocationId loc : direct) {
+      if (options_.rollup_to_ancestors) {
+        for (geo::LocationId node : ontology_->PathToRoot(loc)) {
+          if (node == ontology_->root()) break;
+          counted.insert(node);
+        }
+      } else {
+        counted.insert(loc);
+      }
+    }
+    for (geo::LocationId node : counted) ++doc_counts[node];
+  }
+
+  const int page_size = std::max<size_t>(1, page.results.size());
+  for (const auto& [location, count] : doc_counts) {
+    if (count < options_.min_doc_count) continue;
+    LocationConcept lc;
+    lc.location = location;
+    lc.doc_count = count;
+    lc.weight = static_cast<double>(count) / page_size;
+    out.aggregated.push_back(lc);
+  }
+  std::sort(out.aggregated.begin(), out.aggregated.end(),
+            [](const LocationConcept& a, const LocationConcept& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.location < b.location;
+            });
+  return out;
+}
+
+}  // namespace pws::concepts

@@ -1,0 +1,75 @@
+#ifndef PWS_CONCEPTS_LOCATION_CONCEPTS_H_
+#define PWS_CONCEPTS_LOCATION_CONCEPTS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "backend/search_backend.h"
+#include "corpus/corpus.h"
+#include "geo/location_extractor.h"
+#include "geo/location_ontology.h"
+
+namespace pws::concepts {
+
+/// One location concept of a query: a gazetteer node with the number of
+/// result documents mentioning it (directly or through a descendant) and
+/// a normalized weight.
+struct LocationConcept {
+  geo::LocationId location = geo::kInvalidLocation;
+  /// Results whose documents mention the node or any descendant.
+  int doc_count = 0;
+  /// doc_count normalized by the page size.
+  double weight = 0.0;
+};
+
+/// Per-result location sets plus the aggregated per-query location
+/// ontology projection.
+struct QueryLocationConcepts {
+  /// For result i, the distinct city/region/country nodes mentioned in
+  /// its document (direct mentions only).
+  std::vector<std::vector<geo::LocationId>> per_result;
+  /// Aggregated concepts (direct + rolled up to ancestors), sorted by
+  /// descending weight.
+  std::vector<LocationConcept> aggregated;
+
+  /// Returns the aggregated weight of `location` (0 when absent).
+  double WeightOf(geo::LocationId location) const;
+};
+
+/// Extraction options.
+struct LocationConceptOptions {
+  geo::LocationExtractorOptions extractor;
+  /// Roll direct mentions up to ancestors (a Whistler mention also counts
+  /// toward British Columbia and Canada) — gives the ontology its
+  /// hierarchical character.
+  bool rollup_to_ancestors = true;
+  /// Nodes present in fewer than this many result docs are dropped.
+  int min_doc_count = 1;
+};
+
+/// Extracts the location concepts of a query from the bodies of its
+/// result documents — the paper's location-ontology construction step.
+/// (Snippets are often too short to carry place names, so the full
+/// document is scanned, as the paper does.)
+class LocationConceptExtractor {
+ public:
+  /// `ontology` must outlive the extractor.
+  LocationConceptExtractor(const geo::LocationOntology* ontology,
+                           LocationConceptOptions options);
+
+  /// Extracts per-result and aggregated location concepts for `page`.
+  /// `corpus` provides the document bodies.
+  QueryLocationConcepts Extract(const backend::ResultPage& page,
+                                const corpus::Corpus& corpus) const;
+
+  const geo::LocationOntology& ontology() const { return *ontology_; }
+
+ private:
+  const geo::LocationOntology* ontology_;
+  LocationConceptOptions options_;
+  geo::LocationExtractor extractor_;
+};
+
+}  // namespace pws::concepts
+
+#endif  // PWS_CONCEPTS_LOCATION_CONCEPTS_H_

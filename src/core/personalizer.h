@@ -1,0 +1,49 @@
+#ifndef PWS_CORE_PERSONALIZER_H_
+#define PWS_CORE_PERSONALIZER_H_
+
+#include <string>
+
+#include "click/click_log.h"
+#include "geo/gps.h"
+
+namespace pws::core {
+
+struct PersonalizedPage;  // Defined in pws_engine.h.
+
+/// The serve/observe/train contract every personalization method in this
+/// repository implements — the paper's engine (PwsEngine) and the
+/// comparison baselines (baselines/). The evaluation harness drives any
+/// implementation through this interface so comparisons share one
+/// protocol.
+class Personalizer {
+ public:
+  virtual ~Personalizer() = default;
+
+  /// Creates per-user state (idempotent).
+  virtual void RegisterUser(click::UserId user) = 0;
+
+  /// Supplies a device trace for mobile methods. Default: ignored.
+  virtual void AttachGpsTrace(click::UserId user,
+                              const geo::GpsTrace& trace) {
+    (void)user;
+    (void)trace;
+  }
+
+  /// Serves a (possibly re-ranked) page for (user, query).
+  virtual PersonalizedPage Serve(click::UserId user,
+                                 const std::string& query) = 0;
+
+  /// Feeds back the interactions on a page this personalizer served.
+  virtual void Observe(click::UserId user, const PersonalizedPage& page,
+                       const click::ClickRecord& record) = 0;
+
+  /// Runs whatever (re)training the method performs. Default: none.
+  virtual void TrainAllUsers() {}
+
+  /// Day-boundary bookkeeping (decay etc). Default: none.
+  virtual void AdvanceDay() {}
+};
+
+}  // namespace pws::core
+
+#endif  // PWS_CORE_PERSONALIZER_H_

@@ -1,0 +1,283 @@
+#include "core/pws_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace pws::core {
+
+backend::ResultPage PersonalizedPage::ShownPage() const {
+  backend::ResultPage shown;
+  shown.query = backend_page.query;
+  shown.results.reserve(order.size());
+  for (size_t j = 0; j < order.size(); ++j) {
+    backend::SearchResult result = backend_page.results[order[j]];
+    result.rank = static_cast<int>(j);
+    shown.results.push_back(std::move(result));
+  }
+  return shown;
+}
+
+PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
+                     const geo::LocationOntology* ontology,
+                     EngineOptions options)
+    : backend_(search_backend),
+      ontology_(ontology),
+      options_(std::move(options)),
+      content_extractor_(options_.content_extractor),
+      location_extractor_(ontology, options_.location_concepts),
+      query_location_extractor_(ontology, options_.query_location_extractor) {
+  PWS_CHECK(backend_ != nullptr);
+  PWS_CHECK(ontology_ != nullptr);
+}
+
+void PwsEngine::RegisterUser(click::UserId user) {
+  auto it = users_.find(user);
+  if (it != users_.end()) return;
+  UserState state;
+  state.profile = std::make_unique<profile::UserProfile>(user, ontology_);
+  state.model = std::make_unique<ranking::RankSvm>(ranking::kFeatureCount);
+  if (options_.query_location_match_prior != 0.0 ||
+      options_.location_affinity_prior != 0.0) {
+    std::vector<double> prior(ranking::kFeatureCount, 0.0);
+    prior[ranking::kQueryLocationMatchIndex] =
+        options_.query_location_match_prior;
+    prior[3] = options_.location_affinity_prior;  // Profile affinity.
+    prior[ranking::kGpsFeatureIndex] = options_.location_affinity_prior;
+    ranking::MaskForStrategy(prior, options_.strategy);
+    state.model->SetPrior(std::move(prior));
+  }
+  users_.emplace(user, std::move(state));
+}
+
+void PwsEngine::AttachGpsTrace(click::UserId user,
+                               const geo::GpsTrace& trace) {
+  RegisterUser(user);
+  UserState& state = users_.at(user);
+  if (trace.empty()) return;
+  profile::AugmentProfileWithGps(*ontology_, trace, options_.gps_augment,
+                                 state.profile.get());
+  state.position = trace.back().point;
+}
+
+PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) {
+  auto it = users_.find(user);
+  PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
+  return it->second;
+}
+
+const PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) const {
+  auto it = users_.find(user);
+  PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
+  return it->second;
+}
+
+int PwsEngine::InternQuery(const std::string& query) {
+  auto [it, inserted] =
+      query_ids_.emplace(query, static_cast<int>(query_ids_.size()));
+  return it->second;
+}
+
+const PwsEngine::QueryAnalysis& PwsEngine::AnalyzeQuery(
+    const std::string& query) {
+  auto it = query_cache_.find(query);
+  if (it != query_cache_.end()) return it->second;
+
+  QueryAnalysis analysis;
+  analysis.page = backend_->Search(query);
+
+  concepts::SnippetIncidence incidence;
+  analysis.content_concepts =
+      content_extractor_.Extract(analysis.page, &incidence);
+  analysis.content_ontology =
+      concepts::ContentOntology(analysis.content_concepts, incidence);
+  analysis.locations =
+      location_extractor_.Extract(analysis.page, backend_->corpus());
+
+  for (const auto& mention : query_location_extractor_.Extract(query)) {
+    analysis.query_mentioned_locations.push_back(mention.location);
+  }
+
+  // Per-result concept term lists, aligned with backend rank order.
+  const int n = static_cast<int>(analysis.page.results.size());
+  analysis.impression.content_terms_per_result.resize(n);
+  for (int s = 0; s < n && s < static_cast<int>(incidence.size()); ++s) {
+    for (int concept_index : incidence[s]) {
+      analysis.impression.content_terms_per_result[s].push_back(
+          analysis.content_concepts[concept_index].term);
+    }
+  }
+  analysis.impression.locations_per_result = analysis.locations.per_result;
+  analysis.impression.query_mentioned_locations =
+      analysis.query_mentioned_locations;
+
+  auto [inserted_it, inserted] =
+      query_cache_.emplace(query, std::move(analysis));
+  PWS_CHECK(inserted);
+  return inserted_it->second;
+}
+
+ranking::FeatureMatrix PwsEngine::ComputeFeatures(
+    const QueryAnalysis& analysis, const UserState& state) const {
+  ranking::FeatureContext context;
+  context.ontology = ontology_;
+  context.user_profile = state.profile.get();
+  context.content_terms_per_result =
+      &analysis.impression.content_terms_per_result;
+  context.query_locations = &analysis.locations;
+  context.query_mentioned_locations = analysis.query_mentioned_locations;
+  context.gps_decay_scale_km = options_.gps_decay_scale_km;
+  if (options_.strategy == ranking::Strategy::kCombinedGps) {
+    context.gps_position = state.position;
+  }
+  ranking::FeatureMatrix features =
+      ranking::ExtractFeatures(analysis.page, context);
+  ranking::MaskMatrixForStrategy(features, options_.strategy);
+  return features;
+}
+
+PersonalizedPage PwsEngine::Serve(click::UserId user,
+                                  const std::string& query) {
+  RegisterUser(user);
+  const QueryAnalysis& analysis = AnalyzeQuery(query);
+  UserState& state = users_.at(user);
+
+  PersonalizedPage page;
+  page.backend_page = analysis.page;
+  page.impression = analysis.impression;
+  page.features = ComputeFeatures(analysis, state);
+
+  ranking::RankerOptions ranker_options;
+  ranker_options.alpha = options_.alpha;
+  ranker_options.rank_prior_weight = options_.rank_prior_weight;
+  ranker_options.blend_mode = options_.blend_mode;
+  if (options_.entropy_adaptive_alpha) {
+    const int qid = InternQuery(query);
+    ranker_options.alpha = entropy_tracker_.AdaptiveLocationBlend(
+        qid, options_.min_alpha, options_.max_alpha);
+  }
+  page.alpha_used = ranker_options.alpha;
+  page.order = ranking::RankResults(*state.model, page.features,
+                                    options_.strategy, ranker_options);
+  return page;
+}
+
+void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
+                        const click::ClickRecord& record) {
+  UserState& state = StateOf(user);
+  const int n = static_cast<int>(page.order.size());
+  PWS_CHECK_EQ(static_cast<int>(record.interactions.size()), n)
+      << "record/page size mismatch";
+
+  // Re-align per-result concepts to shown order for the profile update.
+  profile::ImpressionConcepts shown;
+  shown.content_terms_per_result.resize(n);
+  shown.locations_per_result.resize(n);
+  shown.query_mentioned_locations = page.impression.query_mentioned_locations;
+  for (int j = 0; j < n; ++j) {
+    const int backend_index = page.order[j];
+    shown.content_terms_per_result[j] =
+        page.impression.content_terms_per_result[backend_index];
+    shown.locations_per_result[j] =
+        page.impression.locations_per_result[backend_index];
+  }
+
+  // Find the content ontology of this query (if still cached) for
+  // similarity spreading.
+  const concepts::ContentOntology* content_ontology = nullptr;
+  auto cache_it = query_cache_.find(page.backend_page.query);
+  if (cache_it != query_cache_.end()) {
+    content_ontology = &cache_it->second.content_ontology;
+  }
+  state.profile->ObserveImpression(record, shown, content_ontology,
+                                   options_.profile_update);
+
+  // Entropy bookkeeping over clicked results.
+  const int qid = InternQuery(page.backend_page.query);
+  for (int j = 0; j < n; ++j) {
+    if (!record.interactions[j].clicked) continue;
+    entropy_tracker_.AddClick(qid, shown.content_terms_per_result[j],
+                              shown.locations_per_result[j]);
+  }
+
+  // Preference pairs, stored symbolically (features are recomputed with
+  // the current profile at training time).
+  const auto pairs = profile::MinePreferencePairs(record, options_.pair_mining);
+  for (const auto& pair : pairs) {
+    StoredPair stored;
+    stored.query = page.backend_page.query;
+    stored.preferred_backend_index = page.order[pair.preferred_index];
+    stored.other_backend_index = page.order[pair.other_index];
+    stored.weight = pair.weight;
+    state.pairs.push_back(std::move(stored));
+  }
+  const int cap = options_.max_training_pairs_per_user;
+  if (static_cast<int>(state.pairs.size()) > cap) {
+    state.pairs.erase(state.pairs.begin(), state.pairs.end() - cap);
+  }
+}
+
+double PwsEngine::TrainUser(click::UserId user) {
+  UserState& state = StateOf(user);
+  // Refresh pair features under the current profile; one feature matrix
+  // per distinct query.
+  std::unordered_map<std::string, ranking::FeatureMatrix> fresh;
+  std::vector<ranking::TrainingPair> training_pairs;
+  training_pairs.reserve(state.pairs.size());
+  for (const StoredPair& stored : state.pairs) {
+    auto it = fresh.find(stored.query);
+    if (it == fresh.end()) {
+      const QueryAnalysis& analysis = AnalyzeQuery(stored.query);
+      it = fresh.emplace(stored.query, ComputeFeatures(analysis, state))
+               .first;
+    }
+    ranking::TrainingPair pair;
+    pair.preferred = it->second[stored.preferred_backend_index];
+    pair.other = it->second[stored.other_backend_index];
+    pair.weight = stored.weight;
+    training_pairs.push_back(std::move(pair));
+  }
+  return state.model->Train(training_pairs, options_.rank_svm);
+}
+
+void PwsEngine::TrainAllUsers() {
+  std::vector<click::UserId> ids;
+  ids.reserve(users_.size());
+  for (const auto& [user, state] : users_) ids.push_back(user);
+  for (click::UserId user : ids) TrainUser(user);
+}
+
+void PwsEngine::AdvanceDay() {
+  for (auto& [user, state] : users_) {
+    state.profile->DecayDaily(options_.profile_update);
+  }
+}
+
+const profile::UserProfile& PwsEngine::user_profile(
+    click::UserId user) const {
+  return *StateOf(user).profile;
+}
+
+const ranking::RankSvm& PwsEngine::user_model(click::UserId user) const {
+  return *StateOf(user).model;
+}
+
+int PwsEngine::training_pair_count(click::UserId user) const {
+  return static_cast<int>(StateOf(user).pairs.size());
+}
+
+void PwsEngine::ImportUserState(click::UserId user,
+                                profile::UserProfile profile,
+                                ranking::RankSvm model) {
+  PWS_CHECK_EQ(model.dimension(), ranking::kFeatureCount);
+  RegisterUser(user);
+  UserState& state = users_.at(user);
+  state.profile = std::make_unique<profile::UserProfile>(std::move(profile));
+  state.model = std::make_unique<ranking::RankSvm>(std::move(model));
+  state.pairs.clear();
+}
+
+}  // namespace pws::core

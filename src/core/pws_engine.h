@@ -1,0 +1,210 @@
+#ifndef PWS_CORE_PWS_ENGINE_H_
+#define PWS_CORE_PWS_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/search_backend.h"
+#include "click/click_log.h"
+#include "core/personalizer.h"
+#include "concepts/content_extractor.h"
+#include "concepts/content_ontology.h"
+#include "concepts/location_concepts.h"
+#include "geo/gps.h"
+#include "geo/location_extractor.h"
+#include "geo/location_ontology.h"
+#include "profile/entropy.h"
+#include "profile/gps_augment.h"
+#include "profile/preference_pairs.h"
+#include "profile/user_profile.h"
+#include "ranking/features.h"
+#include "ranking/rank_svm.h"
+#include "ranking/ranker.h"
+
+namespace pws::core {
+
+/// All engine knobs in one place; the defaults are the configuration the
+/// reconstructed experiments run with.
+struct EngineOptions {
+  ranking::Strategy strategy = ranking::Strategy::kCombined;
+  concepts::ContentExtractorOptions content_extractor;
+  concepts::LocationConceptOptions location_concepts;
+  geo::LocationExtractorOptions query_location_extractor;
+  profile::ProfileUpdateOptions profile_update;
+  profile::PairMiningOptions pair_mining;
+  profile::GpsAugmentOptions gps_augment;
+  ranking::RankSvmOptions rank_svm;
+  /// Fixed location blend weight α (see ranking::RankerOptions).
+  double alpha = 0.5;
+  /// How the two preference blocks are combined (score blend or
+  /// reciprocal-rank fusion).
+  ranking::BlendMode blend_mode = ranking::BlendMode::kScoreBlend;
+  /// Backend-order prior weight (see ranking::RankerOptions).
+  double rank_prior_weight = 1.0;
+  /// Prior on the query-location-match feature: matching a city the
+  /// query names is relevance, not personalization, so new models boost
+  /// it before any training. L2 regularizes toward this prior.
+  double query_location_match_prior = 1.0;
+  /// Prior on the profile-location-affinity and GPS-proximity features:
+  /// lets a cold model act on a GPS-seeded profile before any
+  /// clickthrough exists (the mobile cold-start story). Training refines
+  /// it.
+  double location_affinity_prior = 0.6;
+  /// Adapt α per query from click location entropy instead of fixing it.
+  bool entropy_adaptive_alpha = false;
+  double min_alpha = 0.1;
+  double max_alpha = 0.75;
+  /// GPS proximity feature distance scale.
+  double gps_decay_scale_km = 150.0;
+  /// Cap on accumulated training pairs per user (oldest dropped).
+  int max_training_pairs_per_user = 20000;
+};
+
+/// What Serve returns: the backend page plus the personalized
+/// permutation and everything Observe needs to learn from feedback.
+struct PersonalizedPage {
+  /// The untouched backend page (results in backend rank order).
+  backend::ResultPage backend_page;
+  /// Personalized permutation: shown position j holds backend index
+  /// order[j].
+  std::vector<int> order;
+  /// Feature vectors in backend order, already strategy-masked.
+  ranking::FeatureMatrix features;
+  /// Per-result concepts in backend order.
+  profile::ImpressionConcepts impression;
+  /// The α used for this page (fixed or entropy-adaptive).
+  double alpha_used = 0.5;
+
+  /// The page in shown (personalized) order, with ranks rewritten —
+  /// exactly what the user (or the click simulator) sees.
+  backend::ResultPage ShownPage() const;
+};
+
+/// The personalized web search engine with location preferences — the
+/// paper's primary contribution. It wraps a black-box search backend and
+/// runs the loop:
+///
+///   Serve:    query -> backend top-k -> content/location concept
+///             extraction -> profile-aware features -> RankSVM scores ->
+///             content/location blended re-rank.
+///   Observe:  clickthrough -> dwell grading -> profile update (with
+///             ontology spreading) -> preference-pair mining -> entropy
+///             bookkeeping.
+///   TrainUser: RankSVM SGD over the user's accumulated pairs.
+///
+/// One RankSVM and one UserProfile per user; concept extraction per query
+/// is cached (it is profile-independent).
+class PwsEngine : public Personalizer {
+ public:
+  /// `search_backend` and `ontology` must outlive the engine.
+  PwsEngine(const backend::SearchBackend* search_backend,
+            const geo::LocationOntology* ontology, EngineOptions options);
+
+  PwsEngine(const PwsEngine&) = delete;
+  PwsEngine& operator=(const PwsEngine&) = delete;
+
+  /// Creates an empty profile/model for `user` (idempotent).
+  void RegisterUser(click::UserId user) override;
+
+  /// Folds a GPS trace into the user's location profile and remembers
+  /// the last fix as the user's current position (mobile scenario).
+  void AttachGpsTrace(click::UserId user,
+                      const geo::GpsTrace& trace) override;
+
+  /// Serves a personalized page for (user, query).
+  PersonalizedPage Serve(click::UserId user,
+                         const std::string& query) override;
+
+  /// Feeds back the interactions on a page previously returned by Serve
+  /// for the same user. `record.interactions[j]` must describe shown
+  /// position j of `page`.
+  void Observe(click::UserId user, const PersonalizedPage& page,
+               const click::ClickRecord& record) override;
+
+  /// Retrains the user's RankSVM on all accumulated pairs. Returns the
+  /// final epoch's average hinge loss.
+  double TrainUser(click::UserId user);
+
+  /// Retrains every registered user.
+  void TrainAllUsers() override;
+
+  /// Applies one day's profile decay to every user.
+  void AdvanceDay() override;
+
+  const profile::UserProfile& user_profile(click::UserId user) const;
+  const ranking::RankSvm& user_model(click::UserId user) const;
+  const profile::ClickEntropyTracker& entropy_tracker() const {
+    return entropy_tracker_;
+  }
+  const EngineOptions& options() const { return options_; }
+  int registered_user_count() const {
+    return static_cast<int>(users_.size());
+  }
+  /// Pairs accumulated for a user so far.
+  int training_pair_count(click::UserId user) const;
+
+  /// Replaces a user's learned state with externally supplied profile and
+  /// model (e.g. loaded via io::LoadUserState after a restart). The
+  /// profile must be bound to the same ontology; the model dimension
+  /// must match. Accumulated training pairs are cleared.
+  void ImportUserState(click::UserId user, profile::UserProfile profile,
+                       ranking::RankSvm model);
+
+ private:
+  /// Cached, profile-independent analysis of one query's page.
+  struct QueryAnalysis {
+    backend::ResultPage page;
+    std::vector<concepts::ContentConcept> content_concepts;
+    concepts::ContentOntology content_ontology;
+    concepts::QueryLocationConcepts locations;
+    std::vector<geo::LocationId> query_mentioned_locations;
+    profile::ImpressionConcepts impression;
+  };
+
+  /// A mined preference stored symbolically (query + backend indices).
+  /// Features are recomputed against the *current* profile at training
+  /// time so train and serve see the same feature distribution (pairs
+  /// recorded while the profile was young would otherwise train the
+  /// model on all-zero profile features).
+  struct StoredPair {
+    std::string query;
+    int preferred_backend_index = -1;
+    int other_backend_index = -1;
+    double weight = 1.0;
+  };
+
+  struct UserState {
+    std::unique_ptr<profile::UserProfile> profile;
+    std::unique_ptr<ranking::RankSvm> model;
+    std::vector<StoredPair> pairs;
+    std::optional<geo::GeoPoint> position;
+  };
+
+  const QueryAnalysis& AnalyzeQuery(const std::string& query);
+
+  /// Strategy-masked feature matrix of a query's page under the user's
+  /// current profile.
+  ranking::FeatureMatrix ComputeFeatures(const QueryAnalysis& analysis,
+                                         const UserState& state) const;
+  UserState& StateOf(click::UserId user);
+  const UserState& StateOf(click::UserId user) const;
+  int InternQuery(const std::string& query);
+
+  const backend::SearchBackend* backend_;
+  const geo::LocationOntology* ontology_;
+  EngineOptions options_;
+  concepts::ContentConceptExtractor content_extractor_;
+  concepts::LocationConceptExtractor location_extractor_;
+  geo::LocationExtractor query_location_extractor_;
+  std::unordered_map<std::string, QueryAnalysis> query_cache_;
+  std::unordered_map<click::UserId, UserState> users_;
+  profile::ClickEntropyTracker entropy_tracker_;
+  std::unordered_map<std::string, int> query_ids_;
+};
+
+}  // namespace pws::core
+
+#endif  // PWS_CORE_PWS_ENGINE_H_

@@ -1,0 +1,44 @@
+#include "corpus/corpus.h"
+
+#include "util/check.h"
+
+namespace pws::corpus {
+
+void Corpus::Add(Document doc) {
+  PWS_CHECK_EQ(doc.id, size()) << "documents must be added in id order";
+  documents_.push_back(std::move(doc));
+}
+
+const Document& Corpus::doc(DocId id) const {
+  PWS_CHECK_GE(id, 0);
+  PWS_CHECK_LT(id, size());
+  return documents_[id];
+}
+
+int Corpus::CountByTopic(int topic) const {
+  int count = 0;
+  for (const auto& d : documents_) {
+    if (d.primary_topic_truth == topic) ++count;
+  }
+  return count;
+}
+
+int Corpus::CountByLocationSubtree(const geo::LocationOntology& ontology,
+                                   geo::LocationId ancestor) const {
+  int count = 0;
+  for (const auto& d : documents_) {
+    if (d.primary_location_truth == geo::kInvalidLocation) continue;
+    if (ontology.IsAncestorOf(ancestor, d.primary_location_truth)) ++count;
+  }
+  return count;
+}
+
+int Corpus::CountLocationFree() const {
+  int count = 0;
+  for (const auto& d : documents_) {
+    if (d.primary_location_truth == geo::kInvalidLocation) ++count;
+  }
+  return count;
+}
+
+}  // namespace pws::corpus

@@ -1,0 +1,41 @@
+#ifndef PWS_CORPUS_CORPUS_H_
+#define PWS_CORPUS_CORPUS_H_
+
+#include <vector>
+
+#include "corpus/document.h"
+#include "util/status.h"
+
+namespace pws::corpus {
+
+/// An in-memory document collection with ground-truth accessors. The
+/// backend indexes it; the evaluation harness reads the truth fields.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Appends a document; its id must equal the current size.
+  void Add(Document doc);
+
+  int size() const { return static_cast<int>(documents_.size()); }
+  const Document& doc(DocId id) const;
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// Number of documents whose primary topic is `topic`.
+  int CountByTopic(int topic) const;
+
+  /// Number of documents whose primary location is under `ancestor`
+  /// (inclusive) in the given ontology.
+  int CountByLocationSubtree(const geo::LocationOntology& ontology,
+                             geo::LocationId ancestor) const;
+
+  /// Documents with no planted location at all.
+  int CountLocationFree() const;
+
+ private:
+  std::vector<Document> documents_;
+};
+
+}  // namespace pws::corpus
+
+#endif  // PWS_CORPUS_CORPUS_H_

@@ -1,0 +1,131 @@
+#include "corpus/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pws::corpus {
+
+CorpusGenerator::CorpusGenerator(const TopicModel* topics,
+                                 const geo::LocationOntology* ontology,
+                                 CorpusGeneratorOptions options)
+    : topics_(topics), ontology_(ontology), options_(options) {
+  PWS_CHECK(topics_ != nullptr);
+  PWS_CHECK(ontology_ != nullptr);
+  PWS_CHECK_GT(options_.num_documents, 0);
+  PWS_CHECK_GE(options_.min_location_mentions, 1);
+  PWS_CHECK_GE(options_.max_location_mentions,
+               options_.min_location_mentions);
+  cities_ = ontology_->CitiesUnder(ontology_->root());
+  PWS_CHECK(!cities_.empty()) << "ontology has no cities";
+  city_weights_.reserve(cities_.size());
+  // sqrt(population): big cities have many more pages about them, as on
+  // the real web, without a handful of megacities dominating the corpus.
+  // The concentration gives location personalization its headroom (users
+  // cluster in the same big cities, see GenerateUserPopulation).
+  for (geo::LocationId city : cities_) {
+    city_weights_.push_back(std::sqrt(ontology_->node(city).population + 1000.0));
+  }
+}
+
+Document CorpusGenerator::GenerateDocument(DocId id, Random& rng) const {
+  Document doc;
+  doc.id = id;
+
+  // Topic mixture: one primary topic, one secondary.
+  const int num_topics = topics_->num_topics();
+  const int primary = static_cast<int>(rng.UniformUint64(num_topics));
+  int secondary = static_cast<int>(rng.UniformUint64(num_topics));
+  doc.topic_mixture_truth.assign(num_topics, 0.0);
+  if (secondary == primary) {
+    doc.topic_mixture_truth[primary] = 1.0;
+  } else {
+    doc.topic_mixture_truth[primary] = options_.primary_topic_weight;
+    doc.topic_mixture_truth[secondary] = 1.0 - options_.primary_topic_weight;
+  }
+  doc.primary_topic_truth = primary;
+
+  // Location: location-sensitive topics are about a city more often.
+  const bool topic_is_geo = topics_->topic(primary).location_sensitive;
+  const double p_loc =
+      topic_is_geo ? options_.location_doc_fraction
+                   : options_.location_doc_fraction * 0.25;
+  if (rng.Bernoulli(p_loc)) {
+    doc.primary_location_truth = cities_[rng.Categorical(city_weights_)];
+  }
+
+  // Body assembly.
+  const int length = std::max(
+      30, static_cast<int>(rng.Gaussian(options_.mean_body_tokens,
+                                        options_.mean_body_tokens / 4.0)));
+  std::vector<std::string> tokens;
+  tokens.reserve(length + 16);
+  for (int i = 0; i < length; ++i) {
+    if (rng.Bernoulli(options_.background_token_fraction)) {
+      tokens.push_back(topics_->SampleBackgroundTerm(rng));
+    } else {
+      const int topic = rng.Bernoulli(doc.topic_mixture_truth[primary])
+                            ? primary
+                            : secondary;
+      tokens.push_back(topics_->SampleTerm(topic, rng));
+    }
+  }
+
+  // Plant location mentions at random offsets.
+  auto plant = [&](geo::LocationId loc, int copies) {
+    doc.planted_locations_truth.push_back(loc);
+    const std::string& name = ontology_->node(loc).name;
+    for (int c = 0; c < copies; ++c) {
+      const size_t pos = rng.UniformUint64(tokens.size() + 1);
+      tokens.insert(tokens.begin() + pos, name);
+    }
+  };
+  if (doc.primary_location_truth != geo::kInvalidLocation) {
+    const int mentions = static_cast<int>(
+        rng.UniformInt(options_.min_location_mentions,
+                       options_.max_location_mentions));
+    plant(doc.primary_location_truth, mentions);
+    const auto& city_node = ontology_->node(doc.primary_location_truth);
+    if (rng.Bernoulli(options_.region_mention_probability)) {
+      plant(city_node.parent, 1);
+    }
+    if (rng.Bernoulli(options_.country_mention_probability)) {
+      plant(ontology_->node(city_node.parent).parent, 1);
+    }
+  }
+  if (rng.Bernoulli(options_.noise_location_probability)) {
+    plant(cities_[rng.Categorical(city_weights_)], 1);
+  }
+  doc.body = StrJoin(tokens, " ");
+
+  // Title: a couple of core terms plus the city name when located.
+  std::vector<std::string> title_tokens;
+  title_tokens.push_back(topics_->SampleCoreTerm(primary, rng));
+  title_tokens.push_back(topics_->SampleCoreTerm(primary, rng));
+  if (doc.primary_location_truth != geo::kInvalidLocation) {
+    title_tokens.push_back(ontology_->node(doc.primary_location_truth).name);
+  }
+  doc.title = StrJoin(title_tokens, " ");
+
+  // URL / domain derived from the title.
+  std::string slug;
+  for (char c : doc.title) {
+    slug.push_back(c == ' ' ? '-' : c);
+  }
+  doc.domain = "www." + topics_->topic(primary).name + "-site-" +
+               std::to_string(id % 997) + ".example";
+  doc.url = "http://" + doc.domain + "/" + slug + "/" + std::to_string(id);
+  return doc;
+}
+
+Corpus CorpusGenerator::Generate(Random& rng) const {
+  Corpus corpus;
+  for (DocId id = 0; id < options_.num_documents; ++id) {
+    corpus.Add(GenerateDocument(id, rng));
+  }
+  return corpus;
+}
+
+}  // namespace pws::corpus

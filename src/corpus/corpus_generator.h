@@ -1,0 +1,59 @@
+#ifndef PWS_CORPUS_CORPUS_GENERATOR_H_
+#define PWS_CORPUS_CORPUS_GENERATOR_H_
+
+#include "corpus/corpus.h"
+#include "corpus/topic_model.h"
+#include "geo/location_ontology.h"
+#include "util/random.h"
+
+namespace pws::corpus {
+
+/// Knobs for the synthetic web corpus (the stand-in for the paper's real
+/// web corpus; see DESIGN.md §2).
+struct CorpusGeneratorOptions {
+  int num_documents = 20000;
+  /// Mean body length in tokens (Gaussian, stddev = mean/4, floor 30).
+  int mean_body_tokens = 120;
+  /// Probability that a document is about a specific city.
+  double location_doc_fraction = 0.55;
+  /// How many times a located document mentions its city (min..max).
+  int min_location_mentions = 2;
+  int max_location_mentions = 4;
+  /// Probability of additionally mentioning the city's region / country.
+  double region_mention_probability = 0.35;
+  double country_mention_probability = 0.2;
+  /// Probability of a stray mention of an unrelated city (noise).
+  double noise_location_probability = 0.08;
+  /// Weight of the primary topic in a document's mixture.
+  double primary_topic_weight = 0.75;
+  /// Fraction of body tokens drawn from the background vocabulary.
+  double background_token_fraction = 0.25;
+};
+
+/// Generates a corpus over `topics` and `ontology`. Cities are chosen
+/// with probability proportional to log(1+population), so big cities have
+/// more documents (as on the real web). Deterministic given the RNG seed.
+class CorpusGenerator {
+ public:
+  /// `topics` and `ontology` must outlive the generator.
+  CorpusGenerator(const TopicModel* topics,
+                  const geo::LocationOntology* ontology,
+                  CorpusGeneratorOptions options);
+
+  /// Generates the full corpus.
+  Corpus Generate(Random& rng) const;
+
+  /// Generates a single document with the given id (exposed for tests).
+  Document GenerateDocument(DocId id, Random& rng) const;
+
+ private:
+  const TopicModel* topics_;
+  const geo::LocationOntology* ontology_;
+  CorpusGeneratorOptions options_;
+  std::vector<geo::LocationId> cities_;
+  std::vector<double> city_weights_;
+};
+
+}  // namespace pws::corpus
+
+#endif  // PWS_CORPUS_CORPUS_GENERATOR_H_

@@ -1,0 +1,41 @@
+#ifndef PWS_CORPUS_DOCUMENT_H_
+#define PWS_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/location_ontology.h"
+
+namespace pws::corpus {
+
+/// Dense document id within a Corpus.
+using DocId = int32_t;
+inline constexpr DocId kInvalidDoc = -1;
+
+/// One synthetic web document. The `*_truth` fields record the generative
+/// ground truth (which topic/location the document is really about); the
+/// retrieval and personalization pipeline never reads them — they exist so
+/// the evaluation harness can compute exact relevance.
+struct Document {
+  DocId id = kInvalidDoc;
+  std::string url;
+  std::string domain;
+  std::string title;
+  std::string body;
+
+  /// Ground truth: mixture over topics (sums to 1).
+  std::vector<double> topic_mixture_truth;
+  /// Ground truth: argmax of the mixture.
+  int primary_topic_truth = -1;
+  /// Ground truth: the city this document is about, or kInvalidLocation
+  /// for location-free documents.
+  geo::LocationId primary_location_truth = geo::kInvalidLocation;
+  /// Ground truth: every location planted in the body (city plus
+  /// occasional region/country mentions).
+  std::vector<geo::LocationId> planted_locations_truth;
+};
+
+}  // namespace pws::corpus
+
+#endif  // PWS_CORPUS_DOCUMENT_H_

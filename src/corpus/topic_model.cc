@@ -1,0 +1,182 @@
+#include "corpus/topic_model.h"
+
+#include <iterator>
+
+#include "util/check.h"
+
+namespace pws::corpus {
+namespace {
+
+// Curated catalogue of search verticals. Core terms are deliberately
+// plain English so example output is readable; location_sensitive marks
+// verticals whose queries usually carry a "where" aspect.
+struct CatalogueEntry {
+  const char* name;
+  bool location_sensitive;
+  std::vector<const char*> core_terms;
+};
+
+const std::vector<CatalogueEntry>& Catalogue() {
+  static const auto& entries = *new std::vector<CatalogueEntry>{
+      {"hotel", true,
+       {"hotel", "booking", "rooms", "suite", "resort", "stay", "lodge",
+        "accommodation"}},
+      {"programming", false,
+       {"programming", "compiler", "debugging", "software", "algorithm",
+        "tutorial", "framework", "library"}},
+      {"restaurant", true,
+       {"restaurant", "menu", "dinner", "cuisine", "chef", "reservation",
+        "bistro", "seafood"}},
+      {"camera", false,
+       {"camera", "lens", "photography", "aperture", "tripod", "mirrorless",
+        "sensor", "zoom"}},
+      {"museum", true,
+       {"museum", "exhibit", "gallery", "collection", "art", "history",
+        "tickets", "tour"}},
+      {"recipe", false,
+       {"recipe", "baking", "ingredients", "oven", "dough", "dessert",
+        "cooking", "sauce"}},
+      {"ski", true,
+       {"ski", "snowboard", "slopes", "lift", "powder", "alpine", "resort",
+        "trail"}},
+      {"movie", false,
+       {"movie", "film", "trailer", "director", "cast", "review", "cinema",
+        "streaming"}},
+      {"beach", true,
+       {"beach", "surf", "sand", "coast", "swimming", "snorkel", "bay",
+        "waves"}},
+      {"finance", false,
+       {"finance", "investment", "stocks", "portfolio", "dividend", "broker",
+        "savings", "etf"}},
+      {"flight", true,
+       {"flight", "airline", "airport", "fares", "departure", "nonstop",
+        "airways", "boarding"}},
+      {"fitness", false,
+       {"fitness", "workout", "gym", "yoga", "cardio", "strength", "routine",
+        "training"}},
+      {"concert", true,
+       {"concert", "tickets", "venue", "band", "festival", "stage", "live",
+        "orchestra"}},
+      {"gardening", false,
+       {"gardening", "seeds", "compost", "pruning", "perennial", "soil",
+        "greenhouse", "bloom"}},
+      {"apartment", true,
+       {"apartment", "rent", "lease", "studio", "bedroom", "landlord",
+        "listing", "tenants"}},
+      {"chess", false,
+       {"chess", "opening", "endgame", "gambit", "tactics", "grandmaster",
+        "tournament", "puzzle"}},
+      {"doctor", true,
+       {"doctor", "clinic", "appointment", "physician", "pediatric",
+        "dentist", "hospital", "specialist"}},
+      {"coffee", true,
+       {"coffee", "espresso", "cafe", "roastery", "latte", "barista", "brew",
+        "beans"}},
+      {"hiking", true,
+       {"hiking", "trail", "summit", "trek", "backpack", "wilderness",
+        "outdoor", "ridge"}},
+      {"car_rental", true,
+       {"car", "rental", "hire", "sedan", "suv", "mileage", "pickup",
+        "dropoff"}},
+      {"university", true,
+       {"university", "campus", "admission", "degree", "faculty", "tuition",
+        "college", "research"}},
+      {"football", true,
+       {"football", "match", "league", "stadium", "score", "team", "season",
+        "playoffs"}},
+      {"weather", true,
+       {"weather", "forecast", "temperature", "rain", "snow", "humidity",
+        "storm", "sunny"}},
+      {"shopping", true,
+       {"shopping", "mall", "outlet", "discount", "boutique", "store",
+        "deals", "brands"}},
+  };
+  return entries;
+}
+
+const char* const kFillerOnsets[] = {"bra", "cle", "dru", "fla", "gri", "klo",
+                                     "ple", "sna", "tru", "vle", "wra", "zem"};
+const char* const kFillerNuclei[] = {"ba", "de", "ki", "lo", "mu", "ne",
+                                     "pa", "ri", "so", "tu"};
+const char* const kFillerCodas[] = {"x", "n", "sk", "m", "th", "p", "ld", "rg"};
+
+std::string InventWord(Random& rng) {
+  std::string w = kFillerOnsets[rng.UniformUint64(std::size(kFillerOnsets))];
+  w += kFillerNuclei[rng.UniformUint64(std::size(kFillerNuclei))];
+  w += kFillerCodas[rng.UniformUint64(std::size(kFillerCodas))];
+  return w;
+}
+
+const std::vector<std::string>& BackgroundWords() {
+  static const auto& words = *new std::vector<std::string>{
+      "guide",   "best",    "top",     "review",  "online", "free",
+      "near",    "open",    "hours",   "price",   "cheap",  "official",
+      "website", "service", "local",   "popular", "new",    "find",
+      "compare", "info",    "details", "list",    "page",   "directory",
+  };
+  return words;
+}
+
+}  // namespace
+
+TopicModel TopicModel::Create(int num_topics, int filler_terms_per_topic,
+                              Random& rng) {
+  PWS_CHECK_GT(num_topics, 0);
+  PWS_CHECK_GE(filler_terms_per_topic, 0);
+  const auto& catalogue = Catalogue();
+  PWS_CHECK_LE(num_topics, static_cast<int>(catalogue.size()))
+      << "topic catalogue has only " << catalogue.size() << " verticals";
+  TopicModel model;
+  for (int t = 0; t < num_topics; ++t) {
+    TopicSpec spec;
+    spec.name = catalogue[t].name;
+    spec.location_sensitive = catalogue[t].location_sensitive;
+    for (const char* term : catalogue[t].core_terms) {
+      spec.core_terms.emplace_back(term);
+    }
+    for (int f = 0; f < filler_terms_per_topic; ++f) {
+      // Prefix with the topic index so filler vocabularies never collide
+      // across topics.
+      spec.filler_terms.push_back(spec.name.substr(0, 2) + InventWord(rng));
+    }
+    model.topics_.push_back(std::move(spec));
+  }
+  model.background_terms_ = BackgroundWords();
+  return model;
+}
+
+const TopicSpec& TopicModel::topic(int index) const {
+  PWS_CHECK_GE(index, 0);
+  PWS_CHECK_LT(index, num_topics());
+  return topics_[index];
+}
+
+const std::string& TopicModel::SampleTerm(int topic, Random& rng) const {
+  const TopicSpec& spec = this->topic(topic);
+  if (spec.filler_terms.empty() || rng.Bernoulli(core_prob_)) {
+    return spec.core_terms[rng.Zipf(
+        static_cast<int>(spec.core_terms.size()), 1.0)];
+  }
+  return spec.filler_terms[rng.Zipf(
+      static_cast<int>(spec.filler_terms.size()), 1.0)];
+}
+
+const std::string& TopicModel::SampleCoreTerm(int topic, Random& rng) const {
+  const TopicSpec& spec = this->topic(topic);
+  return spec.core_terms[rng.Zipf(static_cast<int>(spec.core_terms.size()),
+                                  1.0)];
+}
+
+const std::string& TopicModel::SampleBackgroundTerm(Random& rng) const {
+  return background_terms_[rng.Zipf(
+      static_cast<int>(background_terms_.size()), 0.8)];
+}
+
+int TopicModel::FindTopic(const std::string& name) const {
+  for (int t = 0; t < num_topics(); ++t) {
+    if (topics_[t].name == name) return t;
+  }
+  return -1;
+}
+
+}  // namespace pws::corpus

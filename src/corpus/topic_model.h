@@ -1,0 +1,62 @@
+#ifndef PWS_CORPUS_TOPIC_MODEL_H_
+#define PWS_CORPUS_TOPIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pws::corpus {
+
+/// One generative topic: a name (used to build query strings), a set of
+/// core terms that identify the topic, and filler terms that pad document
+/// bodies. Terms are sampled with Zipfian frequencies so snippet
+/// co-occurrence statistics look like real text.
+struct TopicSpec {
+  std::string name;
+  /// High-salience terms; queries and titles draw from these.
+  std::vector<std::string> core_terms;
+  /// Lower-salience topical vocabulary.
+  std::vector<std::string> filler_terms;
+  /// True when the topic is location-sensitive (hotels yes, compilers no).
+  bool location_sensitive = false;
+};
+
+/// A fixed catalogue of topics used by the corpus generator, the query
+/// generator, and the simulated users. The first `num_topics` entries of a
+/// curated catalogue of web-search verticals are used; each topic then
+/// receives `filler_terms_per_topic` invented words unique to it.
+class TopicModel {
+ public:
+  /// Builds a model with `num_topics` topics (capped at the catalogue
+  /// size, currently 24) and the given filler vocabulary per topic.
+  static TopicModel Create(int num_topics, int filler_terms_per_topic,
+                           Random& rng);
+
+  int num_topics() const { return static_cast<int>(topics_.size()); }
+  const TopicSpec& topic(int index) const;
+
+  /// Samples a term from the topic: core terms with probability
+  /// `core_prob`, Zipf-ranked within each pool.
+  const std::string& SampleTerm(int topic, Random& rng) const;
+
+  /// Samples a core term only (used for queries and titles).
+  const std::string& SampleCoreTerm(int topic, Random& rng) const;
+
+  /// Samples a background (non-topical) word shared by all topics.
+  const std::string& SampleBackgroundTerm(Random& rng) const;
+
+  /// Index of the topic with the given name, or -1.
+  int FindTopic(const std::string& name) const;
+
+ private:
+  TopicModel() = default;
+
+  std::vector<TopicSpec> topics_;
+  std::vector<std::string> background_terms_;
+  double core_prob_ = 0.45;
+};
+
+}  // namespace pws::corpus
+
+#endif  // PWS_CORPUS_TOPIC_MODEL_H_

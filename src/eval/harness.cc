@@ -1,0 +1,245 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pws::eval {
+namespace {
+
+// Mixes user/query/seed into a per-impression RNG seed so CTR draws are
+// identical across engine configurations (paired comparison).
+uint64_t MixSeed(uint64_t seed, int user, int query_id, int sample) {
+  uint64_t h = seed;
+  h ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(user) + (h << 6);
+  h ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(query_id) + (h << 6);
+  h ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(sample) + (h << 6);
+  return h;
+}
+
+}  // namespace
+
+StrategyMetrics AverageMetrics(const std::vector<StrategyMetrics>& runs) {
+  PWS_CHECK(!runs.empty());
+  StrategyMetrics mean;
+  const double n = static_cast<double>(runs.size());
+  for (const auto& run : runs) {
+    mean.avg_rank_relevant += run.avg_rank_relevant / n;
+    mean.mrr += run.mrr / n;
+    mean.ndcg10 += run.ndcg10 / n;
+    mean.mean_average_precision += run.mean_average_precision / n;
+    for (int k = 0; k < 10; ++k) {
+      mean.precision_at[k] += run.precision_at[k] / n;
+    }
+    mean.ctr_at_1 += run.ctr_at_1 / n;
+    mean.impressions += run.impressions;
+    for (int c = 0; c < 3; ++c) {
+      mean.avg_rank_by_class[c] += run.avg_rank_by_class[c] / n;
+      mean.ctr1_by_class[c] += run.ctr1_by_class[c] / n;
+      mean.impressions_by_class[c] += run.impressions_by_class[c];
+    }
+  }
+  return mean;
+}
+
+SimulationHarness::SimulationHarness(const World* world,
+                                     SimulationOptions options)
+    : world_(world), options_(options) {
+  PWS_CHECK(world_ != nullptr);
+  PWS_CHECK_GE(options_.train_days, 0);
+  PWS_CHECK_GE(options_.queries_per_user_day, 1);
+  PWS_CHECK_GE(options_.train_every_days, 1);
+  PWS_CHECK_GE(options_.test_queries_per_user, 1);
+  PWS_CHECK_GE(options_.ctr_samples_per_impression, 1);
+}
+
+std::vector<double> SimulationHarness::QueryWeightsFor(
+    const click::SimulatedUser& user) const {
+  const auto& queries = world_->queries();
+  std::vector<double> weights(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    // Users favour queries about their favourite topics, and when a query
+    // names a place, queries about places they care about (people search
+    // hotels where they live or travel, not uniformly across the globe).
+    double w = 0.2 + 3.0 * user.topic_affinity[queries[q].topic];
+    if (queries[q].explicit_location != geo::kInvalidLocation) {
+      w *= 0.15 + user.LocationAffinity(world_->ontology(),
+                                        queries[q].explicit_location);
+    }
+    weights[q] = w;
+  }
+  return weights;
+}
+
+const click::QueryIntent& SimulationHarness::SampleQuery(
+    const click::SimulatedUser& user, Random& rng) const {
+  const std::vector<double> weights = QueryWeightsFor(user);
+  return world_->queries()[rng.Categorical(weights)];
+}
+
+std::vector<const click::QueryIntent*> SimulationHarness::TestQueriesFor(
+    const click::SimulatedUser& user) const {
+  const auto& queries = world_->queries();
+  const std::vector<double> weights = QueryWeightsFor(user);
+  std::vector<int> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  const int n = std::min<int>(options_.test_queries_per_user,
+                              static_cast<int>(order.size()));
+  std::vector<const click::QueryIntent*> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(&queries[order[i]]);
+  return out;
+}
+
+StrategyMetrics SimulationHarness::RunAveraged(
+    const core::EngineOptions& engine_options, int repetitions) const {
+  PWS_CHECK_GE(repetitions, 1);
+  std::vector<StrategyMetrics> runs;
+  runs.reserve(repetitions);
+  SimulationHarness copy(world_, options_);
+  for (int r = 0; r < repetitions; ++r) {
+    copy.options_.seed = options_.seed + static_cast<uint64_t>(r);
+    runs.push_back(copy.Run(engine_options));
+  }
+  return AverageMetrics(runs);
+}
+
+StrategyMetrics SimulationHarness::Run(
+    const core::EngineOptions& engine_options) const {
+  return Run(engine_options, nullptr);
+}
+
+StrategyMetrics SimulationHarness::Run(
+    const core::EngineOptions& engine_options,
+    std::vector<ImpressionOutcome>* outcomes) const {
+  PersonalizerFactory factory = [this, &engine_options]() {
+    return std::make_unique<core::PwsEngine>(&world_->search_backend(),
+                                             &world_->ontology(),
+                                             engine_options);
+  };
+  const bool attach_gps =
+      engine_options.strategy == ranking::Strategy::kCombinedGps;
+  return RunPersonalizer(factory, attach_gps, outcomes);
+}
+
+StrategyMetrics SimulationHarness::RunPersonalizer(
+    const PersonalizerFactory& factory, bool attach_gps_traces,
+    std::vector<ImpressionOutcome>* outcomes) const {
+  std::unique_ptr<core::Personalizer> personalizer = factory();
+  PWS_CHECK(personalizer != nullptr);
+  if (outcomes != nullptr) outcomes->clear();
+  for (const auto& user : world_->users()) {
+    personalizer->RegisterUser(user.id);
+    if (attach_gps_traces && !user.gps_trace.empty()) {
+      personalizer->AttachGpsTrace(user.id, user.gps_trace);
+    }
+  }
+
+  Random rng(options_.seed);
+
+  // --- Training phase: serve, click, observe, periodically retrain. ---
+  for (int day = 0; day < options_.train_days; ++day) {
+    for (const auto& user : world_->users()) {
+      for (int q = 0; q < options_.queries_per_user_day; ++q) {
+        const click::QueryIntent& intent = SampleQuery(user, rng);
+        core::PersonalizedPage page =
+            personalizer->Serve(user.id, intent.text);
+        const backend::ResultPage shown = page.ShownPage();
+        const click::ClickRecord record = world_->click_model().Simulate(
+            user, intent, shown, world_->corpus(), day, rng);
+        if (rng.Bernoulli(options_.training_fraction)) {
+          personalizer->Observe(user.id, page, record);
+        }
+      }
+    }
+    personalizer->AdvanceDay();
+    if ((day + 1) % options_.train_every_days == 0) {
+      personalizer->TrainAllUsers();
+    }
+  }
+  personalizer->TrainAllUsers();
+
+  // --- Test phase: frozen models, deterministic per-user query sets. ---
+  StrategyMetrics metrics;
+  MeanAccumulator avg_rank;
+  MeanAccumulator mrr;
+  MeanAccumulator ndcg;
+  MeanAccumulator average_precision;
+  std::array<MeanAccumulator, 10> precision;
+  MeanAccumulator ctr1;
+  std::array<MeanAccumulator, 3> class_rank;
+  std::array<MeanAccumulator, 3> class_ctr1;
+
+  for (const auto& user : world_->users()) {
+    for (const click::QueryIntent* intent : TestQueriesFor(user)) {
+      core::PersonalizedPage page =
+          personalizer->Serve(user.id, intent->text);
+      const backend::ResultPage shown = page.ShownPage();
+
+      GradeList grades;
+      grades.reserve(shown.results.size());
+      for (const auto& result : shown.results) {
+        grades.push_back(world_->relevance().TrueGrade(
+            user, *intent, world_->corpus().doc(result.doc)));
+      }
+      const int cls = static_cast<int>(intent->query_class);
+      const auto rank = AverageRankOfRelevant(grades);
+      avg_rank.AddOptional(rank);
+      class_rank[cls].AddOptional(rank);
+      const double rr = ReciprocalRank(grades);
+      const double page_ndcg = NdcgAtK(grades, 10);
+      mrr.Add(rr);
+      ndcg.Add(page_ndcg);
+      average_precision.Add(AveragePrecision(grades));
+      for (int k = 1; k <= 10; ++k) {
+        precision[k - 1].Add(PrecisionAtK(grades, k));
+      }
+      if (outcomes != nullptr) {
+        ImpressionOutcome outcome;
+        outcome.user = user.id;
+        outcome.query_id = intent->id;
+        outcome.query_class = cls;
+        outcome.reciprocal_rank = rr;
+        outcome.ndcg10 = page_ndcg;
+        outcome.avg_rank_relevant = rank;
+        outcomes->push_back(outcome);
+      }
+
+      // CTR@1 from paired click simulations (models stay frozen).
+      for (int s = 0; s < options_.ctr_samples_per_impression; ++s) {
+        Random ctr_rng(MixSeed(options_.seed, user.id, intent->id, s));
+        const click::ClickRecord record = world_->click_model().Simulate(
+            user, *intent, shown, world_->corpus(), options_.train_days,
+            ctr_rng);
+        const double clicked_top =
+            (!record.interactions.empty() && record.interactions[0].clicked)
+                ? 1.0
+                : 0.0;
+        ctr1.Add(clicked_top);
+        class_ctr1[cls].Add(clicked_top);
+      }
+      ++metrics.impressions;
+      ++metrics.impressions_by_class[cls];
+    }
+  }
+
+  metrics.avg_rank_relevant = avg_rank.Mean();
+  metrics.mrr = mrr.Mean();
+  metrics.ndcg10 = ndcg.Mean();
+  metrics.mean_average_precision = average_precision.Mean();
+  for (int k = 0; k < 10; ++k) {
+    metrics.precision_at[k] = precision[k].Mean();
+  }
+  metrics.ctr_at_1 = ctr1.Mean();
+  for (int c = 0; c < 3; ++c) {
+    metrics.avg_rank_by_class[c] = class_rank[c].Mean();
+    metrics.ctr1_by_class[c] = class_ctr1[c].Mean();
+  }
+  return metrics;
+}
+
+}  // namespace pws::eval

@@ -1,0 +1,130 @@
+#ifndef PWS_EVAL_HARNESS_H_
+#define PWS_EVAL_HARNESS_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/personalizer.h"
+#include "core/pws_engine.h"
+#include "eval/metrics.h"
+#include "eval/world.h"
+
+namespace pws::eval {
+
+/// Train/test protocol knobs.
+struct SimulationOptions {
+  uint64_t seed = 7;
+  /// Days of clickthrough collection (with periodic retraining).
+  int train_days = 12;
+  /// Queries each user issues per day.
+  int queries_per_user_day = 6;
+  /// Retrain every N training days (and once more at the end).
+  int train_every_days = 2;
+  /// Fraction of training impressions actually observed (E3 sweeps this;
+  /// the rest are served but not learned from).
+  double training_fraction = 1.0;
+  /// Frozen-model evaluation: each user is tested on their personal
+  /// top-N most likely queries (deterministic, identical across engine
+  /// configurations, so comparisons are paired).
+  int test_queries_per_user = 30;
+  /// Click simulations per test impression for the CTR estimate, each
+  /// seeded by (user, query) so CTR draws are paired across
+  /// configurations too.
+  int ctr_samples_per_impression = 5;
+};
+
+/// Aggregated test-day metrics for one engine configuration.
+struct StrategyMetrics {
+  double avg_rank_relevant = 0.0;
+  double mrr = 0.0;
+  double ndcg10 = 0.0;
+  double mean_average_precision = 0.0;
+  /// precision_at[k-1] = P@k for k = 1..10.
+  std::array<double, 10> precision_at{};
+  /// Simulated click-through rate at the top position.
+  double ctr_at_1 = 0.0;
+  int impressions = 0;
+  /// Breakdown by query class (indexed by QueryClass).
+  std::array<double, 3> avg_rank_by_class{};
+  std::array<double, 3> ctr1_by_class{};
+  std::array<int, 3> impressions_by_class{};
+};
+
+/// Element-wise mean of several runs' metrics (for seed-averaged
+/// experiment tables). The list must be non-empty.
+StrategyMetrics AverageMetrics(const std::vector<StrategyMetrics>& runs);
+
+/// Per-test-impression outcome, for paired significance analysis. The
+/// test protocol is deterministic, so two configurations evaluated on
+/// the same World+SimulationOptions produce outcome lists aligned
+/// index-by-index.
+struct ImpressionOutcome {
+  click::UserId user = -1;
+  int query_id = -1;
+  int query_class = 0;
+  double reciprocal_rank = 0.0;
+  double ndcg10 = 0.0;
+  /// Absent when the page had no relevant result.
+  std::optional<double> avg_rank_relevant;
+};
+
+/// Builds a fresh personalizer for one simulation run.
+using PersonalizerFactory =
+    std::function<std::unique_ptr<core::Personalizer>()>;
+
+/// Drives the full protocol of the reconstructed evaluation against a
+/// shared World: simulate `train_days` of personalized serving and
+/// clicking (online profile updates + periodic RankSVM retraining), then
+/// freeze and measure on `test_days`. Deterministic given the seeds; the
+/// same World + SimulationOptions give paired comparisons across engine
+/// configurations.
+class SimulationHarness {
+ public:
+  /// `world` must outlive the harness.
+  SimulationHarness(const World* world, SimulationOptions options);
+
+  /// Runs one engine configuration through the protocol.
+  StrategyMetrics Run(const core::EngineOptions& engine_options) const;
+
+  /// Same, also filling `outcomes` (one entry per test impression).
+  StrategyMetrics Run(const core::EngineOptions& engine_options,
+                      std::vector<ImpressionOutcome>* outcomes) const;
+
+  /// Runs an arbitrary personalizer (PwsEngine or a baseline) through
+  /// the identical protocol. When `attach_gps_traces` is set, user GPS
+  /// traces are handed to the personalizer before training.
+  StrategyMetrics RunPersonalizer(
+      const PersonalizerFactory& factory, bool attach_gps_traces,
+      std::vector<ImpressionOutcome>* outcomes) const;
+
+  /// Runs `repetitions` times with sim seeds seed, seed+1, ... and
+  /// averages (training trajectories differ per seed; the test protocol
+  /// is already paired).
+  StrategyMetrics RunAveraged(const core::EngineOptions& engine_options,
+                              int repetitions) const;
+
+  const SimulationOptions& options() const { return options_; }
+
+  /// The deterministic per-user test set: the user's top-N queries by
+  /// issue probability (favourite topics, affine places).
+  std::vector<const click::QueryIntent*> TestQueriesFor(
+      const click::SimulatedUser& user) const;
+
+  /// Issue-probability weights of every pool query for `user`.
+  std::vector<double> QueryWeightsFor(const click::SimulatedUser& user) const;
+
+  /// Samples the query a user issues (favourite-topic biased).
+  const click::QueryIntent& SampleQuery(const click::SimulatedUser& user,
+                                        Random& rng) const;
+
+ private:
+  const World* world_;
+  SimulationOptions options_;
+};
+
+}  // namespace pws::eval
+
+#endif  // PWS_EVAL_HARNESS_H_

@@ -1,0 +1,107 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::eval {
+namespace {
+
+bool IsRelevant(click::RelevanceGrade grade) {
+  return static_cast<int>(grade) >= 1;
+}
+
+double Gain(click::RelevanceGrade grade) {
+  return std::pow(2.0, static_cast<double>(grade)) - 1.0;
+}
+
+}  // namespace
+
+std::optional<double> AverageRankOfRelevant(const GradeList& grades) {
+  double sum = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (IsRelevant(grades[i])) {
+      sum += static_cast<double>(i + 1);
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / count;
+}
+
+double PrecisionAtK(const GradeList& grades, int k) {
+  PWS_CHECK_GE(k, 1);
+  int hits = 0;
+  for (int i = 0; i < k && i < static_cast<int>(grades.size()); ++i) {
+    if (IsRelevant(grades[i])) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+double RecallAtK(const GradeList& grades, int k) {
+  PWS_CHECK_GE(k, 1);
+  int total = 0;
+  int hits = 0;
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (!IsRelevant(grades[i])) continue;
+    ++total;
+    if (static_cast<int>(i) < k) ++hits;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hits) / total;
+}
+
+double ReciprocalRank(const GradeList& grades) {
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (IsRelevant(grades[i])) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double NdcgAtK(const GradeList& grades, int k) {
+  PWS_CHECK_GE(k, 1);
+  double dcg = 0.0;
+  for (int i = 0; i < k && i < static_cast<int>(grades.size()); ++i) {
+    dcg += Gain(grades[i]) / std::log2(static_cast<double>(i + 2));
+  }
+  GradeList ideal = grades;
+  std::sort(ideal.begin(), ideal.end(),
+            [](click::RelevanceGrade a, click::RelevanceGrade b) {
+              return static_cast<int>(a) > static_cast<int>(b);
+            });
+  double idcg = 0.0;
+  for (int i = 0; i < k && i < static_cast<int>(ideal.size()); ++i) {
+    idcg += Gain(ideal[i]) / std::log2(static_cast<double>(i + 2));
+  }
+  if (idcg == 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+double AveragePrecision(const GradeList& grades) {
+  int relevant = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < grades.size(); ++i) {
+    if (!IsRelevant(grades[i])) continue;
+    ++relevant;
+    sum += static_cast<double>(relevant) / static_cast<double>(i + 1);
+  }
+  if (relevant == 0) return 0.0;
+  return sum / relevant;
+}
+
+void MeanAccumulator::Add(double value) {
+  sum_ += value;
+  ++count_;
+}
+
+void MeanAccumulator::AddOptional(const std::optional<double>& value) {
+  if (value.has_value()) Add(*value);
+}
+
+double MeanAccumulator::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / count_;
+}
+
+}  // namespace pws::eval

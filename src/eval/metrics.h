@@ -1,0 +1,55 @@
+#ifndef PWS_EVAL_METRICS_H_
+#define PWS_EVAL_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "click/relevance.h"
+
+namespace pws::eval {
+
+/// The graded relevance of one shown page, top to bottom.
+using GradeList = std::vector<click::RelevanceGrade>;
+
+/// Mean 1-based rank of results graded >= kRelevant; nullopt when the
+/// page has none (the paper's headline metric — lower is better).
+std::optional<double> AverageRankOfRelevant(const GradeList& grades);
+
+/// Fraction of the top-k graded >= kRelevant. k must be >= 1; positions
+/// past the end count as irrelevant.
+double PrecisionAtK(const GradeList& grades, int k);
+
+/// Fraction of the page's relevant results that appear in the top-k.
+/// Returns 0 when the page has no relevant result.
+double RecallAtK(const GradeList& grades, int k);
+
+/// Reciprocal of the 1-based rank of the first result graded >=
+/// kRelevant; 0 when none.
+double ReciprocalRank(const GradeList& grades);
+
+/// NDCG@k with gains 2^grade - 1 and log2(rank+1) discounts, normalized
+/// by the ideal ordering of the same grade multiset. Pages with all-zero
+/// grades score 0.
+double NdcgAtK(const GradeList& grades, int k);
+
+/// Average precision: mean of P@k over the positions k holding relevant
+/// results, normalized by the number of relevant results. 0 when none.
+double AveragePrecision(const GradeList& grades);
+
+/// Streaming mean over optionally-missing per-page values.
+class MeanAccumulator {
+ public:
+  void Add(double value);
+  void AddOptional(const std::optional<double>& value);
+  int count() const { return count_; }
+  /// Mean of added values; 0 when empty.
+  double Mean() const;
+
+ private:
+  double sum_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace pws::eval
+
+#endif  // PWS_EVAL_METRICS_H_

@@ -1,0 +1,62 @@
+#include "eval/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::eval {
+
+PairedComparison ComparePaired(const std::vector<ImpressionOutcome>& a,
+                               const std::vector<ImpressionOutcome>& b,
+                               const MetricExtractor& extractor) {
+  PWS_CHECK_EQ(a.size(), b.size()) << "outcome lists must align";
+  PairedComparison result;
+  result.n = static_cast<int>(a.size());
+  if (result.n == 0) return result;
+
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double sum_delta = 0.0;
+  double sum_delta_sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    PWS_CHECK_EQ(a[i].user, b[i].user) << "outcome lists must align";
+    PWS_CHECK_EQ(a[i].query_id, b[i].query_id) << "outcome lists must align";
+    const double va = extractor(a[i]);
+    const double vb = extractor(b[i]);
+    const double delta = va - vb;
+    sum_a += va;
+    sum_b += vb;
+    sum_delta += delta;
+    sum_delta_sq += delta * delta;
+    if (delta > 1e-12) {
+      ++result.wins;
+    } else if (delta < -1e-12) {
+      ++result.losses;
+    } else {
+      ++result.ties;
+    }
+  }
+  result.mean_a = sum_a / result.n;
+  result.mean_b = sum_b / result.n;
+  result.mean_delta = sum_delta / result.n;
+  if (result.n > 1) {
+    const double variance =
+        (sum_delta_sq - result.n * result.mean_delta * result.mean_delta) /
+        (result.n - 1);
+    result.stddev_delta = std::sqrt(std::max(0.0, variance));
+    if (result.stddev_delta > 1e-12) {
+      result.t_statistic = result.mean_delta /
+                           (result.stddev_delta / std::sqrt(
+                                static_cast<double>(result.n)));
+    }
+  }
+  return result;
+}
+
+double ReciprocalRankOf(const ImpressionOutcome& outcome) {
+  return outcome.reciprocal_rank;
+}
+
+double NdcgOf(const ImpressionOutcome& outcome) { return outcome.ndcg10; }
+
+}  // namespace pws::eval

@@ -1,0 +1,45 @@
+#ifndef PWS_EVAL_STATS_H_
+#define PWS_EVAL_STATS_H_
+
+#include <functional>
+#include <vector>
+
+#include "eval/harness.h"
+
+namespace pws::eval {
+
+/// Result of a paired comparison of two configurations over the same
+/// deterministic test impressions.
+struct PairedComparison {
+  int n = 0;              // Paired observations.
+  double mean_a = 0.0;    // Mean metric of configuration A.
+  double mean_b = 0.0;    // Mean metric of configuration B.
+  double mean_delta = 0.0;  // mean(A - B).
+  double stddev_delta = 0.0;
+  /// Paired t statistic mean_delta / (stddev_delta / sqrt(n)); 0 when
+  /// the deltas are constant-zero. |t| > ~2 is significant at p < 0.05
+  /// for the sample sizes used here.
+  double t_statistic = 0.0;
+  int wins = 0;    // A strictly better.
+  int losses = 0;  // B strictly better.
+  int ties = 0;
+};
+
+/// Extracts the metric being compared from one impression outcome.
+using MetricExtractor = std::function<double(const ImpressionOutcome&)>;
+
+/// Pairs two outcome lists by (user, query) — both must come from the
+/// same World + SimulationOptions so the test sets align — and computes
+/// the paired statistics of extractor(A) - extractor(B). Aborts if the
+/// lists do not align.
+PairedComparison ComparePaired(const std::vector<ImpressionOutcome>& a,
+                               const std::vector<ImpressionOutcome>& b,
+                               const MetricExtractor& extractor);
+
+/// Convenience extractors.
+double ReciprocalRankOf(const ImpressionOutcome& outcome);
+double NdcgOf(const ImpressionOutcome& outcome);
+
+}  // namespace pws::eval
+
+#endif  // PWS_EVAL_STATS_H_

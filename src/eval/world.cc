@@ -1,0 +1,48 @@
+#include "eval/world.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace pws::eval {
+
+World::World(const WorldConfig& config) : config_(config) {
+  WallTimer timer;
+  Random rng(config.seed);
+
+  topics_ = std::make_unique<corpus::TopicModel>(corpus::TopicModel::Create(
+      config.num_topics, config.filler_terms_per_topic, rng));
+  ontology_ =
+      std::make_unique<geo::LocationOntology>(geo::BuildWorldGazetteer());
+
+  corpus::CorpusGenerator generator(topics_.get(), ontology_.get(),
+                                    config.corpus);
+  corpus_ = std::make_unique<corpus::Corpus>(generator.Generate(rng));
+  backend_ = std::make_unique<backend::SearchBackend>(corpus_.get(),
+                                                      config.backend);
+
+  users_ = click::GenerateUserPopulation(*topics_, *ontology_, config.users,
+                                         rng);
+  queries_ =
+      click::GenerateQueryPool(*topics_, *ontology_, config.queries, rng);
+
+  relevance_ = std::make_unique<click::RelevanceModel>(ontology_.get(),
+                                                       config.relevance);
+  click_model_ = std::make_unique<click::CascadeClickModel>(relevance_.get(),
+                                                            config.clicks);
+  PWS_LOG(kInfo) << "world built: " << corpus_->size() << " docs, "
+                 << users_.size() << " users, " << queries_.size()
+                 << " queries, " << ontology_->size()
+                 << " gazetteer nodes in " << timer.ElapsedSeconds() << "s";
+}
+
+std::vector<const click::QueryIntent*> World::QueriesOfClass(
+    click::QueryClass query_class) const {
+  std::vector<const click::QueryIntent*> out;
+  for (const auto& q : queries_) {
+    if (q.query_class == query_class) out.push_back(&q);
+  }
+  return out;
+}
+
+}  // namespace pws::eval

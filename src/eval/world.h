@@ -1,0 +1,74 @@
+#ifndef PWS_EVAL_WORLD_H_
+#define PWS_EVAL_WORLD_H_
+
+#include <memory>
+#include <vector>
+
+#include "backend/search_backend.h"
+#include "click/click_model.h"
+#include "click/query_generator.h"
+#include "click/relevance.h"
+#include "click/simulated_user.h"
+#include "corpus/corpus.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/topic_model.h"
+#include "geo/gazetteer.h"
+#include "geo/location_ontology.h"
+
+namespace pws::eval {
+
+/// Everything that defines one experimental universe. All strategies in
+/// an experiment share one World so comparisons are paired.
+struct WorldConfig {
+  uint64_t seed = 42;
+  int num_topics = 16;
+  int filler_terms_per_topic = 40;
+  corpus::CorpusGeneratorOptions corpus;
+  click::UserPopulationOptions users;
+  click::QueryPoolOptions queries;
+  click::RelevanceModelOptions relevance;
+  click::ClickModelOptions clicks;
+  backend::SearchBackendOptions backend;
+};
+
+/// The built universe: topic catalogue, gazetteer, corpus, indexed
+/// backend, user population, query pool, and the ground-truth relevance
+/// and click models. Build once (indexing dominates), then run many
+/// engine configurations against it.
+class World {
+ public:
+  /// Builds the world deterministically from `config`.
+  explicit World(const WorldConfig& config);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const WorldConfig& config() const { return config_; }
+  const corpus::TopicModel& topics() const { return *topics_; }
+  const geo::LocationOntology& ontology() const { return *ontology_; }
+  const corpus::Corpus& corpus() const { return *corpus_; }
+  const backend::SearchBackend& search_backend() const { return *backend_; }
+  const std::vector<click::SimulatedUser>& users() const { return users_; }
+  const std::vector<click::QueryIntent>& queries() const { return queries_; }
+  const click::RelevanceModel& relevance() const { return *relevance_; }
+  const click::CascadeClickModel& click_model() const { return *click_model_; }
+
+  /// Queries of one class (pointers into queries()).
+  std::vector<const click::QueryIntent*> QueriesOfClass(
+      click::QueryClass query_class) const;
+
+ private:
+  WorldConfig config_;
+  std::unique_ptr<corpus::TopicModel> topics_;
+  std::unique_ptr<geo::LocationOntology> ontology_;
+  std::unique_ptr<corpus::Corpus> corpus_;
+  std::unique_ptr<backend::SearchBackend> backend_;
+  std::vector<click::SimulatedUser> users_;
+  std::vector<click::QueryIntent> queries_;
+  std::unique_ptr<click::RelevanceModel> relevance_;
+  std::unique_ptr<click::CascadeClickModel> click_model_;
+};
+
+}  // namespace pws::eval
+
+#endif  // PWS_EVAL_WORLD_H_

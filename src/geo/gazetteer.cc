@@ -1,0 +1,354 @@
+#include "geo/gazetteer.h"
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pws::geo {
+namespace {
+
+// Compact spec rows for the embedded gazetteer. Populations are in
+// thousands and approximate; they only serve as disambiguation priors.
+struct CitySpec {
+  const char* name;
+  double lat;
+  double lon;
+  double pop_thousands;
+};
+
+struct RegionSpec {
+  const char* name;
+  double lat;
+  double lon;
+  std::vector<CitySpec> cities;
+};
+
+struct CountrySpec {
+  const char* name;
+  double lat;
+  double lon;
+  std::vector<RegionSpec> regions;
+};
+
+const std::vector<CountrySpec>& WorldSpec() {
+  static const auto& spec = *new std::vector<CountrySpec>{
+      {"united states", 39.8, -98.6, {
+        {"new york state", 43.0, -75.0, {
+          {"new york", 40.71, -74.01, 8400},
+          {"buffalo", 42.89, -78.88, 278},
+          {"albany", 42.65, -73.75, 99},
+        }},
+        {"california", 36.8, -119.4, {
+          {"los angeles", 34.05, -118.24, 3900},
+          {"san francisco", 37.77, -122.42, 870},
+          {"san diego", 32.72, -117.16, 1400},
+          {"sacramento", 38.58, -121.49, 525},
+        }},
+        {"texas", 31.0, -99.0, {
+          {"houston", 29.76, -95.37, 2300},
+          {"austin", 30.27, -97.74, 965},
+          {"dallas", 32.78, -96.80, 1300},
+          {"paris", 33.66, -95.56, 25},  // Paris, Texas
+        }},
+        {"oregon", 43.8, -120.6, {
+          {"portland", 45.52, -122.68, 650},
+          {"eugene", 44.05, -123.09, 172},
+        }},
+        {"maine", 45.3, -69.2, {
+          {"portland", 43.66, -70.26, 68},  // Portland, Maine
+          {"bangor", 44.80, -68.77, 32},
+        }},
+        {"massachusetts", 42.4, -71.4, {
+          {"boston", 42.36, -71.06, 690},
+          {"cambridge", 42.37, -71.11, 118},  // Cambridge, MA
+          {"springfield", 42.10, -72.59, 155},
+        }},
+        {"illinois", 40.0, -89.0, {
+          {"chicago", 41.88, -87.63, 2700},
+          {"springfield", 39.80, -89.64, 114},  // Springfield, IL
+        }},
+        {"washington state", 47.4, -120.7, {
+          {"seattle", 47.61, -122.33, 750},
+          {"vancouver", 45.64, -122.66, 190},  // Vancouver, WA
+          {"spokane", 47.66, -117.43, 229},
+        }},
+      }},
+      {"canada", 56.1, -106.3, {
+        {"british columbia", 53.7, -127.6, {
+          {"vancouver", 49.28, -123.12, 675},  // Vancouver, BC
+          {"victoria", 48.43, -123.37, 92},
+          {"whistler", 50.12, -122.95, 12},
+        }},
+        {"ontario", 51.3, -85.3, {
+          {"toronto", 43.65, -79.38, 2900},
+          {"ottawa", 45.42, -75.70, 1000},
+          {"london", 42.98, -81.25, 404},  // London, Ontario
+        }},
+        {"quebec", 52.9, -73.5, {
+          {"montreal", 45.50, -73.57, 1780},
+          {"quebec city", 46.81, -71.21, 540},
+        }},
+      }},
+      {"united kingdom", 55.4, -3.4, {
+        {"england", 52.4, -1.5, {
+          {"london", 51.51, -0.13, 8900},
+          {"manchester", 53.48, -2.24, 550},
+          {"cambridge", 52.21, 0.12, 125},  // Cambridge, UK
+          {"birmingham", 52.49, -1.89, 1140},
+        }},
+        {"scotland", 56.5, -4.2, {
+          {"edinburgh", 55.95, -3.19, 525},
+          {"glasgow", 55.86, -4.25, 635},
+        }},
+        {"wales", 52.1, -3.8, {
+          {"cardiff", 51.48, -3.18, 365},
+          {"swansea", 51.62, -3.94, 246},
+        }},
+      }},
+      {"france", 46.2, 2.2, {
+        {"ile de france", 48.8, 2.5, {
+          {"paris", 48.86, 2.35, 2140},  // Paris, France
+          {"versailles", 48.80, 2.13, 85},
+        }},
+        {"provence", 43.9, 6.0, {
+          {"marseille", 43.30, 5.37, 870},
+          {"nice", 43.71, 7.26, 342},
+          {"avignon", 43.95, 4.81, 92},
+        }},
+        {"rhone alpes", 45.4, 4.8, {
+          {"lyon", 45.76, 4.84, 515},
+          {"grenoble", 45.19, 5.72, 158},
+          {"chamonix", 45.92, 6.87, 9},
+        }},
+      }},
+      {"germany", 51.2, 10.5, {
+        {"bavaria", 48.8, 11.4, {
+          {"munich", 48.14, 11.58, 1470},
+          {"nuremberg", 49.45, 11.08, 515},
+        }},
+        {"berlin region", 52.5, 13.4, {
+          {"berlin", 52.52, 13.40, 3640},
+          {"potsdam", 52.39, 13.06, 180},
+        }},
+        {"hesse", 50.6, 9.0, {
+          {"frankfurt", 50.11, 8.68, 750},
+          {"wiesbaden", 50.08, 8.24, 278},
+        }},
+      }},
+      {"italy", 41.9, 12.6, {
+        {"lazio", 41.9, 12.7, {
+          {"rome", 41.90, 12.50, 2870},
+        }},
+        {"tuscany", 43.4, 11.0, {
+          {"florence", 43.77, 11.26, 380},
+          {"pisa", 43.72, 10.40, 90},
+          {"siena", 43.32, 11.33, 54},
+        }},
+        {"veneto", 45.6, 11.8, {
+          {"venice", 45.44, 12.32, 260},
+          {"verona", 45.44, 10.99, 258},
+        }},
+      }},
+      {"spain", 40.5, -3.7, {
+        {"madrid region", 40.4, -3.7, {
+          {"madrid", 40.42, -3.70, 3220},
+        }},
+        {"catalonia", 41.8, 1.5, {
+          {"barcelona", 41.39, 2.17, 1620},
+          {"girona", 41.98, 2.82, 100},
+        }},
+        {"andalusia", 37.5, -4.7, {
+          {"seville", 37.39, -5.99, 690},
+          {"granada", 37.18, -3.60, 232},
+          {"malaga", 36.72, -4.42, 575},
+        }},
+      }},
+      {"japan", 36.2, 138.3, {
+        {"kanto", 35.9, 139.8, {
+          {"tokyo", 35.68, 139.69, 13960},
+          {"yokohama", 35.44, 139.64, 3750},
+        }},
+        {"kansai", 34.9, 135.6, {
+          {"osaka", 34.69, 135.50, 2750},
+          {"kyoto", 35.01, 135.77, 1460},
+          {"nara", 34.69, 135.80, 355},
+        }},
+        {"hokkaido", 43.2, 142.8, {
+          {"sapporo", 43.06, 141.35, 1970},
+          {"hakodate", 41.77, 140.73, 250},
+        }},
+      }},
+      {"australia", -25.3, 133.8, {
+        {"new south wales", -32.0, 147.0, {
+          {"sydney", -33.87, 151.21, 5300},
+          {"newcastle", -32.93, 151.78, 322},
+        }},
+        {"victoria state", -36.9, 144.3, {
+          {"melbourne", -37.81, 144.96, 5080},
+          {"geelong", -38.15, 144.36, 253},
+        }},
+        {"queensland", -22.6, 144.6, {
+          {"brisbane", -27.47, 153.03, 2560},
+          {"cairns", -16.92, 145.77, 153},
+        }},
+      }},
+      {"china", 35.9, 104.2, {
+        {"beijing region", 39.9, 116.4, {
+          {"beijing", 39.90, 116.41, 21540},
+        }},
+        {"guangdong", 23.4, 113.4, {
+          {"guangzhou", 23.13, 113.26, 14900},
+          {"shenzhen", 22.54, 114.06, 12530},
+        }},
+        {"shanghai region", 31.2, 121.5, {
+          {"shanghai", 31.23, 121.47, 24280},
+        }},
+      }},
+      {"india", 20.6, 79.0, {
+        {"maharashtra", 19.8, 75.7, {
+          {"mumbai", 19.08, 72.88, 12440},
+          {"pune", 18.52, 73.86, 3120},
+        }},
+        {"karnataka", 15.3, 75.7, {
+          {"bangalore", 12.97, 77.59, 8440},
+          {"mysore", 12.30, 76.64, 920},
+        }},
+        {"delhi region", 28.7, 77.1, {
+          {"delhi", 28.70, 77.10, 11030},
+        }},
+      }},
+      {"brazil", -14.2, -51.9, {
+        {"sao paulo state", -22.0, -48.0, {
+          {"sao paulo", -23.55, -46.63, 12330},
+          {"campinas", -22.91, -47.06, 1200},
+        }},
+        {"rio de janeiro state", -22.2, -42.7, {
+          {"rio de janeiro", -22.91, -43.17, 6750},
+          {"niteroi", -22.88, -43.10, 515},
+        }},
+      }},
+      {"mexico", 23.6, -102.5, {
+        {"mexico city region", 19.4, -99.1, {
+          {"mexico city", 19.43, -99.13, 9200},
+        }},
+        {"jalisco", 20.7, -103.3, {
+          {"guadalajara", 20.66, -103.35, 1460},
+          {"puerto vallarta", 20.65, -105.23, 225},
+        }},
+      }},
+      {"south africa", -30.6, 22.9, {
+        {"western cape", -33.2, 20.5, {
+          {"cape town", -33.92, 18.42, 4620},
+          {"stellenbosch", -33.93, 18.86, 156},
+        }},
+        {"gauteng", -26.3, 28.2, {
+          {"johannesburg", -26.20, 28.05, 5640},
+          {"pretoria", -25.75, 28.19, 2470},
+        }},
+      }},
+  };
+  return spec;
+}
+
+// Syllables used to assemble synthetic place names.
+const char* const kOnsets[] = {"ba", "ke", "li", "mo", "nu",  "pra", "sto",
+                               "tri", "vel", "zor", "qua", "fen", "gos", "hy"};
+const char* const kCodas[] = {"ton", "ville", "berg", "mar",  "dale", "port",
+                              "field", "stad", "mire", "holm", "gate", "ford"};
+
+std::string SyntheticName(Random& rng, const char* suffix) {
+  const int n_onsets = static_cast<int>(std::size(kOnsets));
+  const int n_codas = static_cast<int>(std::size(kCodas));
+  std::string name = kOnsets[rng.UniformUint64(n_onsets)];
+  name += kOnsets[rng.UniformUint64(n_onsets)];
+  name += kCodas[rng.UniformUint64(n_codas)];
+  if (suffix[0] != '\0') {
+    name += ' ';
+    name += suffix;
+  }
+  return name;
+}
+
+}  // namespace
+
+LocationOntology BuildWorldGazetteer() {
+  LocationOntology ontology;
+  for (const auto& country : WorldSpec()) {
+    const LocationId country_id =
+        ontology.AddNode(country.name, LocationLevel::kCountry,
+                         ontology.root(), {country.lat, country.lon}, 0.0);
+    for (const auto& region : country.regions) {
+      const LocationId region_id =
+          ontology.AddNode(region.name, LocationLevel::kRegion, country_id,
+                           {region.lat, region.lon}, 0.0);
+      for (const auto& city : region.cities) {
+        ontology.AddNode(city.name, LocationLevel::kCity, region_id,
+                         {city.lat, city.lon}, city.pop_thousands * 1000.0);
+      }
+    }
+  }
+  // Common aliases exercised by the extractor tests and examples.
+  auto alias = [&](const char* name, const char* alias_name) {
+    const auto ids = ontology.Lookup(name);
+    PWS_CHECK(!ids.empty()) << "alias target missing: " << name;
+    // Attach to the most populous match.
+    LocationId best = ids[0];
+    for (LocationId id : ids) {
+      if (ontology.node(id).population > ontology.node(best).population) {
+        best = id;
+      }
+    }
+    ontology.AddAlias(best, alias_name);
+  };
+  alias("new york", "nyc");
+  alias("new york", "new york city");
+  alias("san francisco", "sf");
+  alias("los angeles", "la");
+  alias("united kingdom", "uk");
+  alias("united states", "usa");
+  alias("united states", "america");
+  return ontology;
+}
+
+LocationOntology BuildSyntheticGazetteer(
+    const SyntheticGazetteerOptions& options, Random& rng) {
+  PWS_CHECK_GT(options.num_countries, 0);
+  PWS_CHECK_GT(options.regions_per_country, 0);
+  PWS_CHECK_GT(options.cities_per_region, 0);
+  LocationOntology ontology;
+  std::vector<std::string> city_names;
+  for (int c = 0; c < options.num_countries; ++c) {
+    const GeoPoint country_center{rng.UniformDouble(-60.0, 70.0),
+                                  rng.UniformDouble(-180.0, 180.0)};
+    const LocationId country_id =
+        ontology.AddNode(SyntheticName(rng, "land"), LocationLevel::kCountry,
+                         ontology.root(), country_center, 0.0);
+    for (int r = 0; r < options.regions_per_country; ++r) {
+      const GeoPoint region_center{
+          country_center.lat + rng.Gaussian(0.0, 3.0),
+          country_center.lon + rng.Gaussian(0.0, 3.0)};
+      const LocationId region_id = ontology.AddNode(
+          SyntheticName(rng, "province"), LocationLevel::kRegion, country_id,
+          region_center, 0.0);
+      for (int k = 0; k < options.cities_per_region; ++k) {
+        std::string name;
+        if (!city_names.empty() &&
+            rng.Bernoulli(options.duplicate_name_fraction)) {
+          name = city_names[rng.UniformUint64(city_names.size())];
+        } else {
+          name = SyntheticName(rng, "");
+        }
+        city_names.push_back(name);
+        const GeoPoint city{region_center.lat + rng.Gaussian(0.0, 0.8),
+                            region_center.lon + rng.Gaussian(0.0, 0.8)};
+        ontology.AddNode(name, LocationLevel::kCity, region_id, city,
+                         rng.UniformDouble(10e3, 5e6));
+      }
+    }
+  }
+  return ontology;
+}
+
+}  // namespace pws::geo

@@ -1,0 +1,34 @@
+#ifndef PWS_GEO_GAZETTEER_H_
+#define PWS_GEO_GAZETTEER_H_
+
+#include "geo/location_ontology.h"
+#include "util/random.h"
+
+namespace pws::geo {
+
+/// Builds the compiled-in world gazetteer: ~14 countries, ~30 regions and
+/// ~100 cities with approximate real coordinates and populations. The set
+/// deliberately contains ambiguous names (Portland OR/ME, Paris FR/TX,
+/// Cambridge UK/MA, Springfield IL/MA, Vancouver CA/US) to exercise the
+/// extractor's disambiguation, plus common aliases (nyc, uk, sf, la).
+LocationOntology BuildWorldGazetteer();
+
+/// Parameters for the synthetic gazetteer used in scale tests.
+struct SyntheticGazetteerOptions {
+  int num_countries = 10;
+  int regions_per_country = 4;
+  int cities_per_region = 8;
+  /// Fraction of cities that reuse an earlier city's name, creating
+  /// ambiguity on purpose.
+  double duplicate_name_fraction = 0.05;
+};
+
+/// Generates a gazetteer with pronounceable invented names and coherent
+/// geography (cities cluster near their region's centre; regions cluster
+/// within their country). Deterministic given `rng`'s seed.
+LocationOntology BuildSyntheticGazetteer(const SyntheticGazetteerOptions& options,
+                                         Random& rng);
+
+}  // namespace pws::geo
+
+#endif  // PWS_GEO_GAZETTEER_H_

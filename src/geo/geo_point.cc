@@ -1,0 +1,30 @@
+#include "geo/geo_point.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::geo {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, s)));
+}
+
+double DistanceDecay(double distance_km, double scale_km) {
+  PWS_CHECK_GT(scale_km, 0.0);
+  if (distance_km < 0.0) distance_km = 0.0;
+  return std::exp(-distance_km / scale_km);
+}
+
+}  // namespace pws::geo

@@ -1,0 +1,22 @@
+#ifndef PWS_GEO_GEO_POINT_H_
+#define PWS_GEO_GEO_POINT_H_
+
+namespace pws::geo {
+
+/// A WGS-84 coordinate pair in decimal degrees.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance between two points in kilometres (haversine,
+/// spherical Earth with R = 6371 km — accurate to ~0.5%).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// Exponential distance decay exp(-distance_km / scale_km), used to turn
+/// physical proximity into a [0, 1] affinity. scale_km must be > 0.
+double DistanceDecay(double distance_km, double scale_km);
+
+}  // namespace pws::geo
+
+#endif  // PWS_GEO_GEO_POINT_H_

@@ -1,0 +1,65 @@
+#include "geo/gps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace pws::geo {
+namespace {
+
+// ~111 km per degree of latitude; longitude shrinks with cos(lat) but the
+// traces are local enough that a flat approximation suffices.
+constexpr double kKmPerDegree = 111.0;
+
+GeoPoint JitterAround(const GeoPoint& center, double radius_km, Random& rng) {
+  const double r = radius_km * rng.UniformDouble();
+  const double theta = rng.UniformDouble(0.0, 2.0 * M_PI);
+  return {center.lat + (r / kKmPerDegree) * std::sin(theta),
+          center.lon + (r / kKmPerDegree) * std::cos(theta)};
+}
+
+}  // namespace
+
+GpsTrace GenerateGpsTrace(const LocationOntology& ontology,
+                          LocationId home_city, const GpsTraceOptions& options,
+                          Random& rng) {
+  PWS_CHECK_GE(home_city, 0);
+  PWS_CHECK_GT(options.fixes_per_day, 0);
+  PWS_CHECK_GE(options.num_days, 0);
+  const GeoPoint home = ontology.node(home_city).coords;
+  GpsTrace trace;
+  trace.reserve(static_cast<size_t>(options.fixes_per_day) * options.num_days);
+  for (int day = 0; day < options.num_days; ++day) {
+    const bool travelling = options.travel_city != kInvalidLocation &&
+                            rng.Bernoulli(options.travel_day_probability);
+    const GeoPoint anchor =
+        travelling ? ontology.node(options.travel_city).coords : home;
+    for (int f = 0; f < options.fixes_per_day; ++f) {
+      GpsPoint fix;
+      fix.time_days =
+          day + (f + rng.UniformDouble()) / options.fixes_per_day;
+      fix.point = JitterAround(anchor, options.local_radius_km, rng);
+      trace.push_back(fix);
+    }
+  }
+  return trace;
+}
+
+std::vector<std::pair<LocationId, int>> CityVisitCounts(
+    const LocationOntology& ontology, const GpsTrace& trace) {
+  std::unordered_map<LocationId, int> counts;
+  for (const auto& fix : trace) {
+    const LocationId city = ontology.NearestCity(fix.point);
+    if (city != kInvalidLocation) ++counts[city];
+  }
+  std::vector<std::pair<LocationId, int>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace pws::geo

@@ -1,0 +1,51 @@
+#ifndef PWS_GEO_GPS_H_
+#define PWS_GEO_GPS_H_
+
+#include <vector>
+
+#include "geo/geo_point.h"
+#include "geo/location_ontology.h"
+#include "util/random.h"
+
+namespace pws::geo {
+
+/// One GPS fix: a position with a timestamp in fractional days since the
+/// start of the simulation.
+struct GpsPoint {
+  double time_days = 0.0;
+  GeoPoint point;
+};
+
+/// A time-ordered sequence of fixes for one user/device.
+using GpsTrace = std::vector<GpsPoint>;
+
+/// Parameters of the synthetic trace generator (substitute for the
+/// paper's mobile-device GPS logs; see DESIGN.md §2).
+struct GpsTraceOptions {
+  /// Fixes per simulated day.
+  int fixes_per_day = 8;
+  /// Number of days covered.
+  int num_days = 14;
+  /// Jitter around the anchor city, in km (commute radius).
+  double local_radius_km = 8.0;
+  /// Probability that a given day is spent travelling at `travel_city`.
+  double travel_day_probability = 0.0;
+  /// City visited on travel days (kInvalidLocation disables travel).
+  LocationId travel_city = kInvalidLocation;
+};
+
+/// Generates a trace anchored at `home_city`: on normal days fixes jitter
+/// within `local_radius_km` of home; on travel days they jitter around
+/// `travel_city`. Deterministic given the RNG seed.
+GpsTrace GenerateGpsTrace(const LocationOntology& ontology,
+                          LocationId home_city, const GpsTraceOptions& options,
+                          Random& rng);
+
+/// Histogram of a trace over cities: for every fix, the nearest city gets
+/// one count. Returns (city id, count) pairs sorted by descending count.
+std::vector<std::pair<LocationId, int>> CityVisitCounts(
+    const LocationOntology& ontology, const GpsTrace& trace);
+
+}  // namespace pws::geo
+
+#endif  // PWS_GEO_GPS_H_

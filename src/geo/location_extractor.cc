@@ -1,0 +1,140 @@
+#include "geo/location_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pws::geo {
+
+LocationExtractor::LocationExtractor(const LocationOntology* ontology,
+                                     LocationExtractorOptions options)
+    : ontology_(ontology), options_(options) {
+  PWS_CHECK(ontology_ != nullptr);
+}
+
+double LocationExtractor::ScoreCandidate(
+    LocationId candidate, const std::vector<LocationId>& context) const {
+  double score =
+      options_.population_weight *
+      std::log1p(ontology_->node(candidate).population / 1000.0);
+  if (!context.empty()) {
+    double agreement = 0.0;
+    for (LocationId other : context) {
+      if (other == candidate) continue;
+      agreement = std::max(agreement, ontology_->Similarity(candidate, other));
+    }
+    score += options_.context_weight * agreement;
+  }
+  return score;
+}
+
+std::vector<LocationMention> LocationExtractor::Extract(
+    std::string_view raw_text) const {
+  return ExtractFromTokens(text::Tokenize(raw_text));
+}
+
+std::vector<LocationMention> LocationExtractor::ExtractFromTokens(
+    const std::vector<std::string>& tokens) const {
+  struct RawMatch {
+    int offset;
+    int length;
+    std::string surface;
+    std::vector<LocationId> candidates;
+  };
+  std::vector<RawMatch> matches;
+  const int max_tokens = ontology_->max_name_tokens();
+  int i = 0;
+  const int n = static_cast<int>(tokens.size());
+  // Greedy longest-match scan.
+  while (i < n) {
+    int matched_len = 0;
+    std::vector<LocationId> matched_ids;
+    std::string matched_surface;
+    std::string window;
+    for (int len = 1; len <= max_tokens && i + len <= n; ++len) {
+      if (len == 1) {
+        window = tokens[i];
+      } else {
+        window += ' ';
+        window += tokens[i + len - 1];
+      }
+      auto ids = ontology_->Lookup(window);
+      if (!ids.empty()) {
+        matched_len = len;
+        matched_ids = std::move(ids);
+        matched_surface = window;
+      }
+    }
+    if (matched_len > 0) {
+      // The world root is never a useful mention.
+      std::vector<LocationId> filtered;
+      for (LocationId id : matched_ids) {
+        if (id != ontology_->root()) filtered.push_back(id);
+      }
+      if (!filtered.empty()) {
+        matches.push_back(
+            {i, matched_len, std::move(matched_surface), std::move(filtered)});
+      }
+      i += matched_len;
+    } else {
+      ++i;
+    }
+  }
+
+  // Pass 1: resolve left to right, using what is already resolved as
+  // context.
+  std::vector<LocationId> resolved(matches.size(), kInvalidLocation);
+  std::vector<LocationId> context;
+  for (size_t m = 0; m < matches.size(); ++m) {
+    LocationId best = matches[m].candidates[0];
+    double best_score = ScoreCandidate(best, context);
+    for (size_t c = 1; c < matches[m].candidates.size(); ++c) {
+      const double score = ScoreCandidate(matches[m].candidates[c], context);
+      if (score > best_score) {
+        best_score = score;
+        best = matches[m].candidates[c];
+      }
+    }
+    resolved[m] = best;
+    context.push_back(best);
+  }
+
+  // Pass 2: re-resolve each mention against the full context (helps the
+  // first mention, which had no context in pass 1).
+  if (options_.second_pass) {
+    for (size_t m = 0; m < matches.size(); ++m) {
+      std::vector<LocationId> others;
+      others.reserve(resolved.size() - 1);
+      for (size_t o = 0; o < resolved.size(); ++o) {
+        if (o != m) others.push_back(resolved[o]);
+      }
+      LocationId best = matches[m].candidates[0];
+      double best_score = ScoreCandidate(best, others);
+      for (size_t c = 1; c < matches[m].candidates.size(); ++c) {
+        const double score = ScoreCandidate(matches[m].candidates[c], others);
+        if (score > best_score) {
+          best_score = score;
+          best = matches[m].candidates[c];
+        }
+      }
+      resolved[m] = best;
+    }
+  }
+
+  std::vector<LocationMention> mentions;
+  mentions.reserve(matches.size());
+  for (size_t m = 0; m < matches.size(); ++m) {
+    LocationMention mention;
+    mention.location = resolved[m];
+    mention.token_offset = matches[m].offset;
+    mention.token_length = matches[m].length;
+    mention.surface = matches[m].surface;
+    mentions.push_back(std::move(mention));
+  }
+  return mentions;
+}
+
+}  // namespace pws::geo

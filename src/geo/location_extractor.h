@@ -1,0 +1,69 @@
+#ifndef PWS_GEO_LOCATION_EXTRACTOR_H_
+#define PWS_GEO_LOCATION_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/location_ontology.h"
+
+namespace pws::geo {
+
+/// One resolved place mention in a text.
+struct LocationMention {
+  LocationId location = kInvalidLocation;
+  /// Token offset of the mention start in the tokenized input.
+  int token_offset = 0;
+  /// Mention length in tokens (multi-word names span several tokens).
+  int token_length = 1;
+  /// The surface form that matched (normalized).
+  std::string surface;
+};
+
+/// Extractor configuration.
+struct LocationExtractorOptions {
+  /// Weight of the population prior (log scale) in candidate scoring.
+  double population_weight = 0.5;
+  /// Weight of context agreement (ontology similarity to other mentions
+  /// already found in the same text). Must dominate the population prior
+  /// when context is strong: "dallas ... paris" should pick Paris, Texas
+  /// even though Paris, France is far bigger.
+  double context_weight = 6.0;
+  /// Two disambiguation passes: the second pass re-scores every mention
+  /// against the full mention context discovered in the first pass.
+  bool second_pass = true;
+};
+
+/// Finds gazetteer mentions in text by greedy longest-match over the token
+/// stream and resolves ambiguous names (two Portlands, two Cambridges...)
+/// with a population prior plus context agreement: candidates close in the
+/// ontology to the other places mentioned in the same text win.
+///
+/// This stands in for the paper's location-concept extraction step that
+/// scans result documents against the predefined location ontology.
+class LocationExtractor {
+ public:
+  /// `ontology` must outlive the extractor.
+  LocationExtractor(const LocationOntology* ontology,
+                    LocationExtractorOptions options);
+
+  /// Extracts mentions from raw text (tokenized internally with stopwords
+  /// kept, so "isle of skye"-style names survive).
+  std::vector<LocationMention> Extract(std::string_view raw_text) const;
+
+  /// Extracts from a pre-tokenized, lowercased token stream.
+  std::vector<LocationMention> ExtractFromTokens(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  /// Scores one candidate given already-chosen context locations.
+  double ScoreCandidate(LocationId candidate,
+                        const std::vector<LocationId>& context) const;
+
+  const LocationOntology* ontology_;
+  LocationExtractorOptions options_;
+};
+
+}  // namespace pws::geo
+
+#endif  // PWS_GEO_LOCATION_EXTRACTOR_H_

@@ -1,0 +1,187 @@
+#include "geo/location_ontology.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pws::geo {
+
+const char* LocationLevelToString(LocationLevel level) {
+  switch (level) {
+    case LocationLevel::kWorld:
+      return "world";
+    case LocationLevel::kCountry:
+      return "country";
+    case LocationLevel::kRegion:
+      return "region";
+    case LocationLevel::kCity:
+      return "city";
+  }
+  return "unknown";
+}
+
+LocationOntology::LocationOntology() {
+  LocationNode world;
+  world.id = 0;
+  world.name = "world";
+  world.level = LocationLevel::kWorld;
+  world.parent = kInvalidLocation;
+  nodes_.push_back(std::move(world));
+  IndexName("world", 0);
+}
+
+std::string LocationOntology::NormalizeName(std::string_view name) {
+  return StrJoin(text::Tokenize(name), " ");
+}
+
+void LocationOntology::IndexName(const std::string& normalized,
+                                 LocationId id) {
+  PWS_CHECK(!normalized.empty());
+  name_index_[normalized].push_back(id);
+  const int tokens =
+      1 + static_cast<int>(std::count(normalized.begin(), normalized.end(), ' '));
+  max_name_tokens_ = std::max(max_name_tokens_, tokens);
+}
+
+LocationId LocationOntology::AddNode(std::string_view name,
+                                     LocationLevel level, LocationId parent,
+                                     GeoPoint coords, double population) {
+  PWS_CHECK_GE(parent, 0);
+  PWS_CHECK_LT(parent, size());
+  PWS_CHECK(static_cast<int>(level) == static_cast<int>(nodes_[parent].level) + 1)
+      << "node level must be exactly one below its parent ("
+      << LocationLevelToString(level) << " under "
+      << LocationLevelToString(nodes_[parent].level) << ")";
+  LocationNode node;
+  node.id = static_cast<LocationId>(nodes_.size());
+  node.name = NormalizeName(name);
+  node.level = level;
+  node.parent = parent;
+  node.coords = coords;
+  node.population = population;
+  nodes_[parent].children.push_back(node.id);
+  IndexName(node.name, node.id);
+  nodes_.push_back(std::move(node));
+  return static_cast<LocationId>(nodes_.size()) - 1;
+}
+
+void LocationOntology::AddAlias(LocationId id, std::string_view alias) {
+  PWS_CHECK_GE(id, 0);
+  PWS_CHECK_LT(id, size());
+  IndexName(NormalizeName(alias), id);
+}
+
+const LocationNode& LocationOntology::node(LocationId id) const {
+  PWS_CHECK_GE(id, 0);
+  PWS_CHECK_LT(id, size());
+  return nodes_[id];
+}
+
+std::vector<LocationId> LocationOntology::Lookup(std::string_view name) const {
+  auto it = name_index_.find(NormalizeName(name));
+  if (it == name_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::pair<std::string, LocationId>> LocationOntology::AllNames()
+    const {
+  std::vector<std::pair<std::string, LocationId>> out;
+  for (const auto& [name, ids] : name_index_) {
+    for (LocationId id : ids) out.push_back({name, id});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int LocationOntology::Depth(LocationId id) const {
+  int depth = 0;
+  for (LocationId cur = id; node(cur).parent != kInvalidLocation;
+       cur = node(cur).parent) {
+    ++depth;
+  }
+  return depth;
+}
+
+bool LocationOntology::IsAncestorOf(LocationId ancestor, LocationId id) const {
+  PWS_CHECK_GE(ancestor, 0);
+  for (LocationId cur = id; cur != kInvalidLocation; cur = node(cur).parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+LocationId LocationOntology::LowestCommonAncestor(LocationId a,
+                                                  LocationId b) const {
+  int da = Depth(a);
+  int db = Depth(b);
+  while (da > db) {
+    a = node(a).parent;
+    --da;
+  }
+  while (db > da) {
+    b = node(b).parent;
+    --db;
+  }
+  while (a != b) {
+    a = node(a).parent;
+    b = node(b).parent;
+  }
+  return a;
+}
+
+double LocationOntology::Similarity(LocationId a, LocationId b) const {
+  const int da = Depth(a);
+  const int db = Depth(b);
+  if (da + db == 0) return 1.0;  // both are the world root
+  const int dlca = Depth(LowestCommonAncestor(a, b));
+  return 2.0 * dlca / (da + db);
+}
+
+std::vector<LocationId> LocationOntology::PathToRoot(LocationId id) const {
+  std::vector<LocationId> path;
+  for (LocationId cur = id; cur != kInvalidLocation; cur = node(cur).parent) {
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<LocationId> LocationOntology::CitiesUnder(LocationId id) const {
+  std::vector<LocationId> cities;
+  std::vector<LocationId> stack = {id};
+  while (!stack.empty()) {
+    const LocationId cur = stack.back();
+    stack.pop_back();
+    if (node(cur).level == LocationLevel::kCity) cities.push_back(cur);
+    for (LocationId child : node(cur).children) stack.push_back(child);
+  }
+  std::sort(cities.begin(), cities.end());
+  return cities;
+}
+
+std::vector<LocationId> LocationOntology::NodesAtLevel(
+    LocationLevel level) const {
+  std::vector<LocationId> out;
+  for (const auto& n : nodes_) {
+    if (n.level == level) out.push_back(n.id);
+  }
+  return out;
+}
+
+LocationId LocationOntology::NearestCity(const GeoPoint& point) const {
+  LocationId best = kInvalidLocation;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& n : nodes_) {
+    if (n.level != LocationLevel::kCity) continue;
+    const double km = HaversineKm(point, n.coords);
+    if (km < best_km) {
+      best_km = km;
+      best = n.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace pws::geo

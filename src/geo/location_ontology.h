@@ -1,0 +1,116 @@
+#ifndef PWS_GEO_LOCATION_ONTOLOGY_H_
+#define PWS_GEO_LOCATION_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace pws::geo {
+
+/// Dense node id within a LocationOntology; -1 means "no location".
+using LocationId = int32_t;
+inline constexpr LocationId kInvalidLocation = -1;
+
+/// Hierarchy levels, root to leaf.
+enum class LocationLevel : int {
+  kWorld = 0,
+  kCountry = 1,
+  kRegion = 2,
+  kCity = 3,
+};
+
+const char* LocationLevelToString(LocationLevel level);
+
+/// One gazetteer entry: a named place with a position in the hierarchy,
+/// coordinates, and a population prior used for disambiguation.
+struct LocationNode {
+  LocationId id = kInvalidLocation;
+  std::string name;  // Normalized: lowercase, single spaces.
+  LocationLevel level = LocationLevel::kWorld;
+  LocationId parent = kInvalidLocation;
+  std::vector<LocationId> children;
+  GeoPoint coords;
+  double population = 0.0;
+};
+
+/// The hierarchical gazetteer: world → country → region → city, with
+/// name/alias lookup, ancestor queries, and an ontology similarity used
+/// for location preference matching. This is the "predefined location
+/// ontology" of the paper; see gazetteer.h for the curated instance.
+///
+/// Node 0 is always the world root. Names need not be unique — Lookup
+/// returns every node carrying the name (e.g. the two Portlands), and the
+/// LocationExtractor disambiguates.
+class LocationOntology {
+ public:
+  /// Creates an ontology containing only the world root (node 0).
+  LocationOntology();
+
+  /// Adds a node under `parent` (must exist). `name` is normalized
+  /// internally. Returns the new node's id.
+  LocationId AddNode(std::string_view name, LocationLevel level,
+                     LocationId parent, GeoPoint coords, double population);
+
+  /// Registers an extra lookup name for an existing node (e.g. "nyc").
+  void AddAlias(LocationId id, std::string_view alias);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  LocationId root() const { return 0; }
+  const LocationNode& node(LocationId id) const;
+
+  /// All nodes whose name or alias matches `name` (normalized first).
+  /// Returns an empty vector for unknown names.
+  std::vector<LocationId> Lookup(std::string_view name) const;
+
+  /// Every registered (name, node) pair — primary names and aliases —
+  /// sorted by name then id. Lets persistence round-trip aliases.
+  std::vector<std::pair<std::string, LocationId>> AllNames() const;
+
+  /// Longest registered name/alias, in tokens (bounds extractor windows).
+  int max_name_tokens() const { return max_name_tokens_; }
+
+  /// Depth of `id` (world = 0, city = 3 in a full chain).
+  int Depth(LocationId id) const;
+
+  /// True when `ancestor` lies on the path from `id` to the root
+  /// (a node is its own ancestor).
+  bool IsAncestorOf(LocationId ancestor, LocationId id) const;
+
+  /// Lowest common ancestor of two nodes.
+  LocationId LowestCommonAncestor(LocationId a, LocationId b) const;
+
+  /// Wu–Palmer similarity 2·depth(lca) / (depth(a)+depth(b)) in [0, 1].
+  /// Identical nodes score 1; nodes sharing only the world root score 0.
+  double Similarity(LocationId a, LocationId b) const;
+
+  /// Path from `id` up to and including the root.
+  std::vector<LocationId> PathToRoot(LocationId id) const;
+
+  /// All city-level descendants of `id` (id itself included if a city).
+  std::vector<LocationId> CitiesUnder(LocationId id) const;
+
+  /// All node ids at the given level.
+  std::vector<LocationId> NodesAtLevel(LocationLevel level) const;
+
+  /// The city whose coordinates are nearest to `point` (linear scan).
+  /// Returns kInvalidLocation when the ontology has no cities.
+  LocationId NearestCity(const GeoPoint& point) const;
+
+  /// Normalizes a place name: lowercase, alnum tokens joined by single
+  /// spaces ("New-York" -> "new york").
+  static std::string NormalizeName(std::string_view name);
+
+ private:
+  std::vector<LocationNode> nodes_;
+  std::unordered_map<std::string, std::vector<LocationId>> name_index_;
+  int max_name_tokens_ = 1;
+
+  void IndexName(const std::string& normalized, LocationId id);
+};
+
+}  // namespace pws::geo
+
+#endif  // PWS_GEO_LOCATION_ONTOLOGY_H_

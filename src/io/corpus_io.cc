@@ -1,0 +1,136 @@
+#include "io/corpus_io.h"
+
+#include <cstdio>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace pws::io {
+namespace {
+
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool HasForbiddenChars(const std::string& text) {
+  return text.find('\t') != std::string::npos ||
+         text.find('\n') != std::string::npos;
+}
+
+}  // namespace
+
+std::string CorpusToText(const corpus::Corpus& corpus) {
+  std::string out;
+  for (const auto& doc : corpus.documents()) {
+    out += "D\t";
+    out += std::to_string(doc.id);
+    out += '\t';
+    out += std::to_string(doc.primary_topic_truth);
+    out += '\t';
+    out += std::to_string(doc.primary_location_truth);
+    out += '\t';
+    out += doc.url;
+    out += '\t';
+    out += doc.domain;
+    out += "\nT\t";
+    out += doc.title;
+    out += "\nB\t";
+    out += doc.body;
+    out += "\nM";
+    for (double w : doc.topic_mixture_truth) {
+      out += '\t';
+      out += HexDouble(w);
+    }
+    out += '\n';
+    if (!doc.planted_locations_truth.empty()) {
+      out += 'P';
+      for (geo::LocationId loc : doc.planted_locations_truth) {
+        out += '\t';
+        out += std::to_string(loc);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+StatusOr<corpus::Corpus> CorpusFromText(const std::string& text) {
+  corpus::Corpus corpus;
+  corpus::Document current;
+  bool has_current = false;
+  auto flush = [&]() -> Status {
+    if (!has_current) return OkStatus();
+    if (HasForbiddenChars(current.title) || HasForbiddenChars(current.body)) {
+      return InvalidArgumentError("text field contains tab/newline");
+    }
+    corpus.Add(std::move(current));
+    current = corpus::Document{};
+    has_current = false;
+    return OkStatus();
+  };
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    const std::string& tag = fields[0];
+    if (tag == "D") {
+      PWS_RETURN_IF_ERROR(flush());
+      if (fields.size() != 6) {
+        return InvalidArgumentError("bad document line: " + line);
+      }
+      int64_t id = 0;
+      int64_t topic = 0;
+      int64_t location = 0;
+      if (!ParseInt64(fields[1], &id) || !ParseInt64(fields[2], &topic) ||
+          !ParseInt64(fields[3], &location)) {
+        return InvalidArgumentError("bad document numbers: " + line);
+      }
+      current.id = static_cast<corpus::DocId>(id);
+      current.primary_topic_truth = static_cast<int>(topic);
+      current.primary_location_truth = static_cast<geo::LocationId>(location);
+      current.url = fields[4];
+      current.domain = fields[5];
+      has_current = true;
+    } else if (tag == "T" && has_current) {
+      current.title = fields.size() > 1 ? fields[1] : "";
+    } else if (tag == "B" && has_current) {
+      current.body = fields.size() > 1 ? fields[1] : "";
+    } else if (tag == "M" && has_current) {
+      current.topic_mixture_truth.clear();
+      for (size_t i = 1; i < fields.size(); ++i) {
+        double w = 0.0;
+        if (!ParseDouble(fields[i], &w)) {
+          return InvalidArgumentError("bad mixture weight: " + line);
+        }
+        current.topic_mixture_truth.push_back(w);
+      }
+    } else if (tag == "P" && has_current) {
+      current.planted_locations_truth.clear();
+      for (size_t i = 1; i < fields.size(); ++i) {
+        int64_t loc = 0;
+        if (!ParseInt64(fields[i], &loc)) {
+          return InvalidArgumentError("bad planted location: " + line);
+        }
+        current.planted_locations_truth.push_back(
+            static_cast<geo::LocationId>(loc));
+      }
+    } else {
+      return InvalidArgumentError("unexpected record: " + line);
+    }
+  }
+  PWS_RETURN_IF_ERROR(flush());
+  return corpus;
+}
+
+Status SaveCorpus(const corpus::Corpus& corpus, const std::string& path) {
+  return WriteStringToFile(path, CorpusToText(corpus));
+}
+
+StatusOr<corpus::Corpus> LoadCorpus(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return CorpusFromText(*contents);
+}
+
+}  // namespace pws::io

@@ -1,0 +1,30 @@
+#ifndef PWS_IO_CORPUS_IO_H_
+#define PWS_IO_CORPUS_IO_H_
+
+#include <string>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace pws::io {
+
+/// Serializes a corpus, one document per line:
+///   D <id> <primary_topic> <primary_location> <url> <domain>
+///   T <title>
+///   B <body>
+///   M <mixture weights, tab separated>
+///   P <planted location ids, tab separated; line omitted when empty>
+/// Text fields contain no tabs/newlines by construction (the generator
+/// emits space-joined tokens); the loader rejects them defensively.
+std::string CorpusToText(const corpus::Corpus& corpus);
+
+/// Parses the CorpusToText format (exact round trip).
+StatusOr<corpus::Corpus> CorpusFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveCorpus(const corpus::Corpus& corpus, const std::string& path);
+StatusOr<corpus::Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_CORPUS_IO_H_

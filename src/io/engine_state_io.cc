@@ -1,0 +1,60 @@
+#include "io/engine_state_io.h"
+
+#include "io/model_io.h"
+#include "io/profile_io.h"
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace pws::io {
+namespace {
+
+constexpr char kSeparator[] = "---MODEL---";
+
+}  // namespace
+
+std::string UserStateToText(const profile::UserProfile& profile,
+                            const ranking::RankSvm& model) {
+  return ProfileToText(profile) + kSeparator + "\n" + ModelToText(model);
+}
+
+StatusOr<UserStateSnapshot> UserStateFromText(
+    const std::string& text, const geo::LocationOntology* ontology) {
+  const size_t split = text.find(kSeparator);
+  if (split == std::string::npos) {
+    return InvalidArgumentError("missing state separator");
+  }
+  auto profile = ProfileFromText(text.substr(0, split), ontology);
+  if (!profile.ok()) return profile.status();
+  const size_t model_start = text.find('\n', split);
+  if (model_start == std::string::npos) {
+    return InvalidArgumentError("missing model section");
+  }
+  auto model = ModelFromText(text.substr(model_start + 1));
+  if (!model.ok()) return model.status();
+  return UserStateSnapshot{std::move(profile).value(),
+                           std::move(model).value()};
+}
+
+Status SaveUserState(const profile::UserProfile& profile,
+                     const ranking::RankSvm& model, const std::string& path) {
+  return WriteStringToFile(path, UserStateToText(profile, model));
+}
+
+StatusOr<UserStateSnapshot> LoadUserState(
+    const std::string& path, const geo::LocationOntology* ontology) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return UserStateFromText(*contents, ontology);
+}
+
+Status SaveClickLog(const click::ClickLog& log, const std::string& path) {
+  return WriteStringToFile(path, log.ToTsv());
+}
+
+StatusOr<click::ClickLog> LoadClickLog(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return click::ClickLog::FromTsv(*contents);
+}
+
+}  // namespace pws::io

@@ -1,0 +1,43 @@
+#ifndef PWS_IO_ENGINE_STATE_IO_H_
+#define PWS_IO_ENGINE_STATE_IO_H_
+
+#include <string>
+
+#include "click/click_log.h"
+#include "profile/user_profile.h"
+#include "ranking/rank_svm.h"
+#include "util/status.h"
+
+namespace pws::io {
+
+/// One user's learned state: the profile and the ranking model, bundled
+/// for persistence across engine restarts (the accumulated preference
+/// pairs are intentionally not persisted — the model already encodes
+/// them, and fresh pairs are better than stale ones).
+struct UserStateSnapshot {
+  profile::UserProfile profile;
+  ranking::RankSvm model;
+};
+
+/// Serializes a snapshot: the profile text, a separator line, then the
+/// model text. Exact round trip.
+std::string UserStateToText(const profile::UserProfile& profile,
+                            const ranking::RankSvm& model);
+
+/// Parses the UserStateToText format.
+StatusOr<UserStateSnapshot> UserStateFromText(
+    const std::string& text, const geo::LocationOntology* ontology);
+
+/// File convenience wrappers.
+Status SaveUserState(const profile::UserProfile& profile,
+                     const ranking::RankSvm& model, const std::string& path);
+StatusOr<UserStateSnapshot> LoadUserState(
+    const std::string& path, const geo::LocationOntology* ontology);
+
+/// Click-log file wrappers (the TSV format of click::ClickLog).
+Status SaveClickLog(const click::ClickLog& log, const std::string& path);
+StatusOr<click::ClickLog> LoadClickLog(const std::string& path);
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_ENGINE_STATE_IO_H_

@@ -1,0 +1,106 @@
+#include "io/gazetteer_io.h"
+
+#include <unordered_set>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace pws::io {
+
+std::string GazetteerToTsv(const geo::LocationOntology& ontology) {
+  std::string out;
+  // Primary node names, which AddNode re-registers automatically.
+  std::unordered_set<std::string> primary_keys;
+  for (geo::LocationId id = 1; id < ontology.size(); ++id) {
+    const geo::LocationNode& node = ontology.node(id);
+    out += "N\t";
+    out += std::to_string(node.id);
+    out += '\t';
+    out += std::to_string(node.parent);
+    out += '\t';
+    out += std::to_string(static_cast<int>(node.level));
+    out += '\t';
+    out += FormatDouble(node.coords.lat, 6);
+    out += '\t';
+    out += FormatDouble(node.coords.lon, 6);
+    out += '\t';
+    out += FormatDouble(node.population, 1);
+    out += '\t';
+    out += node.name;
+    out += '\n';
+    primary_keys.insert(node.name + "\t" + std::to_string(id));
+  }
+  for (const auto& [name, id] : ontology.AllNames()) {
+    if (id == ontology.root()) continue;
+    if (primary_keys.count(name + "\t" + std::to_string(id)) > 0) continue;
+    out += "A\t";
+    out += std::to_string(id);
+    out += '\t';
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<geo::LocationOntology> GazetteerFromTsv(const std::string& tsv) {
+  geo::LocationOntology ontology;
+  for (const std::string& line : StrSplit(tsv, '\n')) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields[0] == "N") {
+      if (fields.size() != 8) {
+        return InvalidArgumentError("bad node line: " + line);
+      }
+      int64_t id = 0;
+      int64_t parent = 0;
+      int64_t level = 0;
+      double lat = 0.0;
+      double lon = 0.0;
+      double population = 0.0;
+      if (!ParseInt64(fields[1], &id) || !ParseInt64(fields[2], &parent) ||
+          !ParseInt64(fields[3], &level) || !ParseDouble(fields[4], &lat) ||
+          !ParseDouble(fields[5], &lon) ||
+          !ParseDouble(fields[6], &population)) {
+        return InvalidArgumentError("bad node numbers: " + line);
+      }
+      if (id != ontology.size()) {
+        return InvalidArgumentError("node ids must be dense and in order: " +
+                                    line);
+      }
+      if (parent < 0 || parent >= ontology.size()) {
+        return InvalidArgumentError("unknown parent in: " + line);
+      }
+      if (level < 1 || level > 3) {
+        return InvalidArgumentError("bad level in: " + line);
+      }
+      ontology.AddNode(fields[7], static_cast<geo::LocationLevel>(level),
+                       static_cast<geo::LocationId>(parent), {lat, lon},
+                       population);
+    } else if (fields[0] == "A") {
+      if (fields.size() != 3) {
+        return InvalidArgumentError("bad alias line: " + line);
+      }
+      int64_t id = 0;
+      if (!ParseInt64(fields[1], &id) || id < 0 || id >= ontology.size()) {
+        return InvalidArgumentError("bad alias target: " + line);
+      }
+      ontology.AddAlias(static_cast<geo::LocationId>(id), fields[2]);
+    } else {
+      return InvalidArgumentError("unknown record type: " + line);
+    }
+  }
+  return ontology;
+}
+
+Status SaveGazetteer(const geo::LocationOntology& ontology,
+                     const std::string& path) {
+  return WriteStringToFile(path, GazetteerToTsv(ontology));
+}
+
+StatusOr<geo::LocationOntology> LoadGazetteer(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return GazetteerFromTsv(*contents);
+}
+
+}  // namespace pws::io

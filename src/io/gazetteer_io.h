@@ -1,0 +1,30 @@
+#ifndef PWS_IO_GAZETTEER_IO_H_
+#define PWS_IO_GAZETTEER_IO_H_
+
+#include <string>
+
+#include "geo/location_ontology.h"
+#include "util/status.h"
+
+namespace pws::io {
+
+/// Serializes a gazetteer to a TSV text format:
+///   N <id> <parent> <level> <lat> <lon> <population> <name>
+///   A <id> <alias>
+/// Node lines appear in id order (so parents precede children); alias
+/// lines follow. Round-trips exactly through LoadGazetteerTsv.
+std::string GazetteerToTsv(const geo::LocationOntology& ontology);
+
+/// Parses the format produced by GazetteerToTsv. Fails with
+/// InvalidArgument on malformed lines, out-of-order ids, or unknown
+/// parents.
+StatusOr<geo::LocationOntology> GazetteerFromTsv(const std::string& tsv);
+
+/// File convenience wrappers.
+Status SaveGazetteer(const geo::LocationOntology& ontology,
+                     const std::string& path);
+StatusOr<geo::LocationOntology> LoadGazetteer(const std::string& path);
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_GAZETTEER_IO_H_

@@ -1,0 +1,92 @@
+#include "io/model_io.h"
+
+#include <cstdio>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace pws::io {
+namespace {
+
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+Status ParseWeightLine(const std::string& line, int dimension,
+                       std::vector<double>* out) {
+  const std::vector<std::string> fields = StrSplit(line, '\t');
+  if (static_cast<int>(fields.size()) != dimension + 1) {
+    return InvalidArgumentError("wrong weight count in: " + line);
+  }
+  out->clear();
+  out->reserve(dimension);
+  for (int d = 1; d <= dimension; ++d) {
+    double value = 0.0;
+    if (!ParseDouble(fields[d], &value)) {
+      return InvalidArgumentError("bad weight in: " + line);
+    }
+    out->push_back(value);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string ModelToText(const ranking::RankSvm& model) {
+  std::string out = "M\t" + std::to_string(model.dimension()) + "\t" +
+                    (model.is_trained() ? "1" : "0") + "\nW";
+  for (double w : model.weights()) {
+    out += '\t';
+    out += HexDouble(w);
+  }
+  out += "\nP";
+  for (double p : model.prior()) {
+    out += '\t';
+    out += HexDouble(p);
+  }
+  out += '\n';
+  return out;
+}
+
+StatusOr<ranking::RankSvm> ModelFromText(const std::string& text) {
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.size() < 3 || !StartsWith(lines[0], "M\t") ||
+      !StartsWith(lines[1], "W") || !StartsWith(lines[2], "P")) {
+    return InvalidArgumentError("malformed model text");
+  }
+  const std::vector<std::string> header = StrSplit(lines[0], '\t');
+  int64_t dimension = 0;
+  if (header.size() != 3 || !ParseInt64(header[1], &dimension) ||
+      dimension <= 0 || dimension > 1 << 20) {
+    return InvalidArgumentError("bad model header: " + lines[0]);
+  }
+  const bool trained = header[2] == "1";
+
+  std::vector<double> weights;
+  std::vector<double> prior;
+  PWS_RETURN_IF_ERROR(
+      ParseWeightLine(lines[1], static_cast<int>(dimension), &weights));
+  PWS_RETURN_IF_ERROR(
+      ParseWeightLine(lines[2], static_cast<int>(dimension), &prior));
+
+  ranking::RankSvm model(static_cast<int>(dimension));
+  model.SetPrior(std::move(prior));
+  if (trained) {
+    model.set_weights(std::move(weights));
+  }
+  return model;
+}
+
+Status SaveModel(const ranking::RankSvm& model, const std::string& path) {
+  return WriteStringToFile(path, ModelToText(model));
+}
+
+StatusOr<ranking::RankSvm> LoadModel(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return ModelFromText(*contents);
+}
+
+}  // namespace pws::io

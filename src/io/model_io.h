@@ -1,0 +1,27 @@
+#ifndef PWS_IO_MODEL_IO_H_
+#define PWS_IO_MODEL_IO_H_
+
+#include <string>
+
+#include "ranking/rank_svm.h"
+#include "util/status.h"
+
+namespace pws::io {
+
+/// Serializes a RankSvm to text:
+///   M <dimension> <trained:0|1>
+///   W <hex weight> ...   (one line, dimension entries)
+///   P <hex prior> ...    (one line, dimension entries)
+/// Hex doubles make the round-trip exact.
+std::string ModelToText(const ranking::RankSvm& model);
+
+/// Parses the ModelToText format.
+StatusOr<ranking::RankSvm> ModelFromText(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveModel(const ranking::RankSvm& model, const std::string& path);
+StatusOr<ranking::RankSvm> LoadModel(const std::string& path);
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_MODEL_IO_H_

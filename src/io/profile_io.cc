@@ -1,0 +1,99 @@
+#include "io/profile_io.h"
+
+#include <climits>
+#include <cstdio>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace pws::io {
+namespace {
+
+// Hex float rendering: exact double round-trips.
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ProfileToText(const profile::UserProfile& profile) {
+  std::string out = "U\t" + std::to_string(profile.user()) + "\t" +
+                    std::to_string(profile.impressions_observed()) + "\n";
+  for (const auto& [term, weight] : profile.TopContentConcepts(INT_MAX)) {
+    out += "C\t";
+    out += HexDouble(weight);
+    out += '\t';
+    out += term;
+    out += '\n';
+  }
+  for (const auto& [location, weight] : profile.TopLocations(INT_MAX)) {
+    out += "L\t";
+    out += HexDouble(weight);
+    out += '\t';
+    out += std::to_string(location);
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<profile::UserProfile> ProfileFromText(
+    const std::string& text, const geo::LocationOntology* ontology) {
+  if (ontology == nullptr) {
+    return InvalidArgumentError("ontology must not be null");
+  }
+  const std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty() || !StartsWith(lines[0], "U\t")) {
+    return InvalidArgumentError("profile text must start with a U line");
+  }
+  const std::vector<std::string> header = StrSplit(lines[0], '\t');
+  int64_t user = 0;
+  int64_t impressions = 0;
+  if (header.size() != 3 || !ParseInt64(header[1], &user) ||
+      !ParseInt64(header[2], &impressions)) {
+    return InvalidArgumentError("bad profile header: " + lines[0]);
+  }
+  profile::UserProfile profile(static_cast<click::UserId>(user), ontology);
+  profile.RestoreImpressionCount(static_cast<int>(impressions));
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 3) {
+      return InvalidArgumentError("bad profile line: " + line);
+    }
+    double weight = 0.0;
+    if (!ParseDouble(fields[1], &weight)) {
+      return InvalidArgumentError("bad weight in: " + line);
+    }
+    if (fields[0] == "C") {
+      profile.AddContentWeight(fields[2], weight);
+    } else if (fields[0] == "L") {
+      int64_t location = 0;
+      if (!ParseInt64(fields[2], &location) || location < 0 ||
+          location >= ontology->size()) {
+        return InvalidArgumentError("bad location id in: " + line);
+      }
+      profile.AddLocationWeight(static_cast<geo::LocationId>(location),
+                                weight);
+    } else {
+      return InvalidArgumentError("unknown profile record: " + line);
+    }
+  }
+  return profile;
+}
+
+Status SaveProfile(const profile::UserProfile& profile,
+                   const std::string& path) {
+  return WriteStringToFile(path, ProfileToText(profile));
+}
+
+StatusOr<profile::UserProfile> LoadProfile(
+    const std::string& path, const geo::LocationOntology* ontology) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return ProfileFromText(*contents, ontology);
+}
+
+}  // namespace pws::io

@@ -1,0 +1,32 @@
+#ifndef PWS_IO_PROFILE_IO_H_
+#define PWS_IO_PROFILE_IO_H_
+
+#include <string>
+
+#include "profile/user_profile.h"
+#include "util/status.h"
+
+namespace pws::io {
+
+/// Serializes a profile to text:
+///   U <user_id> <impressions_observed>
+///   C <weight> <term>
+///   L <weight> <location_id>
+/// Weights keep full precision (hex doubles) so round-trips are exact.
+std::string ProfileToText(const profile::UserProfile& profile);
+
+/// Parses the ProfileToText format into a fresh profile bound to
+/// `ontology`. Fails with InvalidArgument on malformed input; location
+/// ids must be valid in `ontology`.
+StatusOr<profile::UserProfile> ProfileFromText(
+    const std::string& text, const geo::LocationOntology* ontology);
+
+/// File convenience wrappers.
+Status SaveProfile(const profile::UserProfile& profile,
+                   const std::string& path);
+StatusOr<profile::UserProfile> LoadProfile(
+    const std::string& path, const geo::LocationOntology* ontology);
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_PROFILE_IO_H_

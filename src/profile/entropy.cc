@@ -1,0 +1,58 @@
+#include "profile/entropy.h"
+
+#include "util/math_util.h"
+
+namespace pws::profile {
+namespace {
+
+template <typename Key>
+double MapEntropy(const std::unordered_map<Key, int>& counts) {
+  std::vector<double> weights;
+  weights.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    weights.push_back(static_cast<double>(count));
+  }
+  return Entropy(weights);
+}
+
+}  // namespace
+
+void ClickEntropyTracker::AddClick(
+    int query_id, const std::vector<std::string>& content_terms,
+    const std::vector<geo::LocationId>& locations) {
+  QueryStats& stats = stats_[query_id];
+  ++stats.clicks;
+  for (const auto& term : content_terms) ++stats.content_clicks[term];
+  for (geo::LocationId loc : locations) ++stats.location_clicks[loc];
+}
+
+double ClickEntropyTracker::ContentEntropy(int query_id) const {
+  auto it = stats_.find(query_id);
+  return it == stats_.end() ? 0.0 : MapEntropy(it->second.content_clicks);
+}
+
+double ClickEntropyTracker::LocationEntropy(int query_id) const {
+  auto it = stats_.find(query_id);
+  return it == stats_.end() ? 0.0 : MapEntropy(it->second.location_clicks);
+}
+
+int ClickEntropyTracker::ClickCount(int query_id) const {
+  auto it = stats_.find(query_id);
+  return it == stats_.end() ? 0 : it->second.clicks;
+}
+
+double ClickEntropyTracker::AdaptiveLocationBlend(int query_id,
+                                                  double min_alpha,
+                                                  double max_alpha) const {
+  // With no evidence, sit in the middle of the range.
+  auto it = stats_.find(query_id);
+  if (it == stats_.end() || it->second.clicks < 3) {
+    return 0.5 * (min_alpha + max_alpha);
+  }
+  // Ramp: location entropy of ~0 -> min_alpha; >= 1.5 nats -> max_alpha.
+  const double h = LocationEntropy(query_id);
+  const double t = Clamp(h / 1.5, 0.0, 1.0);
+  return min_alpha + t * (max_alpha - min_alpha);
+}
+
+}  // namespace pws::profile

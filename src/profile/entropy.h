@@ -1,0 +1,57 @@
+#ifndef PWS_PROFILE_ENTROPY_H_
+#define PWS_PROFILE_ENTROPY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/location_ontology.h"
+
+namespace pws::profile {
+
+/// Aggregates click distributions per query across users and exposes the
+/// two query-characterization signals of the paper:
+///
+///  * click content entropy  — diversity of content concepts users click
+///    under a query; high entropy = users want different things = content
+///    personalization pays off.
+///  * click location entropy — diversity of clicked locations; high
+///    entropy = the same query targets many places = location
+///    personalization pays off; (near-)zero entropy = the query pins its
+///    location already, so location re-ranking can't help.
+class ClickEntropyTracker {
+ public:
+  ClickEntropyTracker() = default;
+
+  /// Records one click's concepts under `query_id`.
+  void AddClick(int query_id, const std::vector<std::string>& content_terms,
+                const std::vector<geo::LocationId>& locations);
+
+  /// Shannon entropy (nats) of the clicked-content-concept distribution
+  /// of `query_id`; 0 for unseen queries.
+  double ContentEntropy(int query_id) const;
+
+  /// Shannon entropy (nats) of the clicked-location distribution.
+  double LocationEntropy(int query_id) const;
+
+  /// Number of clicks recorded for the query.
+  int ClickCount(int query_id) const;
+
+  /// Suggested location blend weight for a query, mapping location
+  /// entropy into [min_alpha, max_alpha] via a soft ramp: queries whose
+  /// clicks concentrate on one place get little location re-ranking.
+  double AdaptiveLocationBlend(int query_id, double min_alpha,
+                               double max_alpha) const;
+
+ private:
+  struct QueryStats {
+    std::unordered_map<std::string, int> content_clicks;
+    std::unordered_map<geo::LocationId, int> location_clicks;
+    int clicks = 0;
+  };
+  std::unordered_map<int, QueryStats> stats_;
+};
+
+}  // namespace pws::profile
+
+#endif  // PWS_PROFILE_ENTROPY_H_

@@ -1,0 +1,25 @@
+#include "profile/gps_augment.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::profile {
+
+void AugmentProfileWithGps(const geo::LocationOntology& ontology,
+                           const geo::GpsTrace& trace,
+                           const GpsAugmentOptions& options,
+                           UserProfile* profile) {
+  PWS_CHECK(profile != nullptr);
+  for (const auto& [city, visits] : CityVisitCounts(ontology, trace)) {
+    if (visits < options.min_visits) continue;
+    double gain = options.gps_gain * std::log1p(static_cast<double>(visits));
+    for (geo::LocationId node : ontology.PathToRoot(city)) {
+      if (node == ontology.root()) break;
+      profile->AddLocationWeight(node, gain);
+      gain *= options.ancestor_damping;
+    }
+  }
+}
+
+}  // namespace pws::profile

@@ -1,0 +1,31 @@
+#ifndef PWS_PROFILE_GPS_AUGMENT_H_
+#define PWS_PROFILE_GPS_AUGMENT_H_
+
+#include "geo/gps.h"
+#include "profile/user_profile.h"
+
+namespace pws::profile {
+
+/// GPS-augmentation knobs.
+struct GpsAugmentOptions {
+  /// Overall strength of GPS evidence relative to click evidence.
+  double gps_gain = 1.5;
+  /// Ancestors of a visited city are credited with this damping.
+  double ancestor_damping = 0.5;
+  /// Cities visited fewer times than this are ignored (noise fixes).
+  int min_visits = 2;
+};
+
+/// Folds a user's GPS trace into their location profile: every city the
+/// device dwells at receives weight proportional to log(1 + visits),
+/// credited up the hierarchy. This is the paper's mobile extension — the
+/// user's physical whereabouts sharpen the location preference even
+/// before any clicks are observed.
+void AugmentProfileWithGps(const geo::LocationOntology& ontology,
+                           const geo::GpsTrace& trace,
+                           const GpsAugmentOptions& options,
+                           UserProfile* profile);
+
+}  // namespace pws::profile
+
+#endif  // PWS_PROFILE_GPS_AUGMENT_H_

@@ -1,0 +1,41 @@
+#include "profile/preference_pairs.h"
+
+namespace pws::profile {
+
+std::vector<PreferencePair> MinePreferencePairs(
+    const click::ClickRecord& record, const PairMiningOptions& options) {
+  std::vector<PreferencePair> pairs;
+  const auto grades = record.GradeInteractions(options.thresholds);
+  const int n = static_cast<int>(record.interactions.size());
+  for (int i = 0; i < n; ++i) {
+    const auto& clicked = record.interactions[i];
+    if (!clicked.clicked) continue;
+    // Dwell-graded clicks below the "relevant" threshold are treated as
+    // noise clicks and mined with reduced weight.
+    double weight = 1.0;
+    if (options.grade_weighting) {
+      switch (grades[i]) {
+        case click::RelevanceGrade::kIrrelevant:
+          weight = 0.25;
+          break;
+        case click::RelevanceGrade::kRelevant:
+          weight = 1.0;
+          break;
+        case click::RelevanceGrade::kHighlyRelevant:
+          weight = 2.0;
+          break;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      if (record.interactions[j].clicked) continue;
+      const bool eligible =
+          options.strategy == PairMiningStrategy::kClickVsAll
+              ? true
+              : record.interactions[j].rank < clicked.rank;
+      if (eligible) pairs.push_back({i, j, weight});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace pws::profile

@@ -1,0 +1,43 @@
+#ifndef PWS_PROFILE_PREFERENCE_PAIRS_H_
+#define PWS_PROFILE_PREFERENCE_PAIRS_H_
+
+#include <vector>
+
+#include "click/click_log.h"
+
+namespace pws::profile {
+
+/// One pairwise training preference mined from clickthrough: within an
+/// impression, `preferred_index` should rank above `other_index`
+/// (indices into the record's interactions).
+struct PreferencePair {
+  int preferred_index = -1;
+  int other_index = -1;
+  /// Pair importance: graded clicks (long dwell) produce heavier pairs.
+  double weight = 1.0;
+};
+
+/// Pair-mining strategies (E9 ablates these).
+enum class PairMiningStrategy {
+  /// Joachims skip-above: clicked ≻ every unclicked result ranked above
+  /// it. Robust to position bias.
+  kSkipAbove = 0,
+  /// Clicked ≻ every unclicked result on the page. More pairs, more
+  /// position-bias contamination.
+  kClickVsAll = 1,
+};
+
+struct PairMiningOptions {
+  PairMiningStrategy strategy = PairMiningStrategy::kSkipAbove;
+  /// Weight pairs by the dwell grade of the click (1 or 2) instead of 1.
+  bool grade_weighting = true;
+  click::DwellGradeThresholds thresholds;
+};
+
+/// Extracts preference pairs from one impression.
+std::vector<PreferencePair> MinePreferencePairs(
+    const click::ClickRecord& record, const PairMiningOptions& options);
+
+}  // namespace pws::profile
+
+#endif  // PWS_PROFILE_PREFERENCE_PAIRS_H_

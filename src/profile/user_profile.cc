@@ -1,0 +1,212 @@
+#include "profile/user_profile.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pws::profile {
+namespace {
+
+double GradeGain(click::RelevanceGrade grade) {
+  switch (grade) {
+    case click::RelevanceGrade::kIrrelevant:
+      return 0.25;  // Clicked but bounced: weak positive signal.
+    case click::RelevanceGrade::kRelevant:
+      return 1.0;
+    case click::RelevanceGrade::kHighlyRelevant:
+      return 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+UserProfile::UserProfile(click::UserId user,
+                         const geo::LocationOntology* ontology)
+    : user_(user), ontology_(ontology) {
+  PWS_CHECK(ontology_ != nullptr);
+}
+
+void UserProfile::ObserveImpression(
+    const click::ClickRecord& record, const ImpressionConcepts& impression,
+    const concepts::ContentOntology* content_ontology,
+    const ProfileUpdateOptions& options) {
+  PWS_CHECK_EQ(record.interactions.size(),
+               impression.content_terms_per_result.size());
+  PWS_CHECK_EQ(record.interactions.size(),
+               impression.locations_per_result.size());
+  const auto grades = record.GradeInteractions(options.thresholds);
+  const int first_click = record.FirstClickRank();
+
+  // Page composition counts, for the lift correction: clicking a concept
+  // present in most of the page carries little preference information,
+  // clicking a rare one carries a lot. Credit is divided by the number of
+  // results carrying the concept.
+  std::unordered_map<std::string, int> content_page_counts;
+  std::unordered_map<geo::LocationId, int> location_page_counts;
+  int located_results = 0;
+  for (size_t i = 0; i < record.interactions.size(); ++i) {
+    for (const auto& term : impression.content_terms_per_result[i]) {
+      ++content_page_counts[term];
+    }
+    if (!impression.locations_per_result[i].empty()) ++located_results;
+    for (geo::LocationId loc : impression.locations_per_result[i]) {
+      ++location_page_counts[loc];
+    }
+  }
+  // Location gate (see ranking/features.h): clicks on pages of non-geo
+  // verticals carry locations only incidentally and must not pollute the
+  // location preference.
+  const double location_density =
+      record.interactions.empty()
+          ? 0.0
+          : static_cast<double>(located_results) /
+                record.interactions.size();
+  double location_gate = 0.0;
+  if (location_density > 0.25) {
+    const double t = std::min(1.0, (location_density - 0.25) / 0.3);
+    location_gate = t * t * (3.0 - 2.0 * t);
+  }
+
+  for (size_t i = 0; i < record.interactions.size(); ++i) {
+    const auto& interaction = record.interactions[i];
+    double delta = 0.0;
+    if (interaction.clicked) {
+      delta = options.click_gain * GradeGain(grades[i]);
+    } else if (first_click >= 0 && interaction.rank < first_click) {
+      // Skipped above the first click: negative evidence.
+      delta = -options.skip_penalty;
+    } else {
+      continue;  // Unexamined tail results carry no signal.
+    }
+
+    // Content concepts of this result (lift-corrected).
+    for (const auto& term : impression.content_terms_per_result[i]) {
+      const double lift = 1.0 / content_page_counts[term];
+      const double credit = delta * lift;
+      AddContentWeight(term, credit);
+      if (credit > 0.0 && options.ontology_spreading &&
+          content_ontology != nullptr) {
+        const int index = content_ontology->Find(term);
+        if (index >= 0) {
+          for (int neighbour : content_ontology->Neighbors(
+                   index, options.spread_min_similarity)) {
+            const double sim = content_ontology->Similarity(index, neighbour);
+            AddContentWeight(content_ontology->concept_at(neighbour).term,
+                             credit * options.spread_factor * sim);
+          }
+        }
+      }
+    }
+
+    // Location concepts of this result, credited up the hierarchy.
+    // Locations the query named explicitly are excluded: clicking a
+    // "hotel whistler" result about Whistler reveals nothing about a
+    // standing location preference.
+    for (geo::LocationId loc : impression.locations_per_result[i]) {
+      bool query_explained = false;
+      for (geo::LocationId qloc : impression.query_mentioned_locations) {
+        if (loc == qloc || ontology_->IsAncestorOf(loc, qloc)) {
+          query_explained = true;
+          break;
+        }
+      }
+      if (query_explained || location_gate <= 0.0) continue;
+      double level_delta = location_gate * delta / location_page_counts[loc];
+      for (geo::LocationId node : ontology_->PathToRoot(loc)) {
+        if (node == ontology_->root()) break;
+        AddLocationWeight(node, level_delta);
+        level_delta *= options.ancestor_damping;
+      }
+    }
+  }
+  ++impressions_observed_;
+}
+
+void UserProfile::DecayDaily(const ProfileUpdateOptions& options) {
+  for (auto& [term, w] : content_weights_) w *= options.daily_decay;
+  for (auto& [loc, w] : location_weights_) w *= options.daily_decay;
+}
+
+double UserProfile::ContentWeight(const std::string& term) const {
+  auto it = content_weights_.find(term);
+  return it == content_weights_.end() ? 0.0 : it->second;
+}
+
+double UserProfile::LocationWeight(geo::LocationId location) const {
+  auto it = location_weights_.find(location);
+  return it == location_weights_.end() ? 0.0 : it->second;
+}
+
+double UserProfile::LocationAffinity(geo::LocationId location) const {
+  if (location == geo::kInvalidLocation) return 0.0;
+  double best = 0.0;
+  for (const auto& [loc, weight] : location_weights_) {
+    if (weight <= 0.0) continue;
+    best = std::max(best, weight * ontology_->Similarity(loc, location));
+  }
+  return best;
+}
+
+void UserProfile::AddLocationWeight(geo::LocationId location, double delta) {
+  PWS_CHECK_GE(location, 0);
+  location_weights_[location] += delta;
+}
+
+void UserProfile::AddContentWeight(const std::string& term, double delta) {
+  content_weights_[term] += delta;
+}
+
+int UserProfile::ContentConceptCount() const {
+  int count = 0;
+  for (const auto& [term, w] : content_weights_) {
+    if (w != 0.0) ++count;
+  }
+  return count;
+}
+
+int UserProfile::LocationConceptCount() const {
+  int count = 0;
+  for (const auto& [loc, w] : location_weights_) {
+    if (w != 0.0) ++count;
+  }
+  return count;
+}
+
+double UserProfile::MaxContentWeight() const {
+  double best = 0.0;
+  for (const auto& [term, w] : content_weights_) best = std::max(best, w);
+  return best;
+}
+
+double UserProfile::MaxLocationWeight() const {
+  double best = 0.0;
+  for (const auto& [loc, w] : location_weights_) best = std::max(best, w);
+  return best;
+}
+
+std::vector<std::pair<std::string, double>> UserProfile::TopContentConcepts(
+    int k) const {
+  std::vector<std::pair<std::string, double>> all(content_weights_.begin(),
+                                                  content_weights_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+std::vector<std::pair<geo::LocationId, double>> UserProfile::TopLocations(
+    int k) const {
+  std::vector<std::pair<geo::LocationId, double>> all(
+      location_weights_.begin(), location_weights_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+}  // namespace pws::profile

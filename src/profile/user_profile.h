@@ -1,0 +1,119 @@
+#ifndef PWS_PROFILE_USER_PROFILE_H_
+#define PWS_PROFILE_USER_PROFILE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "click/click_log.h"
+#include "concepts/content_ontology.h"
+#include "concepts/location_concepts.h"
+#include "geo/location_ontology.h"
+
+namespace pws::profile {
+
+/// The concepts attached to one impression, produced by the engine's
+/// extractors and consumed by profile updates and feature extraction:
+/// element i describes the result shown at position i.
+struct ImpressionConcepts {
+  /// Content concepts present in result i's title+snippet.
+  std::vector<std::vector<std::string>> content_terms_per_result;
+  /// Location nodes mentioned in result i's document.
+  std::vector<std::vector<geo::LocationId>> locations_per_result;
+  /// Locations the query named explicitly. Clicks on results matching
+  /// these are explained by the query, not by a standing user preference,
+  /// so the profile update gives them no location credit (residual
+  /// preference learning).
+  std::vector<geo::LocationId> query_mentioned_locations;
+};
+
+/// Profile update knobs.
+struct ProfileUpdateOptions {
+  /// Weight added per click, scaled by the dwell grade (0.25/1/2).
+  double click_gain = 1.0;
+  /// Weight subtracted for results skipped above a click.
+  double skip_penalty = 0.25;
+  /// Spread a clicked concept's gain to ontology neighbours with
+  /// similarity >= spread_min_similarity, scaled by spread_factor * sim.
+  bool ontology_spreading = true;
+  double spread_factor = 0.5;
+  double spread_min_similarity = 0.3;
+  /// Location gains also credit ancestors, damped per level.
+  double ancestor_damping = 0.5;
+  /// Exponential forgetting applied at day boundaries.
+  double daily_decay = 0.995;
+  click::DwellGradeThresholds thresholds;
+};
+
+/// The ontology-based user profile of the paper: a weighted set of
+/// content concepts and a weighted set of location nodes, accumulated
+/// online from the user's clickthrough. Positive weights mark concepts
+/// the user clicks; skipped results push weights down.
+class UserProfile {
+ public:
+  /// Creates an empty profile bound to a gazetteer (not owned).
+  UserProfile(click::UserId user, const geo::LocationOntology* ontology);
+
+  click::UserId user() const { return user_; }
+
+  /// Folds one impression into the profile. `content_ontology` (may be
+  /// null) enables similarity spreading between content concepts of this
+  /// impression's query.
+  void ObserveImpression(const click::ClickRecord& record,
+                         const ImpressionConcepts& impression,
+                         const concepts::ContentOntology* content_ontology,
+                         const ProfileUpdateOptions& options);
+
+  /// Applies one day's exponential decay to every weight.
+  void DecayDaily(const ProfileUpdateOptions& options);
+
+  /// Current weight of a content concept (0 when unseen).
+  double ContentWeight(const std::string& term) const;
+
+  /// Current weight of a location node (0 when unseen).
+  double LocationWeight(geo::LocationId location) const;
+
+  /// Soft location match: max over profile locations of
+  /// weight * ontology-similarity(location, profile location). Lets a
+  /// Whistler preference transfer to all of British Columbia.
+  double LocationAffinity(geo::LocationId location) const;
+
+  /// Adds `delta` to a location's weight directly (GPS augmentation and
+  /// tests use this).
+  void AddLocationWeight(geo::LocationId location, double delta);
+
+  /// Adds `delta` to a content concept's weight directly.
+  void AddContentWeight(const std::string& term, double delta);
+
+  /// Number of concepts with non-zero weight.
+  int ContentConceptCount() const;
+  int LocationConceptCount() const;
+
+  /// Largest positive weight in each map (0 for empty/all-negative
+  /// profiles). Feature extraction divides by these so features stay
+  /// scale-free as raw weights grow with observation count.
+  double MaxContentWeight() const;
+  double MaxLocationWeight() const;
+
+  /// Top-k content concepts / locations by weight (for inspection).
+  std::vector<std::pair<std::string, double>> TopContentConcepts(int k) const;
+  std::vector<std::pair<geo::LocationId, double>> TopLocations(int k) const;
+
+  /// Total number of impressions observed.
+  int impressions_observed() const { return impressions_observed_; }
+
+  /// Restores the impression counter when loading a persisted profile
+  /// (io::ProfileFromText). Not for use during normal operation.
+  void RestoreImpressionCount(int count) { impressions_observed_ = count; }
+
+ private:
+  click::UserId user_;
+  const geo::LocationOntology* ontology_;
+  std::unordered_map<std::string, double> content_weights_;
+  std::unordered_map<geo::LocationId, double> location_weights_;
+  int impressions_observed_ = 0;
+};
+
+}  // namespace pws::profile
+
+#endif  // PWS_PROFILE_USER_PROFILE_H_

@@ -1,0 +1,138 @@
+#include "ranking/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pws::ranking {
+namespace {
+
+// Squashes an unbounded non-negative signal into [0, 1).
+double Squash(double x) { return x / (1.0 + x); }
+
+}  // namespace
+
+double PageLocationDensity(const concepts::QueryLocationConcepts& locations) {
+  if (locations.per_result.empty()) return 0.0;
+  int located = 0;
+  for (const auto& locs : locations.per_result) {
+    if (!locs.empty()) ++located;
+  }
+  return static_cast<double>(located) / locations.per_result.size();
+}
+
+double LocationGate(double density, double lo, double hi) {
+  PWS_CHECK_LT(lo, hi);
+  if (density <= lo) return 0.0;
+  if (density >= hi) return 1.0;
+  const double t = (density - lo) / (hi - lo);
+  return t * t * (3.0 - 2.0 * t);
+}
+
+void MaskFeatureRange(std::vector<double>& x, int begin, int end) {
+  PWS_CHECK_GE(begin, 0);
+  PWS_CHECK_LE(end, static_cast<int>(x.size()));
+  for (int i = begin; i < end; ++i) x[i] = 0.0;
+}
+
+FeatureMatrix ExtractFeatures(const backend::ResultPage& page,
+                              const FeatureContext& context) {
+  PWS_CHECK(context.ontology != nullptr);
+  const int n = static_cast<int>(page.results.size());
+  FeatureMatrix features(n, std::vector<double>(kFeatureCount, 0.0));
+  if (n == 0) return features;
+
+  if (context.content_terms_per_result != nullptr) {
+    PWS_CHECK_EQ(context.content_terms_per_result->size(),
+                 static_cast<size_t>(n));
+  }
+  if (context.query_locations != nullptr) {
+    PWS_CHECK_EQ(context.query_locations->per_result.size(),
+                 static_cast<size_t>(n));
+  }
+
+  // Profile scale normalizers keep features scale-free as the profile's
+  // raw weights grow with observation count.
+  double content_norm = 1.0;
+  double location_norm = 1.0;
+  if (context.user_profile != nullptr) {
+    content_norm = std::max(1e-9, context.user_profile->MaxContentWeight());
+    location_norm = std::max(1e-9, context.user_profile->MaxLocationWeight());
+  }
+
+  for (int i = 0; i < n; ++i) {
+    std::vector<double>& x = features[i];
+
+    // --- Content block ---
+    if (context.user_profile != nullptr &&
+        context.content_terms_per_result != nullptr) {
+      const auto& terms = (*context.content_terms_per_result)[i];
+      double sum_weight = 0.0;
+      int positive = 0;
+      for (const auto& term : terms) {
+        const double w = context.user_profile->ContentWeight(term);
+        sum_weight += w;
+        if (w > 0.0) ++positive;
+      }
+      x[0] = Squash(std::max(0.0, sum_weight) / content_norm);
+      x[1] = terms.empty() ? 0.0
+                           : static_cast<double>(positive) / terms.size();
+    }
+
+    // --- Location block ---
+    if (context.query_locations != nullptr) {
+      const double gate =
+          LocationGate(PageLocationDensity(*context.query_locations));
+      // When the query names a place, the *query* fixes the location
+      // aspect: the user's standing location preference (and their
+      // physical position) must not fight it. Only the query-match
+      // feature stays live on such queries.
+      const double preference_gate =
+          context.query_mentioned_locations.empty() ? gate : 0.0;
+      const auto& locations = context.query_locations->per_result[i];
+      double query_match = 0.0;
+      for (geo::LocationId loc : locations) {
+        for (geo::LocationId qloc : context.query_mentioned_locations) {
+          query_match = std::max(query_match,
+                                 context.ontology->Similarity(loc, qloc));
+        }
+      }
+      x[kQueryLocationMatchIndex] = query_match;
+
+      if (context.user_profile != nullptr) {
+        double affinity = 0.0;
+        double direct = 0.0;
+        for (geo::LocationId loc : locations) {
+          affinity = std::max(affinity,
+                              context.user_profile->LocationAffinity(loc));
+          direct += std::max(0.0, context.user_profile->LocationWeight(loc));
+        }
+        x[3] = preference_gate * std::min(1.0, affinity / location_norm);
+        x[4] = preference_gate * Squash(direct / location_norm);
+      }
+
+      double page_weight = 0.0;
+      for (geo::LocationId loc : locations) {
+        page_weight =
+            std::max(page_weight, context.query_locations->WeightOf(loc));
+      }
+      x[5] = gate * page_weight;
+      x[6] = locations.empty() ? 0.0 : gate;
+
+      if (context.gps_position.has_value() && !locations.empty()) {
+        double best_decay = 0.0;
+        for (geo::LocationId loc : locations) {
+          const double km = geo::HaversineKm(
+              *context.gps_position, context.ontology->node(loc).coords);
+          best_decay = std::max(
+              best_decay, geo::DistanceDecay(km, context.gps_decay_scale_km));
+        }
+        x[kGpsFeatureIndex] = preference_gate * best_decay;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace pws::ranking

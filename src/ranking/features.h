@@ -1,0 +1,93 @@
+#ifndef PWS_RANKING_FEATURES_H_
+#define PWS_RANKING_FEATURES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "backend/search_backend.h"
+#include "concepts/location_concepts.h"
+#include "geo/geo_point.h"
+#include "geo/location_ontology.h"
+#include "profile/user_profile.h"
+
+namespace pws::ranking {
+
+/// Fixed feature layout: a content block and a location block. Backend
+/// evidence (BM25 score / original rank) is deliberately NOT a learned
+/// feature: skip-above preference pairs always prefer a lower-ranked
+/// result over a higher-ranked one, so any feature monotone in backend
+/// rank would be pushed strongly negative and the model would learn to
+/// invert the backend. Instead the backend order enters the serve-time
+/// score as a fixed prior (see RankerOptions::rank_prior_weight); the
+/// learned score is a *correction* on top of it.
+///
+/// index  meaning
+///  0  sum of profile weights over the result's content concepts,
+///     normalized by the profile's current max weight (squashed)
+///  1  fraction of the result's concepts with positive profile weight
+///  2  query-location match: best ontology similarity between the
+///     result's locations and locations named in the query text
+///  3  profile location affinity (similarity-weighted, normalized)
+///  4  sum of direct profile weights over the result's locations
+///     (normalized, squashed)
+///  5  page-dominant-location weight: how much of the page mentions the
+///     result's locations
+///  6  has-location indicator
+///  7  GPS proximity: distance decay from the user's position to the
+///     result's nearest location
+///
+/// Features 3..7 are scaled by the page's LOCATION GATE — a smoothstep of
+/// the fraction of results that mention any place. Pages of non-geo
+/// verticals carry locations only incidentally; clicks there say nothing
+/// about location preference, and leaving the features live would let
+/// skip-above pairs from such pages teach anti-location weights that
+/// then demote near-home results exactly where location matters
+/// (query-dependent personalization, the paper's central argument).
+inline constexpr int kContentFeatureBegin = 0;
+inline constexpr int kContentFeatureEnd = 2;
+inline constexpr int kLocationFeatureBegin = 2;
+inline constexpr int kLocationFeatureEnd = 8;
+inline constexpr int kQueryLocationMatchIndex = 2;
+inline constexpr int kGpsFeatureIndex = 7;
+inline constexpr int kFeatureCount = 8;
+
+/// Everything the extractor needs besides the page itself. Pointers are
+/// borrowed; null profile / null concepts disable the respective block
+/// (features stay 0).
+struct FeatureContext {
+  const geo::LocationOntology* ontology = nullptr;  // Required.
+  const profile::UserProfile* user_profile = nullptr;
+  /// Content concepts present in each result's title+snippet.
+  const std::vector<std::vector<std::string>>* content_terms_per_result =
+      nullptr;
+  /// Location concepts of the page (per result + aggregated).
+  const concepts::QueryLocationConcepts* query_locations = nullptr;
+  /// Locations named in the query text itself.
+  std::vector<geo::LocationId> query_mentioned_locations;
+  /// The user's physical position (mobile scenario), if known.
+  std::optional<geo::GeoPoint> gps_position;
+  /// Distance scale for the GPS proximity feature, in km.
+  double gps_decay_scale_km = 150.0;
+};
+
+/// One feature vector per result, aligned with backend rank order.
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+/// Fraction of results carrying at least one location concept.
+double PageLocationDensity(const concepts::QueryLocationConcepts& locations);
+
+/// Smoothstep gate on location density: 0 below `lo`, 1 above `hi`.
+double LocationGate(double density, double lo = 0.25, double hi = 0.55);
+
+/// Computes the kFeatureCount-dimensional vector for every result of a
+/// page. Pure function of (page, context); deterministic.
+FeatureMatrix ExtractFeatures(const backend::ResultPage& page,
+                              const FeatureContext& context);
+
+/// Zeroes `x[begin, end)` — used to ablate feature blocks.
+void MaskFeatureRange(std::vector<double>& x, int begin, int end);
+
+}  // namespace pws::ranking
+
+#endif  // PWS_RANKING_FEATURES_H_

@@ -1,0 +1,86 @@
+#include "ranking/rank_svm.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pws::ranking {
+
+RankSvm::RankSvm(int dimension)
+    : weights_(dimension, 0.0), prior_(dimension, 0.0) {
+  PWS_CHECK_GT(dimension, 0);
+}
+
+void RankSvm::SetPrior(std::vector<double> prior) {
+  PWS_CHECK_EQ(prior.size(), weights_.size());
+  prior_ = std::move(prior);
+  weights_ = prior_;
+  trained_ = true;
+}
+
+double RankSvm::Train(const std::vector<TrainingPair>& pairs,
+                      const RankSvmOptions& options) {
+  trained_ = true;
+  weights_ = prior_;  // Retraining starts from the prior each time.
+  if (pairs.empty()) return 0.0;
+  const int dim = dimension();
+  for (const auto& pair : pairs) {
+    PWS_CHECK_EQ(static_cast<int>(pair.preferred.size()), dim);
+    PWS_CHECK_EQ(static_cast<int>(pair.other.size()), dim);
+  }
+  Random rng(options.shuffle_seed);
+  std::vector<int> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double final_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (int index : order) {
+      const TrainingPair& pair = pairs[index];
+      double margin = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        margin += weights_[d] * (pair.preferred[d] - pair.other[d]);
+      }
+      const double hinge = std::max(0.0, 1.0 - margin);
+      epoch_loss += pair.weight * hinge;
+      // L2 pull toward the prior (Pegasos-style step; prior defaults to
+      // zero, giving plain shrinkage).
+      const double pull = options.learning_rate * options.l2_lambda;
+      for (int d = 0; d < dim; ++d) {
+        weights_[d] -= pull * (weights_[d] - prior_[d]);
+      }
+      if (hinge > 0.0) {
+        const double step = options.learning_rate * pair.weight;
+        for (int d = 0; d < dim; ++d) {
+          weights_[d] += step * (pair.preferred[d] - pair.other[d]);
+        }
+      }
+    }
+    final_epoch_loss = epoch_loss / pairs.size();
+  }
+  return final_epoch_loss;
+}
+
+double RankSvm::Score(const std::vector<double>& x) const {
+  return ScoreRange(x, 0, dimension());
+}
+
+double RankSvm::ScoreRange(const std::vector<double>& x, int begin,
+                           int end) const {
+  PWS_CHECK_EQ(static_cast<int>(x.size()), dimension());
+  PWS_CHECK_GE(begin, 0);
+  PWS_CHECK_LE(end, dimension());
+  double sum = 0.0;
+  for (int d = begin; d < end; ++d) sum += weights_[d] * x[d];
+  return sum;
+}
+
+void RankSvm::set_weights(std::vector<double> weights) {
+  PWS_CHECK_EQ(weights.size(), weights_.size());
+  weights_ = std::move(weights);
+  trained_ = true;
+}
+
+}  // namespace pws::ranking

@@ -1,0 +1,73 @@
+#ifndef PWS_RANKING_RANK_SVM_H_
+#define PWS_RANKING_RANK_SVM_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace pws::ranking {
+
+/// One pairwise training example: `preferred` should outscore `other`.
+struct TrainingPair {
+  std::vector<double> preferred;
+  std::vector<double> other;
+  double weight = 1.0;
+};
+
+/// RankSVM hyperparameters.
+struct RankSvmOptions {
+  double learning_rate = 0.05;
+  double l2_lambda = 3e-3;
+  int epochs = 10;
+  /// Pairs are visited in a shuffled order each epoch.
+  uint64_t shuffle_seed = 17;
+};
+
+/// Linear pairwise ranking SVM, trained by SGD on the hinge loss
+///   L = Σ w_p · max(0, 1 − w·(x⁺ − x⁻)) + λ/2 ‖w‖²
+/// — the learning component the paper trains on clickthrough preference
+/// pairs. Linear scoring keeps serve-time re-ranking at one dot product
+/// per result and makes the learned content/location weight blocks
+/// separable (needed for the α-blend and the ablations).
+class RankSvm {
+ public:
+  /// Creates a zero-weight model of the given dimensionality.
+  explicit RankSvm(int dimension);
+
+  /// Runs SGD over `pairs`. Pairs with mismatched dimensionality abort.
+  /// Returns the final epoch's average hinge loss (before regularizer).
+  double Train(const std::vector<TrainingPair>& pairs,
+               const RankSvmOptions& options);
+
+  /// w · x over the full vector.
+  double Score(const std::vector<double>& x) const;
+
+  /// w · x restricted to indices [begin, end) — block scores for the
+  /// content/location blend.
+  double ScoreRange(const std::vector<double>& x, int begin, int end) const;
+
+  int dimension() const { return static_cast<int>(weights_.size()); }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<double>& prior() const { return prior_; }
+  void set_weights(std::vector<double> weights);
+
+  /// Installs a prior weight vector: weights are initialized to it and L2
+  /// regularization pulls *toward* it rather than toward zero. Used to
+  /// encode domain knowledge (e.g. "matching the query's named city is
+  /// good") that training refines instead of relearning from scratch.
+  /// Marks the model trained so the prior takes effect immediately.
+  void SetPrior(std::vector<double> prior);
+
+  /// True until the first Train call (engines fall back to the backend
+  /// order for untrained models).
+  bool is_trained() const { return trained_; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> prior_;
+  bool trained_ = false;
+};
+
+}  // namespace pws::ranking
+
+#endif  // PWS_RANKING_RANK_SVM_H_

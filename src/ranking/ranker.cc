@@ -1,0 +1,123 @@
+#include "ranking/ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace pws::ranking {
+
+const char* StrategyToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      return "baseline";
+    case Strategy::kContentOnly:
+      return "content-only";
+    case Strategy::kLocationOnly:
+      return "location-only";
+    case Strategy::kCombined:
+      return "combined";
+    case Strategy::kCombinedGps:
+      return "combined+gps";
+  }
+  return "unknown";
+}
+
+void MaskForStrategy(std::vector<double>& x, Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBaseline:
+      MaskFeatureRange(x, 0, kFeatureCount);
+      break;
+    case Strategy::kContentOnly:
+      MaskFeatureRange(x, kLocationFeatureBegin, kLocationFeatureEnd);
+      break;
+    case Strategy::kLocationOnly:
+      MaskFeatureRange(x, kContentFeatureBegin, kContentFeatureEnd);
+      x[kGpsFeatureIndex] = 0.0;
+      break;
+    case Strategy::kCombined:
+      x[kGpsFeatureIndex] = 0.0;
+      break;
+    case Strategy::kCombinedGps:
+      break;
+  }
+}
+
+void MaskMatrixForStrategy(FeatureMatrix& features, Strategy strategy) {
+  for (auto& row : features) MaskForStrategy(row, strategy);
+}
+
+double BlendedScore(const RankSvm& model, const std::vector<double>& x,
+                    const RankerOptions& options) {
+  const double alpha = Clamp(options.alpha, 0.0, 1.0);
+  const double content =
+      model.ScoreRange(x, kContentFeatureBegin, kContentFeatureEnd);
+  const double location =
+      model.ScoreRange(x, kLocationFeatureBegin, kLocationFeatureEnd);
+  return 2.0 * (1.0 - alpha) * content + 2.0 * alpha * location;
+}
+
+double ServeScore(const RankSvm& model, const std::vector<double>& x,
+                  int backend_rank, const RankerOptions& options) {
+  return options.rank_prior_weight / (1.0 + backend_rank) +
+         BlendedScore(model, x, options);
+}
+
+namespace {
+
+// Positions of each row when sorted descending by `scores` (stable).
+std::vector<int> RanksOf(const std::vector<double>& scores) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<int> ranks(scores.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[order[pos]] = static_cast<int>(pos);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::vector<int> RankResults(const RankSvm& model,
+                             const FeatureMatrix& features, Strategy strategy,
+                             const RankerOptions& options) {
+  std::vector<int> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (strategy == Strategy::kBaseline || !model.is_trained()) return order;
+  std::vector<double> scores(features.size());
+  if (options.blend_mode == BlendMode::kScoreBlend) {
+    for (size_t i = 0; i < features.size(); ++i) {
+      scores[i] =
+          ServeScore(model, features[i], static_cast<int>(i), options);
+    }
+  } else {
+    // Reciprocal-rank fusion over the two block rankings.
+    constexpr double kRrfK = 60.0;
+    const double alpha = Clamp(options.alpha, 0.0, 1.0);
+    std::vector<double> content_scores(features.size());
+    std::vector<double> location_scores(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      content_scores[i] = model.ScoreRange(features[i], kContentFeatureBegin,
+                                           kContentFeatureEnd);
+      location_scores[i] = model.ScoreRange(
+          features[i], kLocationFeatureBegin, kLocationFeatureEnd);
+    }
+    const std::vector<int> content_ranks = RanksOf(content_scores);
+    const std::vector<int> location_ranks = RanksOf(location_scores);
+    for (size_t i = 0; i < features.size(); ++i) {
+      scores[i] =
+          options.rank_prior_weight / (1.0 + static_cast<double>(i)) +
+          kRrfK * (1.0 - alpha) / (kRrfK + content_ranks[i]) +
+          kRrfK * alpha / (kRrfK + location_ranks[i]);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace pws::ranking

@@ -1,0 +1,82 @@
+#ifndef PWS_RANKING_RANKER_H_
+#define PWS_RANKING_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "ranking/features.h"
+#include "ranking/rank_svm.h"
+
+namespace pws::ranking {
+
+/// The personalization strategies compared throughout the evaluation.
+enum class Strategy {
+  /// Backend order, untouched.
+  kBaseline = 0,
+  /// Re-rank with content-concept preferences only.
+  kContentOnly = 1,
+  /// Re-rank with location-concept preferences only.
+  kLocationOnly = 2,
+  /// The paper's full method: blend of content and location preference.
+  kCombined = 3,
+  /// Combined plus the GPS proximity feature (mobile scenario).
+  kCombinedGps = 4,
+};
+
+const char* StrategyToString(Strategy strategy);
+
+/// How the content and location preference signals are combined.
+enum class BlendMode {
+  /// Convex combination of the two block scores (the default):
+  ///   score = prior + 2(1−α)·content_block + 2α·location_block.
+  kScoreBlend = 0,
+  /// Reciprocal-rank fusion: rank the page separately by the content
+  /// block and by the location block, then combine
+  ///   score = prior + (1−α)/(60+rank_c) · 60 + α/(60+rank_l) · 60.
+  /// Less sensitive to block score scales; an E9-style alternative.
+  kRankFusion = 1,
+};
+
+/// Serve-time ranking knobs.
+struct RankerOptions {
+  /// Location blend weight α in [0, 1] (see BlendMode).
+  double alpha = 0.5;
+  /// Weight of the fixed backend-order prior rank_prior_weight/(1+rank).
+  /// The prior is NOT learned (see features.h on skip-above bias); it
+  /// anchors the ranking to the backend until the learned correction is
+  /// confident enough to move results.
+  double rank_prior_weight = 0.6;
+  BlendMode blend_mode = BlendMode::kScoreBlend;
+};
+
+/// Masks the feature blocks a strategy must not see. Applied both to
+/// training pairs and serve-time vectors so train and serve agree.
+///  kBaseline     -> everything masked (model unused anyway)
+///  kContentOnly  -> location block masked
+///  kLocationOnly -> content block masked
+///  kCombined     -> GPS feature masked
+///  kCombinedGps  -> nothing masked
+void MaskForStrategy(std::vector<double>& x, Strategy strategy);
+
+/// Applies MaskForStrategy to every row.
+void MaskMatrixForStrategy(FeatureMatrix& features, Strategy strategy);
+
+/// The learned (blended) part of the score for one masked vector.
+double BlendedScore(const RankSvm& model, const std::vector<double>& x,
+                    const RankerOptions& options);
+
+/// Full serve-time score of the result at backend rank `backend_rank`.
+double ServeScore(const RankSvm& model, const std::vector<double>& x,
+                  int backend_rank, const RankerOptions& options);
+
+/// Returns the result order (a permutation of [0, n)) for a page with the
+/// given masked feature matrix (row i = backend rank i): descending serve
+/// score, backend order as tie-break. kBaseline, or an untrained model,
+/// returns the identity.
+std::vector<int> RankResults(const RankSvm& model,
+                             const FeatureMatrix& features, Strategy strategy,
+                             const RankerOptions& options);
+
+}  // namespace pws::ranking
+
+#endif  // PWS_RANKING_RANKER_H_

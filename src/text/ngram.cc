@@ -1,0 +1,33 @@
+#include "text/ngram.h"
+
+#include "util/check.h"
+
+namespace pws::text {
+
+std::vector<std::string> ExtractNgrams(const std::vector<std::string>& tokens,
+                                       int n) {
+  PWS_CHECK_GE(n, 1);
+  std::vector<std::string> grams;
+  if (static_cast<int>(tokens.size()) < n) return grams;
+  grams.reserve(tokens.size() - n + 1);
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (int k = 1; k < n; ++k) {
+      gram += ' ';
+      gram += tokens[i + k];
+    }
+    grams.push_back(std::move(gram));
+  }
+  return grams;
+}
+
+std::vector<std::string> ExtractUnigramsAndBigrams(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out = tokens;
+  std::vector<std::string> bigrams = ExtractNgrams(tokens, 2);
+  out.insert(out.end(), std::make_move_iterator(bigrams.begin()),
+             std::make_move_iterator(bigrams.end()));
+  return out;
+}
+
+}  // namespace pws::text

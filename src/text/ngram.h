@@ -1,0 +1,22 @@
+#ifndef PWS_TEXT_NGRAM_H_
+#define PWS_TEXT_NGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace pws::text {
+
+/// Returns all contiguous n-grams of `tokens`, each joined with a single
+/// space (e.g. n=2 on ["new","york","hotel"] -> ["new york","york hotel"]).
+/// n must be >= 1; returns empty when tokens.size() < n.
+std::vector<std::string> ExtractNgrams(const std::vector<std::string>& tokens,
+                                       int n);
+
+/// Returns unigrams plus bigrams — the candidate set used by the content
+/// concept extractor.
+std::vector<std::string> ExtractUnigramsAndBigrams(
+    const std::vector<std::string>& tokens);
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_NGRAM_H_

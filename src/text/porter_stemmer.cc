@@ -1,0 +1,297 @@
+#include "text/porter_stemmer.h"
+
+namespace pws::text {
+namespace {
+
+// Working buffer for one stemming run. Offsets follow Porter's paper:
+// the stem under consideration is word_[0..j_], the full word is
+// word_[0..k_].
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : word_(word) {
+    k_ = static_cast<int>(word_.size()) - 1;
+    j_ = 0;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return word_;  // Words of length <= 2 are left alone.
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return word_.substr(0, k_ + 1);
+  }
+
+ private:
+  // True if word_[i] is a consonant.
+  bool IsConsonant(int i) const {
+    switch (word_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of word_[0..j_]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if word_[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if word_[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (word_[i] != word_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  // True if word_[i-2..i] is consonant-vowel-consonant and the final
+  // consonant is not w, x, or y. Used to detect e.g. hop -> hopping.
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char c = word_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True if word_[0..k_] ends with `suffix`; sets j_ to the offset just
+  // before the suffix when it matches.
+  bool Ends(std::string_view suffix) {
+    const int len = static_cast<int>(suffix.size());
+    if (len > k_ + 1) return false;
+    if (word_.compare(k_ - len + 1, len, suffix) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix (word_[j_+1..k_]) with `s` and updates k_.
+  void SetTo(std::string_view s) {
+    word_.replace(j_ + 1, k_ - j_, s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  // SetTo(s) when the stem measure is positive.
+  void ReplaceIfM0(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    // Step 1a: plurals.
+    if (word_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (word_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    // Step 1b: -ed / -ing.
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char c = word_[k_];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure() == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    // y -> i when there is another vowel in the stem.
+    if (Ends("y") && VowelInStem()) word_[k_] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (word_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM0("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM0("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM0("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM0("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM0("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM0("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM0("al"); break; }
+        if (Ends("entli")) { ReplaceIfM0("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM0("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM0("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM0("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM0("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM0("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM0("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM0("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM0("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM0("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM0("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM0("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (word_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM0(""); break; }
+        if (Ends("alize")) { ReplaceIfM0("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM0("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM0("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM0(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM0(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (word_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (word_[j_] == 's' || word_[j_] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  void Step5() {
+    // Step 5a: drop trailing e.
+    j_ = k_;
+    if (word_[k_] == 'e') {
+      const int m = Measure();
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    // Step 5b: -ll -> -l for m > 1.
+    if (word_[k_] == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+
+  std::string word_;
+  int k_;  // Index of the last character of the current word.
+  int j_;  // Index of the last character of the current stem.
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(word).Run();
+}
+
+}  // namespace pws::text

@@ -1,0 +1,19 @@
+#ifndef PWS_TEXT_PORTER_STEMMER_H_
+#define PWS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace pws::text {
+
+/// Returns the Porter stem of `word`. The input must already be lowercase
+/// ASCII (the tokenizer guarantees this); words of length <= 2 are
+/// returned unchanged, matching the original algorithm.
+///
+/// Implements M.F. Porter, "An algorithm for suffix stripping",
+/// Program 14(3), 1980 — steps 1a through 5b.
+std::string PorterStem(std::string_view word);
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_PORTER_STEMMER_H_

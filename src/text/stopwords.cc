@@ -1,0 +1,40 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace pws::text {
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "a",     "about", "above", "after",  "again",  "all",    "also",
+      "am",    "an",    "and",   "any",    "are",    "as",     "at",
+      "be",    "because", "been", "before", "being",  "below",  "between",
+      "both",  "but",   "by",    "can",    "could",  "did",    "do",
+      "does",  "doing", "down",  "during", "each",   "few",    "for",
+      "from",  "further", "had", "has",    "have",   "having", "he",
+      "her",   "here",  "hers",  "him",    "his",    "how",    "i",
+      "if",    "in",    "into",  "is",     "it",     "its",    "just",
+      "me",    "more",  "most",  "my",     "no",     "nor",    "not",
+      "now",   "of",    "off",   "on",     "once",   "only",   "or",
+      "other", "our",   "ours",  "out",    "over",   "own",    "same",
+      "she",   "should", "so",   "some",   "such",   "than",   "that",
+      "the",   "their", "theirs", "them",  "then",   "there",  "these",
+      "they",  "this",  "those", "through", "to",    "too",    "under",
+      "until", "up",    "very",  "was",    "we",     "were",   "what",
+      "when",  "where", "which", "while",  "who",    "whom",   "why",
+      "will",  "with",  "would", "you",    "your",   "yours",
+  };
+  return set;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+int StopwordCount() { return static_cast<int>(StopwordSet().size()); }
+
+}  // namespace pws::text

@@ -1,0 +1,17 @@
+#ifndef PWS_TEXT_STOPWORDS_H_
+#define PWS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace pws::text {
+
+/// Returns true when `word` (already lowercased) is an English stopword.
+/// Backed by a compiled-in list of ~120 high-frequency function words.
+bool IsStopword(std::string_view word);
+
+/// Number of words in the compiled-in stopword list (for tests).
+int StopwordCount();
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_STOPWORDS_H_

@@ -1,0 +1,60 @@
+#include "text/tf_idf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pws::text {
+
+TfIdfModel::TfIdfModel(const std::vector<std::vector<TermId>>& documents,
+                       int vocab_size)
+    : num_documents_(static_cast<int>(documents.size())),
+      document_frequency_(vocab_size, 0) {
+  for (const auto& doc : documents) {
+    std::unordered_set<TermId> seen;
+    for (TermId t : doc) {
+      if (t < 0 || t >= vocab_size) continue;
+      if (seen.insert(t).second) ++document_frequency_[t];
+    }
+  }
+}
+
+double TfIdfModel::Idf(TermId term) const {
+  int df = 0;
+  if (term >= 0 && term < static_cast<TermId>(document_frequency_.size())) {
+    df = document_frequency_[term];
+  }
+  return std::log((num_documents_ + 1.0) / (df + 1.0)) + 1.0;
+}
+
+SparseVector TfIdfModel::Vectorize(const std::vector<TermId>& doc_terms) const {
+  std::unordered_map<TermId, int> counts;
+  for (TermId t : doc_terms) {
+    if (t >= 0) ++counts[t];
+  }
+  SparseVector vec;
+  vec.reserve(counts.size());
+  for (const auto& [term, count] : counts) {
+    vec[term] = (1.0 + std::log(static_cast<double>(count))) * Idf(term);
+  }
+  return vec;
+}
+
+double TfIdfModel::Cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, weight] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += weight * it->second;
+  }
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [term, weight] : a) norm_a += weight * weight;
+  for (const auto& [term, weight] : b) norm_b += weight * weight;
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace pws::text

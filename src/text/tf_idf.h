@@ -1,0 +1,43 @@
+#ifndef PWS_TEXT_TF_IDF_H_
+#define PWS_TEXT_TF_IDF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace pws::text {
+
+/// Sparse term-weight vector (term id -> weight).
+using SparseVector = std::unordered_map<TermId, double>;
+
+/// Computes smoothed idf values over a collection of token-id documents:
+/// idf(t) = log((N + 1) / (df(t) + 1)) + 1. The vocabulary provides the
+/// dense id space; ids >= vocabulary size are ignored.
+class TfIdfModel {
+ public:
+  /// Builds document frequencies from `documents` (each a bag of term ids;
+  /// kUnknownTerm entries are skipped). `vocab_size` fixes the id space.
+  TfIdfModel(const std::vector<std::vector<TermId>>& documents,
+             int vocab_size);
+
+  /// Returns the idf of `term` (terms never seen get the maximum idf).
+  double Idf(TermId term) const;
+
+  /// Returns the tf-idf vector of a document given as term ids, with tf
+  /// log-scaled: tf = 1 + log(count).
+  SparseVector Vectorize(const std::vector<TermId>& doc_terms) const;
+
+  /// Cosine similarity between two sparse vectors.
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+  int num_documents() const { return num_documents_; }
+
+ private:
+  int num_documents_ = 0;
+  std::vector<int> document_frequency_;
+};
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_TF_IDF_H_

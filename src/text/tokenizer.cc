@@ -1,0 +1,38 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace pws::text {
+
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (static_cast<int>(current.size()) >= options.min_token_length &&
+        !(options.remove_stopwords && IsStopword(current))) {
+      tokens.push_back(options.stem ? PorterStem(current) : current);
+    }
+    current.clear();
+  };
+  for (char raw : input) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  return Tokenize(input, TokenizerOptions{});
+}
+
+}  // namespace pws::text

@@ -1,0 +1,32 @@
+#ifndef PWS_TEXT_TOKENIZER_H_
+#define PWS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pws::text {
+
+/// Tokenization knobs shared by indexing, concept extraction, and the
+/// location extractor (which needs stopwords *kept* so multi-word place
+/// names like "isle of skye" survive).
+struct TokenizerOptions {
+  /// Drop tokens shorter than this many characters.
+  int min_token_length = 1;
+  /// Drop English stopwords.
+  bool remove_stopwords = false;
+  /// Apply the Porter stemmer to each token.
+  bool stem = false;
+};
+
+/// Lowercases, splits on non-alphanumeric runs, and post-processes tokens
+/// per `options`. Digits are kept (model numbers, zip codes).
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options);
+
+/// Tokenize with default options (keep everything, no stemming).
+std::vector<std::string> Tokenize(std::string_view input);
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_TOKENIZER_H_

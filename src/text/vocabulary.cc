@@ -1,0 +1,43 @@
+#include "text/vocabulary.h"
+
+#include "util/check.h"
+
+namespace pws::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Get(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kUnknownTerm : it->second;
+}
+
+const std::string& Vocabulary::TermOf(TermId id) const {
+  PWS_CHECK_GE(id, 0);
+  PWS_CHECK_LT(id, static_cast<TermId>(terms_.size()));
+  return terms_[id];
+}
+
+std::vector<TermId> Vocabulary::EncodeOrAdd(
+    const std::vector<std::string>& tokens) {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(GetOrAdd(t));
+  return ids;
+}
+
+std::vector<TermId> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Get(t));
+  return ids;
+}
+
+}  // namespace pws::text

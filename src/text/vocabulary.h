@@ -1,0 +1,45 @@
+#ifndef PWS_TEXT_VOCABULARY_H_
+#define PWS_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pws::text {
+
+/// Dense term id assigned by a Vocabulary; -1 means "unknown".
+using TermId = int32_t;
+inline constexpr TermId kUnknownTerm = -1;
+
+/// Bidirectional term <-> dense id map. Ids are assigned in insertion
+/// order starting at 0, which lets callers use them as vector indices.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `term`, inserting it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kUnknownTerm.
+  TermId Get(std::string_view term) const;
+
+  /// Returns the term for `id`; id must be in [0, size()).
+  const std::string& TermOf(TermId id) const;
+
+  int size() const { return static_cast<int>(terms_.size()); }
+
+  /// Converts tokens to ids, adding new terms.
+  std::vector<TermId> EncodeOrAdd(const std::vector<std::string>& tokens);
+
+  /// Converts tokens to ids, mapping unknown terms to kUnknownTerm.
+  std::vector<TermId> Encode(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_VOCABULARY_H_

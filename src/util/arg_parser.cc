@@ -1,0 +1,56 @@
+#include "util/arg_parser.h"
+
+#include "util/string_util.h"
+
+namespace pws {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        flags_[body] = "true";
+      } else {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  int64_t value = 0;
+  return ParseInt64(it->second, &value) ? value : default_value;
+}
+
+double ArgParser::GetDouble(const std::string& name,
+                            double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  double value = 0.0;
+  return ParseDouble(it->second, &value) ? value : default_value;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string lowered = ToLower(it->second);
+  return lowered == "true" || lowered == "1" || lowered == "yes";
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+}  // namespace pws

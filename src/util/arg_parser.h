@@ -1,0 +1,37 @@
+#ifndef PWS_UTIL_ARG_PARSER_H_
+#define PWS_UTIL_ARG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pws {
+
+/// Minimal --key=value command-line parser for the bench and example
+/// binaries. Unknown flags are collected rather than rejected so benches
+/// can share workload flags.
+class ArgParser {
+ public:
+  /// Parses argv; flags look like --name=value or --name (value "true").
+  ArgParser(int argc, const char* const* argv);
+
+  /// Returns the flag value or `default_value` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_ARG_PARSER_H_

@@ -1,0 +1,65 @@
+#ifndef PWS_UTIL_CHECK_H_
+#define PWS_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pws {
+namespace internal_check {
+
+/// Accumulates an optional "<< ..." message for a failed check and aborts
+/// the process when destroyed. Used only via the PWS_CHECK macros.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Gives the check failure stream a void result so it can appear on the
+/// false branch of the ternary inside PWS_CHECK. operator& binds more
+/// loosely than operator<<, so the streamed message is built first.
+class Voidify {
+ public:
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace pws
+
+/// Aborts with a diagnostic when `condition` is false. Usable as a stream:
+///   PWS_CHECK(n > 0) << "n was " << n;
+#define PWS_CHECK(condition)                       \
+  (condition) ? static_cast<void>(0)               \
+              : ::pws::internal_check::Voidify() & \
+                    ::pws::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define PWS_CHECK_EQ(a, b) PWS_CHECK((a) == (b))
+#define PWS_CHECK_NE(a, b) PWS_CHECK((a) != (b))
+#define PWS_CHECK_LT(a, b) PWS_CHECK((a) < (b))
+#define PWS_CHECK_LE(a, b) PWS_CHECK((a) <= (b))
+#define PWS_CHECK_GT(a, b) PWS_CHECK((a) > (b))
+#define PWS_CHECK_GE(a, b) PWS_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define PWS_DCHECK(condition) \
+  while (false) PWS_CHECK(condition)
+#else
+#define PWS_DCHECK(condition) PWS_CHECK(condition)
+#endif
+
+#endif  // PWS_UTIL_CHECK_H_

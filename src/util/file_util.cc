@@ -1,0 +1,46 @@
+#include "util/file_util.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+namespace pws {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open for read: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool had_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (had_error) return InternalError("read error: " + path);
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot open for write: " + path);
+  }
+  const size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool flush_failed = std::fclose(file) != 0;
+  if (written != contents.size() || flush_failed) {
+    return InternalError("write error: " + path);
+  }
+  return OkStatus();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0 && S_ISREG(info.st_mode);
+}
+
+}  // namespace pws

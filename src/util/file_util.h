@@ -1,0 +1,22 @@
+#ifndef PWS_UTIL_FILE_UTIL_H_
+#define PWS_UTIL_FILE_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pws {
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (replaces) a file with `contents`.
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents);
+
+/// True when `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_FILE_UTIL_H_

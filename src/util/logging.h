@@ -1,0 +1,46 @@
+#ifndef PWS_UTIL_LOGGING_H_
+#define PWS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pws {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will actually be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// One log statement: buffers a line and flushes it to stderr (with a
+/// level tag and source location) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace pws
+
+#define PWS_LOG(level)                                        \
+  ::pws::internal_logging::LogMessage(::pws::LogLevel::level, \
+                                      __FILE__, __LINE__)
+
+#endif  // PWS_UTIL_LOGGING_H_

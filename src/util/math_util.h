@@ -1,0 +1,40 @@
+#ifndef PWS_UTIL_MATH_UTIL_H_
+#define PWS_UTIL_MATH_UTIL_H_
+
+#include <vector>
+
+namespace pws {
+
+/// Dot product; the vectors must have equal length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double L2Norm(const std::vector<double>& v);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Shannon entropy (natural log) of an unnormalized non-negative weight
+/// vector. Zero weights contribute nothing; an empty or all-zero vector
+/// has entropy 0.
+double Entropy(const std::vector<double>& weights);
+
+/// Normalizes `weights` to sum to 1 in place; no-op if the sum is 0.
+void NormalizeInPlace(std::vector<double>& weights);
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Numerically-stable logistic function 1 / (1 + exp(-x)).
+double Sigmoid(double x);
+
+/// Clamps `x` to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_MATH_UTIL_H_

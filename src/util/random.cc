@@ -1,0 +1,145 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace pws {
+namespace {
+
+// SplitMix64, used to expand the user seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::UniformUint64(uint64_t bound) {
+  PWS_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  PWS_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(UniformUint64(span));
+}
+
+double Random::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  PWS_CHECK_LT(lo, hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Random::Gaussian() {
+  // Box–Muller; discards the second variate for simplicity.
+  double u1 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Random::Exponential(double rate) {
+  PWS_CHECK_GT(rate, 0.0);
+  double u = UniformDouble();
+  while (u <= 1e-300) u = UniformDouble();
+  return -std::log(u) / rate;
+}
+
+int Random::Categorical(const std::vector<double>& weights) {
+  PWS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    PWS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  PWS_CHECK_GT(total, 0.0) << "Categorical needs a positive weight";
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int>(i);
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return static_cast<int>(i - 1);
+  }
+  return 0;
+}
+
+int Random::Zipf(int n, double s) {
+  PWS_CHECK_GT(n, 0);
+  double total = 0.0;
+  for (int r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1, s);
+  double target = UniformDouble() * total;
+  for (int r = 0; r < n; ++r) {
+    target -= 1.0 / std::pow(r + 1, s);
+    if (target < 0.0) return r;
+  }
+  return n - 1;
+}
+
+std::vector<int> Random::SampleWithoutReplacement(int n, int k) {
+  PWS_CHECK_GE(n, 0);
+  PWS_CHECK_GE(k, 0);
+  PWS_CHECK_LE(k, n);
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    std::vector<int> indices(n);
+    std::iota(indices.begin(), indices.end(), 0);
+    Shuffle(indices);
+    indices.resize(k);
+    return indices;
+  }
+  std::unordered_set<int> seen;
+  std::vector<int> out;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    int candidate = static_cast<int>(UniformUint64(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace pws

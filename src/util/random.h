@@ -1,0 +1,75 @@
+#ifndef PWS_UTIL_RANDOM_H_
+#define PWS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pws {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**) with the
+/// sampling helpers the simulators need. Not thread-safe; create one per
+/// thread or per component. The same seed always yields the same stream,
+/// which keeps experiments reproducible.
+class Random {
+ public:
+  /// Seeds the generator; any 64-bit value is acceptable (0 included).
+  explicit Random(uint64_t seed);
+
+  /// Returns the next raw 64 random bits.
+  uint64_t NextUint64();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns a uniform double in [lo, hi). Requires lo < hi.
+  double UniformDouble(double lo, double hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a standard normal sample (Box–Muller).
+  double Gaussian();
+
+  /// Returns mean + stddev * Gaussian().
+  double Gaussian(double mean, double stddev);
+
+  /// Returns an exponential sample with the given rate (> 0).
+  double Exponential(double rate);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// At least one weight must be positive.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Samples a rank in [0, n) from a Zipf distribution with exponent s
+  /// (probability of rank r proportional to 1/(r+1)^s). Linear-time
+  /// inversion; fine for the corpus sizes used here.
+  int Zipf(int n, double s);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks `k` distinct indices from [0, n) (reservoir-free, via shuffle of
+  /// an index vector when k is a large fraction of n, else rejection).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_RANDOM_H_

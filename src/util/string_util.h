@@ -1,0 +1,40 @@
+#ifndef PWS_UTIL_STRING_UTIL_H_
+#define PWS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pws {
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Splits `text` on any whitespace run, dropping empty pieces.
+std::vector<std::string> StrSplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Returns `text` lowercased (ASCII only).
+std::string ToLower(std::string_view text);
+
+/// Returns `text` with leading/trailing whitespace removed.
+std::string StrTrim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with `digits` decimal places (no locale surprises).
+std::string FormatDouble(double value, int digits);
+
+/// Parses a non-negative base-10 integer; returns false on any non-digit.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a floating point value; returns false on trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace pws {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PWS_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  PWS_CHECK_EQ(cells.size(), headers_.size())
+      << "row width mismatch (" << cells.size() << " vs " << headers_.size()
+      << ")";
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddNumericRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatDouble(v, digits));
+  AddRow(std::move(cells));
+}
+
+std::string Table::ToAligned() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line;
+  };
+  std::string out = render_row(headers_);
+  out += '\n';
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::ToTsv() const {
+  std::string out = StrJoin(headers_, "\t");
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += StrJoin(row, "\t");
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::Print(std::ostream& os, const std::string& title) const {
+  os << "== " << title << " ==\n" << ToAligned() << "\n";
+}
+
+}  // namespace pws

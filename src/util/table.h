@@ -1,0 +1,46 @@
+#ifndef PWS_UTIL_TABLE_H_
+#define PWS_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pws {
+
+/// Collects rows of string cells under a fixed header and renders them as
+/// an aligned console table or as TSV. The bench binaries use this so the
+/// experiment output format stays uniform (see EXPERIMENTS.md).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `digits` decimals into a row,
+  /// prefixed by a label cell.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int digits);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders with padded columns and a header separator line.
+  std::string ToAligned() const;
+
+  /// Renders as tab-separated values (header row first).
+  std::string ToTsv() const;
+
+  /// Writes the aligned rendering, preceded by `title`, to `os`.
+  void Print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef PWS_UTIL_TIMER_H_
+#define PWS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pws {
+
+/// Wall-clock stopwatch for coarse experiment timing (the microbench
+/// binaries use google-benchmark instead).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_TIMER_H_

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "backend/inverted_index.h"
+#include "backend/search_backend.h"
+#include "backend/snippet.h"
+#include "corpus/corpus.h"
+#include "text/tokenizer.h"
+
+namespace pws::backend {
+namespace {
+
+corpus::Document MakeDoc(corpus::DocId id, const std::string& title,
+                         const std::string& body) {
+  corpus::Document doc;
+  doc.id = id;
+  doc.title = title;
+  doc.body = body;
+  doc.url = "http://example/" + std::to_string(id);
+  doc.topic_mixture_truth = {1.0};
+  doc.primary_topic_truth = 0;
+  return doc;
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    corpus_.Add(MakeDoc(0, "apple pie", "apple pie recipe with apples"));
+    corpus_.Add(MakeDoc(1, "banana bread", "banana bread and banana cake"));
+    corpus_.Add(MakeDoc(2, "fruit salad", "apple banana orange fruit mix"));
+    corpus_.Add(MakeDoc(3, "empty doc", "zzz"));
+    index_ = std::make_unique<InvertedIndex>(&corpus_);
+  }
+
+  corpus::Corpus corpus_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(IndexTest, BasicStats) {
+  EXPECT_EQ(index_->num_documents(), 4);
+  EXPECT_GT(index_->vocabulary_size(), 8);
+  EXPECT_GT(index_->average_document_length(), 0.0);
+  EXPECT_GT(index_->DocumentLength(0), 0);
+}
+
+TEST_F(IndexTest, PostingsReflectOccurrences) {
+  const auto& apple = index_->PostingsFor("apple");
+  ASSERT_EQ(apple.size(), 2u);  // docs 0 and 2 ("apples" is a distinct term)
+  EXPECT_EQ(apple[0].doc, 0);
+  EXPECT_EQ(apple[1].doc, 2);
+  EXPECT_GT(apple[0].term_frequency, apple[1].term_frequency);
+  EXPECT_TRUE(index_->PostingsFor("nonexistent").empty());
+}
+
+TEST_F(IndexTest, TitleTokensAreBoosted) {
+  // "pie" appears once in title and once in body of doc 0 -> tf 3 with
+  // the x2 title boost.
+  const auto& pie = index_->PostingsFor("pie");
+  ASSERT_EQ(pie.size(), 1u);
+  EXPECT_EQ(pie[0].term_frequency, 3);
+}
+
+TEST_F(IndexTest, TopKRanksMatchingDocsFirst) {
+  const auto top = index_->TopK({"banana"}, 3, Bm25Params{});
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0], 1);  // Two banana occurrences + title boost.
+  EXPECT_EQ(top[1], 2);
+}
+
+TEST_F(IndexTest, TopKMultiTermQueryPrefersBothTerms) {
+  const auto top = index_->TopK({"apple", "banana"}, 4, Bm25Params{});
+  ASSERT_GE(top.size(), 3u);
+  EXPECT_EQ(top[0], 2);  // Only doc with both terms.
+}
+
+TEST_F(IndexTest, ScoreAgreesWithTopKOrdering) {
+  const auto top = index_->TopK({"apple", "banana"}, 4, Bm25Params{});
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(index_->Score({"apple", "banana"}, top[i - 1], Bm25Params{}),
+              index_->Score({"apple", "banana"}, top[i], Bm25Params{}));
+  }
+}
+
+TEST_F(IndexTest, UnknownQueryYieldsNothing) {
+  EXPECT_TRUE(index_->TopK({"qqqq"}, 5, Bm25Params{}).empty());
+  EXPECT_EQ(index_->Score({"qqqq"}, 0, Bm25Params{}), 0.0);
+}
+
+// ---------- Snippets ----------
+
+TEST(SnippetTest, ShortBodyReturnedWhole) {
+  SnippetOptions options;
+  options.window_tokens = 30;
+  EXPECT_EQ(MakeSnippet("just a few words", {"few"}, options),
+            "just a few words");
+}
+
+TEST(SnippetTest, WindowCoversQueryTerms) {
+  SnippetOptions options;
+  options.window_tokens = 5;
+  std::string body = "aaa bbb ccc ddd eee target1 xxx target2 yyy zzz www";
+  const std::string snippet =
+      MakeSnippet(body, {"target1", "target2"}, options);
+  EXPECT_NE(snippet.find("target1"), std::string::npos);
+  EXPECT_NE(snippet.find("target2"), std::string::npos);
+  EXPECT_EQ(text::Tokenize(snippet).size(), 5u);
+}
+
+TEST(SnippetTest, NoQueryMatchFallsBackToPrefix) {
+  SnippetOptions options;
+  options.window_tokens = 3;
+  EXPECT_EQ(MakeSnippet("one two three four five", {"absent"}, options),
+            "one two three");
+}
+
+TEST(SnippetTest, EmptyBody) {
+  EXPECT_EQ(MakeSnippet("", {"x"}, SnippetOptions{}), "");
+}
+
+// ---------- SearchBackend ----------
+
+class BackendTest : public ::testing::Test {
+ protected:
+  BackendTest() {
+    corpus_.Add(MakeDoc(0, "ski resort whistler",
+                        "whistler ski resort powder slopes lift whistler"));
+    corpus_.Add(MakeDoc(1, "ski gear", "ski snowboard gear shop bindings"));
+    corpus_.Add(MakeDoc(2, "beach holiday", "sunny beach sand waves resort"));
+    SearchBackendOptions options;
+    options.page_size = 2;
+    backend_ = std::make_unique<SearchBackend>(&corpus_, options);
+  }
+
+  corpus::Corpus corpus_;
+  std::unique_ptr<SearchBackend> backend_;
+};
+
+TEST_F(BackendTest, ReturnsRankedPage) {
+  const ResultPage page = backend_->Search("ski whistler");
+  ASSERT_EQ(page.results.size(), 2u);
+  EXPECT_EQ(page.query, "ski whistler");
+  EXPECT_EQ(page.results[0].doc, 0);
+  EXPECT_EQ(page.results[0].rank, 0);
+  EXPECT_EQ(page.results[1].rank, 1);
+  EXPECT_GE(page.results[0].score, page.results[1].score);
+  EXPECT_FALSE(page.results[0].snippet.empty());
+  EXPECT_FALSE(page.results[0].title.empty());
+  EXPECT_FALSE(page.results[0].url.empty());
+}
+
+TEST_F(BackendTest, ExplicitKOverridesPageSize) {
+  EXPECT_EQ(backend_->Search("ski", 1).results.size(), 1u);
+  EXPECT_EQ(backend_->Search("resort", 10).results.size(), 2u);
+}
+
+TEST_F(BackendTest, EmptyQueryYieldsEmptyPage) {
+  EXPECT_TRUE(backend_->Search("").results.empty());
+  EXPECT_TRUE(backend_->Search("???").results.empty());
+}
+
+TEST_F(BackendTest, DeterministicResults) {
+  const auto a = backend_->Search("ski resort");
+  const auto b = backend_->Search("ski resort");
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].doc, b.results[i].doc);
+  }
+}
+
+}  // namespace
+}  // namespace pws::backend

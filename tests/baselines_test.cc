@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/click_history.h"
+#include "eval/harness.h"
+#include "eval/stats.h"
+#include "eval/world.h"
+
+namespace pws::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 5;
+    config.corpus.num_documents = 2000;
+    config.users.num_users = 4;
+    config.queries.queries_per_class = 6;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static click::ClickRecord ClickAtShownRank(
+      const core::PersonalizedPage& page, int rank) {
+    click::ClickRecord record;
+    record.query_text = page.backend_page.query;
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      click::Interaction interaction;
+      interaction.doc = page.backend_page.results[page.order[j]].doc;
+      interaction.rank = static_cast<int>(j);
+      if (static_cast<int>(j) == rank) {
+        interaction.clicked = true;
+        interaction.dwell_units = 300.0;
+        interaction.last_click_in_session = true;
+      }
+      record.interactions.push_back(interaction);
+    }
+    return record;
+  }
+
+  static eval::World* world_;
+};
+
+eval::World* BaselinesTest::world_ = nullptr;
+
+TEST_F(BaselinesTest, PClickPromotesPreviouslyClickedDoc) {
+  ClickHistoryOptions options;
+  ClickHistoryPersonalizer personalizer(&world_->search_backend(), options);
+  personalizer.RegisterUser(0);
+
+  const std::string query = "hotel booking";
+  auto page = personalizer.Serve(0, query);
+  ASSERT_GT(page.order.size(), 5u);
+  // Initially backend order.
+  for (size_t j = 0; j < page.order.size(); ++j) {
+    EXPECT_EQ(page.order[j], static_cast<int>(j));
+  }
+  const corpus::DocId target = page.backend_page.results[5].doc;
+
+  // Click the doc at shown rank 5 three times.
+  for (int i = 0; i < 3; ++i) {
+    page = personalizer.Serve(0, query);
+    int shown_rank = -1;
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      if (page.backend_page.results[page.order[j]].doc == target) {
+        shown_rank = static_cast<int>(j);
+      }
+    }
+    ASSERT_GE(shown_rank, 0);
+    personalizer.Observe(0, page, ClickAtShownRank(page, shown_rank));
+  }
+  EXPECT_EQ(personalizer.ClickCount(0, query, target), 3);
+
+  page = personalizer.Serve(0, query);
+  EXPECT_EQ(page.backend_page.results[page.order[0]].doc, target);
+}
+
+TEST_F(BaselinesTest, PClickIsPerUserGClickIsShared) {
+  const std::string query = "hotel booking";
+  // Personal: user 1's clicks do not affect user 2.
+  {
+    ClickHistoryOptions options;
+    options.mode = ClickHistoryMode::kPersonal;
+    ClickHistoryPersonalizer personalizer(&world_->search_backend(), options);
+    auto page = personalizer.Serve(1, query);
+    personalizer.Observe(1, page, ClickAtShownRank(page, 4));
+    const corpus::DocId doc = page.backend_page.results[page.order[4]].doc;
+    EXPECT_EQ(personalizer.ClickCount(1, query, doc), 1);
+    EXPECT_EQ(personalizer.ClickCount(2, query, doc), 0);
+  }
+  // Global: they do.
+  {
+    ClickHistoryOptions options;
+    options.mode = ClickHistoryMode::kGlobal;
+    ClickHistoryPersonalizer personalizer(&world_->search_backend(), options);
+    auto page = personalizer.Serve(1, query);
+    personalizer.Observe(1, page, ClickAtShownRank(page, 4));
+    const corpus::DocId doc = page.backend_page.results[page.order[4]].doc;
+    EXPECT_EQ(personalizer.ClickCount(2, query, doc), 1);
+  }
+}
+
+TEST_F(BaselinesTest, UnseenQueryKeepsBackendOrder) {
+  ClickHistoryPersonalizer personalizer(&world_->search_backend(),
+                                        ClickHistoryOptions{});
+  personalizer.RegisterUser(0);
+  const auto page = personalizer.Serve(0, "restaurant dinner");
+  for (size_t j = 0; j < page.order.size(); ++j) {
+    EXPECT_EQ(page.order[j], static_cast<int>(j));
+  }
+}
+
+TEST_F(BaselinesTest, RandomReRankerIsDeterministicPerQuery) {
+  RandomReRanker a(&world_->search_backend(), 7);
+  RandomReRanker b(&world_->search_backend(), 7);
+  RandomReRanker c(&world_->search_backend(), 8);
+  const auto pa = a.Serve(0, "hotel booking");
+  const auto pb = b.Serve(1, "hotel booking");
+  const auto pc = c.Serve(0, "hotel booking");
+  EXPECT_EQ(pa.order, pb.order);     // Same seed, user-independent.
+  EXPECT_NE(pa.order, pc.order);     // Different seed.
+  // Still a permutation.
+  std::vector<int> sorted = pa.order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> identity(sorted.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(sorted, identity);
+}
+
+TEST_F(BaselinesTest, HarnessRunsBaselinePersonalizers) {
+  eval::SimulationOptions sim;
+  sim.train_days = 2;
+  sim.queries_per_user_day = 3;
+  sim.test_queries_per_user = 6;
+  eval::SimulationHarness harness(world_, sim);
+  eval::PersonalizerFactory factory = []() {
+    return std::make_unique<ClickHistoryPersonalizer>(
+        &world_->search_backend(), ClickHistoryOptions{});
+  };
+  const auto metrics = harness.RunPersonalizer(factory, false, nullptr);
+  EXPECT_EQ(metrics.impressions, 4 * 6);
+  EXPECT_GT(metrics.mrr, 0.0);
+}
+
+// ---------- Paired stats ----------
+
+TEST(StatsTest, ComparePairedBasics) {
+  std::vector<eval::ImpressionOutcome> a(4);
+  std::vector<eval::ImpressionOutcome> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a[i].user = b[i].user = i;
+    a[i].query_id = b[i].query_id = 100 + i;
+    a[i].reciprocal_rank = 0.5;
+    b[i].reciprocal_rank = 0.25;
+  }
+  a[3].reciprocal_rank = 0.25;  // One tie.
+  const auto cmp = ComparePaired(a, b, eval::ReciprocalRankOf);
+  EXPECT_EQ(cmp.n, 4);
+  EXPECT_EQ(cmp.wins, 3);
+  EXPECT_EQ(cmp.losses, 0);
+  EXPECT_EQ(cmp.ties, 1);
+  EXPECT_NEAR(cmp.mean_a, 0.4375, 1e-12);
+  EXPECT_NEAR(cmp.mean_b, 0.25, 1e-12);
+  EXPECT_NEAR(cmp.mean_delta, 0.1875, 1e-12);
+  EXPECT_GT(cmp.t_statistic, 0.0);
+}
+
+TEST(StatsTest, ConstantDeltasGiveZeroT) {
+  std::vector<eval::ImpressionOutcome> a(3);
+  std::vector<eval::ImpressionOutcome> b(3);
+  for (int i = 0; i < 3; ++i) {
+    a[i].user = b[i].user = i;
+    a[i].query_id = b[i].query_id = i;
+    a[i].ndcg10 = 0.7;
+    b[i].ndcg10 = 0.7;
+  }
+  const auto cmp = ComparePaired(a, b, eval::NdcgOf);
+  EXPECT_EQ(cmp.ties, 3);
+  EXPECT_DOUBLE_EQ(cmp.t_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.stddev_delta, 0.0);
+}
+
+TEST(StatsTest, MisalignedListsAbort) {
+  std::vector<eval::ImpressionOutcome> a(2);
+  std::vector<eval::ImpressionOutcome> b(2);
+  a[0].user = 0;
+  a[1].user = 1;
+  b[0].user = 0;
+  b[1].user = 9;  // Misaligned.
+  a[0].query_id = a[1].query_id = b[0].query_id = b[1].query_id = 5;
+  EXPECT_DEATH(ComparePaired(a, b, eval::ReciprocalRankOf), "align");
+}
+
+TEST(StatsTest, EmptyComparison) {
+  const auto cmp = ComparePaired({}, {}, eval::ReciprocalRankOf);
+  EXPECT_EQ(cmp.n, 0);
+  EXPECT_DOUBLE_EQ(cmp.t_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace pws::baselines

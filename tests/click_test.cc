@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "click/click_log.h"
+#include "click/click_model.h"
+#include "click/query_generator.h"
+#include "click/relevance.h"
+#include "click/sessions.h"
+#include "click/simulated_user.h"
+#include "geo/gazetteer.h"
+
+namespace pws::click {
+namespace {
+
+class ClickWorld : public ::testing::Test {
+ protected:
+  ClickWorld()
+      : rng_(11),
+        topics_(corpus::TopicModel::Create(8, 10, rng_)),
+        ontology_(geo::BuildWorldGazetteer()) {}
+
+  Random rng_;
+  corpus::TopicModel topics_;
+  geo::LocationOntology ontology_;
+};
+
+// ---------- User population ----------
+
+TEST_F(ClickWorld, PopulationShape) {
+  UserPopulationOptions options;
+  options.num_users = 30;
+  const auto users = GenerateUserPopulation(topics_, ontology_, options, rng_);
+  ASSERT_EQ(users.size(), 30u);
+  for (const auto& user : users) {
+    double total = 0.0;
+    for (double a : user.topic_affinity) total += a;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GE(user.home_city, 0);
+    EXPECT_EQ(ontology_.node(user.home_city).level, geo::LocationLevel::kCity);
+    EXPECT_GE(user.locality_preference, 0.0);
+    EXPECT_LE(user.locality_preference, 1.0);
+  }
+}
+
+TEST_F(ClickWorld, FavouriteTopicsCarryMostMass) {
+  UserPopulationOptions options;
+  options.num_users = 10;
+  options.favourite_topics = 2;
+  options.favourite_mass = 0.9;
+  const auto users = GenerateUserPopulation(topics_, ontology_, options, rng_);
+  for (const auto& user : users) {
+    std::vector<double> sorted = user.topic_affinity;
+    std::sort(sorted.rbegin(), sorted.rend());
+    EXPECT_NEAR(sorted[0] + sorted[1], 0.9, 1e-9);
+  }
+}
+
+TEST_F(ClickWorld, SomeUsersHaveGpsAndTravel) {
+  UserPopulationOptions options;
+  options.num_users = 60;
+  options.gps_fraction = 0.5;
+  options.traveller_fraction = 0.5;
+  const auto users = GenerateUserPopulation(topics_, ontology_, options, rng_);
+  int with_gps = 0;
+  int travellers = 0;
+  for (const auto& user : users) {
+    if (!user.gps_trace.empty()) ++with_gps;
+    if (!user.place_affinity.empty()) ++travellers;
+  }
+  EXPECT_GT(with_gps, 15);
+  EXPECT_LT(with_gps, 45);
+  EXPECT_GT(travellers, 15);
+  EXPECT_LT(travellers, 45);
+}
+
+TEST_F(ClickWorld, LocationAffinityPeaksAtHome) {
+  UserPopulationOptions options;
+  options.num_users = 5;
+  const auto users = GenerateUserPopulation(topics_, ontology_, options, rng_);
+  for (const auto& user : users) {
+    EXPECT_DOUBLE_EQ(user.LocationAffinity(ontology_, user.home_city), 1.0);
+    EXPECT_EQ(user.LocationAffinity(ontology_, geo::kInvalidLocation), 0.0);
+  }
+}
+
+// ---------- Query pool ----------
+
+TEST_F(ClickWorld, QueryPoolClassesBalanced) {
+  QueryPoolOptions options;
+  options.queries_per_class = 25;
+  const auto pool = GenerateQueryPool(topics_, ontology_, options, rng_);
+  ASSERT_EQ(pool.size(), 75u);
+  int counts[3] = {0, 0, 0};
+  for (const auto& q : pool) {
+    ++counts[static_cast<int>(q.query_class)];
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_GE(q.topic, 0);
+    EXPECT_LT(q.topic, topics_.num_topics());
+  }
+  EXPECT_EQ(counts[0], 25);
+  EXPECT_EQ(counts[1], 25);
+  EXPECT_EQ(counts[2], 25);
+}
+
+TEST_F(ClickWorld, ExplicitQueriesNameTheirCity) {
+  QueryPoolOptions options;
+  options.queries_per_class = 40;
+  options.explicit_location_fraction = 1.0;
+  const auto pool = GenerateQueryPool(topics_, ontology_, options, rng_);
+  for (const auto& q : pool) {
+    if (q.query_class != QueryClass::kLocationHeavy) continue;
+    ASSERT_NE(q.explicit_location, geo::kInvalidLocation);
+    EXPECT_FALSE(q.implicit_local);
+    EXPECT_NE(q.text.find(ontology_.node(q.explicit_location).name),
+              std::string::npos);
+  }
+}
+
+TEST_F(ClickWorld, ImplicitQueriesHaveNoCityInText) {
+  QueryPoolOptions options;
+  options.queries_per_class = 40;
+  options.explicit_location_fraction = 0.0;
+  const auto pool = GenerateQueryPool(topics_, ontology_, options, rng_);
+  for (const auto& q : pool) {
+    if (q.query_class != QueryClass::kLocationHeavy) continue;
+    EXPECT_EQ(q.explicit_location, geo::kInvalidLocation);
+    EXPECT_TRUE(q.implicit_local);
+  }
+}
+
+TEST_F(ClickWorld, ClassIntentWeightsOrdered) {
+  QueryPoolOptions options;
+  const auto pool = GenerateQueryPool(topics_, ontology_, options, rng_);
+  for (const auto& q : pool) {
+    switch (q.query_class) {
+      case QueryClass::kContentHeavy:
+        EXPECT_LT(q.location_intent_weight, 0.3);
+        break;
+      case QueryClass::kLocationHeavy:
+        EXPECT_GT(q.location_intent_weight, 0.5);
+        break;
+      case QueryClass::kMixed:
+        EXPECT_GT(q.location_intent_weight, 0.2);
+        EXPECT_LT(q.location_intent_weight, 0.5);
+        break;
+    }
+  }
+}
+
+// ---------- Dwell grading ----------
+
+TEST(GradeFromDwellTest, Thresholds) {
+  DwellGradeThresholds t;
+  EXPECT_EQ(GradeFromDwell(false, 1000, false, t),
+            RelevanceGrade::kIrrelevant);
+  EXPECT_EQ(GradeFromDwell(true, 10, false, t), RelevanceGrade::kIrrelevant);
+  EXPECT_EQ(GradeFromDwell(true, 50, false, t), RelevanceGrade::kRelevant);
+  EXPECT_EQ(GradeFromDwell(true, 399, false, t), RelevanceGrade::kRelevant);
+  EXPECT_EQ(GradeFromDwell(true, 400, false, t),
+            RelevanceGrade::kHighlyRelevant);
+  // The session-ending click is highly relevant regardless of dwell.
+  EXPECT_EQ(GradeFromDwell(true, 5, true, t),
+            RelevanceGrade::kHighlyRelevant);
+}
+
+// ---------- Relevance model ----------
+
+class RelevanceTest : public ClickWorld {
+ protected:
+  RelevanceTest() : model_(&ontology_, RelevanceModelOptions{}) {
+    UserPopulationOptions options;
+    options.num_users = 1;
+    users_ = GenerateUserPopulation(topics_, ontology_, options, rng_);
+  }
+
+  corpus::Document MakeDoc(int topic, geo::LocationId location) {
+    corpus::Document doc;
+    doc.id = 0;
+    doc.topic_mixture_truth.assign(topics_.num_topics(), 0.0);
+    doc.topic_mixture_truth[topic] = 1.0;
+    doc.primary_topic_truth = topic;
+    doc.primary_location_truth = location;
+    return doc;
+  }
+
+  QueryIntent MakeIntent(int topic, double loc_weight,
+                         geo::LocationId explicit_loc, bool implicit) {
+    QueryIntent intent;
+    intent.topic = topic;
+    intent.location_intent_weight = loc_weight;
+    intent.explicit_location = explicit_loc;
+    intent.implicit_local = implicit;
+    return intent;
+  }
+
+  RelevanceModel model_;
+  std::vector<SimulatedUser> users_;
+};
+
+TEST_F(RelevanceTest, TopicMatchRaisesRelevance) {
+  const auto& user = users_[0];
+  const auto intent = MakeIntent(2, 0.1, geo::kInvalidLocation, false);
+  const auto on_topic = MakeDoc(2, geo::kInvalidLocation);
+  const auto off_topic = MakeDoc(3, geo::kInvalidLocation);
+  EXPECT_GT(model_.TrueRelevance(user, intent, on_topic),
+            model_.TrueRelevance(user, intent, off_topic));
+}
+
+TEST_F(RelevanceTest, ExplicitLocationMatchRaisesRelevance) {
+  const auto& user = users_[0];
+  const auto tokyo = ontology_.Lookup("tokyo")[0];
+  const auto osaka = ontology_.Lookup("osaka")[0];
+  const auto berlin = ontology_.Lookup("berlin")[0];
+  const auto intent = MakeIntent(1, 0.65, tokyo, false);
+  const double at_tokyo =
+      model_.TrueRelevance(user, intent, MakeDoc(1, tokyo));
+  const double at_osaka =
+      model_.TrueRelevance(user, intent, MakeDoc(1, osaka));
+  const double at_berlin =
+      model_.TrueRelevance(user, intent, MakeDoc(1, berlin));
+  EXPECT_GT(at_tokyo, at_osaka);  // Same country beats...
+  EXPECT_GT(at_osaka, at_berlin);  // ...a different country.
+}
+
+TEST_F(RelevanceTest, ImplicitLocalPrefersHome) {
+  auto user = users_[0];
+  user.home_city = ontology_.Lookup("munich")[0];
+  user.locality_preference = 0.9;
+  user.place_affinity.clear();
+  const auto intent =
+      MakeIntent(1, 0.65, geo::kInvalidLocation, /*implicit=*/true);
+  const double at_home =
+      model_.TrueRelevance(user, intent, MakeDoc(1, user.home_city));
+  const double far_away = model_.TrueRelevance(
+      user, intent, MakeDoc(1, ontology_.Lookup("sydney")[0]));
+  EXPECT_GT(at_home, far_away + 0.2);
+}
+
+TEST_F(RelevanceTest, GradesMonotoneInRelevance) {
+  const auto& user = users_[0];
+  const auto tokyo = ontology_.Lookup("tokyo")[0];
+  const auto intent = MakeIntent(1, 0.65, tokyo, false);
+  const auto good = MakeDoc(1, tokyo);
+  const auto bad = MakeDoc(3, ontology_.Lookup("berlin")[0]);
+  EXPECT_GE(static_cast<int>(model_.TrueGrade(user, intent, good)),
+            static_cast<int>(model_.TrueGrade(user, intent, bad)));
+}
+
+TEST_F(RelevanceTest, RelevanceBounded) {
+  const auto& user = users_[0];
+  for (int topic = 0; topic < 4; ++topic) {
+    const auto intent = MakeIntent(topic, 0.65,
+                                   ontology_.Lookup("tokyo")[0], false);
+    for (geo::LocationId loc :
+         {geo::kInvalidLocation, ontology_.Lookup("tokyo")[0]}) {
+      const double rel = model_.TrueRelevance(user, intent, MakeDoc(topic, loc));
+      EXPECT_GE(rel, 0.0);
+      EXPECT_LE(rel, 1.0);
+    }
+  }
+}
+
+// ---------- Click model ----------
+
+class ClickModelTest : public RelevanceTest {
+ protected:
+  ClickModelTest() : click_model_(&model_, ClickModelOptions{}) {
+    for (int i = 0; i < 20; ++i) {
+      corpus::Document doc = MakeDoc(i % 4, geo::kInvalidLocation);
+      doc.id = i;
+      corpus_.Add(doc);
+      backend::SearchResult result;
+      result.doc = i;
+      result.rank = i;
+      page_.results.push_back(result);
+    }
+    page_.query = "test";
+  }
+
+  CascadeClickModel click_model_;
+  corpus::Corpus corpus_;
+  backend::ResultPage page_;
+};
+
+TEST_F(ClickModelTest, RecordShapeMatchesPage) {
+  const auto intent = MakeIntent(0, 0.1, geo::kInvalidLocation, false);
+  Random rng(3);
+  const ClickRecord record =
+      click_model_.Simulate(users_[0], intent, page_, corpus_, 5, rng);
+  EXPECT_EQ(record.user, users_[0].id);
+  EXPECT_EQ(record.day, 5);
+  ASSERT_EQ(record.interactions.size(), page_.results.size());
+  for (size_t i = 0; i < record.interactions.size(); ++i) {
+    EXPECT_EQ(record.interactions[i].rank, static_cast<int>(i));
+    EXPECT_EQ(record.interactions[i].doc, page_.results[i].doc);
+  }
+}
+
+TEST_F(ClickModelTest, ExactlyOneLastClickWhenClicked) {
+  const auto intent = MakeIntent(0, 0.1, geo::kInvalidLocation, false);
+  Random rng(5);
+  int records_with_clicks = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const ClickRecord record =
+        click_model_.Simulate(users_[0], intent, page_, corpus_, 0, rng);
+    int last_clicks = 0;
+    for (const auto& i : record.interactions) {
+      if (i.last_click_in_session) ++last_clicks;
+      if (i.clicked) EXPECT_GT(i.dwell_units, 0.0);
+      if (!i.clicked) EXPECT_EQ(i.dwell_units, 0.0);
+    }
+    if (record.ClickCount() > 0) {
+      ++records_with_clicks;
+      EXPECT_EQ(last_clicks, 1);
+    } else {
+      EXPECT_EQ(last_clicks, 0);
+    }
+  }
+  EXPECT_GT(records_with_clicks, 10);
+}
+
+TEST_F(ClickModelTest, PositionBiasLowersDeepClicks) {
+  // Same relevance everywhere -> clicks must decay with rank.
+  const auto intent = MakeIntent(0, 0.1, geo::kInvalidLocation, false);
+  Random rng(7);
+  int top_clicks = 0;
+  int deep_clicks = 0;
+  ClickModelOptions options;
+  options.satisfaction_stop_scale = 0.0;  // Isolate examination decay.
+  CascadeClickModel model(&model_, options);
+  for (int trial = 0; trial < 800; ++trial) {
+    const ClickRecord record =
+        model.Simulate(users_[0], intent, page_, corpus_, 0, rng);
+    for (const auto& i : record.interactions) {
+      if (!i.clicked) continue;
+      if (i.rank < 5) ++top_clicks;
+      if (i.rank >= 15) ++deep_clicks;
+    }
+  }
+  EXPECT_GT(top_clicks, deep_clicks);
+}
+
+TEST_F(ClickModelTest, HigherRelevanceMoreTopClicks) {
+  Random rng(9);
+  const auto relevant_intent = MakeIntent(0, 0.0, geo::kInvalidLocation, false);
+  // Page doc 0 has topic 0 (matching) -> high relevance at rank 0.
+  int clicks_relevant = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto record = click_model_.Simulate(users_[0], relevant_intent,
+                                              page_, corpus_, 0, rng);
+    if (record.interactions[0].clicked) ++clicks_relevant;
+  }
+  // Intent on topic 5: no doc matches -> rank-0 doc is off-topic.
+  const auto irrelevant_intent =
+      MakeIntent(5, 0.0, geo::kInvalidLocation, false);
+  int clicks_irrelevant = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto record = click_model_.Simulate(users_[0], irrelevant_intent,
+                                              page_, corpus_, 0, rng);
+    if (record.interactions[0].clicked) ++clicks_irrelevant;
+  }
+  EXPECT_GT(clicks_relevant, clicks_irrelevant);
+}
+
+// ---------- Click log ----------
+
+TEST(ClickLogTest, RecordHelpers) {
+  ClickRecord record;
+  record.interactions.resize(4);
+  record.interactions[1].clicked = true;
+  record.interactions[1].rank = 1;
+  record.interactions[3].clicked = true;
+  record.interactions[3].rank = 3;
+  for (size_t i = 0; i < 4; ++i) {
+    record.interactions[i].rank = static_cast<int>(i);
+  }
+  record.interactions[1].clicked = true;
+  record.interactions[3].clicked = true;
+  EXPECT_EQ(record.ClickCount(), 2);
+  EXPECT_EQ(record.FirstClickRank(), 1);
+}
+
+TEST(ClickLogTest, EmptyRecordHelpers) {
+  ClickRecord record;
+  EXPECT_EQ(record.ClickCount(), 0);
+  EXPECT_EQ(record.FirstClickRank(), -1);
+}
+
+TEST(ClickLogTest, TsvRoundTrip) {
+  ClickLog log;
+  ClickRecord a;
+  a.user = 3;
+  a.day = 2;
+  a.query_id = 17;
+  a.query_text = "hotel new york";
+  Interaction i1{100, 0, true, 250.5, false};
+  Interaction i2{101, 1, false, 0.0, false};
+  Interaction i3{102, 2, true, 42.0, true};
+  a.interactions = {i1, i2, i3};
+  log.Add(a);
+  ClickRecord b;
+  b.user = 4;
+  b.day = 2;
+  b.query_id = 17;
+  b.query_text = "hotel new york";
+  b.interactions = {i2};
+  log.Add(b);
+
+  const auto parsed = ClickLog::FromTsv(log.ToTsv());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2);
+  const auto& r0 = parsed->record(0);
+  EXPECT_EQ(r0.user, 3);
+  EXPECT_EQ(r0.query_text, "hotel new york");
+  ASSERT_EQ(r0.interactions.size(), 3u);
+  EXPECT_TRUE(r0.interactions[0].clicked);
+  EXPECT_NEAR(r0.interactions[0].dwell_units, 250.5, 1e-9);
+  EXPECT_TRUE(r0.interactions[2].last_click_in_session);
+  EXPECT_EQ(parsed->record(1).user, 4);
+}
+
+TEST(ClickLogTest, FromTsvRejectsGarbage) {
+  EXPECT_FALSE(ClickLog::FromTsv("not a log line").ok());
+  EXPECT_FALSE(ClickLog::FromTsv("a\tb\tc\td\te\tf\tg\th\ti").ok());
+}
+
+TEST(ClickLogTest, FiltersByUserAndDay) {
+  ClickLog log;
+  for (int u = 0; u < 3; ++u) {
+    for (int d = 0; d < 4; ++d) {
+      ClickRecord r;
+      r.user = u;
+      r.day = d;
+      r.query_id = u * 10 + d;
+      log.Add(r);
+    }
+  }
+  EXPECT_EQ(log.RecordsForUser(1).size(), 4u);
+  EXPECT_EQ(log.RecordsBeforeDay(2).size(), 6u);
+}
+
+
+// ---------- Sessions ----------
+
+ClickRecord RecordFor(UserId user, int day, const std::string& query,
+                      int clicks) {
+  ClickRecord record;
+  record.user = user;
+  record.day = day;
+  record.query_text = query;
+  for (int i = 0; i < 3; ++i) {
+    Interaction interaction;
+    interaction.doc = i;
+    interaction.rank = i;
+    interaction.clicked = i < clicks;
+    interaction.dwell_units = i < clicks ? 100.0 : 0.0;
+    record.interactions.push_back(interaction);
+  }
+  return record;
+}
+
+TEST(SessionsTest, SplitsOnGapPerUser) {
+  ClickLog log;
+  log.Add(RecordFor(1, 0, "a", 1));
+  log.Add(RecordFor(1, 0, "b", 0));
+  log.Add(RecordFor(1, 3, "c", 1));  // Gap of 3 days.
+  log.Add(RecordFor(2, 1, "d", 2));
+  SessionOptions options;
+  options.max_gap_days = 1.0;
+  const auto sessions = SegmentSessions(log, options);
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[0].user, 1);
+  EXPECT_EQ(sessions[0].ImpressionCount(), 2);
+  EXPECT_EQ(sessions[0].first_day, 0);
+  EXPECT_EQ(sessions[0].last_day, 0);
+  EXPECT_EQ(sessions[1].user, 1);
+  EXPECT_EQ(sessions[1].first_day, 3);
+  EXPECT_EQ(sessions[2].user, 2);
+}
+
+TEST(SessionsTest, AdjacentDaysMergeWithinGap) {
+  ClickLog log;
+  log.Add(RecordFor(0, 0, "a", 1));
+  log.Add(RecordFor(0, 1, "a", 1));
+  log.Add(RecordFor(0, 2, "a", 1));
+  SessionOptions options;
+  options.max_gap_days = 1.0;
+  const auto sessions = SegmentSessions(log, options);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].ImpressionCount(), 3);
+  EXPECT_EQ(sessions[0].last_day, 2);
+}
+
+TEST(SessionsTest, DefaultOptionsSplitPerActiveDay) {
+  ClickLog log;
+  log.Add(RecordFor(0, 0, "a", 1));
+  log.Add(RecordFor(0, 1, "a", 1));
+  const auto sessions = SegmentSessions(log, SessionOptions{});
+  EXPECT_EQ(sessions.size(), 2u);
+}
+
+TEST(SessionsTest, EmptyLog) {
+  EXPECT_TRUE(SegmentSessions(ClickLog{}, SessionOptions{}).empty());
+  const auto stats = ComputeSessionStats(ClickLog{}, {});
+  EXPECT_EQ(stats.sessions, 0);
+}
+
+TEST(SessionsTest, StatsAggregateCorrectly) {
+  ClickLog log;
+  log.Add(RecordFor(1, 0, "same", 2));
+  log.Add(RecordFor(1, 0, "same", 1));
+  log.Add(RecordFor(2, 0, "x", 0));
+  log.Add(RecordFor(2, 0, "y", 1));
+  const auto sessions = SegmentSessions(log, SessionOptions{});
+  ASSERT_EQ(sessions.size(), 2u);
+  const auto stats = ComputeSessionStats(log, sessions);
+  EXPECT_EQ(stats.sessions, 2);
+  EXPECT_DOUBLE_EQ(stats.mean_impressions_per_session, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_clicks_per_session, 2.0);
+  EXPECT_DOUBLE_EQ(stats.single_query_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace pws::click

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "backend/search_backend.h"
+#include "concepts/content_extractor.h"
+#include "concepts/content_ontology.h"
+#include "concepts/location_concepts.h"
+#include "geo/gazetteer.h"
+
+namespace pws::concepts {
+namespace {
+
+backend::ResultPage MakePage(const std::string& query,
+                             const std::vector<std::string>& snippets) {
+  backend::ResultPage page;
+  page.query = query;
+  for (size_t i = 0; i < snippets.size(); ++i) {
+    backend::SearchResult result;
+    result.doc = static_cast<corpus::DocId>(i);
+    result.rank = static_cast<int>(i);
+    result.snippet = snippets[i];
+    result.title = "";
+    page.results.push_back(std::move(result));
+  }
+  return page;
+}
+
+// ---------- Content extraction ----------
+
+TEST(ContentExtractorTest, SupportThresholdHonored) {
+  ContentExtractorOptions options;
+  options.min_support = 0.5;
+  options.include_bigrams = false;
+  ContentConceptExtractor extractor(options);
+  // "booking" in 3/4 snippets, "cheap" in 1/4.
+  const auto page = MakePage("hotel", {"booking rooms", "booking suite",
+                                       "booking deals", "cheap stay"});
+  const auto concepts = extractor.Extract(page, nullptr);
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].term, "book");  // Stemmed.
+  EXPECT_DOUBLE_EQ(concepts[0].support, 0.75);
+  EXPECT_EQ(concepts[0].snippet_count, 3);
+}
+
+TEST(ContentExtractorTest, QueryTermsExcluded) {
+  ContentExtractorOptions options;
+  options.min_support = 0.3;
+  ContentConceptExtractor extractor(options);
+  const auto page =
+      MakePage("hotel booking", {"hotel booking cheap", "hotel booking cheap"});
+  const auto concepts = extractor.Extract(page, nullptr);
+  for (const auto& c : concepts) {
+    EXPECT_EQ(c.term.find("hotel"), std::string::npos);
+    EXPECT_EQ(c.term.find("book"), std::string::npos);
+  }
+}
+
+TEST(ContentExtractorTest, MaxSupportDropsUniversalWords) {
+  ContentExtractorOptions options;
+  options.min_support = 0.2;
+  options.max_support = 0.8;
+  options.include_bigrams = false;
+  ContentConceptExtractor extractor(options);
+  const auto page = MakePage(
+      "query", {"ubiquitous alpha", "ubiquitous beta", "ubiquitous alpha",
+                "ubiquitous gamma", "ubiquitous alpha"});
+  const auto concepts = extractor.Extract(page, nullptr);
+  for (const auto& c : concepts) {
+    EXPECT_NE(c.term, "ubiquit");  // Present in 100% of snippets.
+  }
+}
+
+TEST(ContentExtractorTest, BigramConcepts) {
+  ContentExtractorOptions options;
+  options.min_support = 0.5;
+  ContentConceptExtractor extractor(options);
+  const auto page = MakePage(
+      "query", {"ski resort deals", "ski resort offers", "powder maps"});
+  const auto concepts = extractor.Extract(page, nullptr);
+  bool found_bigram = false;
+  for (const auto& c : concepts) {
+    if (c.term == "ski resort") found_bigram = true;
+  }
+  EXPECT_TRUE(found_bigram);
+}
+
+TEST(ContentExtractorTest, IncidenceAlignsWithConcepts) {
+  ContentExtractorOptions options;
+  options.min_support = 0.4;
+  options.include_bigrams = false;
+  ContentConceptExtractor extractor(options);
+  const auto page =
+      MakePage("q", {"apple banana", "apple cherry", "banana apple"});
+  SnippetIncidence incidence;
+  const auto concepts = extractor.Extract(page, &incidence);
+  ASSERT_EQ(incidence.size(), 3u);
+  for (size_t s = 0; s < incidence.size(); ++s) {
+    for (int index : incidence[s]) {
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, static_cast<int>(concepts.size()));
+      // The concept term must actually occur in that snippet.
+      EXPECT_NE(page.results[s].snippet.find(concepts[index].term.substr(0, 4)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(ContentExtractorTest, EmptyPage) {
+  ContentConceptExtractor extractor(ContentExtractorOptions{});
+  SnippetIncidence incidence;
+  const auto concepts =
+      extractor.Extract(MakePage("q", {}), &incidence);
+  EXPECT_TRUE(concepts.empty());
+  EXPECT_TRUE(incidence.empty());
+}
+
+TEST(ContentExtractorTest, MaxConceptsCap) {
+  ContentExtractorOptions options;
+  options.min_support = 0.1;
+  options.max_concepts = 2;
+  ContentConceptExtractor extractor(options);
+  const auto page = MakePage(
+      "q", {"one two three four", "one two three four", "one two three four"});
+  const auto concepts = extractor.Extract(page, nullptr);
+  EXPECT_LE(concepts.size(), 2u);
+}
+
+// ---------- Content ontology ----------
+
+TEST(ContentOntologyTest, CooccurrenceSimilarity) {
+  // Concepts 0 and 1 always co-occur; concept 2 never with them.
+  std::vector<ContentConcept> concepts = {
+      {"a", 0.6, 3}, {"b", 0.6, 3}, {"c", 0.4, 2}};
+  SnippetIncidence incidence = {{0, 1}, {0, 1}, {0, 1}, {2}, {2}};
+  ContentOntology ontology(std::move(concepts), incidence);
+  EXPECT_DOUBLE_EQ(ontology.Similarity(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ontology.Similarity(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ontology.Similarity(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ontology.Similarity(1, 0), ontology.Similarity(0, 1));
+}
+
+TEST(ContentOntologyTest, PartialCooccurrence) {
+  std::vector<ContentConcept> concepts = {{"a", 0.5, 2}, {"b", 0.5, 2}};
+  // a in snippets {0,1}, b in {1,2}: cooc 1, occ 2 and 2 -> 0.5.
+  SnippetIncidence incidence = {{0}, {0, 1}, {1}};
+  ContentOntology ontology(std::move(concepts), incidence);
+  EXPECT_NEAR(ontology.Similarity(0, 1), 0.5, 1e-12);
+}
+
+TEST(ContentOntologyTest, NeighborsSortedBySimilarity) {
+  std::vector<ContentConcept> concepts = {
+      {"a", 0.5, 3}, {"b", 0.5, 3}, {"c", 0.5, 3}};
+  // b co-occurs with a twice, c once.
+  SnippetIncidence incidence = {{0, 1}, {0, 1}, {0, 2}};
+  ContentOntology ontology(std::move(concepts), incidence);
+  const auto neighbours = ontology.Neighbors(0, 0.1);
+  ASSERT_EQ(neighbours.size(), 2u);
+  EXPECT_EQ(neighbours[0], 1);
+  EXPECT_EQ(neighbours[1], 2);
+  EXPECT_TRUE(ontology.Neighbors(0, 0.99).empty());
+}
+
+TEST(ContentOntologyTest, FindByTerm) {
+  std::vector<ContentConcept> concepts = {{"alpha", 0.5, 1}, {"beta", 0.4, 1}};
+  ContentOntology ontology(std::move(concepts), {{0, 1}});
+  EXPECT_EQ(ontology.Find("beta"), 1);
+  EXPECT_EQ(ontology.Find("gamma"), -1);
+}
+
+TEST(ContentOntologyTest, EmptyOntology) {
+  ContentOntology ontology;
+  EXPECT_EQ(ontology.size(), 0);
+}
+
+// ---------- Location concepts ----------
+
+class LocationConceptsTest : public ::testing::Test {
+ protected:
+  LocationConceptsTest() : ontology_(geo::BuildWorldGazetteer()) {}
+
+  geo::LocationId Only(const std::string& name) const {
+    const auto ids = ontology_.Lookup(name);
+    EXPECT_EQ(ids.size(), 1u);
+    return ids[0];
+  }
+
+  geo::LocationOntology ontology_;
+};
+
+TEST_F(LocationConceptsTest, ExtractsAndRollsUp) {
+  corpus::Corpus corpus;
+  corpus::Document d0;
+  d0.id = 0;
+  d0.title = "whistler skiing";
+  d0.body = "powder day in whistler with fresh snow";
+  corpus.Add(d0);
+  corpus::Document d1;
+  d1.id = 1;
+  d1.title = "victoria tour";
+  d1.body = "gardens of victoria british columbia";
+  corpus.Add(d1);
+
+  backend::ResultPage page;
+  page.query = "ski";
+  for (int i = 0; i < 2; ++i) {
+    backend::SearchResult result;
+    result.doc = i;
+    result.rank = i;
+    page.results.push_back(result);
+  }
+
+  LocationConceptExtractor extractor(&ontology_, LocationConceptOptions{});
+  const QueryLocationConcepts concepts = extractor.Extract(page, corpus);
+
+  ASSERT_EQ(concepts.per_result.size(), 2u);
+  EXPECT_EQ(concepts.per_result[0].size(), 1u);
+  EXPECT_EQ(concepts.per_result[0][0], Only("whistler"));
+
+  // British Columbia is rolled up from both docs -> weight 1.0.
+  const geo::LocationId bc = Only("british columbia");
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(bc), 1.0);
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(Only("whistler")), 0.5);
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(Only("tokyo")), 0.0);
+}
+
+TEST_F(LocationConceptsTest, NoRollupOption) {
+  corpus::Corpus corpus;
+  corpus::Document d0;
+  d0.id = 0;
+  d0.body = "a trip to whistler";
+  corpus.Add(d0);
+  backend::ResultPage page;
+  backend::SearchResult r;
+  r.doc = 0;
+  page.results.push_back(r);
+
+  LocationConceptOptions options;
+  options.rollup_to_ancestors = false;
+  LocationConceptExtractor extractor(&ontology_, options);
+  const auto concepts = extractor.Extract(page, corpus);
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(Only("whistler")), 1.0);
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(Only("british columbia")), 0.0);
+}
+
+TEST_F(LocationConceptsTest, AggregatedSortedByWeight) {
+  corpus::Corpus corpus;
+  for (int i = 0; i < 3; ++i) {
+    corpus::Document d;
+    d.id = i;
+    d.body = i < 2 ? "dinner in tokyo" : "dinner in osaka";
+    corpus.Add(d);
+  }
+  backend::ResultPage page;
+  for (int i = 0; i < 3; ++i) {
+    backend::SearchResult r;
+    r.doc = i;
+    r.rank = i;
+    page.results.push_back(r);
+  }
+  LocationConceptExtractor extractor(&ontology_, LocationConceptOptions{});
+  const auto concepts = extractor.Extract(page, corpus);
+  ASSERT_GE(concepts.aggregated.size(), 2u);
+  for (size_t i = 1; i < concepts.aggregated.size(); ++i) {
+    EXPECT_GE(concepts.aggregated[i - 1].weight, concepts.aggregated[i].weight);
+  }
+  // Japan rolled up from all three docs.
+  EXPECT_DOUBLE_EQ(concepts.WeightOf(Only("japan")), 1.0);
+}
+
+}  // namespace
+}  // namespace pws::concepts

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+
+namespace pws::core {
+namespace {
+
+// A small world shared by all engine tests (built once; ~1 s).
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 9;
+    config.num_topics = 8;
+    config.corpus.num_documents = 3000;
+    config.users.num_users = 6;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 10;
+    config.backend.page_size = 20;
+    world_ = new eval::World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static EngineOptions DefaultOptions() {
+    EngineOptions options;
+    options.strategy = ranking::Strategy::kCombined;
+    return options;
+  }
+
+  static eval::World* world_;
+};
+
+eval::World* EngineTest::world_ = nullptr;
+
+TEST_F(EngineTest, RegisterUserIsIdempotent) {
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  engine.RegisterUser(0);
+  engine.RegisterUser(0);
+  EXPECT_EQ(engine.registered_user_count(), 1);
+  EXPECT_EQ(engine.training_pair_count(0), 0);
+}
+
+TEST_F(EngineTest, ServeReturnsConsistentPage) {
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  engine.RegisterUser(0);
+  const auto page = engine.Serve(0, "hotel booking");
+  EXPECT_FALSE(page.backend_page.results.empty());
+  EXPECT_EQ(page.order.size(), page.backend_page.results.size());
+  EXPECT_EQ(page.features.size(), page.backend_page.results.size());
+  EXPECT_EQ(page.impression.content_terms_per_result.size(),
+            page.backend_page.results.size());
+  // Order is a permutation.
+  std::vector<int> sorted = page.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i));
+  }
+  // ShownPage rewrites ranks.
+  const auto shown = page.ShownPage();
+  for (size_t j = 0; j < shown.results.size(); ++j) {
+    EXPECT_EQ(shown.results[j].rank, static_cast<int>(j));
+    EXPECT_EQ(shown.results[j].doc,
+              page.backend_page.results[page.order[j]].doc);
+  }
+}
+
+TEST_F(EngineTest, ServeIsDeterministic) {
+  PwsEngine a(&world_->search_backend(), &world_->ontology(),
+              DefaultOptions());
+  PwsEngine b(&world_->search_backend(), &world_->ontology(),
+              DefaultOptions());
+  a.RegisterUser(0);
+  b.RegisterUser(0);
+  const auto pa = a.Serve(0, "restaurant menu");
+  const auto pb = b.Serve(0, "restaurant menu");
+  EXPECT_EQ(pa.order, pb.order);
+  EXPECT_EQ(pa.features, pb.features);
+}
+
+TEST_F(EngineTest, UntrainedWithQueryLocationPriorPromotesQueryCity) {
+  // Serve an explicit-location query with an untrained (prior-only)
+  // model: results matching the named city should not be ranked worse
+  // than the backend put them.
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  engine.RegisterUser(0);
+  const auto page = engine.Serve(0, "hotel rooms tokyo");
+  // Compute mean shown position of results whose feature says they match
+  // the query location strongly.
+  double match_pos = 0.0;
+  double other_pos = 0.0;
+  int match_n = 0;
+  int other_n = 0;
+  for (size_t j = 0; j < page.order.size(); ++j) {
+    const int backend_index = page.order[j];
+    if (page.features[backend_index][ranking::kQueryLocationMatchIndex] >
+        0.9) {
+      match_pos += static_cast<double>(j);
+      ++match_n;
+    } else {
+      other_pos += static_cast<double>(j);
+      ++other_n;
+    }
+  }
+  if (match_n > 0 && other_n > 0) {
+    EXPECT_LT(match_pos / match_n, other_pos / other_n);
+  }
+}
+
+TEST_F(EngineTest, ObserveAccumulatesPairsAndUpdatesProfile) {
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  const auto& user = world_->users()[0];
+  engine.RegisterUser(user.id);
+  Random rng(5);
+  const auto& intent = world_->queries()[0];
+  int total_pairs = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto page = engine.Serve(user.id, intent.text);
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    engine.Observe(user.id, page, record);
+    total_pairs = engine.training_pair_count(user.id);
+  }
+  EXPECT_GT(total_pairs, 0);
+  EXPECT_GT(engine.user_profile(user.id).impressions_observed(), 0);
+  const double loss = engine.TrainUser(user.id);
+  EXPECT_GE(loss, 0.0);
+}
+
+TEST_F(EngineTest, TrainingChangesModelWeights) {
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  const auto& user = world_->users()[1];
+  engine.RegisterUser(user.id);
+  const auto before = engine.user_model(user.id).weights();
+  Random rng(6);
+  for (int i = 0; i < 12; ++i) {
+    const auto& intent =
+        world_->queries()[rng.UniformUint64(world_->queries().size())];
+    auto page = engine.Serve(user.id, intent.text);
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    engine.Observe(user.id, page, record);
+  }
+  engine.TrainAllUsers();
+  EXPECT_NE(engine.user_model(user.id).weights(), before);
+}
+
+TEST_F(EngineTest, GpsAttachSeedsLocationProfile) {
+  EngineOptions options = DefaultOptions();
+  options.strategy = ranking::Strategy::kCombinedGps;
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(), options);
+  const auto& user = world_->users()[0];
+  ASSERT_FALSE(user.gps_trace.empty());
+  engine.RegisterUser(user.id);
+  EXPECT_EQ(engine.user_profile(user.id).LocationConceptCount(), 0);
+  engine.AttachGpsTrace(user.id, user.gps_trace);
+  EXPECT_GT(engine.user_profile(user.id).LocationConceptCount(), 0);
+  EXPECT_GT(engine.user_profile(user.id).LocationWeight(user.home_city), 0.0);
+}
+
+TEST_F(EngineTest, EntropyAdaptiveAlphaStaysInRange) {
+  EngineOptions options = DefaultOptions();
+  options.entropy_adaptive_alpha = true;
+  options.min_alpha = 0.2;
+  options.max_alpha = 0.7;
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(), options);
+  const auto& user = world_->users()[2];
+  engine.RegisterUser(user.id);
+  Random rng(8);
+  for (int i = 0; i < 8; ++i) {
+    const auto& intent =
+        world_->queries()[rng.UniformUint64(world_->queries().size())];
+    auto page = engine.Serve(user.id, intent.text);
+    EXPECT_GE(page.alpha_used, 0.2);
+    EXPECT_LE(page.alpha_used, 0.7);
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    engine.Observe(user.id, page, record);
+  }
+}
+
+TEST_F(EngineTest, BaselineStrategyNeverReorders) {
+  EngineOptions options = DefaultOptions();
+  options.strategy = ranking::Strategy::kBaseline;
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(), options);
+  const auto& user = world_->users()[3];
+  engine.RegisterUser(user.id);
+  Random rng(9);
+  for (int i = 0; i < 6; ++i) {
+    const auto& intent =
+        world_->queries()[rng.UniformUint64(world_->queries().size())];
+    auto page = engine.Serve(user.id, intent.text);
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      EXPECT_EQ(page.order[j], static_cast<int>(j));
+    }
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    engine.Observe(user.id, page, record);
+    engine.TrainUser(user.id);
+  }
+}
+
+TEST_F(EngineTest, PairCapIsEnforced) {
+  EngineOptions options = DefaultOptions();
+  options.max_training_pairs_per_user = 5;
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(), options);
+  const auto& user = world_->users()[4];
+  engine.RegisterUser(user.id);
+  Random rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const auto& intent =
+        world_->queries()[rng.UniformUint64(world_->queries().size())];
+    auto page = engine.Serve(user.id, intent.text);
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    engine.Observe(user.id, page, record);
+  }
+  EXPECT_LE(engine.training_pair_count(user.id), 5);
+}
+
+
+TEST_F(EngineTest, ImportedStateReproducesServing) {
+  // Train engine A, snapshot user state, import into a fresh engine B:
+  // both must serve identical orders.
+  EngineOptions options = DefaultOptions();
+  PwsEngine a(&world_->search_backend(), &world_->ontology(), options);
+  const auto& user = world_->users()[5];
+  a.RegisterUser(user.id);
+  Random rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const auto& intent =
+        world_->queries()[rng.UniformUint64(world_->queries().size())];
+    auto page = a.Serve(user.id, intent.text);
+    const auto record = world_->click_model().Simulate(
+        user, intent, page.ShownPage(), world_->corpus(), i, rng);
+    a.Observe(user.id, page, record);
+  }
+  a.TrainUser(user.id);
+
+  PwsEngine b(&world_->search_backend(), &world_->ontology(), options);
+  profile::UserProfile profile_copy = a.user_profile(user.id);
+  ranking::RankSvm model_copy = a.user_model(user.id);
+  b.ImportUserState(user.id, std::move(profile_copy), std::move(model_copy));
+
+  for (const auto& intent : world_->queries()) {
+    const auto pa = a.Serve(user.id, intent.text);
+    const auto pb = b.Serve(user.id, intent.text);
+    EXPECT_EQ(pa.order, pb.order) << intent.text;
+  }
+  EXPECT_EQ(b.training_pair_count(user.id), 0);
+}
+
+TEST_F(EngineTest, ObserveRejectsMismatchedRecord) {
+  PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                   DefaultOptions());
+  engine.RegisterUser(0);
+  auto page = engine.Serve(0, "hotel booking");
+  click::ClickRecord record;  // Wrong number of interactions.
+  record.interactions.resize(1);
+  EXPECT_DEATH(engine.Observe(0, page, record), "mismatch");
+}
+
+}  // namespace
+}  // namespace pws::core

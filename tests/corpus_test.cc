@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/corpus.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/topic_model.h"
+#include "geo/gazetteer.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace pws::corpus {
+namespace {
+
+// ---------- TopicModel ----------
+
+TEST(TopicModelTest, CreatesRequestedTopics) {
+  Random rng(1);
+  const TopicModel model = TopicModel::Create(10, 20, rng);
+  EXPECT_EQ(model.num_topics(), 10);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_FALSE(model.topic(t).name.empty());
+    EXPECT_GE(model.topic(t).core_terms.size(), 6u);
+    EXPECT_EQ(model.topic(t).filler_terms.size(), 20u);
+  }
+}
+
+TEST(TopicModelTest, FillerVocabulariesDisjointAcrossTopics) {
+  Random rng(2);
+  const TopicModel model = TopicModel::Create(8, 30, rng);
+  std::set<std::string> seen;
+  for (int t = 0; t < 8; ++t) {
+    for (const auto& term : model.topic(t).filler_terms) seen.insert(term);
+  }
+  // Prefixing by topic name makes cross-topic collisions impossible;
+  // within-topic duplicates are possible but rare.
+  int total = 8 * 30;
+  EXPECT_GT(static_cast<int>(seen.size()), total * 3 / 4);
+}
+
+TEST(TopicModelTest, SampleTermDrawsFromOwnVocabulary) {
+  Random rng(3);
+  const TopicModel model = TopicModel::Create(4, 10, rng);
+  for (int t = 0; t < 4; ++t) {
+    std::set<std::string> allowed(model.topic(t).core_terms.begin(),
+                                  model.topic(t).core_terms.end());
+    allowed.insert(model.topic(t).filler_terms.begin(),
+                   model.topic(t).filler_terms.end());
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(allowed.count(model.SampleTerm(t, rng)) > 0);
+    }
+  }
+}
+
+TEST(TopicModelTest, FindTopic) {
+  Random rng(4);
+  const TopicModel model = TopicModel::Create(6, 5, rng);
+  EXPECT_EQ(model.FindTopic(model.topic(3).name), 3);
+  EXPECT_EQ(model.FindTopic("no-such-vertical"), -1);
+}
+
+TEST(TopicModelTest, LocationSensitivityIsMarked) {
+  Random rng(5);
+  const TopicModel model = TopicModel::Create(24, 5, rng);
+  int geo = 0;
+  for (int t = 0; t < model.num_topics(); ++t) {
+    if (model.topic(t).location_sensitive) ++geo;
+  }
+  EXPECT_GT(geo, 8);
+  EXPECT_LT(geo, 24);
+}
+
+// ---------- Corpus / generator ----------
+
+class CorpusGeneratorTest : public ::testing::Test {
+ protected:
+  CorpusGeneratorTest()
+      : rng_(7),
+        topics_(TopicModel::Create(8, 20, rng_)),
+        ontology_(geo::BuildWorldGazetteer()) {
+    options_.num_documents = 300;
+    generator_ = std::make_unique<CorpusGenerator>(&topics_, &ontology_,
+                                                   options_);
+    corpus_ = std::make_unique<Corpus>(generator_->Generate(rng_));
+  }
+
+  Random rng_;
+  TopicModel topics_;
+  geo::LocationOntology ontology_;
+  CorpusGeneratorOptions options_;
+  std::unique_ptr<CorpusGenerator> generator_;
+  std::unique_ptr<Corpus> corpus_;
+};
+
+TEST_F(CorpusGeneratorTest, GeneratesRequestedCount) {
+  EXPECT_EQ(corpus_->size(), 300);
+}
+
+TEST_F(CorpusGeneratorTest, DocumentsHaveConsistentGroundTruth) {
+  for (const auto& doc : corpus_->documents()) {
+    ASSERT_EQ(doc.topic_mixture_truth.size(), 8u);
+    double total = 0.0;
+    for (double w : doc.topic_mixture_truth) total += w;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GE(doc.primary_topic_truth, 0);
+    EXPECT_LT(doc.primary_topic_truth, 8);
+    // Primary topic is the argmax of the mixture.
+    for (double w : doc.topic_mixture_truth) {
+      EXPECT_LE(w, doc.topic_mixture_truth[doc.primary_topic_truth] + 1e-12);
+    }
+    EXPECT_FALSE(doc.title.empty());
+    EXPECT_FALSE(doc.body.empty());
+    EXPECT_TRUE(StartsWith(doc.url, "http://"));
+  }
+}
+
+TEST_F(CorpusGeneratorTest, LocatedDocsMentionTheirCityInBody) {
+  int located = 0;
+  for (const auto& doc : corpus_->documents()) {
+    if (doc.primary_location_truth == geo::kInvalidLocation) continue;
+    ++located;
+    const std::string& city = ontology_.node(doc.primary_location_truth).name;
+    EXPECT_NE(doc.body.find(city), std::string::npos)
+        << "doc " << doc.id << " about '" << city
+        << "' does not mention it";
+    // The planted list contains the primary city.
+    bool found = false;
+    for (geo::LocationId loc : doc.planted_locations_truth) {
+      if (loc == doc.primary_location_truth) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GT(located, 30);
+}
+
+TEST_F(CorpusGeneratorTest, LocationFreeDocsExist) {
+  EXPECT_GT(corpus_->CountLocationFree(), 30);
+}
+
+TEST_F(CorpusGeneratorTest, LocationSubtreeCountsAreConsistent) {
+  int total_cities = 0;
+  for (geo::LocationId country :
+       ontology_.NodesAtLevel(geo::LocationLevel::kCountry)) {
+    total_cities += corpus_->CountByLocationSubtree(ontology_, country);
+  }
+  const int located = corpus_->size() - corpus_->CountLocationFree();
+  EXPECT_EQ(total_cities, located);
+  EXPECT_EQ(corpus_->CountByLocationSubtree(ontology_, ontology_.root()),
+            located);
+}
+
+TEST_F(CorpusGeneratorTest, TopicCountsSumToCorpusSize) {
+  int total = 0;
+  for (int t = 0; t < topics_.num_topics(); ++t) {
+    total += corpus_->CountByTopic(t);
+  }
+  EXPECT_EQ(total, corpus_->size());
+}
+
+TEST_F(CorpusGeneratorTest, DeterministicGivenSeed) {
+  Random rng_a(42);
+  Random rng_b(42);
+  const Corpus a = generator_->Generate(rng_a);
+  const Corpus b = generator_->Generate(rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (DocId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.doc(id).body, b.doc(id).body);
+    EXPECT_EQ(a.doc(id).primary_location_truth,
+              b.doc(id).primary_location_truth);
+  }
+}
+
+TEST_F(CorpusGeneratorTest, GeoTopicsAreLocatedMoreOften) {
+  // Count located fraction for geo vs non-geo primary topics.
+  int geo_docs = 0, geo_located = 0, plain_docs = 0, plain_located = 0;
+  for (const auto& doc : corpus_->documents()) {
+    const bool is_geo = topics_.topic(doc.primary_topic_truth).location_sensitive;
+    const bool located = doc.primary_location_truth != geo::kInvalidLocation;
+    if (is_geo) {
+      ++geo_docs;
+      if (located) ++geo_located;
+    } else {
+      ++plain_docs;
+      if (located) ++plain_located;
+    }
+  }
+  ASSERT_GT(geo_docs, 0);
+  ASSERT_GT(plain_docs, 0);
+  EXPECT_GT(static_cast<double>(geo_located) / geo_docs,
+            static_cast<double>(plain_located) / plain_docs);
+}
+
+TEST(CorpusTest, AddEnforcesIdOrder) {
+  Corpus corpus;
+  Document doc;
+  doc.id = 0;
+  corpus.Add(doc);
+  Document bad;
+  bad.id = 5;
+  EXPECT_DEATH(corpus.Add(bad), "id order");
+}
+
+}  // namespace
+}  // namespace pws::corpus

@@ -1,0 +1,213 @@
+// Additional targeted coverage: behaviours exercised indirectly by the
+// integration tests but worth pinning individually.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "backend/inverted_index.h"
+#include "backend/search_backend.h"
+#include "concepts/location_concepts.h"
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "geo/gazetteer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace pws {
+namespace {
+
+// ---------- BM25 parameter behaviour ----------
+
+corpus::Corpus SmallCorpus() {
+  corpus::Corpus corpus;
+  auto add = [&](corpus::DocId id, const std::string& title,
+                 const std::string& body) {
+    corpus::Document doc;
+    doc.id = id;
+    doc.title = title;
+    doc.body = body;
+    doc.topic_mixture_truth = {1.0};
+    doc.primary_topic_truth = 0;
+    corpus.Add(doc);
+  };
+  // Doc 0: short, one occurrence. Doc 1: long, one occurrence.
+  add(0, "t", "target alpha beta");
+  add(1, "t", "target one two three four five six seven eight nine ten "
+              "eleven twelve thirteen fourteen fifteen sixteen");
+  // Doc 2: short, many occurrences.
+  add(2, "t", "target target target target");
+  return corpus;
+}
+
+TEST(Bm25Test, LengthNormalizationPrefersShortDocs) {
+  const corpus::Corpus corpus = SmallCorpus();
+  const backend::InvertedIndex index(&corpus);
+  backend::Bm25Params params;  // b = 0.75: length-normalized.
+  EXPECT_GT(index.Score({"target"}, 0, params),
+            index.Score({"target"}, 1, params));
+  // With b = 0 the length penalty vanishes: equal tf -> equal score.
+  params.b = 0.0;
+  EXPECT_NEAR(index.Score({"target"}, 0, params),
+              index.Score({"target"}, 1, params), 1e-9);
+}
+
+TEST(Bm25Test, TermFrequencySaturatesWithK1) {
+  const corpus::Corpus corpus = SmallCorpus();
+  const backend::InvertedIndex index(&corpus);
+  backend::Bm25Params params;
+  params.b = 0.0;
+  // More occurrences always score higher...
+  EXPECT_GT(index.Score({"target"}, 2, params),
+            index.Score({"target"}, 0, params));
+  // ...but with k1 -> 0 term frequency stops mattering.
+  params.k1 = 1e-6;
+  EXPECT_NEAR(index.Score({"target"}, 2, params),
+              index.Score({"target"}, 0, params), 1e-3);
+}
+
+// ---------- Location concept min_doc_count ----------
+
+TEST(LocationConceptsTest, MinDocCountFiltersRareNodes) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  corpus::Corpus corpus;
+  for (int i = 0; i < 4; ++i) {
+    corpus::Document doc;
+    doc.id = i;
+    doc.body = i == 0 ? "a note about whistler" : "all about tokyo tonight";
+    corpus.Add(doc);
+  }
+  backend::ResultPage page;
+  for (int i = 0; i < 4; ++i) {
+    backend::SearchResult result;
+    result.doc = i;
+    result.rank = i;
+    page.results.push_back(result);
+  }
+  concepts::LocationConceptOptions options;
+  options.min_doc_count = 2;
+  concepts::LocationConceptExtractor extractor(&world, options);
+  const auto locations = extractor.Extract(page, corpus);
+  EXPECT_GT(locations.WeightOf(world.Lookup("tokyo")[0]), 0.0);
+  EXPECT_EQ(locations.WeightOf(world.Lookup("whistler")[0]), 0.0);
+  // Per-result sets are unfiltered (they feed feature extraction).
+  EXPECT_EQ(locations.per_result[0].size(), 1u);
+}
+
+// ---------- Harness outcome plumbing ----------
+
+class OutcomeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 3;
+    config.queries.queries_per_class = 5;
+    config.backend.page_size = 10;
+    world_ = new eval::World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static eval::World* world_;
+};
+
+eval::World* OutcomeTest::world_ = nullptr;
+
+TEST_F(OutcomeTest, OutcomesAlignAcrossConfigurations) {
+  eval::SimulationOptions sim;
+  sim.train_days = 1;
+  sim.queries_per_user_day = 2;
+  sim.test_queries_per_user = 6;
+  eval::SimulationHarness harness(world_, sim);
+
+  std::vector<eval::ImpressionOutcome> a;
+  std::vector<eval::ImpressionOutcome> b;
+  core::EngineOptions baseline;
+  baseline.strategy = ranking::Strategy::kBaseline;
+  core::EngineOptions combined;
+  combined.strategy = ranking::Strategy::kCombined;
+  const auto ma = harness.Run(baseline, &a);
+  const auto mb = harness.Run(combined, &b);
+  ASSERT_EQ(a.size(), static_cast<size_t>(ma.impressions));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].query_id, b[i].query_id);
+    EXPECT_EQ(a[i].query_class, b[i].query_class);
+  }
+  (void)mb;
+  // Outcome means agree with the aggregate metrics.
+  double rr_sum = 0.0;
+  for (const auto& outcome : a) rr_sum += outcome.reciprocal_rank;
+  EXPECT_NEAR(rr_sum / a.size(), ma.mrr, 1e-9);
+}
+
+TEST_F(OutcomeTest, MapMetricIsPopulatedAndBounded) {
+  eval::SimulationOptions sim;
+  sim.train_days = 1;
+  sim.queries_per_user_day = 2;
+  sim.test_queries_per_user = 5;
+  eval::SimulationHarness harness(world_, sim);
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kBaseline;
+  const auto metrics = harness.Run(options);
+  EXPECT_GT(metrics.mean_average_precision, 0.0);
+  EXPECT_LE(metrics.mean_average_precision, 1.0);
+}
+
+// ---------- Engine odds and ends ----------
+
+TEST_F(OutcomeTest, ShownPageIsIdempotentUnderBaseline) {
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kBaseline;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  engine.RegisterUser(0);
+  const auto page = engine.Serve(0, "hotel booking");
+  const auto shown = page.ShownPage();
+  ASSERT_EQ(shown.results.size(), page.backend_page.results.size());
+  for (size_t i = 0; i < shown.results.size(); ++i) {
+    EXPECT_EQ(shown.results[i].doc, page.backend_page.results[i].doc);
+  }
+}
+
+TEST_F(OutcomeTest, QueryAnalysisCachingDoesNotChangeResults) {
+  core::EngineOptions options;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  engine.RegisterUser(0);
+  const auto first = engine.Serve(0, "restaurant menu");
+  const auto second = engine.Serve(0, "restaurant menu");  // Cached.
+  EXPECT_EQ(first.order, second.order);
+  EXPECT_EQ(first.backend_page.results.size(),
+            second.backend_page.results.size());
+}
+
+// ---------- Timer / logging smoke ----------
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GT(timer.ElapsedMillis(), 0.0);
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(LoggingTest, LevelFilteringRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  PWS_LOG(kInfo) << "suppressed line (not visible in test output)";
+  SetLogLevel(original);
+  EXPECT_EQ(GetLogLevel(), original);
+}
+
+}  // namespace
+}  // namespace pws

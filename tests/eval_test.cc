@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/world.h"
+
+namespace pws::eval {
+namespace {
+
+using click::RelevanceGrade;
+
+constexpr RelevanceGrade kIrr = RelevanceGrade::kIrrelevant;
+constexpr RelevanceGrade kRel = RelevanceGrade::kRelevant;
+constexpr RelevanceGrade kHigh = RelevanceGrade::kHighlyRelevant;
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, AverageRankOfRelevant) {
+  // Relevant at 1-based ranks 1 and 4 -> mean 2.5.
+  const auto rank = AverageRankOfRelevant({kRel, kIrr, kIrr, kHigh});
+  ASSERT_TRUE(rank.has_value());
+  EXPECT_DOUBLE_EQ(*rank, 2.5);
+  EXPECT_FALSE(AverageRankOfRelevant({kIrr, kIrr}).has_value());
+  EXPECT_FALSE(AverageRankOfRelevant({}).has_value());
+}
+
+class PrecisionAtKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrecisionAtKTest, CountsRelevantPrefix) {
+  const int k = GetParam();
+  // Grades: R I H I R -> relevant at positions 1, 3, 5.
+  const GradeList grades = {kRel, kIrr, kHigh, kIrr, kRel};
+  const int relevant_in_prefix[] = {1, 1, 2, 2, 3};
+  const int expected = relevant_in_prefix[std::min(k, 5) - 1];
+  EXPECT_DOUBLE_EQ(PrecisionAtK(grades, k),
+                   static_cast<double>(expected) / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PrecisionAtKTest, ::testing::Range(1, 11));
+
+TEST(MetricsTest, RecallAtK) {
+  const GradeList grades = {kRel, kIrr, kHigh, kIrr, kRel};
+  EXPECT_DOUBLE_EQ(RecallAtK(grades, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(grades, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(grades, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({kIrr}, 3), 0.0);
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({kIrr, kIrr, kRel}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({kHigh}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({kIrr, kIrr}), 0.0);
+}
+
+TEST(MetricsTest, NdcgPerfectOrderingIsOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({kHigh, kRel, kIrr}, 3), 1.0);
+}
+
+TEST(MetricsTest, NdcgWorseOrderingBelowOne) {
+  const double reversed = NdcgAtK({kIrr, kRel, kHigh}, 3);
+  EXPECT_GT(reversed, 0.0);
+  EXPECT_LT(reversed, 1.0);
+  EXPECT_LT(reversed, NdcgAtK({kHigh, kIrr, kRel}, 3));
+}
+
+TEST(MetricsTest, NdcgAllIrrelevantIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({kIrr, kIrr}, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgKnownValue) {
+  // DCG = 3/log2(2) + 1/log2(3) ; IDCG is the same (already ideal).
+  EXPECT_DOUBLE_EQ(NdcgAtK({kHigh, kRel}, 2), 1.0);
+  // Swapped: DCG = 1/1 + 3/log2(3); IDCG = 3/1 + 1/log2(3).
+  const double dcg = 1.0 + 3.0 / std::log2(3.0);
+  const double idcg = 3.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({kRel, kHigh}, 2), dcg / idcg, 1e-12);
+}
+
+
+TEST(MetricsTest, AveragePrecisionKnownValues) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_NEAR(AveragePrecision({kRel, kIrr, kHigh}), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision({kHigh, kRel}), 1.0);  // Perfect.
+  EXPECT_DOUBLE_EQ(AveragePrecision({kIrr, kIrr}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}), 0.0);
+  // Pushing the only relevant doc deeper lowers AP.
+  EXPECT_GT(AveragePrecision({kRel, kIrr, kIrr}),
+            AveragePrecision({kIrr, kIrr, kRel}));
+}
+
+TEST(MetricsTest, MeanAccumulator) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.AddOptional(std::nullopt);
+  acc.AddOptional(6.0);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 4.0);
+}
+
+TEST(MetricsTest, AverageMetrics) {
+  StrategyMetrics a;
+  a.mrr = 0.5;
+  a.avg_rank_relevant = 10.0;
+  a.impressions = 100;
+  StrategyMetrics b;
+  b.mrr = 0.7;
+  b.avg_rank_relevant = 14.0;
+  b.impressions = 100;
+  const auto mean = AverageMetrics({a, b});
+  EXPECT_DOUBLE_EQ(mean.mrr, 0.6);
+  EXPECT_DOUBLE_EQ(mean.avg_rank_relevant, 12.0);
+  EXPECT_EQ(mean.impressions, 200);
+}
+
+// ---------- World ----------
+
+TEST(WorldTest, BuildsAllComponents) {
+  WorldConfig config;
+  config.corpus.num_documents = 500;
+  config.users.num_users = 4;
+  config.queries.queries_per_class = 5;
+  World world(config);
+  EXPECT_EQ(world.corpus().size(), 500);
+  EXPECT_EQ(world.users().size(), 4u);
+  EXPECT_EQ(world.queries().size(), 15u);
+  EXPECT_GT(world.ontology().size(), 100);
+  EXPECT_EQ(world.QueriesOfClass(click::QueryClass::kContentHeavy).size(),
+            5u);
+  EXPECT_FALSE(world.search_backend().Search("hotel").results.empty());
+}
+
+TEST(WorldTest, DeterministicAcrossBuilds) {
+  WorldConfig config;
+  config.corpus.num_documents = 300;
+  config.users.num_users = 3;
+  config.queries.queries_per_class = 4;
+  World a(config);
+  World b(config);
+  ASSERT_EQ(a.queries().size(), b.queries().size());
+  for (size_t i = 0; i < a.queries().size(); ++i) {
+    EXPECT_EQ(a.queries()[i].text, b.queries()[i].text);
+  }
+  for (corpus::DocId id = 0; id < a.corpus().size(); ++id) {
+    ASSERT_EQ(a.corpus().doc(id).body, b.corpus().doc(id).body);
+  }
+}
+
+// ---------- Harness ----------
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.corpus.num_documents = 2000;
+    config.users.num_users = 4;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 15;
+    world_ = new World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static SimulationOptions FastSim() {
+    SimulationOptions sim;
+    sim.train_days = 2;
+    sim.queries_per_user_day = 3;
+    sim.test_queries_per_user = 8;
+    sim.ctr_samples_per_impression = 2;
+    return sim;
+  }
+
+  static World* world_;
+};
+
+World* HarnessTest::world_ = nullptr;
+
+TEST_F(HarnessTest, RunProducesSaneMetrics) {
+  SimulationHarness harness(world_, FastSim());
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  const StrategyMetrics m = harness.Run(options);
+  EXPECT_EQ(m.impressions, 4 * 8);
+  EXPECT_GT(m.mrr, 0.0);
+  EXPECT_LE(m.mrr, 1.0);
+  EXPECT_GE(m.ndcg10, 0.0);
+  EXPECT_LE(m.ndcg10, 1.0);
+  EXPECT_GT(m.avg_rank_relevant, 1.0);
+  EXPECT_LE(m.avg_rank_relevant, 15.0);
+  for (double p : m.precision_at) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // P@k * k is non-decreasing in k (hit counts accumulate).
+  for (int k = 2; k <= 10; ++k) {
+    EXPECT_GE(m.precision_at[k - 1] * k, m.precision_at[k - 2] * (k - 1) - 1e-9);
+  }
+}
+
+TEST_F(HarnessTest, TestQueriesAreDeterministicAndPersonal) {
+  SimulationHarness harness(world_, FastSim());
+  const auto& user = world_->users()[0];
+  const auto a = harness.TestQueriesFor(user);
+  const auto b = harness.TestQueriesFor(user);
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a, b);
+  // Personal: the top query has above-average weight for this user.
+  const auto weights = harness.QueryWeightsFor(user);
+  double mean = 0.0;
+  for (double w : weights) mean += w;
+  mean /= weights.size();
+  EXPECT_GT(weights[a[0]->id], mean);
+}
+
+TEST_F(HarnessTest, BaselineMetricsIdenticalAcrossRuns) {
+  SimulationHarness harness(world_, FastSim());
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kBaseline;
+  const StrategyMetrics a = harness.Run(options);
+  const StrategyMetrics b = harness.Run(options);
+  EXPECT_DOUBLE_EQ(a.avg_rank_relevant, b.avg_rank_relevant);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+  EXPECT_DOUBLE_EQ(a.ctr_at_1, b.ctr_at_1);
+}
+
+
+TEST_F(HarnessTest, TrainedRunIsFullyDeterministic) {
+  SimulationHarness harness(world_, FastSim());
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  std::vector<ImpressionOutcome> a;
+  std::vector<ImpressionOutcome> b;
+  const StrategyMetrics ma = harness.Run(options, &a);
+  const StrategyMetrics mb = harness.Run(options, &b);
+  EXPECT_DOUBLE_EQ(ma.mrr, mb.mrr);
+  EXPECT_DOUBLE_EQ(ma.ndcg10, mb.ndcg10);
+  EXPECT_DOUBLE_EQ(ma.avg_rank_relevant, mb.avg_rank_relevant);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].reciprocal_rank, b[i].reciprocal_rank);
+    EXPECT_DOUBLE_EQ(a[i].ndcg10, b[i].ndcg10);
+  }
+}
+
+TEST_F(HarnessTest, DifferentSimSeedsChangeTraining) {
+  SimulationOptions sim = FastSim();
+  SimulationHarness h1(world_, sim);
+  sim.seed += 1;
+  SimulationHarness h2(world_, sim);
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  const StrategyMetrics a = h1.Run(options);
+  const StrategyMetrics b = h2.Run(options);
+  // The deterministic test sets are identical, but training trajectories
+  // differ, so at least one aggregate differs almost surely.
+  EXPECT_TRUE(a.mrr != b.mrr || a.ndcg10 != b.ndcg10 ||
+              a.avg_rank_relevant != b.avg_rank_relevant);
+}
+
+TEST_F(HarnessTest, RunAveragedAggregates) {
+  SimulationHarness harness(world_, FastSim());
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kBaseline;
+  const StrategyMetrics m = harness.RunAveraged(options, 2);
+  EXPECT_EQ(m.impressions, 2 * 4 * 8);
+}
+
+}  // namespace
+}  // namespace pws::eval

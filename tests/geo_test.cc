@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <set>
+
+#include "geo/gazetteer.h"
+#include "geo/geo_point.h"
+#include "geo/gps.h"
+#include "geo/location_extractor.h"
+#include "geo/location_ontology.h"
+
+namespace pws::geo {
+namespace {
+
+// ---------- GeoPoint ----------
+
+TEST(GeoPointTest, HaversineKnownDistances) {
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint paris{48.86, 2.35};
+  const GeoPoint new_york{40.71, -74.01};
+  EXPECT_NEAR(HaversineKm(london, paris), 344.0, 10.0);
+  EXPECT_NEAR(HaversineKm(london, new_york), 5570.0, 60.0);
+  EXPECT_DOUBLE_EQ(HaversineKm(london, london), 0.0);
+}
+
+TEST(GeoPointTest, HaversineSymmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-30.0, 150.0};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(GeoPointTest, DistanceDecay) {
+  EXPECT_DOUBLE_EQ(DistanceDecay(0.0, 100.0), 1.0);
+  EXPECT_NEAR(DistanceDecay(100.0, 100.0), 1.0 / M_E, 1e-9);
+  EXPECT_GT(DistanceDecay(10.0, 100.0), DistanceDecay(200.0, 100.0));
+  EXPECT_DOUBLE_EQ(DistanceDecay(-5.0, 100.0), 1.0);  // Clamped.
+}
+
+// ---------- LocationOntology ----------
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  OntologyTest() {
+    country_ = ontology_.AddNode("freedonia", LocationLevel::kCountry,
+                                 ontology_.root(), {10, 10}, 0);
+    region_ = ontology_.AddNode("north province", LocationLevel::kRegion,
+                                country_, {11, 10}, 0);
+    city_a_ = ontology_.AddNode("avalon", LocationLevel::kCity, region_,
+                                {11.5, 10.2}, 500000);
+    city_b_ = ontology_.AddNode("bridgeton", LocationLevel::kCity, region_,
+                                {11.2, 10.8}, 100000);
+    other_region_ = ontology_.AddNode("south province", LocationLevel::kRegion,
+                                      country_, {9, 10}, 0);
+    city_c_ = ontology_.AddNode("avalon", LocationLevel::kCity, other_region_,
+                                {8.9, 10.1}, 20000);  // Ambiguous name.
+  }
+
+  LocationOntology ontology_;
+  LocationId country_, region_, city_a_, city_b_, other_region_, city_c_;
+};
+
+TEST_F(OntologyTest, StructureAndDepth) {
+  EXPECT_EQ(ontology_.size(), 7);
+  EXPECT_EQ(ontology_.Depth(ontology_.root()), 0);
+  EXPECT_EQ(ontology_.Depth(country_), 1);
+  EXPECT_EQ(ontology_.Depth(region_), 2);
+  EXPECT_EQ(ontology_.Depth(city_a_), 3);
+}
+
+TEST_F(OntologyTest, LookupFindsAllHomonyms) {
+  const auto hits = ontology_.Lookup("avalon");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(ontology_.Lookup("Avalon").size(), 2u);  // Normalized.
+  EXPECT_TRUE(ontology_.Lookup("atlantis").empty());
+}
+
+TEST_F(OntologyTest, MultiTokenNamesAffectMaxTokens) {
+  EXPECT_GE(ontology_.max_name_tokens(), 2);
+  EXPECT_EQ(ontology_.Lookup("north province").size(), 1u);
+}
+
+TEST_F(OntologyTest, Aliases) {
+  ontology_.AddAlias(city_a_, "ava city");
+  const auto hits = ontology_.Lookup("ava city");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], city_a_);
+}
+
+TEST_F(OntologyTest, AncestorQueries) {
+  EXPECT_TRUE(ontology_.IsAncestorOf(country_, city_a_));
+  EXPECT_TRUE(ontology_.IsAncestorOf(city_a_, city_a_));
+  EXPECT_FALSE(ontology_.IsAncestorOf(city_a_, country_));
+  EXPECT_FALSE(ontology_.IsAncestorOf(region_, city_c_));
+}
+
+TEST_F(OntologyTest, LowestCommonAncestor) {
+  EXPECT_EQ(ontology_.LowestCommonAncestor(city_a_, city_b_), region_);
+  EXPECT_EQ(ontology_.LowestCommonAncestor(city_a_, city_c_), country_);
+  EXPECT_EQ(ontology_.LowestCommonAncestor(city_a_, city_a_), city_a_);
+  EXPECT_EQ(ontology_.LowestCommonAncestor(city_a_, ontology_.root()),
+            ontology_.root());
+}
+
+TEST_F(OntologyTest, WuPalmerSimilarity) {
+  EXPECT_DOUBLE_EQ(ontology_.Similarity(city_a_, city_a_), 1.0);
+  // Same region: LCA depth 2, both depth 3 -> 4/6.
+  EXPECT_NEAR(ontology_.Similarity(city_a_, city_b_), 2.0 / 3.0, 1e-12);
+  // Same country only: LCA depth 1 -> 2/6.
+  EXPECT_NEAR(ontology_.Similarity(city_a_, city_c_), 1.0 / 3.0, 1e-12);
+  // City vs own region: LCA = region (depth 2), depths 3+2 -> 4/5.
+  EXPECT_NEAR(ontology_.Similarity(city_a_, region_), 0.8, 1e-12);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(ontology_.Similarity(city_a_, city_c_),
+                   ontology_.Similarity(city_c_, city_a_));
+}
+
+TEST_F(OntologyTest, PathToRoot) {
+  const auto path = ontology_.PathToRoot(city_a_);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], city_a_);
+  EXPECT_EQ(path[1], region_);
+  EXPECT_EQ(path[2], country_);
+  EXPECT_EQ(path[3], ontology_.root());
+}
+
+TEST_F(OntologyTest, CitiesUnder) {
+  EXPECT_EQ(ontology_.CitiesUnder(region_).size(), 2u);
+  EXPECT_EQ(ontology_.CitiesUnder(country_).size(), 3u);
+  EXPECT_EQ(ontology_.CitiesUnder(city_a_).size(), 1u);
+}
+
+TEST_F(OntologyTest, NearestCity) {
+  EXPECT_EQ(ontology_.NearestCity({11.5, 10.2}), city_a_);
+  EXPECT_EQ(ontology_.NearestCity({8.9, 10.0}), city_c_);
+}
+
+TEST_F(OntologyTest, NormalizeName) {
+  EXPECT_EQ(LocationOntology::NormalizeName("  New-York  City "),
+            "new york city");
+}
+
+// ---------- World gazetteer ----------
+
+TEST(GazetteerTest, WorldHasExpectedShape) {
+  const LocationOntology world = BuildWorldGazetteer();
+  EXPECT_GT(world.size(), 120);
+  EXPECT_GT(world.CitiesUnder(world.root()).size(), 80u);
+  EXPECT_EQ(world.NodesAtLevel(LocationLevel::kCountry).size(), 14u);
+}
+
+TEST(GazetteerTest, AmbiguousNamesPresent) {
+  const LocationOntology world = BuildWorldGazetteer();
+  EXPECT_EQ(world.Lookup("portland").size(), 2u);
+  EXPECT_EQ(world.Lookup("paris").size(), 2u);
+  EXPECT_EQ(world.Lookup("cambridge").size(), 2u);
+  EXPECT_EQ(world.Lookup("springfield").size(), 2u);
+  EXPECT_EQ(world.Lookup("vancouver").size(), 2u);
+  EXPECT_EQ(world.Lookup("london").size(), 2u);
+}
+
+TEST(GazetteerTest, AliasesResolve) {
+  const LocationOntology world = BuildWorldGazetteer();
+  const auto nyc = world.Lookup("nyc");
+  ASSERT_EQ(nyc.size(), 1u);
+  EXPECT_EQ(world.node(nyc[0]).name, "new york");
+  const auto uk = world.Lookup("uk");
+  ASSERT_EQ(uk.size(), 1u);
+  EXPECT_EQ(world.node(uk[0]).name, "united kingdom");
+}
+
+TEST(GazetteerTest, CoordinatesRoughlySane) {
+  const LocationOntology world = BuildWorldGazetteer();
+  const auto tokyo = world.Lookup("tokyo");
+  ASSERT_EQ(tokyo.size(), 1u);
+  const auto sydney = world.Lookup("sydney");
+  ASSERT_EQ(sydney.size(), 1u);
+  const double km = HaversineKm(world.node(tokyo[0]).coords,
+                                world.node(sydney[0]).coords);
+  EXPECT_NEAR(km, 7800.0, 300.0);
+}
+
+struct SyntheticParam {
+  int countries;
+  int regions;
+  int cities;
+};
+
+class SyntheticGazetteerTest
+    : public ::testing::TestWithParam<SyntheticParam> {};
+
+TEST_P(SyntheticGazetteerTest, ShapeMatchesParameters) {
+  const auto p = GetParam();
+  SyntheticGazetteerOptions options;
+  options.num_countries = p.countries;
+  options.regions_per_country = p.regions;
+  options.cities_per_region = p.cities;
+  Random rng(99);
+  const LocationOntology g = BuildSyntheticGazetteer(options, rng);
+  EXPECT_EQ(g.NodesAtLevel(LocationLevel::kCountry).size(),
+            static_cast<size_t>(p.countries));
+  EXPECT_EQ(g.NodesAtLevel(LocationLevel::kRegion).size(),
+            static_cast<size_t>(p.countries * p.regions));
+  EXPECT_EQ(g.CitiesUnder(g.root()).size(),
+            static_cast<size_t>(p.countries * p.regions * p.cities));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticGazetteerTest,
+                         ::testing::Values(SyntheticParam{1, 1, 1},
+                                           SyntheticParam{3, 2, 5},
+                                           SyntheticParam{10, 4, 8}));
+
+TEST(SyntheticGazetteerTest, DeterministicGivenSeed) {
+  SyntheticGazetteerOptions options;
+  Random rng1(5);
+  Random rng2(5);
+  const auto a = BuildSyntheticGazetteer(options, rng1);
+  const auto b = BuildSyntheticGazetteer(options, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (LocationId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.node(id).name, b.node(id).name);
+  }
+}
+
+// ---------- LocationExtractor ----------
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest()
+      : world_(BuildWorldGazetteer()),
+        extractor_(&world_, LocationExtractorOptions{}) {}
+
+  LocationId Only(const std::string& name) const {
+    const auto ids = world_.Lookup(name);
+    EXPECT_EQ(ids.size(), 1u) << name;
+    return ids[0];
+  }
+
+  LocationOntology world_;
+  LocationExtractor extractor_;
+};
+
+TEST_F(ExtractorTest, FindsSimpleMention) {
+  const auto mentions = extractor_.Extract("best sushi in tokyo tonight");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].location, Only("tokyo"));
+  EXPECT_EQ(mentions[0].surface, "tokyo");
+  EXPECT_EQ(mentions[0].token_length, 1);
+}
+
+TEST_F(ExtractorTest, LongestMatchWinsForMultiTokenNames) {
+  const auto mentions = extractor_.Extract("flights to new york city today");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(world_.node(mentions[0].location).name, "new york");
+  EXPECT_EQ(mentions[0].surface, "new york city");
+  EXPECT_EQ(mentions[0].token_length, 3);
+}
+
+TEST_F(ExtractorTest, PopulationPriorBreaksTies) {
+  // Without context, the bigger Paris (France) wins over Paris, Texas.
+  const auto mentions = extractor_.Extract("hotels in paris");
+  ASSERT_EQ(mentions.size(), 1u);
+  const auto& node = world_.node(mentions[0].location);
+  EXPECT_EQ(world_.node(world_.node(node.parent).parent).name, "france");
+}
+
+TEST_F(ExtractorTest, ContextDisambiguates) {
+  // Texas context flips Paris to Paris, Texas.
+  const auto mentions =
+      extractor_.Extract("driving from dallas and houston to paris");
+  ASSERT_EQ(mentions.size(), 3u);
+  const auto& paris = world_.node(mentions[2].location);
+  EXPECT_EQ(world_.node(paris.parent).name, "texas");
+}
+
+TEST_F(ExtractorTest, SecondPassFixesEarlyMentions) {
+  // "portland" appears before its context; the second pass should still
+  // resolve it to Portland, Maine given the Bangor/Maine context after.
+  const auto mentions = extractor_.Extract("portland and bangor in maine");
+  ASSERT_EQ(mentions.size(), 3u);
+  const auto& portland = world_.node(mentions[0].location);
+  EXPECT_EQ(world_.node(portland.parent).name, "maine");
+}
+
+TEST_F(ExtractorTest, NoMentions) {
+  EXPECT_TRUE(extractor_.Extract("purely topical text with no places").empty());
+  EXPECT_TRUE(extractor_.Extract("").empty());
+}
+
+TEST_F(ExtractorTest, AliasesExtract) {
+  const auto mentions = extractor_.Extract("cheap flights from nyc to la");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(world_.node(mentions[0].location).name, "new york");
+  EXPECT_EQ(world_.node(mentions[1].location).name, "los angeles");
+}
+
+// ---------- GPS ----------
+
+TEST(GpsTest, TraceAnchorsAtHome) {
+  const LocationOntology world = BuildWorldGazetteer();
+  const auto tokyo = world.Lookup("tokyo");
+  ASSERT_FALSE(tokyo.empty());
+  GpsTraceOptions options;
+  options.num_days = 10;
+  options.fixes_per_day = 6;
+  Random rng(3);
+  const GpsTrace trace = GenerateGpsTrace(world, tokyo[0], options, rng);
+  ASSERT_EQ(trace.size(), 60u);
+  // All fixes within the commute radius of Tokyo (plus slack).
+  for (const auto& fix : trace) {
+    EXPECT_LT(HaversineKm(fix.point, world.node(tokyo[0]).coords), 30.0);
+  }
+  // Timestamps increase.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time_days, trace[i - 1].time_days);
+  }
+}
+
+TEST(GpsTest, TravelDaysVisitTravelCity) {
+  const LocationOntology world = BuildWorldGazetteer();
+  const auto tokyo = world.Lookup("tokyo");
+  const auto osaka = world.Lookup("osaka");
+  GpsTraceOptions options;
+  options.num_days = 40;
+  options.travel_city = osaka[0];
+  options.travel_day_probability = 0.5;
+  Random rng(4);
+  const GpsTrace trace = GenerateGpsTrace(world, tokyo[0], options, rng);
+  const auto counts = CityVisitCounts(world, trace);
+  std::set<LocationId> visited;
+  for (const auto& [city, count] : counts) visited.insert(city);
+  EXPECT_TRUE(visited.count(tokyo[0]) > 0);
+  EXPECT_TRUE(visited.count(osaka[0]) > 0);
+}
+
+TEST(GpsTest, CityVisitCountsSortedDescending) {
+  const LocationOntology world = BuildWorldGazetteer();
+  const auto tokyo = world.Lookup("tokyo");
+  GpsTraceOptions options;
+  options.num_days = 5;
+  Random rng(5);
+  const GpsTrace trace = GenerateGpsTrace(world, tokyo[0], options, rng);
+  const auto counts = CityVisitCounts(world, trace);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i - 1].second, counts[i].second);
+  }
+}
+
+TEST(GpsTest, EmptyTraceEmptyCounts) {
+  const LocationOntology world = BuildWorldGazetteer();
+  EXPECT_TRUE(CityVisitCounts(world, {}).empty());
+}
+
+}  // namespace
+}  // namespace pws::geo

@@ -1,0 +1,214 @@
+// End-to-end integration tests: run the full train/serve protocol on a
+// moderate world and check the reproduction's headline *shapes* (see
+// DESIGN.md §4). Assertions are deliberately loose — these guard against
+// regressions that break the science, not against run-to-run noise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "click/click_log.h"
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+
+namespace pws {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 42;
+    config.corpus.num_documents = 6000;
+    config.users.num_users = 16;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 30;
+    config.backend.page_size = 30;
+    world_ = new eval::World(config);
+
+    eval::SimulationOptions sim;
+    sim.train_days = 8;
+    sim.queries_per_user_day = 6;
+    sim.test_queries_per_user = 20;
+    harness_ = new eval::SimulationHarness(world_, sim);
+
+    core::EngineOptions baseline;
+    baseline.strategy = ranking::Strategy::kBaseline;
+    baseline_metrics_ = new eval::StrategyMetrics(harness_->Run(baseline));
+
+    core::EngineOptions combined;
+    combined.strategy = ranking::Strategy::kCombined;
+    combined_metrics_ =
+        new eval::StrategyMetrics(harness_->RunAveraged(combined, 2));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_metrics_;
+    delete combined_metrics_;
+    delete harness_;
+    delete world_;
+  }
+
+  static eval::World* world_;
+  static eval::SimulationHarness* harness_;
+  static eval::StrategyMetrics* baseline_metrics_;
+  static eval::StrategyMetrics* combined_metrics_;
+};
+
+eval::World* IntegrationTest::world_ = nullptr;
+eval::SimulationHarness* IntegrationTest::harness_ = nullptr;
+eval::StrategyMetrics* IntegrationTest::baseline_metrics_ = nullptr;
+eval::StrategyMetrics* IntegrationTest::combined_metrics_ = nullptr;
+
+TEST_F(IntegrationTest, CombinedDoesNotRegressMrrAndWinsOnLocationRank) {
+  // Overall MRR must not regress (the gains concentrate in the
+  // location-heavy class, ~1/3 of test queries, so the overall delta is
+  // small at this world size — E12 shows it significant at full scale).
+  EXPECT_GT(combined_metrics_->mrr, baseline_metrics_->mrr - 0.005);
+  // The location-heavy class must show a solid average-rank win.
+  EXPECT_LT(combined_metrics_->avg_rank_by_class[1],
+            baseline_metrics_->avg_rank_by_class[1] - 0.5);
+}
+
+TEST_F(IntegrationTest, CombinedBeatsBaselineOnNdcg) {
+  EXPECT_GT(combined_metrics_->ndcg10, baseline_metrics_->ndcg10);
+}
+
+TEST_F(IntegrationTest, LocationHeavyQueriesGainMost) {
+  const double gain_loc = baseline_metrics_->avg_rank_by_class[1] -
+                          combined_metrics_->avg_rank_by_class[1];
+  const double gain_content = baseline_metrics_->avg_rank_by_class[0] -
+                              combined_metrics_->avg_rank_by_class[0];
+  EXPECT_GT(gain_loc, 0.0);
+  EXPECT_GT(gain_loc, gain_content);
+}
+
+TEST_F(IntegrationTest, CombinedDoesNotTankAnyClass) {
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_LT(combined_metrics_->avg_rank_by_class[c],
+              baseline_metrics_->avg_rank_by_class[c] + 1.5)
+        << "class " << c;
+  }
+}
+
+TEST_F(IntegrationTest, ProfilesLearnRealLocations) {
+  // Train one engine manually and check that at least half the users'
+  // top profile location is geographically related to their home or
+  // travel city (similarity > 0).
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  for (const auto& user : world_->users()) engine.RegisterUser(user.id);
+  Random rng(3);
+  for (int day = 0; day < 8; ++day) {
+    for (const auto& user : world_->users()) {
+      for (int q = 0; q < 6; ++q) {
+        const auto& intent = harness_->SampleQuery(user, rng);
+        auto page = engine.Serve(user.id, intent.text);
+        const auto record = world_->click_model().Simulate(
+            user, intent, page.ShownPage(), world_->corpus(), day, rng);
+        engine.Observe(user.id, page, record);
+      }
+    }
+    engine.AdvanceDay();
+  }
+  engine.TrainAllUsers();
+
+  int users_with_profiles = 0;
+  int home_positive = 0;
+  int top_aligned = 0;
+  for (const auto& user : world_->users()) {
+    const auto& profile = engine.user_profile(user.id);
+    const auto top = profile.TopLocations(1);
+    if (top.empty() || top[0].second <= 0.0) continue;
+    ++users_with_profiles;
+    // Positive weight somewhere on the home path (city/region/country).
+    bool positive = false;
+    for (geo::LocationId node :
+         world_->ontology().PathToRoot(user.home_city)) {
+      if (node == world_->ontology().root()) break;
+      if (profile.LocationWeight(node) > 0.0) positive = true;
+    }
+    if (positive) ++home_positive;
+    // Top-1 concept related to home or a travel place.
+    double sim = world_->ontology().Similarity(top[0].first, user.home_city);
+    for (const auto& [place, affinity] : user.place_affinity) {
+      sim = std::max(sim, world_->ontology().Similarity(top[0].first, place));
+    }
+    if (sim > 0.0) ++top_aligned;
+  }
+  ASSERT_GT(users_with_profiles, 8);
+  // Most users accumulate positive evidence on their own home path.
+  EXPECT_GT(home_positive * 2, users_with_profiles);
+  // The single top concept aligns with home/travel far above the ~7%
+  // random-country chance.
+  EXPECT_GE(top_aligned * 5, users_with_profiles);
+}
+
+TEST_F(IntegrationTest, ClickLogRoundTripsThroughTsv) {
+  // Simulate a day of logging, serialize, parse, compare.
+  click::ClickLog log;
+  core::EngineOptions options;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  Random rng(4);
+  for (const auto& user : world_->users()) {
+    engine.RegisterUser(user.id);
+    const auto& intent = harness_->SampleQuery(user, rng);
+    auto page = engine.Serve(user.id, intent.text);
+    log.Add(world_->click_model().Simulate(user, intent, page.ShownPage(),
+                                           world_->corpus(), 0, rng));
+  }
+  const auto parsed = click::ClickLog::FromTsv(log.ToTsv());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), log.size());
+  for (int i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(parsed->record(i).user, log.record(i).user);
+    EXPECT_EQ(parsed->record(i).query_text, log.record(i).query_text);
+    ASSERT_EQ(parsed->record(i).interactions.size(),
+              log.record(i).interactions.size());
+    for (size_t j = 0; j < log.record(i).interactions.size(); ++j) {
+      EXPECT_EQ(parsed->record(i).interactions[j].clicked,
+                log.record(i).interactions[j].clicked);
+      EXPECT_EQ(parsed->record(i).interactions[j].doc,
+                log.record(i).interactions[j].doc);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, AllStrategiesRunWithoutCrashing) {
+  eval::SimulationOptions sim;
+  sim.train_days = 2;
+  sim.queries_per_user_day = 2;
+  sim.test_queries_per_user = 5;
+  eval::SimulationHarness harness(world_, sim);
+  for (ranking::Strategy strategy :
+       {ranking::Strategy::kBaseline, ranking::Strategy::kContentOnly,
+        ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
+        ranking::Strategy::kCombinedGps}) {
+    core::EngineOptions options;
+    options.strategy = strategy;
+    const auto metrics = harness.Run(options);
+    EXPECT_GT(metrics.impressions, 0)
+        << ranking::StrategyToString(strategy);
+  }
+}
+
+TEST_F(IntegrationTest, EntropyAdaptiveRunsAndStaysSane) {
+  eval::SimulationOptions sim;
+  sim.train_days = 4;
+  sim.queries_per_user_day = 4;
+  sim.test_queries_per_user = 10;
+  eval::SimulationHarness harness(world_, sim);
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  options.entropy_adaptive_alpha = true;
+  const auto metrics = harness.Run(options);
+  EXPECT_GT(metrics.mrr, 0.3);
+}
+
+}  // namespace
+}  // namespace pws

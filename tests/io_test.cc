@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "geo/gazetteer.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/topic_model.h"
+#include "io/corpus_io.h"
+#include "io/engine_state_io.h"
+#include "io/gazetteer_io.h"
+#include "io/model_io.h"
+#include "io/profile_io.h"
+#include "util/file_util.h"
+#include "util/random.h"
+
+namespace pws::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------- File util ----------
+
+TEST(FileUtilTest, WriteReadRoundTrip) {
+  const std::string path = TempPath("file_util_rt.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  EXPECT_TRUE(FileExists(path));
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFile) {
+  const auto contents = ReadFileToString(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(FileExists(TempPath("does_not_exist.bin")));
+}
+
+TEST(FileUtilTest, BinarySafety) {
+  const std::string path = TempPath("file_util_bin.bin");
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteStringToFile(path, binary).ok());
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, binary);
+  std::remove(path.c_str());
+}
+
+// ---------- Gazetteer IO ----------
+
+TEST(GazetteerIoTest, WorldRoundTripsExactly) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const std::string tsv = GazetteerToTsv(world);
+  const auto loaded = GazetteerFromTsv(tsv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), world.size());
+  for (geo::LocationId id = 0; id < world.size(); ++id) {
+    const auto& a = world.node(id);
+    const auto& b = loaded->node(id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.children, b.children);
+    EXPECT_NEAR(a.coords.lat, b.coords.lat, 1e-6);
+    EXPECT_NEAR(a.coords.lon, b.coords.lon, 1e-6);
+    EXPECT_NEAR(a.population, b.population, 0.1);
+  }
+  // Aliases survive.
+  EXPECT_EQ(loaded->Lookup("nyc"), world.Lookup("nyc"));
+  EXPECT_EQ(loaded->Lookup("portland"), world.Lookup("portland"));
+}
+
+TEST(GazetteerIoTest, FileRoundTrip) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const std::string path = TempPath("gazetteer.tsv");
+  ASSERT_TRUE(SaveGazetteer(world, path).ok());
+  const auto loaded = LoadGazetteer(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), world.size());
+  std::remove(path.c_str());
+}
+
+TEST(GazetteerIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(GazetteerFromTsv("garbage line").ok());
+  EXPECT_FALSE(GazetteerFromTsv("N\t5\t0\t1\t0\t0\t0\tjump-id").ok());
+  EXPECT_FALSE(GazetteerFromTsv("N\t1\t9\t1\t0\t0\t0\tbad-parent").ok());
+  EXPECT_FALSE(GazetteerFromTsv("N\t1\t0\t7\t0\t0\t0\tbad-level").ok());
+  EXPECT_FALSE(GazetteerFromTsv("A\t99\talias-to-nowhere").ok());
+  EXPECT_FALSE(GazetteerFromTsv("N\t1\t0\t1\tx\t0\t0\tbad-number").ok());
+}
+
+TEST(GazetteerIoTest, EmptyInputYieldsRootOnly) {
+  const auto loaded = GazetteerFromTsv("");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1);  // Just the world root.
+}
+
+// ---------- Profile IO ----------
+
+TEST(ProfileIoTest, RoundTripPreservesEverything) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(42, &world);
+  profile.AddContentWeight("powder", 3.14159);
+  profile.AddContentWeight("lift ticket", -0.5);
+  profile.AddContentWeight("espresso", 1e-9);
+  profile.AddLocationWeight(world.Lookup("whistler")[0], 7.25);
+  profile.AddLocationWeight(world.Lookup("canada")[0], 0.33333333333);
+  profile.RestoreImpressionCount(17);
+
+  const std::string text = ProfileToText(profile);
+  const auto loaded = ProfileFromText(text, &world);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->user(), 42);
+  EXPECT_EQ(loaded->impressions_observed(), 17);
+  EXPECT_DOUBLE_EQ(loaded->ContentWeight("powder"), 3.14159);
+  EXPECT_DOUBLE_EQ(loaded->ContentWeight("lift ticket"), -0.5);
+  EXPECT_DOUBLE_EQ(loaded->ContentWeight("espresso"), 1e-9);
+  EXPECT_DOUBLE_EQ(loaded->LocationWeight(world.Lookup("whistler")[0]), 7.25);
+  EXPECT_DOUBLE_EQ(loaded->LocationWeight(world.Lookup("canada")[0]),
+                   0.33333333333);
+}
+
+TEST(ProfileIoTest, FileRoundTrip) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(7, &world);
+  profile.AddContentWeight("booking", 2.0);
+  const std::string path = TempPath("profile.txt");
+  ASSERT_TRUE(SaveProfile(profile, path).ok());
+  const auto loaded = LoadProfile(path, &world);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->ContentWeight("booking"), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIoTest, RejectsMalformedInput) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EXPECT_FALSE(ProfileFromText("", &world).ok());
+  EXPECT_FALSE(ProfileFromText("C\t1.0\tterm", &world).ok());  // No header.
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nX\t1.0\tz", &world).ok());
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nL\t1.0\t99999", &world).ok());
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nC\tnot-a-number\tz", &world).ok());
+  profile::UserProfile p(0, &world);
+  EXPECT_FALSE(ProfileFromText(ProfileToText(p), nullptr).ok());
+}
+
+// ---------- Model IO ----------
+
+TEST(ModelIoTest, TrainedModelRoundTrips) {
+  Random rng(5);
+  std::vector<ranking::TrainingPair> pairs;
+  for (int i = 0; i < 60; ++i) {
+    ranking::TrainingPair pair;
+    pair.preferred = {rng.UniformDouble(), rng.UniformDouble() + 0.4,
+                      rng.UniformDouble()};
+    pair.other = {rng.UniformDouble(), rng.UniformDouble(),
+                  rng.UniformDouble()};
+    pairs.push_back(std::move(pair));
+  }
+  ranking::RankSvm model(3);
+  model.SetPrior({0.0, 1.0, 0.0});
+  model.Train(pairs, ranking::RankSvmOptions{});
+
+  const auto loaded = ModelFromText(ModelToText(model));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dimension(), 3);
+  EXPECT_TRUE(loaded->is_trained());
+  EXPECT_EQ(loaded->weights(), model.weights());
+  EXPECT_EQ(loaded->prior(), model.prior());
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  ranking::RankSvm model(2);
+  model.set_weights({1.5, -2.5});
+  const std::string path = TempPath("model.txt");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->weights(), model.weights());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ModelFromText("").ok());
+  EXPECT_FALSE(ModelFromText("M\t2\t1\nW\t1.0\nP\t0\t0\n").ok());  // Short W.
+  EXPECT_FALSE(ModelFromText("M\tx\t1\nW\t1\t1\nP\t0\t0\n").ok());
+  EXPECT_FALSE(ModelFromText("Q\t2\t1\nW\t1\t1\nP\t0\t0\n").ok());
+}
+
+
+// ---------- Engine state IO ----------
+
+TEST(EngineStateIoTest, RoundTripsProfileAndModel) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(3, &world);
+  profile.AddContentWeight("espresso", 2.5);
+  profile.AddLocationWeight(world.Lookup("tokyo")[0], 1.25);
+  ranking::RankSvm model(4);
+  model.SetPrior({0.0, 1.0, 0.0, 0.0});
+  model.set_weights({0.5, 1.5, -0.25, 0.0});
+
+  const auto loaded =
+      UserStateFromText(UserStateToText(profile, model), &world);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->profile.user(), 3);
+  EXPECT_DOUBLE_EQ(loaded->profile.ContentWeight("espresso"), 2.5);
+  EXPECT_EQ(loaded->model.weights(), model.weights());
+  EXPECT_EQ(loaded->model.prior(), model.prior());
+}
+
+TEST(EngineStateIoTest, FileRoundTrip) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(1, &world);
+  profile.AddContentWeight("x", 1.0);
+  ranking::RankSvm model(2);
+  model.set_weights({1.0, 2.0});
+  const std::string path = TempPath("user_state.txt");
+  ASSERT_TRUE(SaveUserState(profile, model, path).ok());
+  const auto loaded = LoadUserState(path, &world);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->profile.ContentWeight("x"), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(EngineStateIoTest, RejectsMissingSeparator) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EXPECT_FALSE(UserStateFromText("U\t1\t0\n", &world).ok());
+}
+
+TEST(EngineStateIoTest, ClickLogFileRoundTrip) {
+  click::ClickLog log;
+  click::ClickRecord record;
+  record.user = 2;
+  record.day = 1;
+  record.query_id = 9;
+  record.query_text = "ski whistler";
+  click::Interaction interaction;
+  interaction.doc = 55;
+  interaction.rank = 0;
+  interaction.clicked = true;
+  interaction.dwell_units = 120.0;
+  record.interactions.push_back(interaction);
+  log.Add(record);
+  const std::string path = TempPath("clicks.tsv");
+  ASSERT_TRUE(SaveClickLog(log, path).ok());
+  const auto loaded = LoadClickLog(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1);
+  EXPECT_EQ(loaded->record(0).query_text, "ski whistler");
+  std::remove(path.c_str());
+}
+
+
+// ---------- Corpus IO ----------
+
+TEST(CorpusIoTest, GeneratedCorpusRoundTripsExactly) {
+  Random rng(13);
+  const corpus::TopicModel topics = corpus::TopicModel::Create(6, 10, rng);
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  corpus::CorpusGeneratorOptions options;
+  options.num_documents = 80;
+  corpus::CorpusGenerator generator(&topics, &world, options);
+  const corpus::Corpus original = generator.Generate(rng);
+
+  const auto loaded = CorpusFromText(CorpusToText(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (corpus::DocId id = 0; id < original.size(); ++id) {
+    const auto& a = original.doc(id);
+    const auto& b = loaded->doc(id);
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_EQ(a.body, b.body);
+    EXPECT_EQ(a.url, b.url);
+    EXPECT_EQ(a.domain, b.domain);
+    EXPECT_EQ(a.primary_topic_truth, b.primary_topic_truth);
+    EXPECT_EQ(a.primary_location_truth, b.primary_location_truth);
+    EXPECT_EQ(a.topic_mixture_truth, b.topic_mixture_truth);
+    EXPECT_EQ(a.planted_locations_truth, b.planted_locations_truth);
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  corpus::Corpus corpus;
+  corpus::Document doc;
+  doc.id = 0;
+  doc.title = "a title";
+  doc.body = "a body with words";
+  doc.url = "http://x.example/0";
+  doc.domain = "x.example";
+  doc.topic_mixture_truth = {0.5, 0.5};
+  doc.primary_topic_truth = 0;
+  corpus.Add(doc);
+  const std::string path = TempPath("corpus.txt");
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  const auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->doc(0).body, "a body with words");
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(CorpusFromText("garbage").ok());
+  EXPECT_FALSE(CorpusFromText("D\t0\t0\t-1\turl").ok());     // Short D.
+  EXPECT_FALSE(CorpusFromText("T\torphan title").ok());       // No D yet.
+  EXPECT_FALSE(CorpusFromText("D\tx\t0\t-1\tu\td").ok());  // Bad id.
+}
+
+TEST(CorpusIoTest, EmptyCorpus) {
+  const auto loaded = CorpusFromText("");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0);
+}
+
+}  // namespace
+}  // namespace pws::io

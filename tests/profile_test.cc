@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "geo/gazetteer.h"
+#include "profile/entropy.h"
+#include "profile/gps_augment.h"
+#include "profile/preference_pairs.h"
+#include "profile/user_profile.h"
+
+namespace pws::profile {
+namespace {
+
+// ---------- Preference pair mining ----------
+
+click::ClickRecord MakeRecord(const std::vector<bool>& clicked) {
+  click::ClickRecord record;
+  for (size_t i = 0; i < clicked.size(); ++i) {
+    click::Interaction interaction;
+    interaction.doc = static_cast<corpus::DocId>(i);
+    interaction.rank = static_cast<int>(i);
+    interaction.clicked = clicked[i];
+    interaction.dwell_units = clicked[i] ? 200.0 : 0.0;
+    record.interactions.push_back(interaction);
+  }
+  return record;
+}
+
+TEST(PreferencePairsTest, SkipAboveOnlyPairsWithSkippedAbove) {
+  // Click at rank 2: pairs against unclicked ranks 0 and 1 only.
+  const auto record = MakeRecord({false, false, true, false, false});
+  const auto pairs = MinePreferencePairs(record, PairMiningOptions{});
+  ASSERT_EQ(pairs.size(), 2u);
+  for (const auto& pair : pairs) {
+    EXPECT_EQ(pair.preferred_index, 2);
+    EXPECT_LT(pair.other_index, 2);
+  }
+}
+
+TEST(PreferencePairsTest, ClickVsAllPairsWithEveryUnclicked) {
+  const auto record = MakeRecord({false, false, true, false, false});
+  PairMiningOptions options;
+  options.strategy = PairMiningStrategy::kClickVsAll;
+  const auto pairs = MinePreferencePairs(record, options);
+  EXPECT_EQ(pairs.size(), 4u);
+}
+
+TEST(PreferencePairsTest, MultipleClicks) {
+  const auto record = MakeRecord({false, true, false, true});
+  const auto pairs = MinePreferencePairs(record, PairMiningOptions{});
+  // Click@1 vs skip@0; click@3 vs skips@0,2.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(PreferencePairsTest, NoClicksNoPairs) {
+  const auto record = MakeRecord({false, false, false});
+  EXPECT_TRUE(MinePreferencePairs(record, PairMiningOptions{}).empty());
+}
+
+TEST(PreferencePairsTest, GradeWeighting) {
+  auto record = MakeRecord({false, true});
+  record.interactions[1].dwell_units = 500.0;  // Highly relevant.
+  PairMiningOptions options;
+  auto pairs = MinePreferencePairs(record, options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].weight, 2.0);
+
+  record.interactions[1].dwell_units = 10.0;  // Bounce click.
+  pairs = MinePreferencePairs(record, options);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(pairs[0].weight, 0.25);
+
+  options.grade_weighting = false;
+  pairs = MinePreferencePairs(record, options);
+  EXPECT_DOUBLE_EQ(pairs[0].weight, 1.0);
+}
+
+// ---------- UserProfile ----------
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest() : ontology_(geo::BuildWorldGazetteer()), profile_(7, &ontology_) {}
+
+  geo::LocationId Only(const std::string& name) const {
+    const auto ids = ontology_.Lookup(name);
+    EXPECT_EQ(ids.size(), 1u);
+    return ids[0];
+  }
+
+  // Builds a 3-result impression; result 0 clicked (dwell 200), results
+  // 1..2 not clicked.
+  click::ClickRecord ThreeResultRecord() {
+    auto record = MakeRecord({true, false, false});
+    record.interactions[0].last_click_in_session = true;
+    return record;
+  }
+
+  geo::LocationOntology ontology_;
+  UserProfile profile_;
+};
+
+TEST_F(ProfileTest, ClickRaisesContentWeight) {
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{"powder"}, {"lift"}, {"lift"}};
+  impression.locations_per_result = {{}, {}, {}};
+  profile_.ObserveImpression(ThreeResultRecord(), impression, nullptr,
+                             ProfileUpdateOptions{});
+  EXPECT_GT(profile_.ContentWeight("powder"), 0.0);
+  EXPECT_EQ(profile_.ContentWeight("lift"), 0.0);  // Unexamined tail.
+  EXPECT_EQ(profile_.impressions_observed(), 1);
+}
+
+TEST_F(ProfileTest, SkippedAboveClickGetPenalized) {
+  auto record = MakeRecord({false, true, false});
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{"skipped"}, {"clicked"}, {"tail"}};
+  impression.locations_per_result = {{}, {}, {}};
+  profile_.ObserveImpression(record, impression, nullptr,
+                             ProfileUpdateOptions{});
+  EXPECT_LT(profile_.ContentWeight("skipped"), 0.0);
+  EXPECT_GT(profile_.ContentWeight("clicked"), 0.0);
+  EXPECT_EQ(profile_.ContentWeight("tail"), 0.0);
+}
+
+TEST_F(ProfileTest, LiftDividesByPageFrequency) {
+  // "common" is on all three results; "rare" only on the clicked one.
+  auto record = MakeRecord({true, false, false});
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {
+      {"common", "rare"}, {"common"}, {"common"}};
+  impression.locations_per_result = {{}, {}, {}};
+  profile_.ObserveImpression(record, impression, nullptr,
+                             ProfileUpdateOptions{});
+  EXPECT_GT(profile_.ContentWeight("rare"),
+            profile_.ContentWeight("common") * 2.0);
+}
+
+TEST_F(ProfileTest, LocationClickCreditsCityAndAncestors) {
+  auto record = ThreeResultRecord();
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{}, {}, {}};
+  // Every result located -> density 1 -> gate fully open.
+  impression.locations_per_result = {
+      {Only("whistler")}, {Only("berlin")}, {Only("munich")}};
+  profile_.ObserveImpression(record, impression, nullptr,
+                             ProfileUpdateOptions{});
+  const double city = profile_.LocationWeight(Only("whistler"));
+  const double region = profile_.LocationWeight(Only("british columbia"));
+  const double country = profile_.LocationWeight(Only("canada"));
+  EXPECT_GT(city, 0.0);
+  EXPECT_GT(region, 0.0);
+  EXPECT_GT(country, 0.0);
+  EXPECT_GT(city, region);
+  EXPECT_GT(region, country);
+}
+
+TEST_F(ProfileTest, QueryExplainedLocationsGetNoCredit) {
+  auto record = ThreeResultRecord();
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{}, {}, {}};
+  impression.locations_per_result = {
+      {Only("whistler")}, {Only("berlin")}, {Only("munich")}};
+  impression.query_mentioned_locations = {Only("whistler")};
+  profile_.ObserveImpression(record, impression, nullptr,
+                             ProfileUpdateOptions{});
+  EXPECT_EQ(profile_.LocationWeight(Only("whistler")), 0.0);
+  EXPECT_EQ(profile_.LocationWeight(Only("british columbia")), 0.0);
+}
+
+TEST_F(ProfileTest, LowLocationDensityPagesGiveNoLocationCredit) {
+  auto record = ThreeResultRecord();
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{}, {}, {}};
+  // Only 1/3 of results located -> below the 0.25..0.55 gate? 0.33 is
+  // inside the ramp but low; use 0 located on others -> density 1/3.
+  impression.locations_per_result = {{Only("tokyo")}, {}, {}};
+  profile_.ObserveImpression(record, impression, nullptr,
+                             ProfileUpdateOptions{});
+  const double w = profile_.LocationWeight(Only("tokyo"));
+  // Partially gated: much less than a full-density credit (grade 2 ->
+  // 2.0 raw).
+  EXPECT_LT(w, 0.5);
+}
+
+TEST_F(ProfileTest, OntologySpreadingPropagatesToNeighbours) {
+  std::vector<concepts::ContentConcept> concepts = {
+      {"ski", 0.6, 3}, {"powder", 0.6, 3}, {"unrelated", 0.4, 2}};
+  concepts::SnippetIncidence incidence = {{0, 1}, {0, 1}, {0, 1}, {2}};
+  concepts::ContentOntology content_ontology(concepts, incidence);
+
+  auto record = ThreeResultRecord();
+  ImpressionConcepts impression;
+  impression.content_terms_per_result = {{"ski"}, {}, {}};
+  impression.locations_per_result = {{}, {}, {}};
+  ProfileUpdateOptions options;
+  profile_.ObserveImpression(record, impression, &content_ontology, options);
+  EXPECT_GT(profile_.ContentWeight("ski"), 0.0);
+  EXPECT_GT(profile_.ContentWeight("powder"), 0.0);  // Spread.
+  EXPECT_EQ(profile_.ContentWeight("unrelated"), 0.0);
+  EXPECT_GT(profile_.ContentWeight("ski"), profile_.ContentWeight("powder"));
+
+  // Spreading off: no neighbour credit.
+  UserProfile no_spread(8, &ontology_);
+  options.ontology_spreading = false;
+  no_spread.ObserveImpression(record, impression, &content_ontology, options);
+  EXPECT_EQ(no_spread.ContentWeight("powder"), 0.0);
+}
+
+TEST_F(ProfileTest, DecayShrinksWeights) {
+  profile_.AddContentWeight("ski", 10.0);
+  profile_.AddLocationWeight(Only("tokyo"), 10.0);
+  ProfileUpdateOptions options;
+  options.daily_decay = 0.5;
+  profile_.DecayDaily(options);
+  EXPECT_DOUBLE_EQ(profile_.ContentWeight("ski"), 5.0);
+  EXPECT_DOUBLE_EQ(profile_.LocationWeight(Only("tokyo")), 5.0);
+}
+
+TEST_F(ProfileTest, LocationAffinityGeneralizesViaOntology) {
+  profile_.AddLocationWeight(Only("whistler"), 4.0);
+  // Exact match: weight * 1.
+  EXPECT_DOUBLE_EQ(profile_.LocationAffinity(Only("whistler")), 4.0);
+  // Same region (Victoria BC): weight * (2*2/6).
+  EXPECT_NEAR(profile_.LocationAffinity(Only("victoria")), 4.0 * 2 / 3,
+              1e-9);
+  // Different continent: similarity 0.
+  EXPECT_DOUBLE_EQ(profile_.LocationAffinity(Only("tokyo")), 0.0);
+  EXPECT_DOUBLE_EQ(profile_.LocationAffinity(geo::kInvalidLocation), 0.0);
+}
+
+TEST_F(ProfileTest, MaxWeightsAndCountsAndTops) {
+  profile_.AddContentWeight("a", 3.0);
+  profile_.AddContentWeight("b", 5.0);
+  profile_.AddContentWeight("c", -1.0);
+  EXPECT_DOUBLE_EQ(profile_.MaxContentWeight(), 5.0);
+  EXPECT_EQ(profile_.ContentConceptCount(), 3);
+  const auto top = profile_.TopContentConcepts(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "b");
+  EXPECT_EQ(top[1].first, "a");
+
+  EXPECT_DOUBLE_EQ(profile_.MaxLocationWeight(), 0.0);
+  profile_.AddLocationWeight(Only("tokyo"), 2.0);
+  EXPECT_DOUBLE_EQ(profile_.MaxLocationWeight(), 2.0);
+  EXPECT_EQ(profile_.LocationConceptCount(), 1);
+}
+
+// ---------- Entropy tracker ----------
+
+TEST(EntropyTrackerTest, ConcentratedClicksLowEntropy) {
+  ClickEntropyTracker tracker;
+  for (int i = 0; i < 10; ++i) {
+    tracker.AddClick(1, {"ski"}, {42});
+  }
+  EXPECT_EQ(tracker.ClickCount(1), 10);
+  EXPECT_DOUBLE_EQ(tracker.ContentEntropy(1), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.LocationEntropy(1), 0.0);
+}
+
+TEST(EntropyTrackerTest, DiverseClicksHighEntropy) {
+  ClickEntropyTracker tracker;
+  for (int i = 0; i < 8; ++i) {
+    tracker.AddClick(2, {"term" + std::to_string(i)},
+                     {static_cast<geo::LocationId>(i)});
+  }
+  EXPECT_NEAR(tracker.LocationEntropy(2), std::log(8.0), 1e-9);
+  EXPECT_NEAR(tracker.ContentEntropy(2), std::log(8.0), 1e-9);
+}
+
+TEST(EntropyTrackerTest, UnknownQueryDefaults) {
+  ClickEntropyTracker tracker;
+  EXPECT_EQ(tracker.ClickCount(99), 0);
+  EXPECT_DOUBLE_EQ(tracker.ContentEntropy(99), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.LocationEntropy(99), 0.0);
+}
+
+TEST(EntropyTrackerTest, AdaptiveBlendRampsWithLocationEntropy) {
+  ClickEntropyTracker tracker;
+  // Query 1: all clicks on one location -> min alpha.
+  for (int i = 0; i < 10; ++i) tracker.AddClick(1, {}, {5});
+  // Query 2: clicks spread over many locations -> max alpha.
+  for (int i = 0; i < 10; ++i) {
+    tracker.AddClick(2, {}, {static_cast<geo::LocationId>(i)});
+  }
+  const double low = tracker.AdaptiveLocationBlend(1, 0.1, 0.8);
+  const double high = tracker.AdaptiveLocationBlend(2, 0.1, 0.8);
+  EXPECT_NEAR(low, 0.1, 1e-9);
+  EXPECT_NEAR(high, 0.8, 1e-9);
+  // Unknown query: middle of the range.
+  EXPECT_NEAR(tracker.AdaptiveLocationBlend(77, 0.1, 0.8), 0.45, 1e-9);
+}
+
+// ---------- GPS augmentation ----------
+
+TEST(GpsAugmentTest, VisitedCitiesGainWeight) {
+  const geo::LocationOntology ontology = geo::BuildWorldGazetteer();
+  const geo::LocationId tokyo = ontology.Lookup("tokyo")[0];
+  UserProfile profile(1, &ontology);
+  geo::GpsTraceOptions trace_options;
+  trace_options.num_days = 10;
+  Random rng(3);
+  const geo::GpsTrace trace =
+      GenerateGpsTrace(ontology, tokyo, trace_options, rng);
+  AugmentProfileWithGps(ontology, trace, GpsAugmentOptions{}, &profile);
+  EXPECT_GT(profile.LocationWeight(tokyo), 0.0);
+  // Ancestors credited with damping.
+  const geo::LocationId kanto = ontology.node(tokyo).parent;
+  EXPECT_GT(profile.LocationWeight(kanto), 0.0);
+  EXPECT_LT(profile.LocationWeight(kanto), profile.LocationWeight(tokyo));
+}
+
+TEST(GpsAugmentTest, MinVisitsFiltersNoise) {
+  const geo::LocationOntology ontology = geo::BuildWorldGazetteer();
+  const geo::LocationId tokyo = ontology.Lookup("tokyo")[0];
+  UserProfile profile(1, &ontology);
+  geo::GpsTrace trace;
+  trace.push_back({0.0, ontology.node(tokyo).coords});  // Single fix.
+  GpsAugmentOptions options;
+  options.min_visits = 2;
+  AugmentProfileWithGps(ontology, trace, options, &profile);
+  EXPECT_EQ(profile.LocationWeight(tokyo), 0.0);
+}
+
+}  // namespace
+}  // namespace pws::profile

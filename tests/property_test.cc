@@ -1,0 +1,393 @@
+// Property-based tests: invariants checked over randomized inputs,
+// parameterized by seed. These guard structural guarantees that the
+// example-based unit tests can't sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "click/relevance.h"
+#include "eval/metrics.h"
+#include "geo/gazetteer.h"
+#include "geo/location_ontology.h"
+#include "profile/user_profile.h"
+#include "ranking/features.h"
+#include "ranking/rank_svm.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace pws {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+// ---------- Ontology invariants over random gazetteers ----------
+
+TEST_P(SeededProperty, OntologySimilarityIsAMetricLikeScore) {
+  Random rng(GetParam());
+  geo::SyntheticGazetteerOptions options;
+  options.num_countries = 4;
+  options.regions_per_country = 3;
+  options.cities_per_region = 4;
+  const geo::LocationOntology g = BuildSyntheticGazetteer(options, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<geo::LocationId>(rng.UniformUint64(g.size()));
+    const auto b = static_cast<geo::LocationId>(rng.UniformUint64(g.size()));
+    const double sim = g.Similarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    EXPECT_DOUBLE_EQ(sim, g.Similarity(b, a));        // Symmetry.
+    EXPECT_DOUBLE_EQ(g.Similarity(a, a), 1.0);        // Identity.
+  }
+}
+
+TEST_P(SeededProperty, LcaIsACommonAncestorAndDeepest) {
+  Random rng(GetParam());
+  geo::SyntheticGazetteerOptions options;
+  const geo::LocationOntology g = BuildSyntheticGazetteer(options, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<geo::LocationId>(rng.UniformUint64(g.size()));
+    const auto b = static_cast<geo::LocationId>(rng.UniformUint64(g.size()));
+    const geo::LocationId lca = g.LowestCommonAncestor(a, b);
+    EXPECT_TRUE(g.IsAncestorOf(lca, a));
+    EXPECT_TRUE(g.IsAncestorOf(lca, b));
+    // No strictly deeper common ancestor exists: the LCA's children that
+    // are ancestors of a are not ancestors of b (and vice versa).
+    for (geo::LocationId child : g.node(lca).children) {
+      EXPECT_FALSE(g.IsAncestorOf(child, a) && g.IsAncestorOf(child, b));
+    }
+  }
+}
+
+TEST_P(SeededProperty, NearestCityIsActuallyNearest) {
+  Random rng(GetParam());
+  geo::SyntheticGazetteerOptions options;
+  options.num_countries = 3;
+  const geo::LocationOntology g = BuildSyntheticGazetteer(options, rng);
+  const auto cities = g.CitiesUnder(g.root());
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::GeoPoint p{rng.UniformDouble(-60, 70),
+                          rng.UniformDouble(-180, 180)};
+    const geo::LocationId nearest = g.NearestCity(p);
+    const double best = HaversineKm(p, g.node(nearest).coords);
+    for (geo::LocationId city : cities) {
+      EXPECT_LE(best, HaversineKm(p, g.node(city).coords) + 1e-9);
+    }
+  }
+}
+
+// ---------- Geometry ----------
+
+TEST_P(SeededProperty, HaversineTriangleInequality) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const geo::GeoPoint a{rng.UniformDouble(-89, 89),
+                          rng.UniformDouble(-180, 180)};
+    const geo::GeoPoint b{rng.UniformDouble(-89, 89),
+                          rng.UniformDouble(-180, 180)};
+    const geo::GeoPoint c{rng.UniformDouble(-89, 89),
+                          rng.UniformDouble(-180, 180)};
+    EXPECT_LE(HaversineKm(a, c),
+              HaversineKm(a, b) + HaversineKm(b, c) + 1e-6);
+  }
+}
+
+// ---------- Text ----------
+
+TEST_P(SeededProperty, TokenizerOutputIsNormalizedAndStable) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string input;
+    for (int i = 0; i < 60; ++i) {
+      input.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+    }
+    const auto tokens = text::Tokenize(input);
+    for (const auto& token : tokens) {
+      EXPECT_FALSE(token.empty());
+      for (char c : token) {
+        EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            << "token '" << token << "' from input '" << input << "'";
+      }
+      // Re-tokenizing a token is the identity.
+      const auto again = text::Tokenize(token);
+      ASSERT_EQ(again.size(), 1u);
+      EXPECT_EQ(again[0], token);
+    }
+  }
+}
+
+TEST_P(SeededProperty, StemNeverGrowsAndIsLowercase) {
+  Random rng(GetParam());
+  static const char* kSuffixes[] = {"ing", "ed", "s", "ation", "ness",
+                                    "ful", "ly", "izer", ""};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string word;
+    const int len = static_cast<int>(rng.UniformInt(3, 8));
+    for (int i = 0; i < len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.UniformUint64(26)));
+    }
+    word += kSuffixes[rng.UniformUint64(std::size(kSuffixes))];
+    const std::string stem = text::PorterStem(word);
+    EXPECT_LE(stem.size(), word.size());
+    EXPECT_GE(stem.size(), 1u);
+  }
+}
+
+// ---------- Metrics ----------
+
+TEST_P(SeededProperty, MetricsBoundedAndConsistent) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    eval::GradeList grades;
+    const int n = static_cast<int>(rng.UniformInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      grades.push_back(
+          static_cast<click::RelevanceGrade>(rng.UniformInt(0, 2)));
+    }
+    const double ndcg = eval::NdcgAtK(grades, 10);
+    EXPECT_GE(ndcg, 0.0);
+    EXPECT_LE(ndcg, 1.0 + 1e-12);
+    const double rr = eval::ReciprocalRank(grades);
+    EXPECT_GE(rr, 0.0);
+    EXPECT_LE(rr, 1.0);
+    // Recall@k monotone in k; P@k bounded.
+    double prev_recall = 0.0;
+    for (int k = 1; k <= n; ++k) {
+      const double recall = eval::RecallAtK(grades, k);
+      EXPECT_GE(recall, prev_recall - 1e-12);
+      prev_recall = recall;
+      const double precision = eval::PrecisionAtK(grades, k);
+      EXPECT_GE(precision, 0.0);
+      EXPECT_LE(precision, 1.0);
+    }
+    // RR > 0 iff a relevant doc exists iff avg rank has a value.
+    const auto avg_rank = eval::AverageRankOfRelevant(grades);
+    EXPECT_EQ(rr > 0.0, avg_rank.has_value());
+    if (avg_rank.has_value()) {
+      EXPECT_GE(*avg_rank, 1.0);
+      EXPECT_LE(*avg_rank, static_cast<double>(n));
+      // The first relevant rank (1/rr) can't exceed the mean rank.
+      EXPECT_LE(1.0 / rr, *avg_rank + 1e-9);
+    }
+  }
+}
+
+// ---------- Sorting by a perfect signal is ideal ----------
+
+TEST_P(SeededProperty, OracleOrderingMaximizesNdcg) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    eval::GradeList grades;
+    const int n = static_cast<int>(rng.UniformInt(2, 15));
+    for (int i = 0; i < n; ++i) {
+      grades.push_back(
+          static_cast<click::RelevanceGrade>(rng.UniformInt(0, 2)));
+    }
+    eval::GradeList sorted = grades;
+    std::sort(sorted.begin(), sorted.end(),
+              [](click::RelevanceGrade a, click::RelevanceGrade b) {
+                return static_cast<int>(a) > static_cast<int>(b);
+              });
+    EXPECT_GE(eval::NdcgAtK(sorted, 10) + 1e-12, eval::NdcgAtK(grades, 10));
+  }
+}
+
+// ---------- RankSvm ----------
+
+TEST_P(SeededProperty, UninformativePairsStayNearPrior) {
+  Random rng(GetParam());
+  std::vector<ranking::TrainingPair> pairs;
+  for (int i = 0; i < 80; ++i) {
+    ranking::TrainingPair pair;
+    pair.preferred.assign(4, 0.0);
+    pair.other.assign(4, 0.0);
+    for (int d = 0; d < 4; ++d) {
+      const double v = rng.UniformDouble();
+      pair.preferred[d] = v;  // Identical vectors: zero signal.
+      pair.other[d] = v;
+    }
+    pairs.push_back(std::move(pair));
+  }
+  ranking::RankSvm model(4);
+  model.SetPrior({0.5, 0.0, -0.5, 1.0});
+  model.Train(pairs, ranking::RankSvmOptions{});
+  EXPECT_NEAR(model.weights()[0], 0.5, 0.05);
+  EXPECT_NEAR(model.weights()[1], 0.0, 0.05);
+  EXPECT_NEAR(model.weights()[2], -0.5, 0.05);
+  EXPECT_NEAR(model.weights()[3], 1.0, 0.05);
+}
+
+TEST_P(SeededProperty, TrainingIsInvariantToPairOrder) {
+  Random rng(GetParam());
+  std::vector<ranking::TrainingPair> pairs;
+  for (int i = 0; i < 40; ++i) {
+    ranking::TrainingPair pair;
+    pair.preferred = {rng.UniformDouble(), rng.UniformDouble()};
+    pair.other = {rng.UniformDouble(), rng.UniformDouble()};
+    pairs.push_back(std::move(pair));
+  }
+  ranking::RankSvm a(2);
+  a.Train(pairs, ranking::RankSvmOptions{});
+  // Reversed input order: the internal shuffle (fixed seed) determines
+  // the visit order, but different input order -> different trajectory.
+  // The *scores'* pairwise accuracy should be comparable; exact equality
+  // is not required. What must hold: training twice on identical input
+  // is identical (determinism under same input).
+  ranking::RankSvm b(2);
+  b.Train(pairs, ranking::RankSvmOptions{});
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+// ---------- Profile ----------
+
+TEST_P(SeededProperty, NoClicksMeansNoProfileChange) {
+  Random rng(GetParam());
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(0, &world);
+  click::ClickRecord record;
+  profile::ImpressionConcepts impression;
+  const int n = static_cast<int>(rng.UniformInt(1, 10));
+  for (int i = 0; i < n; ++i) {
+    click::Interaction interaction;
+    interaction.rank = i;
+    interaction.doc = i;
+    record.interactions.push_back(interaction);
+    impression.content_terms_per_result.push_back({"term"});
+    impression.locations_per_result.push_back({});
+  }
+  profile.ObserveImpression(record, impression, nullptr,
+                            profile::ProfileUpdateOptions{});
+  EXPECT_EQ(profile.ContentWeight("term"), 0.0);
+  EXPECT_EQ(profile.ContentConceptCount(), 0);
+}
+
+TEST_P(SeededProperty, DecayIsMonotoneContraction) {
+  Random rng(GetParam());
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(0, &world);
+  for (int i = 0; i < 20; ++i) {
+    profile.AddContentWeight("t" + std::to_string(i),
+                             rng.UniformDouble(-5, 5));
+  }
+  const double max_before = profile.MaxContentWeight();
+  profile::ProfileUpdateOptions options;
+  options.daily_decay = 0.9;
+  profile.DecayDaily(options);
+  EXPECT_LE(profile.MaxContentWeight(), max_before + 1e-12);
+  for (int i = 0; i < 20; ++i) {
+    const double w = profile.ContentWeight("t" + std::to_string(i));
+    EXPECT_LE(std::abs(w), 5.0 * 0.9 + 1e-9);
+  }
+}
+
+// ---------- Features ----------
+
+TEST_P(SeededProperty, FeatureVectorsAreBounded) {
+  Random rng(GetParam());
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const auto cities = world.CitiesUnder(world.root());
+  profile::UserProfile profile(0, &world);
+  for (int i = 0; i < 10; ++i) {
+    profile.AddContentWeight("c" + std::to_string(i),
+                             rng.UniformDouble(-3, 10));
+    profile.AddLocationWeight(cities[rng.UniformUint64(cities.size())],
+                              rng.UniformDouble(0, 10));
+  }
+
+  backend::ResultPage page;
+  page.query = "anything";
+  std::vector<std::vector<std::string>> terms;
+  concepts::QueryLocationConcepts locations;
+  const int n = static_cast<int>(rng.UniformInt(1, 20));
+  for (int i = 0; i < n; ++i) {
+    backend::SearchResult result;
+    result.doc = i;
+    result.rank = i;
+    result.score = rng.UniformDouble(0, 20);
+    page.results.push_back(result);
+    std::vector<std::string> row;
+    for (int t = 0; t < rng.UniformInt(0, 5); ++t) {
+      row.push_back("c" + std::to_string(rng.UniformUint64(14)));
+    }
+    terms.push_back(row);
+    std::vector<geo::LocationId> locs;
+    if (rng.Bernoulli(0.6)) {
+      locs.push_back(cities[rng.UniformUint64(cities.size())]);
+    }
+    locations.per_result.push_back(locs);
+  }
+
+  ranking::FeatureContext context;
+  context.ontology = &world;
+  context.user_profile = &profile;
+  context.content_terms_per_result = &terms;
+  context.query_locations = &locations;
+  if (rng.Bernoulli(0.5)) {
+    context.query_mentioned_locations = {
+        cities[rng.UniformUint64(cities.size())]};
+  }
+  if (rng.Bernoulli(0.5)) {
+    context.gps_position = world.node(cities[0]).coords;
+  }
+
+  const auto features = ranking::ExtractFeatures(page, context);
+  ASSERT_EQ(features.size(), static_cast<size_t>(n));
+  for (const auto& x : features) {
+    ASSERT_EQ(x.size(), size_t{ranking::kFeatureCount});
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+// ---------- Relevance model ----------
+
+TEST_P(SeededProperty, RelevanceAlwaysInUnitInterval) {
+  Random rng(GetParam());
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  Random topic_rng(3);
+  const corpus::TopicModel topics = corpus::TopicModel::Create(10, 5,
+                                                               topic_rng);
+  click::UserPopulationOptions user_options;
+  user_options.num_users = 3;
+  Random user_rng(GetParam());
+  const auto users =
+      GenerateUserPopulation(topics, world, user_options, user_rng);
+  const click::RelevanceModel model(&world, click::RelevanceModelOptions{});
+  const auto cities = world.CitiesUnder(world.root());
+
+  for (int trial = 0; trial < 100; ++trial) {
+    corpus::Document doc;
+    doc.topic_mixture_truth.assign(10, 0.0);
+    const int t1 = static_cast<int>(rng.UniformUint64(10));
+    const int t2 = static_cast<int>(rng.UniformUint64(10));
+    doc.topic_mixture_truth[t1] += rng.UniformDouble(0, 1);
+    doc.topic_mixture_truth[t2] += 1.0 - doc.topic_mixture_truth[t1];
+    doc.primary_topic_truth = t1;
+    if (rng.Bernoulli(0.5)) {
+      doc.primary_location_truth = cities[rng.UniformUint64(cities.size())];
+    }
+    click::QueryIntent intent;
+    intent.topic = static_cast<int>(rng.UniformUint64(10));
+    intent.location_intent_weight = rng.UniformDouble();
+    if (rng.Bernoulli(0.4)) {
+      intent.explicit_location = cities[rng.UniformUint64(cities.size())];
+    } else if (rng.Bernoulli(0.5)) {
+      intent.implicit_local = true;
+    }
+    for (const auto& user : users) {
+      const double rel = model.TrueRelevance(user, intent, doc);
+      EXPECT_GE(rel, 0.0);
+      EXPECT_LE(rel, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pws

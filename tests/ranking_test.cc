@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <cmath>
+
+#include "geo/gazetteer.h"
+#include "profile/user_profile.h"
+#include "ranking/features.h"
+#include "ranking/rank_svm.h"
+#include "ranking/ranker.h"
+
+namespace pws::ranking {
+namespace {
+
+// ---------- RankSvm ----------
+
+TEST(RankSvmTest, LearnsSeparableSignal) {
+  Random rng(1);
+  std::vector<TrainingPair> pairs;
+  for (int i = 0; i < 400; ++i) {
+    TrainingPair pair;
+    pair.preferred.assign(4, 0.0);
+    pair.other.assign(4, 0.0);
+    for (int d = 0; d < 4; ++d) {
+      pair.preferred[d] = rng.UniformDouble();
+      pair.other[d] = rng.UniformDouble();
+    }
+    pair.preferred[2] += 0.5;  // Dimension 2 is the signal.
+    pairs.push_back(std::move(pair));
+  }
+  RankSvm model(4);
+  EXPECT_FALSE(model.is_trained());
+  model.Train(pairs, RankSvmOptions{});
+  EXPECT_TRUE(model.is_trained());
+  // Signal weight dominates.
+  for (int d = 0; d < 4; ++d) {
+    if (d != 2) EXPECT_GT(model.weights()[2], std::abs(model.weights()[d]));
+  }
+  // High pair accuracy.
+  int correct = 0;
+  for (const auto& pair : pairs) {
+    if (model.Score(pair.preferred) > model.Score(pair.other)) ++correct;
+  }
+  EXPECT_GT(correct, 330);
+}
+
+TEST(RankSvmTest, EmptyTrainingIsNoop) {
+  RankSvm model(3);
+  EXPECT_DOUBLE_EQ(model.Train({}, RankSvmOptions{}), 0.0);
+  EXPECT_TRUE(model.is_trained());
+  EXPECT_DOUBLE_EQ(model.Score({1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(RankSvmTest, DeterministicTraining) {
+  Random rng(2);
+  std::vector<TrainingPair> pairs;
+  for (int i = 0; i < 50; ++i) {
+    TrainingPair pair;
+    pair.preferred = {rng.UniformDouble(), rng.UniformDouble()};
+    pair.other = {rng.UniformDouble(), rng.UniformDouble()};
+    pairs.push_back(std::move(pair));
+  }
+  RankSvm a(2);
+  RankSvm b(2);
+  a.Train(pairs, RankSvmOptions{});
+  b.Train(pairs, RankSvmOptions{});
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(RankSvmTest, ScoreRangeSplitsBlocks) {
+  RankSvm model(4);
+  model.set_weights({1.0, 2.0, 3.0, 4.0});
+  const std::vector<double> x = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.Score(x), 10.0);
+  EXPECT_DOUBLE_EQ(model.ScoreRange(x, 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(model.ScoreRange(x, 2, 4), 7.0);
+  EXPECT_DOUBLE_EQ(model.ScoreRange(x, 2, 2), 0.0);
+}
+
+TEST(RankSvmTest, PriorActsAsInitialWeightsAndRegularizationCenter) {
+  RankSvm model(2);
+  model.SetPrior({1.5, 0.0});
+  EXPECT_TRUE(model.is_trained());
+  EXPECT_DOUBLE_EQ(model.Score({1.0, 0.0}), 1.5);
+  // Training on pairs that carry no signal leaves weights near the prior
+  // (L2 pulls toward it).
+  Random rng(3);
+  std::vector<TrainingPair> pairs;
+  for (int i = 0; i < 100; ++i) {
+    TrainingPair pair;
+    const double v = rng.UniformDouble();
+    pair.preferred = {v, rng.UniformDouble()};
+    pair.other = {v, rng.UniformDouble()};  // Dim 0 identical in a pair.
+    pairs.push_back(std::move(pair));
+  }
+  model.Train(pairs, RankSvmOptions{});
+  EXPECT_GT(model.weights()[0], 1.0);  // Still anchored near the prior.
+}
+
+TEST(RankSvmTest, WeightedPairsMatterMore) {
+  // Conflicting pairs: heavy ones say dim0 up, light ones say down.
+  std::vector<TrainingPair> pairs;
+  for (int i = 0; i < 40; ++i) {
+    TrainingPair up;
+    up.preferred = {1.0};
+    up.other = {0.0};
+    up.weight = 3.0;
+    pairs.push_back(up);
+    TrainingPair down;
+    down.preferred = {0.0};
+    down.other = {1.0};
+    down.weight = 0.5;
+    pairs.push_back(down);
+  }
+  RankSvm model(1);
+  model.Train(pairs, RankSvmOptions{});
+  EXPECT_GT(model.weights()[0], 0.0);
+}
+
+// ---------- Feature extraction ----------
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  FeatureTest() : ontology_(geo::BuildWorldGazetteer()), profile_(0, &ontology_) {
+    page_.query = "test";
+    for (int i = 0; i < 4; ++i) {
+      backend::SearchResult result;
+      result.doc = i;
+      result.rank = i;
+      result.score = 10.0 - i;
+      page_.results.push_back(result);
+    }
+    terms_ = {{"alpha"}, {"beta"}, {"alpha", "beta"}, {}};
+    // All results located -> gate open.
+    locations_.per_result = {{Tokyo()}, {Osaka()}, {Tokyo()}, {Berlin()}};
+    concepts::LocationConcept tokyo_concept;
+    tokyo_concept.location = Tokyo();
+    tokyo_concept.doc_count = 2;
+    tokyo_concept.weight = 0.5;
+    locations_.aggregated.push_back(tokyo_concept);
+  }
+
+  geo::LocationId Tokyo() { return ontology_.Lookup("tokyo")[0]; }
+  geo::LocationId Osaka() { return ontology_.Lookup("osaka")[0]; }
+  geo::LocationId Berlin() { return ontology_.Lookup("berlin")[0]; }
+
+  FeatureContext Context() {
+    FeatureContext context;
+    context.ontology = &ontology_;
+    context.user_profile = &profile_;
+    context.content_terms_per_result = &terms_;
+    context.query_locations = &locations_;
+    return context;
+  }
+
+  geo::LocationOntology ontology_;
+  profile::UserProfile profile_;
+  backend::ResultPage page_;
+  std::vector<std::vector<std::string>> terms_;
+  concepts::QueryLocationConcepts locations_;
+};
+
+TEST_F(FeatureTest, DimensionsAndDeterminism) {
+  const auto a = ExtractFeatures(page_, Context());
+  const auto b = ExtractFeatures(page_, Context());
+  ASSERT_EQ(a.size(), 4u);
+  for (const auto& row : a) EXPECT_EQ(row.size(), size_t{kFeatureCount});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FeatureTest, ContentFeaturesReflectProfile) {
+  profile_.AddContentWeight("alpha", 4.0);
+  const auto features = ExtractFeatures(page_, Context());
+  EXPECT_GT(features[0][0], 0.0);   // Has "alpha".
+  EXPECT_EQ(features[1][0], 0.0);   // Only "beta" (weight 0).
+  EXPECT_GT(features[2][0], 0.0);
+  EXPECT_EQ(features[3][0], 0.0);   // No concepts.
+  EXPECT_DOUBLE_EQ(features[0][1], 1.0);  // 1/1 concepts positive.
+  EXPECT_DOUBLE_EQ(features[2][1], 0.5);  // 1/2 concepts positive.
+}
+
+TEST_F(FeatureTest, QueryLocationMatch) {
+  auto context = Context();
+  context.query_mentioned_locations = {Tokyo()};
+  const auto features = ExtractFeatures(page_, context);
+  EXPECT_DOUBLE_EQ(features[0][kQueryLocationMatchIndex], 1.0);  // Tokyo doc.
+  // Osaka: same country as Tokyo -> 1/3 by Wu-Palmer.
+  EXPECT_NEAR(features[1][kQueryLocationMatchIndex], 1.0 / 3.0, 1e-9);
+  // Berlin: different country -> 0.
+  EXPECT_DOUBLE_EQ(features[3][kQueryLocationMatchIndex], 0.0);
+}
+
+TEST_F(FeatureTest, ProfileLocationFeaturesGatedOffForExplicitQueries) {
+  profile_.AddLocationWeight(Tokyo(), 5.0);
+  auto context = Context();
+  const auto implicit_features = ExtractFeatures(page_, context);
+  EXPECT_GT(implicit_features[0][3], 0.0);
+
+  context.query_mentioned_locations = {Berlin()};
+  const auto explicit_features = ExtractFeatures(page_, context);
+  EXPECT_DOUBLE_EQ(explicit_features[0][3], 0.0);
+  EXPECT_DOUBLE_EQ(explicit_features[0][4], 0.0);
+}
+
+TEST_F(FeatureTest, GpsProximityFeature) {
+  auto context = Context();
+  context.gps_position = ontology_.node(Tokyo()).coords;
+  const auto features = ExtractFeatures(page_, context);
+  EXPECT_NEAR(features[0][kGpsFeatureIndex], 1.0, 0.01);  // At Tokyo.
+  EXPECT_GT(features[0][kGpsFeatureIndex],
+            features[1][kGpsFeatureIndex]);  // Osaka is ~400 km away.
+  EXPECT_GT(features[1][kGpsFeatureIndex],
+            features[3][kGpsFeatureIndex]);  // Berlin is ~9000 km away.
+
+  // No GPS -> feature 0.
+  const auto no_gps = ExtractFeatures(page_, Context());
+  EXPECT_DOUBLE_EQ(no_gps[0][kGpsFeatureIndex], 0.0);
+}
+
+TEST_F(FeatureTest, PageDominantLocationWeight) {
+  const auto features = ExtractFeatures(page_, Context());
+  EXPECT_DOUBLE_EQ(features[0][5], 0.5);  // Tokyo's aggregated weight.
+  EXPECT_DOUBLE_EQ(features[1][5], 0.0);  // Osaka not aggregated here.
+  EXPECT_DOUBLE_EQ(features[0][6], 1.0);  // Has location, gate open.
+}
+
+TEST(LocationGateTest, SmoothstepShape) {
+  EXPECT_DOUBLE_EQ(LocationGate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(LocationGate(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(LocationGate(0.55), 1.0);
+  EXPECT_DOUBLE_EQ(LocationGate(1.0), 1.0);
+  const double mid = LocationGate(0.4);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+  EXPECT_LT(LocationGate(0.3), LocationGate(0.5));
+}
+
+TEST(PageLocationDensityTest, CountsLocatedResults) {
+  concepts::QueryLocationConcepts locations;
+  locations.per_result = {{1}, {}, {2}, {}};
+  EXPECT_DOUBLE_EQ(PageLocationDensity(locations), 0.5);
+  concepts::QueryLocationConcepts empty;
+  EXPECT_DOUBLE_EQ(PageLocationDensity(empty), 0.0);
+}
+
+// ---------- Masks and ranking ----------
+
+TEST(MaskTest, StrategiesMaskTheRightBlocks) {
+  std::vector<double> full(kFeatureCount, 1.0);
+
+  auto x = full;
+  MaskForStrategy(x, Strategy::kBaseline);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+
+  x = full;
+  MaskForStrategy(x, Strategy::kContentOnly);
+  EXPECT_EQ(x[0], 1.0);
+  EXPECT_EQ(x[1], 1.0);
+  for (int d = kLocationFeatureBegin; d < kLocationFeatureEnd; ++d) {
+    EXPECT_EQ(x[d], 0.0);
+  }
+
+  x = full;
+  MaskForStrategy(x, Strategy::kLocationOnly);
+  EXPECT_EQ(x[0], 0.0);
+  EXPECT_EQ(x[1], 0.0);
+  EXPECT_EQ(x[kQueryLocationMatchIndex], 1.0);
+  EXPECT_EQ(x[kGpsFeatureIndex], 0.0);  // GPS still off.
+
+  x = full;
+  MaskForStrategy(x, Strategy::kCombined);
+  EXPECT_EQ(x[0], 1.0);
+  EXPECT_EQ(x[kGpsFeatureIndex], 0.0);
+
+  x = full;
+  MaskForStrategy(x, Strategy::kCombinedGps);
+  for (double v : x) EXPECT_EQ(v, 1.0);
+}
+
+TEST(RankerTest, BaselineAndUntrainedKeepBackendOrder) {
+  FeatureMatrix features(5, std::vector<double>(kFeatureCount, 0.3));
+  RankSvm untrained(kFeatureCount);
+  const auto order = RankResults(untrained, features, Strategy::kCombined,
+                                 RankerOptions{});
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  RankSvm trained(kFeatureCount);
+  trained.set_weights(std::vector<double>(kFeatureCount, 1.0));
+  const auto baseline_order = RankResults(trained, features,
+                                          Strategy::kBaseline, RankerOptions{});
+  EXPECT_EQ(baseline_order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RankerTest, HigherScoredResultMovesUp) {
+  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
+  features[2][kQueryLocationMatchIndex] = 1.0;  // Only result 2 matches.
+  RankSvm model(kFeatureCount);
+  std::vector<double> weights(kFeatureCount, 0.0);
+  weights[kQueryLocationMatchIndex] = 5.0;
+  model.set_weights(weights);
+  RankerOptions options;
+  options.rank_prior_weight = 0.1;
+  const auto order = RankResults(model, features, Strategy::kCombined, options);
+  EXPECT_EQ(order[0], 2);
+}
+
+TEST(RankerTest, StrongPriorPreservesBackendOrder) {
+  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
+  features[2][kQueryLocationMatchIndex] = 0.1;  // Tiny signal.
+  RankSvm model(kFeatureCount);
+  std::vector<double> weights(kFeatureCount, 0.0);
+  weights[kQueryLocationMatchIndex] = 1.0;
+  model.set_weights(weights);
+  RankerOptions options;
+  options.rank_prior_weight = 10.0;
+  const auto order = RankResults(model, features, Strategy::kCombined, options);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RankerTest, AlphaEndpointsSelectBlocks) {
+  RankSvm model(kFeatureCount);
+  std::vector<double> weights(kFeatureCount, 0.0);
+  weights[0] = 1.0;                          // Content block.
+  weights[kQueryLocationMatchIndex] = 1.0;   // Location block.
+  model.set_weights(weights);
+  std::vector<double> x(kFeatureCount, 0.0);
+  x[0] = 1.0;
+  x[kQueryLocationMatchIndex] = 1.0;
+
+  RankerOptions alpha0;
+  alpha0.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha0), 2.0);  // Content only.
+  RankerOptions alpha1;
+  alpha1.alpha = 1.0;
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha1), 2.0);  // Location only.
+  RankerOptions alpha_half;
+  alpha_half.alpha = 0.5;
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha_half), 2.0);  // Sum.
+
+  // With only the content feature set, alpha=1 zeroes the score.
+  std::vector<double> content_only(kFeatureCount, 0.0);
+  content_only[0] = 1.0;
+  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only, alpha1), 0.0);
+  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only, alpha0), 2.0);
+}
+
+TEST(RankerTest, ServeScoreAddsRankPrior) {
+  RankSvm model(kFeatureCount);
+  model.set_weights(std::vector<double>(kFeatureCount, 0.0));
+  std::vector<double> x(kFeatureCount, 0.0);
+  RankerOptions options;
+  options.rank_prior_weight = 1.0;
+  EXPECT_DOUBLE_EQ(ServeScore(model, x, 0, options), 1.0);
+  EXPECT_DOUBLE_EQ(ServeScore(model, x, 4, options), 0.2);
+}
+
+
+TEST(RankerTest, RankFusionRespectsBlockRankings) {
+  // Three results: result 2 best by location block, result 0 best by
+  // content block. Fusion with alpha=1 follows the location ranking,
+  // alpha=0 the content ranking.
+  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
+  features[0][0] = 1.0;                          // Content signal.
+  features[2][kQueryLocationMatchIndex] = 1.0;   // Location signal.
+  RankSvm model(kFeatureCount);
+  std::vector<double> weights(kFeatureCount, 0.0);
+  weights[0] = 1.0;
+  weights[kQueryLocationMatchIndex] = 1.0;
+  model.set_weights(weights);
+
+  RankerOptions options;
+  options.blend_mode = BlendMode::kRankFusion;
+  options.rank_prior_weight = 0.01;  // Negligible prior.
+  options.alpha = 1.0;
+  EXPECT_EQ(RankResults(model, features, Strategy::kCombined, options)[0],
+            2);
+  options.alpha = 0.0;
+  EXPECT_EQ(RankResults(model, features, Strategy::kCombined, options)[0],
+            0);
+}
+
+TEST(RankerTest, RankFusionIsScaleInvariant) {
+  // Multiplying all block scores by a constant must not change the
+  // fusion order (unlike the score blend).
+  Random rng(3);
+  FeatureMatrix features(6, std::vector<double>(kFeatureCount, 0.0));
+  for (auto& x : features) {
+    x[0] = rng.UniformDouble();
+    x[kQueryLocationMatchIndex] = rng.UniformDouble();
+  }
+  RankSvm small(kFeatureCount);
+  RankSvm large(kFeatureCount);
+  std::vector<double> w(kFeatureCount, 0.0);
+  w[0] = 0.3;
+  w[kQueryLocationMatchIndex] = 0.7;
+  small.set_weights(w);
+  for (double& v : w) v *= 100.0;
+  large.set_weights(w);
+
+  RankerOptions options;
+  options.blend_mode = BlendMode::kRankFusion;
+  options.rank_prior_weight = 0.0;
+  EXPECT_EQ(RankResults(small, features, Strategy::kCombined, options),
+            RankResults(large, features, Strategy::kCombined, options));
+}
+
+TEST(StrategyTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Strategy s : {Strategy::kBaseline, Strategy::kContentOnly,
+                     Strategy::kLocationOnly, Strategy::kCombined,
+                     Strategy::kCombinedGps}) {
+    names.insert(StrategyToString(s));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace pws::ranking

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "text/ngram.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tf_idf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace pws::text {
+namespace {
+
+// ---------- Stopwords ----------
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("hotel"));
+  EXPECT_FALSE(IsStopword(""));
+  EXPECT_GT(StopwordCount(), 100);
+}
+
+// ---------- Tokenizer ----------
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  const auto tokens = Tokenize("Hello, World! 42-times");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "42");
+  EXPECT_EQ(tokens[3], "times");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("...!?,").empty());
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  const auto tokens = Tokenize("the hotel of the city", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "hotel");
+  EXPECT_EQ(tokens[1], "city");
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  const auto tokens = Tokenize("go to big city", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "big");
+  EXPECT_EQ(tokens[1], "city");
+}
+
+TEST(TokenizerTest, StemmingOption) {
+  TokenizerOptions options;
+  options.stem = true;
+  const auto tokens = Tokenize("running hotels", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "run");
+  EXPECT_EQ(tokens[1], "hotel");
+}
+
+// ---------- Porter stemmer ----------
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem);
+}
+
+// Reference outputs from the original Porter vocabulary.
+INSTANTIATE_TEST_SUITE_P(
+    Classic, PorterStemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valency", "valenc"}, StemCase{"hesitancy", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformably", "conform"},
+        StemCase{"radically", "radic"}, StemCase{"differently", "differ"},
+        StemCase{"vileness", "vile"}, StemCase{"analogously", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"formality", "formal"},
+        StemCase{"sensitivity", "sensit"}, StemCase{"sensibility", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electrical", "electr"},
+        StemCase{"hopeful", "hope"}, StemCase{"goodness", "good"},
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angularity", "angular"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, AssignsDenseIdsInOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.TermOf(1), "beta");
+}
+
+TEST(VocabularyTest, UnknownTermLookup) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("known");
+  EXPECT_EQ(vocab.Get("unknown"), kUnknownTerm);
+  const auto ids = vocab.Encode({"known", "unknown"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], kUnknownTerm);
+}
+
+// ---------- N-grams ----------
+
+TEST(NgramTest, Bigrams) {
+  const auto grams = ExtractNgrams({"new", "york", "hotel"}, 2);
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "new york");
+  EXPECT_EQ(grams[1], "york hotel");
+}
+
+TEST(NgramTest, TooShortInput) {
+  EXPECT_TRUE(ExtractNgrams({"solo"}, 2).empty());
+  EXPECT_TRUE(ExtractNgrams({}, 1).empty());
+}
+
+TEST(NgramTest, UnigramsAndBigramsCombined) {
+  const auto grams = ExtractUnigramsAndBigrams({"a", "b", "c"});
+  ASSERT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams[3], "a b");
+  EXPECT_EQ(grams[4], "b c");
+}
+
+// ---------- TF-IDF ----------
+
+TEST(TfIdfTest, RareTermsGetHigherIdf) {
+  // doc0: {0,1}, doc1: {0}, doc2: {0}; term 1 is rarer than term 0.
+  TfIdfModel model({{0, 1}, {0}, {0}}, 2);
+  EXPECT_GT(model.Idf(1), model.Idf(0));
+  EXPECT_EQ(model.num_documents(), 3);
+}
+
+TEST(TfIdfTest, UnknownTermGetsMaxIdf) {
+  TfIdfModel model({{0}, {0}}, 1);
+  EXPECT_GT(model.Idf(999), model.Idf(0));
+}
+
+TEST(TfIdfTest, VectorizeAndCosine) {
+  TfIdfModel model({{0, 1}, {0, 2}, {0}}, 3);
+  const auto a = model.Vectorize({0, 1, 1});
+  const auto b = model.Vectorize({0, 2});
+  const auto a_again = model.Vectorize({0, 1, 1});
+  EXPECT_NEAR(TfIdfModel::Cosine(a, a_again), 1.0, 1e-12);
+  const double cross = TfIdfModel::Cosine(a, b);
+  EXPECT_GT(cross, 0.0);  // Shares term 0.
+  EXPECT_LT(cross, 1.0);
+  EXPECT_EQ(TfIdfModel::Cosine(a, {}), 0.0);
+}
+
+TEST(TfIdfTest, SkipsUnknownTermIds) {
+  TfIdfModel model({{0}}, 1);
+  const auto vec = model.Vectorize({0, kUnknownTerm});
+  EXPECT_EQ(vec.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pws::text

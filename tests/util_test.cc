@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/arg_parser.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace pws {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      InvalidArgumentError("x").code(), NotFoundError("x").code(),
+      AlreadyExistsError("x").code(),  FailedPreconditionError("x").code(),
+      OutOfRangeError("x").code(),     UnimplementedError("x").code(),
+      InternalError("x").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = InvalidArgumentError("bad");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> result = InternalError("boom");
+  EXPECT_DEATH({ (void)result.value(); }, "boom");
+}
+
+// ---------- Random ----------
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RandomTest, UniformDoubleInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliMeanApproximatesP) {
+  Random rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RandomTest, CategoricalRespectsWeights) {
+  Random rng(19);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.50, 0.02);
+}
+
+TEST(RandomTest, CategoricalSkipsZeroWeights) {
+  Random rng(23);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.Categorical({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RandomTest, ZipfPrefersLowRanks) {
+  Random rng(29);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinct) {
+  Random rng(31);
+  for (int k : {0, 1, 5, 20}) {
+    const auto sample = rng.SampleWithoutReplacement(20, k);
+    EXPECT_EQ(static_cast<int>(sample.size()), k);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(37);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+// ---------- Strings ----------
+
+TEST(StringTest, StrSplitKeepsEmptyPieces) {
+  const auto pieces = StrSplit("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringTest, StrSplitWhitespaceDropsEmpty) {
+  const auto pieces = StrSplitWhitespace("  hello\t world \n");
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "hello");
+  EXPECT_EQ(pieces[1], "world");
+}
+
+TEST(StringTest, JoinInvertsSplit) {
+  const std::string text = "x|y|z";
+  EXPECT_EQ(StrJoin(StrSplit(text, '|'), "|"), text);
+}
+
+TEST(StringTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(StrTrim("  abc \t"), "abc");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("fo", "foo"));
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(StringTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-5", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5junk", &v));
+}
+
+// ---------- Math ----------
+
+TEST(MathTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(L2Norm({3, 4}), 5.0);
+}
+
+TEST(MathTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MathTest, EntropyUniformIsLogN) {
+  EXPECT_NEAR(Entropy({1, 1, 1, 1}), std::log(4.0), 1e-12);
+}
+
+TEST(MathTest, EntropyDegenerateIsZero) {
+  EXPECT_EQ(Entropy({5.0}), 0.0);
+  EXPECT_EQ(Entropy({0.0, 7.0, 0.0}), 0.0);
+  EXPECT_EQ(Entropy({}), 0.0);
+}
+
+TEST(MathTest, NormalizeInPlace) {
+  std::vector<double> w = {1, 3};
+  NormalizeInPlace(w);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+  std::vector<double> zero = {0, 0};
+  NormalizeInPlace(zero);  // No-op, no NaN.
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(MathTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 6}), 2.0, 1e-12);
+  EXPECT_EQ(StdDev({5}), 0.0);
+}
+
+TEST(MathTest, SigmoidSymmetryAndBounds) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(10.0) + Sigmoid(-10.0), 1.0, 1e-9);
+  EXPECT_GT(Sigmoid(100.0), 0.999);
+  EXPECT_LT(Sigmoid(-100.0), 0.001);
+}
+
+TEST(MathTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, AlignedRendering) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  const std::string out = table.ToAligned();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+}
+
+TEST(TableTest, TsvRendering) {
+  Table table({"a", "b"});
+  table.AddNumericRow("row", {1.5}, 1);
+  EXPECT_EQ(table.ToTsv(), "a\tb\nrow\t1.5\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table table({"one", "two"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width mismatch");
+}
+
+// ---------- ArgParser ----------
+
+TEST(ArgParserTest, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--verbose", "input.txt",
+                        "--count=7"};
+  ArgParser args(5, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("alpha", 0.0), 0.5);
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  EXPECT_EQ(args.GetInt("count", 0), 7);
+  EXPECT_EQ(args.GetString("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+}
+
+TEST(ArgParserTest, MalformedNumbersFallBack) {
+  const char* argv[] = {"prog", "--n=abc"};
+  ArgParser args(2, argv);
+  EXPECT_EQ(args.GetInt("n", 9), 9);
+  EXPECT_TRUE(args.Has("n"));
+}
+
+}  // namespace
+}  // namespace pws

@@ -1,0 +1,154 @@
+// Interactive demo shell: issue queries against the synthetic world and
+// watch the personalized ranking diverge from the backend as you click.
+//
+// Commands:
+//   <query text>        serve the query; shows baseline vs personalized
+//   click <n>           click shown result n of the last page (1-based)
+//   train               retrain the RankSVM from accumulated feedback
+//   profile             dump the learned profile
+//   gps <city name>     attach a GPS trace around a city
+//   quit
+//
+// Run:  ./build/pws_cli [--docs=N] [--seed=N]
+
+#include <iostream>
+#include <memory>
+#include <optional>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "util/arg_parser.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace pws;
+
+constexpr click::UserId kUser = 0;
+
+void ShowPage(const eval::World& world, const core::PersonalizedPage& page,
+              int n) {
+  const auto shown = page.ShownPage();
+  std::cout << "  #  shown (personalized)";
+  std::cout << "\n";
+  for (int i = 0; i < n && i < static_cast<int>(shown.results.size()); ++i) {
+    const auto& doc = world.corpus().doc(shown.results[i].doc);
+    std::string where;
+    if (doc.primary_location_truth != geo::kInvalidLocation) {
+      where = " @" + world.ontology().node(doc.primary_location_truth).name;
+    }
+    const int backend_rank = page.order[i];
+    std::cout << "  " << (i + 1) << ". " << shown.results[i].title << where
+              << "   [backend rank " << (backend_rank + 1) << "]\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  eval::WorldConfig config;
+  config.seed = args.GetInt("seed", 42);
+  config.corpus.num_documents = static_cast<int>(args.GetInt("docs", 8000));
+  config.users.num_users = 1;
+  config.backend.page_size = 30;
+  eval::World world(config);
+
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombinedGps;
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+  engine.RegisterUser(kUser);
+
+  std::cout << "pws demo shell — " << world.corpus().size()
+            << " docs indexed. Type a query, 'click <n>', 'train',\n"
+            << "'profile', 'gps <city>', or 'quit'.\n";
+
+  std::optional<core::PersonalizedPage> last_page;
+  std::string line;
+  while (std::cout << "\npws> " << std::flush &&
+         std::getline(std::cin, line)) {
+    line = StrTrim(line);
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+
+    if (line == "train") {
+      const double loss = engine.TrainUser(kUser);
+      std::cout << "retrained on " << engine.training_pair_count(kUser)
+                << " pairs (final hinge loss " << FormatDouble(loss, 4)
+                << ")\n";
+      continue;
+    }
+    if (line == "profile") {
+      const auto& profile = engine.user_profile(kUser);
+      std::cout << "content concepts:\n";
+      for (const auto& [term, weight] : profile.TopContentConcepts(8)) {
+        std::cout << "  " << term << "  " << FormatDouble(weight, 3) << "\n";
+      }
+      std::cout << "locations:\n";
+      for (const auto& [loc, weight] : profile.TopLocations(8)) {
+        std::cout << "  " << world.ontology().node(loc).name << "  "
+                  << FormatDouble(weight, 3) << "\n";
+      }
+      continue;
+    }
+    if (StartsWith(line, "gps ")) {
+      const std::string city_name = StrTrim(line.substr(4));
+      const auto cities = world.ontology().Lookup(city_name);
+      if (cities.empty()) {
+        std::cout << "unknown place: " << city_name << "\n";
+        continue;
+      }
+      geo::GpsTraceOptions trace_options;
+      trace_options.num_days = 7;
+      Random rng(config.seed ^ 0x5eedULL);
+      engine.AttachGpsTrace(
+          kUser, GenerateGpsTrace(world.ontology(), cities[0], trace_options,
+                                  rng));
+      std::cout << "attached a week of GPS fixes around "
+                << world.ontology().node(cities[0]).name << "\n";
+      continue;
+    }
+    if (StartsWith(line, "click ")) {
+      if (!last_page.has_value()) {
+        std::cout << "no page served yet\n";
+        continue;
+      }
+      int64_t position = 0;
+      if (!ParseInt64(StrTrim(line.substr(6)), &position) || position < 1 ||
+          position > static_cast<int64_t>(last_page->order.size())) {
+        std::cout << "usage: click <1.." << last_page->order.size() << ">\n";
+        continue;
+      }
+      click::ClickRecord record;
+      record.user = kUser;
+      record.query_text = last_page->backend_page.query;
+      for (size_t j = 0; j < last_page->order.size(); ++j) {
+        click::Interaction interaction;
+        interaction.doc =
+            last_page->backend_page.results[last_page->order[j]].doc;
+        interaction.rank = static_cast<int>(j);
+        if (static_cast<int64_t>(j) == position - 1) {
+          interaction.clicked = true;
+          interaction.dwell_units = 420.0;
+          interaction.last_click_in_session = true;
+        }
+        record.interactions.push_back(interaction);
+      }
+      engine.Observe(kUser, *last_page, record);
+      std::cout << "recorded a satisfied click at position " << position
+                << " (" << engine.training_pair_count(kUser)
+                << " training pairs so far; run 'train' to apply)\n";
+      continue;
+    }
+
+    // Anything else is a query.
+    last_page = engine.Serve(kUser, line);
+    if (last_page->backend_page.results.empty()) {
+      std::cout << "no results\n";
+      last_page.reset();
+      continue;
+    }
+    ShowPage(world, *last_page, 8);
+  }
+  return 0;
+}
