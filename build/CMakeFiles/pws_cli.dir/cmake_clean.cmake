@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_cli.dir/tools/pws_cli.cc.o"
+  "CMakeFiles/pws_cli.dir/tools/pws_cli.cc.o.d"
+  "pws_cli"
+  "pws_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_export.dir/tools/world_export.cc.o"
+  "CMakeFiles/world_export.dir/tools/world_export.cc.o.d"
+  "world_export"
+  "world_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e10_micro.cc" "bench/CMakeFiles/bench_e10_micro.dir/bench_e10_micro.cc.o" "gcc" "bench/CMakeFiles/bench_e10_micro.dir/bench_e10_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pws_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranking/CMakeFiles/pws_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pws_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/pws_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/pws_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/pws_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pws_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

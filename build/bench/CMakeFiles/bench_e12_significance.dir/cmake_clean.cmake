@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_significance.dir/bench_e12_significance.cc.o"
+  "CMakeFiles/bench_e12_significance.dir/bench_e12_significance.cc.o.d"
+  "bench_e12_significance"
+  "bench_e12_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

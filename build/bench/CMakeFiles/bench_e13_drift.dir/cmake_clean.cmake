@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_drift.dir/bench_e13_drift.cc.o"
+  "CMakeFiles/bench_e13_drift.dir/bench_e13_drift.cc.o.d"
+  "bench_e13_drift"
+  "bench_e13_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

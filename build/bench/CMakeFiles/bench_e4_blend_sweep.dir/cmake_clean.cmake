@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_blend_sweep.dir/bench_e4_blend_sweep.cc.o"
+  "CMakeFiles/bench_e4_blend_sweep.dir/bench_e4_blend_sweep.cc.o.d"
+  "bench_e4_blend_sweep"
+  "bench_e4_blend_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_blend_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

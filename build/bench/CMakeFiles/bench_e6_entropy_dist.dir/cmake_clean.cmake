@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_entropy_dist.dir/bench_e6_entropy_dist.cc.o"
+  "CMakeFiles/bench_e6_entropy_dist.dir/bench_e6_entropy_dist.cc.o.d"
+  "bench_e6_entropy_dist"
+  "bench_e6_entropy_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_entropy_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

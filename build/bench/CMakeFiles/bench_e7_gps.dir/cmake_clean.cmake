@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_gps.dir/bench_e7_gps.cc.o"
+  "CMakeFiles/bench_e7_gps.dir/bench_e7_gps.cc.o.d"
+  "bench_e7_gps"
+  "bench_e7_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_restaurant_search.dir/mobile_restaurant_search.cc.o"
+  "CMakeFiles/mobile_restaurant_search.dir/mobile_restaurant_search.cc.o.d"
+  "mobile_restaurant_search"
+  "mobile_restaurant_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_restaurant_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobile_restaurant_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_planner.dir/travel_planner.cc.o"
+  "CMakeFiles/travel_planner.dir/travel_planner.cc.o.d"
+  "travel_planner"
+  "travel_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

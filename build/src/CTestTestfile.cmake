@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("text")
+subdirs("geo")
+subdirs("corpus")
+subdirs("backend")
+subdirs("concepts")
+subdirs("click")
+subdirs("profile")
+subdirs("ranking")
+subdirs("core")
+subdirs("baselines")
+subdirs("io")
+subdirs("eval")

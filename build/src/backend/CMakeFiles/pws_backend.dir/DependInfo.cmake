@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/inverted_index.cc" "src/backend/CMakeFiles/pws_backend.dir/inverted_index.cc.o" "gcc" "src/backend/CMakeFiles/pws_backend.dir/inverted_index.cc.o.d"
+  "/root/repo/src/backend/search_backend.cc" "src/backend/CMakeFiles/pws_backend.dir/search_backend.cc.o" "gcc" "src/backend/CMakeFiles/pws_backend.dir/search_backend.cc.o.d"
+  "/root/repo/src/backend/snippet.cc" "src/backend/CMakeFiles/pws_backend.dir/snippet.cc.o" "gcc" "src/backend/CMakeFiles/pws_backend.dir/snippet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pws_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_backend.dir/inverted_index.cc.o"
+  "CMakeFiles/pws_backend.dir/inverted_index.cc.o.d"
+  "CMakeFiles/pws_backend.dir/search_backend.cc.o"
+  "CMakeFiles/pws_backend.dir/search_backend.cc.o.d"
+  "CMakeFiles/pws_backend.dir/snippet.cc.o"
+  "CMakeFiles/pws_backend.dir/snippet.cc.o.d"
+  "libpws_backend.a"
+  "libpws_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_baselines.dir/click_history.cc.o"
+  "CMakeFiles/pws_baselines.dir/click_history.cc.o.d"
+  "libpws_baselines.a"
+  "libpws_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/click_log.cc" "src/click/CMakeFiles/pws_click.dir/click_log.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/click_log.cc.o.d"
+  "/root/repo/src/click/click_model.cc" "src/click/CMakeFiles/pws_click.dir/click_model.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/click_model.cc.o.d"
+  "/root/repo/src/click/query_generator.cc" "src/click/CMakeFiles/pws_click.dir/query_generator.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/query_generator.cc.o.d"
+  "/root/repo/src/click/relevance.cc" "src/click/CMakeFiles/pws_click.dir/relevance.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/relevance.cc.o.d"
+  "/root/repo/src/click/sessions.cc" "src/click/CMakeFiles/pws_click.dir/sessions.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/sessions.cc.o.d"
+  "/root/repo/src/click/simulated_user.cc" "src/click/CMakeFiles/pws_click.dir/simulated_user.cc.o" "gcc" "src/click/CMakeFiles/pws_click.dir/simulated_user.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pws_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/pws_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_click.dir/click_log.cc.o"
+  "CMakeFiles/pws_click.dir/click_log.cc.o.d"
+  "CMakeFiles/pws_click.dir/click_model.cc.o"
+  "CMakeFiles/pws_click.dir/click_model.cc.o.d"
+  "CMakeFiles/pws_click.dir/query_generator.cc.o"
+  "CMakeFiles/pws_click.dir/query_generator.cc.o.d"
+  "CMakeFiles/pws_click.dir/relevance.cc.o"
+  "CMakeFiles/pws_click.dir/relevance.cc.o.d"
+  "CMakeFiles/pws_click.dir/sessions.cc.o"
+  "CMakeFiles/pws_click.dir/sessions.cc.o.d"
+  "CMakeFiles/pws_click.dir/simulated_user.cc.o"
+  "CMakeFiles/pws_click.dir/simulated_user.cc.o.d"
+  "libpws_click.a"
+  "libpws_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

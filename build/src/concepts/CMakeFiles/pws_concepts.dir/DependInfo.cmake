@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concepts/content_extractor.cc" "src/concepts/CMakeFiles/pws_concepts.dir/content_extractor.cc.o" "gcc" "src/concepts/CMakeFiles/pws_concepts.dir/content_extractor.cc.o.d"
+  "/root/repo/src/concepts/content_ontology.cc" "src/concepts/CMakeFiles/pws_concepts.dir/content_ontology.cc.o" "gcc" "src/concepts/CMakeFiles/pws_concepts.dir/content_ontology.cc.o.d"
+  "/root/repo/src/concepts/location_concepts.cc" "src/concepts/CMakeFiles/pws_concepts.dir/location_concepts.cc.o" "gcc" "src/concepts/CMakeFiles/pws_concepts.dir/location_concepts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pws_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/pws_backend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_concepts.dir/content_extractor.cc.o"
+  "CMakeFiles/pws_concepts.dir/content_extractor.cc.o.d"
+  "CMakeFiles/pws_concepts.dir/content_ontology.cc.o"
+  "CMakeFiles/pws_concepts.dir/content_ontology.cc.o.d"
+  "CMakeFiles/pws_concepts.dir/location_concepts.cc.o"
+  "CMakeFiles/pws_concepts.dir/location_concepts.cc.o.d"
+  "libpws_concepts.a"
+  "libpws_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_core.dir/pws_engine.cc.o"
+  "CMakeFiles/pws_core.dir/pws_engine.cc.o.d"
+  "libpws_core.a"
+  "libpws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/pws_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/pws_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/corpus_generator.cc" "src/corpus/CMakeFiles/pws_corpus.dir/corpus_generator.cc.o" "gcc" "src/corpus/CMakeFiles/pws_corpus.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/corpus/topic_model.cc" "src/corpus/CMakeFiles/pws_corpus.dir/topic_model.cc.o" "gcc" "src/corpus/CMakeFiles/pws_corpus.dir/topic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

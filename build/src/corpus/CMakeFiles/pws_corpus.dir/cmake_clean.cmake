@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_corpus.dir/corpus.cc.o"
+  "CMakeFiles/pws_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/pws_corpus.dir/corpus_generator.cc.o"
+  "CMakeFiles/pws_corpus.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/pws_corpus.dir/topic_model.cc.o"
+  "CMakeFiles/pws_corpus.dir/topic_model.cc.o.d"
+  "libpws_corpus.a"
+  "libpws_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

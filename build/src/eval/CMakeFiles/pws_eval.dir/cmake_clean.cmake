@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_eval.dir/harness.cc.o"
+  "CMakeFiles/pws_eval.dir/harness.cc.o.d"
+  "CMakeFiles/pws_eval.dir/metrics.cc.o"
+  "CMakeFiles/pws_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/pws_eval.dir/stats.cc.o"
+  "CMakeFiles/pws_eval.dir/stats.cc.o.d"
+  "CMakeFiles/pws_eval.dir/world.cc.o"
+  "CMakeFiles/pws_eval.dir/world.cc.o.d"
+  "libpws_eval.a"
+  "libpws_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

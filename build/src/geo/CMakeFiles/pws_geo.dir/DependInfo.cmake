@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/gazetteer.cc" "src/geo/CMakeFiles/pws_geo.dir/gazetteer.cc.o" "gcc" "src/geo/CMakeFiles/pws_geo.dir/gazetteer.cc.o.d"
+  "/root/repo/src/geo/geo_point.cc" "src/geo/CMakeFiles/pws_geo.dir/geo_point.cc.o" "gcc" "src/geo/CMakeFiles/pws_geo.dir/geo_point.cc.o.d"
+  "/root/repo/src/geo/gps.cc" "src/geo/CMakeFiles/pws_geo.dir/gps.cc.o" "gcc" "src/geo/CMakeFiles/pws_geo.dir/gps.cc.o.d"
+  "/root/repo/src/geo/location_extractor.cc" "src/geo/CMakeFiles/pws_geo.dir/location_extractor.cc.o" "gcc" "src/geo/CMakeFiles/pws_geo.dir/location_extractor.cc.o.d"
+  "/root/repo/src/geo/location_ontology.cc" "src/geo/CMakeFiles/pws_geo.dir/location_ontology.cc.o" "gcc" "src/geo/CMakeFiles/pws_geo.dir/location_ontology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

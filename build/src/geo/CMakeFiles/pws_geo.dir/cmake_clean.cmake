@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_geo.dir/gazetteer.cc.o"
+  "CMakeFiles/pws_geo.dir/gazetteer.cc.o.d"
+  "CMakeFiles/pws_geo.dir/geo_point.cc.o"
+  "CMakeFiles/pws_geo.dir/geo_point.cc.o.d"
+  "CMakeFiles/pws_geo.dir/gps.cc.o"
+  "CMakeFiles/pws_geo.dir/gps.cc.o.d"
+  "CMakeFiles/pws_geo.dir/location_extractor.cc.o"
+  "CMakeFiles/pws_geo.dir/location_extractor.cc.o.d"
+  "CMakeFiles/pws_geo.dir/location_ontology.cc.o"
+  "CMakeFiles/pws_geo.dir/location_ontology.cc.o.d"
+  "libpws_geo.a"
+  "libpws_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

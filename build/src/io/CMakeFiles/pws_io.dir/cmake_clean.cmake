@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_io.dir/corpus_io.cc.o"
+  "CMakeFiles/pws_io.dir/corpus_io.cc.o.d"
+  "CMakeFiles/pws_io.dir/engine_state_io.cc.o"
+  "CMakeFiles/pws_io.dir/engine_state_io.cc.o.d"
+  "CMakeFiles/pws_io.dir/gazetteer_io.cc.o"
+  "CMakeFiles/pws_io.dir/gazetteer_io.cc.o.d"
+  "CMakeFiles/pws_io.dir/model_io.cc.o"
+  "CMakeFiles/pws_io.dir/model_io.cc.o.d"
+  "CMakeFiles/pws_io.dir/profile_io.cc.o"
+  "CMakeFiles/pws_io.dir/profile_io.cc.o.d"
+  "libpws_io.a"
+  "libpws_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

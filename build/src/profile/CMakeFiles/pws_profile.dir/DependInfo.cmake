@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/entropy.cc" "src/profile/CMakeFiles/pws_profile.dir/entropy.cc.o" "gcc" "src/profile/CMakeFiles/pws_profile.dir/entropy.cc.o.d"
+  "/root/repo/src/profile/gps_augment.cc" "src/profile/CMakeFiles/pws_profile.dir/gps_augment.cc.o" "gcc" "src/profile/CMakeFiles/pws_profile.dir/gps_augment.cc.o.d"
+  "/root/repo/src/profile/preference_pairs.cc" "src/profile/CMakeFiles/pws_profile.dir/preference_pairs.cc.o" "gcc" "src/profile/CMakeFiles/pws_profile.dir/preference_pairs.cc.o.d"
+  "/root/repo/src/profile/user_profile.cc" "src/profile/CMakeFiles/pws_profile.dir/user_profile.cc.o" "gcc" "src/profile/CMakeFiles/pws_profile.dir/user_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pws_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pws_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/pws_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/pws_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/pws_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/pws_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pws_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

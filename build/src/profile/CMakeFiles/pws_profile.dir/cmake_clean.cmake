@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_profile.dir/entropy.cc.o"
+  "CMakeFiles/pws_profile.dir/entropy.cc.o.d"
+  "CMakeFiles/pws_profile.dir/gps_augment.cc.o"
+  "CMakeFiles/pws_profile.dir/gps_augment.cc.o.d"
+  "CMakeFiles/pws_profile.dir/preference_pairs.cc.o"
+  "CMakeFiles/pws_profile.dir/preference_pairs.cc.o.d"
+  "CMakeFiles/pws_profile.dir/user_profile.cc.o"
+  "CMakeFiles/pws_profile.dir/user_profile.cc.o.d"
+  "libpws_profile.a"
+  "libpws_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

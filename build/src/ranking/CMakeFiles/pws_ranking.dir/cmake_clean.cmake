@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_ranking.dir/features.cc.o"
+  "CMakeFiles/pws_ranking.dir/features.cc.o.d"
+  "CMakeFiles/pws_ranking.dir/rank_svm.cc.o"
+  "CMakeFiles/pws_ranking.dir/rank_svm.cc.o.d"
+  "CMakeFiles/pws_ranking.dir/ranker.cc.o"
+  "CMakeFiles/pws_ranking.dir/ranker.cc.o.d"
+  "libpws_ranking.a"
+  "libpws_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

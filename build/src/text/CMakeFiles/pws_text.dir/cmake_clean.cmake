@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_text.dir/ngram.cc.o"
+  "CMakeFiles/pws_text.dir/ngram.cc.o.d"
+  "CMakeFiles/pws_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/pws_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/pws_text.dir/stopwords.cc.o"
+  "CMakeFiles/pws_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/pws_text.dir/tf_idf.cc.o"
+  "CMakeFiles/pws_text.dir/tf_idf.cc.o.d"
+  "CMakeFiles/pws_text.dir/tokenizer.cc.o"
+  "CMakeFiles/pws_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/pws_text.dir/vocabulary.cc.o"
+  "CMakeFiles/pws_text.dir/vocabulary.cc.o.d"
+  "libpws_text.a"
+  "libpws_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpws_text.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pws_util.dir/arg_parser.cc.o"
+  "CMakeFiles/pws_util.dir/arg_parser.cc.o.d"
+  "CMakeFiles/pws_util.dir/file_util.cc.o"
+  "CMakeFiles/pws_util.dir/file_util.cc.o.d"
+  "CMakeFiles/pws_util.dir/logging.cc.o"
+  "CMakeFiles/pws_util.dir/logging.cc.o.d"
+  "CMakeFiles/pws_util.dir/math_util.cc.o"
+  "CMakeFiles/pws_util.dir/math_util.cc.o.d"
+  "CMakeFiles/pws_util.dir/random.cc.o"
+  "CMakeFiles/pws_util.dir/random.cc.o.d"
+  "CMakeFiles/pws_util.dir/status.cc.o"
+  "CMakeFiles/pws_util.dir/status.cc.o.d"
+  "CMakeFiles/pws_util.dir/string_util.cc.o"
+  "CMakeFiles/pws_util.dir/string_util.cc.o.d"
+  "CMakeFiles/pws_util.dir/table.cc.o"
+  "CMakeFiles/pws_util.dir/table.cc.o.d"
+  "libpws_util.a"
+  "libpws_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pws_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

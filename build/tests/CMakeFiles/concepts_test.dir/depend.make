@@ -1,0 +1,2 @@
+# Empty dependencies file for concepts_test.
+# This may be replaced when dependencies are built.
