@@ -11,13 +11,15 @@
 #include "util/arg_parser.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace pws::bench {
 
 /// Shared workload flags so every experiment binary can be scaled up or
 /// down from the command line:
 ///   --docs=N --users=N --queries_per_class=N --train_days=N --test_days=N
-///   --queries_per_user_day=N --seed=N --sim_seed=N
+///   --queries_per_user_day=N --seed=N --sim_seed=N --threads=N
 struct BenchConfig {
   eval::WorldConfig world;
   eval::SimulationOptions sim;
@@ -46,7 +48,24 @@ inline BenchConfig ParseBenchConfig(int argc, const char* const* argv) {
   config.sim.test_queries_per_user =
       static_cast<int>(args.GetInt("test_queries_per_user", 30));
   config.repetitions = static_cast<int>(args.GetInt("reps", 3));
+  // Harness worker threads; 0 = one per hardware core. Results are
+  // bit-identical for every thread count (see SimulationOptions).
+  config.sim.threads = static_cast<int>(args.GetInt("threads", 0));
   return config;
+}
+
+/// One-line wall-clock + cache-counter report every experiment driver
+/// prints, so harness speed and serving-layer cache behaviour are
+/// visible in each run's output.
+inline void PrintHarnessReport(std::ostream& os,
+                               const eval::SimulationHarness& harness,
+                               const WallTimer& timer) {
+  const CacheStats stats = harness.accumulated_cache_stats();
+  os << "[harness] wall-clock " << FormatDouble(timer.ElapsedSeconds(), 2)
+     << " s on " << ResolveThreadCount(harness.options().threads)
+     << " thread(s); query-analysis cache: " << stats.hits << " hits, "
+     << stats.misses << " misses, " << stats.evictions << " evictions (hit rate "
+     << FormatDouble(100.0 * stats.HitRate(), 1) << "%)\n";
 }
 
 /// Engine configuration for one named strategy with the default knobs

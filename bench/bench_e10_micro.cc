@@ -108,8 +108,8 @@ void BM_ServeColdCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeColdCache)->Unit(benchmark::kMicrosecond);
 
-void BM_ServeWarmCache(benchmark::State& state) {
-  const auto& queries = BenchQueries();
+// One warm engine shared by the warm-cache and concurrency benchmarks.
+core::PwsEngine& WarmSharedEngine() {
   static core::PwsEngine& engine = *[] {
     auto* e = new core::PwsEngine(&SharedWorld().search_backend(),
                                   &SharedWorld().ontology(),
@@ -120,6 +120,12 @@ void BM_ServeWarmCache(benchmark::State& state) {
     }
     return e;
   }();
+  return engine;
+}
+
+void BM_ServeWarmCache(benchmark::State& state) {
+  const auto& queries = BenchQueries();
+  core::PwsEngine& engine = WarmSharedEngine();
   size_t i = 0;
   for (auto _ : state) {
     const auto page = engine.Serve(0, queries[i % queries.size()]);
@@ -129,6 +135,28 @@ void BM_ServeWarmCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeWarmCache)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeConcurrentSharedEngine(benchmark::State& state) {
+  // All benchmark threads serve from ONE engine instance — the
+  // production shape the sharded analysis cache and shared-mutex user
+  // map exist for. Throughput should scale with threads; a global lock
+  // would flatline it.
+  const auto& queries = BenchQueries();
+  core::PwsEngine& engine = WarmSharedEngine();
+  size_t i = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    const auto page = engine.Serve(0, queries[i % queries.size()]);
+    benchmark::DoNotOptimize(page.order.size());
+    i += static_cast<size_t>(state.threads());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeConcurrentSharedEngine)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
 
 void BM_RankSvmTrain(benchmark::State& state) {
   Random rng(3);

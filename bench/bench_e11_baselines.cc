@@ -17,46 +17,63 @@ int main(int argc, char** argv) {
   eval::World world(config.world);
   eval::SimulationHarness harness(&world, config.sim);
 
-  Table table({"method", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
-  auto add = [&](const std::string& label, const eval::StrategyMetrics& m) {
-    table.AddNumericRow(
-        label, {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1}, 3);
+  // Heterogeneous methods (engine configurations and baseline
+  // personalizers) become uniform pool tasks: slot t holds method t's
+  // metrics, and rows are emitted in slot order afterwards.
+  struct Method {
+    std::string label;
+    std::function<eval::StrategyMetrics()> run;
   };
-
-  add("backend baseline",
-      harness.RunAveraged(
-          bench::MakeEngineOptions(ranking::Strategy::kBaseline), 1));
-  {
+  std::vector<Method> methods;
+  methods.push_back({"backend baseline", [&] {
+    return harness.RunAveraged(
+        bench::MakeEngineOptions(ranking::Strategy::kBaseline), 1);
+  }});
+  methods.push_back({"random re-rank", [&] {
     eval::PersonalizerFactory factory = [&world]() {
       return std::make_unique<baselines::RandomReRanker>(
           &world.search_backend(), 99);
     };
-    add("random re-rank",
-        harness.RunPersonalizer(factory, false, nullptr));
-  }
-  {
+    return harness.RunPersonalizer(factory, false, nullptr);
+  }});
+  methods.push_back({"p-click", [&] {
     eval::PersonalizerFactory factory = [&world]() {
       baselines::ClickHistoryOptions options;
       options.mode = baselines::ClickHistoryMode::kPersonal;
       return std::make_unique<baselines::ClickHistoryPersonalizer>(
           &world.search_backend(), options);
     };
-    add("p-click", harness.RunPersonalizer(factory, false, nullptr));
-  }
-  {
+    return harness.RunPersonalizer(factory, false, nullptr);
+  }});
+  methods.push_back({"g-click", [&] {
     eval::PersonalizerFactory factory = [&world]() {
       baselines::ClickHistoryOptions options;
       options.mode = baselines::ClickHistoryMode::kGlobal;
       return std::make_unique<baselines::ClickHistoryPersonalizer>(
           &world.search_backend(), options);
     };
-    add("g-click", harness.RunPersonalizer(factory, false, nullptr));
-  }
-  add("combined (this paper)",
-      harness.RunAveraged(
-          bench::MakeEngineOptions(ranking::Strategy::kCombined),
-          config.repetitions));
+    return harness.RunPersonalizer(factory, false, nullptr);
+  }});
+  methods.push_back({"combined (this paper)", [&] {
+    return harness.RunAveraged(
+        bench::MakeEngineOptions(ranking::Strategy::kCombined),
+        config.repetitions);
+  }});
 
+  WallTimer timer;
+  std::vector<eval::StrategyMetrics> results(methods.size());
+  ParallelFor(ResolveThreadCount(config.sim.threads),
+              static_cast<int>(methods.size()),
+              [&](int t) { results[t] = methods[t].run(); });
+
+  Table table({"method", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
+  for (size_t i = 0; i < methods.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
+    table.AddNumericRow(methods[i].label,
+                        {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1},
+                        3);
+  }
   table.Print(std::cout, "E11: literature baselines vs the Combined method");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

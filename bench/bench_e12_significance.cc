@@ -15,19 +15,30 @@ int main(int argc, char** argv) {
   eval::World world(config.world);
   eval::SimulationHarness harness(&world, config.sim);
 
-  std::vector<eval::ImpressionOutcome> baseline_outcomes;
-  harness.Run(bench::MakeEngineOptions(ranking::Strategy::kBaseline),
-              &baseline_outcomes);
-
-  Table table({"strategy vs baseline", "metric", "mean", "base", "delta",
-               "t", "win/loss/tie"});
+  // All five configurations (baseline first) run concurrently; RunMany
+  // keeps outcome lists index-aligned across configurations, which is
+  // exactly the pairing the t-test below relies on.
   const ranking::Strategy strategies[] = {ranking::Strategy::kContentOnly,
                                           ranking::Strategy::kLocationOnly,
                                           ranking::Strategy::kCombined,
                                           ranking::Strategy::kCombinedGps};
+  std::vector<core::EngineOptions> configs;
+  configs.push_back(bench::MakeEngineOptions(ranking::Strategy::kBaseline));
   for (ranking::Strategy strategy : strategies) {
-    std::vector<eval::ImpressionOutcome> outcomes;
-    harness.Run(bench::MakeEngineOptions(strategy), &outcomes);
+    configs.push_back(bench::MakeEngineOptions(strategy));
+  }
+  WallTimer timer;
+  std::vector<std::vector<eval::ImpressionOutcome>> all_outcomes;
+  harness.RunMany(configs, &all_outcomes);
+  const std::vector<eval::ImpressionOutcome>& baseline_outcomes =
+      all_outcomes[0];
+
+  Table table({"strategy vs baseline", "metric", "mean", "base", "delta",
+               "t", "win/loss/tie"});
+  for (size_t s = 0; s < std::size(strategies); ++s) {
+    const ranking::Strategy strategy = strategies[s];
+    const std::vector<eval::ImpressionOutcome>& outcomes =
+        all_outcomes[s + 1];
     const struct {
       const char* name;
       eval::MetricExtractor extractor;
@@ -47,5 +58,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout,
               "E12: paired per-impression significance vs baseline");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

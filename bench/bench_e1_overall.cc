@@ -20,17 +20,22 @@ int main(int argc, char** argv) {
       ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
       ranking::Strategy::kCombinedGps};
 
+  std::vector<core::EngineOptions> configs;
+  for (ranking::Strategy strategy : strategies) {
+    configs.push_back(bench::MakeEngineOptions(strategy));
+  }
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
   Table table({"strategy", "avg_rank", "improv_%", "MRR", "NDCG@10",
                "CTR@1", "impressions"});
   Table by_class({"strategy", "content", "loc-heavy", "mixed",
                   "ctr1_content", "ctr1_loc", "ctr1_mixed"});
-  double baseline_rank = 0.0;
-  for (ranking::Strategy strategy : strategies) {
-    const eval::StrategyMetrics m = harness.RunAveraged(
-        bench::MakeEngineOptions(strategy), config.repetitions);
-    if (strategy == ranking::Strategy::kBaseline) {
-      baseline_rank = m.avg_rank_relevant;
-    }
+  const double baseline_rank = results[0].avg_rank_relevant;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ranking::Strategy strategy = strategies[i];
+    const eval::StrategyMetrics& m = results[i];
     table.AddRow({ranking::StrategyToString(strategy),
                   FormatDouble(m.avg_rank_relevant, 3),
                   FormatDouble(bench::ImprovementLowerBetter(
@@ -51,5 +56,6 @@ int main(int argc, char** argv) {
               "E1: overall strategy comparison (lower avg_rank is better)");
   by_class.Print(std::cout,
                  "E1b: average rank / CTR@1 by query class");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

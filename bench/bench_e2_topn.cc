@@ -18,15 +18,23 @@ int main(int argc, char** argv) {
       ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
       ranking::Strategy::kCombinedGps};
 
+  std::vector<core::EngineOptions> configs;
+  for (ranking::Strategy strategy : strategies) {
+    configs.push_back(bench::MakeEngineOptions(strategy));
+  }
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
   std::vector<std::string> headers = {"strategy"};
   for (int k = 1; k <= 10; ++k) headers.push_back("P@" + std::to_string(k));
   Table table(std::move(headers));
-  for (ranking::Strategy strategy : strategies) {
-    const eval::StrategyMetrics m = harness.RunAveraged(
-        bench::MakeEngineOptions(strategy), config.repetitions);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
     std::vector<double> row(m.precision_at.begin(), m.precision_at.end());
-    table.AddNumericRow(ranking::StrategyToString(strategy), row, 3);
+    table.AddNumericRow(ranking::StrategyToString(strategies[i]), row, 3);
   }
   table.Print(std::cout, "E2: top-N precision by strategy");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

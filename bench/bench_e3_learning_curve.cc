@@ -12,29 +12,54 @@ int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
   eval::World world(config.world);
 
-  Table table({"train_fraction", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
-  const double fractions[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+  // Each training fraction needs its own SimulationOptions, hence its
+  // own harness; the sweep points (plus the baseline reference) run
+  // concurrently on the pool while each point stays sequential inside
+  // (threads = 1), so outputs match the old sequential loop exactly.
+  const std::vector<double> fractions = {0.1, 0.25, 0.5, 0.75, 1.0};
+  const int n = static_cast<int>(fractions.size());
+  std::vector<std::unique_ptr<eval::SimulationHarness>> harnesses;
   for (double fraction : fractions) {
     eval::SimulationOptions sim = config.sim;
     sim.training_fraction = fraction;
-    eval::SimulationHarness harness(&world, sim);
-    const eval::StrategyMetrics m = harness.RunAveraged(
-        bench::MakeEngineOptions(ranking::Strategy::kCombined),
-        config.repetitions);
-    table.AddNumericRow(FormatDouble(fraction, 2),
+    sim.threads = 1;
+    harnesses.push_back(
+        std::make_unique<eval::SimulationHarness>(&world, sim));
+  }
+  eval::SimulationOptions baseline_sim = config.sim;
+  baseline_sim.threads = 1;
+  eval::SimulationHarness baseline_harness(&world, baseline_sim);
+
+  WallTimer timer;
+  std::vector<eval::StrategyMetrics> results(n);
+  eval::StrategyMetrics baseline;
+  ParallelFor(ResolveThreadCount(config.sim.threads), n + 1, [&](int t) {
+    if (t < n) {
+      results[t] = harnesses[t]->RunAveraged(
+          bench::MakeEngineOptions(ranking::Strategy::kCombined),
+          config.repetitions);
+    } else {
+      baseline = baseline_harness.Run(
+          bench::MakeEngineOptions(ranking::Strategy::kBaseline));
+    }
+  });
+
+  Table table({"train_fraction", "avg_rank", "MRR", "NDCG@10", "CTR@1"});
+  for (int t = 0; t < n; ++t) {
+    const eval::StrategyMetrics& m = results[t];
+    table.AddNumericRow(FormatDouble(fractions[t], 2),
                         {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1},
                         3);
   }
   // Reference row: the untrained baseline.
-  {
-    eval::SimulationHarness harness(&world, config.sim);
-    const eval::StrategyMetrics m = harness.Run(
-        bench::MakeEngineOptions(ranking::Strategy::kBaseline));
-    table.AddNumericRow("baseline",
-                        {m.avg_rank_relevant, m.mrr, m.ndcg10, m.ctr_at_1},
-                        3);
-  }
+  table.AddNumericRow("baseline",
+                      {baseline.avg_rank_relevant, baseline.mrr,
+                       baseline.ndcg10, baseline.ctr_at_1},
+                      3);
   table.Print(std::cout,
               "E3: Combined quality vs fraction of training clickthrough");
+  std::cout << "[harness] wall-clock " << FormatDouble(timer.ElapsedSeconds(), 2)
+            << " s on " << ResolveThreadCount(config.sim.threads)
+            << " thread(s)\n";
   return 0;
 }

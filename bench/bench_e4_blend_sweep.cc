@@ -14,20 +14,30 @@ int main(int argc, char** argv) {
   eval::World world(config.world);
   eval::SimulationHarness harness(&world, config.sim);
 
-  Table table({"alpha", "MRR", "NDCG@10", "avg_rank", "rank_content",
-               "rank_loc", "rank_mixed"});
+  std::vector<double> alphas;
+  std::vector<core::EngineOptions> configs;
   for (double alpha = 0.0; alpha <= 1.0001; alpha += 0.125) {
     core::EngineOptions options =
         bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.alpha = alpha;
-    const eval::StrategyMetrics m =
-        harness.RunAveraged(options, config.repetitions);
+    alphas.push_back(alpha);
+    configs.push_back(options);
+  }
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
+  Table table({"alpha", "MRR", "NDCG@10", "avg_rank", "rank_content",
+               "rank_loc", "rank_mixed"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
     table.AddNumericRow(
-        FormatDouble(alpha, 3),
+        FormatDouble(alphas[i], 3),
         {m.mrr, m.ndcg10, m.avg_rank_relevant, m.avg_rank_by_class[0],
          m.avg_rank_by_class[1], m.avg_rank_by_class[2]},
         3);
   }
   table.Print(std::cout, "E4: Combined quality vs location blend alpha");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

@@ -15,32 +15,39 @@ int main(int argc, char** argv) {
   eval::World world(config.world);
   eval::SimulationHarness harness(&world, config.sim);
 
-  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_content",
-               "rank_loc", "rank_mixed"});
-  auto add_row = [&](const std::string& label,
-                     const core::EngineOptions& options) {
-    const eval::StrategyMetrics m =
-        harness.RunAveraged(options, config.repetitions);
-    table.AddNumericRow(
-        label,
-        {m.mrr, m.ndcg10, m.avg_rank_relevant, m.avg_rank_by_class[0],
-         m.avg_rank_by_class[1], m.avg_rank_by_class[2]},
-        3);
-  };
-
+  std::vector<std::string> labels;
+  std::vector<core::EngineOptions> configs;
   for (double alpha : {0.2, 0.5, 0.8}) {
     core::EngineOptions options =
         bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.alpha = alpha;
-    add_row("fixed a=" + FormatDouble(alpha, 1), options);
+    labels.push_back("fixed a=" + FormatDouble(alpha, 1));
+    configs.push_back(options);
   }
   {
     core::EngineOptions options =
         bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.entropy_adaptive_alpha = true;
-    add_row("entropy-adaptive", options);
+    labels.push_back("entropy-adaptive");
+    configs.push_back(options);
+  }
+
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
+  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_content",
+               "rank_loc", "rank_mixed"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
+    table.AddNumericRow(
+        labels[i],
+        {m.mrr, m.ndcg10, m.avg_rank_relevant, m.avg_rank_by_class[0],
+         m.avg_rank_by_class[1], m.avg_rank_by_class[2]},
+        3);
   }
   table.Print(std::cout,
               "E5: fixed blend vs click-entropy-adaptive blend");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

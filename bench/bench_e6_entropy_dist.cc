@@ -53,16 +53,33 @@ int main(int argc, char** argv) {
   Group groups[4];
   const char* names[4] = {"content-heavy", "loc-explicit", "loc-implicit",
                           "mixed"};
-  for (const auto& intent : world.queries()) {
-    if (tracker.ClickCount(intent.id) == 0) continue;
+  // The clickthrough collection above is one sequential trajectory (a
+  // single shared RNG and tracker), but the per-query entropy reads are
+  // independent: compute them on the pool, then fold in query order so
+  // the group means match the sequential loop exactly.
+  const auto& pool_queries = world.queries();
+  const int num_queries = static_cast<int>(pool_queries.size());
+  std::vector<int> clicks(num_queries);
+  std::vector<double> content_entropy(num_queries);
+  std::vector<double> location_entropy(num_queries);
+  ParallelFor(ResolveThreadCount(config.sim.threads), num_queries,
+              [&](int i) {
+                const int id = pool_queries[i].id;
+                clicks[i] = tracker.ClickCount(id);
+                content_entropy[i] = tracker.ContentEntropy(id);
+                location_entropy[i] = tracker.LocationEntropy(id);
+              });
+  for (int i = 0; i < num_queries; ++i) {
+    if (clicks[i] == 0) continue;
+    const auto& intent = pool_queries[i];
     int g = static_cast<int>(intent.query_class);
     if (g == 1) {
       g = intent.implicit_local ? 2 : 1;
     } else if (g == 2) {
       g = 3;
     }
-    groups[g].content.Add(tracker.ContentEntropy(intent.id));
-    groups[g].location.Add(tracker.LocationEntropy(intent.id));
+    groups[g].content.Add(content_entropy[i]);
+    groups[g].location.Add(location_entropy[i]);
     ++groups[g].queries;
   }
 

@@ -15,25 +15,46 @@ int main(int argc, char** argv) {
   config.world.users.gps_fraction = 1.0;  // Everyone is a mobile user.
   eval::World world(config.world);
 
-  Table table({"train_days", "combined_MRR", "gps_MRR", "combined_rank_loc",
-               "gps_rank_loc", "combined_NDCG", "gps_NDCG"});
-  for (int days : {0, 2, 4, 8, 12}) {
+  // Every (train_days, strategy) cell needs its own SimulationOptions,
+  // so the grid is flattened into one task list over per-cell harnesses
+  // (sequential inside; the pool parallelizes across cells).
+  const std::vector<int> day_points = {0, 2, 4, 8, 12};
+  const ranking::Strategy cell_strategies[] = {
+      ranking::Strategy::kCombined, ranking::Strategy::kCombinedGps};
+  const int num_days = static_cast<int>(day_points.size());
+  std::vector<std::unique_ptr<eval::SimulationHarness>> harnesses;
+  for (int days : day_points) {
     eval::SimulationOptions sim = config.sim;
     sim.train_days = days;
-    eval::SimulationHarness harness(&world, sim);
-    const eval::StrategyMetrics combined = harness.RunAveraged(
-        bench::MakeEngineOptions(ranking::Strategy::kCombined),
-        config.repetitions);
-    const eval::StrategyMetrics gps = harness.RunAveraged(
-        bench::MakeEngineOptions(ranking::Strategy::kCombinedGps),
-        config.repetitions);
+    sim.threads = 1;
+    harnesses.push_back(
+        std::make_unique<eval::SimulationHarness>(&world, sim));
+  }
+  WallTimer timer;
+  std::vector<eval::StrategyMetrics> cells(num_days * 2);
+  ParallelFor(ResolveThreadCount(config.sim.threads), num_days * 2,
+              [&](int t) {
+                const int d = t / 2;
+                cells[t] = harnesses[d]->RunAveraged(
+                    bench::MakeEngineOptions(cell_strategies[t % 2]),
+                    config.repetitions);
+              });
+
+  Table table({"train_days", "combined_MRR", "gps_MRR", "combined_rank_loc",
+               "gps_rank_loc", "combined_NDCG", "gps_NDCG"});
+  for (int d = 0; d < num_days; ++d) {
+    const eval::StrategyMetrics& combined = cells[2 * d];
+    const eval::StrategyMetrics& gps = cells[2 * d + 1];
     table.AddNumericRow(
-        std::to_string(days),
+        std::to_string(day_points[d]),
         {combined.mrr, gps.mrr, combined.avg_rank_by_class[1],
          gps.avg_rank_by_class[1], combined.ndcg10, gps.ndcg10},
         3);
   }
   table.Print(std::cout,
               "E7: GPS augmentation vs training days (all-mobile world)");
+  std::cout << "[harness] wall-clock " << FormatDouble(timer.ElapsedSeconds(), 2)
+            << " s on " << ResolveThreadCount(config.sim.threads)
+            << " thread(s)\n";
   return 0;
 }

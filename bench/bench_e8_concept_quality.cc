@@ -49,7 +49,14 @@ int main(int argc, char** argv) {
 
   Table table({"min_support", "concepts/query", "content_precision",
                "loc_precision", "loc_recall"});
-  for (double support : {0.05, 0.08, 0.15, 0.25, 0.4}) {
+  // Each support threshold re-extracts concepts for every pool query —
+  // independent read-only work, one pool task per threshold.
+  const std::vector<double> supports = {0.05, 0.08, 0.15, 0.25, 0.4};
+  const int num_supports = static_cast<int>(supports.size());
+  std::vector<std::vector<double>> rows(num_supports);
+  ParallelFor(ResolveThreadCount(config.sim.threads), num_supports,
+              [&](int task) {
+    const double support = supports[task];
     concepts::ContentExtractorOptions copts;
     copts.min_support = support;
     concepts::ContentConceptExtractor content_extractor(copts);
@@ -100,13 +107,13 @@ int main(int argc, char** argv) {
         }
       }
     }
-    table.AddNumericRow(
-        FormatDouble(support, 2),
-        {concepts_total / std::max(1, queries),
-         content_total > 0 ? content_topical / content_total : 0.0,
-         loc_total > 0 ? loc_correct / loc_total : 0.0,
-         loc_planted > 0 ? loc_found / loc_planted : 0.0},
-        3);
+    rows[task] = {concepts_total / std::max(1, queries),
+                  content_total > 0 ? content_topical / content_total : 0.0,
+                  loc_total > 0 ? loc_correct / loc_total : 0.0,
+                  loc_planted > 0 ? loc_found / loc_planted : 0.0};
+  });
+  for (int task = 0; task < num_supports; ++task) {
+    table.AddNumericRow(FormatDouble(supports[task], 2), rows[task], 3);
   }
   table.Print(std::cout,
               "E8: concept extraction quality vs support threshold");

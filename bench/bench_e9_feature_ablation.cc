@@ -16,54 +16,65 @@ int main(int argc, char** argv) {
   eval::World world(config.world);
   eval::SimulationHarness harness(&world, config.sim);
 
-  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_loc"});
-  auto add_row = [&](const std::string& label,
-                     const core::EngineOptions& options) {
-    const eval::StrategyMetrics m =
-        harness.RunAveraged(options, config.repetitions);
-    table.AddNumericRow(label,
-                        {m.mrr, m.ndcg10, m.avg_rank_relevant,
-                         m.avg_rank_by_class[1]},
-                        3);
+  std::vector<std::string> labels;
+  std::vector<core::EngineOptions> configs;
+  auto add_config = [&](const std::string& label,
+                        const core::EngineOptions& options) {
+    labels.push_back(label);
+    configs.push_back(options);
   };
 
-  add_row("combined (full)",
-          bench::MakeEngineOptions(ranking::Strategy::kCombined));
+  add_config("combined (full)",
+             bench::MakeEngineOptions(ranking::Strategy::kCombined));
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.pair_mining.strategy = profile::PairMiningStrategy::kClickVsAll;
-    add_row("pairs: click-vs-all", options);
+    add_config("pairs: click-vs-all", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.pair_mining.grade_weighting = false;
-    add_row("no dwell-grade weighting", options);
+    add_config("no dwell-grade weighting", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.profile_update.ontology_spreading = false;
-    add_row("no ontology spreading", options);
+    add_config("no ontology spreading", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.query_location_match_prior = 0.0;
-    add_row("no query-location prior", options);
+    add_config("no query-location prior", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.rank_prior_weight = 0.0;
-    add_row("no backend-order prior", options);
+    add_config("no backend-order prior", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.profile_update.daily_decay = 1.0;
-    add_row("no profile decay", options);
+    add_config("no profile decay", options);
   }
   {
     auto options = bench::MakeEngineOptions(ranking::Strategy::kCombined);
     options.blend_mode = ranking::BlendMode::kRankFusion;
-    add_row("rank fusion blend", options);
+    add_config("rank fusion blend", options);
+  }
+
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
+  Table table({"config", "MRR", "NDCG@10", "avg_rank", "rank_loc"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
+    table.AddNumericRow(labels[i],
+                        {m.mrr, m.ndcg10, m.avg_rank_relevant,
+                         m.avg_rank_by_class[1]},
+                        3);
   }
   table.Print(std::cout, "E9: Combined-strategy ablations");
+  bench::PrintHarnessReport(std::cout, harness, timer);
   return 0;
 }

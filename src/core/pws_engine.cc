@@ -29,14 +29,19 @@ PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
       options_(std::move(options)),
       content_extractor_(options_.content_extractor),
       location_extractor_(ontology, options_.location_concepts),
-      query_location_extractor_(ontology, options_.query_location_extractor) {
+      query_location_extractor_(ontology, options_.query_location_extractor),
+      query_cache_(static_cast<size_t>(
+                       std::max(1, options_.query_cache_capacity)),
+                   std::max(1, options_.query_cache_shards)) {
   PWS_CHECK(backend_ != nullptr);
   PWS_CHECK(ontology_ != nullptr);
 }
 
 void PwsEngine::RegisterUser(click::UserId user) {
-  auto it = users_.find(user);
-  if (it != users_.end()) return;
+  {
+    std::shared_lock<std::shared_mutex> lock(users_mutex_);
+    if (users_.find(user) != users_.end()) return;
+  }
   UserState state;
   state.profile = std::make_unique<profile::UserProfile>(user, ontology_);
   state.model = std::make_unique<ranking::RankSvm>(ranking::kFeatureCount);
@@ -45,18 +50,20 @@ void PwsEngine::RegisterUser(click::UserId user) {
     std::vector<double> prior(ranking::kFeatureCount, 0.0);
     prior[ranking::kQueryLocationMatchIndex] =
         options_.query_location_match_prior;
-    prior[3] = options_.location_affinity_prior;  // Profile affinity.
+    prior[ranking::kProfileLocationAffinityIndex] =
+        options_.location_affinity_prior;
     prior[ranking::kGpsFeatureIndex] = options_.location_affinity_prior;
     ranking::MaskForStrategy(prior, options_.strategy);
     state.model->SetPrior(std::move(prior));
   }
-  users_.emplace(user, std::move(state));
+  std::unique_lock<std::shared_mutex> lock(users_mutex_);
+  users_.emplace(user, std::move(state));  // No-op if another thread won.
 }
 
 void PwsEngine::AttachGpsTrace(click::UserId user,
                                const geo::GpsTrace& trace) {
   RegisterUser(user);
-  UserState& state = users_.at(user);
+  UserState& state = StateOf(user);
   if (trace.empty()) return;
   profile::AugmentProfileWithGps(*ontology_, trace, options_.gps_augment,
                                  state.profile.get());
@@ -64,60 +71,62 @@ void PwsEngine::AttachGpsTrace(click::UserId user,
 }
 
 PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) {
+  std::shared_lock<std::shared_mutex> lock(users_mutex_);
   auto it = users_.find(user);
   PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
+  // unordered_map nodes are stable: the reference outlives the lock.
   return it->second;
 }
 
 const PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) const {
+  std::shared_lock<std::shared_mutex> lock(users_mutex_);
   auto it = users_.find(user);
   PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
   return it->second;
 }
 
-int PwsEngine::InternQuery(const std::string& query) {
-  auto [it, inserted] =
-      query_ids_.emplace(query, static_cast<int>(query_ids_.size()));
-  return it->second;
+int PwsEngine::QueryIdOf(const std::string& query) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis.
+  for (unsigned char c : query) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime.
+  }
+  return static_cast<int>(h & 0x7fffffffULL);
 }
 
-const PwsEngine::QueryAnalysis& PwsEngine::AnalyzeQuery(
+std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
     const std::string& query) {
-  auto it = query_cache_.find(query);
-  if (it != query_cache_.end()) return it->second;
+  return query_cache_.GetOrCompute(query, [&] {
+    auto analysis = std::make_shared<QueryAnalysis>();
+    analysis->page = backend_->Search(query);
 
-  QueryAnalysis analysis;
-  analysis.page = backend_->Search(query);
+    concepts::SnippetIncidence incidence;
+    analysis->content_concepts =
+        content_extractor_.Extract(analysis->page, &incidence);
+    analysis->content_ontology =
+        std::make_shared<const concepts::ContentOntology>(
+            analysis->content_concepts, incidence);
+    analysis->locations =
+        location_extractor_.Extract(analysis->page, backend_->corpus());
 
-  concepts::SnippetIncidence incidence;
-  analysis.content_concepts =
-      content_extractor_.Extract(analysis.page, &incidence);
-  analysis.content_ontology =
-      concepts::ContentOntology(analysis.content_concepts, incidence);
-  analysis.locations =
-      location_extractor_.Extract(analysis.page, backend_->corpus());
-
-  for (const auto& mention : query_location_extractor_.Extract(query)) {
-    analysis.query_mentioned_locations.push_back(mention.location);
-  }
-
-  // Per-result concept term lists, aligned with backend rank order.
-  const int n = static_cast<int>(analysis.page.results.size());
-  analysis.impression.content_terms_per_result.resize(n);
-  for (int s = 0; s < n && s < static_cast<int>(incidence.size()); ++s) {
-    for (int concept_index : incidence[s]) {
-      analysis.impression.content_terms_per_result[s].push_back(
-          analysis.content_concepts[concept_index].term);
+    for (const auto& mention : query_location_extractor_.Extract(query)) {
+      analysis->query_mentioned_locations.push_back(mention.location);
     }
-  }
-  analysis.impression.locations_per_result = analysis.locations.per_result;
-  analysis.impression.query_mentioned_locations =
-      analysis.query_mentioned_locations;
 
-  auto [inserted_it, inserted] =
-      query_cache_.emplace(query, std::move(analysis));
-  PWS_CHECK(inserted);
-  return inserted_it->second;
+    // Per-result concept term lists, aligned with backend rank order.
+    const int n = static_cast<int>(analysis->page.results.size());
+    analysis->impression.content_terms_per_result.resize(n);
+    for (int s = 0; s < n && s < static_cast<int>(incidence.size()); ++s) {
+      for (int concept_index : incidence[s]) {
+        analysis->impression.content_terms_per_result[s].push_back(
+            analysis->content_concepts[concept_index].term);
+      }
+    }
+    analysis->impression.locations_per_result = analysis->locations.per_result;
+    analysis->impression.query_mentioned_locations =
+        analysis->query_mentioned_locations;
+    return std::shared_ptr<const QueryAnalysis>(std::move(analysis));
+  });
 }
 
 ranking::FeatureMatrix PwsEngine::ComputeFeatures(
@@ -142,20 +151,22 @@ ranking::FeatureMatrix PwsEngine::ComputeFeatures(
 PersonalizedPage PwsEngine::Serve(click::UserId user,
                                   const std::string& query) {
   RegisterUser(user);
-  const QueryAnalysis& analysis = AnalyzeQuery(query);
-  UserState& state = users_.at(user);
+  const std::shared_ptr<const QueryAnalysis> analysis = AnalyzeQuery(query);
+  const UserState& state = StateOf(user);
 
   PersonalizedPage page;
-  page.backend_page = analysis.page;
-  page.impression = analysis.impression;
-  page.features = ComputeFeatures(analysis, state);
+  page.backend_page = analysis->page;
+  page.impression = analysis->impression;
+  page.content_ontology = analysis->content_ontology;
+  page.features = ComputeFeatures(*analysis, state);
 
   ranking::RankerOptions ranker_options;
   ranker_options.alpha = options_.alpha;
   ranker_options.rank_prior_weight = options_.rank_prior_weight;
   ranker_options.blend_mode = options_.blend_mode;
   if (options_.entropy_adaptive_alpha) {
-    const int qid = InternQuery(query);
+    const int qid = QueryIdOf(query);
+    std::lock_guard<std::mutex> lock(entropy_mutex_);
     ranker_options.alpha = entropy_tracker_.AdaptiveLocationBlend(
         qid, options_.min_alpha, options_.max_alpha);
   }
@@ -185,22 +196,21 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
         page.impression.locations_per_result[backend_index];
   }
 
-  // Find the content ontology of this query (if still cached) for
-  // similarity spreading.
-  const concepts::ContentOntology* content_ontology = nullptr;
-  auto cache_it = query_cache_.find(page.backend_page.query);
-  if (cache_it != query_cache_.end()) {
-    content_ontology = &cache_it->second.content_ontology;
-  }
-  state.profile->ObserveImpression(record, shown, content_ontology,
+  // The page carries its query's content ontology, so similarity
+  // spreading works even after the analysis was evicted from the cache.
+  state.profile->ObserveImpression(record, shown,
+                                   page.content_ontology.get(),
                                    options_.profile_update);
 
   // Entropy bookkeeping over clicked results.
-  const int qid = InternQuery(page.backend_page.query);
-  for (int j = 0; j < n; ++j) {
-    if (!record.interactions[j].clicked) continue;
-    entropy_tracker_.AddClick(qid, shown.content_terms_per_result[j],
-                              shown.locations_per_result[j]);
+  const int qid = QueryIdOf(page.backend_page.query);
+  {
+    std::lock_guard<std::mutex> lock(entropy_mutex_);
+    for (int j = 0; j < n; ++j) {
+      if (!record.interactions[j].clicked) continue;
+      entropy_tracker_.AddClick(qid, shown.content_terms_per_result[j],
+                                shown.locations_per_result[j]);
+    }
   }
 
   // Preference pairs, stored symbolically (features are recomputed with
@@ -230,8 +240,9 @@ double PwsEngine::TrainUser(click::UserId user) {
   for (const StoredPair& stored : state.pairs) {
     auto it = fresh.find(stored.query);
     if (it == fresh.end()) {
-      const QueryAnalysis& analysis = AnalyzeQuery(stored.query);
-      it = fresh.emplace(stored.query, ComputeFeatures(analysis, state))
+      const std::shared_ptr<const QueryAnalysis> analysis =
+          AnalyzeQuery(stored.query);
+      it = fresh.emplace(stored.query, ComputeFeatures(*analysis, state))
                .first;
     }
     ranking::TrainingPair pair;
@@ -245,12 +256,16 @@ double PwsEngine::TrainUser(click::UserId user) {
 
 void PwsEngine::TrainAllUsers() {
   std::vector<click::UserId> ids;
-  ids.reserve(users_.size());
-  for (const auto& [user, state] : users_) ids.push_back(user);
+  {
+    std::shared_lock<std::shared_mutex> lock(users_mutex_);
+    ids.reserve(users_.size());
+    for (const auto& [user, state] : users_) ids.push_back(user);
+  }
   for (click::UserId user : ids) TrainUser(user);
 }
 
 void PwsEngine::AdvanceDay() {
+  std::shared_lock<std::shared_mutex> lock(users_mutex_);
   for (auto& [user, state] : users_) {
     state.profile->DecayDaily(options_.profile_update);
   }
@@ -274,7 +289,7 @@ void PwsEngine::ImportUserState(click::UserId user,
                                 ranking::RankSvm model) {
   PWS_CHECK_EQ(model.dimension(), ranking::kFeatureCount);
   RegisterUser(user);
-  UserState& state = users_.at(user);
+  UserState& state = StateOf(user);
   state.profile = std::make_unique<profile::UserProfile>(std::move(profile));
   state.model = std::make_unique<ranking::RankSvm>(std::move(model));
   state.pairs.clear();

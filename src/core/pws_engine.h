@@ -2,7 +2,9 @@
 #define PWS_CORE_PWS_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "ranking/features.h"
 #include "ranking/rank_svm.h"
 #include "ranking/ranker.h"
+#include "util/sharded_lru.h"
 
 namespace pws::core {
 
@@ -61,6 +64,14 @@ struct EngineOptions {
   double gps_decay_scale_km = 150.0;
   /// Cap on accumulated training pairs per user (oldest dropped).
   int max_training_pairs_per_user = 20000;
+  /// Total entries the bounded query-analysis cache keeps (LRU eviction;
+  /// evicted queries are simply re-analyzed on the next Serve, which is
+  /// deterministic, so eviction never changes results — only memory and
+  /// latency).
+  int query_cache_capacity = 4096;
+  /// Shards of the query-analysis cache; each shard has its own mutex,
+  /// so concurrent Serve calls rarely contend.
+  int query_cache_shards = 16;
 };
 
 /// What Serve returns: the backend page plus the personalized
@@ -75,6 +86,11 @@ struct PersonalizedPage {
   ranking::FeatureMatrix features;
   /// Per-result concepts in backend order.
   profile::ImpressionConcepts impression;
+  /// The query's content ontology, carried with the page so Observe's
+  /// similarity spreading never depends on the query still being
+  /// resident in the engine's bounded analysis cache. Null for
+  /// personalizers that do not extract content concepts (baselines).
+  std::shared_ptr<const concepts::ContentOntology> content_ontology;
   /// The α used for this page (fixed or entropy-adaptive).
   double alpha_used = 0.5;
 
@@ -96,7 +112,17 @@ struct PersonalizedPage {
 ///   TrainUser: RankSVM SGD over the user's accumulated pairs.
 ///
 /// One RankSVM and one UserProfile per user; concept extraction per query
-/// is cached (it is profile-independent).
+/// is cached (it is profile-independent) in a bounded, sharded LRU cache
+/// (EngineOptions::query_cache_capacity/query_cache_shards).
+///
+/// Thread-safety: one engine instance may be driven from many threads.
+/// Serve, RegisterUser, AttachGpsTrace and the const accessors are safe
+/// to call concurrently with each other for any mix of users. Calls
+/// that *mutate a user's learned state* (Observe, TrainUser,
+/// ImportUserState) are safe concurrently across *different* users;
+/// callers must serialize mutating calls targeting the same user, and
+/// must not run TrainAllUsers / AdvanceDay concurrently with any
+/// mutating call (both iterate every user).
 class PwsEngine : public Personalizer {
  public:
   /// `search_backend` and `ontology` must outlive the engine.
@@ -136,11 +162,15 @@ class PwsEngine : public Personalizer {
 
   const profile::UserProfile& user_profile(click::UserId user) const;
   const ranking::RankSvm& user_model(click::UserId user) const;
+  /// For inspection only; do not call while another thread Observes.
   const profile::ClickEntropyTracker& entropy_tracker() const {
     return entropy_tracker_;
   }
   const EngineOptions& options() const { return options_; }
+  /// Hit/miss/eviction counters of the query-analysis cache.
+  CacheStats query_cache_stats() const { return query_cache_.stats(); }
   int registered_user_count() const {
+    std::shared_lock<std::shared_mutex> lock(users_mutex_);
     return static_cast<int>(users_.size());
   }
   /// Pairs accumulated for a user so far.
@@ -154,11 +184,14 @@ class PwsEngine : public Personalizer {
                        ranking::RankSvm model);
 
  private:
-  /// Cached, profile-independent analysis of one query's page.
+  /// Cached, profile-independent analysis of one query's page. Shared
+  /// out of the cache by shared_ptr so LRU eviction never invalidates an
+  /// analysis a Serve or TrainUser call is still using, and so the
+  /// content ontology can ride along on PersonalizedPage.
   struct QueryAnalysis {
     backend::ResultPage page;
     std::vector<concepts::ContentConcept> content_concepts;
-    concepts::ContentOntology content_ontology;
+    std::shared_ptr<const concepts::ContentOntology> content_ontology;
     concepts::QueryLocationConcepts locations;
     std::vector<geo::LocationId> query_mentioned_locations;
     profile::ImpressionConcepts impression;
@@ -183,7 +216,9 @@ class PwsEngine : public Personalizer {
     std::optional<geo::GeoPoint> position;
   };
 
-  const QueryAnalysis& AnalyzeQuery(const std::string& query);
+  /// Fetches (or computes and caches) the analysis of `query`. The
+  /// returned pointer stays valid after eviction.
+  std::shared_ptr<const QueryAnalysis> AnalyzeQuery(const std::string& query);
 
   /// Strategy-masked feature matrix of a query's page under the user's
   /// current profile.
@@ -191,7 +226,11 @@ class PwsEngine : public Personalizer {
                                          const UserState& state) const;
   UserState& StateOf(click::UserId user);
   const UserState& StateOf(click::UserId user) const;
-  int InternQuery(const std::string& query);
+
+  /// Stable, stateless query id (64-bit FNV-1a folded to a non-negative
+  /// int). Replaces the old unbounded intern map: ids are identical
+  /// across runs, engines, and threads, and cost no memory.
+  static int QueryIdOf(const std::string& query);
 
   const backend::SearchBackend* backend_;
   const geo::LocationOntology* ontology_;
@@ -199,10 +238,17 @@ class PwsEngine : public Personalizer {
   concepts::ContentConceptExtractor content_extractor_;
   concepts::LocationConceptExtractor location_extractor_;
   geo::LocationExtractor query_location_extractor_;
-  std::unordered_map<std::string, QueryAnalysis> query_cache_;
+  /// Bounded per-query analysis cache (mutex per shard).
+  mutable ShardedLruCache<std::string, std::shared_ptr<const QueryAnalysis>>
+      query_cache_;
+  /// Guards the users_ map structure (insertion/lookup). The per-user
+  /// payloads behind the unique_ptrs follow the class-level contract.
+  mutable std::shared_mutex users_mutex_;
   std::unordered_map<click::UserId, UserState> users_;
+  /// Guards entropy_tracker_ (written by Observe, read by Serve when
+  /// entropy_adaptive_alpha is on).
+  mutable std::mutex entropy_mutex_;
   profile::ClickEntropyTracker entropy_tracker_;
-  std::unordered_map<std::string, int> query_ids_;
 };
 
 }  // namespace pws::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace pws::eval {
 namespace {
@@ -51,6 +52,7 @@ SimulationHarness::SimulationHarness(const World* world,
   PWS_CHECK_GE(options_.train_every_days, 1);
   PWS_CHECK_GE(options_.test_queries_per_user, 1);
   PWS_CHECK_GE(options_.ctr_samples_per_impression, 1);
+  PWS_CHECK_GE(options_.threads, 0);
 }
 
 std::vector<double> SimulationHarness::QueryWeightsFor(
@@ -98,14 +100,64 @@ std::vector<const click::QueryIntent*> SimulationHarness::TestQueriesFor(
 StrategyMetrics SimulationHarness::RunAveraged(
     const core::EngineOptions& engine_options, int repetitions) const {
   PWS_CHECK_GE(repetitions, 1);
-  std::vector<StrategyMetrics> runs;
-  runs.reserve(repetitions);
-  SimulationHarness copy(world_, options_);
-  for (int r = 0; r < repetitions; ++r) {
-    copy.options_.seed = options_.seed + static_cast<uint64_t>(r);
-    runs.push_back(copy.Run(engine_options));
-  }
+  // Each repetition is an independent run (own engine, own seed), so
+  // they parallelize freely; slot r belongs to repetition r alone and
+  // AverageMetrics folds the slots in index order, which makes the
+  // result bit-identical to a sequential loop.
+  std::vector<StrategyMetrics> runs(repetitions);
+  ParallelFor(ResolveThreadCount(options_.threads), repetitions,
+              [&](int r) {
+                runs[r] = RunSeeded(engine_options,
+                                    options_.seed + static_cast<uint64_t>(r),
+                                    nullptr);
+              });
   return AverageMetrics(runs);
+}
+
+std::vector<StrategyMetrics> SimulationHarness::RunManyAveraged(
+    const std::vector<core::EngineOptions>& configs, int repetitions) const {
+  PWS_CHECK_GE(repetitions, 1);
+  const int num_configs = static_cast<int>(configs.size());
+  std::vector<std::vector<StrategyMetrics>> runs(
+      num_configs, std::vector<StrategyMetrics>(repetitions));
+  // Flatten the (config × repetition) grid into one task list so slow
+  // configurations don't serialize behind fast ones.
+  ParallelFor(ResolveThreadCount(options_.threads),
+              num_configs * repetitions, [&](int task) {
+                const int c = task / repetitions;
+                const int r = task % repetitions;
+                runs[c][r] = RunSeeded(
+                    configs[c], options_.seed + static_cast<uint64_t>(r),
+                    nullptr);
+              });
+  std::vector<StrategyMetrics> averaged;
+  averaged.reserve(num_configs);
+  for (const auto& config_runs : runs) {
+    averaged.push_back(AverageMetrics(config_runs));
+  }
+  return averaged;
+}
+
+std::vector<StrategyMetrics> SimulationHarness::RunMany(
+    const std::vector<core::EngineOptions>& configs,
+    std::vector<std::vector<ImpressionOutcome>>* outcomes) const {
+  const int num_configs = static_cast<int>(configs.size());
+  if (outcomes != nullptr) {
+    outcomes->assign(num_configs, {});
+  }
+  std::vector<StrategyMetrics> results(num_configs);
+  ParallelFor(ResolveThreadCount(options_.threads), num_configs,
+              [&](int c) {
+                results[c] = RunSeeded(
+                    configs[c], options_.seed,
+                    outcomes != nullptr ? &(*outcomes)[c] : nullptr);
+              });
+  return results;
+}
+
+CacheStats SimulationHarness::accumulated_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_stats_mutex_);
+  return cache_stats_;
 }
 
 StrategyMetrics SimulationHarness::Run(
@@ -116,6 +168,12 @@ StrategyMetrics SimulationHarness::Run(
 StrategyMetrics SimulationHarness::Run(
     const core::EngineOptions& engine_options,
     std::vector<ImpressionOutcome>* outcomes) const {
+  return RunSeeded(engine_options, options_.seed, outcomes);
+}
+
+StrategyMetrics SimulationHarness::RunSeeded(
+    const core::EngineOptions& engine_options, uint64_t seed,
+    std::vector<ImpressionOutcome>* outcomes) const {
   PersonalizerFactory factory = [this, &engine_options]() {
     return std::make_unique<core::PwsEngine>(&world_->search_backend(),
                                              &world_->ontology(),
@@ -123,12 +181,19 @@ StrategyMetrics SimulationHarness::Run(
   };
   const bool attach_gps =
       engine_options.strategy == ranking::Strategy::kCombinedGps;
-  return RunPersonalizer(factory, attach_gps, outcomes);
+  return RunPersonalizerSeeded(factory, attach_gps, seed, outcomes);
 }
 
 StrategyMetrics SimulationHarness::RunPersonalizer(
     const PersonalizerFactory& factory, bool attach_gps_traces,
     std::vector<ImpressionOutcome>* outcomes) const {
+  return RunPersonalizerSeeded(factory, attach_gps_traces, options_.seed,
+                               outcomes);
+}
+
+StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
+    const PersonalizerFactory& factory, bool attach_gps_traces,
+    uint64_t seed, std::vector<ImpressionOutcome>* outcomes) const {
   std::unique_ptr<core::Personalizer> personalizer = factory();
   PWS_CHECK(personalizer != nullptr);
   if (outcomes != nullptr) outcomes->clear();
@@ -139,7 +204,7 @@ StrategyMetrics SimulationHarness::RunPersonalizer(
     }
   }
 
-  Random rng(options_.seed);
+  Random rng(seed);
 
   // --- Training phase: serve, click, observe, periodically retrain. ---
   for (int day = 0; day < options_.train_days; ++day) {
@@ -211,7 +276,7 @@ StrategyMetrics SimulationHarness::RunPersonalizer(
 
       // CTR@1 from paired click simulations (models stay frozen).
       for (int s = 0; s < options_.ctr_samples_per_impression; ++s) {
-        Random ctr_rng(MixSeed(options_.seed, user.id, intent->id, s));
+        Random ctr_rng(MixSeed(seed, user.id, intent->id, s));
         const click::ClickRecord record = world_->click_model().Simulate(
             user, *intent, shown, world_->corpus(), options_.train_days,
             ctr_rng);
@@ -238,6 +303,15 @@ StrategyMetrics SimulationHarness::RunPersonalizer(
   for (int c = 0; c < 3; ++c) {
     metrics.avg_rank_by_class[c] = class_rank[c].Mean();
     metrics.ctr1_by_class[c] = class_ctr1[c].Mean();
+  }
+
+  // Fold this engine's query-analysis cache counters into the
+  // harness-wide totals (baselines aren't PwsEngines and have no cache).
+  if (const auto* engine =
+          dynamic_cast<const core::PwsEngine*>(personalizer.get())) {
+    const CacheStats stats = engine->query_cache_stats();
+    std::lock_guard<std::mutex> lock(cache_stats_mutex_);
+    cache_stats_ += stats;
   }
   return metrics;
 }

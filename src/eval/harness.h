@@ -4,6 +4,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/pws_engine.h"
 #include "eval/metrics.h"
 #include "eval/world.h"
+#include "util/sharded_lru.h"
 
 namespace pws::eval {
 
@@ -34,6 +36,11 @@ struct SimulationOptions {
   /// seeded by (user, query) so CTR draws are paired across
   /// configurations too.
   int ctr_samples_per_impression = 5;
+  /// Worker threads for RunAveraged / RunMany* (0 = one per hardware
+  /// core, 1 = sequential). Parallelism is across runs — each run owns
+  /// its engine and stays sequential inside — so every thread count
+  /// produces bit-identical metrics and outcomes.
+  int threads = 0;
 };
 
 /// Aggregated test-day metrics for one engine configuration.
@@ -102,11 +109,37 @@ class SimulationHarness {
 
   /// Runs `repetitions` times with sim seeds seed, seed+1, ... and
   /// averages (training trajectories differ per seed; the test protocol
-  /// is already paired).
+  /// is already paired). Repetitions run in parallel on up to
+  /// options().threads workers; results are bit-identical to the
+  /// sequential path because every repetition owns an independent
+  /// engine and the averaging order is fixed by repetition index.
   StrategyMetrics RunAveraged(const core::EngineOptions& engine_options,
                               int repetitions) const;
 
+  /// Runs several engine configurations (each seed-averaged over
+  /// `repetitions`) concurrently: the (configuration × repetition) grid
+  /// is flattened into one task list so the pool stays busy even when
+  /// configurations differ in cost. Element i corresponds to
+  /// configs[i]; equivalent to calling RunAveraged per config.
+  std::vector<StrategyMetrics> RunManyAveraged(
+      const std::vector<core::EngineOptions>& configs,
+      int repetitions) const;
+
+  /// Runs several configurations concurrently, one single run each,
+  /// capturing per-impression outcomes for paired analysis. When
+  /// `outcomes` is non-null it is resized to configs.size();
+  /// (*outcomes)[i] belongs to configs[i] and is index-aligned across
+  /// configurations (the paired-comparison invariant).
+  std::vector<StrategyMetrics> RunMany(
+      const std::vector<core::EngineOptions>& configs,
+      std::vector<std::vector<ImpressionOutcome>>* outcomes) const;
+
   const SimulationOptions& options() const { return options_; }
+
+  /// Query-analysis cache counters summed over every PwsEngine this
+  /// harness has run to completion (sequential or parallel) since
+  /// construction — the serving-layer cost view of an experiment.
+  CacheStats accumulated_cache_stats() const;
 
   /// The deterministic per-user test set: the user's top-N queries by
   /// issue probability (favourite topics, affine places).
@@ -121,8 +154,19 @@ class SimulationHarness {
                                         Random& rng) const;
 
  private:
+  /// One full protocol run with an explicit simulation seed (the
+  /// sequential unit of work every public entry point reduces to).
+  StrategyMetrics RunSeeded(const core::EngineOptions& engine_options,
+                            uint64_t seed,
+                            std::vector<ImpressionOutcome>* outcomes) const;
+  StrategyMetrics RunPersonalizerSeeded(
+      const PersonalizerFactory& factory, bool attach_gps_traces,
+      uint64_t seed, std::vector<ImpressionOutcome>* outcomes) const;
+
   const World* world_;
   SimulationOptions options_;
+  mutable std::mutex cache_stats_mutex_;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace pws::eval

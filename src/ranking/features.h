@@ -49,6 +49,7 @@ inline constexpr int kContentFeatureEnd = 2;
 inline constexpr int kLocationFeatureBegin = 2;
 inline constexpr int kLocationFeatureEnd = 8;
 inline constexpr int kQueryLocationMatchIndex = 2;
+inline constexpr int kProfileLocationAffinityIndex = 3;
 inline constexpr int kGpsFeatureIndex = 7;
 inline constexpr int kFeatureCount = 8;
 

@@ -21,6 +21,10 @@ void RankSvm::SetPrior(std::vector<double> prior) {
 
 double RankSvm::Train(const std::vector<TrainingPair>& pairs,
                       const RankSvmOptions& options) {
+  // epochs <= 0 would "train" nothing yet mark the model trained and
+  // reset its weights to the prior — a silent no-op that reports 0.0
+  // loss. Reject the configuration instead.
+  PWS_CHECK_GE(options.epochs, 1) << "RankSvmOptions::epochs must be >= 1";
   trained_ = true;
   weights_ = prior_;  // Retraining starts from the prior each time.
   if (pairs.empty()) return 0.0;

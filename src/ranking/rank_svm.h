@@ -34,7 +34,9 @@ class RankSvm {
   /// Creates a zero-weight model of the given dimensionality.
   explicit RankSvm(int dimension);
 
-  /// Runs SGD over `pairs`. Pairs with mismatched dimensionality abort.
+  /// Runs SGD over `pairs`. Pairs with mismatched dimensionality abort,
+  /// as does options.epochs < 1 (a zero-epoch "training" would silently
+  /// reset the weights while reporting 0.0 loss).
   /// Returns the final epoch's average hinge loss (before regularizer).
   double Train(const std::vector<TrainingPair>& pairs,
                const RankSvmOptions& options);

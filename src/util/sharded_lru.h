@@ -1,0 +1,170 @@
+#ifndef PWS_UTIL_SHARDED_LRU_H_
+#define PWS_UTIL_SHARDED_LRU_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pws {
+
+/// Aggregated counters of a ShardedLruCache, summed over its shards.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Entries resident at the time of the stats() call.
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    entries += other.entries;
+    return *this;
+  }
+};
+
+/// A bounded LRU map sharded by key hash, one mutex per shard, so
+/// lookups on different shards never contend. The total capacity is
+/// split evenly across shards (each shard keeps at least one entry) and
+/// the least-recently-used entry of a full shard is evicted on insert.
+///
+/// Thread-safety: every method is safe to call concurrently. Values are
+/// returned by copy, so cache `Value`s that are cheap to copy
+/// (shared_ptr is the intended use — eviction then never invalidates a
+/// value a caller still holds).
+///
+/// GetOrCompute runs `compute` *outside* the shard lock: two threads
+/// racing on the same absent key may both compute it (one insert wins),
+/// which trades a little duplicated work for zero lock-held compute
+/// time. With a deterministic `compute` the cache contents stay
+/// value-identical either way.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t capacity, int num_shards)
+      : num_shards_(num_shards) {
+    PWS_CHECK_GE(capacity, 1u);
+    PWS_CHECK_GE(num_shards_, 1);
+    shard_capacity_ =
+        (capacity + static_cast<size_t>(num_shards_) - 1) /
+        static_cast<size_t>(num_shards_);
+    shards_ = std::make_unique<Shard[]>(num_shards_);
+  }
+
+  /// Returns the value and marks it most-recently-used, or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU entry if full.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    if (shard.index.size() > shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Get, falling back to compute-and-insert on a miss.
+  Value GetOrCompute(const Key& key, const std::function<Value()>& compute) {
+    if (std::optional<Value> hit = Get(key)) return std::move(*hit);
+    Value value = compute();
+    Put(key, value);
+    return value;
+  }
+
+  CacheStats stats() const {
+    CacheStats total;
+    for (int s = 0; s < num_shards_; ++s) {
+      const Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.evictions += shard.evictions;
+      total.entries += shard.index.size();
+    }
+    return total;
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      total += shards_[s].index.size();
+    }
+    return total;
+  }
+
+  /// Upper bound on resident entries (shards round up individually).
+  size_t capacity() const {
+    return shard_capacity_ * static_cast<size_t>(num_shards_);
+  }
+
+  void Clear() {
+    for (int s = 0; s < num_shards_; ++s) {
+      Shard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.order.clear();
+      shard.index.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// front = most recently used.
+    std::list<std::pair<Key, Value>> order;
+    std::unordered_map<Key,
+                       typename std::list<std::pair<Key, Value>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[hash_(key) % static_cast<size_t>(num_shards_)];
+  }
+
+  int num_shards_;
+  size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  Hash hash_;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_SHARDED_LRU_H_

@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pws {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PWS_CHECK(!shutting_down_) << "Submit after ThreadPool destruction began";
+    queue_.push_back(std::move(packaged));
+  }
+  task_ready_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // Exceptions land in the task's future.
+  }
+}
+
+int ResolveThreadCount(int threads) {
+  if (threads >= 1) return threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+void ParallelFor(int threads, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int workers = std::min(ResolveThreadCount(threads), n);
+  if (workers <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(pool.Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+}  // namespace pws

@@ -1,0 +1,62 @@
+#ifndef PWS_UTIL_THREAD_POOL_H_
+#define PWS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pws {
+
+/// A fixed-size FIFO thread pool: one shared queue, no work stealing.
+/// Tasks are dequeued in submission order, so scheduling is easy to
+/// reason about; determinism comes from task *independence*, not from
+/// scheduling. A caller that writes each task's result into a slot owned
+/// by that task alone gets output identical to a sequential loop no
+/// matter how the tasks interleave — the property the parallel
+/// evaluation harness builds its bit-identical guarantee on.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Runs the queue dry, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`. The future resolves when the task finishes and
+  /// carries any exception it threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The worker count a `threads` knob requests: the value itself when
+/// >= 1, otherwise the hardware concurrency (the "0 = all cores"
+/// convention used by SimulationOptions::threads and --threads).
+int ResolveThreadCount(int threads);
+
+/// Runs fn(0) .. fn(n - 1) across up to `threads` pool workers and
+/// returns when every call has finished. With threads <= 1 or n <= 1 the
+/// calls run inline on the caller, so a ParallelFor nested inside pool
+/// work degrades to a plain loop instead of oversubscribing. Exceptions
+/// from `fn` propagate (the first one, by task index).
+void ParallelFor(int threads, int n, const std::function<void(int)>& fn);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_THREAD_POOL_H_

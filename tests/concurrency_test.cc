@@ -1,0 +1,456 @@
+// Concurrency layer: thread pool semantics, the bounded sharded
+// query-analysis cache, and the determinism contract of the parallel
+// evaluation harness (parallel runs must be bit-identical to the
+// sequential path). Also the ThreadSanitizer exercise target: the
+// concurrent-Serve tests drive one shared engine from many threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "ranking/features.h"
+#include "util/random.h"
+#include "util/sharded_lru.h"
+#include "util/thread_pool.h"
+
+namespace pws {
+namespace {
+
+// ---------- ThreadPool / ParallelFor ----------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool waits for everything already queued.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ResolveThreadCountTest, PositivePassesThroughZeroMeansHardware) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(5), 5);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<int> hits(257, 0);
+    ParallelFor(threads, static_cast<int>(hits.size()),
+                [&](int i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, PropagatesFirstExceptionByIndex) {
+  EXPECT_THROW(ParallelFor(4, 16,
+                           [](int i) {
+                             if (i % 3 == 0) throw std::runtime_error("bad");
+                           }),
+               std::runtime_error);
+}
+
+// ---------- ShardedLruCache ----------
+
+TEST(ShardedLruCacheTest, GetOrComputeCachesValues) {
+  ShardedLruCache<std::string, int> cache(/*capacity=*/8, /*num_shards=*/2);
+  int computations = 0;
+  auto compute = [&computations] {
+    ++computations;
+    return 42;
+  };
+  EXPECT_EQ(cache.GetOrCompute("a", compute), 42);
+  EXPECT_EQ(cache.GetOrCompute("a", compute), 42);
+  EXPECT_EQ(computations, 1);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedAndCounts) {
+  // One shard makes the LRU order observable.
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 is now most recent.
+  cache.Put(3, 30);                       // Evicts 2.
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCacheTest, SizeStaysBoundedUnderChurn) {
+  ShardedLruCache<int, int> cache(/*capacity=*/16, /*num_shards=*/4);
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_LE(cache.size(), cache.capacity() + 3);  // ceil rounding per shard.
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentGetOrComputeIsConsistent) {
+  ShardedLruCache<int, int> cache(/*capacity=*/64, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &mismatch, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 31 + i) % 128;  // Overlapping key sets + churn.
+        const int value = cache.GetOrCompute(key, [key] { return key * 7; });
+        if (value != key * 7) mismatch = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_LE(cache.size(), cache.capacity() + 8);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// ---------- Engine + harness fixtures ----------
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 11;
+    config.num_topics = 8;
+    config.corpus.num_documents = 3000;
+    config.users.num_users = 5;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 10;
+    config.backend.page_size = 20;
+    world_ = new eval::World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static core::EngineOptions CombinedOptions() {
+    core::EngineOptions options;
+    options.strategy = ranking::Strategy::kCombined;
+    return options;
+  }
+
+  static eval::SimulationOptions SimOptions(int threads) {
+    eval::SimulationOptions sim;
+    sim.seed = 13;
+    sim.train_days = 4;
+    sim.queries_per_user_day = 3;
+    sim.train_every_days = 2;
+    sim.test_queries_per_user = 8;
+    sim.ctr_samples_per_impression = 2;
+    sim.threads = threads;
+    return sim;
+  }
+
+  static eval::World* world_;
+};
+
+eval::World* ConcurrencyTest::world_ = nullptr;
+
+void ExpectMetricsIdentical(const eval::StrategyMetrics& a,
+                            const eval::StrategyMetrics& b) {
+  EXPECT_EQ(a.avg_rank_relevant, b.avg_rank_relevant);
+  EXPECT_EQ(a.mrr, b.mrr);
+  EXPECT_EQ(a.ndcg10, b.ndcg10);
+  EXPECT_EQ(a.mean_average_precision, b.mean_average_precision);
+  EXPECT_EQ(a.precision_at, b.precision_at);
+  EXPECT_EQ(a.ctr_at_1, b.ctr_at_1);
+  EXPECT_EQ(a.impressions, b.impressions);
+  EXPECT_EQ(a.avg_rank_by_class, b.avg_rank_by_class);
+  EXPECT_EQ(a.ctr1_by_class, b.ctr1_by_class);
+  EXPECT_EQ(a.impressions_by_class, b.impressions_by_class);
+}
+
+void ExpectOutcomesIdentical(const std::vector<eval::ImpressionOutcome>& a,
+                             const std::vector<eval::ImpressionOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].query_id, b[i].query_id);
+    EXPECT_EQ(a[i].query_class, b[i].query_class);
+    EXPECT_EQ(a[i].reciprocal_rank, b[i].reciprocal_rank);
+    EXPECT_EQ(a[i].ndcg10, b[i].ndcg10);
+    EXPECT_EQ(a[i].avg_rank_relevant, b[i].avg_rank_relevant);
+  }
+}
+
+// ---------- Determinism: parallel harness == sequential harness ----------
+
+TEST_F(ConcurrencyTest, RunAveragedIsBitIdenticalAcrossThreadCounts) {
+  const eval::SimulationHarness sequential(world_, SimOptions(1));
+  const eval::SimulationHarness parallel(world_, SimOptions(4));
+  const eval::StrategyMetrics seq =
+      sequential.RunAveraged(CombinedOptions(), 3);
+  const eval::StrategyMetrics par = parallel.RunAveraged(CombinedOptions(), 3);
+  ExpectMetricsIdentical(seq, par);
+}
+
+TEST_F(ConcurrencyTest, RunManyMatchesSequentialRunsIncludingOutcomes) {
+  std::vector<core::EngineOptions> configs;
+  {
+    core::EngineOptions baseline = CombinedOptions();
+    baseline.strategy = ranking::Strategy::kBaseline;
+    configs.push_back(baseline);
+  }
+  configs.push_back(CombinedOptions());
+  {
+    core::EngineOptions gps = CombinedOptions();
+    gps.strategy = ranking::Strategy::kCombinedGps;
+    configs.push_back(gps);
+  }
+
+  const eval::SimulationHarness parallel(world_, SimOptions(4));
+  std::vector<std::vector<eval::ImpressionOutcome>> par_outcomes;
+  const std::vector<eval::StrategyMetrics> par =
+      parallel.RunMany(configs, &par_outcomes);
+  ASSERT_EQ(par.size(), configs.size());
+  ASSERT_EQ(par_outcomes.size(), configs.size());
+
+  const eval::SimulationHarness sequential(world_, SimOptions(1));
+  for (size_t c = 0; c < configs.size(); ++c) {
+    std::vector<eval::ImpressionOutcome> seq_outcomes;
+    const eval::StrategyMetrics seq =
+        sequential.Run(configs[c], &seq_outcomes);
+    ExpectMetricsIdentical(seq, par[c]);
+    ExpectOutcomesIdentical(seq_outcomes, par_outcomes[c]);
+  }
+}
+
+TEST_F(ConcurrencyTest, RunManyAveragedMatchesPerConfigRunAveraged) {
+  std::vector<core::EngineOptions> configs;
+  configs.push_back(CombinedOptions());
+  {
+    core::EngineOptions content = CombinedOptions();
+    content.strategy = ranking::Strategy::kContentOnly;
+    configs.push_back(content);
+  }
+
+  const eval::SimulationHarness parallel(world_, SimOptions(0));
+  const std::vector<eval::StrategyMetrics> grid =
+      parallel.RunManyAveraged(configs, 2);
+  ASSERT_EQ(grid.size(), configs.size());
+
+  const eval::SimulationHarness sequential(world_, SimOptions(1));
+  for (size_t c = 0; c < configs.size(); ++c) {
+    ExpectMetricsIdentical(sequential.RunAveraged(configs[c], 2), grid[c]);
+  }
+}
+
+TEST_F(ConcurrencyTest, HarnessAccumulatesCacheStats) {
+  const eval::SimulationHarness harness(world_, SimOptions(2));
+  EXPECT_EQ(harness.accumulated_cache_stats().hits, 0u);
+  (void)harness.RunAveraged(CombinedOptions(), 2);
+  const CacheStats stats = harness.accumulated_cache_stats();
+  // Every repetition serves each query many times; analyses are cached.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+// ---------- Cache eviction correctness in the engine ----------
+
+TEST_F(ConcurrencyTest, ReanalysisAfterEvictionReproducesIdenticalServe) {
+  core::EngineOptions tiny = CombinedOptions();
+  tiny.query_cache_capacity = 1;
+  tiny.query_cache_shards = 1;
+  core::PwsEngine small(&world_->search_backend(), &world_->ontology(), tiny);
+  core::PwsEngine big(&world_->search_backend(), &world_->ontology(),
+                      CombinedOptions());
+  small.RegisterUser(0);
+  big.RegisterUser(0);
+
+  const std::vector<std::string> queries = {"hotel booking", "city museum",
+                                            "restaurant reviews"};
+  // Two passes: the second pass re-analyzes every query on the tiny
+  // engine (capacity 1 guarantees eviction between passes) and must
+  // reproduce the large-capacity engine's pages exactly.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& query : queries) {
+      const auto small_page = small.Serve(0, query);
+      const auto big_page = big.Serve(0, query);
+      EXPECT_EQ(small_page.order, big_page.order) << query;
+      EXPECT_EQ(small_page.features, big_page.features) << query;
+    }
+  }
+  EXPECT_GT(small.query_cache_stats().evictions, 0u);
+  EXPECT_EQ(big.query_cache_stats().evictions, 0u);
+}
+
+TEST_F(ConcurrencyTest, ObserveAfterEvictionStillSpreadsOntology) {
+  // The page carries its content ontology, so Observe's similarity
+  // spreading must not depend on the analysis still being cached.
+  core::EngineOptions tiny = CombinedOptions();
+  tiny.query_cache_capacity = 1;
+  tiny.query_cache_shards = 1;
+  core::PwsEngine small(&world_->search_backend(), &world_->ontology(), tiny);
+  core::PwsEngine big(&world_->search_backend(), &world_->ontology(),
+                      CombinedOptions());
+
+  const auto& user = world_->users()[0];
+  small.RegisterUser(user.id);
+  big.RegisterUser(user.id);
+  const auto& intents = world_->queries();
+  ASSERT_GE(intents.size(), 4u);
+  Random rng_small(99);
+  Random rng_big(99);
+  for (int round = 0; round < 2; ++round) {
+    for (size_t q = 0; q < 3; ++q) {
+      const auto& intent = intents[q];
+      auto small_page = small.Serve(user.id, intent.text);
+      EXPECT_NE(small_page.content_ontology, nullptr);
+      auto big_page = big.Serve(user.id, intent.text);
+      // Serve the *next* query before observing: with capacity 1 the
+      // observed page's analysis has been evicted by observation time.
+      (void)small.Serve(user.id, intents[q + 1].text);
+      const auto small_record = world_->click_model().Simulate(
+          user, intent, small_page.ShownPage(), world_->corpus(), round,
+          rng_small);
+      const auto big_record = world_->click_model().Simulate(
+          user, intent, big_page.ShownPage(), world_->corpus(), round,
+          rng_big);
+      small.Observe(user.id, small_page, small_record);
+      big.Observe(user.id, big_page, big_record);
+    }
+  }
+  EXPECT_GT(small.query_cache_stats().evictions, 0u);
+
+  // Identical learning despite evictions: compare the learned profiles
+  // on the concepts the big engine actually acquired.
+  const auto& small_profile = small.user_profile(user.id);
+  const auto& big_profile = big.user_profile(user.id);
+  const auto top = big_profile.TopContentConcepts(20);
+  EXPECT_FALSE(top.empty());
+  for (const auto& [term, weight] : top) {
+    EXPECT_DOUBLE_EQ(small_profile.ContentWeight(term), weight) << term;
+  }
+}
+
+// ---------- Concurrent serving of one shared engine ----------
+
+TEST_F(ConcurrencyTest, ConcurrentServeMatchesSequentialReference) {
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         CombinedOptions());
+  const int num_users = static_cast<int>(world_->users().size());
+  for (const auto& user : world_->users()) engine.RegisterUser(user.id);
+
+  std::vector<std::string> queries;
+  for (const auto& intent : world_->queries()) queries.push_back(intent.text);
+
+  // Sequential reference orders from an identical engine.
+  core::PwsEngine reference(&world_->search_backend(), &world_->ontology(),
+                            CombinedOptions());
+  for (const auto& user : world_->users()) reference.RegisterUser(user.id);
+  std::vector<std::vector<int>> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    expected[q] = reference.Serve(0, queries[q]).order;
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t q = 0; q < queries.size(); ++q) {
+        // Untrained users share priors, so every user's order matches
+        // the user-0 reference; mixing users exercises the user map.
+        const click::UserId user = (t + static_cast<int>(q)) % num_users;
+        const auto page = engine.Serve(user, queries[q]);
+        if (page.order != expected[q]) mismatch = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  const CacheStats stats = engine.query_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * queries.size());
+}
+
+TEST_F(ConcurrencyTest, ConcurrentRegisterUserAndServe) {
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         CombinedOptions());
+  engine.RegisterUser(0);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, t] {
+      // Registration is idempotent and safe against concurrent Serve.
+      engine.RegisterUser(t % 3);
+      for (int i = 0; i < 5; ++i) {
+        const auto page = engine.Serve(0, "hotel booking");
+        if (page.order.empty()) std::abort();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(engine.registered_user_count(), 3);
+}
+
+// ---------- Satellite: priors land on their intended features ----------
+
+TEST_F(ConcurrencyTest, RegisterUserPriorsLandOnNamedFeatureIndexes) {
+  core::EngineOptions options = CombinedOptions();
+  // kCombinedGps leaves every feature unmasked, so each configured
+  // prior must appear at exactly its named index.
+  options.strategy = ranking::Strategy::kCombinedGps;
+  options.query_location_match_prior = 0.25;
+  options.location_affinity_prior = 0.5;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  engine.RegisterUser(0);
+  const std::vector<double>& prior = engine.user_model(0).prior();
+  ASSERT_EQ(prior.size(), static_cast<size_t>(ranking::kFeatureCount));
+  EXPECT_DOUBLE_EQ(prior[ranking::kQueryLocationMatchIndex], 0.25);
+  EXPECT_DOUBLE_EQ(prior[ranking::kProfileLocationAffinityIndex], 0.5);
+  // The GPS prior reuses the location-affinity prior strength.
+  EXPECT_DOUBLE_EQ(prior[ranking::kGpsFeatureIndex], 0.5);
+  // Every other dimension stays neutral.
+  for (int d = 0; d < ranking::kFeatureCount; ++d) {
+    if (d == ranking::kQueryLocationMatchIndex ||
+        d == ranking::kProfileLocationAffinityIndex ||
+        d == ranking::kGpsFeatureIndex) {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(prior[d], 0.0) << "dimension " << d;
+  }
+}
+
+}  // namespace
+}  // namespace pws

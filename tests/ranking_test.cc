@@ -54,6 +54,15 @@ TEST(RankSvmTest, EmptyTrainingIsNoop) {
   EXPECT_DOUBLE_EQ(model.Score({1.0, 1.0, 1.0}), 0.0);
 }
 
+TEST(RankSvmTest, TrainRejectsNonPositiveEpochs) {
+  RankSvm model(3);
+  RankSvmOptions options;
+  options.epochs = 0;
+  EXPECT_DEATH(model.Train({}, options), "epochs");
+  options.epochs = -2;
+  EXPECT_DEATH(model.Train({}, options), "epochs");
+}
+
 TEST(RankSvmTest, DeterministicTraining) {
   Random rng(2);
   std::vector<TrainingPair> pairs;
