@@ -8,7 +8,10 @@
 #include "core/pws_engine.h"
 #include "eval/harness.h"
 #include "eval/world.h"
+#include "obs/metrics.h"
 #include "util/arg_parser.h"
+#include "util/file_util.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -20,12 +23,33 @@ namespace pws::bench {
 /// down from the command line:
 ///   --docs=N --users=N --queries_per_class=N --train_days=N --test_days=N
 ///   --queries_per_user_day=N --seed=N --sim_seed=N --threads=N
+/// plus the observability flags every driver understands:
+///   --metrics-out=FILE  write a JSON metrics snapshot on exit (and print
+///                       the human-readable metrics tables to stdout)
+///   --log-level=LEVEL   debug | info | warning | error
 struct BenchConfig {
   eval::WorldConfig world;
   eval::SimulationOptions sim;
   /// Seed-averaged repetitions per configuration (--reps).
   int repetitions = 3;
+  /// Destination of the end-of-run metrics JSON snapshot (empty = off).
+  std::string metrics_out;
 };
+
+/// Applies --log-level (accepting --log_level too); exits on a bad value
+/// so a typo never silently runs at the wrong verbosity.
+inline void ApplyLogLevelFlag(const ArgParser& args) {
+  const std::string text =
+      args.GetString("log-level", args.GetString("log_level", ""));
+  if (text.empty()) return;
+  LogLevel level;
+  if (!ParseLogLevel(text, &level)) {
+    std::cerr << "invalid --log-level '" << text
+              << "' (want debug|info|warning|error)\n";
+    std::exit(2);
+  }
+  SetLogLevel(level);
+}
 
 inline BenchConfig ParseBenchConfig(int argc, const char* const* argv) {
   ArgParser args(argc, argv);
@@ -51,7 +75,30 @@ inline BenchConfig ParseBenchConfig(int argc, const char* const* argv) {
   // Harness worker threads; 0 = one per hardware core. Results are
   // bit-identical for every thread count (see SimulationOptions).
   config.sim.threads = static_cast<int>(args.GetInt("threads", 0));
+  config.metrics_out =
+      args.GetString("metrics-out", args.GetString("metrics_out", ""));
+  ApplyLogLevelFlag(args);
   return config;
+}
+
+/// End-of-run metrics export (--metrics-out): prints the registry's
+/// human-readable tables to `os` and writes the JSON snapshot next to
+/// them. No-op when the flag was absent, so drivers call it
+/// unconditionally.
+inline void MaybeExportMetrics(std::ostream& os, const BenchConfig& config) {
+  if (config.metrics_out.empty()) return;
+  const obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  os << "\n=== metrics (" << config.metrics_out << ") ===\n"
+     << snapshot.ToText();
+  const Status status =
+      WriteStringToFile(config.metrics_out, snapshot.ToJson());
+  if (status.ok()) {
+    os << "[metrics] JSON snapshot written to " << config.metrics_out
+       << "\n";
+  } else {
+    PWS_LOG(kError) << "--metrics-out write failed: " << status.ToString();
+  }
 }
 
 /// One-line wall-clock + cache-counter report every experiment driver

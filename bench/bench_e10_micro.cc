@@ -14,6 +14,8 @@
 #include "ranking/features.h"
 #include "ranking/ranker.h"
 
+#include "bench_common.h"
+
 namespace {
 
 using namespace pws;
@@ -181,4 +183,33 @@ BENCHMARK(BM_RankSvmTrain)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the shared observability flags: --metrics-out and
+// --log-level are consumed here and stripped from the argv handed to
+// google-benchmark (which rejects flags it does not know).
+int main(int argc, char** argv) {
+  using namespace pws;
+  ArgParser args(argc, argv);
+  bench::ApplyLogLevelFlag(args);
+  bench::BenchConfig config;
+  config.metrics_out =
+      args.GetString("metrics-out", args.GetString("metrics_out", ""));
+
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--metrics-out") || StartsWith(arg, "--metrics_out") ||
+        StartsWith(arg, "--log-level") || StartsWith(arg, "--log_level")) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::MaybeExportMetrics(std::cout, config);
+  return 0;
+}

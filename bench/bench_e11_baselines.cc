@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout, "E11: literature baselines vs the Combined method");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

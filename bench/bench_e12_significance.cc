@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
   table.Print(std::cout,
               "E12: paired per-impression significance vs baseline");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

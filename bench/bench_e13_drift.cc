@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout,
               "E13: profile decay vs mid-simulation relocation (extension)");
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

@@ -57,5 +57,6 @@ int main(int argc, char** argv) {
   by_class.Print(std::cout,
                  "E1b: average rank / CTR@1 by query class");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout, "E2: top-N precision by strategy");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

@@ -39,5 +39,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout, "E4: Combined quality vs location blend alpha");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

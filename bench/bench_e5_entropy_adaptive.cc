@@ -49,5 +49,6 @@ int main(int argc, char** argv) {
   table.Print(std::cout,
               "E5: fixed blend vs click-entropy-adaptive blend");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

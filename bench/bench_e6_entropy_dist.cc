@@ -92,5 +92,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout,
               "E6: click entropy by query group (nats, from clickthrough)");
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
   std::cout << "[harness] wall-clock " << FormatDouble(timer.ElapsedSeconds(), 2)
             << " s on " << ResolveThreadCount(config.sim.threads)
             << " thread(s)\n";
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

@@ -117,5 +117,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout,
               "E8: concept extraction quality vs support threshold");
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

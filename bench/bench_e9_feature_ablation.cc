@@ -76,5 +76,6 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout, "E9: Combined-strategy ablations");
   bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
   return 0;
 }

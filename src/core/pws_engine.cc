@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
@@ -35,6 +37,13 @@ PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
                    std::max(1, options_.query_cache_shards)) {
   PWS_CHECK(backend_ != nullptr);
   PWS_CHECK(ontology_ != nullptr);
+  // Mirror the cache tallies into the process-wide registry; the
+  // per-instance CacheStats stay available via query_cache_stats().
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  query_cache_.BindExternalCounters(
+      &registry.GetCounter("engine.query_cache.hits")->raw(),
+      &registry.GetCounter("engine.query_cache.misses")->raw(),
+      &registry.GetCounter("engine.query_cache.evictions")->raw());
 }
 
 void PwsEngine::RegisterUser(click::UserId user) {
@@ -97,20 +106,29 @@ int PwsEngine::QueryIdOf(const std::string& query) {
 std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
     const std::string& query) {
   return query_cache_.GetOrCompute(query, [&] {
+    PWS_SPAN("engine.analyze.compute");
     auto analysis = std::make_shared<QueryAnalysis>();
-    analysis->page = backend_->Search(query);
+    {
+      PWS_SPAN("engine.analyze.search");
+      analysis->page = backend_->Search(query);
+    }
 
     concepts::SnippetIncidence incidence;
-    analysis->content_concepts =
-        content_extractor_.Extract(analysis->page, &incidence);
-    analysis->content_ontology =
-        std::make_shared<const concepts::ContentOntology>(
-            analysis->content_concepts, incidence);
-    analysis->locations =
-        location_extractor_.Extract(analysis->page, backend_->corpus());
-
-    for (const auto& mention : query_location_extractor_.Extract(query)) {
-      analysis->query_mentioned_locations.push_back(mention.location);
+    {
+      PWS_SPAN("engine.analyze.content");
+      analysis->content_concepts =
+          content_extractor_.Extract(analysis->page, &incidence);
+      analysis->content_ontology =
+          std::make_shared<const concepts::ContentOntology>(
+              analysis->content_concepts, incidence);
+    }
+    {
+      PWS_SPAN("engine.analyze.locations");
+      analysis->locations =
+          location_extractor_.Extract(analysis->page, backend_->corpus());
+      for (const auto& mention : query_location_extractor_.Extract(query)) {
+        analysis->query_mentioned_locations.push_back(mention.location);
+      }
     }
 
     // Per-result concept term lists, aligned with backend rank order.
@@ -150,16 +168,32 @@ ranking::FeatureMatrix PwsEngine::ComputeFeatures(
 
 PersonalizedPage PwsEngine::Serve(click::UserId user,
                                   const std::string& query) {
+  // Stage spans feed the engine.serve.* latency histograms; the query
+  // trace (when the collector is enabled) gets one record per Serve.
+  PWS_QUERY_TRACE(query);
+  PWS_SPAN("engine.serve.total");
   RegisterUser(user);
-  const std::shared_ptr<const QueryAnalysis> analysis = AnalyzeQuery(query);
-  const UserState& state = StateOf(user);
+  std::shared_ptr<const QueryAnalysis> analysis;
+  {
+    PWS_SPAN("engine.serve.analyze");
+    analysis = AnalyzeQuery(query);
+  }
+  const UserState* state;
+  {
+    PWS_SPAN("engine.serve.profile_lookup");
+    state = &StateOf(user);
+  }
 
   PersonalizedPage page;
   page.backend_page = analysis->page;
   page.impression = analysis->impression;
   page.content_ontology = analysis->content_ontology;
-  page.features = ComputeFeatures(*analysis, state);
+  {
+    PWS_SPAN("engine.serve.features");
+    page.features = ComputeFeatures(*analysis, *state);
+  }
 
+  PWS_SPAN("engine.serve.rank");
   ranking::RankerOptions ranker_options;
   ranker_options.alpha = options_.alpha;
   ranker_options.rank_prior_weight = options_.rank_prior_weight;
@@ -171,13 +205,14 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
         qid, options_.min_alpha, options_.max_alpha);
   }
   page.alpha_used = ranker_options.alpha;
-  page.order = ranking::RankResults(*state.model, page.features,
+  page.order = ranking::RankResults(*state->model, page.features,
                                     options_.strategy, ranker_options);
   return page;
 }
 
 void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
                         const click::ClickRecord& record) {
+  PWS_SPAN("engine.observe.total");
   UserState& state = StateOf(user);
   const int n = static_cast<int>(page.order.size());
   PWS_CHECK_EQ(static_cast<int>(record.interactions.size()), n)
@@ -231,6 +266,7 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
 }
 
 double PwsEngine::TrainUser(click::UserId user) {
+  PWS_SPAN("engine.train_user.total");
   UserState& state = StateOf(user);
   // Refresh pair features under the current profile; one feature matrix
   // per distinct query.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -194,6 +195,7 @@ StrategyMetrics SimulationHarness::RunPersonalizer(
 StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
     const PersonalizerFactory& factory, bool attach_gps_traces,
     uint64_t seed, std::vector<ImpressionOutcome>* outcomes) const {
+  PWS_SPAN("harness.run");
   std::unique_ptr<core::Personalizer> personalizer = factory();
   PWS_CHECK(personalizer != nullptr);
   if (outcomes != nullptr) outcomes->clear();
@@ -208,6 +210,7 @@ StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
 
   // --- Training phase: serve, click, observe, periodically retrain. ---
   for (int day = 0; day < options_.train_days; ++day) {
+    PWS_SPAN("harness.train.day");
     for (const auto& user : world_->users()) {
       for (int q = 0; q < options_.queries_per_user_day; ++q) {
         const click::QueryIntent& intent = SampleQuery(user, rng);
@@ -229,6 +232,7 @@ StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
   personalizer->TrainAllUsers();
 
   // --- Test phase: frozen models, deterministic per-user query sets. ---
+  PWS_SPAN("harness.test");
   StrategyMetrics metrics;
   MeanAccumulator avg_rank;
   MeanAccumulator mrr;

@@ -1,0 +1,321 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pws::obs {
+namespace {
+
+// C++17-portable relaxed add / max for atomic<double>.
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(seen, seen + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double candidate) {
+  double seen = target.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !target.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+// Metric names are dot-separated identifiers, but escape defensively so
+// the JSON stays well-formed for any name.
+void AppendJsonString(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+// Pads every column to its widest cell; headers underline-free to keep
+// the report compact.
+std::string RenderAligned(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+double HistogramSnapshot::Mean() const {
+  const uint64_t total = TotalCount();
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = i < bounds.size() ? bounds[i] : std::max(max, lower);
+    const double fraction =
+        (target - before) / static_cast<double>(counts[i]);
+    const double interpolated =
+        lower + std::clamp(fraction, 0.0, 1.0) * (upper - lower);
+    // In-bucket interpolation can overshoot the largest recorded value;
+    // never report a percentile above the exact observed max.
+    return max > 0.0 ? std::min(interpolated, max) : interpolated;
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts.empty()) return;
+  if (bounds != other.bounds || counts.size() != other.counts.size()) {
+    return;  // Incompatible layouts never merge silently into nonsense.
+  }
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (bounds_[i] >= bounds_[i + 1]) {
+      bounds_.clear();  // Defensive: fall back to a single overflow bucket.
+      break;
+    }
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 67'108'864.0; b *= 2.0) bounds.push_back(b);
+  return bounds;  // 1us .. ~67s in 27 power-of-two buckets.
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, gauge] : other.gauges) {
+    GaugeSnapshot& mine = gauges[name];
+    mine.value += gauge.value;
+    mine.max = std::max(mine.max, gauge.max);
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    histograms[name].Merge(histogram);
+  }
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(out, name);
+    out << ": {\"value\": " << gauge.value << ", \"max\": " << gauge.max
+        << "}";
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(out, name);
+    out << ": {\"count\": " << histogram.TotalCount()
+        << ", \"sum\": " << FormatNumber(histogram.sum)
+        << ", \"mean\": " << FormatNumber(histogram.Mean())
+        << ", \"p50\": " << FormatNumber(histogram.Percentile(50.0))
+        << ", \"p95\": " << FormatNumber(histogram.Percentile(95.0))
+        << ", \"p99\": " << FormatNumber(histogram.Percentile(99.0))
+        << ", \"max\": " << FormatNumber(histogram.max) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (histogram.counts[i] == 0) continue;  // Sparse: skip empty buckets.
+      const bool overflow = i >= histogram.bounds.size();
+      out << (first_bucket ? "[" : ", [")
+          << (overflow ? "null" : FormatNumber(histogram.bounds[i])) << ", "
+          << histogram.counts[i] << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+std::string RegistrySnapshot::ToText() const {
+  std::string out;
+  if (!histograms.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"histogram", "count", "mean", "p50", "p95", "p99",
+                    "max"});
+    for (const auto& [name, h] : histograms) {
+      rows.push_back({name, std::to_string(h.TotalCount()),
+                      FormatNumber(h.Mean()), FormatNumber(h.Percentile(50)),
+                      FormatNumber(h.Percentile(95)),
+                      FormatNumber(h.Percentile(99)), FormatNumber(h.max)});
+    }
+    out += RenderAligned(rows);
+  }
+  if (!counters.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      rows.push_back({name, std::to_string(value)});
+    }
+    out += "\n" + RenderAligned(rows);
+  }
+  if (!gauges.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"gauge", "value", "max"});
+    for (const auto& [name, gauge] : gauges) {
+      rows.push_back({name, std::to_string(gauge.value),
+                      std::to_string(gauge.max)});
+    }
+    out += "\n" + RenderAligned(rows);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBoundsUs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = {gauge->Value(), gauge->Max()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace pws::obs

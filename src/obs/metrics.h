@@ -1,0 +1,181 @@
+#ifndef PWS_OBS_METRICS_H_
+#define PWS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pws::obs {
+
+/// Monotonic event counter. Increment is a single relaxed atomic add, so
+/// counters are safe (and cheap) to bump from any number of threads on
+/// the serve hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// The underlying atomic, for components (e.g. ShardedLruCache) that
+  /// bump externally owned counters without depending on this header.
+  std::atomic<uint64_t>& raw() { return value_; }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, resident entries). Tracks the
+/// high-water mark seen since the last Reset alongside the current value.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    UpdateMax(value);
+  }
+  void Add(int64_t delta) {
+    const int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) UpdateMax(now);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMax(int64_t candidate) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !max_.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Read-only copy of a Histogram's state, cheap to merge and to extract
+/// percentiles from. `counts` has one slot per bound plus a final
+/// overflow slot; slot i counts values <= bounds[i] (and > bounds[i-1]).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  double max = 0.0;
+
+  uint64_t TotalCount() const;
+  double Mean() const;
+  /// Linear interpolation inside the bucket holding the p-th percentile
+  /// (p in [0, 100]); 0 when empty. The overflow bucket interpolates
+  /// toward the observed max.
+  double Percentile(double p) const;
+  /// Adds `other`'s counts in; bucket layouts must match.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram with a lock-free record path: one relaxed
+/// atomic add on the bucket plus relaxed CAS accumulation of sum/max.
+/// Bounds are immutable after construction, so Record never takes a
+/// lock and never allocates.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing bucket upper bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Power-of-two microsecond bounds from 1us to ~67s — the default
+  /// layout every latency histogram (".us" metrics) uses.
+  static std::vector<double> DefaultLatencyBoundsUs();
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Current value of one gauge in a snapshot.
+struct GaugeSnapshot {
+  int64_t value = 0;
+  int64_t max = 0;
+};
+
+/// A consistent-enough view of a whole registry: every individual metric
+/// is read atomically (concurrent writers never tear a value), and the
+/// result is a plain value type that can be merged across registries or
+/// processes and serialized.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Folds `other` in: counters/histograms add, gauges take the sum of
+  /// values and the max of maxima.
+  void Merge(const RegistrySnapshot& other);
+
+  /// JSON object with "counters", "gauges" and "histograms" sections;
+  /// each histogram carries count/mean/p50/p95/p99/max plus raw buckets.
+  std::string ToJson() const;
+
+  /// Human-readable aligned tables (histograms first, then counters and
+  /// gauges) for stdout reports.
+  std::string ToText() const;
+};
+
+/// Process-wide, thread-safe registry of named metrics. Lookup by name
+/// takes a mutex and is meant for initialization (cache the returned
+/// pointer — the PWS_SPAN macro does this with a function-local static);
+/// the returned handles are stable for the registry's lifetime and all
+/// updates through them are lock-free.
+///
+/// Metric naming scheme: `component.stage.unit`, e.g.
+/// `engine.serve.rank.us` (latency histogram, microseconds) or
+/// `engine.query_cache.hits` (counter).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The singleton every subsystem and the PWS_SPAN macro register into.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates; a given name always maps to the same handle.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// With the default microsecond latency bounds.
+  Histogram* GetHistogram(const std::string& name);
+  /// With explicit bucket upper bounds (ignored if `name` exists).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every metric in place. Handles (and cached PWS_SPAN statics)
+  /// stay valid. For tests and between-run isolation only.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pws::obs
+
+#endif  // PWS_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace pws::obs {
+
+namespace internal_trace {
+thread_local ActiveTrace g_active_trace;
+}  // namespace internal_trace
+
+std::string TraceRecord::ToString() const {
+  std::string out = label;
+  out += " " + std::to_string(total_us) + "us |";
+  for (const TraceEvent& event : events) {
+    out += " ";
+    out += event.name;
+    out += "@" + std::to_string(event.start_us) + "+" +
+           std::to_string(event.duration_us) + "us";
+  }
+  return out;
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  resident_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceCollector::Add(TraceRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+  resident_ = std::min(resident_ + 1, capacity_);
+}
+
+std::vector<TraceRecord> TraceCollector::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(resident_);
+  // Oldest-first: when the ring wrapped, the oldest record sits at
+  // next_; before wrapping it sits at index 0.
+  const size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < resident_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  resident_ = 0;
+}
+
+ScopedQueryTrace::ScopedQueryTrace(const std::string& label) {
+  if (!TraceCollector::Global().enabled()) return;
+  internal_trace::ActiveTrace& active = internal_trace::g_active_trace;
+  if (active.record != nullptr) return;  // One open trace per thread.
+  active_ = true;
+  record_.label = label;
+  start_ = std::chrono::steady_clock::now();
+  active.record = &record_;
+  active.start = start_;
+}
+
+ScopedQueryTrace::~ScopedQueryTrace() {
+  if (!active_) return;
+  internal_trace::g_active_trace.record = nullptr;
+  record_.total_us = static_cast<uint64_t>(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  TraceCollector::Global().Add(std::move(record_));
+}
+
+}  // namespace pws::obs

@@ -1,0 +1,163 @@
+#ifndef PWS_OBS_TRACE_H_
+#define PWS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pws::obs {
+
+/// One completed span inside a query trace. `name` points at the static
+/// string literal the PWS_SPAN site was declared with.
+struct TraceEvent {
+  const char* name = "";
+  /// Offset of the span start from the trace start, microseconds.
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+/// The per-query trace record: every span that closed while the trace
+/// was the thread's active one, in completion order.
+struct TraceRecord {
+  std::string label;
+  uint64_t total_us = 0;
+  std::vector<TraceEvent> events;
+
+  /// "label total_us | name@start+duration ..." one-liner for dumps.
+  std::string ToString() const;
+};
+
+/// Bounded ring buffer of recent query traces, disabled by default so
+/// the serve path pays one relaxed atomic load when tracing is off.
+/// Enable(capacity) turns collection on; Dump() returns the resident
+/// records oldest-first (collection keeps running).
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  void Enable(size_t capacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Add(TraceRecord record);
+  std::vector<TraceRecord> Dump() const;
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;
+  size_t capacity_ = 0;
+  size_t next_ = 0;      // Slot the next record lands in.
+  size_t resident_ = 0;  // min(records added, capacity_).
+};
+
+namespace internal_trace {
+
+/// The thread's open query trace, appended to by closing spans. Spans
+/// and the trace always live on one thread (Serve is synchronous), so
+/// plain thread_local access needs no synchronization.
+struct ActiveTrace {
+  TraceRecord* record = nullptr;
+  std::chrono::steady_clock::time_point start;
+};
+extern thread_local ActiveTrace g_active_trace;
+
+}  // namespace internal_trace
+
+/// Times a scope and records the elapsed microseconds into `histogram`
+/// on destruction; also appends a TraceEvent to the thread's active
+/// query trace, if one is open. Use via PWS_SPAN rather than directly.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram* histogram, const char* name)
+      : histogram_(histogram),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    histogram_->Record(us);
+    internal_trace::ActiveTrace& active = internal_trace::g_active_trace;
+    if (active.record != nullptr) {
+      TraceEvent event;
+      event.name = name_;
+      event.start_us = static_cast<uint64_t>(
+          std::chrono::duration<double, std::micro>(start_ - active.start)
+              .count());
+      event.duration_us = static_cast<uint64_t>(us);
+      active.record->events.push_back(event);
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Opens a query trace on this thread for the scope's duration when the
+/// global TraceCollector is enabled (and no trace is already open); the
+/// finished record is pushed into the collector's ring. When the
+/// collector is disabled the constructor is a single relaxed load.
+class ScopedQueryTrace {
+ public:
+  explicit ScopedQueryTrace(const std::string& label);
+  ~ScopedQueryTrace();
+
+  ScopedQueryTrace(const ScopedQueryTrace&) = delete;
+  ScopedQueryTrace& operator=(const ScopedQueryTrace&) = delete;
+
+ private:
+  bool active_ = false;
+  TraceRecord record_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pws::obs
+
+#define PWS_OBS_CONCAT_INNER(a, b) a##b
+#define PWS_OBS_CONCAT(a, b) PWS_OBS_CONCAT_INNER(a, b)
+
+#if defined(PWS_OBS_DISABLED)
+
+// Spans compile away entirely (the baseline for overhead measurements).
+#define PWS_SPAN(name) \
+  do {                 \
+  } while (false)
+#define PWS_QUERY_TRACE(label) \
+  do {                         \
+  } while (false)
+
+#else
+
+/// Times the enclosing scope into the latency histogram `name + ".us"`
+/// of the global registry. The histogram pointer is resolved once per
+/// call site (function-local static), so steady-state cost is two
+/// steady_clock reads plus one relaxed atomic add.
+///
+///   PWS_SPAN("engine.serve.rank");
+#define PWS_SPAN(name)                                                  \
+  static ::pws::obs::Histogram* PWS_OBS_CONCAT(pws_span_hist_,          \
+                                               __LINE__) =              \
+      ::pws::obs::MetricsRegistry::Global().GetHistogram(               \
+          std::string(name) + ".us");                                   \
+  ::pws::obs::ScopedSpan PWS_OBS_CONCAT(pws_span_, __LINE__)(           \
+      PWS_OBS_CONCAT(pws_span_hist_, __LINE__), name)
+
+/// Opens a per-query trace (see ScopedQueryTrace) for the scope.
+#define PWS_QUERY_TRACE(label) \
+  ::pws::obs::ScopedQueryTrace PWS_OBS_CONCAT(pws_qtrace_, __LINE__)(label)
+
+#endif  // PWS_OBS_DISABLED
+
+#endif  // PWS_OBS_TRACE_H_

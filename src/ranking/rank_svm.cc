@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pws::ranking {
@@ -25,6 +27,13 @@ double RankSvm::Train(const std::vector<TrainingPair>& pairs,
   // reset its weights to the prior — a silent no-op that reports 0.0
   // loss. Reject the configuration instead.
   PWS_CHECK_GE(options.epochs, 1) << "RankSvmOptions::epochs must be >= 1";
+  PWS_SPAN("ranksvm.train");
+  static obs::Counter* epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("ranksvm.train.epochs");
+  static obs::Counter* pairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("ranksvm.train.pairs");
+  epochs_counter->Increment(static_cast<uint64_t>(options.epochs));
+  pairs_counter->Increment(pairs.size());
   trained_ = true;
   weights_ = prior_;  // Retraining starts from the prior each time.
   if (pairs.empty()) return 0.0;
@@ -39,6 +48,7 @@ double RankSvm::Train(const std::vector<TrainingPair>& pairs,
 
   double final_epoch_loss = 0.0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    PWS_SPAN("ranksvm.train.epoch");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     for (int index : order) {

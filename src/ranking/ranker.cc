@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/math_util.h"
 
@@ -87,33 +88,39 @@ std::vector<int> RankResults(const RankSvm& model,
   std::vector<int> order(features.size());
   std::iota(order.begin(), order.end(), 0);
   if (strategy == Strategy::kBaseline || !model.is_trained()) return order;
+  // Two spans split the serve-side ranking cost: the RankSVM scoring
+  // pass and the re-rank sort.
   std::vector<double> scores(features.size());
-  if (options.blend_mode == BlendMode::kScoreBlend) {
-    for (size_t i = 0; i < features.size(); ++i) {
-      scores[i] =
-          ServeScore(model, features[i], static_cast<int>(i), options);
-    }
-  } else {
-    // Reciprocal-rank fusion over the two block rankings.
-    constexpr double kRrfK = 60.0;
-    const double alpha = Clamp(options.alpha, 0.0, 1.0);
-    std::vector<double> content_scores(features.size());
-    std::vector<double> location_scores(features.size());
-    for (size_t i = 0; i < features.size(); ++i) {
-      content_scores[i] = model.ScoreRange(features[i], kContentFeatureBegin,
-                                           kContentFeatureEnd);
-      location_scores[i] = model.ScoreRange(
-          features[i], kLocationFeatureBegin, kLocationFeatureEnd);
-    }
-    const std::vector<int> content_ranks = RanksOf(content_scores);
-    const std::vector<int> location_ranks = RanksOf(location_scores);
-    for (size_t i = 0; i < features.size(); ++i) {
-      scores[i] =
-          options.rank_prior_weight / (1.0 + static_cast<double>(i)) +
-          kRrfK * (1.0 - alpha) / (kRrfK + content_ranks[i]) +
-          kRrfK * alpha / (kRrfK + location_ranks[i]);
+  {
+    PWS_SPAN("ranker.score");
+    if (options.blend_mode == BlendMode::kScoreBlend) {
+      for (size_t i = 0; i < features.size(); ++i) {
+        scores[i] =
+            ServeScore(model, features[i], static_cast<int>(i), options);
+      }
+    } else {
+      // Reciprocal-rank fusion over the two block rankings.
+      constexpr double kRrfK = 60.0;
+      const double alpha = Clamp(options.alpha, 0.0, 1.0);
+      std::vector<double> content_scores(features.size());
+      std::vector<double> location_scores(features.size());
+      for (size_t i = 0; i < features.size(); ++i) {
+        content_scores[i] = model.ScoreRange(features[i], kContentFeatureBegin,
+                                             kContentFeatureEnd);
+        location_scores[i] = model.ScoreRange(
+            features[i], kLocationFeatureBegin, kLocationFeatureEnd);
+      }
+      const std::vector<int> content_ranks = RanksOf(content_scores);
+      const std::vector<int> location_ranks = RanksOf(location_scores);
+      for (size_t i = 0; i < features.size(); ++i) {
+        scores[i] =
+            options.rank_prior_weight / (1.0 + static_cast<double>(i)) +
+            kRrfK * (1.0 - alpha) / (kRrfK + content_ranks[i]) +
+            kRrfK * alpha / (kRrfK + location_ranks[i]);
+      }
     }
   }
+  PWS_SPAN("ranker.rerank");
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
     return scores[a] > scores[b];
   });

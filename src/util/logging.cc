@@ -1,7 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
 
 namespace pws {
 namespace {
@@ -41,6 +41,40 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) {
+    lowered.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  }
+  if (lowered == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lowered == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lowered == "warning" || lowered == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lowered == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -54,7 +88,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (!enabled_) return;
+  // One write per line (newline included) so lines from concurrent
+  // harness threads never interleave mid-message; stderr is unbuffered,
+  // making a single fwrite effectively atomic per line.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal_logging

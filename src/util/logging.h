@@ -9,8 +9,18 @@ namespace pws {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the minimum level that will actually be emitted (default kInfo).
+/// The level is a single atomic, so SetLogLevel/GetLogLevel and every
+/// LogMessage's level check are data-race-free across threads.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// "debug" | "info" | "warning" | "error" (case-insensitive; "warn" is
+/// accepted for "warning"). Returns false and leaves `out` untouched on
+/// anything else — the --log-level flag parser.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+/// The canonical spelling ParseLogLevel accepts, for help text.
+const char* LogLevelName(LogLevel level);
 
 namespace internal_logging {
 

@@ -1,6 +1,7 @@
 #ifndef PWS_UTIL_SHARDED_LRU_H_
 #define PWS_UTIL_SHARDED_LRU_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -65,6 +66,18 @@ class ShardedLruCache {
     shards_ = std::make_unique<Shard[]>(num_shards_);
   }
 
+  /// Mirrors the cache's hit/miss/eviction tallies into externally owned
+  /// atomics (e.g. obs::MetricsRegistry counters via Counter::raw()) in
+  /// addition to the per-instance CacheStats. Null pointers are allowed
+  /// and skipped. Call before the cache is shared across threads.
+  void BindExternalCounters(std::atomic<uint64_t>* hits,
+                            std::atomic<uint64_t>* misses,
+                            std::atomic<uint64_t>* evictions) {
+    external_hits_ = hits;
+    external_misses_ = misses;
+    external_evictions_ = evictions;
+  }
+
   /// Returns the value and marks it most-recently-used, or nullopt.
   std::optional<Value> Get(const Key& key) {
     Shard& shard = ShardFor(key);
@@ -72,9 +85,11 @@ class ShardedLruCache {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
+      Bump(external_misses_);
       return std::nullopt;
     }
     ++shard.hits;
+    Bump(external_hits_);
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     return it->second->second;
   }
@@ -95,6 +110,7 @@ class ShardedLruCache {
       shard.index.erase(shard.order.back().first);
       shard.order.pop_back();
       ++shard.evictions;
+      Bump(external_evictions_);
     }
   }
 
@@ -159,10 +175,17 @@ class ShardedLruCache {
     return shards_[hash_(key) % static_cast<size_t>(num_shards_)];
   }
 
+  static void Bump(std::atomic<uint64_t>* counter) {
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
+  }
+
   int num_shards_;
   size_t shard_capacity_;
   std::unique_ptr<Shard[]> shards_;
   Hash hash_;
+  std::atomic<uint64_t>* external_hits_ = nullptr;
+  std::atomic<uint64_t>* external_misses_ = nullptr;
+  std::atomic<uint64_t>* external_evictions_ = nullptr;
 };
 
 }  // namespace pws

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace pws {
+namespace {
+
+// Shared across every pool in the process: the registry aggregates, and
+// handles are resolved once (function-local statics) so the per-task
+// cost is a few relaxed atomic ops.
+obs::Counter& TasksCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks");
+  return *counter;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth");
+  return *gauge;
+}
+
+obs::Histogram& TaskLatencyHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("threadpool.task.us");
+  return *histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -31,6 +57,8 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
     PWS_CHECK(!shutting_down_) << "Submit after ThreadPool destruction began";
     queue_.push_back(std::move(packaged));
   }
+  TasksCounter().Increment();
+  QueueDepthGauge().Add(1);
   task_ready_.notify_one();
   return future;
 }
@@ -46,7 +74,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Add(-1);
+    WallTimer timer;
     task();  // Exceptions land in the task's future.
+    TaskLatencyHistogram().Record(timer.ElapsedMicros());
   }
 }
 

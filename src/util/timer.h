@@ -5,8 +5,10 @@
 
 namespace pws {
 
-/// Wall-clock stopwatch for coarse experiment timing (the microbench
-/// binaries use google-benchmark instead).
+/// Elapsed-time stopwatch for experiment timing and the obs span layer
+/// (the microbench binaries use google-benchmark instead). Reads
+/// std::chrono::steady_clock — guaranteed monotonic, never the system
+/// wall clock — so measured intervals are immune to clock adjustments.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
@@ -22,8 +24,13 @@ class WallTimer {
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microseconds elapsed — the unit every ".us" latency histogram
+  /// records (see obs/metrics.h).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady, "timers must not follow the wall clock");
   Clock::time_point start_;
 };
 

@@ -16,6 +16,8 @@
 #include "core/pws_engine.h"
 #include "eval/harness.h"
 #include "eval/world.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ranking/features.h"
 #include "util/random.h"
 #include "util/sharded_lru.h"
@@ -140,6 +142,56 @@ TEST(ShardedLruCacheTest, ConcurrentGetOrComputeIsConsistent) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// ---------- Metrics registry under contention ----------
+
+TEST(MetricsRegistryConcurrencyTest, MixedWritersAndSnapshottersAreRaceFree) {
+  // The TSan CI job builds exactly this binary, so this test is the
+  // sanitizer exercise for the whole obs hot path: racing find-or-create
+  // lookups, relaxed counter/gauge/histogram updates, span macros (with
+  // an enabled trace collector), and snapshots taken mid-write.
+  obs::MetricsRegistry registry;
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  collector.Enable(/*capacity=*/16);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Same names from every thread: lookups race on the map, updates
+        // race on the shared atomics.
+        registry.GetCounter("tsan.counter")->Increment();
+        registry.GetGauge("tsan.gauge")->Add(t % 2 == 0 ? 1 : -1);
+        registry.GetHistogram("tsan.hist")->Record(
+            static_cast<double>((t * 31 + i) % 1000));
+        if (i % 64 == 0) {
+          PWS_QUERY_TRACE("tsan-q" + std::to_string(t));
+          PWS_SPAN("tsan.span");
+        }
+      }
+    });
+  }
+  // Snapshot (and dump traces) while every writer is running.
+  for (int i = 0; i < 20; ++i) {
+    const obs::RegistrySnapshot snapshot = registry.Snapshot();
+    const auto it = snapshot.counters.find("tsan.counter");
+    if (it != snapshot.counters.end()) {
+      EXPECT_LE(it->second,
+                static_cast<uint64_t>(kThreads) * kOpsPerThread);
+    }
+    (void)obs::TraceCollector::Global().Dump();
+  }
+  for (auto& th : threads) th.join();
+  collector.Disable();
+  collector.Clear();
+  const obs::RegistrySnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.counters.at("tsan.counter"),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(final_snapshot.histograms.at("tsan.hist").TotalCount(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(final_snapshot.gauges.at("tsan.gauge").value, 0);
 }
 
 // ---------- Engine + harness fixtures ----------

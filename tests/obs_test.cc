@@ -1,0 +1,354 @@
+// Observability layer: metric primitives (counters, gauges, fixed-bucket
+// latency histograms), registry snapshot semantics, trace spans, and an
+// end-to-end check that a harness run populates the engine.serve.*
+// pipeline histograms.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pws::obs {
+namespace {
+
+// ---------- Histogram buckets ----------
+
+TEST(HistogramTest, ValuesLandInTheCorrectBuckets) {
+  // Slot i counts values in (bounds[i-1], bounds[i]]; the final slot is
+  // the overflow bucket.
+  Histogram h({10.0, 100.0, 1000.0});
+  h.Record(1.0);
+  h.Record(10.0);    // On the bound -> first bucket.
+  h.Record(10.5);    // Just past -> second bucket.
+  h.Record(100.0);
+  h.Record(999.0);
+  h.Record(5000.0);  // Overflow.
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(s.max, 5000.0);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0 + 10.0 + 10.5 + 100.0 + 999.0 + 5000.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasingPowersOfTwo) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBoundsUs();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_GE(bounds.back(), 60'000'000.0);  // Covers a minute-long stage.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  }
+}
+
+// ---------- Percentiles ----------
+
+TEST(HistogramTest, PercentilesInterpolateWithinBuckets) {
+  // 100 values uniform over (0, 100] with bounds every 10: percentiles
+  // should come out near the exact order statistics.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.Record(static_cast<double>(v));
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.TotalCount(), 100u);
+  EXPECT_NEAR(s.Percentile(50.0), 50.0, 1.0);
+  EXPECT_NEAR(s.Percentile(95.0), 95.0, 1.0);
+  EXPECT_NEAR(s.Percentile(99.0), 99.0, 1.0);
+  EXPECT_NEAR(s.Percentile(10.0), 10.0, 1.0);
+  // Degenerate percentiles hit the extremes of the distribution.
+  EXPECT_LE(s.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 100.0);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsObservedMax) {
+  // A single sample low inside a wide bucket: interpolation toward the
+  // bucket's upper bound must be clamped to the recorded max.
+  Histogram h({1000.0});
+  h.Record(3.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.0), 3.0);
+}
+
+TEST(HistogramTest, OverflowBucketInterpolatesTowardMax) {
+  Histogram h({10.0});
+  h.Record(50.0);
+  h.Record(90.0);
+  const HistogramSnapshot s = h.Snapshot();
+  const double p99 = s.Percentile(99.0);
+  EXPECT_GT(p99, 10.0);
+  EXPECT_LE(p99, 90.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h(Histogram::DefaultLatencyBoundsUs());
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.TotalCount(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 0.0);
+}
+
+// ---------- Snapshot merge ----------
+
+TEST(HistogramSnapshotTest, MergeAddsCountsAndTakesMaxOfMax) {
+  Histogram a({10.0, 100.0});
+  Histogram b({10.0, 100.0});
+  a.Record(5.0);
+  a.Record(50.0);
+  b.Record(50.0);
+  b.Record(500.0);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(merged.sum, 605.0);
+  EXPECT_DOUBLE_EQ(merged.max, 500.0);
+  // Merging into an empty snapshot copies; incompatible layouts no-op.
+  HistogramSnapshot empty;
+  empty.Merge(merged);
+  EXPECT_EQ(empty.TotalCount(), 4u);
+  HistogramSnapshot other = Histogram({1.0}).Snapshot();
+  other.Merge(merged);
+  EXPECT_EQ(other.TotalCount(), 0u);
+}
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge gauge;
+  gauge.Add(3);
+  gauge.Add(4);
+  gauge.Add(-5);
+  EXPECT_EQ(gauge.Value(), 2);
+  EXPECT_EQ(gauge.Max(), 7);
+  gauge.Set(1);
+  EXPECT_EQ(gauge.Value(), 1);
+  EXPECT_EQ(gauge.Max(), 7);  // Max survives a lower Set.
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(gauge.Max(), 0);
+}
+
+// ---------- Registry ----------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("reg.test.counter");
+  Counter* c2 = registry.GetCounter("reg.test.counter");
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(registry.GetGauge("reg.test.gauge"),
+            registry.GetGauge("reg.test.gauge"));
+  EXPECT_EQ(registry.GetHistogram("reg.test.hist"),
+            registry.GetHistogram("reg.test.hist"));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceAndHandlesStayValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reg.reset.counter");
+  Histogram* hist = registry.GetHistogram("reg.reset.hist");
+  counter->Increment(5);
+  hist->Record(42.0);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->Snapshot().TotalCount(), 0u);
+  counter->Increment();  // The old handle still feeds the registry.
+  EXPECT_EQ(registry.Snapshot().counters.at("reg.reset.counter"), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritingSeesMonotonicConsistentView) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reg.race.counter");
+  Histogram* hist = registry.GetHistogram("reg.race.hist", {10.0, 100.0});
+  constexpr uint64_t kTotal = 200000;
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      counter->Increment();
+      hist->Record(static_cast<double>(i % 120));
+    }
+  });
+  uint64_t last_counter = 0;
+  uint64_t last_hist = 0;
+  for (int i = 0; i < 50; ++i) {
+    const RegistrySnapshot snapshot = registry.Snapshot();
+    const uint64_t c = snapshot.counters.at("reg.race.counter");
+    const uint64_t h = snapshot.histograms.at("reg.race.hist").TotalCount();
+    // Never torn, never above what was written, never going backwards.
+    EXPECT_LE(c, kTotal);
+    EXPECT_LE(h, kTotal);
+    EXPECT_GE(c, last_counter);
+    EXPECT_GE(h, last_hist);
+    last_counter = c;
+    last_hist = h;
+  }
+  writer.join();
+  const RegistrySnapshot final_snapshot = registry.Snapshot();
+  EXPECT_EQ(final_snapshot.counters.at("reg.race.counter"), kTotal);
+  EXPECT_EQ(final_snapshot.histograms.at("reg.race.hist").TotalCount(),
+            kTotal);
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotHasAllSectionsAndSummaryKeys) {
+  MetricsRegistry registry;
+  registry.GetCounter("json.counter")->Increment(3);
+  registry.GetGauge("json.gauge")->Set(9);
+  registry.GetHistogram("json.hist")->Record(123.0);
+  const std::string json = registry.Snapshot().ToJson();
+  for (const char* needle :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"json.counter\": 3",
+        "\"json.gauge\": {\"value\": 9, \"max\": 9}", "\"json.hist\"",
+        "\"count\": 1", "\"p50\"", "\"p95\"", "\"p99\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+}
+
+TEST(MetricsRegistryTest, TextReportListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("text.counter")->Increment();
+  registry.GetHistogram("text.hist")->Record(10.0);
+  registry.GetGauge("text.gauge")->Set(2);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("text.counter"), std::string::npos);
+  EXPECT_NE(text.find("text.hist"), std::string::npos);
+  EXPECT_NE(text.find("text.gauge"), std::string::npos);
+}
+
+// ---------- Spans and traces ----------
+
+TEST(TraceTest, SpanRecordsIntoTheGlobalRegistry) {
+  MetricsRegistry::Global().Reset();
+  {
+    PWS_SPAN("obs_test.standalone");
+  }
+#if !defined(PWS_OBS_DISABLED)
+  const RegistrySnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snapshot.histograms.count("obs_test.standalone.us"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("obs_test.standalone.us").TotalCount(),
+            1u);
+#endif
+}
+
+#if !defined(PWS_OBS_DISABLED)
+TEST(TraceTest, QueryTraceCapturesSpansWhenCollectorEnabled) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable(/*capacity=*/4);
+  collector.Clear();
+  {
+    PWS_QUERY_TRACE("unit-test-query");
+    PWS_SPAN("obs_test.traced");
+  }
+  collector.Disable();
+  const std::vector<TraceRecord> records = collector.Dump();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, "unit-test-query");
+  ASSERT_EQ(records[0].events.size(), 1u);
+  EXPECT_STREQ(records[0].events[0].name, "obs_test.traced");
+  EXPECT_NE(records[0].ToString().find("unit-test-query"),
+            std::string::npos);
+  collector.Clear();
+}
+
+TEST(TraceTest, RingBufferKeepsNewestRecordsOldestFirst) {
+  TraceCollector collector;
+  collector.Enable(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    TraceRecord record;
+    record.label = "q" + std::to_string(i);
+    collector.Add(std::move(record));
+  }
+  const std::vector<TraceRecord> records = collector.Dump();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].label, "q3");
+  EXPECT_EQ(records[1].label, "q4");
+}
+
+TEST(TraceTest, DisabledCollectorDropsRecords) {
+  TraceCollector collector;
+  TraceRecord record;
+  record.label = "dropped";
+  collector.Add(std::move(record));
+  EXPECT_TRUE(collector.Dump().empty());
+}
+#endif  // !PWS_OBS_DISABLED
+
+// ---------- Integration: a harness run populates the serve pipeline ----
+
+#if !defined(PWS_OBS_DISABLED)
+TEST(ObsIntegrationTest, HarnessRunPopulatesServePipelineMetrics) {
+  MetricsRegistry::Global().Reset();
+
+  eval::WorldConfig config;
+  config.seed = 17;
+  config.num_topics = 6;
+  config.corpus.num_documents = 1500;
+  config.users.num_users = 3;
+  config.queries.queries_per_class = 8;
+  config.backend.page_size = 20;
+  eval::World world(config);
+
+  eval::SimulationOptions sim;
+  sim.seed = 5;
+  sim.train_days = 2;
+  sim.queries_per_user_day = 3;
+  sim.test_queries_per_user = 6;
+  sim.ctr_samples_per_impression = 1;
+  sim.threads = 2;  // Forces the thread pool so threadpool.* populates.
+  const eval::SimulationHarness harness(&world, sim);
+
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  (void)harness.RunAveraged(options, 2);
+
+  const RegistrySnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  // Per-stage serve latency histograms, all populated.
+  for (const char* name :
+       {"engine.serve.total.us", "engine.serve.analyze.us",
+        "engine.serve.profile_lookup.us", "engine.serve.features.us",
+        "engine.serve.rank.us", "engine.observe.total.us",
+        "ranksvm.train.us", "harness.run.us"}) {
+    ASSERT_EQ(snapshot.histograms.count(name), 1u) << name;
+    const HistogramSnapshot& h = snapshot.histograms.at(name);
+    EXPECT_GT(h.TotalCount(), 0u) << name;
+    EXPECT_GE(h.Percentile(99.0), h.Percentile(50.0)) << name;
+  }
+  // Every serve consults the cache (Observe and training do too, so
+  // lookups can exceed serves, never the reverse).
+  const uint64_t hits = snapshot.counters.at("engine.query_cache.hits");
+  const uint64_t misses = snapshot.counters.at("engine.query_cache.misses");
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+  EXPECT_GE(hits + misses,
+            snapshot.histograms.at("engine.serve.total.us").TotalCount());
+  // The parallel harness ran real pool tasks and tracked queue depth.
+  EXPECT_GT(snapshot.counters.at("threadpool.tasks"), 0u);
+  ASSERT_EQ(snapshot.gauges.count("threadpool.queue_depth"), 1u);
+  EXPECT_GT(snapshot.histograms.at("threadpool.task.us").TotalCount(), 0u);
+  MetricsRegistry::Global().Reset();
+}
+#endif  // !PWS_OBS_DISABLED
+
+}  // namespace
+}  // namespace pws::obs

@@ -7,9 +7,11 @@
 //   train               retrain the RankSVM from accumulated feedback
 //   profile             dump the learned profile
 //   gps <city name>     attach a GPS trace around a city
+//   metrics             dump the metrics registry (latency histograms,
+//                       cache counters) accumulated this session
 //   quit
 //
-// Run:  ./build/pws_cli [--docs=N] [--seed=N]
+// Run:  ./build/pws_cli [--docs=N] [--seed=N] [--log-level=LEVEL]
 
 #include <iostream>
 #include <memory>
@@ -17,7 +19,9 @@
 
 #include "core/pws_engine.h"
 #include "eval/world.h"
+#include "obs/metrics.h"
 #include "util/arg_parser.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace {
@@ -47,6 +51,17 @@ void ShowPage(const eval::World& world, const core::PersonalizedPage& page,
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  const std::string log_level =
+      args.GetString("log-level", args.GetString("log_level", ""));
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::cerr << "invalid --log-level '" << log_level
+                << "' (want debug|info|warning|error)\n";
+      return 2;
+    }
+    SetLogLevel(level);
+  }
   eval::WorldConfig config;
   config.seed = args.GetInt("seed", 42);
   config.corpus.num_documents = static_cast<int>(args.GetInt("docs", 8000));
@@ -61,7 +76,7 @@ int main(int argc, char** argv) {
 
   std::cout << "pws demo shell — " << world.corpus().size()
             << " docs indexed. Type a query, 'click <n>', 'train',\n"
-            << "'profile', 'gps <city>', or 'quit'.\n";
+            << "'profile', 'gps <city>', 'metrics', or 'quit'.\n";
 
   std::optional<core::PersonalizedPage> last_page;
   std::string line;
@@ -76,6 +91,14 @@ int main(int argc, char** argv) {
       std::cout << "retrained on " << engine.training_pair_count(kUser)
                 << " pairs (final hinge loss " << FormatDouble(loss, 4)
                 << ")\n";
+      continue;
+    }
+    if (line == "metrics") {
+      // Everything the engine recorded since startup: per-stage serve
+      // latency histograms, cache hit/miss counters, training cost.
+      const std::string text =
+          obs::MetricsRegistry::Global().Snapshot().ToText();
+      std::cout << (text.empty() ? "no metrics recorded yet\n" : text);
       continue;
     }
     if (line == "profile") {
