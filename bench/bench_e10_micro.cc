@@ -66,6 +66,63 @@ void BM_Bm25Search(benchmark::State& state) {
 }
 BENCHMARK(BM_Bm25Search)->Unit(benchmark::kMicrosecond);
 
+// ---------- Retrieval fast-path microbenchmarks ----------
+// BM_AnalyzeQuery + BM_TopKTermIds decompose BM_Bm25Search: analysis
+// (tokenize + stem + intern) vs pure term-id retrieval against the
+// precomputed BM25 tables. BM_TopKTermIds is the hot loop the flat
+// accumulator and bounded heap exist for.
+
+void BM_AnalyzeQuery(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto& queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto analyzed =
+        world.search_backend().Analyze(queries[i % queries.size()]);
+    benchmark::DoNotOptimize(analyzed.term_ids.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzeQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_TopKTermIds(benchmark::State& state) {
+  const auto& world = SharedWorld();
+  const auto& index = world.search_backend().index();
+  std::vector<backend::AnalyzedQuery> analyzed;
+  for (const auto& q : BenchQueries()) analyzed.push_back(index.Analyze(q));
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto top =
+        index.TopKScored(analyzed[i % analyzed.size()].term_ids, 30,
+                         backend::Bm25Params{});
+    benchmark::DoNotOptimize(top.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TopKTermIds)->Unit(benchmark::kMicrosecond);
+
+void BM_Snippets(benchmark::State& state) {
+  // Snippet generation for a full result page (the other half of
+  // BM_Bm25Search beyond retrieval): pre-analyze, then Search reuses the
+  // analysis, so the delta vs BM_TopKTermIds is snippets + page assembly.
+  const auto& world = SharedWorld();
+  std::vector<backend::AnalyzedQuery> analyzed;
+  for (const auto& q : BenchQueries()) {
+    analyzed.push_back(world.search_backend().Analyze(q));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto page =
+        world.search_backend().Search(analyzed[i % analyzed.size()]);
+    benchmark::DoNotOptimize(page.results.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Snippets)->Unit(benchmark::kMicrosecond);
+
 void BM_ContentConceptExtraction(benchmark::State& state) {
   const auto& world = SharedWorld();
   const auto page = world.search_backend().Search("hotel booking");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
 #include "text/tokenizer.h"
@@ -13,23 +14,64 @@ namespace {
 // Title tokens are indexed twice: a cheap stand-in for field weighting.
 constexpr int kTitleBoost = 2;
 
+/// Per-thread retrieval scratch. The flat score array is epoch-stamped:
+/// scores[doc] is live only when epochs[doc] == epoch, so consecutive
+/// TopK calls (even against *different* indexes sharing the thread)
+/// never pay a O(num_documents) clear and never read stale sums.
+struct TopKScratch {
+  std::vector<double> scores;
+  std::vector<uint32_t> epochs;
+  uint32_t epoch = 0;
+  std::vector<corpus::DocId> touched;
+  std::vector<text::TermId> distinct_terms;
+  std::vector<ScoredDoc> heap;
+
+  /// Starts a fresh accumulation covering at least `num_documents` docs.
+  void Begin(int num_documents) {
+    if (static_cast<int>(scores.size()) < num_documents) {
+      scores.resize(num_documents, 0.0);
+      epochs.resize(num_documents, 0);
+    }
+    ++epoch;
+    if (epoch == 0) {  // uint32 wraparound: stale stamps could collide.
+      std::fill(epochs.begin(), epochs.end(), 0u);
+      epoch = 1;
+    }
+    touched.clear();
+  }
+};
+
+TopKScratch& LocalScratch() {
+  thread_local TopKScratch scratch;
+  return scratch;
+}
+
+/// The deterministic retrieval order: higher score first, doc id
+/// ascending on exact score ties.
+bool Better(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
 }  // namespace
 
-InvertedIndex::InvertedIndex(const corpus::Corpus* corpus) : corpus_(corpus) {
+InvertedIndex::InvertedIndex(const corpus::Corpus* corpus,
+                             Bm25Params table_params)
+    : corpus_(corpus), table_params_(table_params) {
   PWS_CHECK(corpus_ != nullptr);
   num_documents_ = corpus_->size();
   doc_lengths_.resize(num_documents_, 0);
   int64_t total_length = 0;
+  std::vector<std::string> tokens;
   for (corpus::DocId id = 0; id < num_documents_; ++id) {
     const corpus::Document& doc = corpus_->doc(id);
     std::unordered_map<text::TermId, int> counts;
-    const auto title_tokens = text::Tokenize(doc.title);
-    const auto body_tokens = text::Tokenize(doc.body);
-    for (const auto& tok : title_tokens) {
-      counts[vocabulary_.GetOrAdd(tok)] += kTitleBoost;
-    }
-    for (const auto& tok : body_tokens) {
-      counts[vocabulary_.GetOrAdd(tok)] += 1;
+    tokens.clear();
+    text::TokenizeAppend(doc.title, text::TokenizerOptions{}, &tokens);
+    const size_t title_end = tokens.size();
+    text::TokenizeAppend(doc.body, text::TokenizerOptions{}, &tokens);
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      counts[vocabulary_.GetOrAdd(tokens[t])] += t < title_end ? kTitleBoost : 1;
     }
     int length = 0;
     for (const auto& [term, count] : counts) {
@@ -46,6 +88,23 @@ InvertedIndex::InvertedIndex(const corpus::Corpus* corpus) : corpus_(corpus) {
       num_documents_ > 0
           ? static_cast<double>(total_length) / num_documents_
           : 0.0;
+  BuildScoringTables();
+}
+
+void InvertedIndex::BuildScoringTables() {
+  idf_.resize(postings_.size());
+  for (size_t term = 0; term < postings_.size(); ++term) {
+    idf_[term] = Idf(postings_[term]);
+  }
+  bm25_norm_.resize(num_documents_);
+  for (corpus::DocId doc = 0; doc < num_documents_; ++doc) {
+    // The exact expression the untabled path evaluates, so tabled and
+    // untabled scores are bit-identical.
+    bm25_norm_[doc] =
+        table_params_.k1 * (1.0 - table_params_.b +
+                            table_params_.b * doc_lengths_[doc] /
+                                avg_doc_length_);
+  }
 }
 
 int InvertedIndex::DocumentLength(corpus::DocId doc) const {
@@ -54,11 +113,28 @@ int InvertedIndex::DocumentLength(corpus::DocId doc) const {
   return doc_lengths_[doc];
 }
 
+AnalyzedQuery InvertedIndex::Analyze(std::string_view query) const {
+  AnalyzedQuery analyzed;
+  analyzed.query.assign(query);
+  text::TokenizeAppend(query, text::TokenizerOptions{}, &analyzed.tokens);
+  analyzed.term_ids.reserve(analyzed.tokens.size());
+  for (const auto& token : analyzed.tokens) {
+    analyzed.term_ids.push_back(vocabulary_.Get(token));
+  }
+  return analyzed;
+}
+
 const std::vector<Posting>& InvertedIndex::PostingsFor(
-    const std::string& term) const {
-  const text::TermId id = vocabulary_.Get(term);
-  if (id == text::kUnknownTerm) return empty_postings_;
-  return postings_[id];
+    std::string_view term) const {
+  return PostingsFor(vocabulary_.Get(term));
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    text::TermId term) const {
+  if (term < 0 || term >= static_cast<text::TermId>(postings_.size())) {
+    return empty_postings_;
+  }
+  return postings_[term];
 }
 
 double InvertedIndex::Idf(const std::vector<Posting>& postings) const {
@@ -66,61 +142,128 @@ double InvertedIndex::Idf(const std::vector<Posting>& postings) const {
   return std::log(1.0 + (num_documents_ - df + 0.5) / (df + 0.5));
 }
 
-double InvertedIndex::Score(const std::vector<std::string>& query_tokens,
-                            corpus::DocId doc, const Bm25Params& params) const {
+void InvertedIndex::DistinctKnownTerms(
+    const std::vector<text::TermId>& term_ids,
+    std::vector<text::TermId>* out) const {
+  out->clear();
+  for (const text::TermId id : term_ids) {
+    if (id < 0 || id >= static_cast<text::TermId>(postings_.size())) continue;
+    // Queries hold a handful of terms; a linear scan beats hashing.
+    if (std::find(out->begin(), out->end(), id) == out->end()) {
+      out->push_back(id);
+    }
+  }
+}
+
+double InvertedIndex::Score(const std::vector<text::TermId>& term_ids,
+                            corpus::DocId doc,
+                            const Bm25Params& params) const {
+  const bool tabled = ParamsMatchTables(params);
+  TopKScratch& scratch = LocalScratch();
+  DistinctKnownTerms(term_ids, &scratch.distinct_terms);
   double score = 0.0;
-  for (const auto& token : query_tokens) {
-    const auto& postings = PostingsFor(token);
+  for (const text::TermId id : scratch.distinct_terms) {
+    const auto& postings = postings_[id];
     if (postings.empty()) continue;
     const auto it = std::lower_bound(
         postings.begin(), postings.end(), doc,
         [](const Posting& p, corpus::DocId d) { return p.doc < d; });
     if (it == postings.end() || it->doc != doc) continue;
     const double tf = it->term_frequency;
-    const double norm = params.k1 * (1.0 - params.b +
-                                     params.b * DocumentLength(doc) /
-                                         avg_doc_length_);
-    score += Idf(postings) * tf * (params.k1 + 1.0) / (tf + norm);
+    const double norm =
+        tabled ? bm25_norm_[doc]
+               : params.k1 * (1.0 - params.b +
+                              params.b * DocumentLength(doc) /
+                                  avg_doc_length_);
+    const double idf = tabled ? idf_[id] : Idf(postings);
+    score += idf * tf * (params.k1 + 1.0) / (tf + norm);
   }
   return score;
+}
+
+double InvertedIndex::Score(const std::vector<std::string>& query_tokens,
+                            corpus::DocId doc, const Bm25Params& params) const {
+  std::vector<text::TermId> ids;
+  ids.reserve(query_tokens.size());
+  for (const auto& token : query_tokens) {
+    ids.push_back(vocabulary_.Get(token));
+  }
+  return Score(ids, doc, params);
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKScored(
+    const std::vector<text::TermId>& term_ids, int k,
+    const Bm25Params& params) const {
+  if (k <= 0 || num_documents_ == 0) return {};
+  const bool tabled = ParamsMatchTables(params);
+  TopKScratch& scratch = LocalScratch();
+  scratch.Begin(num_documents_);
+  DistinctKnownTerms(term_ids, &scratch.distinct_terms);
+
+  // Accumulate scores term-at-a-time over the union of postings into the
+  // epoch-stamped flat array.
+  for (const text::TermId id : scratch.distinct_terms) {
+    const auto& postings = postings_[id];
+    if (postings.empty()) continue;
+    const double idf = tabled ? idf_[id] : Idf(postings);
+    for (const Posting& p : postings) {
+      const double tf = p.term_frequency;
+      const double norm =
+          tabled ? bm25_norm_[p.doc]
+                 : params.k1 * (1.0 - params.b +
+                                params.b * DocumentLength(p.doc) /
+                                    avg_doc_length_);
+      const double contribution = idf * tf * (params.k1 + 1.0) / (tf + norm);
+      if (scratch.epochs[p.doc] != scratch.epoch) {
+        scratch.epochs[p.doc] = scratch.epoch;
+        scratch.scores[p.doc] = contribution;
+        scratch.touched.push_back(p.doc);
+      } else {
+        scratch.scores[p.doc] += contribution;
+      }
+    }
+  }
+
+  // Bounded top-k selection: a size-k heap whose root is the *worst*
+  // retained hit under the deterministic order (score desc, doc asc).
+  std::vector<ScoredDoc>& heap = scratch.heap;
+  heap.clear();
+  const size_t cap = static_cast<size_t>(k);
+  for (const corpus::DocId doc : scratch.touched) {
+    const ScoredDoc candidate{doc, scratch.scores[doc]};
+    if (heap.size() < cap) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), Better);
+    } else if (Better(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), Better);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), Better);
+    }
+  }
+  std::vector<ScoredDoc> out(heap.begin(), heap.end());
+  std::sort(out.begin(), out.end(), Better);
+  return out;
+}
+
+std::vector<corpus::DocId> InvertedIndex::TopK(
+    const std::vector<text::TermId>& term_ids, int k,
+    const Bm25Params& params) const {
+  const std::vector<ScoredDoc> scored = TopKScored(term_ids, k, params);
+  std::vector<corpus::DocId> out;
+  out.reserve(scored.size());
+  for (const ScoredDoc& hit : scored) out.push_back(hit.doc);
+  return out;
 }
 
 std::vector<corpus::DocId> InvertedIndex::TopK(
     const std::vector<std::string>& query_tokens, int k,
     const Bm25Params& params) const {
-  PWS_CHECK_GT(k, 0);
-  // Accumulate scores document-at-a-time over the union of postings.
-  std::unordered_map<corpus::DocId, double> scores;
+  std::vector<text::TermId> ids;
+  ids.reserve(query_tokens.size());
   for (const auto& token : query_tokens) {
-    const auto& postings = PostingsFor(token);
-    if (postings.empty()) continue;
-    const double idf = Idf(postings);
-    for (const Posting& p : postings) {
-      const double tf = p.term_frequency;
-      const double norm = params.k1 * (1.0 - params.b +
-                                       params.b * DocumentLength(p.doc) /
-                                           avg_doc_length_);
-      scores[p.doc] += idf * tf * (params.k1 + 1.0) / (tf + norm);
-    }
+    ids.push_back(vocabulary_.Get(token));
   }
-  std::vector<std::pair<corpus::DocId, double>> ranked(scores.begin(),
-                                                       scores.end());
-  const auto better = [](const std::pair<corpus::DocId, double>& a,
-                         const std::pair<corpus::DocId, double>& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  };
-  if (static_cast<int>(ranked.size()) > k) {
-    std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
-                      better);
-    ranked.resize(k);
-  } else {
-    std::sort(ranked.begin(), ranked.end(), better);
-  }
-  std::vector<corpus::DocId> out;
-  out.reserve(ranked.size());
-  for (const auto& [doc, score] : ranked) out.push_back(doc);
-  return out;
+  return TopK(ids, k, params);
 }
 
 }  // namespace pws::backend

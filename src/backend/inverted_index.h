@@ -1,6 +1,8 @@
 #ifndef PWS_BACKEND_INVERTED_INDEX_H_
 #define PWS_BACKEND_INVERTED_INDEX_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -20,36 +22,108 @@ struct Bm25Params {
   double b = 0.75;
 };
 
+/// A query analyzed once against an index's vocabulary: the raw text,
+/// the token strings (still needed for snippet generation), and the
+/// interned term ids, aligned 1:1 with the tokens (kUnknownTerm for
+/// out-of-vocabulary tokens). Build it once per query with
+/// InvertedIndex::Analyze / SearchBackend::Analyze and thread it through
+/// retrieval, scoring, and snippets — nothing downstream re-tokenizes.
+struct AnalyzedQuery {
+  std::string query;
+  std::vector<std::string> tokens;
+  std::vector<text::TermId> term_ids;
+};
+
+/// One retrieval hit: a document and its BM25 score.
+struct ScoredDoc {
+  corpus::DocId doc = corpus::kInvalidDoc;
+  double score = 0.0;
+};
+
 /// Disk-free inverted index over a Corpus (title + body, title tokens
 /// double-counted to mimic field boosts). Provides BM25 top-k retrieval —
 /// the stand-in for the commercial search backend of the paper.
+///
+/// Scoring tables: per-term IDF and the per-document BM25 length norm
+/// `k1*(1-b+b*len/avg_len)` are precomputed at build time for
+/// `table_params`, so posting traversal on the term-id fast path is one
+/// multiply-add plus one division per posting. Calls with other
+/// Bm25Params still work (the norm is recomputed per posting) and
+/// produce bit-identical scores to the tabled path — both evaluate the
+/// exact same expressions.
+///
+/// Duplicate-term semantics: Score and TopK both score the *set* of
+/// distinct query terms (first occurrence kept), so a duplicated token
+/// contributes exactly once and `{a, a}` ranks identically to `{a}`.
+///
+/// Thread-safety: the index is immutable after construction; Analyze,
+/// Score, and TopK* are safe to call concurrently. TopK uses an
+/// epoch-stamped per-thread scratch arena (flat score array + touched
+/// list + bounded top-k heap), so steady-state retrieval allocates only
+/// the returned vector.
 class InvertedIndex {
  public:
-  /// Indexes every document in `corpus`. The corpus must outlive the
-  /// index (documents are referenced, not copied).
-  explicit InvertedIndex(const corpus::Corpus* corpus);
+  /// Indexes every document in `corpus` and precomputes the scoring
+  /// tables for `table_params`. The corpus must outlive the index
+  /// (documents are referenced, not copied).
+  explicit InvertedIndex(const corpus::Corpus* corpus,
+                         Bm25Params table_params = Bm25Params{});
 
   int num_documents() const { return num_documents_; }
   int vocabulary_size() const { return vocabulary_.size(); }
   double average_document_length() const { return avg_doc_length_; }
+  /// The Bm25Params the scoring tables were precomputed for.
+  const Bm25Params& table_params() const { return table_params_; }
 
   /// Document length in tokens (with the title boost applied).
   int DocumentLength(corpus::DocId doc) const;
 
-  /// Postings for a term string (empty for unknown terms).
-  const std::vector<Posting>& PostingsFor(const std::string& term) const;
+  /// Tokenizes `query` once (default tokenizer options, matching the
+  /// indexer) and interns every token against the index vocabulary.
+  AnalyzedQuery Analyze(std::string_view query) const;
 
-  /// BM25 score of `doc` for the tokenized query.
+  /// Postings for a term string (empty for unknown terms).
+  const std::vector<Posting>& PostingsFor(std::string_view term) const;
+
+  /// Postings for an interned term id (empty for kUnknownTerm or any id
+  /// outside the vocabulary).
+  const std::vector<Posting>& PostingsFor(text::TermId term) const;
+
+  /// BM25 score of `doc` for the analyzed query's distinct term ids.
+  double Score(const std::vector<text::TermId>& term_ids, corpus::DocId doc,
+               const Bm25Params& params) const;
+
+  /// String-token convenience overload: interns, then scores.
   double Score(const std::vector<std::string>& query_tokens,
                corpus::DocId doc, const Bm25Params& params) const;
 
+  /// Returns the top-k documents by BM25 with their scores, best first.
+  /// Ties break toward lower doc ids so results are deterministic.
+  /// k <= 0 returns an empty result.
+  std::vector<ScoredDoc> TopKScored(const std::vector<text::TermId>& term_ids,
+                                    int k, const Bm25Params& params) const;
+
   /// Returns the ids of the top-k documents by BM25, best first. Ties
-  /// break toward lower doc ids so results are deterministic.
+  /// break toward lower doc ids so results are deterministic. k <= 0
+  /// returns an empty result.
+  std::vector<corpus::DocId> TopK(const std::vector<text::TermId>& term_ids,
+                                  int k, const Bm25Params& params) const;
+
+  /// String-token convenience overload: interns, then retrieves.
   std::vector<corpus::DocId> TopK(const std::vector<std::string>& query_tokens,
                                   int k, const Bm25Params& params) const;
 
  private:
   double Idf(const std::vector<Posting>& postings) const;
+  /// Precomputes idf_ and bm25_norm_ for table_params_.
+  void BuildScoringTables();
+  /// Copies the distinct known term ids of `term_ids` (first-occurrence
+  /// order preserved) into `*out`.
+  void DistinctKnownTerms(const std::vector<text::TermId>& term_ids,
+                          std::vector<text::TermId>* out) const;
+  bool ParamsMatchTables(const Bm25Params& params) const {
+    return params.k1 == table_params_.k1 && params.b == table_params_.b;
+  }
 
   const corpus::Corpus* corpus_;
   text::Vocabulary vocabulary_;
@@ -58,6 +132,10 @@ class InvertedIndex {
   int num_documents_ = 0;
   double avg_doc_length_ = 0.0;
   std::vector<Posting> empty_postings_;
+  /// Precomputed scoring tables (see class comment).
+  Bm25Params table_params_;
+  std::vector<double> idf_;        // per term id
+  std::vector<double> bm25_norm_;  // per doc: k1*(1-b+b*len/avg_len)
 };
 
 }  // namespace pws::backend

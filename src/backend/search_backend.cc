@@ -2,39 +2,55 @@
 
 #include <algorithm>
 
-#include "text/tokenizer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pws::backend {
 
 SearchBackend::SearchBackend(const corpus::Corpus* corpus,
                              SearchBackendOptions options)
-    : corpus_(corpus), options_(options), index_(corpus) {
+    : corpus_(corpus), options_(options), index_(corpus, options.bm25) {
   PWS_CHECK(corpus_ != nullptr);
   PWS_CHECK_GT(options_.page_size, 0);
 }
 
+AnalyzedQuery SearchBackend::Analyze(const std::string& query) const {
+  return index_.Analyze(query);
+}
+
 ResultPage SearchBackend::Search(const std::string& query) const {
-  return Search(query, options_.page_size);
+  return Search(Analyze(query), options_.page_size);
 }
 
 ResultPage SearchBackend::Search(const std::string& query, int k) const {
+  return Search(Analyze(query), k);
+}
+
+ResultPage SearchBackend::Search(const AnalyzedQuery& analyzed) const {
+  return Search(analyzed, options_.page_size);
+}
+
+ResultPage SearchBackend::Search(const AnalyzedQuery& analyzed, int k) const {
   k = std::max(1, k);
   ResultPage page;
-  page.query = query;
-  const std::vector<std::string> tokens = text::Tokenize(query);
-  if (tokens.empty()) return page;
-  const std::vector<corpus::DocId> top = index_.TopK(tokens, k, options_.bm25);
+  page.query = analyzed.query;
+  if (analyzed.tokens.empty()) return page;
+  std::vector<ScoredDoc> top;
+  {
+    PWS_SPAN("backend.search.topk");
+    top = index_.TopKScored(analyzed.term_ids, k, options_.bm25);
+  }
+  PWS_SPAN("backend.search.snippets");
   page.results.reserve(top.size());
   for (size_t i = 0; i < top.size(); ++i) {
-    const corpus::Document& doc = corpus_->doc(top[i]);
+    const corpus::Document& doc = corpus_->doc(top[i].doc);
     SearchResult result;
     result.doc = doc.id;
     result.rank = static_cast<int>(i);
-    result.score = index_.Score(tokens, doc.id, options_.bm25);
+    result.score = top[i].score;
     result.url = doc.url;
     result.title = doc.title;
-    result.snippet = MakeSnippet(doc.body, tokens, options_.snippet);
+    result.snippet = MakeSnippet(doc.body, analyzed.tokens, options_.snippet);
     page.results.push_back(std::move(result));
   }
   return page;

@@ -41,16 +41,32 @@ struct SearchBackendOptions {
 /// synthetic corpus plus query-biased snippets. The personalized engine
 /// treats this component as a black box, exactly as the paper treats the
 /// backend it re-ranks.
+///
+/// The hot path is term-id based: Analyze tokenizes and interns the
+/// query exactly once, and Search(const AnalyzedQuery&, ...) reuses that
+/// analysis for retrieval (precomputed BM25 tables), result scores (the
+/// accumulated retrieval scores — no per-result rescoring), and
+/// snippets. The string overloads analyze internally and delegate.
 class SearchBackend {
  public:
-  /// `corpus` must outlive the backend. Builds the index eagerly.
+  /// `corpus` must outlive the backend. Builds the index (and its BM25
+  /// scoring tables for options.bm25) eagerly.
   SearchBackend(const corpus::Corpus* corpus, SearchBackendOptions options);
+
+  /// Tokenizes and interns `query` against the index vocabulary.
+  AnalyzedQuery Analyze(const std::string& query) const;
 
   /// Runs `query` and returns up to options.page_size results.
   ResultPage Search(const std::string& query) const;
 
   /// Same, with an explicit result count (clamped to >= 1).
   ResultPage Search(const std::string& query, int k) const;
+
+  /// Runs a pre-analyzed query (page_size results).
+  ResultPage Search(const AnalyzedQuery& analyzed) const;
+
+  /// Runs a pre-analyzed query with an explicit result count.
+  ResultPage Search(const AnalyzedQuery& analyzed, int k) const;
 
   const InvertedIndex& index() const { return index_; }
   const corpus::Corpus& corpus() const { return *corpus_; }

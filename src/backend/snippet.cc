@@ -1,43 +1,100 @@
 #include "backend/snippet.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "text/tokenizer.h"
-#include "util/string_util.h"
 
 namespace pws::backend {
+namespace {
+
+/// Per-thread scratch so steady-state snippet generation reuses its
+/// buffers across calls.
+struct SnippetScratch {
+  std::vector<std::string> tokens;
+  /// tokens[i] -> index into the distinct query-token list, or -1.
+  std::vector<int> query_match;
+  /// Distinct query tokens (pointers into the caller's vector).
+  std::vector<const std::string*> distinct_query;
+  /// Occurrences of each distinct query token inside the active window.
+  std::vector<int> window_counts;
+};
+
+SnippetScratch& LocalScratch() {
+  thread_local SnippetScratch scratch;
+  return scratch;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens, size_t begin,
+                       size_t end) {
+  size_t total = 0;
+  for (size_t i = begin; i < end; ++i) total += tokens[i].size() + 1;
+  std::string out;
+  if (total > 0) out.reserve(total - 1);
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) out.push_back(' ');
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string MakeSnippet(const std::string& body,
                         const std::vector<std::string>& query_tokens,
                         const SnippetOptions& options) {
-  const std::vector<std::string> tokens = text::Tokenize(body);
+  SnippetScratch& scratch = LocalScratch();
+  std::vector<std::string>& tokens = scratch.tokens;
+  tokens.clear();
+  text::TokenizeAppend(body, text::TokenizerOptions{}, &tokens);
   if (tokens.empty()) return "";
   const int window = std::max(1, options.window_tokens);
   const int n = static_cast<int>(tokens.size());
-  if (n <= window) return StrJoin(tokens, " ");
+  if (n <= window) return JoinTokens(tokens, 0, tokens.size());
 
-  std::unordered_set<std::string> query_set(query_tokens.begin(),
-                                            query_tokens.end());
-  // Score each window start by the number of distinct query tokens inside.
-  int best_start = 0;
-  int best_hits = -1;
-  for (int start = 0; start + window <= n; ++start) {
-    std::unordered_set<std::string> seen;
-    int hits = 0;
-    for (int i = start; i < start + window; ++i) {
-      if (query_set.count(tokens[i]) > 0 && seen.insert(tokens[i]).second) {
-        ++hits;
+  // Distinct query tokens; queries hold a handful, so linear dedup wins.
+  scratch.distinct_query.clear();
+  for (const std::string& q : query_tokens) {
+    const auto same = [&q](const std::string* p) { return *p == q; };
+    if (std::none_of(scratch.distinct_query.begin(),
+                     scratch.distinct_query.end(), same)) {
+      scratch.distinct_query.push_back(&q);
+    }
+  }
+
+  // Map each body token to its query token (or -1) once, then slide a
+  // window keeping per-query-token occurrence counts; `hits` counts the
+  // distinct query tokens present.
+  scratch.query_match.assign(n, -1);
+  for (int i = 0; i < n; ++i) {
+    for (size_t q = 0; q < scratch.distinct_query.size(); ++q) {
+      if (tokens[i] == *scratch.distinct_query[q]) {
+        scratch.query_match[i] = static_cast<int>(q);
+        break;
       }
     }
-    if (hits > best_hits) {
+  }
+  scratch.window_counts.assign(scratch.distinct_query.size(), 0);
+  int hits = 0;
+  auto add = [&](int i) {
+    const int q = scratch.query_match[i];
+    if (q >= 0 && scratch.window_counts[q]++ == 0) ++hits;
+  };
+  auto remove = [&](int i) {
+    const int q = scratch.query_match[i];
+    if (q >= 0 && --scratch.window_counts[q] == 0) --hits;
+  };
+  for (int i = 0; i < window; ++i) add(i);
+  int best_start = 0;
+  int best_hits = hits;
+  for (int start = 1; start + window <= n; ++start) {
+    remove(start - 1);
+    add(start + window - 1);
+    if (hits > best_hits) {  // Strict: earlier windows win ties.
       best_hits = hits;
       best_start = start;
     }
   }
-  std::vector<std::string> slice(tokens.begin() + best_start,
-                                 tokens.begin() + best_start + window);
-  return StrJoin(slice, " ");
+  return JoinTokens(tokens, best_start, best_start + window);
 }
 
 }  // namespace pws::backend

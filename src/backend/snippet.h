@@ -17,6 +17,10 @@ struct SnippetOptions {
 /// tokens, preferring earlier windows on ties — the same heuristic
 /// commercial engines use for result teasers. Falls back to the document
 /// prefix when no query token occurs.
+///
+/// The window search runs in O(body tokens + query tokens²) via a
+/// sliding distinct-hit counter (no per-window hashing), with per-thread
+/// scratch buffers, so per-call cost is dominated by tokenizing `body`.
 std::string MakeSnippet(const std::string& body,
                         const std::vector<std::string>& query_tokens,
                         const SnippetOptions& options);

@@ -1,26 +1,33 @@
 #include "concepts/content_extractor.h"
 
 #include <algorithm>
+#include <functional>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "text/ngram.h"
-#include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
 namespace pws::concepts {
 namespace {
 
-// Tokenizes display text the way concepts are defined: lowercased,
-// stopwords removed, stemmed.
-std::vector<std::string> ConceptTokens(const std::string& raw,
-                                       int min_token_length) {
+/// Transparent hash so candidate lookups take string_view without
+/// building a temporary std::string key.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view sv) const {
+    return std::hash<std::string_view>{}(sv);
+  }
+};
+
+/// Tokenizer options matching how concepts are defined: lowercased,
+/// stopwords removed, stemmed (through the shared StemCache memo).
+text::TokenizerOptions ConceptTokenizerOptions(int min_token_length) {
   text::TokenizerOptions opts;
   opts.remove_stopwords = true;
   opts.stem = true;
   opts.min_token_length = min_token_length;
-  return text::Tokenize(raw, opts);
+  return opts;
 }
 
 }  // namespace
@@ -40,44 +47,86 @@ std::vector<ContentConcept> ContentConceptExtractor::Extract(
   if (incidence != nullptr) incidence->clear();
   if (page.results.empty()) return concepts;
 
-  // Query terms (stemmed) are never concepts of their own query.
-  std::unordered_set<std::string> query_terms;
-  for (const auto& tok : ConceptTokens(page.query, 1)) {
-    query_terms.insert(tok);
-  }
+  // Query terms (stemmed) are never concepts of their own query. Sorted
+  // vector: membership checks are binary searches, no hashing.
+  std::vector<std::string> query_terms =
+      text::Tokenize(page.query, ConceptTokenizerOptions(1));
+  std::sort(query_terms.begin(), query_terms.end());
+  query_terms.erase(std::unique(query_terms.begin(), query_terms.end()),
+                    query_terms.end());
+  const auto is_query_term = [&query_terms](const std::string& token) {
+    return std::binary_search(query_terms.begin(), query_terms.end(), token);
+  };
 
-  // Collect candidates per snippet.
+  // Candidate concepts are interned to dense local ids; per-snippet
+  // presence is stamp-deduplicated (last_seen), so one pass over the
+  // token stream replaces the old per-snippet hash sets. Candidate
+  // tokens are already stemmed, so a bigram contains a query term
+  // exactly when either component equals one — no re-tokenization.
   const int num_snippets = static_cast<int>(page.results.size());
-  std::vector<std::unordered_set<std::string>> per_snippet(num_snippets);
-  std::unordered_map<std::string, int> snippet_counts;
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>> cand_ids;
+  std::vector<std::string> cand_terms;  // id -> candidate string
+  std::vector<int> snippet_counts;      // id -> #snippets containing it
+  std::vector<int> last_seen;           // id -> last snippet stamped
+  std::vector<std::vector<int>> per_snippet(num_snippets);
+
+  const text::TokenizerOptions snippet_opts =
+      ConceptTokenizerOptions(options_.min_token_length);
+  std::vector<std::string> tokens;  // Shared across snippets.
+  std::string bigram;               // Reused join buffer.
+
+  const auto consider = [&](std::string_view candidate, int snippet) {
+    int id;
+    auto it = cand_ids.find(candidate);
+    if (it == cand_ids.end()) {
+      id = static_cast<int>(cand_terms.size());
+      cand_terms.emplace_back(candidate);
+      cand_ids.emplace(cand_terms.back(), id);
+      snippet_counts.push_back(0);
+      last_seen.push_back(-1);
+    } else {
+      id = it->second;
+    }
+    if (last_seen[id] != snippet) {
+      last_seen[id] = snippet;
+      ++snippet_counts[id];
+      per_snippet[snippet].push_back(id);
+    }
+  };
+
   for (int s = 0; s < num_snippets; ++s) {
     const auto& result = page.results[s];
-    const std::vector<std::string> tokens =
-        ConceptTokens(result.title + " " + result.snippet,
-                      options_.min_token_length);
-    std::vector<std::string> candidates =
-        options_.include_bigrams ? text::ExtractUnigramsAndBigrams(tokens)
-                                 : tokens;
-    for (auto& cand : candidates) {
-      // Skip candidates containing a query term.
-      bool contains_query_term = false;
-      for (const auto& piece : text::Tokenize(cand)) {
-        if (query_terms.count(piece) > 0) {
-          contains_query_term = true;
-          break;
-        }
+    // Title and snippet tokenize separately into one shared buffer: the
+    // token stream is identical to the old `title + " " + snippet`
+    // concatenation (the join space is a token boundary) without the
+    // per-result temporary strings.
+    tokens.clear();
+    text::TokenizeAppend(result.title, snippet_opts, &tokens);
+    text::TokenizeAppend(result.snippet, snippet_opts, &tokens);
+    const int n = static_cast<int>(tokens.size());
+    for (int t = 0; t < n; ++t) {
+      if (is_query_term(tokens[t])) continue;
+      consider(tokens[t], s);
+    }
+    if (options_.include_bigrams) {
+      for (int t = 0; t + 1 < n; ++t) {
+        if (is_query_term(tokens[t]) || is_query_term(tokens[t + 1])) continue;
+        bigram.assign(tokens[t]);
+        bigram.push_back(' ');
+        bigram.append(tokens[t + 1]);
+        consider(bigram, s);
       }
-      if (contains_query_term) continue;
-      if (per_snippet[s].insert(cand).second) ++snippet_counts[cand];
     }
   }
 
   // Threshold by support (and drop near-universal page words).
-  for (const auto& [term, count] : snippet_counts) {
-    const double support = static_cast<double>(count) / num_snippets;
+  const int num_candidates = static_cast<int>(cand_terms.size());
+  for (int id = 0; id < num_candidates; ++id) {
+    const double support =
+        static_cast<double>(snippet_counts[id]) / num_snippets;
     if (support + 1e-12 >= options_.min_support &&
         support <= options_.max_support + 1e-12) {
-      concepts.push_back({term, support, count});
+      concepts.push_back({cand_terms[id], support, snippet_counts[id]});
     }
   }
   std::sort(concepts.begin(), concepts.end(),
@@ -90,16 +139,17 @@ std::vector<ContentConcept> ContentConceptExtractor::Extract(
   }
 
   if (incidence != nullptr) {
-    std::unordered_map<std::string, int> concept_index;
+    // Candidate id -> index in the final concept list (-1 = dropped).
+    std::vector<int> concept_index(num_candidates, -1);
     for (size_t i = 0; i < concepts.size(); ++i) {
-      concept_index[concepts[i].term] = static_cast<int>(i);
+      concept_index[cand_ids.find(concepts[i].term)->second] =
+          static_cast<int>(i);
     }
     incidence->resize(num_snippets);
     for (int s = 0; s < num_snippets; ++s) {
       auto& row = (*incidence)[s];
-      for (const auto& term : per_snippet[s]) {
-        auto it = concept_index.find(term);
-        if (it != concept_index.end()) row.push_back(it->second);
+      for (const int id : per_snippet[s]) {
+        if (concept_index[id] >= 0) row.push_back(concept_index[id]);
       }
       std::sort(row.begin(), row.end());
     }

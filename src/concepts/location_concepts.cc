@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "text/tokenizer.h"
 #include "util/check.h"
 
 namespace pws::concepts {
@@ -29,9 +30,16 @@ QueryLocationConcepts LocationConceptExtractor::Extract(
   out.per_result.resize(page.results.size());
   std::unordered_map<geo::LocationId, int> doc_counts;
 
+  // Title and body tokenize into one shared buffer (the token stream is
+  // identical to tokenizing their concatenation) — no per-result
+  // `title + " " + body` temporaries.
+  std::vector<std::string> tokens;
   for (size_t i = 0; i < page.results.size(); ++i) {
     const corpus::Document& doc = corpus.doc(page.results[i].doc);
-    const auto mentions = extractor_.Extract(doc.title + " " + doc.body);
+    tokens.clear();
+    text::TokenizeAppend(doc.title, text::TokenizerOptions{}, &tokens);
+    text::TokenizeAppend(doc.body, text::TokenizerOptions{}, &tokens);
+    const auto mentions = extractor_.ExtractFromTokens(tokens);
     std::unordered_set<geo::LocationId> direct;
     for (const auto& mention : mentions) direct.insert(mention.location);
     out.per_result[i].assign(direct.begin(), direct.end());

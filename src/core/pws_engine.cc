@@ -108,9 +108,16 @@ std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
   return query_cache_.GetOrCompute(query, [&] {
     PWS_SPAN("engine.analyze.compute");
     auto analysis = std::make_shared<QueryAnalysis>();
+    // Tokenize + intern the query exactly once; backend retrieval and
+    // the query-location scan below share the analyzed form.
+    backend::AnalyzedQuery analyzed;
+    {
+      PWS_SPAN("engine.analyze.tokenize");
+      analyzed = backend_->Analyze(query);
+    }
     {
       PWS_SPAN("engine.analyze.search");
-      analysis->page = backend_->Search(query);
+      analysis->page = backend_->Search(analyzed);
     }
 
     concepts::SnippetIncidence incidence;
@@ -126,7 +133,8 @@ std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
       PWS_SPAN("engine.analyze.locations");
       analysis->locations =
           location_extractor_.Extract(analysis->page, backend_->corpus());
-      for (const auto& mention : query_location_extractor_.Extract(query)) {
+      for (const auto& mention :
+           query_location_extractor_.ExtractFromTokens(analyzed.tokens)) {
         analysis->query_mentioned_locations.push_back(mention.location);
       }
     }

@@ -54,6 +54,16 @@ SimulationHarness::SimulationHarness(const World* world,
   PWS_CHECK_GE(options_.test_queries_per_user, 1);
   PWS_CHECK_GE(options_.ctr_samples_per_impression, 1);
   PWS_CHECK_GE(options_.threads, 0);
+  for (const auto& user : world_->users()) {
+    query_weights_.emplace(user.id, QueryWeightsFor(user));
+  }
+}
+
+const std::vector<double>& SimulationHarness::CachedQueryWeightsFor(
+    const click::SimulatedUser& user) const {
+  const auto it = query_weights_.find(user.id);
+  PWS_CHECK(it != query_weights_.end()) << "unknown user " << user.id;
+  return it->second;
 }
 
 std::vector<double> SimulationHarness::QueryWeightsFor(
@@ -76,14 +86,17 @@ std::vector<double> SimulationHarness::QueryWeightsFor(
 
 const click::QueryIntent& SimulationHarness::SampleQuery(
     const click::SimulatedUser& user, Random& rng) const {
-  const std::vector<double> weights = QueryWeightsFor(user);
+  // Same weights as QueryWeightsFor, so draws (and therefore every
+  // downstream metric) are bit-identical to the recompute-per-sample
+  // path this replaces.
+  const std::vector<double>& weights = CachedQueryWeightsFor(user);
   return world_->queries()[rng.Categorical(weights)];
 }
 
 std::vector<const click::QueryIntent*> SimulationHarness::TestQueriesFor(
     const click::SimulatedUser& user) const {
   const auto& queries = world_->queries();
-  const std::vector<double> weights = QueryWeightsFor(user);
+  const std::vector<double>& weights = CachedQueryWeightsFor(user);
   std::vector<int> order(queries.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::sort(order.begin(), order.end(), [&](int a, int b) {

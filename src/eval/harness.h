@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/personalizer.h"
@@ -149,6 +150,12 @@ class SimulationHarness {
   /// Issue-probability weights of every pool query for `user`.
   std::vector<double> QueryWeightsFor(const click::SimulatedUser& user) const;
 
+  /// Cached per-user weights (precomputed at construction — the weights
+  /// are a pure function of the immutable World, and SampleQuery sits on
+  /// the training hot path of every run).
+  const std::vector<double>& CachedQueryWeightsFor(
+      const click::SimulatedUser& user) const;
+
   /// Samples the query a user issues (favourite-topic biased).
   const click::QueryIntent& SampleQuery(const click::SimulatedUser& user,
                                         Random& rng) const;
@@ -165,6 +172,9 @@ class SimulationHarness {
 
   const World* world_;
   SimulationOptions options_;
+  /// user id -> issue-probability weights over the query pool. Immutable
+  /// after construction, so concurrent runs share it lock-free.
+  std::unordered_map<click::UserId, std::vector<double>> query_weights_;
   mutable std::mutex cache_stats_mutex_;
   mutable CacheStats cache_stats_;
 };

@@ -1,0 +1,103 @@
+#include "text/stem_cache.h"
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "text/porter_stemmer.h"
+#include "util/check.h"
+
+namespace pws::text {
+namespace {
+
+/// Transparent hash so lookups take string_view without building a
+/// temporary std::string key.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view sv) const {
+    return std::hash<std::string_view>{}(sv);
+  }
+};
+
+}  // namespace
+
+struct StemCache::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>>
+      stems;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+};
+
+StemCache::StemCache(size_t capacity, int num_shards)
+    : num_shards_(num_shards) {
+  PWS_CHECK_GE(capacity, 1u);
+  PWS_CHECK_GE(num_shards_, 1);
+  shard_capacity_ = (capacity + static_cast<size_t>(num_shards_) - 1) /
+                    static_cast<size_t>(num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+StemCache::~StemCache() = default;
+
+StemCache::Shard& StemCache::ShardFor(std::string_view word) {
+  return shards_[std::hash<std::string_view>{}(word) %
+                 static_cast<size_t>(num_shards_)];
+}
+
+void StemCache::AppendStem(std::string_view word, std::string* out) {
+  // PorterStem returns words of length <= 2 unchanged; don't spend cache
+  // slots on them.
+  if (word.size() <= 2) {
+    out->append(word);
+    return;
+  }
+  Shard& shard = ShardFor(word);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.stems.find(word);
+    if (it != shard.stems.end()) {
+      ++shard.hits;
+      out->append(it->second);
+      return;
+    }
+    ++shard.misses;
+  }
+  // Stem outside the lock: two threads racing on the same absent word
+  // both compute the (identical) stem; one insert wins.
+  const std::string stem = PorterStem(word);
+  out->append(stem);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.stems.size() >= shard_capacity_) {
+    shard.stems.clear();
+    ++shard.flushes;
+  }
+  shard.stems.emplace(word, stem);
+}
+
+std::string StemCache::Stem(std::string_view word) {
+  std::string out;
+  AppendStem(word, &out);
+  return out;
+}
+
+StemCacheStats StemCache::stats() const {
+  StemCacheStats total;
+  for (int s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.flushes += shard.flushes;
+    total.entries += shard.stems.size();
+  }
+  return total;
+}
+
+StemCache& StemCache::Global() {
+  static StemCache* cache = new StemCache();
+  return *cache;
+}
+
+}  // namespace pws::text

@@ -1,0 +1,65 @@
+#ifndef PWS_TEXT_STEM_CACHE_H_
+#define PWS_TEXT_STEM_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace pws::text {
+
+/// Counters of a StemCache (summed over its shards).
+struct StemCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Times a full shard was dropped wholesale to stay bounded.
+  uint64_t flushes = 0;
+  /// Entries resident at the time of the stats() call.
+  uint64_t entries = 0;
+};
+
+/// A bounded, thread-safe memo for PorterStem. Natural-language token
+/// streams repeat a small working set of words, so the analyze pipeline
+/// (indexing, query analysis, concept extraction) re-stems the same
+/// tokens constantly; the memo turns each repeat into one hash probe
+/// with no allocation (lookups are by string_view, heterogeneous).
+///
+/// Bounding: the table is sharded (one mutex per shard); a shard that
+/// grows past its share of `capacity` is dropped wholesale. Stemming is
+/// a pure function, so a flush can never change results — only cost.
+class StemCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 15;
+
+  explicit StemCache(size_t capacity = kDefaultCapacity, int num_shards = 16);
+  ~StemCache();
+
+  StemCache(const StemCache&) = delete;
+  StemCache& operator=(const StemCache&) = delete;
+
+  /// Returns the Porter stem of `word` (which must already be lowercase
+  /// ASCII, as the tokenizer produces). Identical to PorterStem(word).
+  std::string Stem(std::string_view word);
+
+  /// Appends the stem of `word` to `*out` without clearing it.
+  void AppendStem(std::string_view word, std::string* out);
+
+  StemCacheStats stats() const;
+
+  /// The process-wide instance shared by the tokenizer and every
+  /// concept extractor.
+  static StemCache& Global();
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(std::string_view word);
+
+  int num_shards_;
+  size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace pws::text
+
+#endif  // PWS_TEXT_STEM_CACHE_H_

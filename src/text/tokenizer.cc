@@ -3,19 +3,25 @@
 #include <cctype>
 
 #include "text/porter_stemmer.h"
+#include "text/stem_cache.h"
 #include "text/stopwords.h"
 
 namespace pws::text {
 
-std::vector<std::string> Tokenize(std::string_view input,
-                                  const TokenizerOptions& options) {
-  std::vector<std::string> tokens;
+void TokenizeAppend(std::string_view input, const TokenizerOptions& options,
+                    std::vector<std::string>* out) {
   std::string current;
   auto flush = [&]() {
     if (current.empty()) return;
     if (static_cast<int>(current.size()) >= options.min_token_length &&
         !(options.remove_stopwords && IsStopword(current))) {
-      tokens.push_back(options.stem ? PorterStem(current) : current);
+      if (!options.stem) {
+        out->push_back(std::move(current));
+        current = {};  // Leave `current` valid and empty after the move.
+        return;
+      }
+      out->push_back(options.stem_memo ? StemCache::Global().Stem(current)
+                                       : PorterStem(current));
     }
     current.clear();
   };
@@ -28,6 +34,12 @@ std::vector<std::string> Tokenize(std::string_view input,
     }
   }
   flush();
+}
+
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  TokenizeAppend(input, options, &tokens);
   return tokens;
 }
 

@@ -17,7 +17,19 @@ struct TokenizerOptions {
   bool remove_stopwords = false;
   /// Apply the Porter stemmer to each token.
   bool stem = false;
+  /// Memoize stems in the process-wide bounded StemCache. Stemming is a
+  /// pure function, so this never changes output — only cost. Off is
+  /// only useful for benchmarking the uncached stemmer.
+  bool stem_memo = true;
 };
+
+/// Appends the tokens of `input` to `*out` without clearing it, so
+/// callers can fuse several fields (title + snippet, title + body) into
+/// one token stream with no concatenation temporaries. Lowercases,
+/// splits on non-alphanumeric runs, and post-processes tokens per
+/// `options`. Digits are kept (model numbers, zip codes).
+void TokenizeAppend(std::string_view input, const TokenizerOptions& options,
+                    std::vector<std::string>* out);
 
 /// Lowercases, splits on non-alphanumeric runs, and post-processes tokens
 /// per `options`. Digits are kept (model numbers, zip codes).

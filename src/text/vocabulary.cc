@@ -5,7 +5,7 @@
 namespace pws::text {
 
 TermId Vocabulary::GetOrAdd(std::string_view term) {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   const TermId id = static_cast<TermId>(terms_.size());
   terms_.emplace_back(term);
@@ -14,7 +14,7 @@ TermId Vocabulary::GetOrAdd(std::string_view term) {
 }
 
 TermId Vocabulary::Get(std::string_view term) const {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   return it == index_.end() ? kUnknownTerm : it->second;
 }
 

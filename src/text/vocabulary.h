@@ -1,6 +1,7 @@
 #ifndef PWS_TEXT_VOCABULARY_H_
 #define PWS_TEXT_VOCABULARY_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -14,6 +15,8 @@ inline constexpr TermId kUnknownTerm = -1;
 
 /// Bidirectional term <-> dense id map. Ids are assigned in insertion
 /// order starting at 0, which lets callers use them as vector indices.
+/// Lookups are heterogeneous (string_view probes the map directly), so
+/// Get/GetOrAdd never build a temporary std::string key.
 class Vocabulary {
  public:
   Vocabulary() = default;
@@ -36,7 +39,15 @@ class Vocabulary {
   std::vector<TermId> Encode(const std::vector<std::string>& tokens) const;
 
  private:
-  std::unordered_map<std::string, TermId> index_;
+  /// Transparent hash enabling string_view lookups against string keys.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> terms_;
 };
 

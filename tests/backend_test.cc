@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
 #include "backend/inverted_index.h"
 #include "backend/search_backend.h"
 #include "backend/snippet.h"
@@ -8,6 +12,8 @@
 
 namespace pws::backend {
 namespace {
+
+using Tokens = std::vector<std::string>;
 
 corpus::Document MakeDoc(corpus::DocId id, const std::string& title,
                          const std::string& body) {
@@ -60,29 +66,223 @@ TEST_F(IndexTest, TitleTokensAreBoosted) {
 }
 
 TEST_F(IndexTest, TopKRanksMatchingDocsFirst) {
-  const auto top = index_->TopK({"banana"}, 3, Bm25Params{});
+  const auto top = index_->TopK(Tokens{"banana"}, 3, Bm25Params{});
   ASSERT_GE(top.size(), 2u);
   EXPECT_EQ(top[0], 1);  // Two banana occurrences + title boost.
   EXPECT_EQ(top[1], 2);
 }
 
 TEST_F(IndexTest, TopKMultiTermQueryPrefersBothTerms) {
-  const auto top = index_->TopK({"apple", "banana"}, 4, Bm25Params{});
+  const auto top = index_->TopK(Tokens{"apple", "banana"}, 4, Bm25Params{});
   ASSERT_GE(top.size(), 3u);
   EXPECT_EQ(top[0], 2);  // Only doc with both terms.
 }
 
 TEST_F(IndexTest, ScoreAgreesWithTopKOrdering) {
-  const auto top = index_->TopK({"apple", "banana"}, 4, Bm25Params{});
+  const Tokens q{"apple", "banana"};
+  const auto top = index_->TopK(q, 4, Bm25Params{});
   for (size_t i = 1; i < top.size(); ++i) {
-    EXPECT_GE(index_->Score({"apple", "banana"}, top[i - 1], Bm25Params{}),
-              index_->Score({"apple", "banana"}, top[i], Bm25Params{}));
+    EXPECT_GE(index_->Score(q, top[i - 1], Bm25Params{}),
+              index_->Score(q, top[i], Bm25Params{}));
   }
 }
 
 TEST_F(IndexTest, UnknownQueryYieldsNothing) {
-  EXPECT_TRUE(index_->TopK({"qqqq"}, 5, Bm25Params{}).empty());
-  EXPECT_EQ(index_->Score({"qqqq"}, 0, Bm25Params{}), 0.0);
+  EXPECT_TRUE(index_->TopK(Tokens{"qqqq"}, 5, Bm25Params{}).empty());
+  EXPECT_EQ(index_->Score(Tokens{"qqqq"}, 0, Bm25Params{}), 0.0);
+}
+
+TEST_F(IndexTest, TopKZeroOrNegativeKIsEmpty) {
+  EXPECT_TRUE(index_->TopK(Tokens{"apple"}, 0, Bm25Params{}).empty());
+  EXPECT_TRUE(index_->TopK(Tokens{"apple"}, -3, Bm25Params{}).empty());
+  const auto analyzed = index_->Analyze("apple");
+  EXPECT_TRUE(index_->TopKScored(analyzed.term_ids, 0, Bm25Params{}).empty());
+}
+
+TEST_F(IndexTest, EmptyQueryIsEmpty) {
+  const auto analyzed = index_->Analyze("");
+  EXPECT_TRUE(analyzed.tokens.empty());
+  EXPECT_TRUE(analyzed.term_ids.empty());
+  EXPECT_TRUE(index_->TopKScored(analyzed.term_ids, 5, Bm25Params{}).empty());
+  EXPECT_EQ(index_->Score(analyzed.term_ids, 0, Bm25Params{}), 0.0);
+}
+
+TEST_F(IndexTest, UnknownTermOnlyQueryIsEmpty) {
+  const auto analyzed = index_->Analyze("qqqq wwww");
+  ASSERT_EQ(analyzed.term_ids.size(), 2u);
+  EXPECT_EQ(analyzed.term_ids[0], text::kUnknownTerm);
+  EXPECT_EQ(analyzed.term_ids[1], text::kUnknownTerm);
+  EXPECT_TRUE(index_->TopKScored(analyzed.term_ids, 5, Bm25Params{}).empty());
+}
+
+TEST_F(IndexTest, AnalyzeAlignsTokensAndIds) {
+  const auto analyzed = index_->Analyze("Apple qqqq banana");
+  EXPECT_EQ(analyzed.query, "Apple qqqq banana");
+  ASSERT_EQ(analyzed.tokens.size(), 3u);
+  ASSERT_EQ(analyzed.term_ids.size(), 3u);
+  EXPECT_EQ(analyzed.tokens[0], "apple");
+  EXPECT_NE(analyzed.term_ids[0], text::kUnknownTerm);
+  EXPECT_EQ(analyzed.term_ids[1], text::kUnknownTerm);
+  EXPECT_NE(analyzed.term_ids[2], text::kUnknownTerm);
+}
+
+TEST_F(IndexTest, DuplicateTokensContributeOnce) {
+  // {a, a} scores and ranks identically to {a}: Score and TopK share
+  // distinct-term (set) semantics.
+  const Tokens once{"banana"};
+  const Tokens twice{"banana", "banana"};
+  for (corpus::DocId doc = 0; doc < 4; ++doc) {
+    EXPECT_EQ(index_->Score(twice, doc, Bm25Params{}),
+              index_->Score(once, doc, Bm25Params{}));
+  }
+  EXPECT_EQ(index_->TopK(twice, 4, Bm25Params{}),
+            index_->TopK(once, 4, Bm25Params{}));
+
+  const Tokens mixed{"apple", "banana", "apple"};
+  const Tokens dedup{"apple", "banana"};
+  for (corpus::DocId doc = 0; doc < 4; ++doc) {
+    EXPECT_EQ(index_->Score(mixed, doc, Bm25Params{}),
+              index_->Score(dedup, doc, Bm25Params{}));
+  }
+  EXPECT_EQ(index_->TopK(mixed, 4, Bm25Params{}),
+            index_->TopK(dedup, 4, Bm25Params{}));
+}
+
+// ---------- Golden equivalence: term-id fast path vs reference ----------
+
+/// Reference BM25 scorer: the pre-fast-path implementation — string-keyed
+/// postings lookups and an unordered_map<doc, score> accumulator — with
+/// the same distinct-term semantics. Scores every matching doc, sorts by
+/// (score desc, doc asc), truncates to k.
+std::vector<ScoredDoc> ReferenceTopK(const InvertedIndex& index,
+                                     const Tokens& query_tokens, int k,
+                                     const Bm25Params& params) {
+  std::vector<std::string> distinct;
+  for (const auto& t : query_tokens) {
+    if (std::find(distinct.begin(), distinct.end(), t) == distinct.end()) {
+      distinct.push_back(t);
+    }
+  }
+  std::unordered_map<corpus::DocId, double> acc;
+  const int n = index.num_documents();
+  for (const auto& term : distinct) {
+    const auto& postings = index.PostingsFor(term);
+    if (postings.empty()) continue;
+    const double df = static_cast<double>(postings.size());
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const auto& p : postings) {
+      const double tf = p.term_frequency;
+      const double norm =
+          params.k1 * (1.0 - params.b +
+                       params.b * index.DocumentLength(p.doc) /
+                           index.average_document_length());
+      acc[p.doc] += idf * tf * (params.k1 + 1.0) / (tf + norm);
+    }
+  }
+  std::vector<ScoredDoc> out;
+  out.reserve(acc.size());
+  for (const auto& [doc, score] : acc) out.push_back({doc, score});
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (static_cast<int>(out.size()) > k) out.resize(k);
+  return out;
+}
+
+/// A seeded corpus over a tiny word pool, so many docs share terms and
+/// exact score ties (identical token multisets) are common.
+corpus::Corpus MakeSeededCorpus(int num_docs, uint64_t seed) {
+  const Tokens pool = {"alpha", "beta",  "gamma", "delta", "epsi",
+                       "zeta",  "eta",   "theta", "iota",  "kappa",
+                       "lake",  "tower", "park",  "museum"};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> pick(0, pool.size() - 1);
+  std::uniform_int_distribution<int> body_len(3, 12);
+  corpus::Corpus corpus;
+  for (int d = 0; d < num_docs; ++d) {
+    std::string title = pool[pick(rng)] + " " + pool[pick(rng)];
+    std::string body;
+    const int len = body_len(rng);
+    for (int t = 0; t < len; ++t) {
+      if (t > 0) body += ' ';
+      body += pool[pick(rng)];
+    }
+    // Every 5th doc duplicates the previous one's text: guaranteed exact
+    // score ties, exercising the doc-id tie-break.
+    if (d % 5 == 4 && d > 0) {
+      const corpus::Document& prev = corpus.doc(d - 1);
+      title = prev.title;
+      body = prev.body;
+    }
+    corpus.Add(MakeDoc(d, title, body));
+  }
+  return corpus;
+}
+
+TEST(GoldenEquivalenceTest, FastPathMatchesReferenceScorer) {
+  corpus::Corpus corpus = MakeSeededCorpus(80, /*seed=*/1234);
+  InvertedIndex index(&corpus);
+
+  const std::vector<Tokens> queries = {
+      {"alpha"},
+      {"alpha", "beta"},
+      {"lake", "tower", "park"},
+      {"theta", "theta"},            // duplicate tokens
+      {"alpha", "unknownzz"},        // known + unknown
+      {"unknownzz"},                 // unknown only
+      {"epsi", "zeta", "eta", "iota", "kappa"},
+  };
+  const std::vector<int> ks = {1, 3, 10, 80, 200};
+  const std::vector<Bm25Params> params_set = {
+      Bm25Params{},            // matches the precomputed tables
+      Bm25Params{0.9, 0.4},    // forces the untabled fallback
+  };
+
+  for (const auto& params : params_set) {
+    for (const auto& q : queries) {
+      const auto analyzed_ids = [&] {
+        std::string joined;
+        for (const auto& t : q) {
+          if (!joined.empty()) joined += ' ';
+          joined += t;
+        }
+        return index.Analyze(joined).term_ids;
+      }();
+      for (int k : ks) {
+        const auto expected = ReferenceTopK(index, q, k, params);
+        const auto got = index.TopKScored(analyzed_ids, k, params);
+        ASSERT_EQ(got.size(), expected.size())
+            << "k=" << k << " query[0]=" << q[0];
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].doc, expected[i].doc) << "rank " << i;
+          // Bit-identical, not just approximately equal: the fast path
+          // evaluates the same expressions in the same order.
+          EXPECT_EQ(got[i].score, expected[i].score) << "rank " << i;
+          EXPECT_EQ(index.Score(analyzed_ids, got[i].doc, params),
+                    got[i].score)
+              << "rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenEquivalenceTest, TieBreakIsDocIdAscending) {
+  corpus::Corpus corpus;
+  // Four identical docs: all scores tie exactly.
+  for (int d = 0; d < 4; ++d) {
+    corpus.Add(MakeDoc(d, "same title", "same body words here"));
+  }
+  InvertedIndex index(&corpus);
+  const auto analyzed = index.Analyze("same words");
+  const auto top = index.TopKScored(analyzed.term_ids, 3, Bm25Params{});
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].doc, 0);
+  EXPECT_EQ(top[1].doc, 1);
+  EXPECT_EQ(top[2].doc, 2);
+  EXPECT_EQ(top[0].score, top[1].score);
+  EXPECT_EQ(top[1].score, top[2].score);
 }
 
 // ---------- Snippets ----------
@@ -114,6 +314,17 @@ TEST(SnippetTest, NoQueryMatchFallsBackToPrefix) {
 
 TEST(SnippetTest, EmptyBody) {
   EXPECT_EQ(MakeSnippet("", {"x"}, SnippetOptions{}), "");
+}
+
+TEST(SnippetTest, DuplicateQueryTokensDoNotSkewWindow) {
+  SnippetOptions options;
+  options.window_tokens = 3;
+  // "one one" as the query must behave like "one": the window containing
+  // the two distinct-hit tokens ("one two") must win over a window with
+  // "one" alone even if the query lists "one" twice.
+  const std::string body = "zzz one yyy xxx one two";
+  EXPECT_EQ(MakeSnippet(body, {"one", "one", "two"}, options),
+            MakeSnippet(body, {"one", "two"}, options));
 }
 
 // ---------- SearchBackend ----------
@@ -163,6 +374,28 @@ TEST_F(BackendTest, DeterministicResults) {
   ASSERT_EQ(a.results.size(), b.results.size());
   for (size_t i = 0; i < a.results.size(); ++i) {
     EXPECT_EQ(a.results[i].doc, b.results[i].doc);
+  }
+}
+
+TEST_F(BackendTest, PreAnalyzedSearchMatchesStringSearch) {
+  const AnalyzedQuery analyzed = backend_->Analyze("ski resort");
+  const ResultPage via_analyzed = backend_->Search(analyzed);
+  const ResultPage via_string = backend_->Search("ski resort");
+  ASSERT_EQ(via_analyzed.results.size(), via_string.results.size());
+  for (size_t i = 0; i < via_analyzed.results.size(); ++i) {
+    EXPECT_EQ(via_analyzed.results[i].doc, via_string.results[i].doc);
+    EXPECT_EQ(via_analyzed.results[i].score, via_string.results[i].score);
+    EXPECT_EQ(via_analyzed.results[i].snippet, via_string.results[i].snippet);
+  }
+}
+
+TEST_F(BackendTest, ResultScoresMatchIndexScore) {
+  const AnalyzedQuery analyzed = backend_->Analyze("ski resort");
+  const ResultPage page = backend_->Search(analyzed);
+  // The fixture uses default Bm25Params.
+  for (const auto& r : page.results) {
+    EXPECT_EQ(backend_->index().Score(analyzed.term_ids, r.doc, Bm25Params{}),
+              r.score);
   }
 }
 

@@ -13,12 +13,15 @@
 #include <thread>
 #include <vector>
 
+#include "backend/inverted_index.h"
 #include "core/pws_engine.h"
 #include "eval/harness.h"
 #include "eval/world.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ranking/features.h"
+#include "text/stem_cache.h"
+#include "text/tokenizer.h"
 #include "util/random.h"
 #include "util/sharded_lru.h"
 #include "util/thread_pool.h"
@@ -142,6 +145,108 @@ TEST(ShardedLruCacheTest, ConcurrentGetOrComputeIsConsistent) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// ---------- Retrieval scratch arena + stemming memo under contention ----------
+
+TEST(RetrievalConcurrencyTest, ConcurrentTopKOnSharedIndexesIsDeterministic) {
+  // TopK reuses an epoch-stamped per-thread scratch arena; this races
+  // many threads over TWO shared indexes (each thread alternates, so one
+  // thread's scratch serves differently-sized indexes back to back) and
+  // checks every result against a sequential reference. TSan builds this
+  // binary, so any scratch-arena race is caught here.
+  const auto build_corpus = [](int num_docs, int salt) {
+    corpus::Corpus corpus;
+    const std::vector<std::string> pool = {"alpha", "beta", "gamma", "delta",
+                                           "lake", "tower", "park", "museum"};
+    for (int d = 0; d < num_docs; ++d) {
+      corpus::Document doc;
+      doc.id = d;
+      doc.title = pool[(d + salt) % pool.size()] + " " +
+                  pool[(d * 3 + salt) % pool.size()];
+      doc.body = pool[d % pool.size()] + " " + pool[(d * 7 + salt) %
+                                                    pool.size()] +
+                 " " + pool[(d * 5) % pool.size()];
+      doc.url = "http://x/" + std::to_string(d);
+      doc.topic_mixture_truth = {1.0};
+      doc.primary_topic_truth = 0;
+      corpus.Add(doc);
+    }
+    return corpus;
+  };
+  const corpus::Corpus corpus_a = build_corpus(400, 0);
+  const corpus::Corpus corpus_b = build_corpus(37, 3);
+  const backend::InvertedIndex index_a(&corpus_a);
+  const backend::InvertedIndex index_b(&corpus_b);
+
+  const std::vector<std::string> queries = {"alpha", "lake tower",
+                                            "park museum gamma", "beta delta"};
+  std::vector<std::vector<backend::ScoredDoc>> expected_a, expected_b;
+  for (const auto& q : queries) {
+    expected_a.push_back(
+        index_a.TopKScored(index_a.Analyze(q).term_ids, 10, {}));
+    expected_b.push_back(
+        index_b.TopKScored(index_b.Analyze(q).term_ids, 10, {}));
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const size_t q = (t + i) % queries.size();
+        const auto& index = (i % 2 == 0) ? index_a : index_b;
+        const auto& expected = (i % 2 == 0) ? expected_a[q] : expected_b[q];
+        const auto got =
+            index.TopKScored(index.Analyze(queries[q]).term_ids, 10, {});
+        if (got.size() != expected.size()) {
+          mismatch = true;
+          continue;
+        }
+        for (size_t r = 0; r < got.size(); ++r) {
+          if (got[r].doc != expected[r].doc ||
+              got[r].score != expected[r].score) {
+            mismatch = true;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(RetrievalConcurrencyTest, ConcurrentStemmingTokenizationIsConsistent) {
+  // Stemming tokenization goes through the shared global StemCache memo;
+  // overlapping word sets from many threads race its shards (and its
+  // wholesale flushes, via the fresh suffixed words). Results must match
+  // the memo-free path exactly.
+  text::TokenizerOptions memo_opts;
+  memo_opts.stem = true;
+  text::TokenizerOptions direct_opts = memo_opts;
+  direct_opts.stem_memo = false;
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        const std::string text =
+            "running hotels libraries whistler skiing conditions " +
+            std::to_string(t) + "unique" + std::to_string(i) + "ingly";
+        if (text::Tokenize(text, memo_opts) !=
+            text::Tokenize(text, direct_opts)) {
+          mismatch = true;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  const text::StemCacheStats stats = text::StemCache::Global().stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
 }
 
 // ---------- Metrics registry under contention ----------

@@ -2,6 +2,7 @@
 
 #include "text/ngram.h"
 #include "text/porter_stemmer.h"
+#include "text/stem_cache.h"
 #include "text/stopwords.h"
 #include "text/tf_idf.h"
 #include "text/tokenizer.h"
@@ -62,6 +63,83 @@ TEST(TokenizerTest, StemmingOption) {
   ASSERT_EQ(tokens.size(), 2u);
   EXPECT_EQ(tokens[0], "run");
   EXPECT_EQ(tokens[1], "hotel");
+}
+
+TEST(TokenizerTest, TokenizeAppendFusesFieldsWithoutConcatenation) {
+  // Tokenizing fields separately into one buffer must equal tokenizing
+  // their space-joined concatenation — the invariant the backends rely
+  // on to drop `title + " " + body` temporaries.
+  const std::string title = "Whistler Ski Resort";
+  const std::string body = "powder slopes, lift tickets";
+  for (const bool stem : {false, true}) {
+    TokenizerOptions options;
+    options.stem = stem;
+    std::vector<std::string> fused;
+    TokenizeAppend(title, options, &fused);
+    TokenizeAppend(body, options, &fused);
+    EXPECT_EQ(fused, Tokenize(title + " " + body, options));
+  }
+}
+
+TEST(TokenizerTest, TokenizeAppendDoesNotClearOutput) {
+  std::vector<std::string> out = {"pre"};
+  TokenizeAppend("a b", TokenizerOptions{}, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "pre");
+  EXPECT_EQ(out[1], "a");
+  EXPECT_EQ(out[2], "b");
+}
+
+TEST(TokenizerTest, StemMemoOffMatchesMemoOn) {
+  TokenizerOptions memo;
+  memo.stem = true;
+  TokenizerOptions direct = memo;
+  direct.stem_memo = false;
+  const std::string text = "running hotels running cities libraries running";
+  EXPECT_EQ(Tokenize(text, memo), Tokenize(text, direct));
+}
+
+// ---------- StemCache ----------
+
+TEST(StemCacheTest, MatchesPorterStem) {
+  StemCache cache;
+  for (const char* word :
+       {"running", "hotels", "caresses", "sky", "a", "", "relational"}) {
+    EXPECT_EQ(cache.Stem(word), PorterStem(word)) << word;
+  }
+  // Repeat lookups (now cache hits) still agree.
+  EXPECT_EQ(cache.Stem("running"), "run");
+  EXPECT_EQ(cache.Stem("hotels"), "hotel");
+}
+
+TEST(StemCacheTest, AppendStemAppends) {
+  StemCache cache;
+  std::string out = "x";
+  cache.AppendStem("running", &out);
+  EXPECT_EQ(out, "xrun");
+}
+
+TEST(StemCacheTest, CountsHitsAndMisses) {
+  StemCache cache;
+  EXPECT_EQ(cache.Stem("motoring"), "motor");  // miss
+  EXPECT_EQ(cache.Stem("motoring"), "motor");  // hit
+  EXPECT_EQ(cache.Stem("motoring"), "motor");  // hit
+  const StemCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(StemCacheTest, StaysBoundedUnderChurn) {
+  StemCache cache(/*capacity=*/64, /*num_shards=*/4);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string word = "word" + std::to_string(i) + "ing";
+    EXPECT_EQ(cache.Stem(word), PorterStem(word));
+  }
+  const StemCacheStats stats = cache.stats();
+  EXPECT_GT(stats.flushes, 0u);
+  // Each shard holds at most its share plus the insert that trips it.
+  EXPECT_LE(stats.entries, 64u + 4u);
 }
 
 // ---------- Porter stemmer ----------
