@@ -217,18 +217,140 @@ BENCHMARK(BM_ServeConcurrentSharedEngine)
     ->Threads(4)
     ->UseRealTime();
 
+// ---------- Learning-loop microbenchmarks ----------
+// BM_Serve / BM_Observe / BM_TrainUser bound the three stages of the
+// personalization loop; BM_TrainAllUsers measures the cross-user
+// training sweep at several thread counts. Before/after numbers for the
+// learning-loop fast path live in BENCH_TRAIN.json.
+
+// A warmed engine with accumulated clickthrough: every query analyzed,
+// profiles non-trivial, training pairs mined. Built once.
+struct LearnedEngineFixture {
+  core::PwsEngine engine;
+  std::vector<core::PersonalizedPage> pages;
+  std::vector<click::ClickRecord> records;
+
+  explicit LearnedEngineFixture(core::EngineOptions options)
+      : engine(&SharedWorld().search_backend(), &SharedWorld().ontology(),
+               options) {
+    const auto& world = SharedWorld();
+    const auto& queries = BenchQueries();
+    Random rng(41);
+    for (const auto& user : world.users()) {
+      engine.RegisterUser(user.id);
+      for (int round = 0; round < 6; ++round) {
+        for (const auto& query : queries) {
+          auto page = engine.Serve(user.id, query);
+          // Synthetic but plausible clickthrough: click two results with
+          // dwell long enough to grade relevant.
+          click::ClickRecord record;
+          record.user = user.id;
+          record.query_text = query;
+          const int n = static_cast<int>(page.order.size());
+          record.interactions.resize(n);
+          for (int j = 0; j < n; ++j) {
+            record.interactions[j].rank = j;
+          }
+          if (n > 2) {
+            const int first = static_cast<int>(rng.UniformInt(0, n / 2));
+            const int second =
+                static_cast<int>(rng.UniformInt(n / 2, n - 1));
+            record.interactions[first].clicked = true;
+            record.interactions[first].dwell_units = 45.0;
+            record.interactions[second].clicked = true;
+            record.interactions[second].dwell_units = 120.0;
+          }
+          engine.Observe(user.id, page, record);
+          if (user.id == 0 && round == 0) {
+            pages.push_back(std::move(page));
+            records.push_back(std::move(record));
+          }
+        }
+      }
+    }
+  }
+};
+
+LearnedEngineFixture& SharedLearnedEngine() {
+  static LearnedEngineFixture& fixture =
+      *new LearnedEngineFixture(core::EngineOptions{});
+  return fixture;
+}
+
+void BM_Serve(benchmark::State& state) {
+  // Serve against warm caches and a learned profile — the steady-state
+  // serve cost of the personalization layer (analysis cache hit +
+  // feature extraction + RankSVM re-rank).
+  auto& fixture = SharedLearnedEngine();
+  const auto& queries = BenchQueries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto page = fixture.engine.Serve(0, queries[i % queries.size()]);
+    benchmark::DoNotOptimize(page.order.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Serve)->Unit(benchmark::kMicrosecond);
+
+void BM_Observe(benchmark::State& state) {
+  // Profile update + entropy bookkeeping + pair mining for one
+  // impression, against a learned profile.
+  auto& fixture = SharedLearnedEngine();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % fixture.pages.size();
+    fixture.engine.Observe(0, fixture.pages[k], fixture.records[k]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Observe)->Unit(benchmark::kMicrosecond);
+
+void BM_TrainUser(benchmark::State& state) {
+  // Full single-user retrain: per-query feature refresh against the
+  // current profile plus the RankSVM SGD epochs.
+  auto& fixture = SharedLearnedEngine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.engine.TrainUser(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          fixture.engine.training_pair_count(0));
+}
+BENCHMARK(BM_TrainUser)->Unit(benchmark::kMicrosecond);
+
+void BM_TrainAllUsers(benchmark::State& state) {
+  // Cross-user training sweep at several engine thread counts; per-user
+  // runs are independent, so every arg produces identical weights.
+  auto& fixture = SharedLearnedEngine();
+  fixture.engine.set_train_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    fixture.engine.TrainAllUsers();
+  }
+  fixture.engine.set_train_threads(1);
+  state.SetItemsProcessed(state.iterations() *
+                          SharedWorld().users().size());
+}
+BENCHMARK(BM_TrainAllUsers)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
+
 void BM_RankSvmTrain(benchmark::State& state) {
   Random rng(3);
+  constexpr int kPairs = 500;
+  const int dim = ranking::kFeatureCount;
+  // Pairs reference rows in one flat slab (the production shape).
+  std::vector<double> slab(static_cast<size_t>(kPairs) * 2 * dim);
+  for (auto& v : slab) v = rng.UniformDouble();
   std::vector<ranking::TrainingPair> pairs;
-  for (int i = 0; i < 500; ++i) {
+  pairs.reserve(kPairs);
+  for (int i = 0; i < kPairs; ++i) {
     ranking::TrainingPair pair;
-    pair.preferred.resize(ranking::kFeatureCount);
-    pair.other.resize(ranking::kFeatureCount);
-    for (int d = 0; d < ranking::kFeatureCount; ++d) {
-      pair.preferred[d] = rng.UniformDouble();
-      pair.other[d] = rng.UniformDouble();
-    }
-    pairs.push_back(std::move(pair));
+    pair.preferred = &slab[static_cast<size_t>(2 * i) * dim];
+    pair.other = &slab[static_cast<size_t>(2 * i + 1) * dim];
+    pairs.push_back(pair);
   }
   for (auto _ : state) {
     ranking::RankSvm model(ranking::kFeatureCount);

@@ -37,9 +37,8 @@ int main(int argc, char** argv) {
           if (!record.interactions[j].clicked) continue;
           const int backend_index = page.order[j];
           tracker.AddClick(
-              intent.id,
-              page.impression.content_terms_per_result[backend_index],
-              page.impression.locations_per_result[backend_index]);
+              intent.id, page.impression().content_ids(backend_index),
+              page.impression().locations_per_result[backend_index]);
         }
       }
     }

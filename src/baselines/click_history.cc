@@ -27,9 +27,9 @@ std::string ClickHistoryPersonalizer::KeyFor(click::UserId user,
 
 core::PersonalizedPage ClickHistoryPersonalizer::Serve(
     click::UserId user, const std::string& query) {
-  core::PersonalizedPage page;
-  page.backend_page = backend_->Search(query);
-  const int n = static_cast<int>(page.backend_page.results.size());
+  core::PersonalizedPage page =
+      core::PersonalizedPage::FromBackendPage(backend_->Search(query));
+  const int n = static_cast<int>(page.backend_page().results.size());
   page.order.resize(n);
   std::iota(page.order.begin(), page.order.end(), 0);
 
@@ -38,7 +38,7 @@ core::PersonalizedPage ClickHistoryPersonalizer::Serve(
     const QueryHistory& history = it->second;
     std::vector<double> scores(n);
     for (int i = 0; i < n; ++i) {
-      const corpus::DocId doc = page.backend_page.results[i].doc;
+      const corpus::DocId doc = page.backend_page().results[i].doc;
       double click_score = 0.0;
       auto doc_it = history.doc_clicks.find(doc);
       if (doc_it != history.doc_clicks.end()) {
@@ -57,11 +57,11 @@ core::PersonalizedPage ClickHistoryPersonalizer::Serve(
 void ClickHistoryPersonalizer::Observe(click::UserId user,
                                        const core::PersonalizedPage& page,
                                        const click::ClickRecord& record) {
-  QueryHistory& history = history_[KeyFor(user, page.backend_page.query)];
+  QueryHistory& history = history_[KeyFor(user, page.backend_page().query)];
   for (size_t j = 0; j < record.interactions.size(); ++j) {
     if (!record.interactions[j].clicked) continue;
     const int backend_index = page.order[j];
-    ++history.doc_clicks[page.backend_page.results[backend_index].doc];
+    ++history.doc_clicks[page.backend_page().results[backend_index].doc];
     ++history.total_clicks;
   }
 }
@@ -86,9 +86,9 @@ void RandomReRanker::RegisterUser(click::UserId user) { (void)user; }
 core::PersonalizedPage RandomReRanker::Serve(click::UserId user,
                                              const std::string& query) {
   (void)user;
-  core::PersonalizedPage page;
-  page.backend_page = backend_->Search(query);
-  page.order.resize(page.backend_page.results.size());
+  core::PersonalizedPage page =
+      core::PersonalizedPage::FromBackendPage(backend_->Search(query));
+  page.order.resize(page.backend_page().results.size());
   std::iota(page.order.begin(), page.order.end(), 0);
   uint64_t seed = shuffle_seed_;
   for (char c : query) seed = seed * 131 + static_cast<unsigned char>(c);

@@ -1,0 +1,47 @@
+#include "concepts/concept_interner.h"
+
+#include <mutex>
+
+#include "util/check.h"
+
+namespace pws::concepts {
+
+ConceptInterner& ConceptInterner::Global() {
+  static ConceptInterner* interner = new ConceptInterner();
+  return *interner;
+}
+
+ConceptId ConceptInterner::Intern(std::string_view term) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(term);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;  // Another thread won.
+  const ConceptId id = static_cast<ConceptId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+ConceptId ConceptInterner::Find(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidConcept : it->second;
+}
+
+const std::string& ConceptInterner::TermOf(ConceptId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  PWS_CHECK_GE(id, 0);
+  PWS_CHECK_LT(id, static_cast<ConceptId>(terms_.size()));
+  return terms_[id];
+}
+
+int ConceptInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return static_cast<int>(terms_.size());
+}
+
+}  // namespace pws::concepts

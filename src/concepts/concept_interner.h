@@ -1,0 +1,76 @@
+#ifndef PWS_CONCEPTS_CONCEPT_INTERNER_H_
+#define PWS_CONCEPTS_CONCEPT_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace pws::concepts {
+
+/// Dense id of an interned content-concept term; -1 means "unknown".
+/// Concept ids are a *runtime* representation only: they are assigned in
+/// first-seen order, never persisted, and never compared across
+/// processes. Everything persisted (profiles, models) stays keyed by the
+/// term string.
+using ConceptId = int32_t;
+inline constexpr ConceptId kInvalidConcept = -1;
+
+/// Process-wide concept-term interner: the string <-> ConceptId map the
+/// learning loop runs on. Content-concept terms flow from per-query
+/// extraction into user profiles, click-entropy statistics, and feature
+/// extraction; interning them once lets every layer downstream of
+/// extraction key by a 4-byte id instead of hashing/copying strings.
+///
+/// Why a process-wide singleton rather than a per-engine member: ids
+/// must agree between an engine's analyses and any UserProfile imported
+/// into it (ImportUserState after io::LoadUserState), and profiles are
+/// constructed in io/ and tests without an engine in sight. A shared
+/// authority makes every profile in the process compatible with every
+/// engine by construction. The id space is bounded by the distinct
+/// stemmed uni/bigram concepts of the corpus vocabulary.
+///
+/// Thread-safety: all methods are safe to call concurrently
+/// (shared_mutex; reads take the shared lock). TermOf returns a
+/// reference into a deque, which never relocates elements, so the
+/// reference stays valid for the process lifetime.
+class ConceptInterner {
+ public:
+  static ConceptInterner& Global();
+
+  /// Returns the id of `term`, interning it if new.
+  ConceptId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidConcept (never interns — the
+  /// read-only boundary lookup for e.g. UserProfile::ContentWeight).
+  ConceptId Find(std::string_view term) const;
+
+  /// Returns the term of `id`; id must be a valid interned id.
+  const std::string& TermOf(ConceptId id) const;
+
+  int size() const;
+
+ private:
+  ConceptInterner() = default;
+
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, ConceptId, StringHash, std::equal_to<>>
+      index_;
+  /// Deque: element addresses are stable across growth, so TermOf can
+  /// hand out references without holding the lock.
+  std::deque<std::string> terms_;
+};
+
+}  // namespace pws::concepts
+
+#endif  // PWS_CONCEPTS_CONCEPT_INTERNER_H_

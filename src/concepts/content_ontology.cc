@@ -11,6 +11,13 @@ ContentOntology::ContentOntology(std::vector<ContentConcept> concepts,
                                  const SnippetIncidence& incidence)
     : concepts_(std::move(concepts)) {
   const int n = size();
+  concept_ids_.reserve(n);
+  ConceptInterner& interner = ConceptInterner::Global();
+  for (int i = 0; i < n; ++i) {
+    const ConceptId id = interner.Intern(concepts_[i].term);
+    concept_ids_.push_back(id);
+    id_index_.emplace(id, i);
+  }
   similarity_.assign(static_cast<size_t>(n) * n, 0.0);
   if (n == 0) return;
   std::vector<int> occurrence(n, 0);
@@ -73,6 +80,17 @@ int ContentOntology::Find(const std::string& term) const {
     if (concepts_[i].term == term) return i;
   }
   return -1;
+}
+
+ConceptId ContentOntology::concept_id(int index) const {
+  PWS_CHECK_GE(index, 0);
+  PWS_CHECK_LT(index, size());
+  return concept_ids_[index];
+}
+
+int ContentOntology::LocalIndexOf(ConceptId id) const {
+  auto it = id_index_.find(id);
+  return it == id_index_.end() ? -1 : it->second;
 }
 
 }  // namespace pws::concepts

@@ -2,8 +2,10 @@
 #define PWS_CONCEPTS_CONTENT_ONTOLOGY_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "concepts/concept_interner.h"
 #include "concepts/content_extractor.h"
 
 namespace pws::concepts {
@@ -38,8 +40,21 @@ class ContentOntology {
   /// Index of `term` among the concepts, or -1.
   int Find(const std::string& term) const;
 
+  /// Global (process-wide) interned id of local concept `index`. The
+  /// constructor interns every concept once, so the learning loop can
+  /// move per-result concepts around as 4-byte ids.
+  ConceptId concept_id(int index) const;
+
+  /// Local concept index of a global id, or -1 when the id's term is not
+  /// a concept of this query — the Observe-side reverse of concept_id,
+  /// replacing the old linear-scan Find(term) on the spreading path.
+  int LocalIndexOf(ConceptId id) const;
+
  private:
   std::vector<ContentConcept> concepts_;
+  /// concept_ids_[local index] = global interned id.
+  std::vector<ConceptId> concept_ids_;
+  std::unordered_map<ConceptId, int> id_index_;
   /// Dense row-major size() x size() similarity matrix; per-query concept
   /// counts are small (<= max_concepts), so dense storage is fine.
   std::vector<double> similarity_;

@@ -8,15 +8,25 @@
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace pws::core {
 
+PersonalizedPage PersonalizedPage::FromBackendPage(backend::ResultPage page) {
+  PersonalizedPage out;
+  auto analysis = std::make_shared<QueryAnalysis>();
+  analysis->page = std::move(page);
+  out.analysis = std::move(analysis);
+  return out;
+}
+
 backend::ResultPage PersonalizedPage::ShownPage() const {
+  const backend::ResultPage& source = backend_page();
   backend::ResultPage shown;
-  shown.query = backend_page.query;
+  shown.query = source.query;
   shown.results.reserve(order.size());
   for (size_t j = 0; j < order.size(); ++j) {
-    backend::SearchResult result = backend_page.results[order[j]];
+    backend::SearchResult result = source.results[order[j]];
     result.rank = static_cast<int>(j);
     shown.results.push_back(std::move(result));
   }
@@ -51,9 +61,10 @@ void PwsEngine::RegisterUser(click::UserId user) {
     std::shared_lock<std::shared_mutex> lock(users_mutex_);
     if (users_.find(user) != users_.end()) return;
   }
-  UserState state;
-  state.profile = std::make_unique<profile::UserProfile>(user, ontology_);
-  state.model = std::make_unique<ranking::RankSvm>(ranking::kFeatureCount);
+  auto profile = std::make_unique<profile::UserProfile>(user, ontology_);
+  auto model = std::make_shared<ranking::RankSvm>(ranking::kFeatureCount);
+  auto pairs = std::make_unique<RingBuffer<StoredPair>>(
+      static_cast<size_t>(std::max(1, options_.max_training_pairs_per_user)));
   if (options_.query_location_match_prior != 0.0 ||
       options_.location_affinity_prior != 0.0) {
     std::vector<double> prior(ranking::kFeatureCount, 0.0);
@@ -62,11 +73,18 @@ void PwsEngine::RegisterUser(click::UserId user) {
     prior[ranking::kProfileLocationAffinityIndex] =
         options_.location_affinity_prior;
     prior[ranking::kGpsFeatureIndex] = options_.location_affinity_prior;
-    ranking::MaskForStrategy(prior, options_.strategy);
-    state.model->SetPrior(std::move(prior));
+    ranking::MaskForStrategy(prior.data(), options_.strategy);
+    model->SetPrior(std::move(prior));
   }
+  // UserState carries a mutex, so it is built in place under the lock
+  // rather than moved in.
   std::unique_lock<std::shared_mutex> lock(users_mutex_);
-  users_.emplace(user, std::move(state));  // No-op if another thread won.
+  auto [it, inserted] = users_.try_emplace(user);
+  if (!inserted) return;  // Another thread won the race.
+  UserState& state = it->second;
+  state.profile = std::move(profile);
+  state.model = std::move(model);
+  state.pairs = std::move(pairs);
 }
 
 void PwsEngine::AttachGpsTrace(click::UserId user,
@@ -103,7 +121,7 @@ int PwsEngine::QueryIdOf(const std::string& query) {
   return static_cast<int>(h & 0x7fffffffULL);
 }
 
-std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
+std::shared_ptr<const QueryAnalysis> PwsEngine::AnalyzeQuery(
     const std::string& query) {
   return query_cache_.GetOrCompute(query, [&] {
     PWS_SPAN("engine.analyze.compute");
@@ -139,39 +157,51 @@ std::shared_ptr<const PwsEngine::QueryAnalysis> PwsEngine::AnalyzeQuery(
       }
     }
 
-    // Per-result concept term lists, aligned with backend rank order.
+    // Per-result concept ids, aligned with backend rank order, as slices
+    // of one flat pool. The ontology interned every concept term in local
+    // index order, so concept_id(index) resolves without touching the
+    // term strings again.
     const int n = static_cast<int>(analysis->page.results.size());
-    analysis->impression.content_terms_per_result.resize(n);
-    for (int s = 0; s < n && s < static_cast<int>(incidence.size()); ++s) {
-      for (int concept_index : incidence[s]) {
-        analysis->impression.content_terms_per_result[s].push_back(
-            analysis->content_concepts[concept_index].term);
+    const concepts::ContentOntology& ontology = *analysis->content_ontology;
+    auto& impression = analysis->impression;
+    impression.content_offsets.reserve(n + 1);
+    impression.content_offsets.push_back(0);
+    for (int s = 0; s < n; ++s) {
+      if (s < static_cast<int>(incidence.size())) {
+        for (int concept_index : incidence[s]) {
+          impression.content_pool.push_back(ontology.concept_id(concept_index));
+        }
       }
+      impression.content_offsets.push_back(
+          static_cast<int32_t>(impression.content_pool.size()));
     }
-    analysis->impression.locations_per_result = analysis->locations.per_result;
-    analysis->impression.query_mentioned_locations =
+    impression.locations_per_result = analysis->locations.per_result;
+    impression.query_mentioned_locations =
         analysis->query_mentioned_locations;
     return std::shared_ptr<const QueryAnalysis>(std::move(analysis));
   });
 }
 
-ranking::FeatureMatrix PwsEngine::ComputeFeatures(
-    const QueryAnalysis& analysis, const UserState& state) const {
+void PwsEngine::ComputeFeaturesInto(const QueryAnalysis& analysis,
+                                    const UserState& state,
+                                    ranking::FeatureBlock& out,
+                                    const ProfileNorms* norms) const {
   ranking::FeatureContext context;
+  if (norms != nullptr) {
+    context.content_norm = norms->content;
+    context.location_norm = norms->location;
+  }
   context.ontology = ontology_;
   context.user_profile = state.profile.get();
-  context.content_terms_per_result =
-      &analysis.impression.content_terms_per_result;
+  context.impression = &analysis.impression;
   context.query_locations = &analysis.locations;
   context.query_mentioned_locations = analysis.query_mentioned_locations;
   context.gps_decay_scale_km = options_.gps_decay_scale_km;
   if (options_.strategy == ranking::Strategy::kCombinedGps) {
     context.gps_position = state.position;
   }
-  ranking::FeatureMatrix features =
-      ranking::ExtractFeatures(analysis.page, context);
-  ranking::MaskMatrixForStrategy(features, options_.strategy);
-  return features;
+  ranking::ExtractFeaturesInto(analysis.page, context, out);
+  ranking::MaskBlockForStrategy(out, options_.strategy);
 }
 
 PersonalizedPage PwsEngine::Serve(click::UserId user,
@@ -193,13 +223,14 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
   }
 
   PersonalizedPage page;
-  page.backend_page = analysis->page;
-  page.impression = analysis->impression;
-  page.content_ontology = analysis->content_ontology;
   {
     PWS_SPAN("engine.serve.features");
-    page.features = ComputeFeatures(*analysis, *state);
+    ComputeFeaturesInto(*analysis, *state, page.features);
   }
+  // The page shares the analysis instead of deep-copying the backend
+  // page and impression: cheap Serve, and Observe reads concepts straight
+  // from the shared pool.
+  page.analysis = std::move(analysis);
 
   PWS_SPAN("engine.serve.rank");
   ranking::RankerOptions ranker_options;
@@ -213,8 +244,12 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
         qid, options_.min_alpha, options_.max_alpha);
   }
   page.alpha_used = ranker_options.alpha;
-  page.order = ranking::RankResults(*state->model, page.features,
-                                    options_.strategy, ranker_options);
+  // Score against a model snapshot: a concurrent TrainUser publishes a
+  // successor without touching the weights this Serve is reading.
+  const std::shared_ptr<const ranking::RankSvm> model =
+      state->ModelSnapshot();
+  page.order = ranking::RankResults(*model, page.features, options_.strategy,
+                                    ranker_options);
   return page;
 }
 
@@ -225,87 +260,118 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
   const int n = static_cast<int>(page.order.size());
   PWS_CHECK_EQ(static_cast<int>(record.interactions.size()), n)
       << "record/page size mismatch";
+  const profile::ImpressionConcepts& impression = page.impression();
 
-  // Re-align per-result concepts to shown order for the profile update.
+  // Re-align per-result concepts to shown order for the profile update —
+  // id copies into one flat pool, no string traffic.
   profile::ImpressionConcepts shown;
-  shown.content_terms_per_result.resize(n);
+  shown.content_pool.reserve(impression.content_pool.size());
+  shown.content_offsets.reserve(n + 1);
   shown.locations_per_result.resize(n);
-  shown.query_mentioned_locations = page.impression.query_mentioned_locations;
+  shown.query_mentioned_locations = impression.query_mentioned_locations;
   for (int j = 0; j < n; ++j) {
     const int backend_index = page.order[j];
-    shown.content_terms_per_result[j] =
-        page.impression.content_terms_per_result[backend_index];
+    shown.AppendResultIds(impression.content_ids(backend_index));
     shown.locations_per_result[j] =
-        page.impression.locations_per_result[backend_index];
+        impression.locations_per_result[backend_index];
   }
 
   // The page carries its query's content ontology, so similarity
   // spreading works even after the analysis was evicted from the cache.
-  state.profile->ObserveImpression(record, shown,
-                                   page.content_ontology.get(),
+  state.profile->ObserveImpression(record, shown, page.content_ontology(),
                                    options_.profile_update);
 
   // Entropy bookkeeping over clicked results.
-  const int qid = QueryIdOf(page.backend_page.query);
+  const int qid = QueryIdOf(page.backend_page().query);
   {
     std::lock_guard<std::mutex> lock(entropy_mutex_);
     for (int j = 0; j < n; ++j) {
       if (!record.interactions[j].clicked) continue;
-      entropy_tracker_.AddClick(qid, shown.content_terms_per_result[j],
+      entropy_tracker_.AddClick(qid, shown.content_ids(j),
                                 shown.locations_per_result[j]);
     }
   }
 
   // Preference pairs, stored symbolically (features are recomputed with
-  // the current profile at training time).
+  // the current profile at training time). The ring overwrites the
+  // oldest pair once the per-user cap is reached.
   const auto pairs = profile::MinePreferencePairs(record, options_.pair_mining);
-  for (const auto& pair : pairs) {
-    StoredPair stored;
-    stored.query = page.backend_page.query;
-    stored.preferred_backend_index = page.order[pair.preferred_index];
-    stored.other_backend_index = page.order[pair.other_index];
-    stored.weight = pair.weight;
-    state.pairs.push_back(std::move(stored));
-  }
-  const int cap = options_.max_training_pairs_per_user;
-  if (static_cast<int>(state.pairs.size()) > cap) {
-    state.pairs.erase(state.pairs.begin(), state.pairs.end() - cap);
+  if (!pairs.empty()) {
+    const std::string& query = page.backend_page().query;
+    auto [it, inserted] = state.pair_query_index.try_emplace(
+        query, static_cast<int32_t>(state.pair_queries.size()));
+    if (inserted) state.pair_queries.push_back(query);
+    const int32_t query_index = it->second;
+    for (const auto& pair : pairs) {
+      StoredPair stored;
+      stored.query_index = query_index;
+      stored.preferred_backend_index = page.order[pair.preferred_index];
+      stored.other_backend_index = page.order[pair.other_index];
+      stored.weight = pair.weight;
+      state.pairs->Push(stored);
+    }
   }
 }
 
 double PwsEngine::TrainUser(click::UserId user) {
   PWS_SPAN("engine.train_user.total");
   UserState& state = StateOf(user);
-  // Refresh pair features under the current profile; one feature matrix
-  // per distinct query.
-  std::unordered_map<std::string, ranking::FeatureMatrix> fresh;
+  // Refresh pair features under the current profile: one feature block
+  // per distinct query, copied once into the user's slab; every pair of
+  // that query points at the copied rows. Chronological ForEach keeps
+  // the pair order (and so the SGD shuffle walk) identical to the old
+  // front-trimmed vector.
+  state.slab.Clear();
+  // The profile is fixed for the duration of this retrain: scan its
+  // weight maps for the feature normalizers once instead of per query.
+  ProfileNorms norms;
+  norms.content = std::max(1e-9, state.profile->MaxContentWeight());
+  norms.location = std::max(1e-9, state.profile->MaxLocationWeight());
+  std::vector<const double*> query_rows(state.pair_queries.size(), nullptr);
   std::vector<ranking::TrainingPair> training_pairs;
-  training_pairs.reserve(state.pairs.size());
-  for (const StoredPair& stored : state.pairs) {
-    auto it = fresh.find(stored.query);
-    if (it == fresh.end()) {
+  training_pairs.reserve(state.pairs->size());
+  ranking::FeatureBlock scratch;
+  state.pairs->ForEach([&](const StoredPair& stored) {
+    const double*& rows = query_rows[stored.query_index];
+    if (rows == nullptr) {
       const std::shared_ptr<const QueryAnalysis> analysis =
-          AnalyzeQuery(stored.query);
-      it = fresh.emplace(stored.query, ComputeFeatures(*analysis, state))
-               .first;
+          AnalyzeQuery(state.pair_queries[stored.query_index]);
+      ComputeFeaturesInto(*analysis, state, scratch, &norms);
+      rows = state.slab.CopyBlock(scratch);
     }
     ranking::TrainingPair pair;
-    pair.preferred = it->second[stored.preferred_backend_index];
-    pair.other = it->second[stored.other_backend_index];
+    pair.preferred =
+        rows + static_cast<size_t>(stored.preferred_backend_index) *
+                   ranking::kFeatureCount;
+    pair.other = rows + static_cast<size_t>(stored.other_backend_index) *
+                            ranking::kFeatureCount;
     pair.weight = stored.weight;
-    training_pairs.push_back(std::move(pair));
-  }
-  return state.model->Train(training_pairs, options_.rank_svm);
+    training_pairs.push_back(pair);
+  });
+  // Train a successor model off to the side and publish it atomically;
+  // Train resets weights to the prior, so copying the snapshot only
+  // carries over dimension and prior — results are bit-identical to
+  // training in place.
+  auto next = std::make_shared<ranking::RankSvm>(*state.ModelSnapshot());
+  const double loss = next->Train(training_pairs, options_.rank_svm);
+  state.PublishModel(std::move(next));
+  return loss;
 }
 
 void PwsEngine::TrainAllUsers() {
+  PWS_SPAN("engine.train_all_users.total");
   std::vector<click::UserId> ids;
   {
     std::shared_lock<std::shared_mutex> lock(users_mutex_);
     ids.reserve(users_.size());
     for (const auto& [user, state] : users_) ids.push_back(user);
   }
-  for (click::UserId user : ids) TrainUser(user);
+  // Sorted for a stable work order; numerics are per-user and do not
+  // depend on scheduling, so any thread count gives identical weights.
+  std::sort(ids.begin(), ids.end());
+  ParallelFor(ResolveThreadCount(options_.train_threads),
+              static_cast<int>(ids.size()),
+              [&](int i) { TrainUser(ids[i]); });
 }
 
 void PwsEngine::AdvanceDay() {
@@ -321,11 +387,13 @@ const profile::UserProfile& PwsEngine::user_profile(
 }
 
 const ranking::RankSvm& PwsEngine::user_model(click::UserId user) const {
-  return *StateOf(user).model;
+  const UserState& state = StateOf(user);
+  std::lock_guard<std::mutex> lock(state.model_mutex);
+  return *state.model;
 }
 
 int PwsEngine::training_pair_count(click::UserId user) const {
-  return static_cast<int>(StateOf(user).pairs.size());
+  return static_cast<int>(StateOf(user).pairs->size());
 }
 
 void PwsEngine::ImportUserState(click::UserId user,
@@ -335,8 +403,11 @@ void PwsEngine::ImportUserState(click::UserId user,
   RegisterUser(user);
   UserState& state = StateOf(user);
   state.profile = std::make_unique<profile::UserProfile>(std::move(profile));
-  state.model = std::make_unique<ranking::RankSvm>(std::move(model));
-  state.pairs.clear();
+  state.PublishModel(std::make_shared<const ranking::RankSvm>(std::move(model)));
+  state.pairs->Clear();
+  state.pair_queries.clear();
+  state.pair_query_index.clear();
+  state.slab.Clear();
 }
 
 }  // namespace pws::core

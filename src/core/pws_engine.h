@@ -22,9 +22,11 @@
 #include "profile/gps_augment.h"
 #include "profile/preference_pairs.h"
 #include "profile/user_profile.h"
+#include "ranking/feature_slab.h"
 #include "ranking/features.h"
 #include "ranking/rank_svm.h"
 #include "ranking/ranker.h"
+#include "util/ring_buffer.h"
 #include "util/sharded_lru.h"
 
 namespace pws::core {
@@ -64,6 +66,10 @@ struct EngineOptions {
   double gps_decay_scale_km = 150.0;
   /// Cap on accumulated training pairs per user (oldest dropped).
   int max_training_pairs_per_user = 20000;
+  /// Threads for TrainAllUsers (0 = all hardware threads, 1 = serial).
+  /// Per-user training runs are independent, so any thread count yields
+  /// bit-identical weights.
+  int train_threads = 1;
   /// Total entries the bounded query-analysis cache keeps (LRU eviction;
   /// evicted queries are simply re-analyzed on the next Serve, which is
   /// deterministic, so eviction never changes results — only memory and
@@ -74,25 +80,56 @@ struct EngineOptions {
   int query_cache_shards = 16;
 };
 
-/// What Serve returns: the backend page plus the personalized
-/// permutation and everything Observe needs to learn from feedback.
+/// The cached, profile-independent analysis of one query's page: the
+/// backend results plus every concept structure derived from them.
+/// Produced once per query by PwsEngine::AnalyzeQuery (bounded LRU),
+/// shared by shared_ptr — Serve hands the same immutable analysis to
+/// every PersonalizedPage of that query instead of deep-copying the page
+/// and impression into each one, and LRU eviction never invalidates an
+/// analysis a page or a training pass still holds.
+struct QueryAnalysis {
+  backend::ResultPage page;
+  std::vector<concepts::ContentConcept> content_concepts;
+  std::shared_ptr<const concepts::ContentOntology> content_ontology;
+  concepts::QueryLocationConcepts locations;
+  std::vector<geo::LocationId> query_mentioned_locations;
+  /// Per-result interned concept ids in backend rank order (flat pool).
+  profile::ImpressionConcepts impression;
+};
+
+/// What Serve returns: a handle on the query's shared analysis plus the
+/// personalized permutation and the user-specific feature rows — the only
+/// per-Serve allocations left are the permutation and one flat feature
+/// array.
 struct PersonalizedPage {
-  /// The untouched backend page (results in backend rank order).
-  backend::ResultPage backend_page;
+  /// The query's shared analysis (never null for engine/baseline-served
+  /// pages; see FromBackendPage).
+  std::shared_ptr<const QueryAnalysis> analysis;
   /// Personalized permutation: shown position j holds backend index
   /// order[j].
   std::vector<int> order;
-  /// Feature vectors in backend order, already strategy-masked.
-  ranking::FeatureMatrix features;
+  /// Feature rows in backend order, already strategy-masked.
+  ranking::FeatureBlock features;
+  /// The α used for this page (fixed or entropy-adaptive).
+  double alpha_used = 0.5;
+
+  /// The untouched backend page (results in backend rank order).
+  const backend::ResultPage& backend_page() const { return analysis->page; }
   /// Per-result concepts in backend order.
-  profile::ImpressionConcepts impression;
+  const profile::ImpressionConcepts& impression() const {
+    return analysis->impression;
+  }
   /// The query's content ontology, carried with the page so Observe's
   /// similarity spreading never depends on the query still being
   /// resident in the engine's bounded analysis cache. Null for
   /// personalizers that do not extract content concepts (baselines).
-  std::shared_ptr<const concepts::ContentOntology> content_ontology;
-  /// The α used for this page (fixed or entropy-adaptive).
-  double alpha_used = 0.5;
+  const concepts::ContentOntology* content_ontology() const {
+    return analysis->content_ontology.get();
+  }
+
+  /// Wraps a bare backend page in a minimal analysis (no concepts) —
+  /// the baselines' Serve path.
+  static PersonalizedPage FromBackendPage(backend::ResultPage page);
 
   /// The page in shown (personalized) order, with ranks rewritten —
   /// exactly what the user (or the click simulator) sees.
@@ -122,7 +159,10 @@ struct PersonalizedPage {
 /// ImportUserState) are safe concurrently across *different* users;
 /// callers must serialize mutating calls targeting the same user, and
 /// must not run TrainAllUsers / AdvanceDay concurrently with any
-/// mutating call (both iterate every user).
+/// mutating call (both iterate every user). TrainAllUsers itself fans
+/// out over EngineOptions::train_threads — it is the one sanctioned way
+/// to train many users concurrently, and it may run concurrently with
+/// Serve/const accessors (training publishes into per-user models only).
 class PwsEngine : public Personalizer {
  public:
   /// `search_backend` and `ontology` must outlive the engine.
@@ -154,19 +194,28 @@ class PwsEngine : public Personalizer {
   /// final epoch's average hinge loss.
   double TrainUser(click::UserId user);
 
-  /// Retrains every registered user.
+  /// Retrains every registered user, fanning out over
+  /// EngineOptions::train_threads. Per-user runs are independent, so the
+  /// resulting weights are bit-identical for every thread count.
   void TrainAllUsers() override;
 
   /// Applies one day's profile decay to every user.
   void AdvanceDay() override;
 
   const profile::UserProfile& user_profile(click::UserId user) const;
+  /// Reference to the user's current model snapshot. Valid until the
+  /// next TrainUser/ImportUserState for this user publishes a successor;
+  /// for inspection between training rounds, not during them.
   const ranking::RankSvm& user_model(click::UserId user) const;
   /// For inspection only; do not call while another thread Observes.
   const profile::ClickEntropyTracker& entropy_tracker() const {
     return entropy_tracker_;
   }
   const EngineOptions& options() const { return options_; }
+  /// Adjusts the TrainAllUsers fan-out after construction (benchmarks
+  /// sweep thread counts on one warmed engine). Not thread-safe: call
+  /// only while no TrainAllUsers is in flight.
+  void set_train_threads(int threads) { options_.train_threads = threads; }
   /// Hit/miss/eviction counters of the query-analysis cache.
   CacheStats query_cache_stats() const { return query_cache_.stats(); }
   int registered_user_count() const {
@@ -184,35 +233,52 @@ class PwsEngine : public Personalizer {
                        ranking::RankSvm model);
 
  private:
-  /// Cached, profile-independent analysis of one query's page. Shared
-  /// out of the cache by shared_ptr so LRU eviction never invalidates an
-  /// analysis a Serve or TrainUser call is still using, and so the
-  /// content ontology can ride along on PersonalizedPage.
-  struct QueryAnalysis {
-    backend::ResultPage page;
-    std::vector<concepts::ContentConcept> content_concepts;
-    std::shared_ptr<const concepts::ContentOntology> content_ontology;
-    concepts::QueryLocationConcepts locations;
-    std::vector<geo::LocationId> query_mentioned_locations;
-    profile::ImpressionConcepts impression;
-  };
-
-  /// A mined preference stored symbolically (query + backend indices).
-  /// Features are recomputed against the *current* profile at training
-  /// time so train and serve see the same feature distribution (pairs
-  /// recorded while the profile was young would otherwise train the
-  /// model on all-zero profile features).
+  /// A mined preference stored symbolically: indices into the user's
+  /// query dictionary and the query's backend page. Features are
+  /// recomputed against the *current* profile at training time so train
+  /// and serve see the same feature distribution (pairs recorded while
+  /// the profile was young would otherwise train the model on all-zero
+  /// profile features). 16 bytes per pair — the query string lives once
+  /// in UserState::pair_queries, not in every pair.
   struct StoredPair {
-    std::string query;
-    int preferred_backend_index = -1;
-    int other_backend_index = -1;
+    int32_t query_index = -1;
+    int32_t preferred_backend_index = -1;
+    int32_t other_backend_index = -1;
     double weight = 1.0;
   };
 
   struct UserState {
     std::unique_ptr<profile::UserProfile> profile;
-    std::unique_ptr<ranking::RankSvm> model;
-    std::vector<StoredPair> pairs;
+    /// The user's current model, published as an immutable snapshot:
+    /// Serve copies the pointer under model_mutex and scores against the
+    /// snapshot while TrainUser trains a successor off to the side and
+    /// swaps it in. This pointer swap is the entire synchronization
+    /// between training and serving — it is what makes TrainAllUsers
+    /// safe to run concurrently with Serve.
+    std::shared_ptr<const ranking::RankSvm> model;
+    mutable std::mutex model_mutex;
+
+    std::shared_ptr<const ranking::RankSvm> ModelSnapshot() const {
+      std::lock_guard<std::mutex> lock(model_mutex);
+      return model;
+    }
+    void PublishModel(std::shared_ptr<const ranking::RankSvm> next) {
+      std::lock_guard<std::mutex> lock(model_mutex);
+      model = std::move(next);
+    }
+
+    /// Bounded pair store: pushing past the cap overwrites the oldest
+    /// pair in O(1) (the old vector erase-from-front was O(n) per
+    /// Observe once full).
+    std::unique_ptr<RingBuffer<StoredPair>> pairs;
+    /// Distinct queries pairs refer to; StoredPair::query_index points
+    /// here. Entries whose pairs have all aged out stay (bounded by the
+    /// user's distinct-query count) — they cost one string, not one
+    /// feature refresh.
+    std::vector<std::string> pair_queries;
+    std::unordered_map<std::string, int32_t> pair_query_index;
+    /// Training-time feature row arena, reused across training rounds.
+    ranking::FeatureSlab slab;
     std::optional<geo::GeoPoint> position;
   };
 
@@ -220,10 +286,20 @@ class PwsEngine : public Personalizer {
   /// returned pointer stays valid after eviction.
   std::shared_ptr<const QueryAnalysis> AnalyzeQuery(const std::string& query);
 
-  /// Strategy-masked feature matrix of a query's page under the user's
-  /// current profile.
-  ranking::FeatureMatrix ComputeFeatures(const QueryAnalysis& analysis,
-                                         const UserState& state) const;
+  /// Profile weight normalizers, precomputed once per retrain so the
+  /// per-query feature refresh skips the profile scan (the profile does
+  /// not change while one TrainUser runs).
+  struct ProfileNorms {
+    double content = 1.0;
+    double location = 1.0;
+  };
+
+  /// Strategy-masked feature rows of a query's page under the user's
+  /// current profile, into `out` (storage reused). `norms`, when
+  /// non-null, supplies the profile normalizers instead of scanning.
+  void ComputeFeaturesInto(const QueryAnalysis& analysis,
+                           const UserState& state, ranking::FeatureBlock& out,
+                           const ProfileNorms* norms = nullptr) const;
   UserState& StateOf(click::UserId user);
   const UserState& StateOf(click::UserId user) const;
 

@@ -6,23 +6,23 @@ namespace pws::profile {
 namespace {
 
 template <typename Key>
-double MapEntropy(const std::unordered_map<Key, int>& counts) {
+double MapEntropy(const IdMap<Key, int>& counts) {
   std::vector<double> weights;
   weights.reserve(counts.size());
-  for (const auto& [key, count] : counts) {
+  counts.ForEach([&](Key, const int& count) {
     weights.push_back(static_cast<double>(count));
-  }
+  });
   return Entropy(weights);
 }
 
 }  // namespace
 
 void ClickEntropyTracker::AddClick(
-    int query_id, const std::vector<std::string>& content_terms,
-    const std::vector<geo::LocationId>& locations) {
+    int query_id, std::span<const concepts::ConceptId> content_ids,
+    std::span<const geo::LocationId> locations) {
   QueryStats& stats = stats_[query_id];
   ++stats.clicks;
-  for (const auto& term : content_terms) ++stats.content_clicks[term];
+  for (concepts::ConceptId id : content_ids) ++stats.content_clicks[id];
   for (geo::LocationId loc : locations) ++stats.location_clicks[loc];
 }
 

@@ -1,11 +1,13 @@
 #ifndef PWS_PROFILE_ENTROPY_H_
 #define PWS_PROFILE_ENTROPY_H_
 
-#include <string>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "concepts/concept_interner.h"
 #include "geo/location_ontology.h"
+#include "util/id_map.h"
 
 namespace pws::profile {
 
@@ -19,13 +21,17 @@ namespace pws::profile {
 ///    entropy = the same query targets many places = location
 ///    personalization pays off; (near-)zero entropy = the query pins its
 ///    location already, so location re-ranking can't help.
+///
+/// Content concepts are tracked by interned ConceptId (see
+/// concepts/concept_interner.h) — the serve path hands the tracker id
+/// spans straight out of the impression pool, no strings.
 class ClickEntropyTracker {
  public:
   ClickEntropyTracker() = default;
 
   /// Records one click's concepts under `query_id`.
-  void AddClick(int query_id, const std::vector<std::string>& content_terms,
-                const std::vector<geo::LocationId>& locations);
+  void AddClick(int query_id, std::span<const concepts::ConceptId> content_ids,
+                std::span<const geo::LocationId> locations);
 
   /// Shannon entropy (nats) of the clicked-content-concept distribution
   /// of `query_id`; 0 for unseen queries.
@@ -45,8 +51,8 @@ class ClickEntropyTracker {
 
  private:
   struct QueryStats {
-    std::unordered_map<std::string, int> content_clicks;
-    std::unordered_map<geo::LocationId, int> location_clicks;
+    IdMap<concepts::ConceptId, int> content_clicks;
+    IdMap<geo::LocationId, int> location_clicks;
     int clicks = 0;
   };
   std::unordered_map<int, QueryStats> stats_;

@@ -31,8 +31,8 @@ void UserProfile::ObserveImpression(
     const click::ClickRecord& record, const ImpressionConcepts& impression,
     const concepts::ContentOntology* content_ontology,
     const ProfileUpdateOptions& options) {
-  PWS_CHECK_EQ(record.interactions.size(),
-               impression.content_terms_per_result.size());
+  PWS_CHECK_EQ(static_cast<int>(record.interactions.size()),
+               impression.result_count());
   PWS_CHECK_EQ(record.interactions.size(),
                impression.locations_per_result.size());
   const auto grades = record.GradeInteractions(options.thresholds);
@@ -42,12 +42,12 @@ void UserProfile::ObserveImpression(
   // present in most of the page carries little preference information,
   // clicking a rare one carries a lot. Credit is divided by the number of
   // results carrying the concept.
-  std::unordered_map<std::string, int> content_page_counts;
-  std::unordered_map<geo::LocationId, int> location_page_counts;
+  IdMap<concepts::ConceptId, int> content_page_counts;
+  IdMap<geo::LocationId, int> location_page_counts;
   int located_results = 0;
   for (size_t i = 0; i < record.interactions.size(); ++i) {
-    for (const auto& term : impression.content_terms_per_result[i]) {
-      ++content_page_counts[term];
+    for (concepts::ConceptId id : impression.content_ids(static_cast<int>(i))) {
+      ++content_page_counts[id];
     }
     if (!impression.locations_per_result[i].empty()) ++located_results;
     for (geo::LocationId loc : impression.locations_per_result[i]) {
@@ -81,18 +81,18 @@ void UserProfile::ObserveImpression(
     }
 
     // Content concepts of this result (lift-corrected).
-    for (const auto& term : impression.content_terms_per_result[i]) {
-      const double lift = 1.0 / content_page_counts[term];
+    for (concepts::ConceptId id : impression.content_ids(static_cast<int>(i))) {
+      const double lift = 1.0 / content_page_counts[id];
       const double credit = delta * lift;
-      AddContentWeight(term, credit);
+      AddContentWeight(id, credit);
       if (credit > 0.0 && options.ontology_spreading &&
           content_ontology != nullptr) {
-        const int index = content_ontology->Find(term);
+        const int index = content_ontology->LocalIndexOf(id);
         if (index >= 0) {
           for (int neighbour : content_ontology->Neighbors(
                    index, options.spread_min_similarity)) {
             const double sim = content_ontology->Similarity(index, neighbour);
-            AddContentWeight(content_ontology->concept_at(neighbour).term,
+            AddContentWeight(content_ontology->concept_id(neighbour),
                              credit * options.spread_factor * sim);
           }
         }
@@ -124,27 +124,27 @@ void UserProfile::ObserveImpression(
 }
 
 void UserProfile::DecayDaily(const ProfileUpdateOptions& options) {
-  for (auto& [term, w] : content_weights_) w *= options.daily_decay;
-  for (auto& [loc, w] : location_weights_) w *= options.daily_decay;
+  content_weights_.ForEach(
+      [&](concepts::ConceptId, double& w) { w *= options.daily_decay; });
+  location_weights_.ForEach(
+      [&](geo::LocationId, double& w) { w *= options.daily_decay; });
 }
 
-double UserProfile::ContentWeight(const std::string& term) const {
-  auto it = content_weights_.find(term);
-  return it == content_weights_.end() ? 0.0 : it->second;
-}
-
-double UserProfile::LocationWeight(geo::LocationId location) const {
-  auto it = location_weights_.find(location);
-  return it == location_weights_.end() ? 0.0 : it->second;
+double UserProfile::ContentWeight(std::string_view term) const {
+  const concepts::ConceptId id =
+      concepts::ConceptInterner::Global().Find(term);
+  return id == concepts::kInvalidConcept ? 0.0 : ContentWeight(id);
 }
 
 double UserProfile::LocationAffinity(geo::LocationId location) const {
   if (location == geo::kInvalidLocation) return 0.0;
+  // Max-reduction: iteration order over the flat map does not affect the
+  // result, so the switch from unordered_map is bit-identical.
   double best = 0.0;
-  for (const auto& [loc, weight] : location_weights_) {
-    if (weight <= 0.0) continue;
+  location_weights_.ForEach([&](geo::LocationId loc, const double& weight) {
+    if (weight <= 0.0) return;
     best = std::max(best, weight * ontology_->Similarity(loc, location));
-  }
+  });
   return best;
 }
 
@@ -153,42 +153,58 @@ void UserProfile::AddLocationWeight(geo::LocationId location, double delta) {
   location_weights_[location] += delta;
 }
 
-void UserProfile::AddContentWeight(const std::string& term, double delta) {
-  content_weights_[term] += delta;
+void UserProfile::AddContentWeight(concepts::ConceptId id, double delta) {
+  PWS_CHECK_GE(id, 0);
+  content_weights_[id] += delta;
+}
+
+void UserProfile::AddContentWeight(std::string_view term, double delta) {
+  AddContentWeight(concepts::ConceptInterner::Global().Intern(term), delta);
 }
 
 int UserProfile::ContentConceptCount() const {
   int count = 0;
-  for (const auto& [term, w] : content_weights_) {
+  content_weights_.ForEach([&](concepts::ConceptId, const double& w) {
     if (w != 0.0) ++count;
-  }
+  });
   return count;
 }
 
 int UserProfile::LocationConceptCount() const {
   int count = 0;
-  for (const auto& [loc, w] : location_weights_) {
+  location_weights_.ForEach([&](geo::LocationId, const double& w) {
     if (w != 0.0) ++count;
-  }
+  });
   return count;
 }
 
 double UserProfile::MaxContentWeight() const {
   double best = 0.0;
-  for (const auto& [term, w] : content_weights_) best = std::max(best, w);
+  content_weights_.ForEach([&](concepts::ConceptId, const double& w) {
+    best = std::max(best, w);
+  });
   return best;
 }
 
 double UserProfile::MaxLocationWeight() const {
   double best = 0.0;
-  for (const auto& [loc, w] : location_weights_) best = std::max(best, w);
+  location_weights_.ForEach(
+      [&](geo::LocationId, const double& w) { best = std::max(best, w); });
   return best;
 }
 
 std::vector<std::pair<std::string, double>> UserProfile::TopContentConcepts(
     int k) const {
-  std::vector<std::pair<std::string, double>> all(content_weights_.begin(),
-                                                  content_weights_.end());
+  // The string boundary: ids resolve back to terms here, and ties break on
+  // the term string, so the output is independent of id assignment order
+  // (and the persisted profile format is unchanged).
+  std::vector<std::pair<std::string, double>> all;
+  all.reserve(content_weights_.size());
+  const concepts::ConceptInterner& interner =
+      concepts::ConceptInterner::Global();
+  content_weights_.ForEach([&](concepts::ConceptId id, const double& w) {
+    all.emplace_back(interner.TermOf(id), w);
+  });
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -199,8 +215,11 @@ std::vector<std::pair<std::string, double>> UserProfile::TopContentConcepts(
 
 std::vector<std::pair<geo::LocationId, double>> UserProfile::TopLocations(
     int k) const {
-  std::vector<std::pair<geo::LocationId, double>> all(
-      location_weights_.begin(), location_weights_.end());
+  std::vector<std::pair<geo::LocationId, double>> all;
+  all.reserve(location_weights_.size());
+  location_weights_.ForEach([&](geo::LocationId loc, const double& w) {
+    all.emplace_back(loc, w);
+  });
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;

@@ -1,23 +1,33 @@
 #ifndef PWS_PROFILE_USER_PROFILE_H_
 #define PWS_PROFILE_USER_PROFILE_H_
 
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "click/click_log.h"
+#include "concepts/concept_interner.h"
 #include "concepts/content_ontology.h"
 #include "concepts/location_concepts.h"
 #include "geo/location_ontology.h"
+#include "util/id_map.h"
 
 namespace pws::profile {
 
 /// The concepts attached to one impression, produced by the engine's
 /// extractors and consumed by profile updates and feature extraction:
-/// element i describes the result shown at position i.
+/// result i's content concepts are the interned-ids slice
+/// content_ids(i) of one flat pool (no per-result string vectors — the
+/// learning loop moves concepts around as 4-byte ids; strings exist only
+/// at the extraction and I/O boundaries).
 struct ImpressionConcepts {
-  /// Content concepts present in result i's title+snippet.
-  std::vector<std::vector<std::string>> content_terms_per_result;
+  /// Flat pool of interned concept ids, all results back to back.
+  std::vector<concepts::ConceptId> content_pool;
+  /// Result i's slice of the pool is [content_offsets[i],
+  /// content_offsets[i+1]); size result_count() + 1 (empty before the
+  /// first AppendResult*).
+  std::vector<int32_t> content_offsets;
   /// Location nodes mentioned in result i's document.
   std::vector<std::vector<geo::LocationId>> locations_per_result;
   /// Locations the query named explicitly. Clicks on results matching
@@ -25,6 +35,35 @@ struct ImpressionConcepts {
   /// so the profile update gives them no location credit (residual
   /// preference learning).
   std::vector<geo::LocationId> query_mentioned_locations;
+
+  int result_count() const {
+    return content_offsets.empty()
+               ? 0
+               : static_cast<int>(content_offsets.size()) - 1;
+  }
+
+  std::span<const concepts::ConceptId> content_ids(int i) const {
+    return std::span<const concepts::ConceptId>(
+        content_pool.data() + content_offsets[i],
+        content_pool.data() + content_offsets[i + 1]);
+  }
+
+  /// Appends the next result's concept ids to the pool.
+  void AppendResultIds(std::span<const concepts::ConceptId> ids) {
+    if (content_offsets.empty()) content_offsets.push_back(0);
+    content_pool.insert(content_pool.end(), ids.begin(), ids.end());
+    content_offsets.push_back(static_cast<int32_t>(content_pool.size()));
+  }
+
+  /// Appends the next result's concepts given as terms, interning them —
+  /// the string-boundary builder for tests and ad-hoc callers.
+  void AppendResultTerms(const std::vector<std::string>& terms) {
+    if (content_offsets.empty()) content_offsets.push_back(0);
+    for (const std::string& term : terms) {
+      content_pool.push_back(concepts::ConceptInterner::Global().Intern(term));
+    }
+    content_offsets.push_back(static_cast<int32_t>(content_pool.size()));
+  }
 };
 
 /// Profile update knobs.
@@ -49,6 +88,12 @@ struct ProfileUpdateOptions {
 /// content concepts and a weighted set of location nodes, accumulated
 /// online from the user's clickthrough. Positive weights mark concepts
 /// the user clicks; skipped results push weights down.
+///
+/// Both weight sets are flat id-keyed maps (IdMap): content concepts by
+/// their process-wide interned ConceptId, locations by LocationId.
+/// String-keyed accessors remain as boundary conveniences for I/O and
+/// tests; the hot paths (feature extraction, impression updates) never
+/// touch a string.
 class UserProfile {
  public:
   /// Creates an empty profile bound to a gazetteer (not owned).
@@ -67,11 +112,19 @@ class UserProfile {
   /// Applies one day's exponential decay to every weight.
   void DecayDaily(const ProfileUpdateOptions& options);
 
-  /// Current weight of a content concept (0 when unseen).
-  double ContentWeight(const std::string& term) const;
+  /// Current weight of a content concept id (0 when unseen).
+  double ContentWeight(concepts::ConceptId id) const {
+    return content_weights_.ValueOr(id, 0.0);
+  }
+
+  /// Current weight of a content concept term (0 when unseen). Boundary
+  /// convenience: resolves the term through the global interner.
+  double ContentWeight(std::string_view term) const;
 
   /// Current weight of a location node (0 when unseen).
-  double LocationWeight(geo::LocationId location) const;
+  double LocationWeight(geo::LocationId location) const {
+    return location_weights_.ValueOr(location, 0.0);
+  }
 
   /// Soft location match: max over profile locations of
   /// weight * ontology-similarity(location, profile location). Lets a
@@ -83,7 +136,11 @@ class UserProfile {
   void AddLocationWeight(geo::LocationId location, double delta);
 
   /// Adds `delta` to a content concept's weight directly.
-  void AddContentWeight(const std::string& term, double delta);
+  void AddContentWeight(concepts::ConceptId id, double delta);
+
+  /// Adds `delta` by term, interning it — the I/O-boundary form
+  /// (io::ProfileFromText and tests).
+  void AddContentWeight(std::string_view term, double delta);
 
   /// Number of concepts with non-zero weight.
   int ContentConceptCount() const;
@@ -95,7 +152,10 @@ class UserProfile {
   double MaxContentWeight() const;
   double MaxLocationWeight() const;
 
-  /// Top-k content concepts / locations by weight (for inspection).
+  /// Top-k content concepts / locations by weight (for inspection and
+  /// serialization — the string boundary; ids are resolved back to terms
+  /// through the interner and ties break on the term string, so output
+  /// order is independent of id assignment order).
   std::vector<std::pair<std::string, double>> TopContentConcepts(int k) const;
   std::vector<std::pair<geo::LocationId, double>> TopLocations(int k) const;
 
@@ -109,8 +169,8 @@ class UserProfile {
  private:
   click::UserId user_;
   const geo::LocationOntology* ontology_;
-  std::unordered_map<std::string, double> content_weights_;
-  std::unordered_map<geo::LocationId, double> location_weights_;
+  IdMap<concepts::ConceptId, double> content_weights_;
+  IdMap<geo::LocationId, double> location_weights_;
   int impressions_observed_ = 0;
 };
 

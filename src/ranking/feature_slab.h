@@ -1,0 +1,102 @@
+#ifndef PWS_RANKING_FEATURE_SLAB_H_
+#define PWS_RANKING_FEATURE_SLAB_H_
+
+#include <cstring>
+#include <vector>
+
+#include "ranking/features.h"
+#include "util/check.h"
+
+namespace pws::ranking {
+
+/// A chunked arena of kFeatureCount-wide feature rows with stable
+/// addresses — the backing store for a user's training set. TrainUser
+/// copies each distinct query's FeatureBlock into the slab once and
+/// points every TrainingPair of that query at the copied rows, instead of
+/// duplicating two full feature vectors into every pair.
+///
+/// Chunks are fixed-size heap buffers that are never reallocated, so row
+/// pointers stay valid for the slab's lifetime (until Clear). Clear keeps
+/// the chunks and rewinds the cursor, so a slab reused across training
+/// rounds stops allocating once it has reached its working-set size.
+class FeatureSlab {
+ public:
+  explicit FeatureSlab(int rows_per_chunk = 1024)
+      : rows_per_chunk_(rows_per_chunk) {
+    PWS_CHECK_GE(rows_per_chunk_, 1);
+  }
+
+  /// Copies all rows of `block` into the slab, contiguously, and returns
+  /// the address of the copied first row (row i of the block is at
+  /// `returned + i * kFeatureCount`). The block's row width is
+  /// kFeatureCount by construction — this is the one-time dimension
+  /// validation point for everything that later flows into
+  /// RankSvm::Train as raw row pointers.
+  const double* CopyBlock(const FeatureBlock& block) {
+    return CopyRows(block.data().data(), block.rows());
+  }
+
+  /// Copies `n` contiguous kFeatureCount-wide rows starting at `rows`.
+  const double* CopyRows(const double* rows, int n) {
+    PWS_CHECK_GE(n, 0);
+    if (n == 0) return nullptr;
+    double* dst = Allocate(n);
+    std::memcpy(dst, rows,
+                static_cast<size_t>(n) * kFeatureCount * sizeof(double));
+    return dst;
+  }
+
+  /// Rewinds the slab, invalidating previously returned pointers but
+  /// keeping chunk storage for reuse.
+  void Clear() {
+    active_chunk_ = 0;
+    used_rows_ = 0;
+  }
+
+  /// Total rows currently stored: chunks before the active one count in
+  /// full (their tail slack was skipped, not filled — this is an upper
+  /// bound used only for inspection), plus the active chunk's cursor.
+  size_t row_count() const {
+    size_t total = 0;
+    for (size_t c = 0; c < active_chunk_ && c < chunk_rows_.size(); ++c) {
+      total += chunk_rows_[c];
+    }
+    return total + used_rows_;
+  }
+
+ private:
+  double* Allocate(int n) {
+    // A block must stay contiguous: if it doesn't fit in the active
+    // chunk's remainder, move to the next chunk (allocating an oversized
+    // one when a single block exceeds rows_per_chunk_).
+    while (active_chunk_ < chunks_.size() &&
+           used_rows_ + static_cast<size_t>(n) >
+               chunk_rows_[active_chunk_]) {
+      ++active_chunk_;
+      used_rows_ = 0;
+    }
+    if (active_chunk_ == chunks_.size()) {
+      const size_t rows = static_cast<size_t>(
+          n > rows_per_chunk_ ? n : rows_per_chunk_);
+      chunks_.emplace_back(rows * kFeatureCount);
+      chunk_rows_.push_back(rows);
+      used_rows_ = 0;
+    }
+    double* out =
+        chunks_[active_chunk_].data() + used_rows_ * kFeatureCount;
+    used_rows_ += static_cast<size_t>(n);
+    return out;
+  }
+
+  int rows_per_chunk_;
+  /// Chunk heap buffers; the vector of chunks may grow, but each chunk's
+  /// buffer address is fixed once allocated.
+  std::vector<std::vector<double>> chunks_;
+  std::vector<size_t> chunk_rows_;
+  size_t active_chunk_ = 0;
+  size_t used_rows_ = 0;
+};
+
+}  // namespace pws::ranking
+
+#endif  // PWS_RANKING_FEATURE_SLAB_H_

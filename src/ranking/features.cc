@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/id_map.h"
 
 namespace pws::ranking {
 namespace {
@@ -30,22 +31,33 @@ double LocationGate(double density, double lo, double hi) {
   return t * t * (3.0 - 2.0 * t);
 }
 
-void MaskFeatureRange(std::vector<double>& x, int begin, int end) {
+void MaskFeatureRange(double* x, int begin, int end) {
   PWS_CHECK_GE(begin, 0);
-  PWS_CHECK_LE(end, static_cast<int>(x.size()));
+  PWS_CHECK_LE(end, kFeatureCount);
   for (int i = begin; i < end; ++i) x[i] = 0.0;
 }
 
-FeatureMatrix ExtractFeatures(const backend::ResultPage& page,
-                              const FeatureContext& context) {
+void MaskFeatureRange(std::vector<double>& x, int begin, int end) {
+  PWS_CHECK_LE(end, static_cast<int>(x.size()));
+  MaskFeatureRange(x.data(), begin, end);
+}
+
+FeatureBlock ExtractFeatures(const backend::ResultPage& page,
+                             const FeatureContext& context) {
+  FeatureBlock block;
+  ExtractFeaturesInto(page, context, block);
+  return block;
+}
+
+void ExtractFeaturesInto(const backend::ResultPage& page,
+                         const FeatureContext& context, FeatureBlock& out) {
   PWS_CHECK(context.ontology != nullptr);
   const int n = static_cast<int>(page.results.size());
-  FeatureMatrix features(n, std::vector<double>(kFeatureCount, 0.0));
-  if (n == 0) return features;
+  out.Reset(n);
+  if (n == 0) return;
 
-  if (context.content_terms_per_result != nullptr) {
-    PWS_CHECK_EQ(context.content_terms_per_result->size(),
-                 static_cast<size_t>(n));
+  if (context.impression != nullptr) {
+    PWS_CHECK_EQ(context.impression->result_count(), n);
   }
   if (context.query_locations != nullptr) {
     PWS_CHECK_EQ(context.query_locations->per_result.size(),
@@ -57,82 +69,110 @@ FeatureMatrix ExtractFeatures(const backend::ResultPage& page,
   double content_norm = 1.0;
   double location_norm = 1.0;
   if (context.user_profile != nullptr) {
-    content_norm = std::max(1e-9, context.user_profile->MaxContentWeight());
-    location_norm = std::max(1e-9, context.user_profile->MaxLocationWeight());
+    content_norm =
+        context.content_norm.has_value()
+            ? *context.content_norm
+            : std::max(1e-9, context.user_profile->MaxContentWeight());
+    location_norm =
+        context.location_norm.has_value()
+            ? *context.location_norm
+            : std::max(1e-9, context.user_profile->MaxLocationWeight());
   }
 
+  // The location gate depends only on the page, not the result: hoisted
+  // out of the per-result loop (PageLocationDensity walks every result).
+  double gate = 0.0;
+  double preference_gate = 0.0;
+  if (context.query_locations != nullptr) {
+    gate = LocationGate(PageLocationDensity(*context.query_locations));
+    // When the query names a place, the *query* fixes the location
+    // aspect: the user's standing location preference (and their
+    // physical position) must not fight it. Only the query-match
+    // feature stays live on such queries.
+    preference_gate = context.query_mentioned_locations.empty() ? gate : 0.0;
+  }
+
+  // Per-location scores are pure functions of (location, page, profile),
+  // all constant for the duration of one extraction, and the same
+  // location recurs across a page's results — memoize them. Max-of-maxes
+  // and per-occurrence sums of memoized values are bit-identical to the
+  // direct computation (comparisons and the original summation order are
+  // unchanged).
+  struct LocationScores {
+    double query_match = 0.0;  // best Similarity vs query locations
+    double affinity = 0.0;     // profile->LocationAffinity
+    double direct = 0.0;       // max(0, profile->LocationWeight)
+    double page_weight = 0.0;  // query_locations->WeightOf
+    double gps_decay = 0.0;    // DistanceDecay from gps_position
+  };
+  pws::IdMap<geo::LocationId, LocationScores> location_memo;
+  const auto scores_of = [&](geo::LocationId loc) -> LocationScores {
+    if (const LocationScores* found = location_memo.Find(loc)) return *found;
+    LocationScores s;
+    for (geo::LocationId qloc : context.query_mentioned_locations) {
+      s.query_match =
+          std::max(s.query_match, context.ontology->Similarity(loc, qloc));
+    }
+    if (context.user_profile != nullptr) {
+      s.affinity = context.user_profile->LocationAffinity(loc);
+      s.direct = std::max(0.0, context.user_profile->LocationWeight(loc));
+    }
+    s.page_weight = context.query_locations->WeightOf(loc);
+    if (context.gps_position.has_value()) {
+      const double km = geo::HaversineKm(*context.gps_position,
+                                         context.ontology->node(loc).coords);
+      s.gps_decay = geo::DistanceDecay(km, context.gps_decay_scale_km);
+    }
+    location_memo[loc] = s;
+    return s;
+  };
+
   for (int i = 0; i < n; ++i) {
-    std::vector<double>& x = features[i];
+    double* x = out.row(i);
 
     // --- Content block ---
-    if (context.user_profile != nullptr &&
-        context.content_terms_per_result != nullptr) {
-      const auto& terms = (*context.content_terms_per_result)[i];
+    if (context.user_profile != nullptr && context.impression != nullptr) {
+      const auto ids = context.impression->content_ids(i);
       double sum_weight = 0.0;
       int positive = 0;
-      for (const auto& term : terms) {
-        const double w = context.user_profile->ContentWeight(term);
+      for (concepts::ConceptId id : ids) {
+        const double w = context.user_profile->ContentWeight(id);
         sum_weight += w;
         if (w > 0.0) ++positive;
       }
       x[0] = Squash(std::max(0.0, sum_weight) / content_norm);
-      x[1] = terms.empty() ? 0.0
-                           : static_cast<double>(positive) / terms.size();
+      x[1] = ids.empty() ? 0.0
+                         : static_cast<double>(positive) / ids.size();
     }
 
     // --- Location block ---
     if (context.query_locations != nullptr) {
-      const double gate =
-          LocationGate(PageLocationDensity(*context.query_locations));
-      // When the query names a place, the *query* fixes the location
-      // aspect: the user's standing location preference (and their
-      // physical position) must not fight it. Only the query-match
-      // feature stays live on such queries.
-      const double preference_gate =
-          context.query_mentioned_locations.empty() ? gate : 0.0;
       const auto& locations = context.query_locations->per_result[i];
       double query_match = 0.0;
+      double affinity = 0.0;
+      double direct = 0.0;
+      double page_weight = 0.0;
+      double best_decay = 0.0;
       for (geo::LocationId loc : locations) {
-        for (geo::LocationId qloc : context.query_mentioned_locations) {
-          query_match = std::max(query_match,
-                                 context.ontology->Similarity(loc, qloc));
-        }
+        const LocationScores s = scores_of(loc);
+        query_match = std::max(query_match, s.query_match);
+        affinity = std::max(affinity, s.affinity);
+        direct += s.direct;
+        page_weight = std::max(page_weight, s.page_weight);
+        best_decay = std::max(best_decay, s.gps_decay);
       }
       x[kQueryLocationMatchIndex] = query_match;
-
       if (context.user_profile != nullptr) {
-        double affinity = 0.0;
-        double direct = 0.0;
-        for (geo::LocationId loc : locations) {
-          affinity = std::max(affinity,
-                              context.user_profile->LocationAffinity(loc));
-          direct += std::max(0.0, context.user_profile->LocationWeight(loc));
-        }
         x[3] = preference_gate * std::min(1.0, affinity / location_norm);
         x[4] = preference_gate * Squash(direct / location_norm);
       }
-
-      double page_weight = 0.0;
-      for (geo::LocationId loc : locations) {
-        page_weight =
-            std::max(page_weight, context.query_locations->WeightOf(loc));
-      }
       x[5] = gate * page_weight;
       x[6] = locations.empty() ? 0.0 : gate;
-
       if (context.gps_position.has_value() && !locations.empty()) {
-        double best_decay = 0.0;
-        for (geo::LocationId loc : locations) {
-          const double km = geo::HaversineKm(
-              *context.gps_position, context.ontology->node(loc).coords);
-          best_decay = std::max(
-              best_decay, geo::DistanceDecay(km, context.gps_decay_scale_km));
-        }
         x[kGpsFeatureIndex] = preference_gate * best_decay;
       }
     }
   }
-  return features;
 }
 
 }  // namespace pws::ranking

@@ -2,7 +2,6 @@
 #define PWS_RANKING_FEATURES_H_
 
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "backend/search_backend.h"
@@ -54,14 +53,15 @@ inline constexpr int kGpsFeatureIndex = 7;
 inline constexpr int kFeatureCount = 8;
 
 /// Everything the extractor needs besides the page itself. Pointers are
-/// borrowed; null profile / null concepts disable the respective block
+/// borrowed; null profile / null impression disable the respective block
 /// (features stay 0).
 struct FeatureContext {
   const geo::LocationOntology* ontology = nullptr;  // Required.
   const profile::UserProfile* user_profile = nullptr;
-  /// Content concepts present in each result's title+snippet.
-  const std::vector<std::vector<std::string>>* content_terms_per_result =
-      nullptr;
+  /// Content concepts present in each result's title+snippet, as interned
+  /// id slices of the impression's flat pool (profile::ImpressionConcepts)
+  /// — the extractor reads only content_ids(i).
+  const profile::ImpressionConcepts* impression = nullptr;
   /// Location concepts of the page (per result + aggregated).
   const concepts::QueryLocationConcepts* query_locations = nullptr;
   /// Locations named in the query text itself.
@@ -70,10 +70,55 @@ struct FeatureContext {
   std::optional<geo::GeoPoint> gps_position;
   /// Distance scale for the GPS proximity feature, in km.
   double gps_decay_scale_km = 150.0;
+  /// Precomputed profile normalizers. When set, they MUST equal
+  /// max(1e-9, user_profile->MaxContentWeight() / MaxLocationWeight());
+  /// TrainUser sets them once per retrain so the per-page profile scan
+  /// is hoisted out of the per-query feature refresh.
+  std::optional<double> content_norm;
+  std::optional<double> location_norm;
 };
 
-/// One feature vector per result, aligned with backend rank order.
-using FeatureMatrix = std::vector<std::vector<double>>;
+/// One feature row per result, aligned with backend rank order, stored as
+/// one flat row-major rows() x kFeatureCount double array. Replaces the
+/// old vector<vector<double>> FeatureMatrix: one allocation per page
+/// instead of rows+1, rows contiguous in memory for the scoring and SGD
+/// loops, and row pointers are directly usable as TrainingPair sides.
+class FeatureBlock {
+ public:
+  FeatureBlock() = default;
+  explicit FeatureBlock(int rows) { Reset(rows); }
+
+  /// Resizes to `rows` zero-filled rows (reuses capacity).
+  void Reset(int rows) {
+    rows_ = rows;
+    data_.assign(static_cast<size_t>(rows) * kFeatureCount, 0.0);
+  }
+
+  int rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  double* row(int i) {
+    return data_.data() + static_cast<size_t>(i) * kFeatureCount;
+  }
+  const double* row(int i) const {
+    return data_.data() + static_cast<size_t>(i) * kFeatureCount;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Row i as a vector copy — test/inspection convenience, not a hot path.
+  std::vector<double> RowVector(int i) const {
+    return std::vector<double>(row(i), row(i) + kFeatureCount);
+  }
+
+  friend bool operator==(const FeatureBlock& a, const FeatureBlock& b) {
+    return a.rows_ == b.rows_ && a.data_ == b.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  std::vector<double> data_;
+};
 
 /// Fraction of results carrying at least one location concept.
 double PageLocationDensity(const concepts::QueryLocationConcepts& locations);
@@ -81,12 +126,20 @@ double PageLocationDensity(const concepts::QueryLocationConcepts& locations);
 /// Smoothstep gate on location density: 0 below `lo`, 1 above `hi`.
 double LocationGate(double density, double lo = 0.25, double hi = 0.55);
 
-/// Computes the kFeatureCount-dimensional vector for every result of a
+/// Computes the kFeatureCount-dimensional row for every result of a
 /// page. Pure function of (page, context); deterministic.
-FeatureMatrix ExtractFeatures(const backend::ResultPage& page,
-                              const FeatureContext& context);
+FeatureBlock ExtractFeatures(const backend::ResultPage& page,
+                             const FeatureContext& context);
 
-/// Zeroes `x[begin, end)` — used to ablate feature blocks.
+/// In-place variant reusing `out`'s storage across pages.
+void ExtractFeaturesInto(const backend::ResultPage& page,
+                         const FeatureContext& context, FeatureBlock& out);
+
+/// Zeroes x[begin, end) of one kFeatureCount-wide row — used to ablate
+/// feature blocks.
+void MaskFeatureRange(double* x, int begin, int end);
+
+/// Vector overload (tests build rows as vectors).
 void MaskFeatureRange(std::vector<double>& x, int begin, int end);
 
 }  // namespace pws::ranking

@@ -21,7 +21,7 @@ void RankSvm::SetPrior(std::vector<double> prior) {
   trained_ = true;
 }
 
-double RankSvm::Train(const std::vector<TrainingPair>& pairs,
+double RankSvm::Train(std::span<const TrainingPair> pairs,
                       const RankSvmOptions& options) {
   // epochs <= 0 would "train" nothing yet mark the model trained and
   // reset its weights to the prior — a silent no-op that reports 0.0
@@ -38,10 +38,8 @@ double RankSvm::Train(const std::vector<TrainingPair>& pairs,
   weights_ = prior_;  // Retraining starts from the prior each time.
   if (pairs.empty()) return 0.0;
   const int dim = dimension();
-  for (const auto& pair : pairs) {
-    PWS_CHECK_EQ(static_cast<int>(pair.preferred.size()), dim);
-    PWS_CHECK_EQ(static_cast<int>(pair.other.size()), dim);
-  }
+  double* const w = weights_.data();
+  const double* const prior = prior_.data();
   Random rng(options.shuffle_seed);
   std::vector<int> order(pairs.size());
   std::iota(order.begin(), order.end(), 0);
@@ -53,22 +51,29 @@ double RankSvm::Train(const std::vector<TrainingPair>& pairs,
     double epoch_loss = 0.0;
     for (int index : order) {
       const TrainingPair& pair = pairs[index];
+      const double* const p = pair.preferred;
+      const double* const o = pair.other;
       double margin = 0.0;
       for (int d = 0; d < dim; ++d) {
-        margin += weights_[d] * (pair.preferred[d] - pair.other[d]);
+        margin += w[d] * (p[d] - o[d]);
       }
       const double hinge = std::max(0.0, 1.0 - margin);
       epoch_loss += pair.weight * hinge;
       // L2 pull toward the prior (Pegasos-style step; prior defaults to
-      // zero, giving plain shrinkage).
+      // zero, giving plain shrinkage), fused with the hinge step into one
+      // pass over the weights. Both updates touch only element d, and the
+      // per-element order (pull, then step) matches the old two-loop
+      // form, so the fusion is bit-identical.
       const double pull = options.learning_rate * options.l2_lambda;
-      for (int d = 0; d < dim; ++d) {
-        weights_[d] -= pull * (weights_[d] - prior_[d]);
-      }
       if (hinge > 0.0) {
         const double step = options.learning_rate * pair.weight;
         for (int d = 0; d < dim; ++d) {
-          weights_[d] += step * (pair.preferred[d] - pair.other[d]);
+          w[d] -= pull * (w[d] - prior[d]);
+          w[d] += step * (p[d] - o[d]);
+        }
+      } else {
+        for (int d = 0; d < dim; ++d) {
+          w[d] -= pull * (w[d] - prior[d]);
         }
       }
     }
@@ -77,18 +82,27 @@ double RankSvm::Train(const std::vector<TrainingPair>& pairs,
   return final_epoch_loss;
 }
 
-double RankSvm::Score(const std::vector<double>& x) const {
+double RankSvm::Score(const double* x) const {
   return ScoreRange(x, 0, dimension());
 }
 
-double RankSvm::ScoreRange(const std::vector<double>& x, int begin,
-                           int end) const {
+double RankSvm::Score(const std::vector<double>& x) const {
   PWS_CHECK_EQ(static_cast<int>(x.size()), dimension());
+  return ScoreRange(x.data(), 0, dimension());
+}
+
+double RankSvm::ScoreRange(const double* x, int begin, int end) const {
   PWS_CHECK_GE(begin, 0);
   PWS_CHECK_LE(end, dimension());
   double sum = 0.0;
   for (int d = begin; d < end; ++d) sum += weights_[d] * x[d];
   return sum;
+}
+
+double RankSvm::ScoreRange(const std::vector<double>& x, int begin,
+                           int end) const {
+  PWS_CHECK_EQ(static_cast<int>(x.size()), dimension());
+  return ScoreRange(x.data(), begin, end);
 }
 
 void RankSvm::set_weights(std::vector<double> weights) {

@@ -1,16 +1,23 @@
 #ifndef PWS_RANKING_RANK_SVM_H_
 #define PWS_RANKING_RANK_SVM_H_
 
+#include <span>
 #include <vector>
 
 #include "util/random.h"
 
 namespace pws::ranking {
 
-/// One pairwise training example: `preferred` should outscore `other`.
+/// One pairwise training example: the row at `preferred` should outscore
+/// the row at `other`. The pair does not own its rows — both point at
+/// kFeatureCount-wide rows inside a FeatureBlock or FeatureSlab that must
+/// outlive the Train call. This keeps the training set two pointers and a
+/// weight per pair instead of two heap-allocated vectors, and lets the
+/// engine's pair store reference one shared per-query feature row instead
+/// of duplicating it into every pair.
 struct TrainingPair {
-  std::vector<double> preferred;
-  std::vector<double> other;
+  const double* preferred = nullptr;
+  const double* other = nullptr;
   double weight = 1.0;
 };
 
@@ -34,18 +41,22 @@ class RankSvm {
   /// Creates a zero-weight model of the given dimensionality.
   explicit RankSvm(int dimension);
 
-  /// Runs SGD over `pairs`. Pairs with mismatched dimensionality abort,
-  /// as does options.epochs < 1 (a zero-epoch "training" would silently
-  /// reset the weights while reporting 0.0 loss).
+  /// Runs SGD over `pairs`. Every pair's rows must be dimension() wide —
+  /// the caller (FeatureSlab / FeatureBlock construction) is the
+  /// validation point; Train itself no longer walks the pairs checking
+  /// sizes. options.epochs < 1 aborts (a zero-epoch "training" would
+  /// silently reset the weights while reporting 0.0 loss).
   /// Returns the final epoch's average hinge loss (before regularizer).
-  double Train(const std::vector<TrainingPair>& pairs,
+  double Train(std::span<const TrainingPair> pairs,
                const RankSvmOptions& options);
 
-  /// w · x over the full vector.
+  /// w · x over the full vector (x must have dimension() entries).
+  double Score(const double* x) const;
   double Score(const std::vector<double>& x) const;
 
   /// w · x restricted to indices [begin, end) — block scores for the
   /// content/location blend.
+  double ScoreRange(const double* x, int begin, int end) const;
   double ScoreRange(const std::vector<double>& x, int begin, int end) const;
 
   int dimension() const { return static_cast<int>(weights_.size()); }

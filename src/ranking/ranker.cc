@@ -25,7 +25,7 @@ const char* StrategyToString(Strategy strategy) {
   return "unknown";
 }
 
-void MaskForStrategy(std::vector<double>& x, Strategy strategy) {
+void MaskForStrategy(double* x, Strategy strategy) {
   switch (strategy) {
     case Strategy::kBaseline:
       MaskFeatureRange(x, 0, kFeatureCount);
@@ -45,11 +45,18 @@ void MaskForStrategy(std::vector<double>& x, Strategy strategy) {
   }
 }
 
-void MaskMatrixForStrategy(FeatureMatrix& features, Strategy strategy) {
-  for (auto& row : features) MaskForStrategy(row, strategy);
+void MaskForStrategy(std::vector<double>& x, Strategy strategy) {
+  PWS_CHECK_EQ(static_cast<int>(x.size()), kFeatureCount);
+  MaskForStrategy(x.data(), strategy);
 }
 
-double BlendedScore(const RankSvm& model, const std::vector<double>& x,
+void MaskBlockForStrategy(FeatureBlock& features, Strategy strategy) {
+  for (int i = 0; i < features.rows(); ++i) {
+    MaskForStrategy(features.row(i), strategy);
+  }
+}
+
+double BlendedScore(const RankSvm& model, const double* x,
                     const RankerOptions& options) {
   const double alpha = Clamp(options.alpha, 0.0, 1.0);
   const double content =
@@ -59,8 +66,8 @@ double BlendedScore(const RankSvm& model, const std::vector<double>& x,
   return 2.0 * (1.0 - alpha) * content + 2.0 * alpha * location;
 }
 
-double ServeScore(const RankSvm& model, const std::vector<double>& x,
-                  int backend_rank, const RankerOptions& options) {
+double ServeScore(const RankSvm& model, const double* x, int backend_rank,
+                  const RankerOptions& options) {
   return options.rank_prior_weight / (1.0 + backend_rank) +
          BlendedScore(model, x, options);
 }
@@ -83,36 +90,36 @@ std::vector<int> RanksOf(const std::vector<double>& scores) {
 }  // namespace
 
 std::vector<int> RankResults(const RankSvm& model,
-                             const FeatureMatrix& features, Strategy strategy,
+                             const FeatureBlock& features, Strategy strategy,
                              const RankerOptions& options) {
-  std::vector<int> order(features.size());
+  const int n = features.rows();
+  std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   if (strategy == Strategy::kBaseline || !model.is_trained()) return order;
   // Two spans split the serve-side ranking cost: the RankSVM scoring
   // pass and the re-rank sort.
-  std::vector<double> scores(features.size());
+  std::vector<double> scores(n);
   {
     PWS_SPAN("ranker.score");
     if (options.blend_mode == BlendMode::kScoreBlend) {
-      for (size_t i = 0; i < features.size(); ++i) {
-        scores[i] =
-            ServeScore(model, features[i], static_cast<int>(i), options);
+      for (int i = 0; i < n; ++i) {
+        scores[i] = ServeScore(model, features.row(i), i, options);
       }
     } else {
       // Reciprocal-rank fusion over the two block rankings.
       constexpr double kRrfK = 60.0;
       const double alpha = Clamp(options.alpha, 0.0, 1.0);
-      std::vector<double> content_scores(features.size());
-      std::vector<double> location_scores(features.size());
-      for (size_t i = 0; i < features.size(); ++i) {
-        content_scores[i] = model.ScoreRange(features[i], kContentFeatureBegin,
-                                             kContentFeatureEnd);
+      std::vector<double> content_scores(n);
+      std::vector<double> location_scores(n);
+      for (int i = 0; i < n; ++i) {
+        content_scores[i] = model.ScoreRange(
+            features.row(i), kContentFeatureBegin, kContentFeatureEnd);
         location_scores[i] = model.ScoreRange(
-            features[i], kLocationFeatureBegin, kLocationFeatureEnd);
+            features.row(i), kLocationFeatureBegin, kLocationFeatureEnd);
       }
       const std::vector<int> content_ranks = RanksOf(content_scores);
       const std::vector<int> location_ranks = RanksOf(location_scores);
-      for (size_t i = 0; i < features.size(); ++i) {
+      for (int i = 0; i < n; ++i) {
         scores[i] =
             options.rank_prior_weight / (1.0 + static_cast<double>(i)) +
             kRrfK * (1.0 - alpha) / (kRrfK + content_ranks[i]) +

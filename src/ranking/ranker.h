@@ -1,7 +1,6 @@
 #ifndef PWS_RANKING_RANKER_H_
 #define PWS_RANKING_RANKER_H_
 
-#include <string>
 #include <vector>
 
 #include "ranking/features.h"
@@ -49,32 +48,34 @@ struct RankerOptions {
   BlendMode blend_mode = BlendMode::kScoreBlend;
 };
 
-/// Masks the feature blocks a strategy must not see. Applied both to
-/// training pairs and serve-time vectors so train and serve agree.
+/// Masks the feature blocks a strategy must not see, in place on one
+/// kFeatureCount-wide row. Applied both to training pairs and serve-time
+/// rows so train and serve agree.
 ///  kBaseline     -> everything masked (model unused anyway)
 ///  kContentOnly  -> location block masked
 ///  kLocationOnly -> content block masked
 ///  kCombined     -> GPS feature masked
 ///  kCombinedGps  -> nothing masked
+void MaskForStrategy(double* x, Strategy strategy);
 void MaskForStrategy(std::vector<double>& x, Strategy strategy);
 
 /// Applies MaskForStrategy to every row.
-void MaskMatrixForStrategy(FeatureMatrix& features, Strategy strategy);
+void MaskBlockForStrategy(FeatureBlock& features, Strategy strategy);
 
-/// The learned (blended) part of the score for one masked vector.
-double BlendedScore(const RankSvm& model, const std::vector<double>& x,
+/// The learned (blended) part of the score for one masked row.
+double BlendedScore(const RankSvm& model, const double* x,
                     const RankerOptions& options);
 
 /// Full serve-time score of the result at backend rank `backend_rank`.
-double ServeScore(const RankSvm& model, const std::vector<double>& x,
-                  int backend_rank, const RankerOptions& options);
+double ServeScore(const RankSvm& model, const double* x, int backend_rank,
+                  const RankerOptions& options);
 
 /// Returns the result order (a permutation of [0, n)) for a page with the
-/// given masked feature matrix (row i = backend rank i): descending serve
+/// given masked feature block (row i = backend rank i): descending serve
 /// score, backend order as tie-break. kBaseline, or an untrained model,
 /// returns the identity.
 std::vector<int> RankResults(const RankSvm& model,
-                             const FeatureMatrix& features, Strategy strategy,
+                             const FeatureBlock& features, Strategy strategy,
                              const RankerOptions& options);
 
 }  // namespace pws::ranking

@@ -1,0 +1,117 @@
+#ifndef PWS_UTIL_ID_MAP_H_
+#define PWS_UTIL_ID_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pws {
+
+/// A flat open-addressing hash map from non-negative integer ids to
+/// values — the profile-weight container of the learning loop. Compared
+/// to std::unordered_map<int, double> it stores key/value pairs inline in
+/// one contiguous slot array (no per-node allocation, no bucket
+/// pointers), probes linearly (cache-friendly), and iterates by scanning
+/// the slot array. Erase is deliberately unsupported: profile weights
+/// only ever accumulate or decay, so tombstones never pay for
+/// themselves.
+///
+/// Keys must be >= 0 (negative keys are reserved as the empty-slot
+/// sentinel). Iteration order is a function of the insertion sequence
+/// alone, so a deterministic caller gets deterministic iteration — but
+/// it is NOT sorted; order-sensitive consumers (serialization, top-k)
+/// must sort, exactly as they had to with unordered_map.
+template <typename Key, typename Value>
+class IdMap {
+  static_assert(sizeof(Key) <= 8, "integer keys only");
+
+ public:
+  IdMap() = default;
+
+  Value& operator[](Key key) {
+    PWS_CHECK_GE(key, 0);
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) Grow();
+    const size_t slot = FindSlot(key);
+    if (slots_[slot].key < 0) {
+      slots_[slot].key = key;
+      slots_[slot].value = Value();
+      ++size_;
+    }
+    return slots_[slot].value;
+  }
+
+  /// Pointer to the value of `key`, or nullptr when absent.
+  const Value* Find(Key key) const {
+    if (slots_.empty()) return nullptr;
+    const size_t slot = FindSlot(key);
+    return slots_[slot].key < 0 ? nullptr : &slots_[slot].value;
+  }
+
+  /// Value of `key`, or `fallback` when absent (the ContentWeight /
+  /// LocationWeight lookup shape).
+  Value ValueOr(Key key, Value fallback) const {
+    const Value* found = Find(key);
+    return found == nullptr ? fallback : *found;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Calls fn(key, value&) for every entry. Mutation of values through
+  /// the reference is allowed (daily decay uses it); insertion during
+  /// iteration is not.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& slot : slots_) {
+      if (slot.key >= 0) fn(slot.key, slot.value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.key >= 0) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Key key = -1;
+    Value value{};
+  };
+
+  // Fibonacci-ish multiplicative hash; slots_.size() is a power of two.
+  size_t SlotOf(Key key) const {
+    return (static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL) &
+           (slots_.size() - 1);
+  }
+
+  // First slot holding `key` or the first empty slot of its probe chain.
+  size_t FindSlot(Key key) const {
+    size_t slot = SlotOf(key);
+    while (slots_[slot].key >= 0 && slots_[slot].key != key) {
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+    return slot;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (const auto& slot : old) {
+      if (slot.key < 0) continue;
+      size_t target = SlotOf(slot.key);
+      while (slots_[target].key >= 0) {
+        target = (target + 1) & (slots_.size() - 1);
+      }
+      slots_[target] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_ID_MAP_H_

@@ -1,0 +1,70 @@
+#ifndef PWS_UTIL_RING_BUFFER_H_
+#define PWS_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pws {
+
+/// A bounded FIFO ring over a flat vector: pushing past the capacity
+/// overwrites the oldest element in O(1) instead of the O(n)
+/// erase-from-front shift it replaces on the Observe hot path. Elements
+/// are visited oldest-to-newest, so after any push sequence the visible
+/// contents equal "the last `capacity` pushes, in push order" — exactly
+/// the semantics of a vector trimmed from the front, which keeps
+/// training-pair order (and therefore RankSVM's shuffled SGD walk)
+/// bit-identical to the pre-ring implementation.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Capacity must be >= 1 and is fixed for the lifetime of the ring.
+  explicit RingBuffer(size_t capacity) : capacity_(capacity) {
+    PWS_CHECK_GE(capacity_, 1u);
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  void Push(T item) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;  // Oldest now one past the write.
+    }
+  }
+
+  void Clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  /// Element `i` in chronological order (0 = oldest surviving element).
+  const T& at(size_t i) const {
+    PWS_CHECK_LT(i, items_.size());
+    return items_[(head_ + i) % items_.size()];
+  }
+
+  /// Visits every element oldest-to-newest.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = items_.size();
+    for (size_t i = head_; i < n; ++i) fn(items_[i]);
+    for (size_t i = 0; i < head_; ++i) fn(items_[i]);
+  }
+
+ private:
+  size_t capacity_;
+  /// Until the ring wraps, items_ is append-only and head_ stays 0; once
+  /// full, head_ marks the oldest element.
+  std::vector<T> items_;
+  size_t head_ = 0;
+};
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_RING_BUFFER_H_

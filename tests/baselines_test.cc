@@ -30,10 +30,10 @@ class BaselinesTest : public ::testing::Test {
   static click::ClickRecord ClickAtShownRank(
       const core::PersonalizedPage& page, int rank) {
     click::ClickRecord record;
-    record.query_text = page.backend_page.query;
+    record.query_text = page.backend_page().query;
     for (size_t j = 0; j < page.order.size(); ++j) {
       click::Interaction interaction;
-      interaction.doc = page.backend_page.results[page.order[j]].doc;
+      interaction.doc = page.backend_page().results[page.order[j]].doc;
       interaction.rank = static_cast<int>(j);
       if (static_cast<int>(j) == rank) {
         interaction.clicked = true;
@@ -62,14 +62,14 @@ TEST_F(BaselinesTest, PClickPromotesPreviouslyClickedDoc) {
   for (size_t j = 0; j < page.order.size(); ++j) {
     EXPECT_EQ(page.order[j], static_cast<int>(j));
   }
-  const corpus::DocId target = page.backend_page.results[5].doc;
+  const corpus::DocId target = page.backend_page().results[5].doc;
 
   // Click the doc at shown rank 5 three times.
   for (int i = 0; i < 3; ++i) {
     page = personalizer.Serve(0, query);
     int shown_rank = -1;
     for (size_t j = 0; j < page.order.size(); ++j) {
-      if (page.backend_page.results[page.order[j]].doc == target) {
+      if (page.backend_page().results[page.order[j]].doc == target) {
         shown_rank = static_cast<int>(j);
       }
     }
@@ -79,7 +79,7 @@ TEST_F(BaselinesTest, PClickPromotesPreviouslyClickedDoc) {
   EXPECT_EQ(personalizer.ClickCount(0, query, target), 3);
 
   page = personalizer.Serve(0, query);
-  EXPECT_EQ(page.backend_page.results[page.order[0]].doc, target);
+  EXPECT_EQ(page.backend_page().results[page.order[0]].doc, target);
 }
 
 TEST_F(BaselinesTest, PClickIsPerUserGClickIsShared) {
@@ -91,7 +91,7 @@ TEST_F(BaselinesTest, PClickIsPerUserGClickIsShared) {
     ClickHistoryPersonalizer personalizer(&world_->search_backend(), options);
     auto page = personalizer.Serve(1, query);
     personalizer.Observe(1, page, ClickAtShownRank(page, 4));
-    const corpus::DocId doc = page.backend_page.results[page.order[4]].doc;
+    const corpus::DocId doc = page.backend_page().results[page.order[4]].doc;
     EXPECT_EQ(personalizer.ClickCount(1, query, doc), 1);
     EXPECT_EQ(personalizer.ClickCount(2, query, doc), 0);
   }
@@ -102,7 +102,7 @@ TEST_F(BaselinesTest, PClickIsPerUserGClickIsShared) {
     ClickHistoryPersonalizer personalizer(&world_->search_backend(), options);
     auto page = personalizer.Serve(1, query);
     personalizer.Observe(1, page, ClickAtShownRank(page, 4));
-    const corpus::DocId doc = page.backend_page.results[page.order[4]].doc;
+    const corpus::DocId doc = page.backend_page().results[page.order[4]].doc;
     EXPECT_EQ(personalizer.ClickCount(2, query, doc), 1);
   }
 }

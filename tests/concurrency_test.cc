@@ -491,7 +491,7 @@ TEST_F(ConcurrencyTest, ObserveAfterEvictionStillSpreadsOntology) {
     for (size_t q = 0; q < 3; ++q) {
       const auto& intent = intents[q];
       auto small_page = small.Serve(user.id, intent.text);
-      EXPECT_NE(small_page.content_ontology, nullptr);
+      EXPECT_NE(small_page.content_ontology(), nullptr);
       auto big_page = big.Serve(user.id, intent.text);
       // Serve the *next* query before observing: with capacity 1 the
       // observed page's analysis has been evicted by observation time.
@@ -578,6 +578,99 @@ TEST_F(ConcurrencyTest, ConcurrentRegisterUserAndServe) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(engine.registered_user_count(), 3);
+}
+
+// ---------- Parallel per-user training ----------
+
+namespace {
+
+// Drives `engine` through a deterministic serve/observe trajectory so
+// every user accumulates training pairs. Identical inputs on two
+// engines yield identical per-user pair sets.
+void AccumulateTrainingPairs(core::PwsEngine& engine, eval::World* world) {
+  Random rng(47);
+  const auto& intents = world->queries();
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& user : world->users()) {
+      for (size_t q = 0; q < 4; ++q) {
+        const auto& intent = intents[(q + round) % intents.size()];
+        const auto page = engine.Serve(user.id, intent.text);
+        const auto record = world->click_model().Simulate(
+            user, intent, page.ShownPage(), world->corpus(), round, rng);
+        engine.Observe(user.id, page, record);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST_F(ConcurrencyTest, TrainAllUsersParallelIsBitIdenticalToSerial) {
+  core::EngineOptions serial_options = CombinedOptions();
+  serial_options.train_threads = 1;
+  core::EngineOptions parallel_options = CombinedOptions();
+  parallel_options.train_threads = 4;
+
+  core::PwsEngine serial(&world_->search_backend(), &world_->ontology(),
+                         serial_options);
+  core::PwsEngine parallel(&world_->search_backend(), &world_->ontology(),
+                           parallel_options);
+  for (const auto& user : world_->users()) {
+    serial.RegisterUser(user.id);
+    parallel.RegisterUser(user.id);
+  }
+  AccumulateTrainingPairs(serial, world_);
+  AccumulateTrainingPairs(parallel, world_);
+
+  serial.TrainAllUsers();
+  parallel.TrainAllUsers();
+
+  for (const auto& user : world_->users()) {
+    const auto& sw = serial.user_model(user.id).weights();
+    const auto& pw = parallel.user_model(user.id).weights();
+    ASSERT_EQ(sw.size(), pw.size());
+    for (size_t d = 0; d < sw.size(); ++d) {
+      // Bit-exact: per-user training is fully independent, so the
+      // fan-out must not perturb a single ULP.
+      EXPECT_EQ(sw[d], pw[d]) << "user " << user.id << " dim " << d;
+    }
+    EXPECT_TRUE(serial.user_model(user.id).is_trained());
+  }
+}
+
+TEST_F(ConcurrencyTest, ConcurrentTrainAllUsersAndServe) {
+  // TrainAllUsers is the sanctioned concurrent-training path: it may
+  // run while other threads Serve. This test exists primarily for the
+  // TSan build, which fails on any data race between the training
+  // fan-out and the serve path.
+  core::EngineOptions options = CombinedOptions();
+  options.train_threads = 2;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  for (const auto& user : world_->users()) engine.RegisterUser(user.id);
+  AccumulateTrainingPairs(engine, world_);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> empty_page{false};
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&, t] {
+      const auto& intents = world_->queries();
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& intent = intents[(t + i++) % intents.size()];
+        const auto page = engine.Serve(t % 5, intent.text);
+        if (page.order.empty()) empty_page = true;
+      }
+    });
+  }
+  for (int round = 0; round < 5; ++round) engine.TrainAllUsers();
+  stop = true;
+  for (auto& th : servers) th.join();
+  EXPECT_FALSE(empty_page.load());
+  for (const auto& user : world_->users()) {
+    EXPECT_TRUE(engine.user_model(user.id).is_trained());
+  }
 }
 
 // ---------- Satellite: priors land on their intended features ----------

@@ -54,11 +54,12 @@ TEST_F(EngineTest, ServeReturnsConsistentPage) {
                    DefaultOptions());
   engine.RegisterUser(0);
   const auto page = engine.Serve(0, "hotel booking");
-  EXPECT_FALSE(page.backend_page.results.empty());
-  EXPECT_EQ(page.order.size(), page.backend_page.results.size());
-  EXPECT_EQ(page.features.size(), page.backend_page.results.size());
-  EXPECT_EQ(page.impression.content_terms_per_result.size(),
-            page.backend_page.results.size());
+  EXPECT_FALSE(page.backend_page().results.empty());
+  EXPECT_EQ(page.order.size(), page.backend_page().results.size());
+  EXPECT_EQ(static_cast<size_t>(page.features.rows()),
+            page.backend_page().results.size());
+  EXPECT_EQ(static_cast<size_t>(page.impression().result_count()),
+            page.backend_page().results.size());
   // Order is a permutation.
   std::vector<int> sorted = page.order;
   std::sort(sorted.begin(), sorted.end());
@@ -70,7 +71,7 @@ TEST_F(EngineTest, ServeReturnsConsistentPage) {
   for (size_t j = 0; j < shown.results.size(); ++j) {
     EXPECT_EQ(shown.results[j].rank, static_cast<int>(j));
     EXPECT_EQ(shown.results[j].doc,
-              page.backend_page.results[page.order[j]].doc);
+              page.backend_page().results[page.order[j]].doc);
   }
 }
 
@@ -103,7 +104,7 @@ TEST_F(EngineTest, UntrainedWithQueryLocationPriorPromotesQueryCity) {
   int other_n = 0;
   for (size_t j = 0; j < page.order.size(); ++j) {
     const int backend_index = page.order[j];
-    if (page.features[backend_index][ranking::kQueryLocationMatchIndex] >
+    if (page.features.row(backend_index)[ranking::kQueryLocationMatchIndex] >
         0.9) {
       match_pos += static_cast<double>(j);
       ++match_n;

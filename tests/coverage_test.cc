@@ -169,9 +169,9 @@ TEST_F(OutcomeTest, ShownPageIsIdempotentUnderBaseline) {
   engine.RegisterUser(0);
   const auto page = engine.Serve(0, "hotel booking");
   const auto shown = page.ShownPage();
-  ASSERT_EQ(shown.results.size(), page.backend_page.results.size());
+  ASSERT_EQ(shown.results.size(), page.backend_page().results.size());
   for (size_t i = 0; i < shown.results.size(); ++i) {
-    EXPECT_EQ(shown.results[i].doc, page.backend_page.results[i].doc);
+    EXPECT_EQ(shown.results[i].doc, page.backend_page().results[i].doc);
   }
 }
 
@@ -183,8 +183,8 @@ TEST_F(OutcomeTest, QueryAnalysisCachingDoesNotChangeResults) {
   const auto first = engine.Serve(0, "restaurant menu");
   const auto second = engine.Serve(0, "restaurant menu");  // Cached.
   EXPECT_EQ(first.order, second.order);
-  EXPECT_EQ(first.backend_page.results.size(),
-            second.backend_page.results.size());
+  EXPECT_EQ(first.backend_page().results.size(),
+            second.backend_page().results.size());
 }
 
 // ---------- Timer / logging smoke ----------

@@ -1,0 +1,208 @@
+// Golden equivalence for the E1 pipeline: pins every aggregate metric of
+// a small-but-complete simulation run — train days with periodic
+// retraining, profile updates from simulated clickthrough, frozen-model
+// test phase — for ALL personalization strategies, to bit-exact values.
+//
+// The values were captured before the learning-loop fast path (term-id
+// concept pipeline, flat feature matrices, slab-backed training pairs,
+// parallel training) landed, so this test proves the refactor changed
+// the machine code but not one bit of the science. Regenerate (only
+// after an intentional semantic change) with:
+//
+//   PWS_GOLDEN_PRINT=1 ./tests/golden_e1_test
+//
+// and paste the printed rows over kGolden below.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "ranking/ranker.h"
+
+namespace pws::eval {
+namespace {
+
+// %a renders the exact bits of a double; comparing the strings is
+// comparing the doubles bit-for-bit, with readable failure output.
+std::string Hex(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+// The 21 aggregates of one strategy's StrategyMetrics, in a fixed order.
+std::vector<std::string> Flatten(const StrategyMetrics& m) {
+  std::vector<std::string> out;
+  out.push_back(Hex(m.avg_rank_relevant));
+  out.push_back(Hex(m.mrr));
+  out.push_back(Hex(m.ndcg10));
+  out.push_back(Hex(m.mean_average_precision));
+  for (double p : m.precision_at) out.push_back(Hex(p));
+  out.push_back(Hex(m.ctr_at_1));
+  for (double r : m.avg_rank_by_class) out.push_back(Hex(r));
+  for (double c : m.ctr1_by_class) out.push_back(Hex(c));
+  return out;
+}
+
+struct GoldenRow {
+  ranking::Strategy strategy;
+  const char* values[21];
+};
+
+// Captured at the seed state of this PR (pre-refactor build). Do not
+// edit by hand; see the header comment.
+const GoldenRow kGolden[] = {
+    // clang-format off
+    {ranking::Strategy::kBaseline, {
+        "0x1.03bee0324768cp+3",         "0x1.5bee1ee1ee1edp-1",
+        "0x1.29c4958c68d24p-1",         "0x1.43e8e55d5a0bbp-1",
+        "0x1.3p-1",         "0x1.28p-1",
+        "0x1.2aaaaaaaaaaabp-1",         "0x1.1cp-1",
+        "0x1.1666666666667p-1",         "0x1.1555555555554p-1",
+        "0x1.1b6db6db6db6ep-1",         "0x1.1cp-1",
+        "0x1.21c71c71c71c6p-1",         "0x1.24ccccccccccdp-1",
+        "0x1.38p-1",         "0x1.0763470c04f63p+3",
+        "0x1.6p+2",         "0x1.0eaaaaaaaaaabp+3",
+        "0x1.86bca1af286bdp-1",         "0x1p-3",
+        "0x1p-1",     }},
+    {ranking::Strategy::kContentOnly, {
+        "0x1.eaee487e217bcp+2",         "0x1.644fa4fa4fa4fp-1",
+        "0x1.3b4760e0339cbp-1",         "0x1.4de4ea43b500bp-1",
+        "0x1.3p-1",         "0x1.28p-1",
+        "0x1.3555555555555p-1",         "0x1.3p-1",
+        "0x1.2999999999999p-1",         "0x1.2aaaaaaaaaaa9p-1",
+        "0x1.2b6db6db6db6cp-1",         "0x1.28p-1",
+        "0x1.2e38e38e38e38p-1",         "0x1.3p-1",
+        "0x1.38p-1",         "0x1.f530607f4b533p+2",
+        "0x1.6p+2",         "0x1.f425ed097b427p+2",
+        "0x1.86bca1af286bdp-1",         "0x1p-3",
+        "0x1p-1",     }},
+    {ranking::Strategy::kLocationOnly, {
+        "0x1.08520742964b9p+3",         "0x1.6a1041041040fp-1",
+        "0x1.2e464899c6632p-1",         "0x1.4547117f3477fp-1",
+        "0x1.5p-1",         "0x1.3p-1",
+        "0x1.2555555555555p-1",         "0x1.2p-1",
+        "0x1.1cccccccccccdp-1",         "0x1.1aaaaaaaaaaabp-1",
+        "0x1.2492492492493p-1",         "0x1.28p-1",
+        "0x1.2aaaaaaaaaaaap-1",         "0x1.2ccccccccccccp-1",
+        "0x1.4p-1",         "0x1.0af64a572c2f7p+3",
+        "0x1.5p+3",         "0x1.e5a12f684bdap+2",
+        "0x1.79435e50d7943p-1",         "0x1p-3",
+        "0x1.38e38e38e38e4p-1",     }},
+    {ranking::Strategy::kCombined, {
+        "0x1.f76bfb03f4837p+2",         "0x1.6dee1ee1ee1eep-1",
+        "0x1.37b1c0fe80e5ep-1",         "0x1.4992f310036a8p-1",
+        "0x1.5p-1",         "0x1.38p-1",
+        "0x1.3p-1",         "0x1.24p-1",
+        "0x1.2000000000001p-1",         "0x1.2aaaaaaaaaaaap-1",
+        "0x1.26db6db6db6dap-1",         "0x1.26p-1",
+        "0x1.2555555555555p-1",         "0x1.28p-1",
+        "0x1.4p-1",         "0x1.0247c62b8b248p+3",
+        "0x1.ep+2",         "0x1.e0e38e38e38e4p+2",
+        "0x1.79435e50d7943p-1",         "0x1p-3",
+        "0x1.38e38e38e38e4p-1",     }},
+    {ranking::Strategy::kCombinedGps, {
+        "0x1.f234fce968301p+2",         "0x1.779e79e79e79ep-1",
+        "0x1.406b2e5c19db7p-1",         "0x1.566dd102be29ap-1",
+        "0x1.5p-1",         "0x1.48p-1",
+        "0x1.3aaaaaaaaaaabp-1",         "0x1.24p-1",
+        "0x1.1cccccccccccdp-1",         "0x1.1d55555555554p-1",
+        "0x1.1b6db6db6db6dp-1",         "0x1.22p-1",
+        "0x1.271c71c71c71cp-1",         "0x1.24cccccccccccp-1",
+        "0x1.48p-1",         "0x1.0d762ef725576p+3",
+        "0x1.8p+0",         "0x1.f5a12f684bdap+2",
+        "0x1.86bca1af286bdp-1",         "0x1.8p-2",
+        "0x1p-1",     }},
+    // clang-format on
+};
+
+class GoldenE1Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.corpus.num_documents = 2000;
+    config.users.num_users = 4;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 15;
+    world_ = new World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* GoldenE1Test::world_ = nullptr;
+
+TEST_F(GoldenE1Test, AllStrategyMetricsBitIdenticalToSeedCapture) {
+  SimulationOptions sim;
+  sim.train_days = 4;
+  sim.train_every_days = 2;
+  sim.queries_per_user_day = 4;
+  sim.test_queries_per_user = 8;
+  sim.ctr_samples_per_impression = 2;
+  SimulationHarness harness(world_, sim);
+
+  const ranking::Strategy strategies[] = {
+      ranking::Strategy::kBaseline,      ranking::Strategy::kContentOnly,
+      ranking::Strategy::kLocationOnly,  ranking::Strategy::kCombined,
+      ranking::Strategy::kCombinedGps,
+  };
+  std::vector<core::EngineOptions> configs;
+  for (ranking::Strategy strategy : strategies) {
+    core::EngineOptions options;
+    options.strategy = strategy;
+    configs.push_back(options);
+  }
+  const std::vector<StrategyMetrics> results =
+      harness.RunMany(configs, nullptr);
+
+  if (std::getenv("PWS_GOLDEN_PRINT") != nullptr) {
+    for (size_t s = 0; s < configs.size(); ++s) {
+      const auto values = Flatten(results[s]);
+      std::printf("    {ranking::Strategy::%s, {\n",
+                  [&] {
+                    switch (strategies[s]) {
+                      case ranking::Strategy::kBaseline: return "kBaseline";
+                      case ranking::Strategy::kContentOnly:
+                        return "kContentOnly";
+                      case ranking::Strategy::kLocationOnly:
+                        return "kLocationOnly";
+                      case ranking::Strategy::kCombined: return "kCombined";
+                      case ranking::Strategy::kCombinedGps:
+                        return "kCombinedGps";
+                    }
+                    return "?";
+                  }());
+      for (size_t v = 0; v < values.size(); ++v) {
+        std::printf("        \"%s\",%s", values[v].c_str(),
+                    (v + 1) % 2 == 0 ? "\n" : " ");
+      }
+      std::printf("    }},\n");
+    }
+    GTEST_SKIP() << "printed golden rows; paste them into kGolden";
+  }
+
+  ASSERT_EQ(std::size(kGolden), configs.size())
+      << "golden table does not cover every strategy";
+  for (size_t s = 0; s < configs.size(); ++s) {
+    EXPECT_EQ(kGolden[s].strategy, strategies[s]);
+    const auto values = Flatten(results[s]);
+    ASSERT_EQ(values.size(), std::size(kGolden[s].values));
+    for (size_t v = 0; v < values.size(); ++v) {
+      EXPECT_STREQ(values[v].c_str(), kGolden[s].values[v])
+          << "strategy " << ranking::StrategyToString(strategies[s])
+          << " metric index " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pws::eval

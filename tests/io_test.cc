@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
+#include <deque>
 
 #include "geo/gazetteer.h"
 #include "corpus/corpus_generator.h"
@@ -151,14 +153,19 @@ TEST(ProfileIoTest, RejectsMalformedInput) {
 
 TEST(ModelIoTest, TrainedModelRoundTrips) {
   Random rng(5);
+  // TrainingPair holds raw pointers; rows_ owns the feature rows
+  // (deque elements keep stable addresses while it grows).
+  std::deque<std::array<double, 3>> rows;
   std::vector<ranking::TrainingPair> pairs;
   for (int i = 0; i < 60; ++i) {
+    rows.push_back({rng.UniformDouble(), rng.UniformDouble() + 0.4,
+                    rng.UniformDouble()});
     ranking::TrainingPair pair;
-    pair.preferred = {rng.UniformDouble(), rng.UniformDouble() + 0.4,
-                      rng.UniformDouble()};
-    pair.other = {rng.UniformDouble(), rng.UniformDouble(),
-                  rng.UniformDouble()};
-    pairs.push_back(std::move(pair));
+    pair.preferred = rows.back().data();
+    rows.push_back({rng.UniformDouble(), rng.UniformDouble(),
+                    rng.UniformDouble()});
+    pair.other = rows.back().data();
+    pairs.push_back(pair);
   }
   ranking::RankSvm model(3);
   model.SetPrior({0.0, 1.0, 0.0});

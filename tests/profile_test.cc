@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "concepts/concept_interner.h"
 #include "geo/gazetteer.h"
 #include "profile/entropy.h"
 #include "profile/gps_augment.h"
@@ -103,7 +104,9 @@ class ProfileTest : public ::testing::Test {
 
 TEST_F(ProfileTest, ClickRaisesContentWeight) {
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{"powder"}, {"lift"}, {"lift"}};
+  impression.AppendResultTerms({"powder"});
+  impression.AppendResultTerms({"lift"});
+  impression.AppendResultTerms({"lift"});
   impression.locations_per_result = {{}, {}, {}};
   profile_.ObserveImpression(ThreeResultRecord(), impression, nullptr,
                              ProfileUpdateOptions{});
@@ -115,7 +118,9 @@ TEST_F(ProfileTest, ClickRaisesContentWeight) {
 TEST_F(ProfileTest, SkippedAboveClickGetPenalized) {
   auto record = MakeRecord({false, true, false});
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{"skipped"}, {"clicked"}, {"tail"}};
+  impression.AppendResultTerms({"skipped"});
+  impression.AppendResultTerms({"clicked"});
+  impression.AppendResultTerms({"tail"});
   impression.locations_per_result = {{}, {}, {}};
   profile_.ObserveImpression(record, impression, nullptr,
                              ProfileUpdateOptions{});
@@ -128,8 +133,9 @@ TEST_F(ProfileTest, LiftDividesByPageFrequency) {
   // "common" is on all three results; "rare" only on the clicked one.
   auto record = MakeRecord({true, false, false});
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {
-      {"common", "rare"}, {"common"}, {"common"}};
+  impression.AppendResultTerms({"common", "rare"});
+  impression.AppendResultTerms({"common"});
+  impression.AppendResultTerms({"common"});
   impression.locations_per_result = {{}, {}, {}};
   profile_.ObserveImpression(record, impression, nullptr,
                              ProfileUpdateOptions{});
@@ -140,7 +146,7 @@ TEST_F(ProfileTest, LiftDividesByPageFrequency) {
 TEST_F(ProfileTest, LocationClickCreditsCityAndAncestors) {
   auto record = ThreeResultRecord();
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{}, {}, {}};
+  for (int i = 0; i < 3; ++i) impression.AppendResultTerms({});
   // Every result located -> density 1 -> gate fully open.
   impression.locations_per_result = {
       {Only("whistler")}, {Only("berlin")}, {Only("munich")}};
@@ -159,7 +165,7 @@ TEST_F(ProfileTest, LocationClickCreditsCityAndAncestors) {
 TEST_F(ProfileTest, QueryExplainedLocationsGetNoCredit) {
   auto record = ThreeResultRecord();
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{}, {}, {}};
+  for (int i = 0; i < 3; ++i) impression.AppendResultTerms({});
   impression.locations_per_result = {
       {Only("whistler")}, {Only("berlin")}, {Only("munich")}};
   impression.query_mentioned_locations = {Only("whistler")};
@@ -172,7 +178,7 @@ TEST_F(ProfileTest, QueryExplainedLocationsGetNoCredit) {
 TEST_F(ProfileTest, LowLocationDensityPagesGiveNoLocationCredit) {
   auto record = ThreeResultRecord();
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{}, {}, {}};
+  for (int i = 0; i < 3; ++i) impression.AppendResultTerms({});
   // Only 1/3 of results located -> below the 0.25..0.55 gate? 0.33 is
   // inside the ramp but low; use 0 located on others -> density 1/3.
   impression.locations_per_result = {{Only("tokyo")}, {}, {}};
@@ -192,7 +198,9 @@ TEST_F(ProfileTest, OntologySpreadingPropagatesToNeighbours) {
 
   auto record = ThreeResultRecord();
   ImpressionConcepts impression;
-  impression.content_terms_per_result = {{"ski"}, {}, {}};
+  impression.AppendResultTerms({"ski"});
+  impression.AppendResultTerms({});
+  impression.AppendResultTerms({});
   impression.locations_per_result = {{}, {}, {}};
   ProfileUpdateOptions options;
   profile_.ObserveImpression(record, impression, &content_ontology, options);
@@ -249,10 +257,19 @@ TEST_F(ProfileTest, MaxWeightsAndCountsAndTops) {
 
 // ---------- Entropy tracker ----------
 
+std::vector<concepts::ConceptId> Ids(const std::vector<std::string>& terms) {
+  std::vector<concepts::ConceptId> ids;
+  for (const auto& term : terms) {
+    ids.push_back(concepts::ConceptInterner::Global().Intern(term));
+  }
+  return ids;
+}
+
 TEST(EntropyTrackerTest, ConcentratedClicksLowEntropy) {
   ClickEntropyTracker tracker;
+  const std::vector<geo::LocationId> location = {42};
   for (int i = 0; i < 10; ++i) {
-    tracker.AddClick(1, {"ski"}, {42});
+    tracker.AddClick(1, Ids({"ski"}), location);
   }
   EXPECT_EQ(tracker.ClickCount(1), 10);
   EXPECT_DOUBLE_EQ(tracker.ContentEntropy(1), 0.0);
@@ -262,8 +279,9 @@ TEST(EntropyTrackerTest, ConcentratedClicksLowEntropy) {
 TEST(EntropyTrackerTest, DiverseClicksHighEntropy) {
   ClickEntropyTracker tracker;
   for (int i = 0; i < 8; ++i) {
-    tracker.AddClick(2, {"term" + std::to_string(i)},
-                     {static_cast<geo::LocationId>(i)});
+    const std::vector<geo::LocationId> location = {
+        static_cast<geo::LocationId>(i)};
+    tracker.AddClick(2, Ids({"term" + std::to_string(i)}), location);
   }
   EXPECT_NEAR(tracker.LocationEntropy(2), std::log(8.0), 1e-9);
   EXPECT_NEAR(tracker.ContentEntropy(2), std::log(8.0), 1e-9);
@@ -279,10 +297,13 @@ TEST(EntropyTrackerTest, UnknownQueryDefaults) {
 TEST(EntropyTrackerTest, AdaptiveBlendRampsWithLocationEntropy) {
   ClickEntropyTracker tracker;
   // Query 1: all clicks on one location -> min alpha.
-  for (int i = 0; i < 10; ++i) tracker.AddClick(1, {}, {5});
+  const std::vector<geo::LocationId> fixed = {5};
+  for (int i = 0; i < 10; ++i) tracker.AddClick(1, {}, fixed);
   // Query 2: clicks spread over many locations -> max alpha.
   for (int i = 0; i < 10; ++i) {
-    tracker.AddClick(2, {}, {static_cast<geo::LocationId>(i)});
+    const std::vector<geo::LocationId> location = {
+        static_cast<geo::LocationId>(i)};
+    tracker.AddClick(2, {}, location);
   }
   const double low = tracker.AdaptiveLocationBlend(1, 0.1, 0.8);
   const double high = tracker.AdaptiveLocationBlend(2, 0.1, 0.8);

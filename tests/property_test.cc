@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <deque>
 
 #include "click/relevance.h"
 #include "eval/metrics.h"
@@ -201,17 +203,18 @@ TEST_P(SeededProperty, OracleOrderingMaximizesNdcg) {
 
 TEST_P(SeededProperty, UninformativePairsStayNearPrior) {
   Random rng(GetParam());
+  // Pairs hold raw row pointers; the deque owns the rows (stable
+  // addresses across growth).
+  std::deque<std::array<double, 4>> rows;
   std::vector<ranking::TrainingPair> pairs;
   for (int i = 0; i < 80; ++i) {
+    std::array<double, 4> row;
+    for (int d = 0; d < 4; ++d) row[d] = rng.UniformDouble();
+    rows.push_back(row);
     ranking::TrainingPair pair;
-    pair.preferred.assign(4, 0.0);
-    pair.other.assign(4, 0.0);
-    for (int d = 0; d < 4; ++d) {
-      const double v = rng.UniformDouble();
-      pair.preferred[d] = v;  // Identical vectors: zero signal.
-      pair.other[d] = v;
-    }
-    pairs.push_back(std::move(pair));
+    pair.preferred = rows.back().data();  // Identical vectors: zero signal.
+    pair.other = rows.back().data();
+    pairs.push_back(pair);
   }
   ranking::RankSvm model(4);
   model.SetPrior({0.5, 0.0, -0.5, 1.0});
@@ -224,12 +227,15 @@ TEST_P(SeededProperty, UninformativePairsStayNearPrior) {
 
 TEST_P(SeededProperty, TrainingIsInvariantToPairOrder) {
   Random rng(GetParam());
+  std::deque<std::array<double, 2>> rows;
   std::vector<ranking::TrainingPair> pairs;
   for (int i = 0; i < 40; ++i) {
     ranking::TrainingPair pair;
-    pair.preferred = {rng.UniformDouble(), rng.UniformDouble()};
-    pair.other = {rng.UniformDouble(), rng.UniformDouble()};
-    pairs.push_back(std::move(pair));
+    rows.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    pair.preferred = rows.back().data();
+    rows.push_back({rng.UniformDouble(), rng.UniformDouble()});
+    pair.other = rows.back().data();
+    pairs.push_back(pair);
   }
   ranking::RankSvm a(2);
   a.Train(pairs, ranking::RankSvmOptions{});
@@ -257,7 +263,7 @@ TEST_P(SeededProperty, NoClicksMeansNoProfileChange) {
     interaction.rank = i;
     interaction.doc = i;
     record.interactions.push_back(interaction);
-    impression.content_terms_per_result.push_back({"term"});
+    impression.AppendResultTerms({"term"});
     impression.locations_per_result.push_back({});
   }
   profile.ObserveImpression(record, impression, nullptr,
@@ -301,7 +307,7 @@ TEST_P(SeededProperty, FeatureVectorsAreBounded) {
 
   backend::ResultPage page;
   page.query = "anything";
-  std::vector<std::vector<std::string>> terms;
+  profile::ImpressionConcepts impression;
   concepts::QueryLocationConcepts locations;
   const int n = static_cast<int>(rng.UniformInt(1, 20));
   for (int i = 0; i < n; ++i) {
@@ -314,7 +320,7 @@ TEST_P(SeededProperty, FeatureVectorsAreBounded) {
     for (int t = 0; t < rng.UniformInt(0, 5); ++t) {
       row.push_back("c" + std::to_string(rng.UniformUint64(14)));
     }
-    terms.push_back(row);
+    impression.AppendResultTerms(row);
     std::vector<geo::LocationId> locs;
     if (rng.Bernoulli(0.6)) {
       locs.push_back(cities[rng.UniformUint64(cities.size())]);
@@ -325,7 +331,7 @@ TEST_P(SeededProperty, FeatureVectorsAreBounded) {
   ranking::FeatureContext context;
   context.ontology = &world;
   context.user_profile = &profile;
-  context.content_terms_per_result = &terms;
+  context.impression = &impression;
   context.query_locations = &locations;
   if (rng.Bernoulli(0.5)) {
     context.query_mentioned_locations = {
@@ -336,13 +342,10 @@ TEST_P(SeededProperty, FeatureVectorsAreBounded) {
   }
 
   const auto features = ranking::ExtractFeatures(page, context);
-  ASSERT_EQ(features.size(), static_cast<size_t>(n));
-  for (const auto& x : features) {
-    ASSERT_EQ(x.size(), size_t{ranking::kFeatureCount});
-    for (double v : x) {
-      EXPECT_GE(v, 0.0);
-      EXPECT_LE(v, 1.0 + 1e-12);
-    }
+  ASSERT_EQ(features.rows(), n);
+  for (double v : features.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
   }
 }
 

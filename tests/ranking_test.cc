@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <set>
-
-#include <cmath>
 
 #include "geo/gazetteer.h"
 #include "profile/user_profile.h"
+#include "ranking/feature_slab.h"
 #include "ranking/features.h"
 #include "ranking/rank_svm.h"
 #include "ranking/ranker.h"
@@ -17,23 +17,45 @@ namespace {
 
 // ---------- RankSvm ----------
 
+// TrainingPair holds raw row pointers; this builder owns the backing
+// rows (deque: element addresses are stable across growth).
+class PairBuilder {
+ public:
+  void Add(std::vector<double> preferred, std::vector<double> other,
+           double weight = 1.0) {
+    rows_.push_back(std::move(preferred));
+    const double* p = rows_.back().data();
+    rows_.push_back(std::move(other));
+    const double* o = rows_.back().data();
+    TrainingPair pair;
+    pair.preferred = p;
+    pair.other = o;
+    pair.weight = weight;
+    pairs_.push_back(pair);
+  }
+
+  const std::vector<TrainingPair>& pairs() const { return pairs_; }
+
+ private:
+  std::deque<std::vector<double>> rows_;
+  std::vector<TrainingPair> pairs_;
+};
+
 TEST(RankSvmTest, LearnsSeparableSignal) {
   Random rng(1);
-  std::vector<TrainingPair> pairs;
+  PairBuilder builder;
   for (int i = 0; i < 400; ++i) {
-    TrainingPair pair;
-    pair.preferred.assign(4, 0.0);
-    pair.other.assign(4, 0.0);
+    std::vector<double> preferred(4), other(4);
     for (int d = 0; d < 4; ++d) {
-      pair.preferred[d] = rng.UniformDouble();
-      pair.other[d] = rng.UniformDouble();
+      preferred[d] = rng.UniformDouble();
+      other[d] = rng.UniformDouble();
     }
-    pair.preferred[2] += 0.5;  // Dimension 2 is the signal.
-    pairs.push_back(std::move(pair));
+    preferred[2] += 0.5;  // Dimension 2 is the signal.
+    builder.Add(std::move(preferred), std::move(other));
   }
   RankSvm model(4);
   EXPECT_FALSE(model.is_trained());
-  model.Train(pairs, RankSvmOptions{});
+  model.Train(builder.pairs(), RankSvmOptions{});
   EXPECT_TRUE(model.is_trained());
   // Signal weight dominates.
   for (int d = 0; d < 4; ++d) {
@@ -41,7 +63,7 @@ TEST(RankSvmTest, LearnsSeparableSignal) {
   }
   // High pair accuracy.
   int correct = 0;
-  for (const auto& pair : pairs) {
+  for (const auto& pair : builder.pairs()) {
     if (model.Score(pair.preferred) > model.Score(pair.other)) ++correct;
   }
   EXPECT_GT(correct, 330);
@@ -65,17 +87,15 @@ TEST(RankSvmTest, TrainRejectsNonPositiveEpochs) {
 
 TEST(RankSvmTest, DeterministicTraining) {
   Random rng(2);
-  std::vector<TrainingPair> pairs;
+  PairBuilder builder;
   for (int i = 0; i < 50; ++i) {
-    TrainingPair pair;
-    pair.preferred = {rng.UniformDouble(), rng.UniformDouble()};
-    pair.other = {rng.UniformDouble(), rng.UniformDouble()};
-    pairs.push_back(std::move(pair));
+    builder.Add({rng.UniformDouble(), rng.UniformDouble()},
+                {rng.UniformDouble(), rng.UniformDouble()});
   }
   RankSvm a(2);
   RankSvm b(2);
-  a.Train(pairs, RankSvmOptions{});
-  b.Train(pairs, RankSvmOptions{});
+  a.Train(builder.pairs(), RankSvmOptions{});
+  b.Train(builder.pairs(), RankSvmOptions{});
   EXPECT_EQ(a.weights(), b.weights());
 }
 
@@ -97,36 +117,81 @@ TEST(RankSvmTest, PriorActsAsInitialWeightsAndRegularizationCenter) {
   // Training on pairs that carry no signal leaves weights near the prior
   // (L2 pulls toward it).
   Random rng(3);
-  std::vector<TrainingPair> pairs;
+  PairBuilder builder;
   for (int i = 0; i < 100; ++i) {
-    TrainingPair pair;
     const double v = rng.UniformDouble();
-    pair.preferred = {v, rng.UniformDouble()};
-    pair.other = {v, rng.UniformDouble()};  // Dim 0 identical in a pair.
-    pairs.push_back(std::move(pair));
+    // Dim 0 identical within a pair.
+    builder.Add({v, rng.UniformDouble()}, {v, rng.UniformDouble()});
   }
-  model.Train(pairs, RankSvmOptions{});
+  model.Train(builder.pairs(), RankSvmOptions{});
   EXPECT_GT(model.weights()[0], 1.0);  // Still anchored near the prior.
 }
 
 TEST(RankSvmTest, WeightedPairsMatterMore) {
   // Conflicting pairs: heavy ones say dim0 up, light ones say down.
-  std::vector<TrainingPair> pairs;
+  PairBuilder builder;
   for (int i = 0; i < 40; ++i) {
-    TrainingPair up;
-    up.preferred = {1.0};
-    up.other = {0.0};
-    up.weight = 3.0;
-    pairs.push_back(up);
-    TrainingPair down;
-    down.preferred = {0.0};
-    down.other = {1.0};
-    down.weight = 0.5;
-    pairs.push_back(down);
+    builder.Add({1.0}, {0.0}, 3.0);
+    builder.Add({0.0}, {1.0}, 0.5);
   }
   RankSvm model(1);
-  model.Train(pairs, RankSvmOptions{});
+  model.Train(builder.pairs(), RankSvmOptions{});
   EXPECT_GT(model.weights()[0], 0.0);
+}
+
+TEST(RankSvmTest, SlabBackedPairsTrainIdenticallyToStandaloneRows) {
+  // Pairs pointing into a FeatureSlab must train to exactly the weights
+  // of pairs pointing at standalone vectors with the same values — the
+  // slab is storage, not semantics.
+  Random rng(7);
+  FeatureBlock block(6);
+  for (int i = 0; i < block.rows(); ++i) {
+    for (int d = 0; d < kFeatureCount; ++d) {
+      block.row(i)[d] = rng.UniformDouble();
+    }
+  }
+  FeatureSlab slab(4);  // Tiny chunks force multi-chunk copies.
+  const double* rows = slab.CopyBlock(block);
+  std::vector<TrainingPair> slab_pairs;
+  PairBuilder builder;
+  for (int i = 0; i + 1 < block.rows(); ++i) {
+    TrainingPair pair;
+    pair.preferred = rows + static_cast<size_t>(i) * kFeatureCount;
+    pair.other = rows + static_cast<size_t>(i + 1) * kFeatureCount;
+    slab_pairs.push_back(pair);
+    builder.Add(block.RowVector(i), block.RowVector(i + 1));
+  }
+  RankSvm a(kFeatureCount);
+  RankSvm b(kFeatureCount);
+  a.Train(slab_pairs, RankSvmOptions{});
+  b.Train(builder.pairs(), RankSvmOptions{});
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(FeatureSlabTest, BlockCopiesStayContiguousAndStable) {
+  FeatureSlab slab(2);  // Two rows per chunk.
+  FeatureBlock small(2);
+  FeatureBlock large(5);  // Larger than a chunk: oversized chunk path.
+  for (int i = 0; i < small.rows(); ++i) small.row(i)[0] = 1.0 + i;
+  for (int i = 0; i < large.rows(); ++i) large.row(i)[0] = 10.0 + i;
+  const double* first = slab.CopyBlock(small);
+  const double* second = slab.CopyBlock(large);
+  const double* third = slab.CopyBlock(small);
+  // Later copies must not move earlier ones.
+  EXPECT_DOUBLE_EQ(first[0], 1.0);
+  EXPECT_DOUBLE_EQ(first[kFeatureCount], 2.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(second[static_cast<size_t>(i) * kFeatureCount],
+                     10.0 + i);
+  }
+  EXPECT_DOUBLE_EQ(third[0], 1.0);
+  EXPECT_GE(slab.row_count(), 9u);
+  // Clear rewinds and reuses storage; the next copy may land on the
+  // first chunk again.
+  slab.Clear();
+  EXPECT_EQ(slab.row_count(), 0u);
+  const double* reused = slab.CopyBlock(small);
+  EXPECT_EQ(reused, first);
 }
 
 // ---------- Feature extraction ----------
@@ -142,7 +207,10 @@ class FeatureTest : public ::testing::Test {
       result.score = 10.0 - i;
       page_.results.push_back(result);
     }
-    terms_ = {{"alpha"}, {"beta"}, {"alpha", "beta"}, {}};
+    impression_.AppendResultTerms({"alpha"});
+    impression_.AppendResultTerms({"beta"});
+    impression_.AppendResultTerms({"alpha", "beta"});
+    impression_.AppendResultTerms({});
     // All results located -> gate open.
     locations_.per_result = {{Tokyo()}, {Osaka()}, {Tokyo()}, {Berlin()}};
     concepts::LocationConcept tokyo_concept;
@@ -160,7 +228,7 @@ class FeatureTest : public ::testing::Test {
     FeatureContext context;
     context.ontology = &ontology_;
     context.user_profile = &profile_;
-    context.content_terms_per_result = &terms_;
+    context.impression = &impression_;
     context.query_locations = &locations_;
     return context;
   }
@@ -168,72 +236,83 @@ class FeatureTest : public ::testing::Test {
   geo::LocationOntology ontology_;
   profile::UserProfile profile_;
   backend::ResultPage page_;
-  std::vector<std::vector<std::string>> terms_;
+  profile::ImpressionConcepts impression_;
   concepts::QueryLocationConcepts locations_;
 };
 
 TEST_F(FeatureTest, DimensionsAndDeterminism) {
   const auto a = ExtractFeatures(page_, Context());
   const auto b = ExtractFeatures(page_, Context());
-  ASSERT_EQ(a.size(), 4u);
-  for (const auto& row : a) EXPECT_EQ(row.size(), size_t{kFeatureCount});
+  ASSERT_EQ(a.rows(), 4);
+  EXPECT_EQ(a.data().size(), static_cast<size_t>(4 * kFeatureCount));
   EXPECT_EQ(a, b);
 }
 
 TEST_F(FeatureTest, ContentFeaturesReflectProfile) {
   profile_.AddContentWeight("alpha", 4.0);
   const auto features = ExtractFeatures(page_, Context());
-  EXPECT_GT(features[0][0], 0.0);   // Has "alpha".
-  EXPECT_EQ(features[1][0], 0.0);   // Only "beta" (weight 0).
-  EXPECT_GT(features[2][0], 0.0);
-  EXPECT_EQ(features[3][0], 0.0);   // No concepts.
-  EXPECT_DOUBLE_EQ(features[0][1], 1.0);  // 1/1 concepts positive.
-  EXPECT_DOUBLE_EQ(features[2][1], 0.5);  // 1/2 concepts positive.
+  EXPECT_GT(features.row(0)[0], 0.0);   // Has "alpha".
+  EXPECT_EQ(features.row(1)[0], 0.0);   // Only "beta" (weight 0).
+  EXPECT_GT(features.row(2)[0], 0.0);
+  EXPECT_EQ(features.row(3)[0], 0.0);   // No concepts.
+  EXPECT_DOUBLE_EQ(features.row(0)[1], 1.0);  // 1/1 concepts positive.
+  EXPECT_DOUBLE_EQ(features.row(2)[1], 0.5);  // 1/2 concepts positive.
 }
 
 TEST_F(FeatureTest, QueryLocationMatch) {
   auto context = Context();
   context.query_mentioned_locations = {Tokyo()};
   const auto features = ExtractFeatures(page_, context);
-  EXPECT_DOUBLE_EQ(features[0][kQueryLocationMatchIndex], 1.0);  // Tokyo doc.
+  // Tokyo doc.
+  EXPECT_DOUBLE_EQ(features.row(0)[kQueryLocationMatchIndex], 1.0);
   // Osaka: same country as Tokyo -> 1/3 by Wu-Palmer.
-  EXPECT_NEAR(features[1][kQueryLocationMatchIndex], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(features.row(1)[kQueryLocationMatchIndex], 1.0 / 3.0, 1e-9);
   // Berlin: different country -> 0.
-  EXPECT_DOUBLE_EQ(features[3][kQueryLocationMatchIndex], 0.0);
+  EXPECT_DOUBLE_EQ(features.row(3)[kQueryLocationMatchIndex], 0.0);
 }
 
 TEST_F(FeatureTest, ProfileLocationFeaturesGatedOffForExplicitQueries) {
   profile_.AddLocationWeight(Tokyo(), 5.0);
   auto context = Context();
   const auto implicit_features = ExtractFeatures(page_, context);
-  EXPECT_GT(implicit_features[0][3], 0.0);
+  EXPECT_GT(implicit_features.row(0)[3], 0.0);
 
   context.query_mentioned_locations = {Berlin()};
   const auto explicit_features = ExtractFeatures(page_, context);
-  EXPECT_DOUBLE_EQ(explicit_features[0][3], 0.0);
-  EXPECT_DOUBLE_EQ(explicit_features[0][4], 0.0);
+  EXPECT_DOUBLE_EQ(explicit_features.row(0)[3], 0.0);
+  EXPECT_DOUBLE_EQ(explicit_features.row(0)[4], 0.0);
 }
 
 TEST_F(FeatureTest, GpsProximityFeature) {
   auto context = Context();
   context.gps_position = ontology_.node(Tokyo()).coords;
   const auto features = ExtractFeatures(page_, context);
-  EXPECT_NEAR(features[0][kGpsFeatureIndex], 1.0, 0.01);  // At Tokyo.
-  EXPECT_GT(features[0][kGpsFeatureIndex],
-            features[1][kGpsFeatureIndex]);  // Osaka is ~400 km away.
-  EXPECT_GT(features[1][kGpsFeatureIndex],
-            features[3][kGpsFeatureIndex]);  // Berlin is ~9000 km away.
+  EXPECT_NEAR(features.row(0)[kGpsFeatureIndex], 1.0, 0.01);  // At Tokyo.
+  EXPECT_GT(features.row(0)[kGpsFeatureIndex],
+            features.row(1)[kGpsFeatureIndex]);  // Osaka is ~400 km away.
+  EXPECT_GT(features.row(1)[kGpsFeatureIndex],
+            features.row(3)[kGpsFeatureIndex]);  // Berlin is ~9000 km away.
 
   // No GPS -> feature 0.
   const auto no_gps = ExtractFeatures(page_, Context());
-  EXPECT_DOUBLE_EQ(no_gps[0][kGpsFeatureIndex], 0.0);
+  EXPECT_DOUBLE_EQ(no_gps.row(0)[kGpsFeatureIndex], 0.0);
 }
 
 TEST_F(FeatureTest, PageDominantLocationWeight) {
   const auto features = ExtractFeatures(page_, Context());
-  EXPECT_DOUBLE_EQ(features[0][5], 0.5);  // Tokyo's aggregated weight.
-  EXPECT_DOUBLE_EQ(features[1][5], 0.0);  // Osaka not aggregated here.
-  EXPECT_DOUBLE_EQ(features[0][6], 1.0);  // Has location, gate open.
+  EXPECT_DOUBLE_EQ(features.row(0)[5], 0.5);  // Tokyo's aggregated weight.
+  EXPECT_DOUBLE_EQ(features.row(1)[5], 0.0);  // Osaka not aggregated here.
+  EXPECT_DOUBLE_EQ(features.row(0)[6], 1.0);  // Has location, gate open.
+}
+
+TEST_F(FeatureTest, ExtractIntoReusesStorage) {
+  FeatureBlock block;
+  ExtractFeaturesInto(page_, Context(), block);
+  const FeatureBlock fresh = ExtractFeatures(page_, Context());
+  EXPECT_EQ(block, fresh);
+  // A second extraction into the same block (same inputs) is identical.
+  ExtractFeaturesInto(page_, Context(), block);
+  EXPECT_EQ(block, fresh);
 }
 
 TEST(LocationGateTest, SmoothstepShape) {
@@ -256,6 +335,18 @@ TEST(PageLocationDensityTest, CountsLocatedResults) {
 }
 
 // ---------- Masks and ranking ----------
+
+namespace {
+
+FeatureBlock UniformBlock(int rows, double value) {
+  FeatureBlock block(rows);
+  for (int i = 0; i < rows; ++i) {
+    for (int d = 0; d < kFeatureCount; ++d) block.row(i)[d] = value;
+  }
+  return block;
+}
+
+}  // namespace
 
 TEST(MaskTest, StrategiesMaskTheRightBlocks) {
   std::vector<double> full(kFeatureCount, 1.0);
@@ -289,8 +380,18 @@ TEST(MaskTest, StrategiesMaskTheRightBlocks) {
   for (double v : x) EXPECT_EQ(v, 1.0);
 }
 
+TEST(MaskTest, BlockMaskMatchesRowMask) {
+  FeatureBlock block = UniformBlock(3, 1.0);
+  MaskBlockForStrategy(block, Strategy::kContentOnly);
+  std::vector<double> row(kFeatureCount, 1.0);
+  MaskForStrategy(row, Strategy::kContentOnly);
+  for (int i = 0; i < block.rows(); ++i) {
+    EXPECT_EQ(block.RowVector(i), row);
+  }
+}
+
 TEST(RankerTest, BaselineAndUntrainedKeepBackendOrder) {
-  FeatureMatrix features(5, std::vector<double>(kFeatureCount, 0.3));
+  const FeatureBlock features = UniformBlock(5, 0.3);
   RankSvm untrained(kFeatureCount);
   const auto order = RankResults(untrained, features, Strategy::kCombined,
                                  RankerOptions{});
@@ -303,8 +404,8 @@ TEST(RankerTest, BaselineAndUntrainedKeepBackendOrder) {
 }
 
 TEST(RankerTest, HigherScoredResultMovesUp) {
-  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
-  features[2][kQueryLocationMatchIndex] = 1.0;  // Only result 2 matches.
+  FeatureBlock features(3);
+  features.row(2)[kQueryLocationMatchIndex] = 1.0;  // Only result 2 matches.
   RankSvm model(kFeatureCount);
   std::vector<double> weights(kFeatureCount, 0.0);
   weights[kQueryLocationMatchIndex] = 5.0;
@@ -316,8 +417,8 @@ TEST(RankerTest, HigherScoredResultMovesUp) {
 }
 
 TEST(RankerTest, StrongPriorPreservesBackendOrder) {
-  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
-  features[2][kQueryLocationMatchIndex] = 0.1;  // Tiny signal.
+  FeatureBlock features(3);
+  features.row(2)[kQueryLocationMatchIndex] = 0.1;  // Tiny signal.
   RankSvm model(kFeatureCount);
   std::vector<double> weights(kFeatureCount, 0.0);
   weights[kQueryLocationMatchIndex] = 1.0;
@@ -340,19 +441,21 @@ TEST(RankerTest, AlphaEndpointsSelectBlocks) {
 
   RankerOptions alpha0;
   alpha0.alpha = 0.0;
-  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha0), 2.0);  // Content only.
+  // Content only.
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x.data(), alpha0), 2.0);
   RankerOptions alpha1;
   alpha1.alpha = 1.0;
-  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha1), 2.0);  // Location only.
+  // Location only.
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x.data(), alpha1), 2.0);
   RankerOptions alpha_half;
   alpha_half.alpha = 0.5;
-  EXPECT_DOUBLE_EQ(BlendedScore(model, x, alpha_half), 2.0);  // Sum.
+  EXPECT_DOUBLE_EQ(BlendedScore(model, x.data(), alpha_half), 2.0);  // Sum.
 
   // With only the content feature set, alpha=1 zeroes the score.
   std::vector<double> content_only(kFeatureCount, 0.0);
   content_only[0] = 1.0;
-  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only, alpha1), 0.0);
-  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only, alpha0), 2.0);
+  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only.data(), alpha1), 0.0);
+  EXPECT_DOUBLE_EQ(BlendedScore(model, content_only.data(), alpha0), 2.0);
 }
 
 TEST(RankerTest, ServeScoreAddsRankPrior) {
@@ -361,8 +464,8 @@ TEST(RankerTest, ServeScoreAddsRankPrior) {
   std::vector<double> x(kFeatureCount, 0.0);
   RankerOptions options;
   options.rank_prior_weight = 1.0;
-  EXPECT_DOUBLE_EQ(ServeScore(model, x, 0, options), 1.0);
-  EXPECT_DOUBLE_EQ(ServeScore(model, x, 4, options), 0.2);
+  EXPECT_DOUBLE_EQ(ServeScore(model, x.data(), 0, options), 1.0);
+  EXPECT_DOUBLE_EQ(ServeScore(model, x.data(), 4, options), 0.2);
 }
 
 
@@ -370,9 +473,9 @@ TEST(RankerTest, RankFusionRespectsBlockRankings) {
   // Three results: result 2 best by location block, result 0 best by
   // content block. Fusion with alpha=1 follows the location ranking,
   // alpha=0 the content ranking.
-  FeatureMatrix features(3, std::vector<double>(kFeatureCount, 0.0));
-  features[0][0] = 1.0;                          // Content signal.
-  features[2][kQueryLocationMatchIndex] = 1.0;   // Location signal.
+  FeatureBlock features(3);
+  features.row(0)[0] = 1.0;                          // Content signal.
+  features.row(2)[kQueryLocationMatchIndex] = 1.0;   // Location signal.
   RankSvm model(kFeatureCount);
   std::vector<double> weights(kFeatureCount, 0.0);
   weights[0] = 1.0;
@@ -394,10 +497,10 @@ TEST(RankerTest, RankFusionIsScaleInvariant) {
   // Multiplying all block scores by a constant must not change the
   // fusion order (unlike the score blend).
   Random rng(3);
-  FeatureMatrix features(6, std::vector<double>(kFeatureCount, 0.0));
-  for (auto& x : features) {
-    x[0] = rng.UniformDouble();
-    x[kQueryLocationMatchIndex] = rng.UniformDouble();
+  FeatureBlock features(6);
+  for (int i = 0; i < features.rows(); ++i) {
+    features.row(i)[0] = rng.UniformDouble();
+    features.row(i)[kQueryLocationMatchIndex] = rng.UniformDouble();
   }
   RankSvm small(kFeatureCount);
   RankSvm large(kFeatureCount);

@@ -5,8 +5,10 @@
 #include <set>
 
 #include "util/arg_parser.h"
+#include "util/id_map.h"
 #include "util/math_util.h"
 #include "util/random.h"
+#include "util/ring_buffer.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -344,6 +346,116 @@ TEST(ArgParserTest, MalformedNumbersFallBack) {
   ArgParser args(2, argv);
   EXPECT_EQ(args.GetInt("n", 9), 9);
   EXPECT_TRUE(args.Has("n"));
+}
+
+// ---------- IdMap ----------
+
+TEST(IdMapTest, InsertLookupAndDefault) {
+  IdMap<int32_t, double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(3), nullptr);
+  EXPECT_DOUBLE_EQ(map.ValueOr(3, -1.0), -1.0);
+  map[3] = 1.5;
+  map[7] += 2.0;  // operator[] default-initializes.
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(*map.Find(3), 1.5);
+  EXPECT_DOUBLE_EQ(map.ValueOr(7, -1.0), 2.0);
+  map[3] += 1.0;  // Existing key accumulates, size unchanged.
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map.ValueOr(3, 0.0), 2.5);
+}
+
+TEST(IdMapTest, SurvivesGrowthAndCollisions) {
+  IdMap<int64_t, int> map;
+  // Enough keys to force several growths; strided keys exercise probe
+  // chains.
+  for (int64_t k = 0; k < 500; ++k) map[k * 16] = static_cast<int>(k);
+  EXPECT_EQ(map.size(), 500u);
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_NE(map.Find(k * 16), nullptr);
+    EXPECT_EQ(*map.Find(k * 16), static_cast<int>(k));
+  }
+  EXPECT_EQ(map.Find(1), nullptr);  // Off-stride key absent.
+}
+
+TEST(IdMapTest, ForEachVisitsEveryEntryOnceAndCanMutate) {
+  IdMap<int32_t, double> map;
+  for (int32_t k = 0; k < 40; ++k) map[k] = 1.0;
+  std::set<int32_t> seen;
+  map.ForEach([&](int32_t key, double& value) {
+    EXPECT_TRUE(seen.insert(key).second);  // No duplicates.
+    value *= 0.5;  // Decay through the reference.
+  });
+  EXPECT_EQ(seen.size(), 40u);
+  const auto& cmap = map;
+  double sum = 0.0;
+  cmap.ForEach([&](int32_t, const double& value) { sum += value; });
+  EXPECT_DOUBLE_EQ(sum, 20.0);
+}
+
+TEST(IdMapTest, DeterministicIterationForSameInsertionSequence) {
+  auto build = [] {
+    IdMap<int32_t, int> map;
+    for (int32_t k : {9, 2, 14, 7, 31, 5}) map[k] = k;
+    return map;
+  };
+  std::vector<int32_t> a, b;
+  build().ForEach([&](int32_t key, int&) { a.push_back(key); });
+  build().ForEach([&](int32_t key, int&) { b.push_back(key); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(IdMapDeathTest, NegativeKeysRejected) {
+  IdMap<int32_t, int> map;
+  EXPECT_DEATH(map[-1] = 0, "");
+}
+
+// ---------- RingBuffer ----------
+
+TEST(RingBufferTest, FillsThenOverwritesOldest) {
+  RingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.empty());
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.at(0), 1);
+  ring.Push(3);
+  ring.Push(4);  // Evicts 1.
+  ring.Push(5);  // Evicts 2.
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.at(0), 3);
+  EXPECT_EQ(ring.at(1), 4);
+  EXPECT_EQ(ring.at(2), 5);
+}
+
+TEST(RingBufferTest, ForEachMatchesFrontTrimmedVector) {
+  // The ring replaces a vector trimmed from the front; any push sequence
+  // must yield identical visitation order.
+  const size_t capacity = 5;
+  RingBuffer<int> ring(capacity);
+  std::vector<int> reference;
+  for (int i = 0; i < 23; ++i) {
+    ring.Push(i);
+    reference.push_back(i);
+    if (reference.size() > capacity) {
+      reference.erase(reference.begin());
+    }
+    std::vector<int> visited;
+    ring.ForEach([&](const int& v) { visited.push_back(v); });
+    ASSERT_EQ(visited, reference) << "after push " << i;
+  }
+}
+
+TEST(RingBufferTest, ClearResetsToEmpty) {
+  RingBuffer<int> ring(2);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Push(3);  // Wrapped.
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  ring.Push(7);
+  EXPECT_EQ(ring.at(0), 7);
+  EXPECT_EQ(ring.size(), 1u);
 }
 
 }  // namespace

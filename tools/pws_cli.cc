@@ -144,11 +144,11 @@ int main(int argc, char** argv) {
       }
       click::ClickRecord record;
       record.user = kUser;
-      record.query_text = last_page->backend_page.query;
+      record.query_text = last_page->backend_page().query;
       for (size_t j = 0; j < last_page->order.size(); ++j) {
         click::Interaction interaction;
         interaction.doc =
-            last_page->backend_page.results[last_page->order[j]].doc;
+            last_page->backend_page().results[last_page->order[j]].doc;
         interaction.rank = static_cast<int>(j);
         if (static_cast<int64_t>(j) == position - 1) {
           interaction.clicked = true;
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
 
     // Anything else is a query.
     last_page = engine.Serve(kUser, line);
-    if (last_page->backend_page.results.empty()) {
+    if (last_page->backend_page().results.empty()) {
       std::cout << "no results\n";
       last_page.reset();
       continue;
