@@ -93,7 +93,7 @@ StatusOr<ClickLog> ClickLog::FromTsv(const std::string& tsv) {
     current = ClickRecord{};
     has_current = false;
   };
-  for (const std::string& line : StrSplit(tsv, '\n')) {
+  for (const std::string& line : SplitLines(tsv)) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = StrSplit(line, '\t');
     if (fields.size() != 9) {

@@ -3,14 +3,118 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "io/engine_state_io.h"
+#include "io/wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace pws::core {
+namespace {
+
+// WAL record types: the first payload byte tags the event.
+//   'C' — one observed impression; body is the click payload below.
+//   'T' — TrainUser; body is the user id.
+//   'A' — TrainAllUsers (no body).
+constexpr char kWalClick = 'C';
+constexpr char kWalTrainUser = 'T';
+constexpr char kWalTrainAll = 'A';
+
+// %a hex floats: exact round trip, so replayed dwell times grade
+// identically to the original observation (the click-log TSV's 2-decimal
+// dwell would not).
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+// Click payload body (after the "C\n" tag line):
+//
+//   <user>\t<day>\t<query_id>\t<query text>\n
+//   <doc>\t<rank>\t<clicked>\t<dwell %a>\t<last_click>\n   (per shown slot)
+//
+// The query text is the last header field so embedded tabs survive.
+std::string EncodeClickPayload(click::UserId user, const std::string& query,
+                               const click::ClickRecord& record) {
+  std::string out(1, kWalClick);
+  out += '\n';
+  out += std::to_string(user);
+  out += '\t';
+  out += std::to_string(record.day);
+  out += '\t';
+  out += std::to_string(record.query_id);
+  out += '\t';
+  out += query;
+  out += '\n';
+  for (const click::Interaction& interaction : record.interactions) {
+    out += std::to_string(interaction.doc);
+    out += '\t';
+    out += std::to_string(interaction.rank);
+    out += '\t';
+    out += interaction.clicked ? '1' : '0';
+    out += '\t';
+    out += HexDouble(interaction.dwell_units);
+    out += '\t';
+    out += interaction.last_click_in_session ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+// Parses EncodeClickPayload's body. Returns false on any malformed line
+// (the caller skips the record with a warning rather than aborting the
+// whole recovery).
+bool DecodeClickPayload(const std::string& body, click::UserId* user,
+                        std::string* query, click::ClickRecord* record) {
+  const std::vector<std::string> lines = SplitLines(body);
+  if (lines.empty()) return false;
+  const std::vector<std::string> header = StrSplit(lines[0], '\t');
+  if (header.size() < 4) return false;
+  int64_t user_id = 0;
+  int64_t day = 0;
+  int64_t query_id = 0;
+  if (!ParseInt64(header[0], &user_id) || !ParseInt64(header[1], &day) ||
+      !ParseInt64(header[2], &query_id)) {
+    return false;
+  }
+  *query = header[3];
+  for (size_t f = 4; f < header.size(); ++f) {
+    *query += '\t';
+    *query += header[f];
+  }
+  *user = static_cast<click::UserId>(user_id);
+  record->user = *user;
+  record->day = static_cast<int>(day);
+  record->query_id = static_cast<int>(query_id);
+  record->query_text = *query;
+  for (size_t l = 1; l < lines.size(); ++l) {
+    if (lines[l].empty()) continue;  // Trailing newline.
+    const std::vector<std::string> fields = StrSplit(lines[l], '\t');
+    if (fields.size() != 5) return false;
+    int64_t doc = 0;
+    int64_t rank = 0;
+    click::Interaction interaction;
+    if (!ParseInt64(fields[0], &doc) || !ParseInt64(fields[1], &rank) ||
+        !ParseDouble(fields[3], &interaction.dwell_units)) {
+      return false;
+    }
+    interaction.doc = static_cast<corpus::DocId>(doc);
+    interaction.rank = static_cast<int>(rank);
+    interaction.clicked = fields[2] == "1";
+    interaction.last_click_in_session = fields[4] == "1";
+    record->interactions.push_back(interaction);
+  }
+  return !record->interactions.empty();
+}
+
+}  // namespace
 
 PersonalizedPage PersonalizedPage::FromBackendPage(backend::ResultPage page) {
   PersonalizedPage out;
@@ -55,6 +159,8 @@ PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
       &registry.GetCounter("engine.query_cache.misses")->raw(),
       &registry.GetCounter("engine.query_cache.evictions")->raw());
 }
+
+PwsEngine::~PwsEngine() = default;
 
 void PwsEngine::RegisterUser(click::UserId user) {
   {
@@ -311,6 +417,20 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
       state.pairs->Push(stored);
     }
   }
+
+  // Log the observation after applying it: a crash between the two loses
+  // at most this one event — recovery lands on the pre-observe state,
+  // which is a state the engine really was in (old-or-new, never torn).
+  if (wal_ != nullptr && !replaying_) {
+    // The engine's own (user, query) are authoritative for replay: the
+    // caller may have left the record's copies unset.
+    const Status status = wal_->Append(
+        EncodeClickPayload(user, page.backend_page().query, record));
+    if (!status.ok()) {
+      PWS_LOG(kWarning) << "WAL append failed (observation not durable): "
+                        << status;
+    }
+  }
 }
 
 double PwsEngine::TrainUser(click::UserId user) {
@@ -328,6 +448,7 @@ double PwsEngine::TrainUser(click::UserId user) {
   norms.content = std::max(1e-9, state.profile->MaxContentWeight());
   norms.location = std::max(1e-9, state.profile->MaxLocationWeight());
   std::vector<const double*> query_rows(state.pair_queries.size(), nullptr);
+  std::vector<int> query_row_counts(state.pair_queries.size(), 0);
   std::vector<ranking::TrainingPair> training_pairs;
   training_pairs.reserve(state.pairs->size());
   ranking::FeatureBlock scratch;
@@ -338,6 +459,18 @@ double PwsEngine::TrainUser(click::UserId user) {
           AnalyzeQuery(state.pair_queries[stored.query_index]);
       ComputeFeaturesInto(*analysis, state, scratch, &norms);
       rows = state.slab.CopyBlock(scratch);
+      query_row_counts[stored.query_index] = scratch.rows();
+    }
+    // Pairs restored from a snapshot may point past the current backend
+    // page (e.g. the corpus shrank between runs); drop them rather than
+    // read rows that do not exist.
+    const int row_count = query_row_counts[stored.query_index];
+    if (stored.preferred_backend_index >= row_count ||
+        stored.other_backend_index >= row_count) {
+      PWS_LOG(kWarning) << "dropping stored pair with out-of-range backend "
+                           "index for query '"
+                        << state.pair_queries[stored.query_index] << "'";
+      return;
     }
     ranking::TrainingPair pair;
     pair.preferred =
@@ -355,6 +488,16 @@ double PwsEngine::TrainUser(click::UserId user) {
   auto next = std::make_shared<ranking::RankSvm>(*state.ModelSnapshot());
   const double loss = next->Train(training_pairs, options_.rank_svm);
   state.PublishModel(std::move(next));
+  // One 'T' record per direct call; a TrainAllUsers sweep logs a single
+  // 'A' record instead of one per user.
+  if (wal_ != nullptr && !replaying_ && !in_train_all_) {
+    const Status status = wal_->Append(std::string(1, kWalTrainUser) + "\n" +
+                                       std::to_string(user));
+    if (!status.ok()) {
+      PWS_LOG(kWarning) << "WAL append failed (training run not durable): "
+                        << status;
+    }
+  }
   return loss;
 }
 
@@ -369,9 +512,21 @@ void PwsEngine::TrainAllUsers() {
   // Sorted for a stable work order; numerics are per-user and do not
   // depend on scheduling, so any thread count gives identical weights.
   std::sort(ids.begin(), ids.end());
+  // Set before the fan-out, cleared after the join (both happens-before
+  // the workers' reads): the per-user TrainUser calls skip their 'T'
+  // records and the sweep logs one 'A' record for the lot.
+  in_train_all_ = true;
   ParallelFor(ResolveThreadCount(options_.train_threads),
               static_cast<int>(ids.size()),
               [&](int i) { TrainUser(ids[i]); });
+  in_train_all_ = false;
+  if (wal_ != nullptr && !replaying_) {
+    const Status status = wal_->Append(std::string(1, kWalTrainAll));
+    if (!status.ok()) {
+      PWS_LOG(kWarning) << "WAL append failed (training sweep not durable): "
+                        << status;
+    }
+  }
 }
 
 void PwsEngine::AdvanceDay() {
@@ -408,6 +563,184 @@ void PwsEngine::ImportUserState(click::UserId user,
   state.pair_queries.clear();
   state.pair_query_index.clear();
   state.slab.Clear();
+}
+
+Status PwsEngine::EnableWal(const std::string& wal_path) {
+  auto wal = io::WriteAheadLog::Open(wal_path);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+  return OkStatus();
+}
+
+Status PwsEngine::SaveState(const std::string& snapshot_path) {
+  PWS_SPAN("engine.snapshot.save");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  io::EngineState snapshot;
+  // The high-water mark is read *before* collecting user states: a
+  // record sequenced after it but applied during collection is replayed
+  // on recovery — at worst a redundant deterministic retrain, never a
+  // skipped unapplied event. (Observe must not run concurrently; see the
+  // header contract.)
+  if (wal_ != nullptr) snapshot.last_wal_seq = wal_->last_seq();
+  std::vector<click::UserId> ids;
+  {
+    std::shared_lock<std::shared_mutex> lock(users_mutex_);
+    ids.reserve(users_.size());
+    for (const auto& [user, state] : users_) ids.push_back(user);
+  }
+  std::sort(ids.begin(), ids.end());
+  snapshot.users.reserve(ids.size());
+  for (const click::UserId user : ids) {
+    const UserState& state = StateOf(user);
+    // The profile is copied directly (profile-mutating calls are excluded
+    // by contract); the model is read via its published snapshot, so a
+    // concurrent TrainAllUsers swaps successors without torn reads.
+    io::PersistedUserState persisted(*state.profile, *state.ModelSnapshot());
+    persisted.user = user;
+    persisted.position = state.position;
+    persisted.pair_queries = state.pair_queries;
+    persisted.pairs.reserve(state.pairs->size());
+    state.pairs->ForEach([&](const StoredPair& stored) {
+      io::PersistedPair pair;
+      pair.query_index = stored.query_index;
+      pair.preferred_backend_index = stored.preferred_backend_index;
+      pair.other_backend_index = stored.other_backend_index;
+      pair.weight = stored.weight;
+      persisted.pairs.push_back(pair);
+    });
+    snapshot.users.push_back(std::move(persisted));
+  }
+  const Status status = io::SaveEngineState(snapshot, snapshot_path);
+  if (!status.ok()) {
+    registry.GetCounter("engine.snapshot.save_errors")->Increment();
+    return status;
+  }
+  registry.GetCounter("engine.snapshot.saves")->Increment();
+  if (wal_ != nullptr) {
+    const Status truncated = wal_->Truncate();
+    if (!truncated.ok()) {
+      // Harmless: the snapshot's high-water mark makes replay skip the
+      // already-folded records; the next snapshot retries the truncation.
+      PWS_LOG(kWarning) << "WAL truncation after snapshot failed: "
+                        << truncated;
+    }
+  }
+  return OkStatus();
+}
+
+Status PwsEngine::RestoreState(const std::string& snapshot_path) {
+  PWS_SPAN("engine.snapshot.restore");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  uint64_t floor_seq = 0;
+  // A missing snapshot is an empty one: a process that crashed before
+  // its first SaveState recovers purely from the WAL.
+  if (FileExists(snapshot_path)) {
+    auto loaded = io::LoadEngineState(snapshot_path, ontology_);
+    if (!loaded.ok()) {
+      registry.GetCounter("engine.snapshot.restore_errors")->Increment();
+      return loaded.status();
+    }
+    floor_seq = loaded->last_wal_seq;
+    for (io::PersistedUserState& persisted : loaded->users) {
+      if (persisted.model.dimension() != ranking::kFeatureCount) {
+        registry.GetCounter("engine.snapshot.restore_errors")->Increment();
+        return InvalidArgumentError(
+            "snapshot model dimension " +
+            std::to_string(persisted.model.dimension()) +
+            " does not match engine feature count for user " +
+            std::to_string(persisted.user));
+      }
+      RegisterUser(persisted.user);
+      UserState& state = StateOf(persisted.user);
+      state.profile = std::make_unique<profile::UserProfile>(
+          std::move(persisted.profile));
+      state.PublishModel(std::make_shared<const ranking::RankSvm>(
+          std::move(persisted.model)));
+      state.position = persisted.position;
+      state.pair_queries = std::move(persisted.pair_queries);
+      state.pair_query_index.clear();
+      for (size_t q = 0; q < state.pair_queries.size(); ++q) {
+        state.pair_query_index[state.pair_queries[q]] =
+            static_cast<int32_t>(q);
+      }
+      state.pairs->Clear();
+      for (const io::PersistedPair& pair : persisted.pairs) {
+        StoredPair stored;
+        stored.query_index = pair.query_index;
+        stored.preferred_backend_index = pair.preferred_backend_index;
+        stored.other_backend_index = pair.other_backend_index;
+        stored.weight = pair.weight;
+        state.pairs->Push(stored);
+      }
+      state.slab.Clear();
+    }
+  }
+  registry.GetCounter("engine.snapshot.restores")->Increment();
+  if (wal_ == nullptr) return OkStatus();
+
+  // Replay the log tail. Each 'C' record re-serves its query — Serve is
+  // deterministic, so the page order equals what the user saw — and
+  // re-observes the logged interactions; 'T'/'A' records re-run training.
+  // Records at or below the snapshot's high-water mark are already folded
+  // in and skipped.
+  auto replay = io::WriteAheadLog::Replay(wal_->path());
+  if (!replay.ok()) {
+    registry.GetCounter("engine.snapshot.restore_errors")->Increment();
+    return replay.status();
+  }
+  if (replay->torn_tail) {
+    registry.GetCounter("wal.replay.torn_tails")->Increment();
+  }
+  replaying_ = true;
+  for (const io::WriteAheadLog::ReplayedRecord& record : replay->records) {
+    if (record.seq <= floor_seq) {
+      registry.GetCounter("wal.replay.skipped")->Increment();
+      continue;
+    }
+    bool applied = false;
+    if (record.payload.size() == 1 && record.payload[0] == kWalTrainAll) {
+      TrainAllUsers();
+      applied = true;
+    } else if (record.payload.size() >= 2 && record.payload[1] == '\n') {
+      const std::string body = record.payload.substr(2);
+      if (record.payload[0] == kWalClick) {
+        click::UserId user = -1;
+        std::string query;
+        click::ClickRecord logged;
+        if (DecodeClickPayload(body, &user, &query, &logged)) {
+          const PersonalizedPage page = Serve(user, query);
+          if (page.order.size() == logged.interactions.size()) {
+            Observe(user, page, logged);
+            applied = true;
+          }
+        }
+      } else if (record.payload[0] == kWalTrainUser) {
+        int64_t user = 0;
+        bool registered = false;
+        if (ParseInt64(body, &user)) {
+          std::shared_lock<std::shared_mutex> lock(users_mutex_);
+          registered = users_.find(static_cast<click::UserId>(user)) !=
+                       users_.end();
+        }
+        if (registered) {
+          TrainUser(static_cast<click::UserId>(user));
+          applied = true;
+        }
+      }
+    }
+    if (applied) {
+      registry.GetCounter("wal.replay.records")->Increment();
+    } else {
+      // Skip, do not abort: one unreadable record must not block
+      // recovery of the rest (its CRC was valid, so this means a format
+      // from a different engine build or corpus).
+      registry.GetCounter("wal.replay.mismatches")->Increment();
+      PWS_LOG(kWarning) << "skipping unreplayable WAL record seq "
+                        << record.seq;
+    }
+  }
+  replaying_ = false;
+  return OkStatus();
 }
 
 }  // namespace pws::core

@@ -28,6 +28,11 @@
 #include "ranking/ranker.h"
 #include "util/ring_buffer.h"
 #include "util/sharded_lru.h"
+#include "util/status.h"
+
+namespace pws::io {
+class WriteAheadLog;
+}  // namespace pws::io
 
 namespace pws::core {
 
@@ -168,6 +173,7 @@ class PwsEngine : public Personalizer {
   /// `search_backend` and `ontology` must outlive the engine.
   PwsEngine(const backend::SearchBackend* search_backend,
             const geo::LocationOntology* ontology, EngineOptions options);
+  ~PwsEngine();
 
   PwsEngine(const PwsEngine&) = delete;
   PwsEngine& operator=(const PwsEngine&) = delete;
@@ -231,6 +237,46 @@ class PwsEngine : public Personalizer {
   /// must match. Accumulated training pairs are cleared.
   void ImportUserState(click::UserId user, profile::UserProfile profile,
                        ranking::RankSvm model);
+
+  // ---------- Durability (see DESIGN.md §12) ----------
+  //
+  // The restart story: EnableWal() makes every state-mutating event
+  // (Observe, TrainUser, TrainAllUsers) append a framed record to an
+  // on-disk log; SaveState() writes an atomic, checksummed snapshot of
+  // every user and truncates the log; after a crash, a fresh engine
+  // calls EnableWal() then RestoreState(), which loads the last good
+  // snapshot and replays the log tail — re-serving each logged query
+  // and re-observing the logged interactions, which is deterministic,
+  // so the recovered engine serves bit-identical rankings and carries
+  // bit-identical model weights. GPS traces are not logged: attach them
+  // before traffic and snapshot afterwards (the last position is part
+  // of the snapshot).
+
+  /// Opens (creating if absent) the write-ahead log at `wal_path` and
+  /// starts logging mutating events to it. A log left by a crashed
+  /// process is picked up where it ended (torn tail repaired). Call once
+  /// before serving traffic; not thread-safe against in-flight calls.
+  Status EnableWal(const std::string& wal_path);
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  /// Writes an atomic, checksummed, versioned snapshot of every
+  /// registered user (profile, model, GPS position, training pairs) to
+  /// `snapshot_path`, then truncates the WAL — its records are now
+  /// folded into the snapshot (a crash between the two is harmless: the
+  /// snapshot stores the WAL high-water mark and recovery skips
+  /// already-applied records). Safe to call concurrently with Serve and
+  /// TrainAllUsers (models are read via their published snapshots); the
+  /// caller must not run Observe/AdvanceDay/ImportUserState concurrently
+  /// — the same contract as TrainAllUsers.
+  Status SaveState(const std::string& snapshot_path);
+
+  /// Restores from `snapshot_path` (a missing file is an empty snapshot,
+  /// supporting crash-before-first-snapshot) and, when a WAL is enabled,
+  /// replays its tail: records already covered by the snapshot are
+  /// skipped by sequence number, the rest are re-applied in order.
+  /// Intended for a freshly constructed engine; persisted users replace
+  /// any same-id in-memory state. Not thread-safe.
+  Status RestoreState(const std::string& snapshot_path);
 
  private:
   /// A mined preference stored symbolically: indices into the user's
@@ -325,6 +371,16 @@ class PwsEngine : public Personalizer {
   /// entropy_adaptive_alpha is on).
   mutable std::mutex entropy_mutex_;
   profile::ClickEntropyTracker entropy_tracker_;
+
+  /// Durability (null until EnableWal). The WAL serializes its own
+  /// appends; these flags are only flipped in single-threaded phases
+  /// (before/after ParallelFor fan-out, inside RestoreState).
+  std::unique_ptr<io::WriteAheadLog> wal_;
+  /// Suppresses WAL appends while RestoreState re-applies logged events.
+  bool replaying_ = false;
+  /// Suppresses per-user TRAIN records while TrainAllUsers logs one
+  /// TRAINALL record for the whole sweep.
+  bool in_train_all_ = false;
 };
 
 }  // namespace pws::core

@@ -70,7 +70,7 @@ StatusOr<corpus::Corpus> CorpusFromText(const std::string& text) {
     has_current = false;
     return OkStatus();
   };
-  for (const std::string& line : StrSplit(text, '\n')) {
+  for (const std::string& line : SplitLines(text)) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = StrSplit(line, '\t');
     const std::string& tag = fields[0];

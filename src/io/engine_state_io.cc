@@ -1,7 +1,11 @@
 #include "io/engine_state_io.h"
 
+#include <cmath>
+#include <cstdio>
+
 #include "io/model_io.h"
 #include "io/profile_io.h"
+#include "util/crc32.h"
 #include "util/file_util.h"
 #include "util/string_util.h"
 
@@ -9,6 +13,20 @@ namespace pws::io {
 namespace {
 
 constexpr char kSeparator[] = "---MODEL---";
+constexpr char kSnapshotKind[] = "PWSSNAP";
+constexpr uint32_t kSnapshotVersion = 1;
+
+std::string HexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+std::string HexU32(uint32_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x", value);
+  return buffer;
+}
 
 }  // namespace
 
@@ -55,6 +73,246 @@ StatusOr<click::ClickLog> LoadClickLog(const std::string& path) {
   auto contents = ReadFileToString(path);
   if (!contents.ok()) return contents.status();
   return click::ClickLog::FromTsv(*contents);
+}
+
+// ---------- Durable envelope ----------
+
+std::string WrapDurable(std::string_view kind, uint32_t version,
+                        const std::string& payload) {
+  std::string out(kind);
+  out += '\t';
+  out += std::to_string(version);
+  out += '\t';
+  out += std::to_string(payload.size());
+  out += '\t';
+  out += HexU32(Crc32(payload));
+  out += '\n';
+  out += payload;
+  return out;
+}
+
+StatusOr<std::string> UnwrapDurable(std::string_view kind, uint32_t version,
+                                    const std::string& contents) {
+  const size_t newline = contents.find('\n');
+  if (newline == std::string::npos) {
+    return InvalidArgumentError("missing durable header");
+  }
+  std::string header = contents.substr(0, newline);
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  const std::vector<std::string> fields = StrSplit(header, '\t');
+  if (fields.size() != 4 || fields[0] != kind) {
+    return InvalidArgumentError("not a " + std::string(kind) + " file");
+  }
+  int64_t file_version = 0;
+  int64_t declared_size = 0;
+  if (!ParseInt64(fields[1], &file_version) ||
+      !ParseInt64(fields[2], &declared_size)) {
+    return InvalidArgumentError("bad durable header: " + header);
+  }
+  if (file_version != static_cast<int64_t>(version)) {
+    return InvalidArgumentError("unsupported " + std::string(kind) +
+                                " version " + fields[1]);
+  }
+  std::string payload = contents.substr(newline + 1);
+  if (static_cast<int64_t>(payload.size()) != declared_size) {
+    return DataLossError("truncated " + std::string(kind) + " payload: have " +
+                         std::to_string(payload.size()) + " bytes, expected " +
+                         fields[2]);
+  }
+  if (HexU32(Crc32(payload)) != fields[3]) {
+    return DataLossError("checksum mismatch in " + std::string(kind) +
+                         " payload");
+  }
+  return payload;
+}
+
+// ---------- Whole-engine snapshot ----------
+
+std::string EngineStateToText(const EngineState& state) {
+  std::string payload = "ENGINE\t" + std::to_string(state.users.size()) +
+                        "\t" + std::to_string(state.last_wal_seq) + "\n";
+  for (const PersistedUserState& user : state.users) {
+    payload += "USER\t" + std::to_string(user.user) + "\n";
+    if (user.position.has_value()) {
+      payload += "POS\t" + HexDouble(user.position->lat) + "\t" +
+                 HexDouble(user.position->lon) + "\n";
+    }
+    payload += ProfileToText(user.profile);
+    payload += kSeparator;
+    payload += '\n';
+    payload += ModelToText(user.model);
+    payload += "PQ\t" + std::to_string(user.pair_queries.size()) + "\n";
+    for (const std::string& query : user.pair_queries) {
+      payload += "Q\t" + query + "\n";
+    }
+    payload += "PAIRS\t" + std::to_string(user.pairs.size()) + "\n";
+    for (const PersistedPair& pair : user.pairs) {
+      payload += "P\t" + std::to_string(pair.query_index) + "\t" +
+                 std::to_string(pair.preferred_backend_index) + "\t" +
+                 std::to_string(pair.other_backend_index) + "\t" +
+                 HexDouble(pair.weight) + "\n";
+    }
+    payload += "ENDUSER\n";
+  }
+  return WrapDurable(kSnapshotKind, kSnapshotVersion, payload);
+}
+
+StatusOr<EngineState> EngineStateFromText(
+    const std::string& text, const geo::LocationOntology* ontology) {
+  auto payload = UnwrapDurable(kSnapshotKind, kSnapshotVersion, text);
+  if (!payload.ok()) return payload.status();
+  const std::vector<std::string> lines = SplitLines(*payload);
+  size_t i = 0;
+  auto next_line = [&]() -> const std::string* {
+    while (i < lines.size() && lines[i].empty()) ++i;  // Trailing blanks.
+    return i < lines.size() ? &lines[i++] : nullptr;
+  };
+
+  const std::string* header = next_line();
+  if (header == nullptr || !StartsWith(*header, "ENGINE\t")) {
+    return InvalidArgumentError("snapshot payload must start with ENGINE");
+  }
+  const std::vector<std::string> header_fields = StrSplit(*header, '\t');
+  int64_t num_users = 0;
+  int64_t last_wal_seq = 0;
+  if (header_fields.size() != 3 || !ParseInt64(header_fields[1], &num_users) ||
+      !ParseInt64(header_fields[2], &last_wal_seq) || num_users < 0) {
+    return InvalidArgumentError("bad snapshot header: " + *header);
+  }
+
+  EngineState state;
+  state.last_wal_seq = static_cast<uint64_t>(last_wal_seq);
+  state.users.reserve(static_cast<size_t>(num_users));
+  for (int64_t u = 0; u < num_users; ++u) {
+    const std::string* user_line = next_line();
+    if (user_line == nullptr || !StartsWith(*user_line, "USER\t")) {
+      return InvalidArgumentError("expected USER line for user " +
+                                  std::to_string(u));
+    }
+    int64_t user_id = 0;
+    if (!ParseInt64(user_line->substr(5), &user_id)) {
+      return InvalidArgumentError("bad user id: " + *user_line);
+    }
+
+    std::optional<geo::GeoPoint> position;
+    const std::string* line = next_line();
+    if (line != nullptr && StartsWith(*line, "POS\t")) {
+      const std::vector<std::string> fields = StrSplit(*line, '\t');
+      geo::GeoPoint point;
+      if (fields.size() != 3 || !ParseDouble(fields[1], &point.lat) ||
+          !ParseDouble(fields[2], &point.lon) || !std::isfinite(point.lat) ||
+          !std::isfinite(point.lon)) {
+        return InvalidArgumentError("bad POS line: " + *line);
+      }
+      position = point;
+      line = next_line();
+    }
+
+    // Profile section: everything up to the ---MODEL--- separator.
+    std::string profile_text;
+    while (line != nullptr && *line != kSeparator) {
+      profile_text += *line;
+      profile_text += '\n';
+      line = next_line();
+    }
+    if (line == nullptr) {
+      return InvalidArgumentError("snapshot user missing model separator");
+    }
+    auto profile = ProfileFromText(profile_text, ontology);
+    if (!profile.ok()) return profile.status();
+    if (profile->user() != static_cast<click::UserId>(user_id)) {
+      return InvalidArgumentError("USER/profile id mismatch for user " +
+                                  std::to_string(user_id));
+    }
+
+    // Model section: everything up to the PQ line.
+    std::string model_text;
+    line = next_line();
+    while (line != nullptr && !StartsWith(*line, "PQ\t")) {
+      model_text += *line;
+      model_text += '\n';
+      line = next_line();
+    }
+    if (line == nullptr) {
+      return InvalidArgumentError("snapshot user missing PQ section");
+    }
+    auto model = ModelFromText(model_text);
+    if (!model.ok()) return model.status();
+
+    PersistedUserState user(std::move(profile).value(),
+                            std::move(model).value());
+    user.user = static_cast<click::UserId>(user_id);
+    user.position = position;
+
+    int64_t num_queries = 0;
+    if (!ParseInt64(line->substr(3), &num_queries) || num_queries < 0) {
+      return InvalidArgumentError("bad PQ line: " + *line);
+    }
+    user.pair_queries.reserve(static_cast<size_t>(num_queries));
+    for (int64_t q = 0; q < num_queries; ++q) {
+      line = next_line();
+      if (line == nullptr || !StartsWith(*line, "Q\t")) {
+        return InvalidArgumentError("expected Q line");
+      }
+      user.pair_queries.push_back(line->substr(2));
+    }
+
+    line = next_line();
+    if (line == nullptr || !StartsWith(*line, "PAIRS\t")) {
+      return InvalidArgumentError("expected PAIRS line");
+    }
+    int64_t num_pairs = 0;
+    if (!ParseInt64(line->substr(6), &num_pairs) || num_pairs < 0) {
+      return InvalidArgumentError("bad PAIRS line: " + *line);
+    }
+    user.pairs.reserve(static_cast<size_t>(num_pairs));
+    for (int64_t p = 0; p < num_pairs; ++p) {
+      line = next_line();
+      if (line == nullptr || !StartsWith(*line, "P\t")) {
+        return InvalidArgumentError("expected P line");
+      }
+      const std::vector<std::string> fields = StrSplit(*line, '\t');
+      PersistedPair pair;
+      int64_t query_index = 0;
+      int64_t preferred = 0;
+      int64_t other = 0;
+      if (fields.size() != 5 || !ParseInt64(fields[1], &query_index) ||
+          !ParseInt64(fields[2], &preferred) ||
+          !ParseInt64(fields[3], &other) ||
+          !ParseDouble(fields[4], &pair.weight) ||
+          !std::isfinite(pair.weight)) {
+        return InvalidArgumentError("bad P line: " + *line);
+      }
+      if (query_index < 0 ||
+          query_index >= static_cast<int64_t>(user.pair_queries.size()) ||
+          preferred < 0 || other < 0) {
+        return InvalidArgumentError("pair index out of range: " + *line);
+      }
+      pair.query_index = static_cast<int32_t>(query_index);
+      pair.preferred_backend_index = static_cast<int32_t>(preferred);
+      pair.other_backend_index = static_cast<int32_t>(other);
+      user.pairs.push_back(pair);
+    }
+
+    line = next_line();
+    if (line == nullptr || *line != "ENDUSER") {
+      return InvalidArgumentError("expected ENDUSER for user " +
+                                  std::to_string(user_id));
+    }
+    state.users.push_back(std::move(user));
+  }
+  return state;
+}
+
+Status SaveEngineState(const EngineState& state, const std::string& path) {
+  return WriteFileAtomic(path, EngineStateToText(state));
+}
+
+StatusOr<EngineState> LoadEngineState(const std::string& path,
+                                      const geo::LocationOntology* ontology) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return EngineStateFromText(*contents, ontology);
 }
 
 }  // namespace pws::io

@@ -1,9 +1,14 @@
 #ifndef PWS_IO_ENGINE_STATE_IO_H_
 #define PWS_IO_ENGINE_STATE_IO_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "click/click_log.h"
+#include "geo/geo_point.h"
 #include "profile/user_profile.h"
 #include "ranking/rank_svm.h"
 #include "util/status.h"
@@ -37,6 +42,75 @@ StatusOr<UserStateSnapshot> LoadUserState(
 /// Click-log file wrappers (the TSV format of click::ClickLog).
 Status SaveClickLog(const click::ClickLog& log, const std::string& path);
 StatusOr<click::ClickLog> LoadClickLog(const std::string& path);
+
+// ---------- Durable envelope ----------
+
+/// Wraps `payload` in a checksummed, versioned, length-prefixed envelope:
+///
+///   <kind>\t<version>\t<payload bytes>\t<crc32 hex>\n<payload>
+///
+/// so a loader can tell a truncated or bit-rotted file (kDataLoss) from a
+/// malformed one (kInvalidArgument). `kind` is a short ASCII magic (no
+/// tabs/newlines) naming the format, e.g. "PWSSNAP".
+std::string WrapDurable(std::string_view kind, uint32_t version,
+                        const std::string& payload);
+
+/// Verifies the envelope and returns the payload. kInvalidArgument for a
+/// missing/foreign header or unsupported version; kDataLoss when the
+/// declared size or checksum does not match the bytes on disk.
+StatusOr<std::string> UnwrapDurable(std::string_view kind, uint32_t version,
+                                    const std::string& contents);
+
+// ---------- Whole-engine snapshot ----------
+
+/// One persisted preference pair, symbolic exactly like the engine's
+/// in-memory pair store: indices into the user's pair-query dictionary
+/// and the query's backend page. Persisting pairs keeps post-restore
+/// TrainUser bit-identical to an uninterrupted run.
+struct PersistedPair {
+  int32_t query_index = -1;
+  int32_t preferred_backend_index = -1;
+  int32_t other_backend_index = -1;
+  double weight = 1.0;
+};
+
+/// Everything the engine knows about one user that must survive a
+/// restart: learned profile and model, last GPS position, and the
+/// accumulated training pairs (chronological order).
+struct PersistedUserState {
+  click::UserId user = -1;
+  profile::UserProfile profile;
+  ranking::RankSvm model;
+  std::optional<geo::GeoPoint> position;
+  std::vector<std::string> pair_queries;
+  std::vector<PersistedPair> pairs;
+
+  PersistedUserState(profile::UserProfile p, ranking::RankSvm m)
+      : profile(std::move(p)), model(std::move(m)) {}
+};
+
+/// A consistent snapshot of every user plus the WAL high-water mark:
+/// every WAL record with seq <= last_wal_seq is already folded into the
+/// snapshot, so recovery skips it (this is what makes a crash between
+/// snapshot commit and WAL truncation harmless).
+struct EngineState {
+  uint64_t last_wal_seq = 0;
+  std::vector<PersistedUserState> users;
+};
+
+/// Serializes an engine snapshot, durable envelope included.
+std::string EngineStateToText(const EngineState& state);
+
+/// Parses EngineStateToText output. Envelope violations map to kDataLoss,
+/// format violations to kInvalidArgument; profiles are bound to
+/// `ontology`, and all weights must be finite.
+StatusOr<EngineState> EngineStateFromText(
+    const std::string& text, const geo::LocationOntology* ontology);
+
+/// File convenience wrappers; Save writes atomically (WriteFileAtomic).
+Status SaveEngineState(const EngineState& state, const std::string& path);
+StatusOr<EngineState> LoadEngineState(const std::string& path,
+                                      const geo::LocationOntology* ontology);
 
 }  // namespace pws::io
 

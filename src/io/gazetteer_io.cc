@@ -44,7 +44,7 @@ std::string GazetteerToTsv(const geo::LocationOntology& ontology) {
 
 StatusOr<geo::LocationOntology> GazetteerFromTsv(const std::string& tsv) {
   geo::LocationOntology ontology;
-  for (const std::string& line : StrSplit(tsv, '\n')) {
+  for (const std::string& line : SplitLines(tsv)) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = StrSplit(line, '\t');
     if (fields[0] == "N") {

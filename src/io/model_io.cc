@@ -1,5 +1,6 @@
 #include "io/model_io.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/file_util.h"
@@ -27,6 +28,11 @@ Status ParseWeightLine(const std::string& line, int dimension,
     if (!ParseDouble(fields[d], &value)) {
       return InvalidArgumentError("bad weight in: " + line);
     }
+    // nan/inf in a weight vector silently corrupts every score the model
+    // produces from then on; fail the load instead.
+    if (!std::isfinite(value)) {
+      return InvalidArgumentError("non-finite weight in: " + line);
+    }
     out->push_back(value);
   }
   return OkStatus();
@@ -51,7 +57,7 @@ std::string ModelToText(const ranking::RankSvm& model) {
 }
 
 StatusOr<ranking::RankSvm> ModelFromText(const std::string& text) {
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  const std::vector<std::string> lines = SplitLines(text);
   if (lines.size() < 3 || !StartsWith(lines[0], "M\t") ||
       !StartsWith(lines[1], "W") || !StartsWith(lines[2], "P")) {
     return InvalidArgumentError("malformed model text");

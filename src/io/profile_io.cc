@@ -1,6 +1,7 @@
 #include "io/profile_io.h"
 
 #include <climits>
+#include <cmath>
 #include <cstdio>
 
 #include "util/file_util.h"
@@ -43,7 +44,10 @@ StatusOr<profile::UserProfile> ProfileFromText(
   if (ontology == nullptr) {
     return InvalidArgumentError("ontology must not be null");
   }
-  const std::vector<std::string> lines = StrSplit(text, '\n');
+  // SplitLines strips CRLF endings, so a profile edited on (or shipped
+  // through) a Windows box still parses; trailing blank lines fall to
+  // the empty-line skip below.
+  const std::vector<std::string> lines = SplitLines(text);
   if (lines.empty() || !StartsWith(lines[0], "U\t")) {
     return InvalidArgumentError("profile text must start with a U line");
   }
@@ -66,6 +70,11 @@ StatusOr<profile::UserProfile> ProfileFromText(
     double weight = 0.0;
     if (!ParseDouble(fields[1], &weight)) {
       return InvalidArgumentError("bad weight in: " + line);
+    }
+    // A nan/inf weight (hand edit, bit rot) would poison every ranking
+    // score computed against this profile — reject it at the boundary.
+    if (!std::isfinite(weight)) {
+      return InvalidArgumentError("non-finite weight in: " + line);
     }
     if (fields[0] == "C") {
       profile.AddContentWeight(fields[2], weight);

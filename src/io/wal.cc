@@ -1,0 +1,190 @@
+#include "io/wal.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
+
+namespace pws::io {
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 16;
+// A frame longer than this is treated as tail corruption rather than a
+// record — it bounds the allocation a flipped length field could ask for.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+// CRC over the seq field and the payload, exactly as framed.
+uint32_t FrameCrc(uint64_t seq, std::string_view payload) {
+  std::string seq_bytes;
+  seq_bytes.reserve(8);
+  PutU64(&seq_bytes, seq);
+  return Crc32Finalize(
+      Crc32Update(Crc32Update(Crc32Init(), seq_bytes), payload));
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, Options options,
+                             std::FILE* file, uint64_t last_seq,
+                             uint64_t valid_bytes)
+    : path_(std::move(path)),
+      options_(options),
+      file_(file),
+      last_seq_(last_seq),
+      valid_bytes_(valid_bytes) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
+    const std::string& path) {
+  PWS_SPAN("wal.replay");
+  ReplayResult result;
+  if (!FileExists(path)) return result;
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& data = *contents;
+  size_t offset = 0;
+  while (offset + kFrameHeaderBytes <= data.size()) {
+    const uint32_t payload_len = GetU32(data.data() + offset);
+    const uint32_t crc = GetU32(data.data() + offset + 4);
+    const uint64_t seq = GetU64(data.data() + offset + 8);
+    if (payload_len > kMaxPayloadBytes ||
+        offset + kFrameHeaderBytes + payload_len > data.size()) {
+      break;  // Torn or corrupt tail.
+    }
+    const std::string_view payload(data.data() + offset + kFrameHeaderBytes,
+                                   payload_len);
+    if (FrameCrc(seq, payload) != crc) break;
+    result.records.push_back(ReplayedRecord{seq, std::string(payload)});
+    offset += kFrameHeaderBytes + payload_len;
+  }
+  result.valid_bytes = offset;
+  result.dropped_bytes = data.size() - offset;
+  result.torn_tail = result.dropped_bytes > 0;
+  return result;
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, const Options& options) {
+  auto replay = Replay(path);
+  if (!replay.ok()) return replay.status();
+  uint64_t last_seq = 0;
+  for (const ReplayedRecord& record : replay->records) {
+    if (record.seq > last_seq) last_seq = record.seq;
+  }
+  // "ab" creates the file if needed and pins every write to the end.
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return InternalError("cannot open wal for append: " + path);
+  }
+  auto log = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, options, file, last_seq, replay->valid_bytes));
+  if (replay->torn_tail) {
+    // Repair: drop the torn tail so new appends are not hidden behind
+    // garbage the next replay would stop at.
+    obs::MetricsRegistry::Global()
+        .GetCounter("wal.open.torn_tail_repairs")
+        ->Increment();
+    Status truncated = internal_file::HookedTruncate(
+        file, static_cast<size_t>(replay->valid_bytes), path);
+    if (!truncated.ok()) return truncated;
+  }
+  return log;
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  return Open(path, Options());
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  PWS_SPAN("wal.append");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return FailedPreconditionError("wal is closed: " + path_);
+  }
+  const uint64_t seq = last_seq_ + 1;
+  frame_buffer_.clear();
+  frame_buffer_.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame_buffer_, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame_buffer_, FrameCrc(seq, payload));
+  PutU64(&frame_buffer_, seq);
+  frame_buffer_.append(payload);
+  Status status = internal_file::HookedWrite(file_, frame_buffer_, path_);
+  if (status.ok() && options_.sync_each_append) {
+    status = internal_file::HookedFlushAndSync(file_, path_);
+  } else if (status.ok()) {
+    if (std::fflush(file_) != 0) {
+      status = InternalError("wal flush failed: " + path_);
+    }
+  }
+  if (!status.ok()) {
+    registry.GetCounter("wal.append.errors")->Increment();
+    // Roll the file back to the last good frame boundary: the torn frame
+    // would otherwise sit mid-file and hide every later successful
+    // append from Replay. Best effort — if the rollback fails too (e.g.
+    // the device is gone), the post-crash Open repairs the tail instead.
+    const Status rollback = internal_file::HookedTruncate(
+        file_, static_cast<size_t>(valid_bytes_), path_);
+    if (!rollback.ok()) {
+      registry.GetCounter("wal.append.rollback_errors")->Increment();
+    }
+    return status;
+  }
+  last_seq_ = seq;
+  valid_bytes_ += frame_buffer_.size();
+  registry.GetCounter("wal.appends")->Increment();
+  return OkStatus();
+}
+
+Status WriteAheadLog::Truncate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return FailedPreconditionError("wal is closed: " + path_);
+  }
+  Status status = internal_file::HookedTruncate(file_, 0, path_);
+  if (!status.ok()) return status;
+  status = internal_file::HookedFlushAndSync(file_, path_);
+  if (!status.ok()) return status;
+  valid_bytes_ = 0;
+  obs::MetricsRegistry::Global().GetCounter("wal.truncates")->Increment();
+  return OkStatus();
+}
+
+uint64_t WriteAheadLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seq_;
+}
+
+}  // namespace pws::io

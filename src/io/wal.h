@@ -1,0 +1,117 @@
+#ifndef PWS_IO_WAL_H_
+#define PWS_IO_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pws::io {
+
+/// Append-only write-ahead log with length + CRC framed records — the
+/// durability gap-filler between engine snapshots: every state-mutating
+/// event (click observation, training run) is appended here, and after a
+/// crash the tail since the last snapshot is replayed.
+///
+/// On-disk frame layout (little-endian, 16-byte header):
+///
+///   [u32 payload_len][u32 crc32][u64 seq][payload bytes]
+///
+/// The CRC covers the seq field and the payload, so a corrupted header
+/// is as detectable as a corrupted body. Sequence numbers increase
+/// monotonically and never reset — not even across Truncate — so a
+/// snapshot can record "everything up to seq S is already folded in" and
+/// recovery can skip duplicate records even when a crash lands between a
+/// snapshot commit and the WAL truncation that should have followed it.
+///
+/// Torn tails are expected, not errors: a crash mid-append leaves a
+/// partial frame at the end of the file, and Replay drops everything
+/// from the first frame that fails its length or CRC check. Open repairs
+/// such a file by truncating the torn tail before appending, so new
+/// records never land behind garbage that would hide them from the next
+/// replay.
+///
+/// Thread-safety: Append and Truncate are mutually serialized by an
+/// internal mutex, so concurrent Observe calls on different users may
+/// share one log. Replay is a static read-only scan of a path.
+class WriteAheadLog {
+ public:
+  struct Options {
+    /// fsync after every append. Turning this off batches durability to
+    /// the OS's writeback (faster, loses the tail on power failure —
+    /// never an inconsistent state, just a shorter log).
+    bool sync_each_append = true;
+  };
+
+  /// One decoded record.
+  struct ReplayedRecord {
+    uint64_t seq = 0;
+    std::string payload;
+  };
+
+  /// Everything a recovery pass needs to know about a log file.
+  struct ReplayResult {
+    std::vector<ReplayedRecord> records;
+    /// True when the file ended in a partial or corrupt frame.
+    bool torn_tail = false;
+    /// Bytes of valid frames (the repair truncation point).
+    uint64_t valid_bytes = 0;
+    /// Bytes dropped after the last valid frame.
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Opens (creating if absent) the log at `path` for appending. Scans
+  /// existing frames to continue the sequence numbering past them and
+  /// truncates a torn tail left by a crash. A missing file is a fresh,
+  /// empty log.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const Options& options);
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  /// Decodes every complete frame of the log at `path`. A missing file
+  /// replays as empty. Never fails on torn/corrupt tails — that is the
+  /// case it exists for; only I/O errors return non-OK.
+  static StatusOr<ReplayResult> Replay(const std::string& path);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record, assigning it the next sequence number, and
+  /// (by default) fsyncs. On failure the frame may be torn — the next
+  /// Replay/Open drops it.
+  Status Append(std::string_view payload);
+
+  /// Truncates the log to empty after a successful snapshot. Sequence
+  /// numbering continues where it left off.
+  Status Truncate();
+
+  /// Highest sequence number ever assigned (0 when none).
+  uint64_t last_seq() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, Options options, std::FILE* file,
+                uint64_t last_seq, uint64_t valid_bytes);
+
+  std::string path_;
+  Options options_;
+  std::FILE* file_;
+  mutable std::mutex mutex_;
+  uint64_t last_seq_ = 0;
+  /// File size after the last successful append/truncate. A failed
+  /// append rolls the file back to this point so the torn frame cannot
+  /// hide later successful appends from Replay.
+  uint64_t valid_bytes_ = 0;
+  std::string frame_buffer_;  // Reused per append under mutex_.
+};
+
+}  // namespace pws::io
+
+#endif  // PWS_IO_WAL_H_

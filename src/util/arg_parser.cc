@@ -1,5 +1,6 @@
 #include "util/arg_parser.h"
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace pws {
@@ -31,7 +32,15 @@ int64_t ArgParser::GetInt(const std::string& name, int64_t default_value) const 
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   int64_t value = 0;
-  return ParseInt64(it->second, &value) ? value : default_value;
+  if (!ParseInt64(it->second, &value)) {
+    // Loud, not silent: "--threads=4x" running single-threaded with no
+    // hint burned real benchmark time before this warning existed.
+    PWS_LOG(kWarning) << "ignoring malformed integer value '" << it->second
+                      << "' for --" << name << "; using default "
+                      << default_value;
+    return default_value;
+  }
+  return value;
 }
 
 double ArgParser::GetDouble(const std::string& name,
@@ -39,7 +48,13 @@ double ArgParser::GetDouble(const std::string& name,
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   double value = 0.0;
-  return ParseDouble(it->second, &value) ? value : default_value;
+  if (!ParseDouble(it->second, &value)) {
+    PWS_LOG(kWarning) << "ignoring malformed numeric value '" << it->second
+                      << "' for --" << name << "; using default "
+                      << default_value;
+    return default_value;
+  }
+  return value;
 }
 
 bool ArgParser::GetBool(const std::string& name, bool default_value) const {

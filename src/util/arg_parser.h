@@ -18,6 +18,9 @@ class ArgParser {
   /// Returns the flag value or `default_value` when absent.
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
+  /// Returns the parsed flag value, or `default_value` when absent. A
+  /// present-but-malformed value (e.g. --threads=4x) logs a warning and
+  /// falls back to the default — it is never silently swallowed.
   int64_t GetInt(const std::string& name, int64_t default_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;

@@ -1,0 +1,43 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace pws {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const auto& table = Table();
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32Finalize(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32Finalize(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace pws

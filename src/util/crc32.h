@@ -1,0 +1,22 @@
+#ifndef PWS_UTIL_CRC32_H_
+#define PWS_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pws {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/gzip checksum)
+/// of `data`. Used to frame WAL records and to checksum snapshot files —
+/// it detects torn writes and bit rot, not adversarial tampering.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed chunks with the previous return value as
+/// `seed` (start from Crc32Init()).
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+uint32_t Crc32Finalize(uint32_t crc);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_CRC32_H_

@@ -1,7 +1,10 @@
 #include "util/file_util.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 
 namespace pws {
@@ -23,19 +26,159 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   return contents;
 }
 
-Status WriteStringToFile(const std::string& path,
-                         const std::string& contents) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return InternalError("cannot open for write: " + path);
+// ---------- Fault injection ----------
+
+FileFaultInjector& FileFaultInjector::Global() {
+  static FileFaultInjector* injector = new FileFaultInjector();
+  return *injector;
+}
+
+void FileFaultInjector::Arm(int fail_at, bool crash,
+                            double partial_write_fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_ = fail_at;
+  crash_ = crash;
+  tripped_ = false;
+  partial_write_fraction_ = partial_write_fraction;
+  ops_seen_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FileFaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  fail_at_ = -1;
+  crash_ = false;
+  tripped_ = false;
+  partial_write_fraction_ = 0.0;
+  ops_seen_.store(0, std::memory_order_relaxed);
+}
+
+bool FileFaultInjector::ShouldFail(Op op, size_t requested,
+                                   size_t* partial_bytes) {
+  (void)op;
+  if (partial_bytes != nullptr) *partial_bytes = 0;
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const int index = ops_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (tripped_ && crash_) return true;  // The process is "dead".
+  if (index != fail_at_) return false;
+  tripped_ = true;
+  if (partial_bytes != nullptr && partial_write_fraction_ > 0.0) {
+    *partial_bytes = static_cast<size_t>(
+        static_cast<double>(requested) *
+        std::min(1.0, std::max(0.0, partial_write_fraction_)));
   }
-  const size_t written =
-      std::fwrite(contents.data(), 1, contents.size(), file);
-  const bool flush_failed = std::fclose(file) != 0;
-  if (written != contents.size() || flush_failed) {
-    return InternalError("write error: " + path);
+  return true;
+}
+
+// ---------- Hooked primitives ----------
+
+namespace internal_file {
+
+Status HookedWrite(std::FILE* file, std::string_view data,
+                   const std::string& path) {
+  size_t partial = 0;
+  if (FileFaultInjector::Global().ShouldFail(FileFaultInjector::Op::kWrite,
+                                             data.size(), &partial)) {
+    if (partial > 0) {
+      std::fwrite(data.data(), 1, partial, file);
+      std::fflush(file);  // The torn prefix reaches the file.
+    }
+    return InternalError("injected write failure: " + path);
+  }
+  if (data.empty()) return OkStatus();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  if (written != data.size()) {
+    return InternalError("short write: " + path);
   }
   return OkStatus();
+}
+
+Status HookedFlushAndSync(std::FILE* file, const std::string& path) {
+  if (FileFaultInjector::Global().ShouldFail(FileFaultInjector::Op::kSync, 0,
+                                             nullptr)) {
+    return DataLossError("injected fsync failure: " + path);
+  }
+  if (std::fflush(file) != 0) {
+    return DataLossError("fflush failed: " + path);
+  }
+  if (::fsync(::fileno(file)) != 0) {
+    return DataLossError("fsync failed: " + path);
+  }
+  return OkStatus();
+}
+
+Status HookedRename(const std::string& from, const std::string& to) {
+  if (FileFaultInjector::Global().ShouldFail(FileFaultInjector::Op::kRename, 0,
+                                             nullptr)) {
+    return DataLossError("injected rename failure: " + from + " -> " + to);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return DataLossError("rename failed: " + from + " -> " + to);
+  }
+  return OkStatus();
+}
+
+Status HookedTruncate(std::FILE* file, size_t size, const std::string& path) {
+  if (FileFaultInjector::Global().ShouldFail(
+          FileFaultInjector::Op::kTruncate, 0, nullptr)) {
+    return DataLossError("injected truncate failure: " + path);
+  }
+  if (std::fflush(file) != 0 ||
+      ::ftruncate(::fileno(file), static_cast<off_t>(size)) != 0) {
+    return DataLossError("truncate failed: " + path);
+  }
+  return OkStatus();
+}
+
+Status HookedSyncParentDir(const std::string& path) {
+  if (FileFaultInjector::Global().ShouldFail(FileFaultInjector::Op::kSync, 0,
+                                             nullptr)) {
+    return DataLossError("injected directory sync failure: " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<size_t>(1, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return DataLossError("cannot open directory for sync: " + dir);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return DataLossError("directory fsync failed: " + dir);
+  return OkStatus();
+}
+
+}  // namespace internal_file
+
+// ---------- Atomic replace ----------
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot open for write: " + tmp);
+  }
+  Status status = internal_file::HookedWrite(file, contents, tmp);
+  if (status.ok()) status = internal_file::HookedFlushAndSync(file, tmp);
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = InternalError("close failed: " + tmp);
+  }
+  if (status.ok()) status = internal_file::HookedRename(tmp, path);
+  if (status.ok()) status = internal_file::HookedSyncParentDir(path);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());  // Best effort; never leaves a live torn file.
+    return status;
+  }
+  return OkStatus();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  return WriteFileAtomic(path, contents);
 }
 
 bool FileExists(const std::string& path) {

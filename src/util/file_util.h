@@ -1,6 +1,9 @@
 #ifndef PWS_UTIL_FILE_UTIL_H_
 #define PWS_UTIL_FILE_UTIL_H_
 
+#include <atomic>
+#include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "util/status.h"
@@ -10,12 +13,87 @@ namespace pws {
 /// Reads a whole file into a string.
 StatusOr<std::string> ReadFileToString(const std::string& path);
 
-/// Writes (replaces) a file with `contents`.
+/// Crash-safe file replacement: writes `contents` to `path + ".tmp"`,
+/// fsyncs it, renames it over `path`, then fsyncs the parent directory.
+/// A reader (or a post-crash restart) sees either the complete old file
+/// or the complete new file, never a torn mix. Failures after bytes hit
+/// the disk (fsync, rename, directory sync) return kDataLoss; failures
+/// before (open, write) return kInternal. The temp file is removed on
+/// any failure path.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Writes (replaces) a file with `contents`. Routed through
+/// WriteFileAtomic — an interrupted write can no longer corrupt the only
+/// copy of the previous contents.
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents);
 
 /// True when `path` exists and is a regular file.
 bool FileExists(const std::string& path);
+
+/// Fault-injection seam for durability tests. Every write-path boundary
+/// in this module and in io::WriteAheadLog (write, fsync, rename,
+/// truncate, directory sync) consults the process-global injector before
+/// touching the disk. Disarmed — the default, and the only production
+/// state — each boundary costs one relaxed atomic load.
+///
+/// Armed with Arm(fail_at, crash), the fail_at-th intercepted operation
+/// (0-based, counted from the Arm call) fails with kDataLoss/kInternal;
+/// with crash=true every later operation fails too, emulating a process
+/// that died at that point: nothing after the crash reaches the disk. A
+/// failing write can first persist a prefix of its payload
+/// (`partial_write_fraction`), emulating a torn/short write.
+///
+/// Tests sweep crash points by first running the scenario with
+/// Arm(-1, false) — count-only mode: no op index ever matches -1, so
+/// nothing fails, but every boundary is counted in ops_seen() — then
+/// re-running it once per fail_at in [0, count). Arm/Disarm are for
+/// single-threaded test orchestration; concurrent file writers while
+/// armed see a consistent (mutex-guarded) op sequence.
+class FileFaultInjector {
+ public:
+  enum class Op { kWrite, kSync, kRename, kTruncate };
+
+  static FileFaultInjector& Global();
+
+  void Arm(int fail_at, bool crash, double partial_write_fraction = 0.0);
+  void Disarm();
+
+  /// Operations intercepted since the last Arm/Disarm.
+  int ops_seen() const { return ops_seen_.load(std::memory_order_relaxed); }
+
+  /// Internal: consulted by the hooked primitives. Returns true when the
+  /// current operation must fail; `*partial_bytes` (for kWrite, given
+  /// `requested` payload bytes) is how many leading bytes to persist
+  /// anyway before failing.
+  bool ShouldFail(Op op, size_t requested, size_t* partial_bytes);
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<int> ops_seen_{0};
+  std::mutex mutex_;
+  int fail_at_ = -1;
+  bool crash_ = false;
+  bool tripped_ = false;
+  double partial_write_fraction_ = 0.0;
+};
+
+namespace internal_file {
+
+/// The injectable primitives WriteFileAtomic and the WAL build on. Each
+/// checks the fault injector, then performs the real operation; errors
+/// carry the path. HookedWrite does not flush; HookedFlushAndSync is
+/// fflush + fsync(fileno) and returns kDataLoss on failure.
+Status HookedWrite(std::FILE* file, std::string_view data,
+                   const std::string& path);
+Status HookedFlushAndSync(std::FILE* file, const std::string& path);
+Status HookedRename(const std::string& from, const std::string& to);
+Status HookedTruncate(std::FILE* file, size_t size, const std::string& path);
+/// Fsyncs the directory containing `path` so a rename into it is itself
+/// durable. Counted as a kSync boundary.
+Status HookedSyncParentDir(const std::string& path);
+
+}  // namespace internal_file
 
 }  // namespace pws
 

@@ -20,6 +20,12 @@ enum class StatusCode {
   kOutOfRange = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  /// Durable data was lost or could not be made durable: checksum or
+  /// size mismatch on a persisted file, or an fsync/rename that failed
+  /// after bytes were already written. Distinct from kInvalidArgument
+  /// (malformed but intact input) so recovery paths can tell "disk gave
+  /// us garbage" from "caller gave us garbage".
+  kDataLoss = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
@@ -60,6 +66,7 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DataLossError(std::string message);
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 

@@ -21,6 +21,14 @@ std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
   }
 }
 
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  return lines;
+}
+
 std::vector<std::string> StrSplitWhitespace(std::string_view text) {
   std::vector<std::string> pieces;
   size_t i = 0;

@@ -10,6 +10,12 @@ namespace pws {
 /// Splits `text` on `delimiter`, keeping empty pieces.
 std::vector<std::string> StrSplit(std::string_view text, char delimiter);
 
+/// Splits `text` into lines on '\n', dropping one trailing '\r' from
+/// each line (so CRLF input parses like LF input). Keeps empty lines;
+/// callers that skip blanks keep doing so. The canonical splitter for
+/// every persisted text format.
+std::vector<std::string> SplitLines(std::string_view text);
+
 /// Splits `text` on any whitespace run, dropping empty pieces.
 std::vector<std::string> StrSplitWhitespace(std::string_view text);
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "core/pws_engine.h"
 #include "eval/harness.h"
 #include "eval/world.h"
+#include "io/wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ranking/features.h"
@@ -671,6 +673,129 @@ TEST_F(ConcurrencyTest, ConcurrentTrainAllUsersAndServe) {
   for (const auto& user : world_->users()) {
     EXPECT_TRUE(engine.user_model(user.id).is_trained());
   }
+}
+
+// ---------- Durability under concurrency ----------
+
+TEST_F(ConcurrencyTest, SaveStateConcurrentWithServeAndTrainAllUsers) {
+  // SaveState's documented contract: safe concurrently with Serve and
+  // TrainAllUsers (models are read via their published snapshots). The
+  // TSan build turns any violation into a hard failure.
+  const std::string base = ::testing::TempDir() + "/pws_conc_save";
+  const std::string wal_path = base + ".wal";
+  std::remove(wal_path.c_str());
+
+  core::EngineOptions options = CombinedOptions();
+  options.train_threads = 2;
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         options);
+  for (const auto& user : world_->users()) engine.RegisterUser(user.id);
+  ASSERT_TRUE(engine.EnableWal(wal_path).ok());
+  AccumulateTrainingPairs(engine, world_);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 3; ++t) {
+    servers.emplace_back([&, t] {
+      const auto& intents = world_->queries();
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)engine.Serve(t % 5, intents[(t + i++) % intents.size()].text);
+      }
+    });
+  }
+  std::thread trainer([&engine] {
+    for (int round = 0; round < 4; ++round) engine.TrainAllUsers();
+  });
+  // Snapshots to distinct paths while serving and training run.
+  std::vector<std::string> snapshots;
+  for (int s = 0; s < 4; ++s) {
+    const std::string path = base + "_" + std::to_string(s);
+    EXPECT_TRUE(engine.SaveState(path).ok()) << "snapshot " << s;
+    snapshots.push_back(path);
+  }
+  trainer.join();
+  stop = true;
+  for (auto& th : servers) th.join();
+
+  // Every snapshot taken mid-flight is loadable and carries all users.
+  for (const std::string& path : snapshots) {
+    core::PwsEngine restored(&world_->search_backend(), &world_->ontology(),
+                             CombinedOptions());
+    EXPECT_TRUE(restored.RestoreState(path).ok()) << path;
+    EXPECT_EQ(restored.registered_user_count(),
+              static_cast<int>(world_->users().size()))
+        << path;
+    std::remove(path.c_str());
+  }
+  std::remove(wal_path.c_str());
+}
+
+TEST_F(ConcurrencyTest, ConcurrentObservesAllReachTheWalAndReplayCleanly) {
+  // Observe is safe concurrently across different users; the WAL
+  // serializes the appends internally. Every observation must land as
+  // exactly one intact frame, and replay must rebuild each user's
+  // learned state — per-user event order is preserved (appends happen in
+  // the observing thread), and users do not affect each other.
+  const std::string base = ::testing::TempDir() + "/pws_conc_observe";
+  const std::string wal_path = base + ".wal";
+  std::remove(base.c_str());
+  std::remove(wal_path.c_str());
+
+  core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
+                         CombinedOptions());
+  for (const auto& user : world_->users()) engine.RegisterUser(user.id);
+  ASSERT_TRUE(engine.EnableWal(wal_path).ok());
+
+  constexpr int kObservesPerUser = 15;
+  const auto& intents = world_->queries();
+  std::vector<std::thread> threads;
+  for (const auto& user : world_->users()) {
+    threads.emplace_back([&engine, &intents, user_id = user.id] {
+      for (int i = 0; i < kObservesPerUser; ++i) {
+        const auto& intent =
+            intents[(static_cast<size_t>(user_id) + i) % intents.size()];
+        const auto page = engine.Serve(user_id, intent.text);
+        click::ClickRecord record;
+        const size_t clicked = 1 + (i % 3);
+        for (size_t j = 0; j < page.order.size(); ++j) {
+          click::Interaction interaction;
+          interaction.doc = page.backend_page().results[page.order[j]].doc;
+          interaction.rank = static_cast<int>(j);
+          if (j == clicked) {
+            interaction.clicked = true;
+            interaction.dwell_units = 95.5 + i;
+            interaction.last_click_in_session = true;
+          }
+          record.interactions.push_back(interaction);
+        }
+        engine.Observe(user_id, page, record);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto replay = io::WriteAheadLog::Replay(wal_path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->records.size(),
+            world_->users().size() * kObservesPerUser);
+
+  // WAL-only recovery (no snapshot was ever written) rebuilds each
+  // user's learned state exactly.
+  core::PwsEngine restored(&world_->search_backend(), &world_->ontology(),
+                           CombinedOptions());
+  ASSERT_TRUE(restored.EnableWal(wal_path).ok());
+  ASSERT_TRUE(restored.RestoreState(base).ok());
+  for (const auto& user : world_->users()) {
+    EXPECT_EQ(restored.training_pair_count(user.id),
+              engine.training_pair_count(user.id))
+        << "user " << user.id;
+    EXPECT_EQ(restored.user_profile(user.id).TopContentConcepts(10),
+              engine.user_profile(user.id).TopContentConcepts(10))
+        << "user " << user.id;
+  }
+  std::remove(wal_path.c_str());
 }
 
 // ---------- Satellite: priors land on their intended features ----------

@@ -1,0 +1,346 @@
+// Engine-level crash-recovery properties (DESIGN.md §12): restart
+// equivalence (snapshot + WAL replay reproduces bit-identical rankings
+// and model weights), and crash-point sweeps over every injected fault
+// boundary of SaveState and of a WAL append.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "io/wal.h"
+#include "obs/metrics.h"
+#include "util/file_util.h"
+
+namespace pws::core {
+namespace {
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 17;
+    config.num_topics = 6;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 4;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+    // A fixed probe set of real generated queries (they have results).
+    for (int i = 0; i < 6; ++i) {
+      queries_.push_back(world_->queries()[i * 3].text);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    queries_.clear();
+  }
+
+  void TearDown() override {
+    FileFaultInjector::Global().Disarm();
+    std::remove(snapshot_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+
+  void NewPaths(const std::string& tag) {
+    snapshot_path_ = ::testing::TempDir() + "/pws_state_" + tag;
+    wal_path_ = snapshot_path_ + ".wal";
+    std::remove(snapshot_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+
+  static std::unique_ptr<PwsEngine> NewEngine() {
+    EngineOptions options;
+    options.strategy = ranking::Strategy::kCombinedGps;
+    return std::make_unique<PwsEngine>(&world_->search_backend(),
+                                       &world_->ontology(), options);
+  }
+
+  /// A full-page record clicking shown position `position` with an
+  /// arbitrary-precision dwell (exercises the exact dwell round trip).
+  static click::ClickRecord MakeClick(const PersonalizedPage& page,
+                                      int position, double dwell) {
+    click::ClickRecord record;
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      click::Interaction interaction;
+      interaction.doc = page.backend_page().results[page.order[j]].doc;
+      interaction.rank = static_cast<int>(j);
+      if (static_cast<int>(j) == position) {
+        interaction.clicked = true;
+        interaction.dwell_units = dwell;
+        interaction.last_click_in_session = true;
+      }
+      record.interactions.push_back(interaction);
+    }
+    return record;
+  }
+
+  /// Serves `query` for `user` and clicks shown position `position`.
+  static void Click(PwsEngine& engine, click::UserId user,
+                    const std::string& query, int position, double dwell) {
+    const PersonalizedPage page = engine.Serve(user, query);
+    ASSERT_GT(page.order.size(), static_cast<size_t>(position));
+    engine.Observe(user, page, MakeClick(page, position, dwell));
+  }
+
+  /// Everything restart equivalence promises to preserve, bit for bit.
+  struct Signature {
+    std::vector<std::vector<int>> orders;
+    std::vector<std::vector<double>> weights;
+    std::vector<int> pair_counts;
+    std::vector<std::pair<std::string, double>> top_concepts;
+
+    bool operator==(const Signature& other) const {
+      return orders == other.orders && weights == other.weights &&
+             pair_counts == other.pair_counts &&
+             top_concepts == other.top_concepts;
+    }
+  };
+
+  static Signature Capture(PwsEngine& engine,
+                           const std::vector<click::UserId>& users) {
+    Signature signature;
+    for (const click::UserId user : users) {
+      for (const std::string& query : queries_) {
+        signature.orders.push_back(engine.Serve(user, query).order);
+      }
+      signature.weights.push_back(engine.user_model(user).weights());
+      signature.pair_counts.push_back(engine.training_pair_count(user));
+      for (const auto& entry : engine.user_profile(user).TopContentConcepts(5)) {
+        signature.top_concepts.push_back(entry);
+      }
+    }
+    return signature;
+  }
+
+  /// The standard driving script: GPS-seeded profiles, clicks at varied
+  /// positions with noisy dwells, a per-user retrain, a snapshot in the
+  /// middle, more clicks, and a full training sweep — every WAL record
+  /// type ('C', 'T', 'A') and both sides of the snapshot cut.
+  void DriveFull(PwsEngine& engine) {
+    // Positions travel in the snapshot, not the WAL: attach before the
+    // traffic, snapshot after (the documented mobile recovery contract).
+    engine.AttachGpsTrace(0, world_->users()[0].gps_trace);
+    engine.AttachGpsTrace(1, world_->users()[1].gps_trace);
+    Click(engine, 0, queries_[0], 1, 137.25);
+    Click(engine, 0, queries_[1], 2, 93.0625);
+    Click(engine, 1, queries_[2], 3, 210.15625);
+    engine.TrainUser(0);
+    ASSERT_TRUE(engine.SaveState(snapshot_path_).ok());
+    Click(engine, 0, queries_[3], 2, 301.0078125);
+    Click(engine, 1, queries_[4], 1, 88.3125);
+    engine.TrainAllUsers();
+    Click(engine, 1, queries_[5], 2, 154.203125);
+  }
+
+  static eval::World* world_;
+  static std::vector<std::string> queries_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+};
+
+eval::World* DurabilityTest::world_ = nullptr;
+std::vector<std::string> DurabilityTest::queries_;
+
+TEST_F(DurabilityTest, RestartRoundTripIsBitIdentical) {
+  NewPaths("roundtrip");
+  Signature before;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    DriveFull(*engine);
+    before = Capture(*engine, {0, 1});
+    // Engine destroyed without a final save: the post-snapshot events
+    // exist only in the WAL, exactly the kill-and-restart scenario.
+  }
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  const Signature after = Capture(*restored, {0, 1});
+  EXPECT_EQ(before.orders, after.orders);
+  EXPECT_EQ(before.weights, after.weights);
+  EXPECT_EQ(before.pair_counts, after.pair_counts);
+  EXPECT_EQ(before.top_concepts, after.top_concepts);
+}
+
+TEST_F(DurabilityTest, CrashBeforeFirstSnapshotRecoversFromWalAlone) {
+  NewPaths("nosnap");
+  Signature before;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    Click(*engine, 1, queries_[1], 2, 93.0625);
+    engine->TrainUser(0);
+    before = Capture(*engine, {0, 1});
+  }
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  // The snapshot file never existed; recovery is pure WAL replay.
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  EXPECT_TRUE(Capture(*restored, {0, 1}) == before);
+}
+
+TEST_F(DurabilityTest, SaveStateCrashSweepAlwaysRecoversPreCrashState) {
+  // Rehearsal: count the fault boundaries one SaveState crosses (the
+  // engine shape does not change the count).
+  int ops = 0;
+  {
+    NewPaths("save_rehearsal");
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+    ops = FileFaultInjector::Global().ops_seen();
+    FileFaultInjector::Global().Disarm();
+    ASSERT_GT(ops, 0);
+    std::remove(snapshot_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+
+  for (int fail_at = 0; fail_at < ops; ++fail_at) {
+    NewPaths("save_sweep_" + std::to_string(fail_at));
+    Signature before;
+    {
+      auto engine = NewEngine();
+      ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+      Click(*engine, 0, queries_[0], 1, 137.25);
+      Click(*engine, 1, queries_[1], 2, 93.0625);
+      engine->TrainUser(0);
+      ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+      Click(*engine, 0, queries_[2], 3, 210.15625);
+      engine->TrainAllUsers();
+      before = Capture(*engine, {0, 1});
+      // SaveState does not change logical state, so whatever boundary
+      // the crash lands on — tmp write, fsync, rename, directory sync,
+      // WAL truncation — recovery must land exactly here.
+      FileFaultInjector::Global().Arm(fail_at, /*crash=*/true,
+                                      /*partial_write_fraction=*/0.4);
+      const Status status = engine->SaveState(snapshot_path_);
+      (void)status;  // May fail or succeed depending on the boundary.
+      FileFaultInjector::Global().Disarm();
+    }
+    auto restored = NewEngine();
+    ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+    ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok())
+        << "crash at boundary " << fail_at;
+    EXPECT_TRUE(Capture(*restored, {0, 1}) == before)
+        << "state diverged after crash at boundary " << fail_at;
+    std::remove(snapshot_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+}
+
+TEST_F(DurabilityTest, WalAppendCrashSweepLosesAtMostTheFinalEvent) {
+  // References: the state with only the two durable clicks, and the
+  // state with the third click as well. A crash during the third
+  // append may legitimately land on either (the frame is torn, or it
+  // was fully written and only the fsync "failed") — never elsewhere.
+  Signature without_last;
+  Signature with_last;
+  {
+    NewPaths("append_ref");
+    auto engine = NewEngine();
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    Click(*engine, 1, queries_[1], 2, 93.0625);
+    without_last = Capture(*engine, {0, 1});
+    Click(*engine, 0, queries_[2], 3, 210.15625);
+    with_last = Capture(*engine, {0, 1});
+  }
+  // One append = frame write + fsync (+ rollback truncate on failure).
+  for (int fail_at = 0; fail_at < 2; ++fail_at) {
+    NewPaths("append_sweep_" + std::to_string(fail_at));
+    {
+      auto engine = NewEngine();
+      ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+      Click(*engine, 0, queries_[0], 1, 137.25);
+      Click(*engine, 1, queries_[1], 2, 93.0625);
+      FileFaultInjector::Global().Arm(fail_at, /*crash=*/true,
+                                      /*partial_write_fraction=*/0.5);
+      Click(*engine, 0, queries_[2], 3, 210.15625);
+      FileFaultInjector::Global().Disarm();
+    }
+    auto restored = NewEngine();
+    ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+    ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+    const Signature after = Capture(*restored, {0, 1});
+    EXPECT_TRUE(after == without_last || after == with_last)
+        << "crash at append boundary " << fail_at
+        << " recovered to a state the engine was never in";
+    std::remove(snapshot_path_.c_str());
+    std::remove(wal_path_.c_str());
+  }
+}
+
+TEST_F(DurabilityTest, TornWalTailIsRepairedAndPrefixRecovered) {
+  NewPaths("torn");
+  Signature before;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    Click(*engine, 1, queries_[1], 2, 93.0625);
+    before = Capture(*engine, {0, 1});
+  }
+  // A crash mid-append left half a frame at the tail.
+  auto contents = ReadFileToString(wal_path_);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(wal_path_, *contents + "half a frame").ok());
+
+  const uint64_t repairs_before = obs::MetricsRegistry::Global()
+                                      .GetCounter("wal.open.torn_tail_repairs")
+                                      ->Value();
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  EXPECT_TRUE(Capture(*restored, {0, 1}) == before);
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("wal.open.torn_tail_repairs")
+                ->Value(),
+            repairs_before);
+  // The repaired log keeps accepting appends that the next restart sees.
+  Click(*restored, 0, queries_[2], 1, 50.5);
+  const auto replay = io::WriteAheadLog::Replay(wal_path_);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_FALSE(replay->records.empty());
+}
+
+TEST_F(DurabilityTest, CorruptSnapshotIsDataLossNotGarbageState) {
+  NewPaths("corrupt");
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+  }
+  auto contents = ReadFileToString(snapshot_path_);
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = *contents;
+  corrupted[corrupted.size() / 2] ^= 0x08;
+  ASSERT_TRUE(WriteStringToFile(snapshot_path_, corrupted).ok());
+
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  const Status status = restored->RestoreState(snapshot_path_);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status;
+}
+
+TEST_F(DurabilityTest, RestoreWithoutSnapshotOrWalIsEmpty) {
+  NewPaths("empty");
+  auto engine = NewEngine();
+  ASSERT_TRUE(engine->RestoreState(snapshot_path_).ok());
+  EXPECT_EQ(engine->registered_user_count(), 0);
+  EXPECT_FALSE(engine->wal_enabled());
+}
+
+}  // namespace
+}  // namespace pws::core

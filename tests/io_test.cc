@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 #include <deque>
+#include <limits>
 
 #include "geo/gazetteer.h"
 #include "corpus/corpus_generator.h"
@@ -12,14 +13,26 @@
 #include "io/gazetteer_io.h"
 #include "io/model_io.h"
 #include "io/profile_io.h"
+#include "io/wal.h"
 #include "util/file_util.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace pws::io {
 namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string WithCrlf(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (const char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
 }
 
 // ---------- File util ----------
@@ -319,6 +332,470 @@ TEST(CorpusIoTest, EmptyCorpus) {
   const auto loaded = CorpusFromText("");
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->size(), 0);
+}
+
+// ---------- CRLF and non-finite robustness ----------
+
+TEST(ProfileIoTest, ParsesCrlfAndTrailingBlankLines) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  profile::UserProfile profile(4, &world);
+  profile.AddContentWeight("powder", 1.5);
+  profile.AddLocationWeight(world.Lookup("whistler")[0], 2.5);
+  const auto loaded =
+      ProfileFromText(WithCrlf(ProfileToText(profile)) + "\r\n\r\n", &world);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->user(), 4);
+  EXPECT_DOUBLE_EQ(loaded->ContentWeight("powder"), 1.5);
+  EXPECT_DOUBLE_EQ(loaded->LocationWeight(world.Lookup("whistler")[0]), 2.5);
+}
+
+TEST(ProfileIoTest, RejectsNonFiniteWeights) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nC\tnan\tz", &world).ok());
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nC\tinf\tz", &world).ok());
+  EXPECT_FALSE(ProfileFromText("U\t1\t0\nL\t-inf\t0", &world).ok());
+}
+
+TEST(ModelIoTest, ParsesCrlfAndTrailingBlankLines) {
+  ranking::RankSvm model(2);
+  model.set_weights({1.5, -2.5});
+  const auto loaded = ModelFromText(WithCrlf(ModelToText(model)) + "\r\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->weights(), model.weights());
+}
+
+TEST(ModelIoTest, RejectsNonFiniteWeights) {
+  EXPECT_FALSE(ModelFromText("M\t2\t1\nW\tnan\t1\nP\t0\t0\n").ok());
+  EXPECT_FALSE(ModelFromText("M\t2\t1\nW\t1\t1\nP\tinf\t0\n").ok());
+}
+
+TEST(GazetteerIoTest, ParsesCrlfInput) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const auto loaded = GazetteerFromTsv(WithCrlf(GazetteerToTsv(world)));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), world.size());
+}
+
+TEST(CorpusIoTest, ParsesCrlfInput) {
+  corpus::Corpus corpus;
+  corpus::Document doc;
+  doc.id = 0;
+  doc.title = "a title";
+  doc.body = "a body";
+  doc.url = "http://x.example/0";
+  doc.domain = "x.example";
+  doc.topic_mixture_truth = {1.0};
+  doc.primary_topic_truth = 0;
+  corpus.Add(doc);
+  const auto loaded = CorpusFromText(WithCrlf(CorpusToText(corpus)));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 1);
+  EXPECT_EQ(loaded->doc(0).body, "a body");
+}
+
+TEST(EngineStateIoTest, ClickLogParsesCrlfInput) {
+  const auto loaded =
+      click::ClickLog::FromTsv("2\t0\t9\tski\t55\t0\t1\t120.00\t1\r\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 1);
+  EXPECT_EQ(loaded->record(0).query_text, "ski");
+}
+
+// ---------- Atomic writes under fault injection ----------
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FileFaultInjector::Global().Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, AtomicWriteIsOldOrNewAtEveryCrashPoint) {
+  const std::string path = TempPath("atomic_sweep.txt");
+  // Learn how many write-path boundaries one full replacement crosses
+  // (count-only mode: fail_at -1 never matches).
+  FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  const int ops = FileFaultInjector::Global().ops_seen();
+  ASSERT_GT(ops, 0);
+
+  for (int fail_at = 0; fail_at < ops; ++fail_at) {
+    for (const double partial : {0.0, 0.5}) {
+      FileFaultInjector::Global().Disarm();
+      ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+      FileFaultInjector::Global().Arm(fail_at, /*crash=*/true, partial);
+      const Status status = WriteFileAtomic(path, "new contents");
+      FileFaultInjector::Global().Disarm();
+      EXPECT_FALSE(status.ok()) << "fail_at=" << fail_at;
+      EXPECT_TRUE(status.code() == StatusCode::kInternal ||
+                  status.code() == StatusCode::kDataLoss)
+          << status;
+      // The destination is the complete old file or the complete new
+      // file — never empty, truncated, or a torn mix.
+      const auto contents = ReadFileToString(path);
+      ASSERT_TRUE(contents.ok()) << "fail_at=" << fail_at;
+      EXPECT_TRUE(*contents == "old contents" || *contents == "new contents")
+          << "fail_at=" << fail_at << " partial=" << partial
+          << " left torn contents: " << *contents;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, RenameAndSyncFailuresAreDataLoss) {
+  const std::string path = TempPath("atomic_codes.txt");
+  FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  const int ops = FileFaultInjector::Global().ops_seen();
+  ASSERT_GT(ops, 1);
+  // Boundary 0 is the data write — an error before any byte is durable.
+  FileFaultInjector::Global().Arm(0, /*crash=*/false);
+  EXPECT_EQ(WriteFileAtomic(path, "y").code(), StatusCode::kInternal);
+  // Every later boundary (file fsync, rename, directory fsync) fails
+  // after bytes hit the disk: kDataLoss, the satellite's distinct error.
+  for (int fail_at = 1; fail_at < ops; ++fail_at) {
+    FileFaultInjector::Global().Arm(fail_at, /*crash=*/false);
+    EXPECT_EQ(WriteFileAtomic(path, "y").code(), StatusCode::kDataLoss)
+        << "fail_at=" << fail_at;
+  }
+  FileFaultInjector::Global().Disarm();
+  // A clean retry heals: the injector left no permanent wreckage.
+  EXPECT_TRUE(WriteStringToFile(path, "y").ok());
+  const auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "y");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, FailedWriteLeavesNoTempFile) {
+  const std::string path = TempPath("atomic_tmp.txt");
+  FileFaultInjector::Global().Arm(0, /*crash=*/false);
+  EXPECT_FALSE(WriteFileAtomic(path, "data").ok());
+  FileFaultInjector::Global().Disarm();
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+// ---------- Write-ahead log ----------
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FileFaultInjector::Global().Disarm();
+    std::remove(path_.c_str());
+  }
+  std::string NewPath(const std::string& name) {
+    path_ = TempPath(name);
+    std::remove(path_.c_str());
+    return path_;
+  }
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendReplayRoundTripsBinaryPayloads) {
+  const std::string path = NewPath("wal_rt.log");
+  const std::vector<std::string> payloads = {
+      "C\nplain", std::string("\x00\x01\xff\n\t", 5), "", "last"};
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    for (const std::string& payload : payloads) {
+      ASSERT_TRUE((*wal)->Append(payload).ok());
+    }
+    EXPECT_EQ((*wal)->last_seq(), payloads.size());
+  }
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->dropped_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(replay->records[i].seq, i + 1);
+    EXPECT_EQ(replay->records[i].payload, payloads[i]);
+  }
+}
+
+TEST_F(WalTest, MissingFileReplaysEmpty) {
+  const auto replay = WriteAheadLog::Replay(NewPath("wal_missing.log"));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->torn_tail);
+}
+
+TEST_F(WalTest, TornTailIsDroppedNotFatal) {
+  const std::string path = NewPath("wal_torn.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("first record").ok());
+    ASSERT_TRUE((*wal)->Append("second record").ok());
+    ASSERT_TRUE((*wal)->Append("third record").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // Chop into the third frame: a crash mid-append.
+  ASSERT_TRUE(
+      WriteStringToFile(path, contents->substr(0, contents->size() - 5))
+          .ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_GT(replay->dropped_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].payload, "second record");
+}
+
+TEST_F(WalTest, CorruptFrameDropsItAndEverythingAfter) {
+  const std::string path = NewPath("wal_corrupt.log");
+  const std::string first = "first record";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(first).ok());
+    ASSERT_TRUE((*wal)->Append("second record").ok());
+    ASSERT_TRUE((*wal)->Append("third record").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // Flip a payload byte inside the second frame (16-byte header + body).
+  std::string corrupted = *contents;
+  corrupted[16 + first.size() + 16 + 3] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 1u);  // The third is unreachable.
+  EXPECT_EQ(replay->records[0].payload, first);
+}
+
+TEST_F(WalTest, OpenRepairsTornTailAndContinuesSequence) {
+  const std::string path = NewPath("wal_repair.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("one").ok());
+    ASSERT_TRUE((*wal)->Append("two").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_TRUE(WriteStringToFile(path, *contents + "torn garbage").ok());
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    EXPECT_EQ((*wal)->last_seq(), 2u);
+    // The repaired tail does not hide the new append from Replay.
+    ASSERT_TRUE((*wal)->Append("three").ok());
+  }
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 3u);
+  EXPECT_EQ(replay->records[2].seq, 3u);
+  EXPECT_EQ(replay->records[2].payload, "three");
+}
+
+TEST_F(WalTest, SequenceNumbersSurviveTruncate) {
+  const std::string path = NewPath("wal_seq.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("one").ok());
+  ASSERT_TRUE((*wal)->Append("two").ok());
+  ASSERT_TRUE((*wal)->Truncate().ok());
+  ASSERT_TRUE((*wal)->Append("three").ok());
+  EXPECT_EQ((*wal)->last_seq(), 3u);
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  // Monotonic across the truncation — this is what lets a snapshot's
+  // high-water mark tell already-applied records from new ones.
+  EXPECT_EQ(replay->records[0].seq, 3u);
+}
+
+TEST_F(WalTest, FailedAppendRollsBackAndDoesNotAdvanceSequence) {
+  const std::string path = NewPath("wal_fail.log");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("good one").ok());
+  // A short write tears the second frame mid-payload...
+  FileFaultInjector::Global().Arm(0, /*crash=*/false,
+                                  /*partial_write_fraction=*/0.5);
+  EXPECT_FALSE((*wal)->Append("torn two").ok());
+  FileFaultInjector::Global().Disarm();
+  EXPECT_EQ((*wal)->last_seq(), 1u);
+  // ...but the log rolled back, so the next append is not hidden behind
+  // the torn frame and the sequence has no gap.
+  ASSERT_TRUE((*wal)->Append("good two").ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].payload, "good one");
+  EXPECT_EQ(replay->records[1].seq, 2u);
+  EXPECT_EQ(replay->records[1].payload, "good two");
+}
+
+// ---------- Durable envelope ----------
+
+TEST(DurableEnvelopeTest, RoundTrips) {
+  const std::string payload = "line one\nline two\n\x01\x02";
+  const std::string wrapped = WrapDurable("PWSTEST", 3, payload);
+  const auto unwrapped = UnwrapDurable("PWSTEST", 3, wrapped);
+  ASSERT_TRUE(unwrapped.ok()) << unwrapped.status();
+  EXPECT_EQ(*unwrapped, payload);
+}
+
+TEST(DurableEnvelopeTest, TruncationIsDataLoss) {
+  const std::string wrapped = WrapDurable("PWSTEST", 1, "some payload here");
+  const auto unwrapped =
+      UnwrapDurable("PWSTEST", 1, wrapped.substr(0, wrapped.size() - 4));
+  EXPECT_EQ(unwrapped.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableEnvelopeTest, BitFlipIsDataLoss) {
+  std::string wrapped = WrapDurable("PWSTEST", 1, "some payload here");
+  wrapped[wrapped.size() - 3] ^= 0x10;
+  const auto unwrapped = UnwrapDurable("PWSTEST", 1, wrapped);
+  EXPECT_EQ(unwrapped.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableEnvelopeTest, ForeignOrMalformedHeaderIsInvalidArgument) {
+  const std::string wrapped = WrapDurable("PWSTEST", 1, "payload");
+  EXPECT_EQ(UnwrapDurable("OTHER", 1, wrapped).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnwrapDurable("PWSTEST", 2, wrapped).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnwrapDurable("PWSTEST", 1, "no newline header").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnwrapDurable("PWSTEST", 1, "a\tb\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------- Whole-engine snapshots ----------
+
+EngineState MakeSnapshotFixture(const geo::LocationOntology& world) {
+  EngineState state;
+  state.last_wal_seq = 77;
+
+  profile::UserProfile profile_a(1, &world);
+  profile_a.AddContentWeight("espresso", 2.5);
+  profile_a.AddLocationWeight(world.Lookup("tokyo")[0], 1.25);
+  ranking::RankSvm model_a(3);
+  model_a.SetPrior({0.0, 1.0, 0.0});
+  model_a.set_weights({0.5, 1.5, -0.25});
+  PersistedUserState user_a(std::move(profile_a), std::move(model_a));
+  user_a.user = 1;
+  user_a.position = geo::GeoPoint{35.6812, 139.7671};
+  user_a.pair_queries = {"ramen tokyo", "hotel with\ttab"};
+  PersistedPair pair;
+  pair.query_index = 1;
+  pair.preferred_backend_index = 4;
+  pair.other_backend_index = 0;
+  pair.weight = 0.75;
+  user_a.pairs.push_back(pair);
+  state.users.push_back(std::move(user_a));
+
+  profile::UserProfile profile_b(6, &world);
+  ranking::RankSvm model_b(3);
+  PersistedUserState user_b(std::move(profile_b), std::move(model_b));
+  user_b.user = 6;
+  state.users.push_back(std::move(user_b));
+  return state;
+}
+
+TEST(EngineStateIoTest, EngineSnapshotRoundTripsExactly) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const EngineState state = MakeSnapshotFixture(world);
+  const auto loaded = EngineStateFromText(EngineStateToText(state), &world);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_wal_seq, 77u);
+  ASSERT_EQ(loaded->users.size(), 2u);
+
+  const PersistedUserState& a = loaded->users[0];
+  EXPECT_EQ(a.user, 1);
+  EXPECT_EQ(a.profile.user(), 1);
+  EXPECT_EQ(a.profile.ContentWeight("espresso"), 2.5);
+  EXPECT_EQ(a.profile.LocationWeight(world.Lookup("tokyo")[0]), 1.25);
+  EXPECT_EQ(a.model.weights(), state.users[0].model.weights());
+  EXPECT_EQ(a.model.prior(), state.users[0].model.prior());
+  ASSERT_TRUE(a.position.has_value());
+  EXPECT_EQ(a.position->lat, 35.6812);  // %a round trip is exact.
+  EXPECT_EQ(a.position->lon, 139.7671);
+  EXPECT_EQ(a.pair_queries, state.users[0].pair_queries);
+  ASSERT_EQ(a.pairs.size(), 1u);
+  EXPECT_EQ(a.pairs[0].query_index, 1);
+  EXPECT_EQ(a.pairs[0].preferred_backend_index, 4);
+  EXPECT_EQ(a.pairs[0].other_backend_index, 0);
+  EXPECT_EQ(a.pairs[0].weight, 0.75);
+
+  const PersistedUserState& b = loaded->users[1];
+  EXPECT_EQ(b.user, 6);
+  EXPECT_FALSE(b.position.has_value());
+  EXPECT_TRUE(b.pair_queries.empty());
+  EXPECT_TRUE(b.pairs.empty());
+}
+
+TEST(EngineStateIoTest, EmptyEngineSnapshotRoundTrips) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EngineState state;
+  state.last_wal_seq = 9;
+  const auto loaded = EngineStateFromText(EngineStateToText(state), &world);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->last_wal_seq, 9u);
+  EXPECT_TRUE(loaded->users.empty());
+}
+
+TEST(EngineStateIoTest, TruncatedEngineSnapshotIsDataLoss) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const std::string text = EngineStateToText(MakeSnapshotFixture(world));
+  const auto loaded =
+      EngineStateFromText(text.substr(0, text.size() - 10), &world);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EngineStateIoTest, CorruptedEngineSnapshotIsDataLoss) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  std::string text = EngineStateToText(MakeSnapshotFixture(world));
+  text[text.size() - 10] ^= 0x20;
+  EXPECT_EQ(EngineStateFromText(text, &world).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EngineStateIoTest, RejectsOutOfRangePairIndices) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EngineState state = MakeSnapshotFixture(world);
+  state.users[0].pairs[0].query_index = 7;  // Only 2 pair queries exist.
+  const auto loaded = EngineStateFromText(EngineStateToText(state), &world);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineStateIoTest, RejectsNonFinitePairWeight) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  EngineState state = MakeSnapshotFixture(world);
+  state.users[0].pairs[0].weight =
+      std::numeric_limits<double>::quiet_NaN();
+  const auto loaded = EngineStateFromText(EngineStateToText(state), &world);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineStateIoTest, EngineSnapshotFileRoundTripSurvivesCrashSweep) {
+  const geo::LocationOntology world = geo::BuildWorldGazetteer();
+  const EngineState state = MakeSnapshotFixture(world);
+  const std::string path = TempPath("engine_snapshot.pws");
+  // Baseline save, then re-save under every injected crash point: the
+  // file must load as a complete snapshot (old or new) every time.
+  FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+  ASSERT_TRUE(SaveEngineState(state, path).ok());
+  const int ops = FileFaultInjector::Global().ops_seen();
+  for (int fail_at = 0; fail_at < ops; ++fail_at) {
+    FileFaultInjector::Global().Arm(fail_at, /*crash=*/true,
+                                    /*partial_write_fraction=*/0.3);
+    const Status ignored = SaveEngineState(state, path);
+    (void)ignored;
+    FileFaultInjector::Global().Disarm();
+    const auto loaded = LoadEngineState(path, &world);
+    ASSERT_TRUE(loaded.ok())
+        << "crash at op " << fail_at << ": " << loaded.status();
+    EXPECT_EQ(loaded->users.size(), 2u);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -200,6 +200,23 @@ TEST(StringTest, StrSplitKeepsEmptyPieces) {
   EXPECT_EQ(pieces[3], "");
 }
 
+TEST(StringTest, SplitLinesStripsCarriageReturns) {
+  const auto lines = SplitLines("a\r\nb\nc\r\n\r\n");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+  EXPECT_EQ(lines[2], "c");
+  EXPECT_EQ(lines[3], "");  // The lone "\r" line.
+  EXPECT_EQ(lines[4], "");  // After the final newline.
+}
+
+TEST(StringTest, SplitLinesKeepsInteriorCarriageReturns) {
+  const auto lines = SplitLines("a\rb\nplain");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a\rb");  // Only a trailing \r is line-ending noise.
+  EXPECT_EQ(lines[1], "plain");
+}
+
 TEST(StringTest, StrSplitWhitespaceDropsEmpty) {
   const auto pieces = StrSplitWhitespace("  hello\t world \n");
   ASSERT_EQ(pieces.size(), 2u);
@@ -346,6 +363,30 @@ TEST(ArgParserTest, MalformedNumbersFallBack) {
   ArgParser args(2, argv);
   EXPECT_EQ(args.GetInt("n", 9), 9);
   EXPECT_TRUE(args.Has("n"));
+}
+
+TEST(ArgParserTest, MalformedNumbersWarnLoudly) {
+  const char* argv[] = {"prog", "--n=abc", "--alpha=12..5"};
+  ArgParser args(3, argv);
+  // A typo'd flag must not be silently swallowed: the default still wins,
+  // but a warning names the flag and the rejected value.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(args.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(args.GetDouble("alpha", 0.25), 0.25);
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("malformed integer value 'abc'"), std::string::npos);
+  EXPECT_NE(log.find("--n"), std::string::npos);
+  EXPECT_NE(log.find("malformed numeric value '12..5'"), std::string::npos);
+  EXPECT_NE(log.find("--alpha"), std::string::npos);
+}
+
+TEST(ArgParserTest, WellFormedNumbersDoNotWarn) {
+  const char* argv[] = {"prog", "--n=4", "--alpha=0.5"};
+  ArgParser args(3, argv);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(args.GetInt("n", 9), 4);
+  EXPECT_DOUBLE_EQ(args.GetDouble("alpha", 0.25), 0.5);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 // ---------- IdMap ----------

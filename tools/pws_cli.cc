@@ -9,9 +9,17 @@
 //   gps <city name>     attach a GPS trace around a city
 //   metrics             dump the metrics registry (latency histograms,
 //                       cache counters) accumulated this session
+//   save [path]         snapshot the engine state (default: --state path)
+//   load [path]         restore engine state from a snapshot + WAL replay
 //   quit
 //
 // Run:  ./build/pws_cli [--docs=N] [--seed=N] [--log-level=LEVEL]
+//                       [--state=PATH]
+//
+// --state=PATH enables durability: clicks and training runs are logged
+// to PATH.wal as they happen, 'save' snapshots everything to PATH, and a
+// restart with the same --state restores the snapshot and replays the
+// log tail automatically (see DESIGN.md §12).
 
 #include <iostream>
 #include <memory>
@@ -74,9 +82,30 @@ int main(int argc, char** argv) {
   core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
   engine.RegisterUser(kUser);
 
+  const std::string state_path = args.GetString("state", "");
+  if (!state_path.empty()) {
+    if (const Status status = engine.EnableWal(state_path + ".wal");
+        !status.ok()) {
+      std::cerr << "cannot open WAL " << state_path << ".wal: " << status
+                << "\n";
+      return 1;
+    }
+    // Pick up where the last run (clean exit or crash) left off.
+    if (const Status status = engine.RestoreState(state_path); !status.ok()) {
+      std::cerr << "cannot restore state from " << state_path << ": "
+                << status << "\n";
+      return 1;
+    }
+    std::cout << "durability on: state=" << state_path << " wal="
+              << state_path << ".wal ("
+              << engine.training_pair_count(kUser)
+              << " training pairs recovered)\n";
+  }
+
   std::cout << "pws demo shell — " << world.corpus().size()
             << " docs indexed. Type a query, 'click <n>', 'train',\n"
-            << "'profile', 'gps <city>', 'metrics', or 'quit'.\n";
+            << "'profile', 'gps <city>', 'metrics', 'save [path]',\n"
+            << "'load [path]', or 'quit'.\n";
 
   std::optional<core::PersonalizedPage> last_page;
   std::string line;
@@ -99,6 +128,39 @@ int main(int argc, char** argv) {
       const std::string text =
           obs::MetricsRegistry::Global().Snapshot().ToText();
       std::cout << (text.empty() ? "no metrics recorded yet\n" : text);
+      continue;
+    }
+    if (line == "save" || StartsWith(line, "save ")) {
+      const std::string path =
+          line == "save" ? state_path : StrTrim(line.substr(5));
+      if (path.empty()) {
+        std::cout << "usage: save <path>  (or run with --state=PATH)\n";
+        continue;
+      }
+      const Status status = engine.SaveState(path);
+      if (!status.ok()) {
+        std::cout << "save failed: " << status << "\n";
+      } else {
+        std::cout << "state saved to " << path << "\n";
+      }
+      continue;
+    }
+    if (line == "load" || StartsWith(line, "load ")) {
+      const std::string path =
+          line == "load" ? state_path : StrTrim(line.substr(5));
+      if (path.empty()) {
+        std::cout << "usage: load <path>  (or run with --state=PATH)\n";
+        continue;
+      }
+      const Status status = engine.RestoreState(path);
+      if (!status.ok()) {
+        std::cout << "load failed: " << status << "\n";
+      } else {
+        std::cout << "state restored from " << path << " ("
+                  << engine.training_pair_count(kUser)
+                  << " training pairs)\n";
+      }
+      last_page.reset();
       continue;
     }
     if (line == "profile") {
