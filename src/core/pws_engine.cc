@@ -40,7 +40,9 @@ std::string HexDouble(double value) {
 //   <user>\t<day>\t<query_id>\t<query text>\n
 //   <doc>\t<rank>\t<clicked>\t<dwell %a>\t<last_click>\n   (per shown slot)
 //
-// The query text is the last header field so embedded tabs survive.
+// The query text is the last header field so embedded tabs survive, and
+// it is line-break-escaped so an embedded '\n'/'\r' cannot tear the
+// line-based payload apart on replay.
 std::string EncodeClickPayload(click::UserId user, const std::string& query,
                                const click::ClickRecord& record) {
   std::string out(1, kWalClick);
@@ -51,7 +53,7 @@ std::string EncodeClickPayload(click::UserId user, const std::string& query,
   out += '\t';
   out += std::to_string(record.query_id);
   out += '\t';
-  out += query;
+  out += EscapeLineBreaks(query);
   out += '\n';
   for (const click::Interaction& interaction : record.interactions) {
     out += std::to_string(interaction.doc);
@@ -84,11 +86,12 @@ bool DecodeClickPayload(const std::string& body, click::UserId* user,
       !ParseInt64(header[2], &query_id)) {
     return false;
   }
-  *query = header[3];
+  std::string escaped_query = header[3];
   for (size_t f = 4; f < header.size(); ++f) {
-    *query += '\t';
-    *query += header[f];
+    escaped_query += '\t';
+    escaped_query += header[f];
   }
+  *query = UnescapeLineBreaks(escaped_query);
   *user = static_cast<click::UserId>(user_id);
   record->user = *user;
   record->day = static_cast<int>(day);
@@ -677,6 +680,14 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
   }
   registry.GetCounter("engine.snapshot.restores")->Increment();
   if (wal_ == nullptr) return OkStatus();
+
+  // Re-impose the snapshot's high-water mark on the WAL's sequence
+  // counter. Open derives the counter only from frames still in the
+  // file, so after a snapshot truncated the log and the process
+  // restarted it would restart at 0 — and every post-restart append
+  // would reuse a sequence number at or below floor_seq, which the
+  // *next* recovery silently skips as already-folded-in.
+  wal_->EnsureSeqAtLeast(floor_seq);
 
   // Replay the log tail. Each 'C' record re-serves its query — Serve is
   // deterministic, so the page order equals what the user saw — and

@@ -143,7 +143,9 @@ std::string EngineStateToText(const EngineState& state) {
     payload += ModelToText(user.model);
     payload += "PQ\t" + std::to_string(user.pair_queries.size()) + "\n";
     for (const std::string& query : user.pair_queries) {
-      payload += "Q\t" + query + "\n";
+      // Queries are caller-supplied strings; an embedded line break
+      // would tear this line-based format apart on restore.
+      payload += "Q\t" + EscapeLineBreaks(query) + "\n";
     }
     payload += "PAIRS\t" + std::to_string(user.pairs.size()) + "\n";
     for (const PersistedPair& pair : user.pairs) {
@@ -254,7 +256,7 @@ StatusOr<EngineState> EngineStateFromText(
       if (line == nullptr || !StartsWith(*line, "Q\t")) {
         return InvalidArgumentError("expected Q line");
       }
-      user.pair_queries.push_back(line->substr(2));
+      user.pair_queries.push_back(UnescapeLineBreaks(line->substr(2)));
     }
 
     line = next_line();

@@ -41,13 +41,45 @@ uint64_t GetU64(const char* p) {
   return value;
 }
 
-// CRC over the seq field and the payload, exactly as framed.
-uint32_t FrameCrc(uint64_t seq, std::string_view payload) {
-  std::string seq_bytes;
-  seq_bytes.reserve(8);
-  PutU64(&seq_bytes, seq);
+// CRC over the payload_len and seq header fields and the payload,
+// exactly as framed. Covering the length means a flipped length byte
+// fails the CRC check like any other corruption instead of silently
+// misframing everything after it.
+uint32_t FrameCrc(uint32_t payload_len, uint64_t seq,
+                  std::string_view payload) {
+  std::string header_bytes;
+  header_bytes.reserve(12);
+  PutU32(&header_bytes, payload_len);
+  PutU64(&header_bytes, seq);
   return Crc32Finalize(
-      Crc32Update(Crc32Update(Crc32Init(), seq_bytes), payload));
+      Crc32Update(Crc32Update(Crc32Init(), header_bytes), payload));
+}
+
+// Decodes the frame at `offset` into `record`/`frame_bytes`. Frames in
+// one file carry strictly increasing sequence numbers (Truncate empties
+// the file, so even post-truncate frames continue upward), so a frame
+// whose seq does not exceed `min_seq` is corruption, not data — the
+// check keeps the resync scan from accepting garbage that happens to
+// checksum.
+bool DecodeFrameAt(const std::string& data, size_t offset, uint64_t min_seq,
+                   WriteAheadLog::ReplayedRecord* record,
+                   size_t* frame_bytes) {
+  if (offset + kFrameHeaderBytes > data.size()) return false;
+  const uint32_t payload_len = GetU32(data.data() + offset);
+  const uint32_t crc = GetU32(data.data() + offset + 4);
+  const uint64_t seq = GetU64(data.data() + offset + 8);
+  if (payload_len > kMaxPayloadBytes ||
+      offset + kFrameHeaderBytes + payload_len > data.size() ||
+      seq <= min_seq) {
+    return false;
+  }
+  const std::string_view payload(data.data() + offset + kFrameHeaderBytes,
+                                 payload_len);
+  if (FrameCrc(payload_len, seq, payload) != crc) return false;
+  record->seq = seq;
+  record->payload = std::string(payload);
+  *frame_bytes = kFrameHeaderBytes + payload_len;
+  return true;
 }
 
 }  // namespace
@@ -74,28 +106,48 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
   if (!contents.ok()) return contents.status();
   const std::string& data = *contents;
   size_t offset = 0;
+  uint64_t last_accepted_seq = 0;
+  uint64_t gap_bytes = 0;
+  uint64_t resyncs = 0;
   while (offset + kFrameHeaderBytes <= data.size()) {
-    const uint32_t payload_len = GetU32(data.data() + offset);
-    const uint32_t crc = GetU32(data.data() + offset + 4);
-    const uint64_t seq = GetU64(data.data() + offset + 8);
-    if (payload_len > kMaxPayloadBytes ||
-        offset + kFrameHeaderBytes + payload_len > data.size()) {
-      break;  // Torn or corrupt tail.
+    ReplayedRecord record;
+    size_t frame_bytes = 0;
+    if (!DecodeFrameAt(data, offset, last_accepted_seq, &record,
+                       &frame_bytes)) {
+      // A corrupt frame — or the start of a torn tail. Scan forward for
+      // the next decodable frame so one flipped byte loses only its own
+      // record, not every intact frame after it; nothing found means the
+      // rest really is tail garbage.
+      size_t next = offset + 1;
+      while (next + kFrameHeaderBytes <= data.size() &&
+             !DecodeFrameAt(data, next, last_accepted_seq, &record,
+                            &frame_bytes)) {
+        ++next;
+      }
+      if (next + kFrameHeaderBytes > data.size()) break;
+      gap_bytes += next - offset;
+      ++resyncs;
+      offset = next;
     }
-    const std::string_view payload(data.data() + offset + kFrameHeaderBytes,
-                                   payload_len);
-    if (FrameCrc(seq, payload) != crc) break;
-    result.records.push_back(ReplayedRecord{seq, std::string(payload)});
-    offset += kFrameHeaderBytes + payload_len;
+    last_accepted_seq = record.seq;
+    result.records.push_back(std::move(record));
+    offset += frame_bytes;
   }
+  const uint64_t tail_bytes = data.size() - offset;
   result.valid_bytes = offset;
-  result.dropped_bytes = data.size() - offset;
-  result.torn_tail = result.dropped_bytes > 0;
+  result.dropped_bytes = gap_bytes + tail_bytes;
+  result.torn_tail = tail_bytes > 0;
+  if (resyncs > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("wal.replay.resyncs")
+        ->Increment(resyncs);
+  }
   return result;
 }
 
 StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path, const Options& options) {
+  const bool existed = FileExists(path);
   auto replay = Replay(path);
   if (!replay.ok()) return replay.status();
   uint64_t last_seq = 0;
@@ -109,6 +161,13 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   }
   auto log = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(path, options, file, last_seq, replay->valid_bytes));
+  if (!existed) {
+    // fopen just created the file; fsync the directory entry too, or a
+    // power failure could drop the whole file even though every append
+    // into it was individually synced.
+    Status created = internal_file::HookedSyncParentDir(path);
+    if (!created.ok()) return created;
+  }
   if (replay->torn_tail) {
     // Repair: drop the torn tail so new appends are not hidden behind
     // garbage the next replay would stop at.
@@ -137,8 +196,9 @@ Status WriteAheadLog::Append(std::string_view payload) {
   const uint64_t seq = last_seq_ + 1;
   frame_buffer_.clear();
   frame_buffer_.reserve(kFrameHeaderBytes + payload.size());
-  PutU32(&frame_buffer_, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame_buffer_, FrameCrc(seq, payload));
+  const uint32_t payload_len = static_cast<uint32_t>(payload.size());
+  PutU32(&frame_buffer_, payload_len);
+  PutU32(&frame_buffer_, FrameCrc(payload_len, seq, payload));
   PutU64(&frame_buffer_, seq);
   frame_buffer_.append(payload);
   Status status = internal_file::HookedWrite(file_, frame_buffer_, path_);
@@ -180,6 +240,11 @@ Status WriteAheadLog::Truncate() {
   valid_bytes_ = 0;
   obs::MetricsRegistry::Global().GetCounter("wal.truncates")->Increment();
   return OkStatus();
+}
+
+void WriteAheadLog::EnsureSeqAtLeast(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq > last_seq_) last_seq_ = seq;
 }
 
 uint64_t WriteAheadLog::last_seq() const {

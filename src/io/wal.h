@@ -22,19 +22,31 @@ namespace pws::io {
 ///
 ///   [u32 payload_len][u32 crc32][u64 seq][payload bytes]
 ///
-/// The CRC covers the seq field and the payload, so a corrupted header
-/// is as detectable as a corrupted body. Sequence numbers increase
+/// The CRC covers the payload_len and seq header fields and the payload,
+/// so a corrupted header — including a flipped length byte — is as
+/// detectable as a corrupted body. Sequence numbers increase
 /// monotonically and never reset — not even across Truncate — so a
 /// snapshot can record "everything up to seq S is already folded in" and
 /// recovery can skip duplicate records even when a crash lands between a
 /// snapshot commit and the WAL truncation that should have followed it.
 ///
+/// The sequence counter itself lives in memory: Open derives it from the
+/// frames present in the file, so a log truncated by a snapshot and then
+/// reopened by a fresh process starts back at 0. Whoever owns the
+/// snapshot must re-impose its high-water mark via EnsureSeqAtLeast
+/// before appending (PwsEngine::RestoreState does), or post-restart
+/// records would reuse sequence numbers a later recovery skips as
+/// already-applied.
+///
 /// Torn tails are expected, not errors: a crash mid-append leaves a
 /// partial frame at the end of the file, and Replay drops everything
-/// from the first frame that fails its length or CRC check. Open repairs
-/// such a file by truncating the torn tail before appending, so new
-/// records never land behind garbage that would hide them from the next
-/// replay.
+/// after the last decodable frame. Open repairs such a file by
+/// truncating the torn tail before appending, so new records never land
+/// behind garbage that would hide them from the next replay. Mid-file
+/// corruption is contained, not amplified: Replay resyncs by scanning
+/// forward for the next frame whose header and CRC check out (and whose
+/// seq continues the strictly increasing sequence), so one corrupt frame
+/// loses only itself, never every frame after it.
 ///
 /// Thread-safety: Append and Truncate are mutually serialized by an
 /// internal mutex, so concurrent Observe calls on different users may
@@ -57,11 +69,13 @@ class WriteAheadLog {
   /// Everything a recovery pass needs to know about a log file.
   struct ReplayResult {
     std::vector<ReplayedRecord> records;
-    /// True when the file ended in a partial or corrupt frame.
+    /// True when garbage bytes follow the last valid frame (a partial
+    /// or corrupt frame at the very end of the file).
     bool torn_tail = false;
-    /// Bytes of valid frames (the repair truncation point).
+    /// Offset just past the last valid frame (the repair truncation
+    /// point). May include resync-skipped gap bytes before it.
     uint64_t valid_bytes = 0;
-    /// Bytes dropped after the last valid frame.
+    /// Total bytes skipped: mid-file corruption gaps plus the torn tail.
     uint64_t dropped_bytes = 0;
   };
 
@@ -90,6 +104,13 @@ class WriteAheadLog {
   /// Truncates the log to empty after a successful snapshot. Sequence
   /// numbering continues where it left off.
   Status Truncate();
+
+  /// Raises the sequence counter to at least `seq` (no-op when already
+  /// there). Recovery calls this with the snapshot's high-water mark so
+  /// appends after a restart never reuse sequence numbers the snapshot
+  /// already claims — Open alone cannot know about records that were
+  /// truncated away.
+  void EnsureSeqAtLeast(uint64_t seq);
 
   /// Highest sequence number ever assigned (0 when none).
   uint64_t last_seq() const;

@@ -32,6 +32,16 @@ std::string StrTrim(std::string_view text);
 bool StartsWith(std::string_view text, std::string_view prefix);
 bool EndsWith(std::string_view text, std::string_view suffix);
 
+/// Escapes '\\' as "\\\\", '\n' as "\\n", and '\r' as "\\r" — makes an
+/// arbitrary string safe to embed in one line of a line-based persisted
+/// format (the escaped form contains no line breaks). Inverted exactly
+/// by UnescapeLineBreaks.
+std::string EscapeLineBreaks(std::string_view text);
+
+/// Inverse of EscapeLineBreaks. A backslash before any other character
+/// (or at the end) passes through verbatim.
+std::string UnescapeLineBreaks(std::string_view text);
+
 /// Formats a double with `digits` decimal places (no locale surprises).
 std::string FormatDouble(double value, int digits);
 

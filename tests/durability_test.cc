@@ -187,6 +187,60 @@ TEST_F(DurabilityTest, CrashBeforeFirstSnapshotRecoversFromWalAlone) {
   EXPECT_TRUE(Capture(*restored, {0, 1}) == before);
 }
 
+TEST_F(DurabilityTest, EventsAfterRestartedSnapshotSurviveNextCrash) {
+  NewPaths("reseq");
+  // Run A: traffic, snapshot (truncates the WAL), clean exit.
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    Click(*engine, 1, queries_[1], 2, 93.0625);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+  }
+  // Run B: restores (which must raise the empty WAL's sequence counter
+  // past the snapshot's high-water mark), observes more traffic, and
+  // crashes before any save.
+  Signature before;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    ASSERT_TRUE(engine->RestoreState(snapshot_path_).ok());
+    Click(*engine, 0, queries_[2], 3, 210.15625);
+    Click(*engine, 1, queries_[3], 1, 88.3125);
+    engine->TrainUser(0);
+    before = Capture(*engine, {0, 1});
+  }
+  // Run C: run B's records carry sequence numbers above the snapshot
+  // mark, so replay applies them instead of skipping them as
+  // already-folded-in.
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  EXPECT_TRUE(Capture(*restored, {0, 1}) == before)
+      << "post-restart WAL records were skipped as already-applied";
+}
+
+TEST_F(DurabilityTest, QueriesWithLineBreaksSurviveRestart) {
+  NewPaths("linebreaks");
+  // Queries are arbitrary caller-supplied strings; line breaks and
+  // backslashes must not tear the line-based snapshot or WAL payloads.
+  const std::string tricky = queries_[0] + "\nsecond \\line\r";
+  Signature before;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, tricky, 1, 137.25);  // Query lands in snapshot Q line.
+    engine->TrainUser(0);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+    Click(*engine, 0, tricky, 2, 93.0625);  // Query lands in WAL payload.
+    before = Capture(*engine, {0});
+  }
+  auto restored = NewEngine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  EXPECT_TRUE(Capture(*restored, {0}) == before);
+}
+
 TEST_F(DurabilityTest, SaveStateCrashSweepAlwaysRecoversPreCrashState) {
   // Rehearsal: count the fault boundaries one SaveState crosses (the
   // engine shape does not change the count).

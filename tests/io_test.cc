@@ -543,7 +543,7 @@ TEST_F(WalTest, TornTailIsDroppedNotFatal) {
   EXPECT_EQ(replay->records[1].payload, "second record");
 }
 
-TEST_F(WalTest, CorruptFrameDropsItAndEverythingAfter) {
+TEST_F(WalTest, CorruptMidFileFrameLosesOnlyThatRecord) {
   const std::string path = NewPath("wal_corrupt.log");
   const std::string first = "first record";
   {
@@ -561,9 +561,41 @@ TEST_F(WalTest, CorruptFrameDropsItAndEverythingAfter) {
   ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
   const auto replay = WriteAheadLog::Replay(path);
   ASSERT_TRUE(replay.ok());
-  EXPECT_TRUE(replay->torn_tail);
-  ASSERT_EQ(replay->records.size(), 1u);  // The third is unreachable.
+  // Resync skips the corrupt frame and recovers the intact third one.
+  EXPECT_FALSE(replay->torn_tail);  // The tail itself is clean.
+  EXPECT_GT(replay->dropped_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
   EXPECT_EQ(replay->records[0].payload, first);
+  EXPECT_EQ(replay->records[1].seq, 3u);
+  EXPECT_EQ(replay->records[1].payload, "third record");
+}
+
+TEST_F(WalTest, CorruptLengthFieldLosesOnlyThatRecord) {
+  const std::string path = NewPath("wal_badlen.log");
+  const std::string first = "first record";
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(first).ok());
+    ASSERT_TRUE((*wal)->Append("second record").ok());
+    ASSERT_TRUE((*wal)->Append("third record").ok());
+  }
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  // Flip a bit in the second frame's payload_len field. The CRC covers
+  // the length, so the frame fails its checksum instead of silently
+  // misframing — and resync still reaches the third record.
+  std::string corrupted = *contents;
+  corrupted[16 + first.size()] ^= 0x04;
+  ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_GT(replay->dropped_bytes, 0u);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].payload, first);
+  EXPECT_EQ(replay->records[1].seq, 3u);
+  EXPECT_EQ(replay->records[1].payload, "third record");
 }
 
 TEST_F(WalTest, OpenRepairsTornTailAndContinuesSequence) {
@@ -607,6 +639,60 @@ TEST_F(WalTest, SequenceNumbersSurviveTruncate) {
   // Monotonic across the truncation — this is what lets a snapshot's
   // high-water mark tell already-applied records from new ones.
   EXPECT_EQ(replay->records[0].seq, 3u);
+}
+
+TEST_F(WalTest, EnsureSeqAtLeastKeepsSequenceAheadOfTruncatedHistory) {
+  const std::string path = NewPath("wal_ensure.log");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append("one").ok());
+    ASSERT_TRUE((*wal)->Append("two").ok());
+    // A snapshot recorded high-water mark 2 and truncated the log; the
+    // process then exited cleanly.
+    ASSERT_TRUE((*wal)->Truncate().ok());
+  }
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  // The file is empty, so Open alone knows nothing of seq 1..2 —
+  // recovery must re-impose the snapshot's mark before appending.
+  EXPECT_EQ((*wal)->last_seq(), 0u);
+  (*wal)->EnsureSeqAtLeast(2);
+  EXPECT_EQ((*wal)->last_seq(), 2u);
+  (*wal)->EnsureSeqAtLeast(1);  // Never lowers.
+  EXPECT_EQ((*wal)->last_seq(), 2u);
+  ASSERT_TRUE((*wal)->Append("three").ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  // Above the snapshot mark — a recovery will replay, not skip, it.
+  EXPECT_EQ(replay->records[0].seq, 3u);
+}
+
+TEST_F(WalTest, CreatingNewLogSyncsItsDirectoryEntry) {
+  const std::string path = NewPath("wal_dirsync.log");
+  // Creating a fresh, empty log crosses exactly one hooked boundary:
+  // the parent-directory fsync that makes the new file itself durable.
+  FileFaultInjector::Global().Arm(-1, /*crash=*/false);  // Count only.
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+  }
+  EXPECT_EQ(FileFaultInjector::Global().ops_seen(), 1);
+  // Reopening an existing log crosses none.
+  FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+  }
+  EXPECT_EQ(FileFaultInjector::Global().ops_seen(), 0);
+  FileFaultInjector::Global().Disarm();
+
+  // A failed directory sync fails the creation loudly.
+  std::remove(path.c_str());
+  FileFaultInjector::Global().Arm(0, /*crash=*/false);
+  EXPECT_FALSE(WriteAheadLog::Open(path).ok());
+  FileFaultInjector::Global().Disarm();
 }
 
 TEST_F(WalTest, FailedAppendRollsBackAndDoesNotAdvanceSequence) {
@@ -683,7 +769,8 @@ EngineState MakeSnapshotFixture(const geo::LocationOntology& world) {
   PersistedUserState user_a(std::move(profile_a), std::move(model_a));
   user_a.user = 1;
   user_a.position = geo::GeoPoint{35.6812, 139.7671};
-  user_a.pair_queries = {"ramen tokyo", "hotel with\ttab"};
+  user_a.pair_queries = {"ramen tokyo", "hotel with\ttab",
+                         "multi\nline \\query\r\n"};
   PersistedPair pair;
   pair.query_index = 1;
   pair.preferred_backend_index = 4;
@@ -761,7 +848,7 @@ TEST(EngineStateIoTest, CorruptedEngineSnapshotIsDataLoss) {
 TEST(EngineStateIoTest, RejectsOutOfRangePairIndices) {
   const geo::LocationOntology world = geo::BuildWorldGazetteer();
   EngineState state = MakeSnapshotFixture(world);
-  state.users[0].pairs[0].query_index = 7;  // Only 2 pair queries exist.
+  state.users[0].pairs[0].query_index = 7;  // Only 3 pair queries exist.
   const auto loaded = EngineStateFromText(EngineStateToText(state), &world);
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }

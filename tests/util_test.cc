@@ -246,6 +246,21 @@ TEST(StringTest, StartsEndsWith) {
   EXPECT_FALSE(EndsWith("fo", "foo"));
 }
 
+TEST(StringTest, EscapeLineBreaksRoundTrips) {
+  const std::vector<std::string> cases = {
+      "", "plain", "tabs\tkeep\traw", "line\nbreak", "cr\rhere",
+      "back\\slash", "\\n literal", "mix\\\r\n\\r end\\"};
+  for (const std::string& original : cases) {
+    const std::string escaped = EscapeLineBreaks(original);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << original;
+    EXPECT_EQ(escaped.find('\r'), std::string::npos) << original;
+    EXPECT_EQ(UnescapeLineBreaks(escaped), original);
+  }
+  // Unknown escapes and a trailing backslash pass through verbatim.
+  EXPECT_EQ(UnescapeLineBreaks("a\\tb"), "a\\tb");
+  EXPECT_EQ(UnescapeLineBreaks("tail\\"), "tail\\");
+}
+
 TEST(StringTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
