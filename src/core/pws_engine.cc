@@ -584,7 +584,10 @@ Status PwsEngine::SaveState(const std::string& snapshot_path) {
   // on recovery — at worst a redundant deterministic retrain, never a
   // skipped unapplied event. (Observe must not run concurrently; see the
   // header contract.)
-  if (wal_ != nullptr) snapshot.last_wal_seq = wal_->last_seq();
+  if (wal_ != nullptr) {
+    snapshot.last_wal_seq = wal_->last_seq();
+    snapshot.wal_lineage_id = wal_->lineage_id();
+  }
   std::vector<click::UserId> ids;
   {
     std::shared_lock<std::shared_mutex> lock(users_mutex_);
@@ -642,6 +645,22 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
     if (!loaded.ok()) {
       registry.GetCounter("engine.snapshot.restore_errors")->Increment();
       return loaded.status();
+    }
+    // Refuse a snapshot/WAL pairing from different lineages before
+    // touching any user state: the snapshot's high-water mark only means
+    // something against the WAL it was taken with, so replaying this
+    // log's tail on a foreign snapshot would re-apply (or skip) records
+    // that have nothing to do with it.
+    if (wal_ != nullptr && loaded->wal_lineage_id != 0 &&
+        wal_->lineage_id() != 0 &&
+        loaded->wal_lineage_id != wal_->lineage_id()) {
+      registry.GetCounter("engine.snapshot.lineage_mismatches")->Increment();
+      return FailedPreconditionError(
+          "snapshot " + snapshot_path + " is paired with a different WAL "
+          "lineage (snapshot wal id " +
+          std::to_string(loaded->wal_lineage_id) + ", open wal " +
+          wal_->path() + " id " + std::to_string(wal_->lineage_id()) +
+          "); restore it without this WAL or alongside its own");
     }
     floor_seq = loaded->last_wal_seq;
     for (io::PersistedUserState& persisted : loaded->users) {

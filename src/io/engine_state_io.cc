@@ -28,6 +28,31 @@ std::string HexU32(uint32_t value) {
   return buffer;
 }
 
+std::string HexU64(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool ParseHexU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 std::string UserStateToText(const profile::UserProfile& profile,
@@ -130,7 +155,8 @@ StatusOr<std::string> UnwrapDurable(std::string_view kind, uint32_t version,
 
 std::string EngineStateToText(const EngineState& state) {
   std::string payload = "ENGINE\t" + std::to_string(state.users.size()) +
-                        "\t" + std::to_string(state.last_wal_seq) + "\n";
+                        "\t" + std::to_string(state.last_wal_seq) + "\t" +
+                        HexU64(state.wal_lineage_id) + "\n";
   for (const PersistedUserState& user : state.users) {
     payload += "USER\t" + std::to_string(user.user) + "\n";
     if (user.position.has_value()) {
@@ -177,13 +203,20 @@ StatusOr<EngineState> EngineStateFromText(
   const std::vector<std::string> header_fields = StrSplit(*header, '\t');
   int64_t num_users = 0;
   int64_t last_wal_seq = 0;
-  if (header_fields.size() != 3 || !ParseInt64(header_fields[1], &num_users) ||
-      !ParseInt64(header_fields[2], &last_wal_seq) || num_users < 0) {
+  uint64_t wal_lineage_id = 0;
+  // The lineage field is optional so snapshots written before it was
+  // introduced still load (they read as lineage-unknown).
+  if ((header_fields.size() != 3 && header_fields.size() != 4) ||
+      !ParseInt64(header_fields[1], &num_users) ||
+      !ParseInt64(header_fields[2], &last_wal_seq) || num_users < 0 ||
+      (header_fields.size() == 4 &&
+       !ParseHexU64(header_fields[3], &wal_lineage_id))) {
     return InvalidArgumentError("bad snapshot header: " + *header);
   }
 
   EngineState state;
   state.last_wal_seq = static_cast<uint64_t>(last_wal_seq);
+  state.wal_lineage_id = wal_lineage_id;
   state.users.reserve(static_cast<size_t>(num_users));
   for (int64_t u = 0; u < num_users; ++u) {
     const std::string* user_line = next_line();

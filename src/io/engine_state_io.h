@@ -95,6 +95,11 @@ struct PersistedUserState {
 /// snapshot commit and WAL truncation harmless).
 struct EngineState {
   uint64_t last_wal_seq = 0;
+  /// Lineage id of the WAL this snapshot is paired with (0 when the
+  /// engine had no WAL, or the WAL predates lineage headers). Sequence
+  /// numbers are only comparable within one log's history, so recovery
+  /// refuses to replay a WAL tail over a snapshot whose lineage differs.
+  uint64_t wal_lineage_id = 0;
   std::vector<PersistedUserState> users;
 };
 

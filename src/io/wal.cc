@@ -1,5 +1,7 @@
 #include "io/wal.h"
 
+#include <random>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32.h"
@@ -9,6 +11,21 @@ namespace pws::io {
 namespace {
 
 constexpr size_t kFrameHeaderBytes = 16;
+// Lineage header at the start of every (non-legacy) log file: 8 magic
+// bytes + a little-endian u64 lineage id. The magic cannot be mistaken
+// for a frame — decoded as one, its first four bytes would claim a
+// payload far beyond kMaxPayloadBytes.
+constexpr char kLineageMagic[8] = {'P', 'W', 'S', 'W', 'A', 'L', '1', '\n'};
+constexpr size_t kLineageHeaderBytes = 16;
+
+// A fresh, effectively unique lineage id (never 0 — 0 means "legacy
+// file, lineage unknown"). Uniqueness, not determinism, is the point:
+// two log files must never compare equal by id.
+uint64_t NewLineageId() {
+  std::random_device rd;
+  uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  return id == 0 ? 1 : id;
+}
 // A frame longer than this is treated as tail corruption rather than a
 // record — it bounds the allocation a flipped length field could ask for.
 constexpr uint32_t kMaxPayloadBytes = 1u << 30;
@@ -86,11 +103,14 @@ bool DecodeFrameAt(const std::string& data, size_t offset, uint64_t min_seq,
 
 WriteAheadLog::WriteAheadLog(std::string path, Options options,
                              std::FILE* file, uint64_t last_seq,
-                             uint64_t valid_bytes)
+                             uint64_t valid_bytes, uint64_t lineage_id,
+                             uint64_t header_bytes)
     : path_(std::move(path)),
       options_(options),
       file_(file),
       last_seq_(last_seq),
+      lineage_id_(lineage_id),
+      header_bytes_(header_bytes),
       valid_bytes_(valid_bytes) {}
 
 WriteAheadLog::~WriteAheadLog() {
@@ -106,6 +126,12 @@ StatusOr<WriteAheadLog::ReplayResult> WriteAheadLog::Replay(
   if (!contents.ok()) return contents.status();
   const std::string& data = *contents;
   size_t offset = 0;
+  if (data.size() >= kLineageHeaderBytes &&
+      data.compare(0, sizeof(kLineageMagic), kLineageMagic,
+                   sizeof(kLineageMagic)) == 0) {
+    result.lineage_id = GetU64(data.data() + sizeof(kLineageMagic));
+    offset = kLineageHeaderBytes;
+  }
   uint64_t last_accepted_seq = 0;
   uint64_t gap_bytes = 0;
   uint64_t resyncs = 0;
@@ -159,8 +185,11 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   if (file == nullptr) {
     return InternalError("cannot open wal for append: " + path);
   }
-  auto log = std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, options, file, last_seq, replay->valid_bytes));
+  uint64_t lineage_id = replay->lineage_id;
+  uint64_t header_bytes = lineage_id != 0 ? kLineageHeaderBytes : 0;
+  auto log = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(
+      path, options, file, last_seq, replay->valid_bytes, lineage_id,
+      header_bytes));
   if (!existed) {
     // fopen just created the file; fsync the directory entry too, or a
     // power failure could drop the whole file even though every append
@@ -177,6 +206,21 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     Status truncated = internal_file::HookedTruncate(
         file, static_cast<size_t>(replay->valid_bytes), path);
     if (!truncated.ok()) return truncated;
+  }
+  if (lineage_id == 0 && replay->records.empty() &&
+      replay->valid_bytes == 0) {
+    // A brand-new (or repaired-to-empty) log: stamp its lineage header.
+    // A non-empty legacy file keeps its frames and reads as lineage 0 —
+    // the header cannot be prepended in place.
+    log->lineage_id_ = NewLineageId();
+    log->header_bytes_ = kLineageHeaderBytes;
+    std::string header(kLineageMagic, sizeof(kLineageMagic));
+    PutU64(&header, log->lineage_id_);
+    Status written = internal_file::HookedWrite(file, header, path);
+    if (!written.ok()) return written;
+    written = internal_file::HookedFlushAndSync(file, path);
+    if (!written.ok()) return written;
+    log->valid_bytes_ = kLineageHeaderBytes;
   }
   return log;
 }
@@ -233,11 +277,15 @@ Status WriteAheadLog::Truncate() {
   if (file_ == nullptr) {
     return FailedPreconditionError("wal is closed: " + path_);
   }
-  Status status = internal_file::HookedTruncate(file_, 0, path_);
+  // Cut back to the lineage header, not to zero: the log stays empty of
+  // records but keeps its identity, so snapshots taken before and after
+  // the truncation agree about which log they are paired with.
+  Status status = internal_file::HookedTruncate(
+      file_, static_cast<size_t>(header_bytes_), path_);
   if (!status.ok()) return status;
   status = internal_file::HookedFlushAndSync(file_, path_);
   if (!status.ok()) return status;
-  valid_bytes_ = 0;
+  valid_bytes_ = header_bytes_;
   obs::MetricsRegistry::Global().GetCounter("wal.truncates")->Increment();
   return OkStatus();
 }

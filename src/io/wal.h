@@ -38,6 +38,15 @@ namespace pws::io {
 /// records would reuse sequence numbers a later recovery skips as
 /// already-applied.
 ///
+/// The file opens with a 16-byte lineage header ("PWSWAL1\n" magic plus
+/// a random 64-bit lineage id, written when the file is created and
+/// preserved across Truncate): two WAL files never share a lineage id,
+/// and a snapshot records the id of the WAL it was paired with, so
+/// recovery can refuse to replay a log tail on top of a snapshot from a
+/// different lineage — sequence numbers only mean something within one
+/// log's history. A pre-header (legacy) file still opens and replays;
+/// its lineage id reads as 0, which pairing checks treat as unknown.
+///
 /// Torn tails are expected, not errors: a crash mid-append leaves a
 /// partial frame at the end of the file, and Replay drops everything
 /// after the last decodable frame. Open repairs such a file by
@@ -69,6 +78,8 @@ class WriteAheadLog {
   /// Everything a recovery pass needs to know about a log file.
   struct ReplayResult {
     std::vector<ReplayedRecord> records;
+    /// The file's lineage id (0 for a legacy file without a header).
+    uint64_t lineage_id = 0;
     /// True when garbage bytes follow the last valid frame (a partial
     /// or corrupt frame at the very end of the file).
     bool torn_tail = false;
@@ -115,17 +126,28 @@ class WriteAheadLog {
   /// Highest sequence number ever assigned (0 when none).
   uint64_t last_seq() const;
 
+  /// This log's lineage id: assigned randomly when the file was created,
+  /// constant for the file's lifetime (Truncate preserves it). 0 only
+  /// for a legacy file that predates the header.
+  uint64_t lineage_id() const { return lineage_id_; }
+
   const std::string& path() const { return path_; }
 
  private:
   WriteAheadLog(std::string path, Options options, std::FILE* file,
-                uint64_t last_seq, uint64_t valid_bytes);
+                uint64_t last_seq, uint64_t valid_bytes, uint64_t lineage_id,
+                uint64_t header_bytes);
 
   std::string path_;
   Options options_;
   std::FILE* file_;
   mutable std::mutex mutex_;
   uint64_t last_seq_ = 0;
+  /// Immutable after Open.
+  uint64_t lineage_id_ = 0;
+  /// Size of the lineage header at the file's start (0 for legacy files);
+  /// Truncate cuts back to this offset, not to 0.
+  uint64_t header_bytes_ = 0;
   /// File size after the last successful append/truncate. A failed
   /// append rolls the file back to this point so the torn frame cannot
   /// hide later successful appends from Replay.

@@ -1,0 +1,203 @@
+#include "serve/protocol.h"
+
+#include <cstdint>
+#include <iterator>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace pws::serve {
+namespace {
+
+/// Splits off the first `count` tab-separated fields; the remainder of
+/// the line (which may itself contain tabs) lands in `rest`. Returns
+/// false when fewer than `count` fields precede the end of the line.
+bool SplitFields(std::string_view line, int count,
+                 std::vector<std::string_view>* fields,
+                 std::string_view* rest) {
+  fields->clear();
+  for (int i = 0; i < count; ++i) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) return false;
+    fields->push_back(line.substr(0, tab));
+    line.remove_prefix(tab + 1);
+  }
+  *rest = line;
+  return true;
+}
+
+bool ParseUser(std::string_view text, int64_t* out) {
+  return ParseInt64(text, out);
+}
+
+}  // namespace
+
+std::string FormatRequest(const Request& request) {
+  switch (request.type) {
+    case RequestType::kServe:
+      return "serve\t" + std::to_string(request.user) + "\t" +
+             std::to_string(request.limit) + "\t" + request.query;
+    case RequestType::kClick:
+      return "click\t" + std::to_string(request.user) + "\t" +
+             std::to_string(request.position) + "\t" + request.query;
+    case RequestType::kTrain:
+      return "train\t" + std::to_string(request.user);
+    case RequestType::kTrainAll:
+      return "trainall";
+    case RequestType::kSave:
+      return "save";
+    case RequestType::kMetrics:
+      return "metrics";
+    case RequestType::kQueries:
+      return "queries";
+    case RequestType::kPing:
+      return "ping";
+    case RequestType::kShutdown:
+      return "shutdown";
+    case RequestType::kInvalid:
+      break;
+  }
+  return "";
+}
+
+Request ParseRequest(std::string_view line) {
+  Request request;
+  const size_t first_tab = line.find('\t');
+  const std::string_view verb = line.substr(0, first_tab);
+  const std::string_view args =
+      first_tab == std::string_view::npos ? std::string_view()
+                                          : line.substr(first_tab + 1);
+
+  if (verb == "trainall" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kTrainAll;
+    return request;
+  }
+  if (verb == "save" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kSave;
+    return request;
+  }
+  if (verb == "metrics" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kMetrics;
+    return request;
+  }
+  if (verb == "queries" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kQueries;
+    return request;
+  }
+  if (verb == "ping" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kPing;
+    return request;
+  }
+  if (verb == "shutdown" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kShutdown;
+    return request;
+  }
+
+  std::vector<std::string_view> fields;
+  std::string_view rest;
+  if (verb == "serve" || verb == "click") {
+    if (!SplitFields(args, 2, &fields, &rest) || rest.empty()) return request;
+    int64_t number = 0;
+    if (!ParseUser(fields[0], &request.user) ||
+        !ParseInt64(fields[1], &number)) {
+      return request;
+    }
+    request.query = std::string(rest);
+    if (verb == "serve") {
+      request.type = RequestType::kServe;
+      request.limit = number;
+    } else {
+      if (number < 1) return request;
+      request.type = RequestType::kClick;
+      request.position = number;
+    }
+    return request;
+  }
+  if (verb == "train") {
+    if (args.empty() || args.find('\t') != std::string_view::npos ||
+        !ParseUser(args, &request.user)) {
+      return request;
+    }
+    request.type = RequestType::kTrain;
+    return request;
+  }
+  return request;  // kInvalid
+}
+
+std::string FormatOkReply(std::string_view verb,
+                          const std::vector<std::string>& fields) {
+  std::string reply = "ok\t";
+  reply.append(verb);
+  for (const std::string& field : fields) {
+    reply.push_back('\t');
+    reply.append(field);
+  }
+  return reply;
+}
+
+std::string FormatErrReply(std::string_view code, std::string_view message) {
+  std::string reply = "err\t";
+  reply.append(code);
+  reply.push_back('\t');
+  reply.append(EscapeLineBreaks(message));
+  return reply;
+}
+
+Reply ParseReply(std::string_view line) {
+  // Reply payload fields never contain tabs (doc ids are comma-joined,
+  // free-form payloads are single escaped fields), so a plain split is
+  // exact.
+  Reply reply;
+  std::vector<std::string> pieces = StrSplit(line, '\t');
+  if (pieces.size() < 2 || (pieces[0] != "ok" && pieces[0] != "err")) {
+    reply.verb_or_code = "malformed";
+    return reply;
+  }
+  reply.ok = pieces[0] == "ok";
+  reply.verb_or_code = std::move(pieces[1]);
+  reply.fields.assign(std::make_move_iterator(pieces.begin() + 2),
+                      std::make_move_iterator(pieces.end()));
+  return reply;
+}
+
+std::string EncodeDocIds(const std::vector<corpus::DocId>& docs) {
+  std::string out;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(docs[i]);
+  }
+  return out;
+}
+
+bool DecodeDocIds(std::string_view text, std::vector<corpus::DocId>* out) {
+  out->clear();
+  if (text.empty()) return true;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    int64_t value = 0;
+    if (!ParseInt64(piece, &value) || value > INT32_MAX) return false;
+    out->push_back(static_cast<corpus::DocId>(value));
+  }
+  return true;
+}
+
+click::ClickRecord BuildSatisfiedClickRecord(click::UserId user,
+                                             const core::PersonalizedPage& page,
+                                             int position) {
+  click::ClickRecord record;
+  record.user = user;
+  record.query_text = page.backend_page().query;
+  for (size_t j = 0; j < page.order.size(); ++j) {
+    click::Interaction interaction;
+    interaction.doc = page.backend_page().results[page.order[j]].doc;
+    interaction.rank = static_cast<int>(j);
+    if (static_cast<int>(j) == position - 1) {
+      interaction.clicked = true;
+      interaction.dwell_units = 420.0;
+      interaction.last_click_in_session = true;
+    }
+    record.interactions.push_back(interaction);
+  }
+  return record;
+}
+
+}  // namespace pws::serve

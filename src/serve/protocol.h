@@ -1,0 +1,103 @@
+#ifndef PWS_SERVE_PROTOCOL_H_
+#define PWS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "click/click_log.h"
+#include "core/pws_engine.h"
+#include "corpus/document.h"
+
+namespace pws::serve {
+
+/// The wire protocol is one line per request and one line per reply,
+/// tab-separated fields, matching the repo's persisted-text idiom (and
+/// trivially exercisable with netcat):
+///
+///   serve\t<user>\t<limit>\t<query...>      -> ok\tserve\t<alpha>\t<docs>
+///   click\t<user>\t<position>\t<query...>   -> ok\tclick\t<pair count>
+///   train\t<user>                           -> ok\ttrain\t<hinge loss>
+///   trainall                                -> ok\ttrainall
+///   save                                    -> ok\tsave
+///   metrics                                 -> ok\tmetrics\t<escaped json>
+///   queries                                 -> ok\tqueries\t<n>\t<escaped>
+///   ping                                    -> ok\tping
+///   shutdown                                -> ok\tshutdown
+///
+/// The query (requests) and the payload (replies) are always the LAST
+/// field and run to the end of the line, so embedded tabs survive;
+/// multi-line payloads (metrics JSON, the query pool) are flattened with
+/// EscapeLineBreaks. Errors are `err\t<code>\t<message>` with codes
+/// `bad_request`, `overloaded`, `unavailable`, and `internal`.
+///
+/// Keep one request in flight per connection: requests from one
+/// connection may execute on different workers, so replies to pipelined
+/// requests can arrive out of submission order (and carry no request
+/// tag to rematch them). Clients wanting concurrency open more
+/// connections — that is what the load generator does.
+enum class RequestType {
+  kServe,
+  kClick,
+  kTrain,
+  kTrainAll,
+  kSave,
+  kMetrics,
+  kQueries,
+  kPing,
+  kShutdown,
+  kInvalid,
+};
+
+/// One parsed request line.
+struct Request {
+  RequestType type = RequestType::kInvalid;
+  int64_t user = 0;
+  /// `click`: 1-based shown position to click.
+  int64_t position = 0;
+  /// `serve`: max doc ids to return (0 = the whole page).
+  int64_t limit = 0;
+  std::string query;
+};
+
+/// Formats a request as one wire line (no trailing newline).
+std::string FormatRequest(const Request& request);
+
+/// Parses one wire line. A malformed line yields type kInvalid.
+Request ParseRequest(std::string_view line);
+
+/// `ok\t<verb>` plus any extra fields.
+std::string FormatOkReply(std::string_view verb,
+                          const std::vector<std::string>& fields = {});
+/// `err\t<code>\t<message>` (message line-break-escaped).
+std::string FormatErrReply(std::string_view code, std::string_view message);
+
+/// One parsed reply line.
+struct Reply {
+  bool ok = false;
+  /// The verb echoed on success, the error code on failure.
+  std::string verb_or_code;
+  std::vector<std::string> fields;
+};
+
+/// Parses a reply line; a line with no ok/err prefix parses as an
+/// internal error so clients fail loud, not silent.
+Reply ParseReply(std::string_view line);
+
+/// Doc-id list codec for serve replies: comma-joined decimal ids.
+std::string EncodeDocIds(const std::vector<corpus::DocId>& docs);
+bool DecodeDocIds(std::string_view text, std::vector<corpus::DocId>* out);
+
+/// The ClickRecord a satisfied click at `position` (1-based shown rank)
+/// on `page` produces — dwell long enough to grade satisfied, last click
+/// of its session. One definition shared by the server's stateless
+/// `click` handler, the demo CLI path it mirrors, and the tests that
+/// compare server rankings against direct engine calls.
+click::ClickRecord BuildSatisfiedClickRecord(click::UserId user,
+                                             const core::PersonalizedPage& page,
+                                             int position);
+
+}  // namespace pws::serve
+
+#endif  // PWS_SERVE_PROTOCOL_H_

@@ -1,0 +1,343 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pws::serve {
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Holds every user-lock shard exclusively — the whole-engine verbs
+/// (trainall, save) exclude all serves and mutations at once. Shards are
+/// taken in index order, the same order everywhere, so two whole-engine
+/// verbs cannot deadlock each other.
+class AllShardsLock {
+ public:
+  explicit AllShardsLock(
+      const std::vector<std::unique_ptr<std::shared_mutex>>& shards) {
+    locks_.reserve(shards.size());
+    for (const auto& shard : shards) locks_.emplace_back(*shard);
+  }
+
+ private:
+  std::vector<std::unique_lock<std::shared_mutex>> locks_;
+};
+
+}  // namespace
+
+PwsServer::PwsServer(core::PwsEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  user_locks_.reserve(kUserLockShards);
+  for (int i = 0; i < kUserLockShards; ++i) {
+    user_locks_.push_back(std::make_unique<std::shared_mutex>());
+  }
+}
+
+PwsServer::~PwsServer() { Stop(); }
+
+std::shared_mutex& PwsServer::ShardOf(int64_t user) {
+  const uint64_t h = static_cast<uint64_t>(user) * 0x9e3779b97f4a7c15ULL;
+  return *user_locks_[h % kUserLockShards];
+}
+
+Status PwsServer::Start() {
+  StatusOr<int> listen_fd = ListenOnLoopback(options_.port);
+  PWS_RETURN_IF_ERROR(listen_fd.status());
+  listen_fd_ = *listen_fd;
+  StatusOr<int> port = LocalPort(listen_fd_);
+  if (!port.ok()) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  workers_ = std::make_unique<ThreadPool>(
+      options_.num_workers >= 1 ? options_.num_workers : 1);
+  accept_thread_ = std::thread(&PwsServer::AcceptLoop, this);
+  if (!options_.state_path.empty() && options_.snapshot_every_s > 0) {
+    snapshot_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      const auto period = std::chrono::duration<double>(
+          options_.snapshot_every_s);
+      while (!stop_cv_.wait_for(lock, period,
+                                [this] { return stopping_.load(); })) {
+        lock.unlock();
+        {
+          AllShardsLock all(user_locks_);
+          if (const Status status = engine_->SaveState(options_.state_path);
+              !status.ok()) {
+            PWS_LOG(kWarning) << "periodic snapshot failed: " << status;
+          }
+        }
+        lock.lock();
+      }
+    });
+  }
+  PWS_LOG(kInfo) << "pws server listening on 127.0.0.1:" << port_ << " with "
+                << workers_->size() << " workers (queue capacity "
+                << options_.queue_capacity << ")";
+  return OkStatus();
+}
+
+void PwsServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // Listener gone; Stop is tearing us down.
+    }
+    if (stopping_.load()) {
+      CloseFd(fd);
+      return;
+    }
+    auto connection = std::make_unique<Connection>(fd);
+    Connection* raw = connection.get();
+    raw->reader = std::thread(&PwsServer::ReaderLoop, this, raw);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void PwsServer::ReaderLoop(Connection* connection) {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto* requests = registry.GetCounter("serve.requests");
+  auto* shed = registry.GetCounter("serve.shed");
+  auto* rejected = registry.GetCounter("serve.rejected");
+  auto* bad = registry.GetCounter("serve.bad_requests");
+  auto* depth = registry.GetGauge("serve.queue_depth");
+
+  std::string line;
+  while (connection->channel.ReadLine(&line)) {
+    requests->Increment();
+    Request request = ParseRequest(line);
+    if (request.type == RequestType::kInvalid) {
+      bad->Increment();
+      (void)connection->channel.WriteLine(
+          FormatErrReply("bad_request", "unparseable request: " + line));
+      continue;
+    }
+    // Admission gate: admitted-but-unfinished requests are capped, and
+    // overflow is shed *here*, in one round trip, rather than queued
+    // behind an unbounded backlog.
+    const int admitted = in_flight_.fetch_add(1) + 1;
+    if (admitted > options_.queue_capacity) {
+      in_flight_.fetch_sub(1);
+      shed->Increment();
+      (void)connection->channel.WriteLine(
+          FormatErrReply("overloaded", "request queue full"));
+      continue;
+    }
+    depth->Set(admitted);
+    const int64_t admitted_at_us = NowMicros();
+    std::future<void> enqueue = workers_->Submit(
+        [this, connection, request = std::move(request), admitted_at_us]() {
+          HandleRequest(connection, request, admitted_at_us);
+        });
+    // A Submit racing pool shutdown resolves immediately with the
+    // rejection exception (HandleRequest itself never throws); shed the
+    // request with a reply instead of aborting or going silent.
+    if (enqueue.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      try {
+        enqueue.get();
+      } catch (const std::exception&) {
+        in_flight_.fetch_sub(1);
+        rejected->Increment();
+        (void)connection->channel.WriteLine(
+            FormatErrReply("unavailable", "server is shutting down"));
+      }
+    }
+  }
+}
+
+void PwsServer::HandleRequest(Connection* connection, Request request,
+                              int64_t admitted_at_us) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const int64_t started_at_us = NowMicros();
+  registry
+      .GetHistogram("serve.queue_wait.us",
+                    obs::Histogram::DefaultLatencyBoundsUs())
+      ->Record(static_cast<double>(started_at_us - admitted_at_us));
+
+  std::string reply;
+  try {
+    reply = Dispatch(request);
+  } catch (const std::exception& e) {
+    reply = FormatErrReply("internal", e.what());
+  }
+  if (StartsWith(reply, "err\t")) {
+    registry.GetCounter("serve.errors")->Increment();
+  }
+  (void)connection->channel.WriteLine(reply);
+
+  registry
+      .GetHistogram("serve.request.us",
+                    obs::Histogram::DefaultLatencyBoundsUs())
+      ->Record(static_cast<double>(NowMicros() - admitted_at_us));
+  const int remaining = in_flight_.fetch_sub(1) - 1;
+  registry.GetGauge("serve.queue_depth")->Set(remaining);
+}
+
+std::string PwsServer::Dispatch(const Request& request) {
+  switch (request.type) {
+    case RequestType::kServe: {
+      const auto user = static_cast<click::UserId>(request.user);
+      engine_->RegisterUser(user);
+      core::PersonalizedPage page;
+      {
+        std::shared_lock<std::shared_mutex> lock(ShardOf(request.user));
+        page = engine_->Serve(user, request.query);
+      }
+      std::vector<corpus::DocId> docs;
+      const auto& results = page.backend_page().results;
+      const size_t limit =
+          request.limit > 0 &&
+                  request.limit < static_cast<int64_t>(page.order.size())
+              ? static_cast<size_t>(request.limit)
+              : page.order.size();
+      docs.reserve(limit);
+      for (size_t j = 0; j < limit; ++j) {
+        docs.push_back(results[page.order[j]].doc);
+      }
+      return FormatOkReply(
+          "serve", {FormatDouble(page.alpha_used, 6), EncodeDocIds(docs)});
+    }
+    case RequestType::kClick: {
+      const auto user = static_cast<click::UserId>(request.user);
+      engine_->RegisterUser(user);
+      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user));
+      // Stateless click: re-serve the query (deterministic and cached),
+      // then observe a satisfied click at the requested shown position —
+      // the client never has to hold page state between calls.
+      const core::PersonalizedPage page = engine_->Serve(user, request.query);
+      if (request.position > static_cast<int64_t>(page.order.size())) {
+        return FormatErrReply(
+            "bad_request",
+            "click position " + std::to_string(request.position) +
+                " beyond page of " + std::to_string(page.order.size()));
+      }
+      const click::ClickRecord record = BuildSatisfiedClickRecord(
+          user, page, static_cast<int>(request.position));
+      engine_->Observe(user, page, record);
+      return FormatOkReply(
+          "click", {std::to_string(engine_->training_pair_count(user))});
+    }
+    case RequestType::kTrain: {
+      const auto user = static_cast<click::UserId>(request.user);
+      engine_->RegisterUser(user);
+      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user));
+      const double loss = engine_->TrainUser(user);
+      return FormatOkReply("train", {FormatDouble(loss, 6)});
+    }
+    case RequestType::kTrainAll: {
+      AllShardsLock all(user_locks_);
+      engine_->TrainAllUsers();
+      return FormatOkReply("trainall");
+    }
+    case RequestType::kSave: {
+      if (options_.state_path.empty()) {
+        return FormatErrReply("bad_request",
+                              "server started without --state; nowhere to "
+                              "save");
+      }
+      AllShardsLock all(user_locks_);
+      if (const Status status = engine_->SaveState(options_.state_path);
+          !status.ok()) {
+        return FormatErrReply("internal", status.ToString());
+      }
+      return FormatOkReply("save");
+    }
+    case RequestType::kMetrics:
+      return FormatOkReply(
+          "metrics",
+          {EscapeLineBreaks(obs::MetricsRegistry::Global().Snapshot().ToJson())});
+    case RequestType::kQueries:
+      return FormatOkReply(
+          "queries", {std::to_string(options_.query_pool.size()),
+                      EscapeLineBreaks(StrJoin(options_.query_pool, "\n"))});
+    case RequestType::kPing:
+      return FormatOkReply("ping");
+    case RequestType::kShutdown:
+      RequestShutdown();
+      return FormatOkReply("shutdown");
+    case RequestType::kInvalid:
+      break;
+  }
+  return FormatErrReply("bad_request", "unknown request");
+}
+
+void PwsServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool PwsServer::WaitShutdownRequested(int poll_ms) {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                        [this] { return shutdown_requested_; });
+  return shutdown_requested_;
+}
+
+void PwsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_.store(true);
+  }
+  stop_cv_.notify_all();
+
+  // 1. No new connections: wake the blocked accept with shutdown(2),
+  //    then join the accept thread before closing the fd.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. No new requests: EOF every connection's read side. In-flight
+  //    requests keep the write side for their replies.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) connection->channel.ShutdownRead();
+  }
+  for (auto& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+
+  // 3. Drain: the pool destructor runs every queued request to
+  //    completion, so every admitted request gets its reply.
+  workers_.reset();
+
+  // 4. Final snapshot (the snapshot thread is already parked).
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  if (!options_.state_path.empty()) {
+    if (const Status status = engine_->SaveState(options_.state_path);
+        !status.ok()) {
+      PWS_LOG(kWarning) << "final snapshot failed: " << status;
+    }
+  }
+
+  // 5. Now the sockets can go.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.clear();
+  PWS_LOG(kInfo) << "pws server drained and stopped";
+}
+
+}  // namespace pws::serve

@@ -1,0 +1,140 @@
+#ifndef PWS_SERVE_SERVER_H_
+#define PWS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pws::serve {
+
+struct ServerOptions {
+  /// TCP port to listen on (loopback only). 0 = ephemeral; read the
+  /// assigned port back with PwsServer::port().
+  int port = 0;
+  /// Worker threads executing requests.
+  int num_workers = 4;
+  /// Admission cap: requests admitted but not yet completed. Beyond it,
+  /// new requests are shed immediately with `err overloaded` instead of
+  /// queueing without bound — the client learns in one round trip that
+  /// the server is saturated, and latency for admitted work stays
+  /// bounded by the queue, not by the arrival rate.
+  int queue_capacity = 256;
+  /// Snapshot path for the `save` command and periodic snapshots; empty
+  /// disables both (the WAL, enabled by the caller on the engine before
+  /// Start, still covers every mutation).
+  std::string state_path;
+  /// Seconds between automatic SaveState calls (0 = only on demand and
+  /// at shutdown). Requires state_path.
+  double snapshot_every_s = 0;
+  /// Query texts returned by the `queries` command — the pool a load
+  /// generator samples from, served from the engine's world so clients
+  /// never rebuild it.
+  std::vector<std::string> query_pool;
+};
+
+/// The persistent serving front end: a loopback TCP listener speaking
+/// the line protocol of serve/protocol.h, a bounded admission gate, and
+/// a ThreadPool of workers dispatching into one shared PwsEngine.
+///
+/// Concurrency: the engine's contract (Serve concurrent-safe; Observe/
+/// TrainUser per-user serialized; TrainAllUsers/SaveState exclusive) is
+/// enforced with 64 sharded reader-writer locks keyed by user id —
+/// serves take a shard shared, mutations take it exclusive, and the
+/// whole-engine verbs take every shard exclusive. Readers (one thread
+/// per connection) only parse and enqueue; all engine work happens on
+/// pool workers.
+///
+/// Shutdown: Stop() closes the listener, shuts down the read side of
+/// every connection (in-flight requests keep their write side), joins
+/// the readers, drains the worker pool, writes a final snapshot when
+/// state_path is set, then closes the connections — a drain, not an
+/// abort: every admitted request gets its reply.
+class PwsServer {
+ public:
+  /// `engine` must outlive the server. Call EnableWal/RestoreState on
+  /// the engine before Start; the server never reconfigures durability.
+  PwsServer(core::PwsEngine* engine, ServerOptions options);
+  ~PwsServer();
+
+  PwsServer(const PwsServer&) = delete;
+  PwsServer& operator=(const PwsServer&) = delete;
+
+  /// Binds, listens, and starts the accept/worker threads.
+  Status Start();
+
+  /// Graceful drain (see class comment). Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Flags that a client asked the server to exit (the `shutdown` verb).
+  /// The serving loop in the binary waits on this and then calls Stop —
+  /// a worker cannot Stop() the pool it runs on.
+  void RequestShutdown();
+  /// Blocks until RequestShutdown (returns immediately if already
+  /// requested). `poll_ms` bounds each wait so callers can interleave
+  /// signal checks; returns true once shutdown was requested.
+  bool WaitShutdownRequested(int poll_ms);
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : channel(fd) {}
+    LineChannel channel;
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* connection);
+  /// Executes one admitted request on a pool worker and writes the
+  /// reply. `admitted_at_us` timestamps admission for queue-wait
+  /// accounting.
+  void HandleRequest(Connection* connection, Request request,
+                     int64_t admitted_at_us);
+  std::string Dispatch(const Request& request);
+
+  std::shared_mutex& ShardOf(int64_t user);
+
+  core::PwsEngine* engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread snapshot_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Admitted-but-not-finished request count (the admission gate).
+  std::atomic<int> in_flight_{0};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+  /// Wakes the periodic-snapshot thread when Stop begins.
+  std::condition_variable stop_cv_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+
+  /// Serializes SaveState against the whole-engine verbs and itself.
+  static constexpr int kUserLockShards = 64;
+  std::vector<std::unique_ptr<std::shared_mutex>> user_locks_;
+};
+
+}  // namespace pws::serve
+
+#endif  // PWS_SERVE_SERVER_H_

@@ -1,0 +1,122 @@
+#include "serve/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pws::serve {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<int> ListenOnLoopback(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("port out of range: " + std::to_string(port));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = InternalError(Errno("bind"));
+    CloseFd(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = InternalError(Errno("listen"));
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return InternalError(Errno("getsockname"));
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+StatusOr<int> ConnectToLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = InternalError(Errno("connect"));
+    CloseFd(fd);
+    return status;
+  }
+  // Requests and replies are one short line each; latency matters more
+  // than segment coalescing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+LineChannel::~LineChannel() { CloseFd(fd_); }
+
+bool LineChannel::ReadLine(std::string* line) {
+  for (;;) {
+    size_t newline = read_buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(read_buffer_, 0, newline);
+      read_buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      read_buffer_.append(chunk, static_cast<size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return false;  // EOF or error; any unterminated tail is dropped.
+  }
+}
+
+Status LineChannel::WriteLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE here, not SIGPIPE
+    // killing the whole server.
+    ssize_t got =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(Errno("send"));
+    }
+    sent += static_cast<size_t>(got);
+  }
+  return OkStatus();
+}
+
+void LineChannel::ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+}  // namespace pws::serve

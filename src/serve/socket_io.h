@@ -1,0 +1,65 @@
+#ifndef PWS_SERVE_SOCKET_IO_H_
+#define PWS_SERVE_SOCKET_IO_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pws::serve {
+
+/// Opens a loopback TCP listener on `port` (0 = kernel-assigned
+/// ephemeral port) and returns the listening fd. SO_REUSEADDR is set so
+/// restarts do not trip over TIME_WAIT sockets.
+StatusOr<int> ListenOnLoopback(int port, int backlog = 128);
+
+/// The local port a bound socket listens on — how a caller that asked
+/// for port 0 learns what it got.
+StatusOr<int> LocalPort(int fd);
+
+/// Connects to 127.0.0.1:`port` and returns the connected fd.
+StatusOr<int> ConnectToLoopback(int port);
+
+/// close(2), ignoring errors (used on teardown paths).
+void CloseFd(int fd);
+
+/// Buffered newline-framed reader/writer over one connected socket —
+/// the framing every request and reply in serve/protocol.h travels in.
+/// Reads are single-threaded (one reader per connection); writes are
+/// serialized by an internal mutex so pool workers finishing out of
+/// order never interleave bytes of two replies.
+class LineChannel {
+ public:
+  /// Takes ownership of `fd`; the destructor closes it.
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Reads the next '\n'-terminated line (terminator and any trailing
+  /// '\r' stripped). Returns false on EOF or a read error; a final
+  /// unterminated fragment before EOF is discarded — a line that never
+  /// ended was never a complete request.
+  bool ReadLine(std::string* line);
+
+  /// Writes `line` plus '\n', looping until every byte is accepted.
+  Status WriteLine(std::string_view line);
+
+  /// shutdown(SHUT_RD): wakes a blocked ReadLine with EOF while leaving
+  /// the write side open — the drain path: no new requests come in, but
+  /// replies to everything already queued still go out.
+  void ShutdownRead();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::mutex write_mutex_;
+  std::string read_buffer_;
+};
+
+}  // namespace pws::serve
+
+#endif  // PWS_SERVE_SOCKET_IO_H_

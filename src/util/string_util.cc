@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstdio>
 
@@ -129,6 +130,11 @@ std::string FormatDouble(double value, int digits) {
 
 bool ParseInt64(std::string_view text, int64_t* out) {
   if (text.empty()) return false;
+  // strtoll silently skips leading whitespace, which made parsing
+  // whitespace-asymmetric ("\t42" accepted, "42 " rejected). A number
+  // with any surrounding whitespace is malformed; callers that want to
+  // tolerate it trim explicitly.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
   std::string owned(text);
   errno = 0;
   char* end = nullptr;
@@ -140,11 +146,18 @@ bool ParseInt64(std::string_view text, int64_t* out) {
 
 bool ParseDouble(std::string_view text, double* out) {
   if (text.empty()) return false;
+  // Symmetric whitespace handling, as in ParseInt64.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) return false;
   std::string owned(text);
   errno = 0;
   char* end = nullptr;
   double value = std::strtod(owned.c_str(), &end);
   if (errno != 0 || end != owned.c_str() + owned.size()) return false;
+  // strtod happily parses "nan" and "inf", and a --alpha=nan that sneaks
+  // through here silently poisons every blend weight it touches. Numeric
+  // inputs must be finite; %a hex floats (the exact-round-trip encoding
+  // the WAL and snapshots use) still parse.
+  if (!std::isfinite(value)) return false;
   *out = value;
   return true;
 }

@@ -1,9 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/metrics.h"
-#include "util/check.h"
 #include "util/timer.h"
 
 namespace pws {
@@ -54,7 +54,15 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    PWS_CHECK(!shutting_down_) << "Submit after ThreadPool destruction began";
+    if (shutting_down_) {
+      // Reject, do not abort: a server draining its pool may race a late
+      // request onto Submit, and that request must fail cleanly (the
+      // caller sheds it) rather than kill every in-flight request with it.
+      std::promise<void> rejected;
+      rejected.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool is shutting down")));
+      return rejected.get_future();
+    }
     queue_.push_back(std::move(packaged));
   }
   TasksCounter().Increment();
@@ -87,6 +95,33 @@ int ResolveThreadCount(int threads) {
   return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
+void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  // One contiguous chunk per worker, not one task per item: the per-call
+  // overhead is O(workers) futures however large n grows. Chunks run
+  // their indices in ascending order and futures are drained in chunk
+  // order, so the first exception by index is the one that propagates —
+  // identical semantics to the old task-per-item fan-out.
+  const int workers = std::min(pool.size(), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  const int chunk = n / workers;
+  const int remainder = n % workers;
+  int begin = 0;
+  for (int w = 0; w < workers; ++w) {
+    const int end = begin + chunk + (w < remainder ? 1 : 0);
+    futures.push_back(pool.Submit([&fn, begin, end] {
+      for (int i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
+  }
+  for (auto& future : futures) future.get();
+}
+
 void ParallelFor(int threads, int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   const int workers = std::min(ResolveThreadCount(threads), n);
@@ -95,12 +130,7 @@ void ParallelFor(int threads, int n, const std::function<void(int)>& fn) {
     return;
   }
   ThreadPool pool(workers);
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    futures.push_back(pool.Submit([&fn, i] { fn(i); }));
-  }
-  for (auto& future : futures) future.get();
+  ParallelFor(pool, n, fn);
 }
 
 }  // namespace pws

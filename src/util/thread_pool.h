@@ -30,7 +30,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task`. The future resolves when the task finishes and
-  /// carries any exception it threw.
+  /// carries any exception it threw. A Submit that races shutdown (the
+  /// destructor has begun) is rejected with a future carrying
+  /// std::runtime_error instead of aborting the process — a long-running
+  /// server drains gracefully: late submitters observe the failure and
+  /// shed, while everything already queued still runs to completion.
   std::future<void> Submit(std::function<void()> task);
 
   int size() const { return static_cast<int>(workers_.size()); }
@@ -53,9 +57,18 @@ int ResolveThreadCount(int threads);
 /// Runs fn(0) .. fn(n - 1) across up to `threads` pool workers and
 /// returns when every call has finished. With threads <= 1 or n <= 1 the
 /// calls run inline on the caller, so a ParallelFor nested inside pool
-/// work degrades to a plain loop instead of oversubscribing. Exceptions
-/// from `fn` propagate (the first one, by task index).
+/// work degrades to a plain loop instead of oversubscribing. The index
+/// range is chunked contiguously, one task per worker — a million-item
+/// sweep costs a handful of futures, not a million — and chunks execute
+/// their indices in ascending order, so exceptions from `fn` propagate
+/// exactly as before: the first one, by index.
 void ParallelFor(int threads, int n, const std::function<void(int)>& fn);
+
+/// Same, but on an existing pool (no per-call pool construction or
+/// teardown): chunks [0, n) across the pool's workers. The caller must
+/// not invoke this from inside a task running on `pool` — the chunks
+/// would wait on workers the caller is occupying.
+void ParallelFor(ThreadPool& pool, int n, const std::function<void(int)>& fn);
 
 }  // namespace pws
 

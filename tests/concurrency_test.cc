@@ -62,6 +62,40 @@ TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, SubmitDuringShutdownIsRejectedNotAborted) {
+  // A task that keeps submitting while the destructor runs used to trip
+  // PWS_CHECK and abort the whole process — fatal for a server whose
+  // readers race Stop(). Now the racing Submit comes back as a future
+  // carrying std::runtime_error and the submitter sheds gracefully.
+  auto pool = std::make_unique<ThreadPool>(1);
+  ThreadPool* raw = pool.get();
+  std::atomic<bool> destructor_started{false};
+  std::atomic<bool> saw_rejection{false};
+  auto probe = pool->Submit([&] {
+    // Wait until ~ThreadPool is under way, then keep submitting until a
+    // rejection is observed. The destructor cannot finish while this
+    // task runs, and tasks it queues before the cutover still execute
+    // (drain semantics), so the loop terminates exactly at the cutover.
+    while (!destructor_started.load()) std::this_thread::yield();
+    while (!saw_rejection.load()) {
+      auto future = raw->Submit([] {});
+      if (future.wait_for(std::chrono::milliseconds(0)) ==
+          std::future_status::ready) {
+        try {
+          future.get();
+        } catch (const std::runtime_error&) {
+          saw_rejection.store(true);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+  destructor_started.store(true);
+  pool.reset();  // Joins the probe task; must not abort.
+  EXPECT_TRUE(saw_rejection.load());
+  EXPECT_NO_THROW(probe.get());
+}
+
 TEST(ResolveThreadCountTest, PositivePassesThroughZeroMeansHardware) {
   EXPECT_EQ(ResolveThreadCount(1), 1);
   EXPECT_EQ(ResolveThreadCount(5), 5);
@@ -85,6 +119,49 @@ TEST(ParallelForTest, PropagatesFirstExceptionByIndex) {
                              if (i % 3 == 0) throw std::runtime_error("bad");
                            }),
                std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesTheLowestThrowingIndexExactly) {
+  // Chunks are contiguous and ascending and futures drain in chunk
+  // order, so the surfaced exception is still the one from the lowest
+  // throwing index — identical to the old one-task-per-index behaviour.
+  std::string surfaced;
+  try {
+    ParallelFor(4, 100, [](int i) {
+      if (i >= 13) throw std::runtime_error(std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    surfaced = e.what();
+  }
+  EXPECT_EQ(surfaced, "13");
+}
+
+TEST(ParallelForTest, SubmitsOneTaskPerWorkerNotPerIndex) {
+  // The old implementation built a fresh pool and one future per index
+  // — 100k index sweeps paid 100k packaged_task allocations. Chunking
+  // submits at most one task per worker.
+  auto* tasks = obs::MetricsRegistry::Global().GetCounter("threadpool.tasks");
+  const uint64_t before = tasks->Value();
+  std::atomic<int> sum{0};
+  ParallelFor(4, 10000, [&](int i) { sum += i % 7; });
+  const uint64_t delta = tasks->Value() - before;
+  EXPECT_LE(delta, 4u);
+  EXPECT_GE(delta, 1u);
+  int expected = 0;
+  for (int i = 0; i < 10000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelForTest, PoolOverloadCoversEveryIndexOnSharedPool) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(pool, static_cast<int>(hits.size()), [&](int i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+  // The pool survives for further use (ParallelFor did not tear it down).
+  auto future = pool.Submit([] {});
+  EXPECT_NO_THROW(future.get());
 }
 
 // ---------- ShardedLruCache ----------

@@ -220,6 +220,44 @@ TEST_F(DurabilityTest, EventsAfterRestartedSnapshotSurviveNextCrash) {
       << "post-restart WAL records were skipped as already-applied";
 }
 
+TEST_F(DurabilityTest, RestoringForeignSnapshotOverLiveWalIsRefused) {
+  NewPaths("lineage");
+  // Engine A: its own WAL and snapshot (the snapshot records WAL A's
+  // lineage id).
+  const std::string foreign_snapshot = snapshot_path_ + ".foreign";
+  const std::string foreign_wal = foreign_snapshot + ".wal";
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(foreign_wal).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    ASSERT_TRUE(engine->SaveState(foreign_snapshot).ok());
+  }
+  // Engine B: a different WAL with its own un-snapshotted tail.
+  auto engine = NewEngine();
+  ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+  Click(*engine, 0, queries_[1], 2, 93.0625);
+  const Signature before = Capture(*engine, {0, 1});
+
+  // `load <other-path>` used to load A's snapshot and then replay B's
+  // WAL tail on top of it — state from two unrelated histories spliced
+  // together because sequence numbers happened to line up. The lineage
+  // id pairs each snapshot with its WAL; a mismatch is refused before
+  // any state is touched.
+  const Status status = engine->RestoreState(foreign_snapshot);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  EXPECT_TRUE(Capture(*engine, {0, 1}) == before)
+      << "refused restore must leave the engine untouched";
+
+  // Restoring A's snapshot alongside A's own WAL stays legal.
+  auto fresh = NewEngine();
+  ASSERT_TRUE(fresh->EnableWal(foreign_wal).ok());
+  EXPECT_TRUE(fresh->RestoreState(foreign_snapshot).ok());
+
+  std::remove(foreign_snapshot.c_str());
+  std::remove(foreign_wal.c_str());
+}
+
 TEST_F(DurabilityTest, QueriesWithLineBreaksSurviveRestart) {
   NewPaths("linebreaks");
   // Queries are arbitrary caller-supplied strings; line breaks and

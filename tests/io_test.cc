@@ -555,9 +555,10 @@ TEST_F(WalTest, CorruptMidFileFrameLosesOnlyThatRecord) {
   }
   auto contents = ReadFileToString(path);
   ASSERT_TRUE(contents.ok());
-  // Flip a payload byte inside the second frame (16-byte header + body).
+  // Flip a payload byte inside the second frame (16-byte lineage header,
+  // then per-frame 16-byte header + body).
   std::string corrupted = *contents;
-  corrupted[16 + first.size() + 16 + 3] ^= 0x40;
+  corrupted[16 + 16 + first.size() + 16 + 3] ^= 0x40;
   ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
   const auto replay = WriteAheadLog::Replay(path);
   ASSERT_TRUE(replay.ok());
@@ -582,11 +583,12 @@ TEST_F(WalTest, CorruptLengthFieldLosesOnlyThatRecord) {
   }
   auto contents = ReadFileToString(path);
   ASSERT_TRUE(contents.ok());
-  // Flip a bit in the second frame's payload_len field. The CRC covers
-  // the length, so the frame fails its checksum instead of silently
-  // misframing — and resync still reaches the third record.
+  // Flip a bit in the second frame's payload_len field (the second frame
+  // starts after the 16-byte lineage header and the first frame). The
+  // CRC covers the length, so the frame fails its checksum instead of
+  // silently misframing — and resync still reaches the third record.
   std::string corrupted = *contents;
-  corrupted[16 + first.size()] ^= 0x04;
+  corrupted[16 + 16 + first.size()] ^= 0x04;
   ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
   const auto replay = WriteAheadLog::Replay(path);
   ASSERT_TRUE(replay.ok());
@@ -671,14 +673,15 @@ TEST_F(WalTest, EnsureSeqAtLeastKeepsSequenceAheadOfTruncatedHistory) {
 
 TEST_F(WalTest, CreatingNewLogSyncsItsDirectoryEntry) {
   const std::string path = NewPath("wal_dirsync.log");
-  // Creating a fresh, empty log crosses exactly one hooked boundary:
-  // the parent-directory fsync that makes the new file itself durable.
+  // Creating a fresh, empty log crosses exactly three hooked boundaries:
+  // the parent-directory fsync that makes the new file itself durable,
+  // then the write + fsync of the lineage header.
   FileFaultInjector::Global().Arm(-1, /*crash=*/false);  // Count only.
   {
     auto wal = WriteAheadLog::Open(path);
     ASSERT_TRUE(wal.ok()) << wal.status();
   }
-  EXPECT_EQ(FileFaultInjector::Global().ops_seen(), 1);
+  EXPECT_EQ(FileFaultInjector::Global().ops_seen(), 3);
   // Reopening an existing log crosses none.
   FileFaultInjector::Global().Arm(-1, /*crash=*/false);
   {

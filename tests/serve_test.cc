@@ -1,0 +1,366 @@
+// Serving front end: wire protocol codec round trips, and socket-level
+// tests of the full server — an ephemeral-port listener driven by real
+// client connections, checked for bit-identical rankings against direct
+// engine calls, correct click/train plumbing, durable restart, and a
+// graceful drain on Stop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket_io.h"
+#include "util/string_util.h"
+
+namespace pws::serve {
+namespace {
+
+// ---------- Protocol codec ----------
+
+TEST(ProtocolTest, ServeRequestRoundTrips) {
+  Request request;
+  request.type = RequestType::kServe;
+  request.user = 7;
+  request.limit = 10;
+  request.query = "coffee near pier 39";
+  const Request parsed = ParseRequest(FormatRequest(request));
+  EXPECT_EQ(parsed.type, RequestType::kServe);
+  EXPECT_EQ(parsed.user, 7);
+  EXPECT_EQ(parsed.limit, 10);
+  EXPECT_EQ(parsed.query, request.query);
+}
+
+TEST(ProtocolTest, ClickRequestRoundTrips) {
+  Request request;
+  request.type = RequestType::kClick;
+  request.user = 3;
+  request.position = 2;
+  request.query = "sushi";
+  const Request parsed = ParseRequest(FormatRequest(request));
+  EXPECT_EQ(parsed.type, RequestType::kClick);
+  EXPECT_EQ(parsed.user, 3);
+  EXPECT_EQ(parsed.position, 2);
+  EXPECT_EQ(parsed.query, "sushi");
+}
+
+TEST(ProtocolTest, QueryKeepsEmbeddedTabs) {
+  Request request;
+  request.type = RequestType::kServe;
+  request.user = 0;
+  request.limit = 0;
+  request.query = "odd\tquery\twith tabs";
+  EXPECT_EQ(ParseRequest(FormatRequest(request)).query, request.query);
+}
+
+TEST(ProtocolTest, BareVerbsRoundTrip) {
+  for (const RequestType type :
+       {RequestType::kTrainAll, RequestType::kSave, RequestType::kMetrics,
+        RequestType::kQueries, RequestType::kPing, RequestType::kShutdown}) {
+    Request request;
+    request.type = type;
+    EXPECT_EQ(ParseRequest(FormatRequest(request)).type, type) << static_cast<int>(type);
+  }
+}
+
+TEST(ProtocolTest, MalformedRequestsParseAsInvalid) {
+  for (const char* line :
+       {"", "bogus", "serve", "serve\tx\t5\tq", "serve\t1\tfive\tq",
+        "serve\t1\t5", "click\t1\t0\tq", "train", "train\tx",
+        "train\t1\textra", "ping\textra", "serve\t 1\t5\tq"}) {
+    EXPECT_EQ(ParseRequest(line).type, RequestType::kInvalid) << line;
+  }
+}
+
+TEST(ProtocolTest, RepliesRoundTrip) {
+  const Reply ok = ParseReply(FormatOkReply("serve", {"0.5", "1,2,3"}));
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.verb_or_code, "serve");
+  ASSERT_EQ(ok.fields.size(), 2u);
+  EXPECT_EQ(ok.fields[1], "1,2,3");
+
+  const Reply err = ParseReply(FormatErrReply("overloaded", "queue\nfull"));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.verb_or_code, "overloaded");
+  ASSERT_EQ(err.fields.size(), 1u);
+  EXPECT_EQ(UnescapeLineBreaks(err.fields[0]), "queue\nfull");
+
+  EXPECT_EQ(ParseReply("gibberish").verb_or_code, "malformed");
+  EXPECT_FALSE(ParseReply("gibberish").ok);
+}
+
+TEST(ProtocolTest, DocIdsRoundTrip) {
+  const std::vector<corpus::DocId> docs = {5, 0, 991, 7};
+  std::vector<corpus::DocId> decoded;
+  ASSERT_TRUE(DecodeDocIds(EncodeDocIds(docs), &decoded));
+  EXPECT_EQ(decoded, docs);
+  ASSERT_TRUE(DecodeDocIds("", &decoded));
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_FALSE(DecodeDocIds("1,x", &decoded));
+}
+
+// ---------- Socket-level server ----------
+
+/// Blocking request/reply client over one connection.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    StatusOr<int> fd = ConnectToLoopback(port);
+    if (fd.ok()) channel_ = std::make_unique<LineChannel>(*fd);
+  }
+
+  bool connected() const { return channel_ != nullptr; }
+
+  Reply Call(const Request& request) {
+    Reply failed;
+    failed.verb_or_code = "transport";
+    if (channel_ == nullptr) return failed;
+    if (!channel_->WriteLine(FormatRequest(request)).ok()) return failed;
+    std::string line;
+    if (!channel_->ReadLine(&line)) return failed;
+    return ParseReply(line);
+  }
+
+  Reply Serve(int64_t user, const std::string& query) {
+    Request request;
+    request.type = RequestType::kServe;
+    request.user = user;
+    request.query = query;
+    return Call(request);
+  }
+
+  Reply Click(int64_t user, const std::string& query, int64_t position) {
+    Request request;
+    request.type = RequestType::kClick;
+    request.user = user;
+    request.position = position;
+    request.query = query;
+    return Call(request);
+  }
+
+ private:
+  std::unique_ptr<LineChannel> channel_;
+};
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 23;
+    config.num_topics = 6;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 4;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+    for (int i = 0; i < 6; ++i) {
+      queries_.push_back(world_->queries()[i * 2].text);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    queries_.clear();
+  }
+
+  static std::unique_ptr<core::PwsEngine> NewEngine() {
+    core::EngineOptions options;
+    return std::make_unique<core::PwsEngine>(&world_->search_backend(),
+                                             &world_->ontology(), options);
+  }
+
+  /// Doc ids of the page `engine` serves directly, in shown order.
+  static std::vector<corpus::DocId> DirectServe(core::PwsEngine& engine,
+                                                click::UserId user,
+                                                const std::string& query) {
+    engine.RegisterUser(user);
+    const core::PersonalizedPage page = engine.Serve(user, query);
+    std::vector<corpus::DocId> docs;
+    for (const int backend_index : page.order) {
+      docs.push_back(page.backend_page().results[backend_index].doc);
+    }
+    return docs;
+  }
+
+  static eval::World* world_;
+  static std::vector<std::string> queries_;
+};
+
+eval::World* ServeTest::world_ = nullptr;
+std::vector<std::string> ServeTest::queries_;
+
+TEST_F(ServeTest, ServedRankingsAreBitIdenticalToDirectEngineCalls) {
+  auto server_engine = NewEngine();
+  ServerOptions options;
+  options.num_workers = 3;
+  PwsServer server(server_engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // A twin engine, built identically, never touched by the server.
+  auto direct_engine = NewEngine();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (click::UserId user = 0; user < 3; ++user) {
+    for (const std::string& query : queries_) {
+      const Reply reply = client.Serve(user, query);
+      ASSERT_TRUE(reply.ok) << reply.verb_or_code;
+      ASSERT_EQ(reply.fields.size(), 2u);
+      std::vector<corpus::DocId> served;
+      ASSERT_TRUE(DecodeDocIds(reply.fields[1], &served));
+      EXPECT_EQ(served, DirectServe(*direct_engine, user, query))
+          << "user " << user << " query " << query;
+    }
+  }
+  server.Stop();
+}
+
+TEST_F(ServeTest, ClicksObserveAndTrainingStaysBitIdentical) {
+  auto server_engine = NewEngine();
+  ServerOptions options;
+  options.num_workers = 2;
+  PwsServer server(server_engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto direct_engine = NewEngine();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Same clicks through the socket and directly; then train both ways.
+  const click::UserId user = 1;
+  direct_engine->RegisterUser(user);
+  for (int i = 0; i < 3; ++i) {
+    const Reply reply = client.Click(user, queries_[i], /*position=*/2);
+    ASSERT_TRUE(reply.ok) << reply.verb_or_code;
+    const core::PersonalizedPage page =
+        direct_engine->Serve(user, queries_[i]);
+    ASSERT_GE(page.order.size(), 2u);
+    direct_engine->Observe(user, page,
+                           BuildSatisfiedClickRecord(user, page, 2));
+  }
+  EXPECT_EQ(server_engine->training_pair_count(user),
+            direct_engine->training_pair_count(user));
+  EXPECT_GT(direct_engine->training_pair_count(user), 0);
+
+  Request train;
+  train.type = RequestType::kTrain;
+  train.user = user;
+  const Reply trained = client.Call(train);
+  ASSERT_TRUE(trained.ok);
+  direct_engine->TrainUser(user);
+  EXPECT_EQ(server_engine->user_model(user).weights(),
+            direct_engine->user_model(user).weights());
+
+  // Post-training rankings still match through the socket.
+  for (const std::string& query : queries_) {
+    const Reply reply = client.Serve(user, query);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_EQ(reply.fields.size(), 2u);
+    std::vector<corpus::DocId> served;
+    ASSERT_TRUE(DecodeDocIds(reply.fields[1], &served));
+    EXPECT_EQ(served, DirectServe(*direct_engine, user, query)) << query;
+  }
+  server.Stop();
+}
+
+TEST_F(ServeTest, StopDrainsInFlightRequestsAndRepliesToAll) {
+  auto engine = NewEngine();
+  ServerOptions options;
+  options.num_workers = 2;
+  PwsServer server(engine.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Several clients hammer serves while the main thread stops the
+  // server. Every request that got a reply must have gotten a well-
+  // formed one (ok or a structured shed/unavailable error) — never a
+  // torn line, never a crash.
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_replies{0};
+  std::atomic<int> structured_errors{0};
+  std::atomic<int> malformed{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      if (!client.connected()) return;
+      for (int i = 0; i < 200; ++i) {
+        const Reply reply =
+            client.Serve(c, queries_[static_cast<size_t>(i) % queries_.size()]);
+        if (reply.verb_or_code == "transport") return;  // Drained: EOF.
+        if (reply.ok) {
+          ++ok_replies;
+        } else if (reply.verb_or_code == "malformed") {
+          ++malformed;
+        } else {
+          ++structured_errors;
+        }
+      }
+    });
+  }
+  // Let some traffic through, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+  for (auto& client : clients) client.join();
+  EXPECT_GT(ok_replies.load(), 0);
+  EXPECT_EQ(malformed.load(), 0);
+
+  // The listener is gone: new connections fail.
+  TestClient late(server.port());
+  Reply reply = late.Serve(0, queries_[0]);
+  EXPECT_FALSE(reply.ok);
+}
+
+TEST_F(ServeTest, ShutdownVerbWakesTheWaiter) {
+  auto engine = NewEngine();
+  PwsServer server(engine.get(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.WaitShutdownRequested(/*poll_ms=*/10));
+  TestClient client(server.port());
+  Request request;
+  request.type = RequestType::kShutdown;
+  const Reply reply = client.Call(request);
+  EXPECT_TRUE(reply.ok);
+  // Generous poll: the reply races the flag only by microseconds.
+  EXPECT_TRUE(server.WaitShutdownRequested(/*poll_ms=*/5000));
+  server.Stop();
+}
+
+TEST_F(ServeTest, StateSurvivesServerRestart) {
+  const std::string state = ::testing::TempDir() + "/pws_serve_state";
+  const std::string wal = state + ".wal";
+  std::remove(state.c_str());
+  std::remove(wal.c_str());
+
+  int pairs_before = 0;
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal).ok());
+    ASSERT_TRUE(engine->RestoreState(state).ok());
+    ServerOptions options;
+    options.state_path = state;
+    PwsServer server(engine.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.Click(0, queries_[0], 1).ok);
+    ASSERT_TRUE(client.Click(0, queries_[1], 2).ok);
+    pairs_before = engine->training_pair_count(0);
+    EXPECT_GT(pairs_before, 0);
+    server.Stop();  // Writes the final snapshot.
+  }
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal).ok());
+    ASSERT_TRUE(engine->RestoreState(state).ok());
+    EXPECT_EQ(engine->training_pair_count(0), pairs_before);
+  }
+  std::remove(state.c_str());
+  std::remove(wal.c_str());
+}
+
+}  // namespace
+}  // namespace pws::serve

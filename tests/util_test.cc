@@ -276,12 +276,47 @@ TEST(StringTest, ParseInt64) {
   EXPECT_FALSE(ParseInt64("", &v));
 }
 
+TEST(StringTest, ParseInt64RejectsSurroundingWhitespaceSymmetrically) {
+  // sscanf skips leading whitespace, so "\t42" used to parse while
+  // "42 " was rejected — an asymmetry that let padded fields slip
+  // through strict parsers on one side only.
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64(" 42", &v));
+  EXPECT_FALSE(ParseInt64("\t42", &v));
+  EXPECT_FALSE(ParseInt64("\n42", &v));
+  EXPECT_FALSE(ParseInt64("42 ", &v));
+  EXPECT_FALSE(ParseInt64("42\t", &v));
+}
+
 TEST(StringTest, ParseDouble) {
   double v = 0.0;
   EXPECT_TRUE(ParseDouble("2.5", &v));
   EXPECT_DOUBLE_EQ(v, 2.5);
   EXPECT_FALSE(ParseDouble("abc", &v));
   EXPECT_FALSE(ParseDouble("1.5junk", &v));
+}
+
+TEST(StringTest, ParseDoubleRejectsSurroundingWhitespaceSymmetrically) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble(" 2.5", &v));
+  EXPECT_FALSE(ParseDouble("\t2.5", &v));
+  EXPECT_FALSE(ParseDouble("2.5 ", &v));
+}
+
+TEST(StringTest, ParseDoubleRejectsNonFiniteValues) {
+  // Every consumer of ParseDouble (weights, scores, flags) requires a
+  // finite value; "nan"/"inf" sneaking through %lf poisoned downstream
+  // arithmetic instead of failing at the parse boundary.
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("NaN", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+  EXPECT_FALSE(ParseDouble("-inf", &v));
+  EXPECT_FALSE(ParseDouble("infinity", &v));
+  EXPECT_FALSE(ParseDouble("1e999", &v));  // Overflows to +inf.
+  // Finite hex floats (printf %a round trips) still parse.
+  EXPECT_TRUE(ParseDouble("0x1.8p+1", &v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
 }
 
 // ---------- Math ----------

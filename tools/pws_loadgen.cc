@@ -1,0 +1,360 @@
+// Load generator for the pws_serve front end: drives serve/click
+// traffic with Zipfian query and user skew over the server's own query
+// pool, in two modes run back to back:
+//
+//   closed loop  — N concurrent connections, each issuing the next
+//                  request the moment the previous reply lands. Measures
+//                  the server's throughput ceiling and per-request
+//                  service latency.
+//   open loop    — requests arrive on a Poisson process at --open-rps,
+//                  independent of completions. Latency is measured from
+//                  the *scheduled* arrival time, so client-side queueing
+//                  behind a saturated server counts against the SLO
+//                  (coordinated omission is not hidden).
+//
+// Reports exact client-side p50/p95/p99 (sorted samples, not bucket
+// interpolation) plus the server's own per-stage histograms fetched via
+// the `metrics` verb, and writes everything as JSON to --metrics-out.
+//
+// Run:  ./build/pws_loadgen --port=N [--connections=8] [--requests=2000]
+//           [--open-rps=200] [--open-duration-s=10] [--zipf-s=1.1]
+//           [--users=16] [--click-rate=0.1] [--seed=1]
+//           [--metrics-out=BENCH_SERVE.json] [--shutdown]
+//
+// --shutdown sends the server the `shutdown` verb after the run — the
+// CI smoke uses it to exercise the graceful drain path end to end.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "util/arg_parser.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace pws;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One client connection speaking the line protocol.
+class Client {
+ public:
+  static std::unique_ptr<Client> Connect(int port) {
+    StatusOr<int> fd = serve::ConnectToLoopback(port);
+    if (!fd.ok()) {
+      std::cerr << "connect failed: " << fd.status() << "\n";
+      return nullptr;
+    }
+    return std::unique_ptr<Client>(new Client(*fd));
+  }
+
+  /// Sends one request and blocks for its reply. Returns false on a
+  /// transport failure (reply errors still return true; the caller
+  /// inspects reply.ok).
+  bool Call(const serve::Request& request, serve::Reply* reply) {
+    if (!channel_.WriteLine(serve::FormatRequest(request)).ok()) return false;
+    std::string line;
+    if (!channel_.ReadLine(&line)) return false;
+    *reply = serve::ParseReply(line);
+    return true;
+  }
+
+ private:
+  explicit Client(int fd) : channel_(fd) {}
+  serve::LineChannel channel_;
+};
+
+struct WorkloadConfig {
+  int port = 0;
+  int connections = 8;
+  double zipf_s = 1.1;
+  int users = 16;
+  double click_rate = 0.1;
+  uint64_t seed = 1;
+  std::vector<std::string> queries;
+};
+
+/// Samples one request: Zipf-skewed user and query, occasionally a
+/// click at a Zipf-skewed position instead of a plain serve.
+serve::Request SampleRequest(const WorkloadConfig& config, Random& rng) {
+  serve::Request request;
+  request.user = rng.Zipf(config.users, config.zipf_s);
+  request.query =
+      config.queries[rng.Zipf(static_cast<int>(config.queries.size()),
+                              config.zipf_s)];
+  if (rng.Bernoulli(config.click_rate)) {
+    request.type = serve::RequestType::kClick;
+    request.position = 1 + rng.Zipf(10, 1.0);
+  } else {
+    request.type = serve::RequestType::kServe;
+    request.limit = 10;
+  }
+  return request;
+}
+
+struct LoopStats {
+  std::vector<double> latencies_us;  // Successful requests only.
+  int64_t sent = 0;
+  int64_t errors = 0;     // err replies (overloaded, bad_request, ...).
+  int64_t transport = 0;  // Connection-level failures.
+  double wall_s = 0;
+
+  void Merge(const LoopStats& other) {
+    latencies_us.insert(latencies_us.end(), other.latencies_us.begin(),
+                        other.latencies_us.end());
+    sent += other.sent;
+    errors += other.errors;
+    transport += other.transport;
+  }
+};
+
+double ExactPercentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Closed loop: every worker keeps exactly one request in flight.
+LoopStats RunClosedLoop(const WorkloadConfig& config, int total_requests) {
+  std::atomic<int> next{0};
+  std::vector<LoopStats> per_worker(config.connections);
+  std::vector<std::thread> workers;
+  const auto start = Clock::now();
+  for (int w = 0; w < config.connections; ++w) {
+    workers.emplace_back([&, w] {
+      auto client = Client::Connect(config.port);
+      if (client == nullptr) return;
+      Random rng(config.seed * 7919 + static_cast<uint64_t>(w));
+      LoopStats& stats = per_worker[w];
+      while (next.fetch_add(1) < total_requests) {
+        const serve::Request request = SampleRequest(config, rng);
+        const auto t0 = Clock::now();
+        serve::Reply reply;
+        ++stats.sent;
+        if (!client->Call(request, &reply)) {
+          ++stats.transport;
+          return;  // Connection is gone; this worker retires.
+        }
+        if (reply.ok) {
+          stats.latencies_us.push_back(SecondsSince(t0) * 1e6);
+        } else {
+          ++stats.errors;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  LoopStats merged;
+  for (auto& stats : per_worker) merged.Merge(stats);
+  merged.wall_s = SecondsSince(start);
+  return merged;
+}
+
+/// Open loop: arrival times are drawn from a Poisson process up front;
+/// workers race to claim the next arrival, sleep until it is due, and
+/// measure latency from the *scheduled* arrival — a server that cannot
+/// keep up shows the backlog in its tail latency instead of silently
+/// slowing the generator down.
+LoopStats RunOpenLoop(const WorkloadConfig& config, double rps,
+                      double duration_s) {
+  std::vector<double> arrivals_s;
+  {
+    Random rng(config.seed ^ 0x09e11ULL);
+    double t = 0;
+    while (true) {
+      t += rng.Exponential(rps);
+      if (t > duration_s) break;
+      arrivals_s.push_back(t);
+    }
+  }
+  std::atomic<size_t> next{0};
+  std::vector<LoopStats> per_worker(config.connections);
+  std::vector<std::thread> workers;
+  const auto start = Clock::now();
+  for (int w = 0; w < config.connections; ++w) {
+    workers.emplace_back([&, w] {
+      auto client = Client::Connect(config.port);
+      if (client == nullptr) return;
+      Random rng(config.seed * 104729 + static_cast<uint64_t>(w));
+      LoopStats& stats = per_worker[w];
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= arrivals_s.size()) return;
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrivals_s[i]));
+        std::this_thread::sleep_until(due);
+        const serve::Request request = SampleRequest(config, rng);
+        serve::Reply reply;
+        ++stats.sent;
+        if (!client->Call(request, &reply)) {
+          ++stats.transport;
+          return;
+        }
+        if (reply.ok) {
+          stats.latencies_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - due)
+                  .count());
+        } else {
+          ++stats.errors;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  LoopStats merged;
+  for (auto& stats : per_worker) merged.Merge(stats);
+  merged.wall_s = SecondsSince(start);
+  return merged;
+}
+
+std::string LoopStatsJson(LoopStats& stats) {
+  std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
+  std::string json = "{";
+  json += "\"requests\": " + std::to_string(stats.sent);
+  json += ", \"ok\": " + std::to_string(stats.latencies_us.size());
+  json += ", \"errors\": " + std::to_string(stats.errors);
+  json += ", \"transport_failures\": " + std::to_string(stats.transport);
+  json += ", \"wall_s\": " + FormatDouble(stats.wall_s, 3);
+  json += ", \"throughput_rps\": " +
+          FormatDouble(stats.wall_s > 0
+                           ? static_cast<double>(stats.sent) / stats.wall_s
+                           : 0,
+                       1);
+  json += ", \"latency_us\": {";
+  json += "\"p50\": " + FormatDouble(ExactPercentile(stats.latencies_us, 50), 1);
+  json += ", \"p95\": " + FormatDouble(ExactPercentile(stats.latencies_us, 95), 1);
+  json += ", \"p99\": " + FormatDouble(ExactPercentile(stats.latencies_us, 99), 1);
+  json += ", \"max\": " +
+          FormatDouble(stats.latencies_us.empty() ? 0
+                                                  : stats.latencies_us.back(),
+                       1);
+  json += "}}";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  WorkloadConfig config;
+  config.port = static_cast<int>(args.GetInt("port", 0));
+  if (config.port <= 0) {
+    std::cerr << "usage: pws_loadgen --port=N [--connections=8] "
+                 "[--requests=2000] [--open-rps=200] [--open-duration-s=10] "
+                 "[--zipf-s=1.1] [--users=16] [--click-rate=0.1] [--seed=1] "
+                 "[--metrics-out=PATH]\n";
+    return 2;
+  }
+  config.connections = static_cast<int>(args.GetInt("connections", 8));
+  config.zipf_s = args.GetDouble("zipf-s", 1.1);
+  config.users = static_cast<int>(args.GetInt("users", 16));
+  config.click_rate = args.GetDouble("click-rate", 0.1);
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const int closed_requests = static_cast<int>(args.GetInt("requests", 2000));
+  const double open_rps = args.GetDouble("open-rps", 200.0);
+  const double open_duration_s = args.GetDouble("open-duration-s", 10.0);
+  const std::string metrics_out = args.GetString("metrics-out", "");
+
+  // The server owns the query pool; fetch it instead of rebuilding the
+  // world client-side.
+  auto control = Client::Connect(config.port);
+  if (control == nullptr) return 1;
+  {
+    serve::Request request;
+    request.type = serve::RequestType::kQueries;
+    serve::Reply reply;
+    if (!control->Call(request, &reply) || !reply.ok ||
+        reply.fields.size() < 2) {
+      std::cerr << "cannot fetch query pool from server\n";
+      return 1;
+    }
+    for (const std::string& query :
+         SplitLines(UnescapeLineBreaks(reply.fields[1]))) {
+      if (!query.empty()) config.queries.push_back(query);
+    }
+  }
+  if (config.queries.empty()) {
+    std::cerr << "server returned an empty query pool\n";
+    return 1;
+  }
+  std::cerr << "query pool: " << config.queries.size() << " queries; "
+            << config.users << " users; zipf s=" << config.zipf_s << "\n";
+
+  std::cerr << "closed loop: " << closed_requests << " requests over "
+            << config.connections << " connections...\n";
+  LoopStats closed = RunClosedLoop(config, closed_requests);
+
+  std::cerr << "open loop: " << open_rps << " rps for " << open_duration_s
+            << "s...\n";
+  LoopStats open = RunOpenLoop(config, open_rps, open_duration_s);
+
+  // The server's own per-stage view (engine stage histograms plus the
+  // serve.* queue metrics), percentiles included.
+  std::string server_metrics = "{}";
+  {
+    serve::Request request;
+    request.type = serve::RequestType::kMetrics;
+    serve::Reply reply;
+    if (control->Call(request, &reply) && reply.ok && !reply.fields.empty()) {
+      server_metrics = UnescapeLineBreaks(reply.fields[0]);
+    } else {
+      std::cerr << "warning: cannot fetch server metrics\n";
+    }
+  }
+
+  std::string json = "{\n  \"config\": {";
+  json += "\"connections\": " + std::to_string(config.connections);
+  json += ", \"users\": " + std::to_string(config.users);
+  json += ", \"queries\": " + std::to_string(config.queries.size());
+  json += ", \"zipf_s\": " + FormatDouble(config.zipf_s, 2);
+  json += ", \"click_rate\": " + FormatDouble(config.click_rate, 2);
+  json += ", \"closed_requests\": " + std::to_string(closed_requests);
+  json += ", \"open_rps\": " + FormatDouble(open_rps, 1);
+  json += ", \"open_duration_s\": " + FormatDouble(open_duration_s, 1);
+  json += ", \"seed\": " + std::to_string(config.seed);
+  json += "},\n  \"closed\": " + LoopStatsJson(closed);
+  json += ",\n  \"open\": " + LoopStatsJson(open);
+  json += ",\n  \"server_metrics\": " + server_metrics;
+  json += "\n}\n";
+
+  std::cout << "closed: " << LoopStatsJson(closed) << "\n";
+  std::cout << "open:   " << LoopStatsJson(open) << "\n";
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << json;
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
+  if (args.GetBool("shutdown", false)) {
+    serve::Request request;
+    request.type = serve::RequestType::kShutdown;
+    serve::Reply reply;
+    if (!control->Call(request, &reply) || !reply.ok) {
+      std::cerr << "shutdown request failed\n";
+      return 1;
+    }
+    std::cerr << "sent shutdown\n";
+  }
+  return 0;
+}

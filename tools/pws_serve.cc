@@ -1,0 +1,111 @@
+// The persistent serving front end: builds the synthetic world, wraps
+// the personalization engine in a multi-threaded loopback TCP server
+// speaking the line protocol of src/serve/protocol.h, and serves until
+// a client sends `shutdown` or the process gets SIGINT/SIGTERM. Either
+// way the exit is a drain, not an abort: admitted requests finish,
+// their replies go out, and a final state snapshot is written.
+//
+// Run:  ./build/pws_serve [--port=N] [--workers=N] [--queue-capacity=N]
+//                         [--docs=N] [--users=N] [--seed=N]
+//                         [--state=PATH] [--snapshot-every-s=SECONDS]
+//                         [--log-level=LEVEL]
+//
+// --state=PATH turns on durability: mutations are WAL-logged as they
+// happen, the server snapshots periodically (--snapshot-every-s) and at
+// shutdown, and a restart with the same --state restores the snapshot
+// and replays the WAL tail before accepting traffic (DESIGN.md §12).
+//
+// Poke it by hand:  printf 'serve\t0\t5\tcoffee seattle\n' | nc 127.0.0.1 PORT
+
+#include <csignal>
+#include <iostream>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "serve/server.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signal) { g_signal = signal; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  ArgParser args(argc, argv);
+  const std::string log_level = args.GetString("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::cerr << "invalid --log-level '" << log_level
+                << "' (want debug|info|warning|error)\n";
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+
+  eval::WorldConfig config;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.corpus.num_documents = static_cast<int>(args.GetInt("docs", 8000));
+  config.users.num_users = static_cast<int>(args.GetInt("users", 16));
+  config.backend.page_size = 30;
+  std::cerr << "building world (" << config.corpus.num_documents
+            << " docs)...\n";
+  eval::World world(config);
+
+  core::EngineOptions options;
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+  for (int u = 0; u < config.users.num_users; ++u) {
+    engine.RegisterUser(u);
+  }
+
+  const std::string state_path = args.GetString("state", "");
+  if (!state_path.empty()) {
+    if (const Status status = engine.EnableWal(state_path + ".wal");
+        !status.ok()) {
+      std::cerr << "cannot open WAL " << state_path << ".wal: " << status
+                << "\n";
+      return 1;
+    }
+    if (const Status status = engine.RestoreState(state_path); !status.ok()) {
+      std::cerr << "cannot restore state from " << state_path << ": "
+                << status << "\n";
+      return 1;
+    }
+    std::cerr << "durability on: state=" << state_path << " wal="
+              << state_path << ".wal\n";
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<int>(args.GetInt("port", 0));
+  server_options.num_workers = static_cast<int>(args.GetInt("workers", 4));
+  server_options.queue_capacity =
+      static_cast<int>(args.GetInt("queue-capacity", 256));
+  server_options.state_path = state_path;
+  server_options.snapshot_every_s = args.GetDouble("snapshot-every-s", 0.0);
+  server_options.query_pool.reserve(world.queries().size());
+  for (const auto& intent : world.queries()) {
+    server_options.query_pool.push_back(intent.text);
+  }
+
+  serve::PwsServer server(&engine, server_options);
+  if (const Status status = server.Start(); !status.ok()) {
+    std::cerr << "cannot start server: " << status << "\n";
+    return 1;
+  }
+  // stdout so scripts can scrape the ephemeral port; logs go to stderr.
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0 && !server.WaitShutdownRequested(/*poll_ms=*/200)) {
+  }
+  std::cerr << (g_signal != 0 ? "signal received" : "shutdown requested")
+            << "; draining...\n";
+  server.Stop();
+  return 0;
+}
