@@ -9,6 +9,7 @@
 #include "eval/harness.h"
 #include "eval/world.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/arg_parser.h"
 #include "util/file_util.h"
 #include "util/logging.h"
@@ -91,8 +92,10 @@ inline void MaybeExportMetrics(std::ostream& os, const BenchConfig& config) {
       obs::MetricsRegistry::Global().Snapshot();
   os << "\n=== metrics (" << config.metrics_out << ") ===\n"
      << snapshot.ToText();
+  // The shared obs writer — the same document shape the server's
+  // `metrics` verb and `pws_cli metrics json` produce.
   const Status status =
-      WriteStringToFile(config.metrics_out, snapshot.ToJson());
+      WriteStringToFile(config.metrics_out, obs::GlobalMetricsJson());
   if (status.ok()) {
     os << "[metrics] JSON snapshot written to " << config.metrics_out
        << "\n";

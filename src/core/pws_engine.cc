@@ -387,8 +387,11 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
 
   // The page carries its query's content ontology, so similarity
   // spreading works even after the analysis was evicted from the cache.
-  state.profile->ObserveImpression(record, shown, page.content_ontology(),
-                                   options_.profile_update);
+  {
+    PWS_SPAN("engine.observe.profile");
+    state.profile->ObserveImpression(record, shown, page.content_ontology(),
+                                     options_.profile_update);
+  }
 
   // Entropy bookkeeping over clicked results.
   const int qid = QueryIdOf(page.backend_page().query);
@@ -404,20 +407,24 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
   // Preference pairs, stored symbolically (features are recomputed with
   // the current profile at training time). The ring overwrites the
   // oldest pair once the per-user cap is reached.
-  const auto pairs = profile::MinePreferencePairs(record, options_.pair_mining);
-  if (!pairs.empty()) {
-    const std::string& query = page.backend_page().query;
-    auto [it, inserted] = state.pair_query_index.try_emplace(
-        query, static_cast<int32_t>(state.pair_queries.size()));
-    if (inserted) state.pair_queries.push_back(query);
-    const int32_t query_index = it->second;
-    for (const auto& pair : pairs) {
-      StoredPair stored;
-      stored.query_index = query_index;
-      stored.preferred_backend_index = page.order[pair.preferred_index];
-      stored.other_backend_index = page.order[pair.other_index];
-      stored.weight = pair.weight;
-      state.pairs->Push(stored);
+  {
+    PWS_SPAN("engine.observe.pairs");
+    const auto pairs =
+        profile::MinePreferencePairs(record, options_.pair_mining);
+    if (!pairs.empty()) {
+      const std::string& query = page.backend_page().query;
+      auto [it, inserted] = state.pair_query_index.try_emplace(
+          query, static_cast<int32_t>(state.pair_queries.size()));
+      if (inserted) state.pair_queries.push_back(query);
+      const int32_t query_index = it->second;
+      for (const auto& pair : pairs) {
+        StoredPair stored;
+        stored.query_index = query_index;
+        stored.preferred_backend_index = page.order[pair.preferred_index];
+        stored.other_backend_index = page.order[pair.other_index];
+        stored.weight = pair.weight;
+        state.pairs->Push(stored);
+      }
     }
   }
 
@@ -425,6 +432,7 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
   // at most this one event — recovery lands on the pre-observe state,
   // which is a state the engine really was in (old-or-new, never torn).
   if (wal_ != nullptr && !replaying_) {
+    PWS_SPAN("engine.observe.wal");
     // The engine's own (user, query) are authoritative for replay: the
     // caller may have left the record's copies unset.
     const Status status = wal_->Append(
@@ -444,46 +452,49 @@ double PwsEngine::TrainUser(click::UserId user) {
   // that query points at the copied rows. Chronological ForEach keeps
   // the pair order (and so the SGD shuffle walk) identical to the old
   // front-trimmed vector.
-  state.slab.Clear();
-  // The profile is fixed for the duration of this retrain: scan its
-  // weight maps for the feature normalizers once instead of per query.
-  ProfileNorms norms;
-  norms.content = std::max(1e-9, state.profile->MaxContentWeight());
-  norms.location = std::max(1e-9, state.profile->MaxLocationWeight());
-  std::vector<const double*> query_rows(state.pair_queries.size(), nullptr);
-  std::vector<int> query_row_counts(state.pair_queries.size(), 0);
   std::vector<ranking::TrainingPair> training_pairs;
-  training_pairs.reserve(state.pairs->size());
-  ranking::FeatureBlock scratch;
-  state.pairs->ForEach([&](const StoredPair& stored) {
-    const double*& rows = query_rows[stored.query_index];
-    if (rows == nullptr) {
-      const std::shared_ptr<const QueryAnalysis> analysis =
-          AnalyzeQuery(state.pair_queries[stored.query_index]);
-      ComputeFeaturesInto(*analysis, state, scratch, &norms);
-      rows = state.slab.CopyBlock(scratch);
-      query_row_counts[stored.query_index] = scratch.rows();
-    }
-    // Pairs restored from a snapshot may point past the current backend
-    // page (e.g. the corpus shrank between runs); drop them rather than
-    // read rows that do not exist.
-    const int row_count = query_row_counts[stored.query_index];
-    if (stored.preferred_backend_index >= row_count ||
-        stored.other_backend_index >= row_count) {
-      PWS_LOG(kWarning) << "dropping stored pair with out-of-range backend "
-                           "index for query '"
-                        << state.pair_queries[stored.query_index] << "'";
-      return;
-    }
-    ranking::TrainingPair pair;
-    pair.preferred =
-        rows + static_cast<size_t>(stored.preferred_backend_index) *
-                   ranking::kFeatureCount;
-    pair.other = rows + static_cast<size_t>(stored.other_backend_index) *
-                            ranking::kFeatureCount;
-    pair.weight = stored.weight;
-    training_pairs.push_back(pair);
-  });
+  {
+    PWS_SPAN("engine.train_user.features");
+    state.slab.Clear();
+    // The profile is fixed for the duration of this retrain: scan its
+    // weight maps for the feature normalizers once instead of per query.
+    ProfileNorms norms;
+    norms.content = std::max(1e-9, state.profile->MaxContentWeight());
+    norms.location = std::max(1e-9, state.profile->MaxLocationWeight());
+    std::vector<const double*> query_rows(state.pair_queries.size(), nullptr);
+    std::vector<int> query_row_counts(state.pair_queries.size(), 0);
+    training_pairs.reserve(state.pairs->size());
+    ranking::FeatureBlock scratch;
+    state.pairs->ForEach([&](const StoredPair& stored) {
+      const double*& rows = query_rows[stored.query_index];
+      if (rows == nullptr) {
+        const std::shared_ptr<const QueryAnalysis> analysis =
+            AnalyzeQuery(state.pair_queries[stored.query_index]);
+        ComputeFeaturesInto(*analysis, state, scratch, &norms);
+        rows = state.slab.CopyBlock(scratch);
+        query_row_counts[stored.query_index] = scratch.rows();
+      }
+      // Pairs restored from a snapshot may point past the current backend
+      // page (e.g. the corpus shrank between runs); drop them rather than
+      // read rows that do not exist.
+      const int row_count = query_row_counts[stored.query_index];
+      if (stored.preferred_backend_index >= row_count ||
+          stored.other_backend_index >= row_count) {
+        PWS_LOG(kWarning) << "dropping stored pair with out-of-range backend "
+                             "index for query '"
+                          << state.pair_queries[stored.query_index] << "'";
+        return;
+      }
+      ranking::TrainingPair pair;
+      pair.preferred =
+          rows + static_cast<size_t>(stored.preferred_backend_index) *
+                     ranking::kFeatureCount;
+      pair.other = rows + static_cast<size_t>(stored.other_backend_index) *
+                              ranking::kFeatureCount;
+      pair.weight = stored.weight;
+      training_pairs.push_back(pair);
+    });
+  }
   // Train a successor model off to the side and publish it atomically;
   // Train resets weights to the prior, so copying the snapshot only
   // carries over dimension and prior — results are bit-identical to

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 
@@ -32,23 +33,10 @@ std::string FormatNumber(double value) {
 // Metric names are dot-separated identifiers, but escape defensively so
 // the JSON stays well-formed for any name.
 void AppendJsonString(std::ostringstream& out, const std::string& text) {
-  out << '"';
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      default:
-        out << c;
-    }
-  }
-  out << '"';
+  std::string buffer = "\"";
+  AppendJsonEscaped(&buffer, text);
+  buffer.push_back('"');
+  out << buffer;
 }
 
 // Pads every column to its widest cell; headers underline-free to keep
@@ -75,6 +63,43 @@ std::string RenderAligned(const std::vector<std::vector<std::string>>& rows) {
 }
 
 }  // namespace
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
 
 uint64_t HistogramSnapshot::TotalCount() const {
   uint64_t total = 0;
@@ -172,6 +197,132 @@ void Histogram::Reset() {
   max_.store(0.0, std::memory_order_relaxed);
 }
 
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     int num_slots, int64_t slot_width_us)
+    : bounds_(std::move(bounds)),
+      num_slots_(std::max(1, num_slots)),
+      slot_width_us_(std::max<int64_t>(1, slot_width_us)) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (bounds_[i] >= bounds_[i + 1]) {
+      bounds_.clear();  // Defensive: fall back to a single overflow bucket.
+      break;
+    }
+  }
+  slots_.reset(new Slot[num_slots_]);
+  for (int s = 0; s < num_slots_; ++s) {
+    slots_[s].counts.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+    for (size_t i = 0; i <= bounds_.size(); ++i) slots_[s].counts[i].store(0);
+  }
+}
+
+WindowedHistogram::Slot& WindowedHistogram::SlotFor(int64_t window_index) {
+  Slot& slot = slots_[static_cast<size_t>(window_index) %
+                      static_cast<size_t>(num_slots_)];
+  if (slot.stamp.load(std::memory_order_acquire) != window_index) {
+    // Rotation edge: recycle the slot for the new window. The mutex only
+    // serializes the reset itself; recorders that raced past the stamp
+    // check land in whichever window owns the slot — one sample of skew
+    // at a window boundary, invisible at monitoring granularity.
+    std::lock_guard<std::mutex> lock(rotate_mutex_);
+    if (slot.stamp.load(std::memory_order_relaxed) != window_index) {
+      for (size_t i = 0; i <= bounds_.size(); ++i) {
+        slot.counts[i].store(0, std::memory_order_relaxed);
+      }
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.max.store(0.0, std::memory_order_relaxed);
+      slot.stamp.store(window_index, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void WindowedHistogram::Record(double value, int64_t now_us) {
+  Slot& slot = SlotFor(now_us / slot_width_us_);
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(slot.sum, value);
+  AtomicMax(slot.max, value);
+}
+
+HistogramSnapshot WindowedHistogram::Snapshot(int64_t now_us) const {
+  const int64_t current = now_us / slot_width_us_;
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (int s = 0; s < num_slots_; ++s) {
+    const Slot& slot = slots_[s];
+    const int64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    // Live sub-windows only: the current partial window plus complete
+    // predecessors still inside the window. Stale slots (left over from
+    // an idle stretch) and never-used slots are skipped.
+    if (stamp < 0 || stamp > current || stamp <= current - num_slots_) {
+      continue;
+    }
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snapshot.counts[i] += slot.counts[i].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += slot.sum.load(std::memory_order_relaxed);
+    snapshot.max =
+        std::max(snapshot.max, slot.max.load(std::memory_order_relaxed));
+  }
+  return snapshot;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(rotate_mutex_);
+  for (int s = 0; s < num_slots_; ++s) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      slots_[s].counts[i].store(0, std::memory_order_relaxed);
+    }
+    slots_[s].sum.store(0.0, std::memory_order_relaxed);
+    slots_[s].max.store(0.0, std::memory_order_relaxed);
+    slots_[s].stamp.store(-1, std::memory_order_relaxed);
+  }
+}
+
+WindowedCounter::WindowedCounter(int num_slots, int64_t slot_width_us)
+    : num_slots_(std::max(1, num_slots)),
+      slot_width_us_(std::max<int64_t>(1, slot_width_us)) {
+  slots_.reset(new Slot[num_slots_]);
+}
+
+void WindowedCounter::Increment(int64_t now_us, uint64_t n) {
+  const int64_t window_index = now_us / slot_width_us_;
+  Slot& slot = slots_[static_cast<size_t>(window_index) %
+                      static_cast<size_t>(num_slots_)];
+  if (slot.stamp.load(std::memory_order_acquire) != window_index) {
+    std::lock_guard<std::mutex> lock(rotate_mutex_);
+    if (slot.stamp.load(std::memory_order_relaxed) != window_index) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.stamp.store(window_index, std::memory_order_release);
+    }
+  }
+  slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t WindowedCounter::Sum(int64_t now_us) const {
+  const int64_t current = now_us / slot_width_us_;
+  uint64_t sum = 0;
+  for (int s = 0; s < num_slots_; ++s) {
+    const int64_t stamp = slots_[s].stamp.load(std::memory_order_acquire);
+    if (stamp < 0 || stamp > current || stamp <= current - num_slots_) {
+      continue;
+    }
+    sum += slots_[s].count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void WindowedCounter::Reset() {
+  std::lock_guard<std::mutex> lock(rotate_mutex_);
+  for (int s = 0; s < num_slots_; ++s) {
+    slots_[s].count.store(0, std::memory_order_relaxed);
+    slots_[s].stamp.store(-1, std::memory_order_relaxed);
+  }
+}
+
 void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
   for (const auto& [name, value] : other.counters) counters[name] += value;
   for (const auto& [name, gauge] : other.gauges) {
@@ -182,11 +333,23 @@ void RegistrySnapshot::Merge(const RegistrySnapshot& other) {
   for (const auto& [name, histogram] : other.histograms) {
     histograms[name].Merge(histogram);
   }
+  for (const auto& [name, window] : other.windowed) {
+    WindowedSnapshot& mine = windowed[name];
+    mine.window_s = std::max(mine.window_s, window.window_s);
+    mine.hist.Merge(window.hist);
+  }
 }
 
 std::string RegistrySnapshot::ToJson() const {
+  std::string out = "{\n";
+  AppendJsonSections(&out);
+  out += "\n}\n";
+  return out;
+}
+
+void RegistrySnapshot::AppendJsonSections(std::string* result) const {
   std::ostringstream out;
-  out << "{\n  \"counters\": {";
+  out << "  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
     out << (first ? "\n    " : ",\n    ");
@@ -227,8 +390,22 @@ std::string RegistrySnapshot::ToJson() const {
     out << "]}";
     first = false;
   }
-  out << "\n  }\n}\n";
-  return out.str();
+  out << "\n  },\n  \"windowed\": {";
+  first = true;
+  for (const auto& [name, window] : windowed) {
+    out << (first ? "\n    " : ",\n    ");
+    AppendJsonString(out, name);
+    out << ": {\"window_s\": " << FormatNumber(window.window_s)
+        << ", \"count\": " << window.hist.TotalCount()
+        << ", \"mean\": " << FormatNumber(window.hist.Mean())
+        << ", \"p50\": " << FormatNumber(window.hist.Percentile(50.0))
+        << ", \"p95\": " << FormatNumber(window.hist.Percentile(95.0))
+        << ", \"p99\": " << FormatNumber(window.hist.Percentile(99.0))
+        << ", \"max\": " << FormatNumber(window.hist.max) << "}";
+    first = false;
+  }
+  out << "\n  }";
+  *result += out.str();
 }
 
 std::string RegistrySnapshot::ToText() const {
@@ -244,6 +421,20 @@ std::string RegistrySnapshot::ToText() const {
                       FormatNumber(h.Percentile(99)), FormatNumber(h.max)});
     }
     out += RenderAligned(rows);
+  }
+  if (!windowed.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"windowed", "window_s", "count", "p50", "p95", "p99",
+                    "max"});
+    for (const auto& [name, w] : windowed) {
+      rows.push_back({name, FormatNumber(w.window_s),
+                      std::to_string(w.hist.TotalCount()),
+                      FormatNumber(w.hist.Percentile(50)),
+                      FormatNumber(w.hist.Percentile(95)),
+                      FormatNumber(w.hist.Percentile(99)),
+                      FormatNumber(w.hist.max)});
+    }
+    out += "\n" + RenderAligned(rows);
   }
   if (!counters.empty()) {
     std::vector<std::vector<std::string>> rows;
@@ -296,7 +487,23 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+WindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = windowed_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedHistogram>(
+        Histogram::DefaultLatencyBoundsUs(), WindowedHistogram::kDefaultSlots,
+        WindowedHistogram::kDefaultSlotWidthUs);
+  }
+  return slot.get();
+}
+
 RegistrySnapshot MetricsRegistry::Snapshot() const {
+  return Snapshot(SteadyNowUs());
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot(int64_t now_us) const {
   std::lock_guard<std::mutex> lock(mutex_);
   RegistrySnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
@@ -308,6 +515,11 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->Snapshot();
   }
+  for (const auto& [name, windowed] : windowed_) {
+    WindowedSnapshot& view = snapshot.windowed[name];
+    view.window_s = static_cast<double>(windowed->window_us()) / 1e6;
+    view.hist = windowed->Snapshot(now_us);
+  }
   return snapshot;
 }
 
@@ -316,6 +528,115 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, windowed] : windowed_) windowed->Reset();
+}
+
+// ---------- SloTracker ----------
+
+double SloTracker::Snapshot::WindowViolationRate() const {
+  return window_requests == 0 ? 0.0
+                              : static_cast<double>(window_violations) /
+                                    static_cast<double>(window_requests);
+}
+
+double SloTracker::Snapshot::WindowErrorRate() const {
+  return window_requests == 0 ? 0.0
+                              : static_cast<double>(window_errors) /
+                                    static_cast<double>(window_requests);
+}
+
+double SloTracker::Snapshot::WindowShedRate() const {
+  const uint64_t offered = window_requests + window_shed;
+  return offered == 0 ? 0.0
+                      : static_cast<double>(window_shed) /
+                            static_cast<double>(offered);
+}
+
+double SloTracker::Snapshot::BurnRate() const {
+  if (!enabled || goal >= 1.0) return 0.0;
+  return WindowViolationRate() / (1.0 - goal);
+}
+
+std::string SloTracker::Snapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"enabled\": " << (enabled ? "true" : "false")
+      << ", \"target_us\": " << FormatNumber(target_us)
+      << ", \"goal\": " << FormatNumber(goal)
+      << ", \"window_s\": " << FormatNumber(window_s)
+      << ", \"window\": {\"requests\": " << window_requests
+      << ", \"violations\": " << window_violations
+      << ", \"errors\": " << window_errors << ", \"shed\": " << window_shed
+      << ", \"violation_rate\": " << FormatNumber(WindowViolationRate())
+      << ", \"error_rate\": " << FormatNumber(WindowErrorRate())
+      << ", \"shed_rate\": " << FormatNumber(WindowShedRate())
+      << ", \"burn_rate\": " << FormatNumber(BurnRate())
+      << "}, \"total\": {\"requests\": " << total_requests
+      << ", \"violations\": " << total_violations
+      << ", \"errors\": " << total_errors << ", \"shed\": " << total_shed
+      << "}}";
+  return out.str();
+}
+
+SloTracker& SloTracker::Global() {
+  static SloTracker* tracker = new SloTracker();
+  return *tracker;
+}
+
+SloTracker::SloTracker() = default;
+
+void SloTracker::Configure(const Config& config) {
+  target_us_.store(config.target_us, std::memory_order_relaxed);
+  goal_.store(config.goal, std::memory_order_relaxed);
+}
+
+void SloTracker::RecordRequest(double latency_us, bool error,
+                               int64_t now_us) {
+  requests_.Increment(now_us);
+  total_requests_.Increment();
+  const double target = target_us_.load(std::memory_order_relaxed);
+  if (target > 0.0 && latency_us > target) {
+    violations_.Increment(now_us);
+    total_violations_.Increment();
+  }
+  if (error) {
+    errors_.Increment(now_us);
+    total_errors_.Increment();
+  }
+}
+
+void SloTracker::RecordShed(int64_t now_us) {
+  shed_.Increment(now_us);
+  total_shed_.Increment();
+}
+
+SloTracker::Snapshot SloTracker::Snap(int64_t now_us) const {
+  Snapshot snapshot;
+  snapshot.target_us = target_us_.load(std::memory_order_relaxed);
+  snapshot.enabled = snapshot.target_us > 0.0;
+  snapshot.goal = goal_.load(std::memory_order_relaxed);
+  snapshot.window_s = static_cast<double>(requests_.window_us()) / 1e6;
+  snapshot.window_requests = requests_.Sum(now_us);
+  snapshot.window_violations = violations_.Sum(now_us);
+  snapshot.window_errors = errors_.Sum(now_us);
+  snapshot.window_shed = shed_.Sum(now_us);
+  snapshot.total_requests = total_requests_.Value();
+  snapshot.total_violations = total_violations_.Value();
+  snapshot.total_errors = total_errors_.Value();
+  snapshot.total_shed = total_shed_.Value();
+  return snapshot;
+}
+
+void SloTracker::Reset() {
+  target_us_.store(0.0, std::memory_order_relaxed);
+  goal_.store(0.99, std::memory_order_relaxed);
+  requests_.Reset();
+  violations_.Reset();
+  errors_.Reset();
+  shed_.Reset();
+  total_requests_.Reset();
+  total_violations_.Reset();
+  total_errors_.Reset();
+  total_shed_.Reset();
 }
 
 }  // namespace pws::obs

@@ -108,10 +108,91 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Microseconds on the steady clock — the time base every windowed
+/// metric rotates on. Callers on a hot path that already read the clock
+/// pass their own value; tests inject synthetic times for determinism.
+int64_t SteadyNowUs();
+
+/// Rolling-window histogram: N fixed sub-windows of `slot_width_us`
+/// each, rotated lazily on the caller-supplied time base. A snapshot
+/// merges only the sub-windows still inside the window, so percentiles
+/// answer "how is p99 *right now*" instead of since process start.
+///
+/// The record path is lock-free in the steady state (one stamp load
+/// plus the same relaxed adds as Histogram); a mutex is taken only on
+/// the rotation edge, once per slot width. Rotation races can
+/// misattribute a sample to the slot being recycled — acceptable for
+/// monitoring data, and every access is atomic so the race is benign.
+class WindowedHistogram {
+ public:
+  /// 8 sub-windows of 1.25s — live percentiles over the last ~10s.
+  static constexpr int kDefaultSlots = 8;
+  static constexpr int64_t kDefaultSlotWidthUs = 1'250'000;
+
+  WindowedHistogram(std::vector<double> bounds, int num_slots,
+                    int64_t slot_width_us);
+
+  void Record(double value, int64_t now_us);
+  /// Merged view of the sub-windows live at `now_us` (the current
+  /// partial window plus up to N-1 complete predecessors).
+  HistogramSnapshot Snapshot(int64_t now_us) const;
+
+  int64_t window_us() const { return slot_width_us_ * num_slots_; }
+  void Reset();
+
+ private:
+  struct Slot {
+    /// Window index this slot currently holds (-1 = never used).
+    std::atomic<int64_t> stamp{-1};
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+
+  Slot& SlotFor(int64_t window_index);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<Slot[]> slots_;
+  int num_slots_;
+  int64_t slot_width_us_;
+  std::mutex rotate_mutex_;
+};
+
+/// Rolling-window event counter with the same sub-window rotation as
+/// WindowedHistogram; Sum() is the event count over the live window.
+class WindowedCounter {
+ public:
+  WindowedCounter(int num_slots = WindowedHistogram::kDefaultSlots,
+                  int64_t slot_width_us =
+                      WindowedHistogram::kDefaultSlotWidthUs);
+
+  void Increment(int64_t now_us, uint64_t n = 1);
+  uint64_t Sum(int64_t now_us) const;
+  int64_t window_us() const { return slot_width_us_ * num_slots_; }
+  void Reset();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> stamp{-1};
+    std::atomic<uint64_t> count{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  int num_slots_;
+  int64_t slot_width_us_;
+  std::mutex rotate_mutex_;
+};
+
 /// Current value of one gauge in a snapshot.
 struct GaugeSnapshot {
   int64_t value = 0;
   int64_t max = 0;
+};
+
+/// One windowed histogram's live view plus the window it covers.
+struct WindowedSnapshot {
+  double window_s = 0.0;
+  HistogramSnapshot hist;
 };
 
 /// A consistent-enough view of a whole registry: every individual metric
@@ -122,6 +203,9 @@ struct RegistrySnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, GaugeSnapshot> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Live rolling-window views, keyed by the same names as the
+  /// cumulative histograms they shadow.
+  std::map<std::string, WindowedSnapshot> windowed;
 
   /// Folds `other` in: counters/histograms add, gauges take the sum of
   /// values and the max of maxima.
@@ -130,6 +214,10 @@ struct RegistrySnapshot {
   /// JSON object with "counters", "gauges" and "histograms" sections;
   /// each histogram carries count/mean/p50/p95/p99/max plus raw buckets.
   std::string ToJson() const;
+
+  /// The body of ToJson without the enclosing braces — lets callers
+  /// (obs::GlobalMetricsJson) append extra sections to one document.
+  void AppendJsonSections(std::string* out) const;
 
   /// Human-readable aligned tables (histograms first, then counters and
   /// gauges) for stdout reports.
@@ -162,8 +250,14 @@ class MetricsRegistry {
   /// With explicit bucket upper bounds (ignored if `name` exists).
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds);
+  /// The rolling-window sibling of GetHistogram: default latency bounds,
+  /// default ~10s window. Named like the cumulative histogram it shadows.
+  WindowedHistogram* GetWindowedHistogram(const std::string& name);
 
   RegistrySnapshot Snapshot() const;
+  /// Snapshot with the windowed section evaluated at `now_us` (tests
+  /// inject a synthetic time; the no-arg overload uses SteadyNowUs).
+  RegistrySnapshot Snapshot(int64_t now_us) const;
 
   /// Zeroes every metric in place. Handles (and cached PWS_SPAN statics)
   /// stay valid. For tests and between-run isolation only.
@@ -174,7 +268,75 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_;
 };
+
+/// Latency-SLO accounting for the serving front end: a target latency
+/// plus rolling-window counts of requests, violations, errors, and shed
+/// requests. Window rates answer "are we burning error budget right
+/// now"; cumulative totals survive for the process lifetime. Request/
+/// error/shed tracking is always on; the target (and so violation and
+/// burn accounting) only engages after Configure with target_us > 0.
+class SloTracker {
+ public:
+  struct Config {
+    /// End-to-end latency target, microseconds (<= 0: no latency SLO).
+    double target_us = 0.0;
+    /// Fraction of requests that must meet the target. Burn rate is
+    /// window violation rate over the allowance (1 - goal): burn > 1
+    /// means the error budget is being spent faster than it accrues.
+    double goal = 0.99;
+  };
+
+  struct Snapshot {
+    bool enabled = false;
+    double target_us = 0.0;
+    double goal = 0.99;
+    double window_s = 0.0;
+    uint64_t window_requests = 0;
+    uint64_t window_violations = 0;
+    uint64_t window_errors = 0;
+    uint64_t window_shed = 0;
+    uint64_t total_requests = 0;
+    uint64_t total_violations = 0;
+    uint64_t total_errors = 0;
+    uint64_t total_shed = 0;
+
+    double WindowViolationRate() const;
+    double WindowErrorRate() const;
+    double WindowShedRate() const;
+    /// Window violation rate / (1 - goal); 0 when the SLO is off.
+    double BurnRate() const;
+    std::string ToJson() const;
+  };
+
+  static SloTracker& Global();
+
+  SloTracker();
+  void Configure(const Config& config);
+
+  void RecordRequest(double latency_us, bool error, int64_t now_us);
+  void RecordShed(int64_t now_us);
+  Snapshot Snap(int64_t now_us) const;
+  void Reset();
+
+ private:
+  std::atomic<double> target_us_{0.0};
+  std::atomic<double> goal_{0.99};
+  WindowedCounter requests_;
+  WindowedCounter violations_;
+  WindowedCounter errors_;
+  WindowedCounter shed_;
+  Counter total_requests_;
+  Counter total_violations_;
+  Counter total_errors_;
+  Counter total_shed_;
+};
+
+/// JSON string-content escaping shared by every obs serializer (metrics
+/// report, Chrome trace export). Appends the escaped characters only —
+/// the caller supplies the surrounding quotes.
+void AppendJsonEscaped(std::string* out, const std::string& text);
 
 }  // namespace pws::obs
 

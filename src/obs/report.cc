@@ -1,0 +1,59 @@
+#include "obs/report.h"
+
+namespace pws::obs {
+
+std::string ExemplarsJson(const std::vector<TraceRecord>& records) {
+  std::string out = "[";
+  bool first_record = true;
+  for (const TraceRecord& record : records) {
+    if (!first_record) out += ",";
+    first_record = false;
+    out += "{\"label\":\"";
+    AppendJsonEscaped(&out, record.label);
+    out += "\",\"request_id\":";
+    out += std::to_string(record.request_id);
+    out += ",\"verb\":\"";
+    AppendJsonEscaped(&out, record.verb);
+    out += "\",\"total_us\":";
+    out += std::to_string(record.total_us);
+    out += ",\"stages\":[";
+    bool first_stage = true;
+    for (const TraceEvent& event : record.events) {
+      if (!first_stage) out += ",";
+      first_stage = false;
+      out += "{\"name\":\"";
+      AppendJsonEscaped(&out, event.name);
+      out += "\",\"start_us\":";
+      out += std::to_string(event.start_us);
+      out += ",\"dur_us\":";
+      out += std::to_string(event.duration_us);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string MetricsJson(const RegistrySnapshot& snapshot,
+                        const SloTracker::Snapshot& slo,
+                        const std::vector<TraceRecord>& exemplars) {
+  std::string out = "{\n";
+  snapshot.AppendJsonSections(&out);
+  out += ",\n  \"slo\": ";
+  out += slo.ToJson();
+  out += ",\n  \"exemplars\": ";
+  out += ExemplarsJson(exemplars);
+  out += "\n}\n";
+  return out;
+}
+
+std::string GlobalMetricsJson() { return GlobalMetricsJson(SteadyNowUs()); }
+
+std::string GlobalMetricsJson(int64_t now_us) {
+  return MetricsJson(MetricsRegistry::Global().Snapshot(now_us),
+                     SloTracker::Global().Snap(now_us),
+                     TraceCollector::GlobalExemplars().Dump());
+}
+
+}  // namespace pws::obs

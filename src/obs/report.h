@@ -1,0 +1,36 @@
+#ifndef PWS_OBS_REPORT_H_
+#define PWS_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pws::obs {
+
+/// Serializes slow-request exemplar records as a JSON array (label,
+/// request id, verb, total, per-stage offsets/durations) — the
+/// "exemplars" section of the metrics document.
+std::string ExemplarsJson(const std::vector<TraceRecord>& records);
+
+/// The single metrics-JSON writer every surface uses (pws_cli `metrics
+/// json`, bench/loadgen `--metrics-out`, the server `metrics` verb):
+/// one document with the snapshot's "counters"/"gauges"/"histograms"/
+/// "windowed" sections plus "slo" and "exemplars". Callers that merged
+/// extra registries in (loadgen folds server metrics into its own) pass
+/// the merged snapshot.
+std::string MetricsJson(const RegistrySnapshot& snapshot,
+                        const SloTracker::Snapshot& slo,
+                        const std::vector<TraceRecord>& exemplars);
+
+/// MetricsJson over the process-wide state: the global registry,
+/// SloTracker::Global(), and TraceCollector::GlobalExemplars(), all
+/// evaluated at `now_us` (no-arg overload uses SteadyNowUs).
+std::string GlobalMetricsJson();
+std::string GlobalMetricsJson(int64_t now_us);
+
+}  // namespace pws::obs
+
+#endif  // PWS_OBS_REPORT_H_

@@ -1,12 +1,23 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace pws::obs {
 
 namespace internal_trace {
 thread_local ActiveTrace g_active_trace;
 }  // namespace internal_trace
+
+namespace {
+
+int64_t EpochUsOf(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 std::string TraceRecord::ToString() const {
   std::string out = label;
@@ -21,6 +32,11 @@ std::string TraceRecord::ToString() const {
 }
 
 TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector& TraceCollector::GlobalExemplars() {
   static TraceCollector* collector = new TraceCollector();
   return *collector;
 }
@@ -72,6 +88,55 @@ void TraceCollector::Clear() {
   resident_ = 0;
 }
 
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append_event = [&](const char* name, uint64_t tid, int64_t ts_us,
+                          uint64_t dur_us, const TraceRecord& record,
+                          bool top_level) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, top_level ? "request" : "stage");
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    out += std::to_string(ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(dur_us);
+    if (top_level) {
+      out += ",\"args\":{\"label\":\"";
+      AppendJsonEscaped(&out, record.label);
+      out += "\",\"request_id\":";
+      out += std::to_string(record.request_id);
+      out += ",\"verb\":\"";
+      AppendJsonEscaped(&out, record.verb);
+      out += "\"}";
+    }
+    out += "}";
+  };
+  for (const TraceRecord& record : records) {
+    // tid groups one request's events on its own track; fall back to
+    // the label hash for engine-opened traces without a request id.
+    const uint64_t tid =
+        record.request_id != 0
+            ? record.request_id
+            : std::hash<std::string>{}(record.label) % 1'000'000 + 1'000'000;
+    const char* top_name = record.verb[0] != '\0' ? record.verb : "query";
+    append_event(top_name, tid, record.epoch_us, record.total_us, record,
+                 /*top_level=*/true);
+    for (const TraceEvent& event : record.events) {
+      append_event(event.name, tid,
+                   record.epoch_us + static_cast<int64_t>(event.start_us),
+                   event.duration_us, record, /*top_level=*/false);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
 ScopedQueryTrace::ScopedQueryTrace(const std::string& label) {
   if (!TraceCollector::Global().enabled()) return;
   internal_trace::ActiveTrace& active = internal_trace::g_active_trace;
@@ -79,6 +144,7 @@ ScopedQueryTrace::ScopedQueryTrace(const std::string& label) {
   active_ = true;
   record_.label = label;
   start_ = std::chrono::steady_clock::now();
+  record_.epoch_us = EpochUsOf(start_);
   active.record = &record_;
   active.start = start_;
 }
@@ -91,6 +157,52 @@ ScopedQueryTrace::~ScopedQueryTrace() {
           std::chrono::steady_clock::now() - start_)
           .count());
   TraceCollector::Global().Add(std::move(record_));
+}
+
+RequestTrace::~RequestTrace() {
+  if (open_ && !closed_) CloseUs();
+}
+
+void RequestTrace::Open(const char* verb, std::string label,
+                        uint64_t request_id,
+                        std::chrono::steady_clock::time_point origin) {
+  internal_trace::ActiveTrace& active = internal_trace::g_active_trace;
+  if (active.record != nullptr) return;  // One open trace per thread.
+  open_ = true;
+  closed_ = false;
+  record_.label = std::move(label);
+  record_.request_id = request_id;
+  record_.verb = verb;
+  origin_ = origin;
+  record_.epoch_us = EpochUsOf(origin);
+  active.record = &record_;
+  active.start = origin;
+}
+
+void RequestTrace::AddStage(const char* name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  if (!open_ || closed_) return;
+  TraceEvent event;
+  event.name = name;
+  const double start_us =
+      std::chrono::duration<double, std::micro>(start - origin_).count();
+  event.start_us = start_us > 0 ? static_cast<uint64_t>(start_us) : 0;
+  event.duration_us = static_cast<uint64_t>(
+      std::chrono::duration<double, std::micro>(end - start).count());
+  record_.events.push_back(event);
+}
+
+uint64_t RequestTrace::CloseUs() {
+  if (!open_) return 0;
+  if (closed_) return record_.total_us;
+  closed_ = true;
+  internal_trace::g_active_trace.record = nullptr;
+  record_.total_us = static_cast<uint64_t>(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+  return record_.total_us;
 }
 
 }  // namespace pws::obs

@@ -20,10 +20,21 @@ struct TraceEvent {
   uint64_t duration_us = 0;
 };
 
-/// The per-query trace record: every span that closed while the trace
-/// was the thread's active one, in completion order.
+/// The per-request trace record: every span that closed while the trace
+/// was the thread's active one, in completion order. Server-opened
+/// traces carry the request id and verb so one slow response can be
+/// tied back to the stages that made it slow.
 struct TraceRecord {
   std::string label;
+  /// 64-bit request id assigned by the server at accept time (0 for
+  /// traces opened outside the serving stack, e.g. bare engine calls).
+  uint64_t request_id = 0;
+  /// Protocol verb ("serve", "click", ...) for server traces; a static
+  /// string literal, "" elsewhere.
+  const char* verb = "";
+  /// Steady-clock microseconds at trace start — places the record on
+  /// the process timeline in Chrome trace exports.
+  int64_t epoch_us = 0;
   uint64_t total_us = 0;
   std::vector<TraceEvent> events;
 
@@ -37,7 +48,12 @@ struct TraceRecord {
 /// records oldest-first (collection keeps running).
 class TraceCollector {
  public:
+  /// Sampled traces (the 1-in-N ring the server fills).
   static TraceCollector& Global();
+  /// Slow-request exemplars: requests over the server's latency
+  /// threshold land here regardless of sampling, so tail outliers are
+  /// always explained. Same ring semantics, separate bound.
+  static TraceCollector& GlobalExemplars();
 
   void Enable(size_t capacity);
   void Disable();
@@ -56,11 +72,19 @@ class TraceCollector {
   size_t resident_ = 0;  // min(records added, capacity_).
 };
 
+/// Chrome trace_event JSON ("X" complete events, microsecond
+/// timestamps) for a set of trace records — loadable in chrome://tracing
+/// and Perfetto. Each record becomes one "request" event plus one event
+/// per stage, all on tid = request id, ts laid out on the process
+/// steady-clock timeline via TraceRecord::epoch_us.
+std::string ChromeTraceJson(const std::vector<TraceRecord>& records);
+
 namespace internal_trace {
 
 /// The thread's open query trace, appended to by closing spans. Spans
-/// and the trace always live on one thread (Serve is synchronous), so
-/// plain thread_local access needs no synchronization.
+/// and the trace always live on one thread (request execution is
+/// synchronous on its worker), so plain thread_local access needs no
+/// synchronization.
 struct ActiveTrace {
   TraceRecord* record = nullptr;
   std::chrono::steady_clock::time_point start;
@@ -69,13 +93,16 @@ extern thread_local ActiveTrace g_active_trace;
 
 }  // namespace internal_trace
 
-/// Times a scope and records the elapsed microseconds into `histogram`
-/// on destruction; also appends a TraceEvent to the thread's active
-/// query trace, if one is open. Use via PWS_SPAN rather than directly.
+/// Times a scope and records the elapsed microseconds into the
+/// cumulative `histogram` and the rolling `windowed` sibling on
+/// destruction; also appends a TraceEvent to the thread's active
+/// request trace, if one is open. Use via PWS_SPAN rather than directly.
 class ScopedSpan {
  public:
-  ScopedSpan(Histogram* histogram, const char* name)
+  ScopedSpan(Histogram* histogram, WindowedHistogram* windowed,
+             const char* name)
       : histogram_(histogram),
+        windowed_(windowed),
         name_(name),
         start_(std::chrono::steady_clock::now()) {}
 
@@ -87,6 +114,10 @@ class ScopedSpan {
     const double us =
         std::chrono::duration<double, std::micro>(end - start_).count();
     histogram_->Record(us);
+    windowed_->Record(
+        us, std::chrono::duration_cast<std::chrono::microseconds>(
+                end.time_since_epoch())
+                .count());
     internal_trace::ActiveTrace& active = internal_trace::g_active_trace;
     if (active.record != nullptr) {
       TraceEvent event;
@@ -101,6 +132,7 @@ class ScopedSpan {
 
  private:
   Histogram* histogram_;
+  WindowedHistogram* windowed_;
   const char* name_;
   std::chrono::steady_clock::time_point start_;
 };
@@ -123,6 +155,48 @@ class ScopedQueryTrace {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// The server-side request trace: opened explicitly on the worker
+/// executing a request, with the trace origin backdated to the moment
+/// the request line arrived — so stages that ran before the worker
+/// picked the request up (parse on the reader thread, the admission
+/// queue wait) can be stitched in as manual events, and every PWS_SPAN
+/// that closes while it is open (server stages and the engine's own
+/// spans alike) lands in the same record. Close() finalizes the total;
+/// the caller then decides which rings (sampled, exemplar) get the
+/// record. Destruction abandons an unclosed trace safely.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+  ~RequestTrace();
+
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  /// No-op if another trace is already open on this thread.
+  void Open(const char* verb, std::string label, uint64_t request_id,
+            std::chrono::steady_clock::time_point origin);
+  bool open() const { return open_; }
+
+  /// Appends a stage that was timed manually (possibly on another
+  /// thread, before Open). `name` must be a static string literal.
+  void AddStage(const char* name,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end);
+
+  /// Stops span capture and finalizes total_us (now - origin). Returns
+  /// the total; idempotent.
+  uint64_t CloseUs();
+
+  /// Moves the finished record out (call after CloseUs).
+  TraceRecord Take() { return std::move(record_); }
+
+ private:
+  bool open_ = false;
+  bool closed_ = false;
+  TraceRecord record_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
 }  // namespace pws::obs
 
 #define PWS_OBS_CONCAT_INNER(a, b) a##b
@@ -141,9 +215,11 @@ class ScopedQueryTrace {
 #else
 
 /// Times the enclosing scope into the latency histogram `name + ".us"`
-/// of the global registry. The histogram pointer is resolved once per
-/// call site (function-local static), so steady-state cost is two
-/// steady_clock reads plus one relaxed atomic add.
+/// of the global registry — both the cumulative histogram and its
+/// rolling-window sibling, so `metrics` reports live percentiles per
+/// stage. The handles are resolved once per call site (function-local
+/// statics), so steady-state cost is two steady_clock reads plus a few
+/// relaxed atomic adds.
 ///
 ///   PWS_SPAN("engine.serve.rank");
 #define PWS_SPAN(name)                                                  \
@@ -151,8 +227,13 @@ class ScopedQueryTrace {
                                                __LINE__) =              \
       ::pws::obs::MetricsRegistry::Global().GetHistogram(               \
           std::string(name) + ".us");                                   \
+  static ::pws::obs::WindowedHistogram* PWS_OBS_CONCAT(pws_span_win_,   \
+                                                       __LINE__) =      \
+      ::pws::obs::MetricsRegistry::Global().GetWindowedHistogram(       \
+          std::string(name) + ".us");                                   \
   ::pws::obs::ScopedSpan PWS_OBS_CONCAT(pws_span_, __LINE__)(           \
-      PWS_OBS_CONCAT(pws_span_hist_, __LINE__), name)
+      PWS_OBS_CONCAT(pws_span_hist_, __LINE__),                         \
+      PWS_OBS_CONCAT(pws_span_win_, __LINE__), name)
 
 /// Opens a per-query trace (see ScopedQueryTrace) for the scope.
 #define PWS_QUERY_TRACE(label) \

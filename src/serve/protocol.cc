@@ -32,6 +32,34 @@ bool ParseUser(std::string_view text, int64_t* out) {
 
 }  // namespace
 
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kServe:
+      return "serve";
+    case RequestType::kClick:
+      return "click";
+    case RequestType::kTrain:
+      return "train";
+    case RequestType::kTrainAll:
+      return "trainall";
+    case RequestType::kSave:
+      return "save";
+    case RequestType::kMetrics:
+      return "metrics";
+    case RequestType::kTrace:
+      return "trace";
+    case RequestType::kQueries:
+      return "queries";
+    case RequestType::kPing:
+      return "ping";
+    case RequestType::kShutdown:
+      return "shutdown";
+    case RequestType::kInvalid:
+      break;
+  }
+  return "invalid";
+}
+
 std::string FormatRequest(const Request& request) {
   switch (request.type) {
     case RequestType::kServe:
@@ -48,6 +76,8 @@ std::string FormatRequest(const Request& request) {
       return "save";
     case RequestType::kMetrics:
       return "metrics";
+    case RequestType::kTrace:
+      return "trace";
     case RequestType::kQueries:
       return "queries";
     case RequestType::kPing:
@@ -78,6 +108,10 @@ Request ParseRequest(std::string_view line) {
   }
   if (verb == "metrics" && first_tab == std::string_view::npos) {
     request.type = RequestType::kMetrics;
+    return request;
+  }
+  if (verb == "trace" && first_tab == std::string_view::npos) {
+    request.type = RequestType::kTrace;
     return request;
   }
   if (verb == "queries" && first_tab == std::string_view::npos) {

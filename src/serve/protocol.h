@@ -22,6 +22,7 @@ namespace pws::serve {
 ///   trainall                                -> ok\ttrainall
 ///   save                                    -> ok\tsave
 ///   metrics                                 -> ok\tmetrics\t<escaped json>
+///   trace                                   -> ok\ttrace\t<escaped json>
 ///   queries                                 -> ok\tqueries\t<n>\t<escaped>
 ///   ping                                    -> ok\tping
 ///   shutdown                                -> ok\tshutdown
@@ -44,11 +45,17 @@ enum class RequestType {
   kTrainAll,
   kSave,
   kMetrics,
+  kTrace,
   kQueries,
   kPing,
   kShutdown,
   kInvalid,
 };
+
+/// Wire verb for a request type ("serve", "click", ...; "invalid" for
+/// kInvalid). Returns a static string, safe to hold indefinitely —
+/// trace records key on it.
+const char* RequestTypeName(RequestType type);
 
 /// One parsed request line.
 struct Request {

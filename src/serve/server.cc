@@ -2,23 +2,21 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <exception>
+#include <iterator>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace pws::serve {
 namespace {
-
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Holds every user-lock shard exclusively — the whole-engine verbs
 /// (trainall, save) exclude all serves and mutations at once. Shards are
@@ -44,6 +42,14 @@ PwsServer::PwsServer(core::PwsEngine* engine, ServerOptions options)
   for (int i = 0; i < kUserLockShards; ++i) {
     user_locks_.push_back(std::make_unique<std::shared_mutex>());
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < verb_metrics_.size(); ++i) {
+    const std::string name =
+        std::string("serve.request.") +
+        RequestTypeName(static_cast<RequestType>(i)) + ".us";
+    verb_metrics_[i].total = registry.GetHistogram(name);
+    verb_metrics_[i].windowed = registry.GetWindowedHistogram(name);
+  }
 }
 
 PwsServer::~PwsServer() { Stop(); }
@@ -64,6 +70,32 @@ Status PwsServer::Start() {
     return port.status();
   }
   port_ = *port;
+  start_time_ = std::chrono::steady_clock::now();
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("serve.start_unix_s")
+        ->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count());
+    registry.GetGauge("serve.uptime_s")->Set(0);
+    registry.GetGauge("serve.queue_capacity")->Set(options_.queue_capacity);
+  }
+  if (options_.trace_sample_every > 0) {
+    obs::TraceCollector::Global().Enable(
+        static_cast<size_t>(std::max(1, options_.trace_capacity)));
+    enabled_trace_ring_ = true;
+  }
+  if (options_.slow_request_us > 0) {
+    obs::TraceCollector::GlobalExemplars().Enable(
+        static_cast<size_t>(std::max(1, options_.exemplar_capacity)));
+    enabled_exemplar_ring_ = true;
+  }
+  {
+    obs::SloTracker::Config slo;
+    slo.target_us = options_.slo_target_us;
+    slo.goal = options_.slo_goal;
+    obs::SloTracker::Global().Configure(slo);
+  }
   workers_ = std::make_unique<ThreadPool>(
       options_.num_workers >= 1 ? options_.num_workers : 1);
   accept_thread_ = std::thread(&PwsServer::AcceptLoop, this);
@@ -122,8 +154,16 @@ void PwsServer::ReaderLoop(Connection* connection) {
 
   std::string line;
   while (connection->channel.ReadLine(&line)) {
+    RequestContext context;
+    context.arrival = std::chrono::steady_clock::now();
+    context.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     requests->Increment();
-    Request request = ParseRequest(line);
+    Request request;
+    {
+      PWS_SPAN("serve.parse");
+      request = ParseRequest(line);
+    }
+    context.parsed = std::chrono::steady_clock::now();
     if (request.type == RequestType::kInvalid) {
       bad->Increment();
       (void)connection->channel.WriteLine(
@@ -137,15 +177,16 @@ void PwsServer::ReaderLoop(Connection* connection) {
     if (admitted > options_.queue_capacity) {
       in_flight_.fetch_sub(1);
       shed->Increment();
+      obs::SloTracker::Global().RecordShed(obs::SteadyNowUs());
       (void)connection->channel.WriteLine(
           FormatErrReply("overloaded", "request queue full"));
       continue;
     }
     depth->Set(admitted);
-    const int64_t admitted_at_us = NowMicros();
+    context.admitted = std::chrono::steady_clock::now();
     std::future<void> enqueue = workers_->Submit(
-        [this, connection, request = std::move(request), admitted_at_us]() {
-          HandleRequest(connection, request, admitted_at_us);
+        [this, connection, request = std::move(request), context]() {
+          HandleRequest(connection, request, context);
         });
     // A Submit racing pool shutdown resolves immediately with the
     // rejection exception (HandleRequest itself never throws); shed the
@@ -165,13 +206,37 @@ void PwsServer::ReaderLoop(Connection* connection) {
 }
 
 void PwsServer::HandleRequest(Connection* connection, Request request,
-                              int64_t admitted_at_us) {
+                              RequestContext context) {
   auto& registry = obs::MetricsRegistry::Global();
-  const int64_t started_at_us = NowMicros();
+  const auto started = std::chrono::steady_clock::now();
+  const double queue_wait_us =
+      std::chrono::duration<double, std::micro>(started - context.admitted)
+          .count();
   registry
       .GetHistogram("serve.queue_wait.us",
                     obs::Histogram::DefaultLatencyBoundsUs())
-      ->Record(static_cast<double>(started_at_us - admitted_at_us));
+      ->Record(queue_wait_us);
+  registry.GetWindowedHistogram("serve.queue_wait.us")
+      ->Record(queue_wait_us, obs::SteadyNowUs());
+
+  // Open the per-request trace whenever either ring is collecting: a
+  // sampled-out request must still open one, or the engine's own
+  // PWS_QUERY_TRACE would open a trace of its own and push it into the
+  // sampled ring, breaking the 1-in-N contract. Which rings actually
+  // get the record is decided after close, from the sample gate and the
+  // measured latency. The origin is backdated to arrival so the parse
+  // and queue stages (timed on the reader thread) stitch in.
+  const bool sampled = enabled_trace_ring_ &&
+                       options_.trace_sample_every > 0 &&
+                       context.id % options_.trace_sample_every == 0;
+  obs::RequestTrace trace;
+  if (obs::TraceCollector::Global().enabled() ||
+      obs::TraceCollector::GlobalExemplars().enabled()) {
+    trace.Open(RequestTypeName(request.type), FormatRequest(request),
+               context.id, context.arrival);
+    trace.AddStage("serve.parse", context.arrival, context.parsed);
+    trace.AddStage("serve.queue_wait", context.admitted, started);
+  }
 
   std::string reply;
   try {
@@ -179,15 +244,50 @@ void PwsServer::HandleRequest(Connection* connection, Request request,
   } catch (const std::exception& e) {
     reply = FormatErrReply("internal", e.what());
   }
-  if (StartsWith(reply, "err\t")) {
+  const bool error = StartsWith(reply, "err\t");
+  if (error) {
     registry.GetCounter("serve.errors")->Increment();
   }
-  (void)connection->channel.WriteLine(reply);
+  {
+    PWS_SPAN("serve.write");
+    (void)connection->channel.WriteLine(reply);
+  }
 
+  const auto finished = std::chrono::steady_clock::now();
+  const int64_t now_us = obs::SteadyNowUs();
+  const double admitted_us =
+      std::chrono::duration<double, std::micro>(finished - context.admitted)
+          .count();
+  const double end_to_end_us =
+      std::chrono::duration<double, std::micro>(finished - context.arrival)
+          .count();
   registry
       .GetHistogram("serve.request.us",
                     obs::Histogram::DefaultLatencyBoundsUs())
-      ->Record(static_cast<double>(NowMicros() - admitted_at_us));
+      ->Record(admitted_us);
+  registry.GetWindowedHistogram("serve.request.us")
+      ->Record(admitted_us, now_us);
+  VerbMetrics& verb = verb_metrics_[static_cast<size_t>(request.type)];
+  verb.total->Record(end_to_end_us);
+  verb.windowed->Record(end_to_end_us, now_us);
+  obs::SloTracker::Global().RecordRequest(end_to_end_us, error, now_us);
+
+  if (trace.open()) {
+    const uint64_t total_us = trace.CloseUs();
+    obs::TraceRecord record = trace.Take();
+    const bool slow = options_.slow_request_us > 0 &&
+                      total_us >= static_cast<uint64_t>(
+                                      options_.slow_request_us);
+    if (sampled && slow) {
+      obs::TraceCollector::Global().Add(record);
+      obs::TraceCollector::GlobalExemplars().Add(std::move(record));
+    } else if (sampled) {
+      obs::TraceCollector::Global().Add(std::move(record));
+    } else if (slow) {
+      obs::TraceCollector::GlobalExemplars().Add(std::move(record));
+    }
+  }
+
   const int remaining = in_flight_.fetch_sub(1) - 1;
   registry.GetGauge("serve.queue_depth")->Set(remaining);
 }
@@ -199,7 +299,13 @@ std::string PwsServer::Dispatch(const Request& request) {
       engine_->RegisterUser(user);
       core::PersonalizedPage page;
       {
-        std::shared_lock<std::shared_mutex> lock(ShardOf(request.user));
+        std::shared_lock<std::shared_mutex> lock(ShardOf(request.user),
+                                                 std::defer_lock);
+        {
+          PWS_SPAN("serve.lock_wait");
+          lock.lock();
+        }
+        PWS_SPAN("serve.engine");
         page = engine_->Serve(user, request.query);
       }
       std::vector<corpus::DocId> docs;
@@ -219,7 +325,13 @@ std::string PwsServer::Dispatch(const Request& request) {
     case RequestType::kClick: {
       const auto user = static_cast<click::UserId>(request.user);
       engine_->RegisterUser(user);
-      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user));
+      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user),
+                                               std::defer_lock);
+      {
+        PWS_SPAN("serve.lock_wait");
+        lock.lock();
+      }
+      PWS_SPAN("serve.engine");
       // Stateless click: re-serve the query (deterministic and cached),
       // then observe a satisfied click at the requested shown position —
       // the client never has to hold page state between calls.
@@ -239,12 +351,23 @@ std::string PwsServer::Dispatch(const Request& request) {
     case RequestType::kTrain: {
       const auto user = static_cast<click::UserId>(request.user);
       engine_->RegisterUser(user);
-      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user));
+      std::unique_lock<std::shared_mutex> lock(ShardOf(request.user),
+                                               std::defer_lock);
+      {
+        PWS_SPAN("serve.lock_wait");
+        lock.lock();
+      }
+      PWS_SPAN("serve.engine");
       const double loss = engine_->TrainUser(user);
       return FormatOkReply("train", {FormatDouble(loss, 6)});
     }
     case RequestType::kTrainAll: {
-      AllShardsLock all(user_locks_);
+      std::unique_ptr<AllShardsLock> all;
+      {
+        PWS_SPAN("serve.lock_wait");
+        all = std::make_unique<AllShardsLock>(user_locks_);
+      }
+      PWS_SPAN("serve.engine");
       engine_->TrainAllUsers();
       return FormatOkReply("trainall");
     }
@@ -254,17 +377,41 @@ std::string PwsServer::Dispatch(const Request& request) {
                               "server started without --state; nowhere to "
                               "save");
       }
-      AllShardsLock all(user_locks_);
+      std::unique_ptr<AllShardsLock> all;
+      {
+        PWS_SPAN("serve.lock_wait");
+        all = std::make_unique<AllShardsLock>(user_locks_);
+      }
+      PWS_SPAN("serve.engine");
       if (const Status status = engine_->SaveState(options_.state_path);
           !status.ok()) {
         return FormatErrReply("internal", status.ToString());
       }
       return FormatOkReply("save");
     }
-    case RequestType::kMetrics:
+    case RequestType::kMetrics: {
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.uptime_s")
+          ->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                    std::chrono::steady_clock::now() - start_time_)
+                    .count());
       return FormatOkReply(
-          "metrics",
-          {EscapeLineBreaks(obs::MetricsRegistry::Global().Snapshot().ToJson())});
+          "metrics", {EscapeLineBreaks(obs::GlobalMetricsJson())});
+    }
+    case RequestType::kTrace: {
+      // Sampled traces first, then the slow-request exemplars; trace
+      // viewers lay events out by timestamp and track, so record order
+      // in the export does not matter.
+      std::vector<obs::TraceRecord> records =
+          obs::TraceCollector::Global().Dump();
+      std::vector<obs::TraceRecord> exemplars =
+          obs::TraceCollector::GlobalExemplars().Dump();
+      records.insert(records.end(),
+                     std::make_move_iterator(exemplars.begin()),
+                     std::make_move_iterator(exemplars.end()));
+      return FormatOkReply(
+          "trace", {EscapeLineBreaks(obs::ChromeTraceJson(records))});
+    }
     case RequestType::kQueries:
       return FormatOkReply(
           "queries", {std::to_string(options_.query_pool.size()),
@@ -334,7 +481,13 @@ void PwsServer::Stop() {
     }
   }
 
-  // 5. Now the sockets can go.
+  // 5. Trace collection stops with the server (rings keep their
+  //    contents so post-Stop readers — tests, a final export — still
+  //    see the records).
+  if (enabled_trace_ring_) obs::TraceCollector::Global().Disable();
+  if (enabled_exemplar_ring_) obs::TraceCollector::GlobalExemplars().Disable();
+
+  // 6. Now the sockets can go.
   std::lock_guard<std::mutex> lock(connections_mutex_);
   connections_.clear();
   PWS_LOG(kInfo) << "pws server drained and stopped";

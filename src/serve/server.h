@@ -1,8 +1,11 @@
 #ifndef PWS_SERVE_SERVER_H_
 #define PWS_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "core/pws_engine.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/socket_io.h"
 #include "util/status.h"
@@ -41,6 +45,27 @@ struct ServerOptions {
   /// generator samples from, served from the engine's world so clients
   /// never rebuild it.
   std::vector<std::string> query_pool;
+
+  /// Request-trace sampling: every Nth request id gets its full
+  /// per-stage trace captured into the global sampled ring (the `trace`
+  /// verb serves it as Chrome trace JSON). 0 disables sampling.
+  int trace_sample_every = 0;
+  /// Sampled-trace ring capacity (records retained, oldest evicted).
+  int trace_capacity = 256;
+  /// Slow-request exemplar threshold, microseconds: any request whose
+  /// end-to-end latency reaches it gets its trace captured into the
+  /// exemplar ring regardless of sampling, so tail outliers are always
+  /// explained. 0 disables exemplars.
+  int64_t slow_request_us = 0;
+  /// Exemplar ring capacity.
+  int exemplar_capacity = 32;
+  /// End-to-end latency SLO target, microseconds, surfaced by the
+  /// `metrics` verb as violation counts and burn rate (0 = no latency
+  /// SLO; request/error/shed rates are tracked regardless).
+  double slo_target_us = 0.0;
+  /// Fraction of requests that must meet the target (burn rate 1.0 =
+  /// spending error budget exactly as fast as it accrues).
+  double slo_goal = 0.99;
 };
 
 /// The persistent serving front end: a loopback TCP listener speaking
@@ -95,19 +120,46 @@ class PwsServer {
     std::thread reader;
   };
 
+  /// The request's identity and lifecycle timestamps, assigned on the
+  /// reader thread and carried to the worker so the per-request trace
+  /// can stitch in the stages that ran before the worker took over
+  /// (parse on the reader, the admission-queue wait).
+  struct RequestContext {
+    uint64_t id = 0;
+    std::chrono::steady_clock::time_point arrival;
+    std::chrono::steady_clock::time_point parsed;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// Cached per-verb latency handles (registry lookup takes a mutex, so
+  /// resolve once at construction, record lock-free per request).
+  struct VerbMetrics {
+    obs::Histogram* total = nullptr;
+    obs::WindowedHistogram* windowed = nullptr;
+  };
+
   void AcceptLoop();
   void ReaderLoop(Connection* connection);
   /// Executes one admitted request on a pool worker and writes the
-  /// reply. `admitted_at_us` timestamps admission for queue-wait
-  /// accounting.
+  /// reply.
   void HandleRequest(Connection* connection, Request request,
-                     int64_t admitted_at_us);
+                     RequestContext context);
   std::string Dispatch(const Request& request);
 
   std::shared_mutex& ShardOf(int64_t user);
 
   core::PwsEngine* engine_;
   ServerOptions options_;
+
+  /// Monotonic request ids (0 is reserved for "no request").
+  std::atomic<uint64_t> next_request_id_{1};
+  std::chrono::steady_clock::time_point start_time_;
+  /// Which global collectors Start() enabled (so Stop() only disables
+  /// what this server turned on).
+  bool enabled_trace_ring_ = false;
+  bool enabled_exemplar_ring_ = false;
+  std::array<VerbMetrics, static_cast<size_t>(RequestType::kInvalid)>
+      verb_metrics_{};
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,0 +1,252 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pws {
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue* value = new JsonValue();
+  return *value;
+}
+
+const std::string& EmptyString() {
+  static const std::string* value = new std::string();
+  return *value;
+}
+
+const std::vector<JsonValue>& EmptyItems() {
+  static const std::vector<JsonValue>* value = new std::vector<JsonValue>();
+  return *value;
+}
+
+}  // namespace
+
+const std::string& JsonValue::String() const {
+  return type_ == Type::kString ? string_ : EmptyString();
+}
+
+const std::vector<JsonValue>& JsonValue::Items() const {
+  return type_ == Type::kArray ? items_ : EmptyItems();
+}
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (type_ != Type::kObject) return NullValue();
+  const auto it = members_.find(key);
+  return it == members_.end() ? NullValue() : it->second;
+}
+
+const JsonValue& JsonValue::operator[](size_t index) const {
+  if (type_ != Type::kArray || index >= items_.size()) return NullValue();
+  return items_[index];
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  return type_ == Type::kObject && members_.count(key) > 0;
+}
+
+/// Recursive-descent parser over a string_view cursor. Depth is bounded
+/// to keep hostile/corrupt input from overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      if (out->members_.emplace(key, std::move(value)).second) {
+        out->keys_.push_back(std::move(key));
+      }
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipSpace();
+      JsonValue value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->items_.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(escape);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // reassembled — this repo's emitters only escape controls).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // Unterminated string.
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool ParseJson(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  JsonParser parser(text);
+  if (parser.Parse(out)) return true;
+  *out = JsonValue();
+  return false;
+}
+
+}  // namespace pws

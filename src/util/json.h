@@ -1,0 +1,67 @@
+#ifndef PWS_UTIL_JSON_H_
+#define PWS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pws {
+
+/// Minimal read-only JSON value tree — just enough for consumers of the
+/// documents this repo itself emits (the obs metrics report, Chrome
+/// trace exports, bench result files): objects, arrays, strings,
+/// numbers, bools, null. Parsing is strict on structure (unbalanced
+/// braces, trailing garbage, bad escapes all fail) and lenient on
+/// nothing; numbers are held as double, which is exact for every
+/// counter this repo emits below 2^53.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Value accessors return the natural zero value on type mismatch —
+  /// callers poking at optional fields read `doc["a"]["b"].Number()`
+  /// without null checks at every level.
+  double Number() const { return type_ == Type::kNumber ? number_ : 0.0; }
+  bool Bool() const { return type_ == Type::kBool && bool_; }
+  const std::string& String() const;
+  const std::vector<JsonValue>& Items() const;
+
+  /// Object member by key; a shared null value when absent or not an
+  /// object, so lookups chain safely.
+  const JsonValue& operator[](const std::string& key) const;
+  /// Array element by index, same null-on-miss behaviour.
+  const JsonValue& operator[](size_t index) const;
+  bool Has(const std::string& key) const;
+  /// Object keys in document order.
+  const std::vector<std::string>& Keys() const { return keys_; }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+  std::vector<std::string> keys_;
+};
+
+/// Parses `text` into `*out`. Returns false (and leaves *out null) on
+/// malformed input, including trailing non-whitespace.
+bool ParseJson(std::string_view text, JsonValue* out);
+
+}  // namespace pws
+
+#endif  // PWS_UTIL_JSON_H_

@@ -378,6 +378,92 @@ TEST(MetricsRegistryConcurrencyTest, MixedWritersAndSnapshottersAreRaceFree) {
   EXPECT_EQ(final_snapshot.gauges.at("tsan.gauge").value, 0);
 }
 
+TEST(TraceCollectorConcurrencyTest, ConcurrentAddDumpAndToggleAreRaceFree) {
+  // Writers push records the way the server's workers do, a reader
+  // drains Dump the way the `trace` verb does, and a toggler flips
+  // Enable/Disable mid-collection — the lifecycle the serve front end
+  // exercises at startup/shutdown while traffic is still in flight.
+  obs::TraceCollector collector;
+  collector.Enable(/*capacity=*/8);
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr int kRecordsPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&collector, w] {
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        obs::TraceRecord record;
+        record.label = "w" + std::to_string(w) + "#" + std::to_string(i);
+        record.request_id = static_cast<uint64_t>(w) * kRecordsPerWriter +
+                            static_cast<uint64_t>(i) + 1;
+        record.total_us = static_cast<uint64_t>(i);
+        record.events.push_back({"stage", 0, static_cast<uint64_t>(i)});
+        collector.Add(std::move(record));
+      }
+    });
+  }
+  std::thread reader([&collector, &stop] {
+    while (!stop.load()) {
+      const std::vector<obs::TraceRecord> records = collector.Dump();
+      EXPECT_LE(records.size(), 8u);
+      for (const obs::TraceRecord& record : records) {
+        EXPECT_FALSE(record.label.empty());  // Never a torn record.
+      }
+    }
+  });
+  std::thread toggler([&collector, &stop] {
+    while (!stop.load()) {
+      collector.Disable();
+      std::this_thread::yield();
+      collector.Enable(8);
+    }
+  });
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  toggler.join();
+  collector.Enable(8);  // Known-enabled final state.
+  obs::TraceRecord last;
+  last.label = "final";
+  collector.Add(std::move(last));
+  const std::vector<obs::TraceRecord> records = collector.Dump();
+  ASSERT_EQ(records.size(), 1u);  // Enable cleared; only "final" resides.
+  EXPECT_EQ(records.back().label, "final");
+}
+
+TEST(WindowedMetricsConcurrencyTest, RotationUnderContentionIsRaceFree) {
+  // Windowed slots rotate lazily on the writer that crosses a slot
+  // boundary; racing writers from many synthetic "times" hammer the
+  // rotation edge while a snapshotter reads mid-rotation.
+  obs::WindowedHistogram hist({10.0, 100.0, 1000.0}, /*num_slots=*/4,
+                              /*slot_width_us=*/50);
+  obs::SloTracker slo;
+  obs::SloTracker::Config config;
+  config.target_us = 100.0;
+  slo.Configure(config);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, &slo, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int64_t now = static_cast<int64_t>(i) * 7 + t;
+        hist.Record(static_cast<double>(i % 500), now);
+        slo.RecordRequest(static_cast<double>(i % 200), i % 17 == 0, now);
+        if (i % 13 == 0) slo.RecordShed(now);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const obs::HistogramSnapshot snapshot =
+        hist.Snapshot(static_cast<int64_t>(i) * 600);
+    EXPECT_LE(snapshot.TotalCount(),
+              static_cast<uint64_t>(kThreads) * kOpsPerThread);
+    (void)slo.Snap(static_cast<int64_t>(i) * 600);
+  }
+  for (auto& th : threads) th.join();
+}
+
 // ---------- Engine + harness fixtures ----------
 
 class ConcurrencyTest : public ::testing::Test {

@@ -1,11 +1,13 @@
 // Observability layer: metric primitives (counters, gauges, fixed-bucket
-// latency histograms), registry snapshot semantics, trace spans, and an
-// end-to-end check that a harness run populates the engine.serve.*
-// pipeline histograms.
+// latency histograms), rolling-window histograms and SLO accounting,
+// registry snapshot semantics, trace spans, request traces, the Chrome
+// trace export, and an end-to-end check that a harness run populates
+// the engine.serve.* pipeline histograms.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +16,9 @@
 #include "eval/harness.h"
 #include "eval/world.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
+#include "util/json.h"
 
 namespace pws::obs {
 namespace {
@@ -236,6 +240,123 @@ TEST(MetricsRegistryTest, TextReportListsEveryMetric) {
   EXPECT_NE(text.find("text.gauge"), std::string::npos);
 }
 
+// ---------- Windowed histograms ----------
+
+// The time base is injected everywhere, so these tests are fully
+// deterministic: "now" is whatever the test says it is.
+
+TEST(WindowedHistogramTest, SnapshotCoversOnlyTheLiveWindow) {
+  // 4 slots of 1000us — a 4ms window.
+  WindowedHistogram h({10.0, 100.0, 1000.0}, /*num_slots=*/4,
+                      /*slot_width_us=*/1000);
+  h.Record(5.0, /*now_us=*/0);
+  h.Record(50.0, /*now_us=*/1500);   // Second slot.
+  h.Record(500.0, /*now_us=*/3500);  // Fourth slot.
+  // All three slots are inside the window at t=3.9ms.
+  EXPECT_EQ(h.Snapshot(3900).TotalCount(), 3u);
+  // At t=4.5ms the t=0 slot has rotated out.
+  EXPECT_EQ(h.Snapshot(4500).TotalCount(), 2u);
+  // At t=8ms everything has expired.
+  EXPECT_EQ(h.Snapshot(8000).TotalCount(), 0u);
+}
+
+TEST(WindowedHistogramTest, SlotIsRecycledOnWraparound) {
+  WindowedHistogram h({10.0}, /*num_slots=*/2, /*slot_width_us=*/1000);
+  h.Record(1.0, 0);
+  h.Record(1.0, 100);
+  // t=2000 maps onto the same slot as t=0; the recycle must drop the
+  // two old samples, not accumulate into them.
+  h.Record(5.0, 2000);
+  const HistogramSnapshot s = h.Snapshot(2000);
+  EXPECT_EQ(s.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.0);
+}
+
+TEST(WindowedHistogramTest, PercentilesReflectOnlyLiveSamples) {
+  WindowedHistogram h(Histogram::DefaultLatencyBoundsUs(),
+                      WindowedHistogram::kDefaultSlots,
+                      WindowedHistogram::kDefaultSlotWidthUs);
+  const int64_t window = h.window_us();
+  // An ancient burst of slow requests, then a recent fast regime.
+  for (int i = 0; i < 100; ++i) h.Record(100000.0, 0);
+  const int64_t later = window * 3;
+  for (int i = 0; i < 100; ++i) h.Record(100.0, later);
+  const HistogramSnapshot s = h.Snapshot(later);
+  EXPECT_EQ(s.TotalCount(), 100u);
+  EXPECT_LT(s.Percentile(99.0), 1000.0);  // The burst is gone.
+}
+
+TEST(WindowedHistogramTest, ResetClearsEverySlot) {
+  WindowedHistogram h({10.0}, 2, 1000);
+  h.Record(1.0, 0);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot(0).TotalCount(), 0u);
+}
+
+TEST(WindowedCounterTest, SumExpiresWithTheWindow) {
+  WindowedCounter counter(/*num_slots=*/2, /*slot_width_us=*/1000);
+  counter.Increment(0);
+  counter.Increment(0);
+  counter.Increment(1500);
+  EXPECT_EQ(counter.Sum(1900), 3u);
+  EXPECT_EQ(counter.Sum(2500), 1u);  // The t=0 slot rotated out.
+  EXPECT_EQ(counter.Sum(9000), 0u);
+}
+
+// ---------- SLO tracker ----------
+
+TEST(SloTrackerTest, TracksViolationsErrorsShedAndBurn) {
+  SloTracker slo;
+  SloTracker::Config config;
+  config.target_us = 1000.0;
+  config.goal = 0.9;  // 10% violation allowance -> burn = rate / 0.1.
+  slo.Configure(config);
+  const int64_t t = 0;
+  for (int i = 0; i < 8; ++i) slo.RecordRequest(500.0, /*error=*/false, t);
+  slo.RecordRequest(5000.0, /*error=*/false, t);  // Violation.
+  slo.RecordRequest(500.0, /*error=*/true, t);    // Error, not violation.
+  slo.RecordShed(t);
+  const SloTracker::Snapshot s = slo.Snap(t);
+  EXPECT_TRUE(s.enabled);
+  EXPECT_EQ(s.window_requests, 10u);
+  EXPECT_EQ(s.window_violations, 1u);
+  EXPECT_EQ(s.window_errors, 1u);
+  EXPECT_EQ(s.window_shed, 1u);
+  EXPECT_DOUBLE_EQ(s.WindowViolationRate(), 0.1);
+  EXPECT_DOUBLE_EQ(s.WindowErrorRate(), 0.1);
+  // Shed rate is over offered load: 1 shed out of 11 offered.
+  EXPECT_NEAR(s.WindowShedRate(), 1.0 / 11.0, 1e-12);
+  // Violating exactly at the allowance -> burn rate 1.0.
+  EXPECT_NEAR(s.BurnRate(), 1.0, 1e-9);
+  EXPECT_EQ(s.total_requests, 10u);
+}
+
+TEST(SloTrackerTest, WindowCountsExpireTotalsDoNot) {
+  SloTracker slo;
+  SloTracker::Config config;
+  config.target_us = 1000.0;
+  slo.Configure(config);
+  slo.RecordRequest(5000.0, false, 0);
+  const int64_t later = 60'000'000;  // Far past the ~10s window.
+  const SloTracker::Snapshot s = slo.Snap(later);
+  EXPECT_EQ(s.window_requests, 0u);
+  EXPECT_EQ(s.total_requests, 1u);
+  EXPECT_EQ(s.total_violations, 1u);
+  EXPECT_DOUBLE_EQ(s.BurnRate(), 0.0);  // Nothing burning *now*.
+}
+
+TEST(SloTrackerTest, WithoutTargetTracksRatesButNotViolations) {
+  SloTracker slo;  // Default config: no latency target.
+  slo.RecordRequest(1e9, /*error=*/true, 0);
+  const SloTracker::Snapshot s = slo.Snap(0);
+  EXPECT_FALSE(s.enabled);
+  EXPECT_EQ(s.window_violations, 0u);
+  EXPECT_DOUBLE_EQ(s.WindowErrorRate(), 1.0);
+  EXPECT_DOUBLE_EQ(s.BurnRate(), 0.0);
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"enabled\": false"), std::string::npos) << json;
+}
+
 // ---------- Spans and traces ----------
 
 TEST(TraceTest, SpanRecordsIntoTheGlobalRegistry) {
@@ -291,6 +412,218 @@ TEST(TraceTest, DisabledCollectorDropsRecords) {
   record.label = "dropped";
   collector.Add(std::move(record));
   EXPECT_TRUE(collector.Dump().empty());
+}
+
+TEST(TraceTest, EnableClearsDisablePreservesForDump) {
+  TraceCollector collector;
+  collector.Enable(4);
+  TraceRecord record;
+  record.label = "first-run";
+  collector.Add(record);
+  // Disable stops collection but keeps the resident records readable —
+  // the server's Stop path relies on this (a post-shutdown `trace`
+  // export would otherwise come back empty).
+  collector.Disable();
+  record.label = "while-disabled";
+  collector.Add(record);
+  std::vector<TraceRecord> records = collector.Dump();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, "first-run");
+  // Re-enabling starts a fresh collection window.
+  collector.Enable(4);
+  EXPECT_TRUE(collector.Dump().empty());
+  collector.Disable();
+}
+
+TEST(TraceTest, EnableMidCollectionResetsTheRing) {
+  TraceCollector collector;
+  collector.Enable(2);
+  for (int i = 0; i < 3; ++i) {
+    TraceRecord record;
+    record.label = "old" + std::to_string(i);
+    collector.Add(std::move(record));
+  }
+  // Shrinking the capacity mid-flight must not leave stale residents
+  // beyond the new bound.
+  collector.Enable(1);
+  TraceRecord record;
+  record.label = "fresh";
+  collector.Add(std::move(record));
+  const std::vector<TraceRecord> records = collector.Dump();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, "fresh");
+  collector.Disable();
+}
+
+TEST(TraceTest, RequestTraceStitchesManualStagesAndSpans) {
+  RequestTrace trace;
+  const auto origin = std::chrono::steady_clock::now();
+  // Stages that happened before the worker picked the request up.
+  trace.Open("serve", "serve\tu1\tq", /*request_id=*/42,
+             origin - std::chrono::microseconds(500));
+  ASSERT_TRUE(trace.open());
+  trace.AddStage("serve.parse", origin - std::chrono::microseconds(500),
+                 origin - std::chrono::microseconds(400));
+  {
+    PWS_SPAN("obs_test.request_stage");
+  }
+  const uint64_t total = trace.CloseUs();
+  EXPECT_GE(total, 500u);  // At least the backdated origin offset.
+  TraceRecord record = trace.Take();
+  EXPECT_EQ(record.request_id, 42u);
+  EXPECT_STREQ(record.verb, "serve");
+  EXPECT_EQ(record.total_us, total);
+  ASSERT_EQ(record.events.size(), 2u);
+  EXPECT_STREQ(record.events[0].name, "serve.parse");
+  EXPECT_EQ(record.events[0].start_us, 0u);
+  EXPECT_EQ(record.events[0].duration_us, 100u);
+  EXPECT_STREQ(record.events[1].name, "obs_test.request_stage");
+  // Spans opened after the backdated origin carry the offset.
+  EXPECT_GE(record.events[1].start_us, 400u);
+}
+
+TEST(TraceTest, RequestTraceAbsorbsEngineQueryTrace) {
+  // The engine opens PWS_QUERY_TRACE around every serve; when the
+  // server's request trace is already open on the thread, the engine's
+  // must yield so spans stitch into one record — and the sampled ring
+  // must not receive a duplicate engine-only record.
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable(8);
+  {
+    RequestTrace trace;
+    trace.Open("serve", "outer", 7, std::chrono::steady_clock::now());
+    {
+      PWS_QUERY_TRACE("inner-engine-trace");
+      PWS_SPAN("obs_test.engine_stage");
+    }
+    trace.CloseUs();
+    TraceRecord record = trace.Take();
+    ASSERT_EQ(record.events.size(), 1u);
+    EXPECT_STREQ(record.events[0].name, "obs_test.engine_stage");
+  }
+  EXPECT_TRUE(collector.Dump().empty());
+  collector.Disable();
+  collector.Clear();
+}
+
+TEST(TraceTest, SecondRequestTraceOpenIsANoOp) {
+  RequestTrace first;
+  first.Open("serve", "first", 1, std::chrono::steady_clock::now());
+  RequestTrace second;
+  second.Open("click", "second", 2, std::chrono::steady_clock::now());
+  EXPECT_FALSE(second.open());
+  {
+    PWS_SPAN("obs_test.owned_by_first");
+  }
+  first.CloseUs();
+  TraceRecord record = first.Take();
+  ASSERT_EQ(record.events.size(), 1u);
+  EXPECT_STREQ(record.events[0].name, "obs_test.owned_by_first");
+  EXPECT_TRUE(second.Take().events.empty());
+}
+
+TEST(TraceTest, GlobalExemplarsIsASeparateRing) {
+  TraceCollector& sampled = TraceCollector::Global();
+  TraceCollector& exemplars = TraceCollector::GlobalExemplars();
+  ASSERT_NE(&sampled, &exemplars);
+  exemplars.Enable(2);
+  TraceRecord record;
+  record.label = "slow-one";
+  exemplars.Add(std::move(record));
+  EXPECT_TRUE(sampled.Dump().empty());
+  ASSERT_EQ(exemplars.Dump().size(), 1u);
+  exemplars.Disable();
+  exemplars.Clear();
+}
+
+// ---------- Exports: Chrome trace JSON and the metrics document -------
+
+TraceRecord MakeRecord(uint64_t id, const char* verb,
+                       const std::string& label) {
+  TraceRecord record;
+  record.label = label;
+  record.request_id = id;
+  record.verb = verb;
+  record.epoch_us = 1000;
+  record.total_us = 900;
+  record.events.push_back({"serve.parse", 0, 50});
+  record.events.push_back({"serve.engine", 100, 700});
+  return record;
+}
+
+TEST(TraceExportTest, ChromeTraceJsonParsesWithExpectedEvents) {
+  std::vector<TraceRecord> records;
+  records.push_back(MakeRecord(11, "serve", "serve\tu1\tcafe \"quoted\""));
+  records.push_back(MakeRecord(12, "click", "click\tu1\tq\td3"));
+  const std::string json = ChromeTraceJson(records);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc)) << json;
+  EXPECT_EQ(doc["displayTimeUnit"].String(), "ms");
+  const std::vector<JsonValue>& events = doc["traceEvents"].Items();
+  // One top-level "request" event plus two stage events per record.
+  ASSERT_EQ(events.size(), 6u);
+  size_t requests = 0;
+  for (const JsonValue& event : events) {
+    EXPECT_EQ(event["ph"].String(), "X");
+    EXPECT_GE(event["ts"].Number(), 1000.0);  // epoch_us offsets applied.
+    if (event["cat"].String() == "request") {
+      ++requests;
+      EXPECT_EQ(event["args"]["verb"].String(), event["name"].String());
+    } else {
+      EXPECT_EQ(event["cat"].String(), "stage");
+    }
+  }
+  EXPECT_EQ(requests, 2u);
+  // Tab and quote in the label survived escaping into valid JSON.
+  EXPECT_NE(json.find("cafe \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ExemplarsJsonRoundTripsStageBreakdown) {
+  std::vector<TraceRecord> records;
+  records.push_back(MakeRecord(99, "train", "train\tu2"));
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(ExemplarsJson(records), &doc));
+  ASSERT_EQ(doc.Items().size(), 1u);
+  const JsonValue& exemplar = doc[0];
+  EXPECT_EQ(exemplar["request_id"].Number(), 99.0);
+  EXPECT_EQ(exemplar["verb"].String(), "train");
+  EXPECT_EQ(exemplar["total_us"].Number(), 900.0);
+  ASSERT_EQ(exemplar["stages"].Items().size(), 2u);
+  EXPECT_EQ(exemplar["stages"][1]["name"].String(), "serve.engine");
+  EXPECT_EQ(exemplar["stages"][1]["dur_us"].Number(), 700.0);
+}
+
+TEST(TraceExportTest, GlobalMetricsJsonHasEverySectionAndParses) {
+  MetricsRegistry::Global().Reset();
+  SloTracker::Global().Reset();
+  SloTracker::Config config;
+  config.target_us = 1000.0;
+  SloTracker::Global().Configure(config);
+  const int64_t now = SteadyNowUs();
+  MetricsRegistry::Global().GetCounter("obs_test.report.count")->Increment();
+  MetricsRegistry::Global()
+      .GetWindowedHistogram("obs_test.report.us")
+      ->Record(123.0, now);
+  SloTracker::Global().RecordRequest(5000.0, /*error=*/false, now);
+  TraceCollector& exemplars = TraceCollector::GlobalExemplars();
+  exemplars.Enable(2);
+  exemplars.Add(MakeRecord(7, "serve", "slow"));
+  const std::string json = GlobalMetricsJson(now);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc)) << json;
+  for (const char* section : {"counters", "gauges", "histograms",
+                              "windowed", "slo", "exemplars"}) {
+    EXPECT_TRUE(doc.Has(section)) << section;
+  }
+  EXPECT_EQ(doc["counters"]["obs_test.report.count"].Number(), 1.0);
+  EXPECT_EQ(doc["windowed"]["obs_test.report.us"]["count"].Number(), 1.0);
+  EXPECT_TRUE(doc["slo"]["enabled"].Bool());
+  EXPECT_EQ(doc["slo"]["window"]["violations"].Number(), 1.0);
+  EXPECT_EQ(doc["exemplars"][0]["request_id"].Number(), 7.0);
+  exemplars.Disable();
+  exemplars.Clear();
+  SloTracker::Global().Reset();
+  MetricsRegistry::Global().Reset();
 }
 #endif  // !PWS_OBS_DISABLED
 

@@ -6,6 +6,7 @@
 
 #include "util/arg_parser.h"
 #include "util/id_map.h"
+#include "util/json.h"
 #include "util/math_util.h"
 #include "util/random.h"
 #include "util/ring_buffer.h"
@@ -547,6 +548,88 @@ TEST(RingBufferTest, ClearResetsToEmpty) {
   ring.Push(7);
   EXPECT_EQ(ring.at(0), 7);
   EXPECT_EQ(ring.size(), 1u);
+}
+
+// ---------- JSON parsing ----------
+
+TEST(JsonTest, ParsesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("null", &v));
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(ParseJson("true", &v));
+  EXPECT_TRUE(v.Bool());
+  ASSERT_TRUE(ParseJson("false", &v));
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.Bool());
+  ASSERT_TRUE(ParseJson("-12.5e2", &v));
+  EXPECT_DOUBLE_EQ(v.Number(), -1250.0);
+  ASSERT_TRUE(ParseJson("\"hi\"", &v));
+  EXPECT_EQ(v.String(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(
+      R"({"counters": {"hits": 3}, "items": [1, {"x": true}, null]})",
+      &doc));
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc["counters"]["hits"].Number(), 3.0);
+  ASSERT_EQ(doc["items"].Items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc["items"][0].Number(), 1.0);
+  EXPECT_TRUE(doc["items"][1]["x"].Bool());
+  EXPECT_TRUE(doc["items"][2].is_null());
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"("a\"b\\c\/d\n\t\r\b\f")", &v));
+  EXPECT_EQ(v.String(), "a\"b\\c/d\n\t\r\b\f");
+  // \uXXXX decodes to UTF-8: ASCII, 2-byte, and 3-byte ranges.
+  ASSERT_TRUE(ParseJson(R"("\u0041\u00e9\u20ac")", &v));
+  EXPECT_EQ(v.String(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonTest, MissesChainToNullSafely) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(R"({"a": {"b": 1}})", &doc));
+  EXPECT_TRUE(doc["a"]["nope"]["deeper"].is_null());
+  EXPECT_DOUBLE_EQ(doc["missing"].Number(), 0.0);
+  EXPECT_EQ(doc["a"]["b"]["not_an_object"].Number(), 0.0);
+  EXPECT_TRUE(doc["a"].Items().empty());  // Object, not array.
+  EXPECT_FALSE(doc.Has("missing"));
+  EXPECT_TRUE(doc.Has("a"));
+}
+
+TEST(JsonTest, KeysPreserveDocumentOrder) {
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(R"({"zebra": 1, "alpha": 2, "mid": 3})", &doc));
+  const std::vector<std::string> expected = {"zebra", "alpha", "mid"};
+  EXPECT_EQ(doc.Keys(), expected);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  JsonValue v;
+  for (const char* bad :
+       {"", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a: 1}",
+        "\"unterminated", "\"bad\\escape\"", "\"\\u12g4\"", "tru",
+        "nul", "01x", "1 trailing", "{} {}", "[1,]", "{\"a\":1,}"}) {
+    EXPECT_FALSE(ParseJson(bad, &v)) << "accepted: " << bad;
+    EXPECT_TRUE(v.is_null()) << bad;
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  // Past the parser's depth bound — must fail cleanly, not overflow.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  EXPECT_FALSE(ParseJson(deep, &v));
+}
+
+TEST(JsonTest, SurroundingWhitespaceIsFine) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("  \n\t{ \"a\" : [ ] }  \n", &v));
+  EXPECT_TRUE(v["a"].is_array());
 }
 
 }  // namespace

@@ -9,6 +9,9 @@
 //   gps <city name>     attach a GPS trace around a city
 //   metrics             dump the metrics registry (latency histograms,
 //                       cache counters) accumulated this session
+//   metrics json        the same registry as the JSON document every
+//                       other surface emits (server `metrics` verb,
+//                       --metrics-out exports)
 //   save [path]         snapshot the engine state (default: --state path)
 //   load [path]         restore engine state from a snapshot + WAL replay
 //   quit
@@ -28,6 +31,7 @@
 #include "core/pws_engine.h"
 #include "eval/world.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -128,6 +132,12 @@ int main(int argc, char** argv) {
       const std::string text =
           obs::MetricsRegistry::Global().Snapshot().ToText();
       std::cout << (text.empty() ? "no metrics recorded yet\n" : text);
+      continue;
+    }
+    if (line == "metrics json") {
+      // The shared obs writer — byte-compatible with the server's
+      // `metrics` verb and the bench --metrics-out export.
+      std::cout << obs::GlobalMetricsJson();
       continue;
     }
     if (line == "save" || StartsWith(line, "save ")) {

@@ -19,8 +19,13 @@
 // Run:  ./build/pws_loadgen --port=N [--connections=8] [--requests=2000]
 //           [--open-rps=200] [--open-duration-s=10] [--zipf-s=1.1]
 //           [--users=16] [--click-rate=0.1] [--seed=1]
-//           [--metrics-out=BENCH_SERVE.json] [--shutdown]
+//           [--metrics-out=BENCH_SERVE.json] [--trace-out=trace.json]
+//           [--shutdown]
 //
+// --trace-out fetches the server's `trace` verb after the run and
+// writes the Chrome trace_event JSON (open in chrome://tracing or
+// Perfetto) — the server must be running with --trace-sample-every or
+// --slow-us for the export to contain records.
 // --shutdown sends the server the `shutdown` verb after the run — the
 // CI smoke uses it to exercise the graceful drain path end to end.
 
@@ -272,6 +277,7 @@ int main(int argc, char** argv) {
   const double open_rps = args.GetDouble("open-rps", 200.0);
   const double open_duration_s = args.GetDouble("open-duration-s", 10.0);
   const std::string metrics_out = args.GetString("metrics-out", "");
+  const std::string trace_out = args.GetString("trace-out", "");
 
   // The server owns the query pool; fetch it instead of rebuilding the
   // world client-side.
@@ -345,6 +351,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "wrote " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    serve::Request request;
+    request.type = serve::RequestType::kTrace;
+    serve::Reply reply;
+    if (!control->Call(request, &reply) || !reply.ok || reply.fields.empty()) {
+      std::cerr << "cannot fetch traces from server\n";
+      return 1;
+    }
+    std::ofstream out(trace_out);
+    out << UnescapeLineBreaks(reply.fields[0]);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << trace_out << "\n";
   }
   if (args.GetBool("shutdown", false)) {
     serve::Request request;

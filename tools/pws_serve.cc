@@ -8,12 +8,22 @@
 // Run:  ./build/pws_serve [--port=N] [--workers=N] [--queue-capacity=N]
 //                         [--docs=N] [--users=N] [--seed=N]
 //                         [--state=PATH] [--snapshot-every-s=SECONDS]
+//                         [--trace-sample-every=N] [--trace-capacity=N]
+//                         [--slow-us=N] [--exemplar-capacity=N]
+//                         [--slo-target-us=N] [--slo-goal=F]
 //                         [--log-level=LEVEL]
 //
 // --state=PATH turns on durability: mutations are WAL-logged as they
 // happen, the server snapshots periodically (--snapshot-every-s) and at
 // shutdown, and a restart with the same --state restores the snapshot
 // and replays the WAL tail before accepting traffic (DESIGN.md §12).
+//
+// Observability (DESIGN.md §14): --trace-sample-every=N captures every
+// Nth request's per-stage trace (fetch with the `trace` verb, view in
+// chrome://tracing); --slow-us=N captures any request slower than N
+// microseconds as an exemplar regardless of sampling; --slo-target-us
+// turns on latency-SLO burn accounting in the `metrics` verb JSON.
+// Watch it live:  ./build/pws_top --port=PORT
 //
 // Poke it by hand:  printf 'serve\t0\t5\tcoffee seattle\n' | nc 127.0.0.1 PORT
 
@@ -87,6 +97,15 @@ int main(int argc, char** argv) {
       static_cast<int>(args.GetInt("queue-capacity", 256));
   server_options.state_path = state_path;
   server_options.snapshot_every_s = args.GetDouble("snapshot-every-s", 0.0);
+  server_options.trace_sample_every =
+      static_cast<int>(args.GetInt("trace-sample-every", 0));
+  server_options.trace_capacity =
+      static_cast<int>(args.GetInt("trace-capacity", 256));
+  server_options.slow_request_us = args.GetInt("slow-us", 0);
+  server_options.exemplar_capacity =
+      static_cast<int>(args.GetInt("exemplar-capacity", 32));
+  server_options.slo_target_us = args.GetDouble("slo-target-us", 0.0);
+  server_options.slo_goal = args.GetDouble("slo-goal", 0.99);
   server_options.query_pool.reserve(world.queries().size());
   for (const auto& intent : world.queries()) {
     server_options.query_pool.push_back(intent.text);

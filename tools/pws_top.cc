@@ -1,0 +1,165 @@
+// Terminal ops console for a running pws_serve: polls the `metrics`
+// verb and renders the live (rolling-window) view — per-verb and
+// per-stage p50/p95/p99 over the last ~10s, queue depth against
+// capacity, shed/error rates, SLO burn, and the latest slow-request
+// exemplars with their per-stage breakdown.
+//
+// Run:  ./build/pws_top --port=N [--interval-ms=1000] [--frames=0]
+//
+// --frames=N stops after N refreshes (0 = run until the server goes
+// away or Ctrl-C); --frames=1 prints a single report without clearing
+// the screen, which is what the CI smoke uses.
+
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/socket_io.h"
+#include "util/arg_parser.h"
+#include "util/json.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace pws;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signal) { g_signal = signal; }
+
+/// One metrics-verb round trip; false on transport failure (server gone).
+bool FetchMetricsJson(serve::LineChannel* channel, JsonValue* out) {
+  serve::Request request;
+  request.type = serve::RequestType::kMetrics;
+  if (!channel->WriteLine(serve::FormatRequest(request)).ok()) return false;
+  std::string line;
+  if (!channel->ReadLine(&line)) return false;
+  const serve::Reply reply = serve::ParseReply(line);
+  if (!reply.ok || reply.fields.empty()) return false;
+  return ParseJson(UnescapeLineBreaks(reply.fields[0]), out);
+}
+
+std::string Percent(double fraction) {
+  return FormatDouble(100.0 * fraction, 1) + "%";
+}
+
+/// Milliseconds with one decimal — the natural scale for serve stages.
+std::string Ms(double us) { return FormatDouble(us / 1000.0, 2); }
+
+void RenderWindowedTable(const JsonValue& windowed, std::ostream& os) {
+  Table table({"metric", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"});
+  for (const std::string& name : windowed.Keys()) {
+    const JsonValue& entry = windowed[name];
+    if (entry["count"].Number() <= 0) continue;  // Idle this window.
+    table.AddRow({name, std::to_string(static_cast<int64_t>(
+                            entry["count"].Number())),
+                  Ms(entry["p50"].Number()), Ms(entry["p95"].Number()),
+                  Ms(entry["p99"].Number()), Ms(entry["max"].Number())});
+  }
+  if (table.num_rows() == 0) {
+    os << "  (no requests in the current window)\n";
+    return;
+  }
+  os << table.ToAligned();
+}
+
+void RenderFrame(const JsonValue& doc, std::ostream& os) {
+  const JsonValue& gauges = doc["gauges"];
+  const JsonValue& slo = doc["slo"];
+  const JsonValue& window = slo["window"];
+
+  const double depth = gauges["serve.queue_depth"]["value"].Number();
+  const double depth_max = gauges["serve.queue_depth"]["max"].Number();
+  const double capacity = gauges["serve.queue_capacity"]["value"].Number();
+  os << "pws_top — uptime " << gauges["serve.uptime_s"]["value"].Number()
+     << "s, queue " << depth << "/" << capacity << " (max " << depth_max
+     << ")\n";
+
+  const double requests = window["requests"].Number();
+  os << "window " << FormatDouble(slo["window_s"].Number(), 1) << "s: "
+     << requests << " requests, err " << Percent(window["error_rate"].Number())
+     << ", shed " << Percent(window["shed_rate"].Number());
+  if (slo["enabled"].Bool()) {
+    os << " | SLO " << Ms(slo["target_us"].Number()) << "ms@"
+       << Percent(slo["goal"].Number()) << ": viol "
+       << Percent(window["violation_rate"].Number()) << ", burn "
+       << FormatDouble(window["burn_rate"].Number(), 2) << "x";
+  }
+  os << "\n\n";
+
+  os << "live percentiles (rolling window):\n";
+  RenderWindowedTable(doc["windowed"], os);
+
+  const std::vector<JsonValue>& exemplars = doc["exemplars"].Items();
+  os << "\nslow-request exemplars (" << exemplars.size() << "):\n";
+  // Newest last in the ring; show the most recent few, newest first.
+  const size_t show = exemplars.size() < 5 ? exemplars.size() : 5;
+  for (size_t i = 0; i < show; ++i) {
+    const JsonValue& exemplar = exemplars[exemplars.size() - 1 - i];
+    os << "  #" << static_cast<uint64_t>(exemplar["request_id"].Number())
+       << " " << exemplar["verb"].String() << " "
+       << Ms(exemplar["total_us"].Number()) << "ms:";
+    for (const JsonValue& stage : exemplar["stages"].Items()) {
+      os << " " << stage["name"].String() << "="
+         << Ms(stage["dur_us"].Number()) << "ms";
+    }
+    os << "\n";
+  }
+  if (exemplars.empty()) os << "  (none captured)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const int port = static_cast<int>(args.GetInt("port", 0));
+  if (port <= 0) {
+    std::cerr << "usage: pws_top --port=N [--interval-ms=1000] [--frames=0]\n";
+    return 2;
+  }
+  const int interval_ms = static_cast<int>(args.GetInt("interval-ms", 1000));
+  const int64_t frames = args.GetInt("frames", 0);
+
+  StatusOr<int> fd = serve::ConnectToLoopback(port);
+  if (!fd.ok()) {
+    std::cerr << "cannot connect to 127.0.0.1:" << port << ": " << fd.status()
+              << "\n";
+    return 1;
+  }
+  serve::LineChannel channel(*fd);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const bool interactive = frames != 1;
+  for (int64_t frame = 0; g_signal == 0 && (frames == 0 || frame < frames);
+       ++frame) {
+    JsonValue doc;
+    if (!FetchMetricsJson(&channel, &doc)) {
+      std::cerr << "server went away\n";
+      return frame == 0 ? 1 : 0;
+    }
+    std::string out;
+    {
+      std::ostringstream buffer;
+      RenderFrame(doc, buffer);
+      out = buffer.str();
+    }
+    // Repaint in place for live watching; plain print for one-shot runs
+    // so the output stays pipeable.
+    if (interactive) std::cout << "\033[H\033[2J";
+    std::cout << out << std::flush;
+    if (frames == 0 || frame + 1 < frames) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
