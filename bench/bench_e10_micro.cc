@@ -20,11 +20,16 @@ namespace {
 
 using namespace pws;
 
+// Corpus size for SharedWorld, overridable with --documents=N (the
+// 20k/200k/1M sweep in BENCH_RETRIEVAL.json). Set in main() before any
+// benchmark runs.
+int g_documents = 20000;
+
 // One shared world for all microbenchmarks (built on first use).
 const eval::World& SharedWorld() {
   static const eval::World& world = *[] {
     eval::WorldConfig config;
-    config.corpus.num_documents = 20000;
+    config.corpus.num_documents = g_documents;
     config.users.num_users = 8;
     config.backend.page_size = 30;
     return new eval::World(config);
@@ -102,6 +107,63 @@ void BM_TopKTermIds(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TopKTermIds)->Unit(benchmark::kMicrosecond);
+
+void BM_TopKBlockMax(benchmark::State& state) {
+  // The explicit Block-Max WAND path (BM_TopKTermIds goes through the
+  // dispatcher). Counters report how many posting blocks the pruning
+  // decoded vs proved irrelevant per query — blocks_skipped > 0 is what
+  // pays for the machinery, and CI asserts it stays that way.
+  const auto& world = SharedWorld();
+  const auto& index = world.search_backend().index();
+  std::vector<backend::AnalyzedQuery> analyzed;
+  for (const auto& q : BenchQueries()) analyzed.push_back(index.Analyze(q));
+  uint64_t scored = 0;
+  uint64_t skipped = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    backend::RetrievalStats stats;
+    const auto top =
+        index.TopKScoredBlockMax(analyzed[i % analyzed.size()].term_ids, 30,
+                                 backend::Bm25Params{}, &stats);
+    benchmark::DoNotOptimize(top.size());
+    scored += stats.blocks_scored;
+    skipped += stats.blocks_skipped;
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["blocks_scored"] = benchmark::Counter(
+      static_cast<double>(scored), benchmark::Counter::kAvgIterations);
+  state.counters["blocks_skipped"] = benchmark::Counter(
+      static_cast<double>(skipped), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TopKBlockMax)->Unit(benchmark::kMicrosecond);
+
+void BM_DecodeBlock(benchmark::State& state) {
+  // Raw block decode throughput over the longest posting list in the
+  // index (the widest-fanout term dominates exhaustive scoring cost).
+  const auto& world = SharedWorld();
+  const auto& index = world.search_backend().index();
+  backend::PostingListView longest;
+  for (text::TermId t = 0; t < index.vocabulary_size(); ++t) {
+    const backend::PostingListView view = index.PostingsFor(t);
+    if (view.size() > longest.size()) longest = view;
+  }
+  uint32_t docs[backend::kPostingBlockSize];
+  uint32_t tfs[backend::kPostingBlockSize];
+  uint64_t postings = 0;
+  for (auto _ : state) {
+    for (uint32_t b = 0; b < longest.num_blocks(); ++b) {
+      DecodePostingBlock(longest.block(b), longest.block_data(b),
+                         longest.block_base(b), docs, tfs);
+      benchmark::DoNotOptimize(docs[0]);
+    }
+    postings += longest.size();
+  }
+  state.SetItemsProcessed(postings);
+  state.counters["blocks"] =
+      benchmark::Counter(static_cast<double>(longest.num_blocks()));
+}
+BENCHMARK(BM_DecodeBlock)->Unit(benchmark::kMicrosecond);
 
 void BM_Snippets(benchmark::State& state) {
   // Snippet generation for a full result page (the other half of
@@ -372,12 +434,14 @@ int main(int argc, char** argv) {
   bench::BenchConfig config;
   config.metrics_out =
       args.GetString("metrics-out", args.GetString("metrics_out", ""));
+  g_documents = static_cast<int>(args.GetInt("documents", g_documents));
 
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (StartsWith(arg, "--metrics-out") || StartsWith(arg, "--metrics_out") ||
-        StartsWith(arg, "--log-level") || StartsWith(arg, "--log_level")) {
+        StartsWith(arg, "--log-level") || StartsWith(arg, "--log_level") ||
+        StartsWith(arg, "--documents")) {
       continue;
     }
     bench_argv.push_back(argv[i]);

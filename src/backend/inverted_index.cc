@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
@@ -13,6 +17,23 @@ namespace {
 
 // Title tokens are indexed twice: a cheap stand-in for field weighting.
 constexpr int kTitleBoost = 2;
+
+// TopKScored uses the block-max path only when the heap threshold has a
+// chance to prune: k * kBlockMaxSelectivity <= candidate postings.
+// Larger k relative to the candidate pool means nearly every candidate
+// lands in the heap anyway, and the exhaustive batched loop is cheaper
+// than cursor bookkeeping.
+constexpr uint64_t kBlockMaxSelectivity = 8;
+
+/// Inflates an upper-bound sum so it dominates every floating-point
+/// evaluation order of the true (smaller) sum. Per-term contributions
+/// are exact upper bounds; only the *summation* of bounds vs actuals
+/// can disagree by rounding, which n-term summation bounds by a
+/// (1+n*eps)^2 factor. 1e-12 relative covers n up to ~2000 terms, far
+/// beyond any query, and costs no measurable pruning power. Pruning
+/// with the inflated bound is therefore safe for exact top-k; see
+/// DESIGN.md §15.
+double SafeUpperBound(double bound_sum) { return bound_sum * (1.0 + 1e-12); }
 
 /// Per-thread retrieval scratch. The flat score array is epoch-stamped:
 /// scores[doc] is live only when epochs[doc] == epoch, so consecutive
@@ -53,6 +74,240 @@ bool Better(const ScoredDoc& a, const ScoredDoc& b) {
   return a.doc < b.doc;
 }
 
+/// Bounded top-k insertion: a size-k heap whose root is the *worst*
+/// retained hit under the deterministic order.
+void HeapOffer(std::vector<ScoredDoc>& heap, size_t cap,
+               const ScoredDoc& candidate) {
+  if (heap.size() < cap) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), Better);
+  } else if (Better(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), Better);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), Better);
+  }
+}
+
+std::vector<ScoredDoc> HeapToSorted(std::vector<ScoredDoc>& heap) {
+  std::vector<ScoredDoc> out(heap.begin(), heap.end());
+  std::sort(out.begin(), out.end(), Better);
+  return out;
+}
+
+void BumpBlockCounters(const RetrievalStats& stats) {
+  static obs::Counter* scored =
+      obs::MetricsRegistry::Global().GetCounter("backend.search.blocks_scored");
+  static obs::Counter* skipped = obs::MetricsRegistry::Global().GetCounter(
+      "backend.search.blocks_skipped");
+  if (stats.blocks_scored > 0) scored->Increment(stats.blocks_scored);
+  if (stats.blocks_skipped > 0) skipped->Increment(stats.blocks_skipped);
+}
+
+// ---------------------------------------------------------------------
+// Block-max segment merge (TopKScoredBlockMax). See DESIGN.md §15.
+//
+// The doc space is walked left to right in *segments*: [m, seg_end]
+// where seg_end is the smallest current-block last_doc across the
+// active lists, so within a segment no list crosses a block boundary.
+// Per segment the block maxima prune three ways — the whole segment
+// when the summed maxima cannot beat the heap threshold, a lone
+// non-essential list, and (inside the kernels) individual candidates
+// via per-tf contribution bounds — and the survivors are merged with
+// batched kernels chosen by how many lists overlap the segment.
+// ---------------------------------------------------------------------
+
+/// Stored-tf ceiling for the per-term contribution bound tables: tfs at
+/// or above the cap fall back to the term's global max. BM25 saturates
+/// in tf, so one table entry per small tf captures nearly all of the
+/// filtering power.
+constexpr int kBoundTfCap = 64;
+
+/// Widest segment (in doc ids) the scatter/probe and bitmap kernels
+/// accept; wider segments — rare, only very sparse blocks — take the
+/// scalar merge. 16K keeps the tag array (32KB) L1-resident and the
+/// accumulator (128KB) comfortably in L2.
+constexpr uint32_t kMergeRange = 16384;
+
+/// Cursor capacity of the merge scratch. Queries beyond this many
+/// distinct known terms (none exist in this workload) fall back to
+/// exhaustive scoring.
+constexpr size_t kMaxMergeTerms = 8;
+
+/// Branch-free double selects. The obvious ternary compiles to a
+/// branch (gcc won't speculate FP moves here), which mispredicts badly
+/// on ~30% hit-density probe streams — so select via integer masking.
+/// `m` must be all-ones or all-zero.
+inline double SelectDouble(uint64_t m, double x, double y) {
+  uint64_t xi, yi;
+  std::memcpy(&xi, &x, 8);
+  std::memcpy(&yi, &y, 8);
+  const uint64_t r = (xi & m) | (yi & ~m);
+  double d;
+  std::memcpy(&d, &r, 8);
+  return d;
+}
+inline double MaskDouble(uint64_t m, double x) {
+  uint64_t xi;
+  std::memcpy(&xi, &x, 8);
+  xi &= m;
+  double d;
+  std::memcpy(&d, &xi, 8);
+  return d;
+}
+
+/// The retrieval order as a *functor*: handing std::push_heap a
+/// function pointer makes every comparison an indirect call in the
+/// hottest loop of the merge.
+struct WorseOrder {
+  inline bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+};
+
+/// Bounded top-k heap whose root is the worst retained hit. Offer
+/// inlines the full tie-break (score desc, doc asc), which together
+/// with `>=` candidate gates makes the merge order-independent: a
+/// later exact tie with a larger doc id never displaces the incumbent.
+struct BoundedTopK {
+  std::vector<ScoredDoc>& h;
+  const size_t cap;
+  inline bool Full() const { return h.size() >= cap; }
+  inline double Threshold() const {
+    return Full() ? h.front().score : -std::numeric_limits<double>::infinity();
+  }
+  inline void Offer(double score, corpus::DocId doc) {
+    if (h.size() < cap) {
+      h.push_back({doc, score});
+      std::push_heap(h.begin(), h.end(), WorseOrder{});
+    } else if (score > h.front().score ||
+               (score == h.front().score && doc < h.front().doc)) {
+      std::pop_heap(h.begin(), h.end(), WorseOrder{});
+      h.back() = {doc, score};
+      std::push_heap(h.begin(), h.end(), WorseOrder{});
+    }
+  }
+};
+
+/// One term's merge cursor: current block index, the decoded block
+/// (docs + stored tfs), lazily the batched exact contributions, and
+/// the per-tf upper-bound table. ~6KB each, lives in the per-thread
+/// merge scratch.
+struct MergeCursor {
+  PostingListView view;
+  const double* norms = nullptr;  // bm25_norm_ of the owning index
+  double idf = 0.0;
+  double k1p1 = 0.0;  // k1 + 1
+  uint32_t block = 0;
+  uint32_t num_blocks = 0;
+  int count = 0;
+  int pos = 0;
+  bool loaded = false;
+  bool contrib_loaded = false;
+  uint64_t blocks_decoded = 0;
+  /// Scatter positions the probe pass already folded into a two-list
+  /// candidate (so the lone-docs sweep skips them). One bit per block
+  /// position.
+  uint64_t probed[2];
+  /// bound_tbl[stored_tf] >= any contribution this term can make with
+  /// that tf (norm floored at the corpus minimum, inflated 1e-12 for
+  /// summation-order slack); [kBoundTfCap] holds the term-wide bound.
+  double bound_tbl[kBoundTfCap + 1];
+  /// +4: doc sentinels (0xffffffff) let the kernels run without end
+  /// checks.
+  alignas(64) uint32_t docs[kPostingBlockSize + 4];
+  /// 2x: the branchless probe speculatively reads tfs[tag & 0xff]
+  /// before testing the tag's epoch, so stale tags (values up to 255)
+  /// must still land in-bounds. Bind() zeroes the array once.
+  alignas(64) uint32_t tfs[2 * kPostingBlockSize];
+  alignas(64) double tf_real[kPostingBlockSize];
+  alignas(64) double denom[kPostingBlockSize];
+  alignas(64) double contrib[kPostingBlockSize + 4];
+
+  void Bind(const PostingListView& v, double idf_in, const double* norms_in,
+            double k1, double norm_min) {
+    view = v;
+    norms = norms_in;
+    idf = idf_in;
+    k1p1 = k1 + 1.0;
+    block = 0;
+    num_blocks = v.num_blocks();
+    count = pos = 0;
+    loaded = contrib_loaded = false;
+    blocks_decoded = 0;
+    std::memset(tfs, 0, sizeof(tfs));
+    for (int tf = 0; tf < kBoundTfCap; ++tf) {
+      const double t = static_cast<double>(tf) + 1.0;  // stored -> real tf
+      bound_tbl[tf] = idf * t * k1p1 / (t + norm_min) * (1.0 + 1e-12);
+    }
+    bound_tbl[kBoundTfCap] = v.term_max() * (1.0 + 1e-12);
+  }
+
+  void Load() {
+    const BlockMeta& meta = view.block(block);
+    DecodePostingBlockStoredTf(meta, view.block_data(block),
+                               view.block_base(block), docs, tfs);
+    const int n = meta.count;
+    docs[n] = docs[n + 1] = docs[n + 2] = docs[n + 3] = 0xffffffffu;
+    tfs[n] = tfs[n + 1] = tfs[n + 2] = tfs[n + 3] = 0;
+    count = n;
+    pos = 0;
+    loaded = true;
+    contrib_loaded = false;
+    probed[0] = probed[1] = 0;
+    ++blocks_decoded;
+  }
+
+  /// Batch-computes the exact contribution of every posting in the
+  /// loaded block. Three flat passes so the compiler vectorizes the
+  /// divide; elementwise, so each value is bit-identical to the scalar
+  /// expression below.
+  void EnsureContrib() {
+    if (contrib_loaded) return;
+    const int n = count;
+    for (int i = 0; i < n; ++i) tf_real[i] = static_cast<double>(tfs[i]) + 1.0;
+    for (int i = 0; i < n; ++i) denom[i] = tf_real[i] + norms[docs[i]];
+    for (int i = 0; i < n; ++i) contrib[i] = idf * tf_real[i] * k1p1 / denom[i];
+    contrib[n] = contrib[n + 1] = contrib[n + 2] = contrib[n + 3] = 0.0;
+    contrib_loaded = true;
+  }
+
+  /// Exact contribution of posting i — the expression every scoring
+  /// path in this file evaluates, same order, same doubles.
+  inline double Exact(int i) const {
+    if (contrib_loaded) return contrib[i];
+    const double tf = static_cast<double>(tfs[i]) + 1.0;
+    return idf * tf * k1p1 / (tf + norms[docs[i]]);
+  }
+};
+
+/// Per-thread merge scratch (~210KB): allocated once per thread, no
+/// per-query clears except the candidate structures' own epochs.
+struct MergeScratchArena {
+  /// Docs-present bitmap for the 3+-list accumulation kernel (cleared
+  /// per segment, words actually spanned only).
+  uint64_t bitmap[kMergeRange / 64];
+  /// Score accumulator addressed doc - segment_base; valid where the
+  /// bitmap bit is set.
+  double acc[kMergeRange];
+  /// Scatter tags for the two-list kernel: (epoch << 8) | position.
+  /// Epoch-tagged so segments don't pay a clear; a full memset every
+  /// 256 epochs amortizes to nothing.
+  uint16_t tag[kMergeRange];
+  uint32_t tag_epoch = 0;
+  /// Probe survivors: (hit << 63) | (scatter_pos << 32) | probe_pos.
+  uint64_t cand[kPostingBlockSize + 8];
+  MergeCursor cursors[kMaxMergeTerms];
+};
+
+MergeScratchArena& MergeScratch() {
+  // Heap-allocated: ~210KB is too big for TLS proper, and lazily built
+  // so threads that never retrieve pay nothing.
+  thread_local std::unique_ptr<MergeScratchArena> arena;
+  if (!arena) arena = std::make_unique<MergeScratchArena>();
+  return *arena;
+}
+
 }  // namespace
 
 InvertedIndex::InvertedIndex(const corpus::Corpus* corpus,
@@ -61,6 +316,32 @@ InvertedIndex::InvertedIndex(const corpus::Corpus* corpus,
   PWS_CHECK(corpus_ != nullptr);
   num_documents_ = corpus_->size();
   doc_lengths_.resize(num_documents_, 0);
+
+  // Build-time staging, per term: a pending buffer of at most one
+  // block's postings plus the already-encoded bytes and block metadata.
+  // Blocks are encoded as soon as they fill, so peak memory is the
+  // compressed index plus one partial block per term — never the full
+  // uncompressed posting lists.
+  struct TermBuild {
+    std::vector<Posting> pending;
+    std::vector<uint8_t> bytes;
+    std::vector<BlockMeta> metas;
+    corpus::DocId base = 0;  // decode base of the next block
+    uint32_t doc_count = 0;
+  };
+  std::vector<TermBuild> builds;
+  const auto flush = [](TermBuild& tb) {
+    if (tb.pending.empty()) return;
+    const BlockMeta meta =
+        EncodePostingBlock(tb.pending.data(),
+                           static_cast<int>(tb.pending.size()), tb.base,
+                           &tb.bytes);
+    tb.base = meta.last_doc + 1;
+    tb.doc_count += meta.count;
+    tb.metas.push_back(meta);
+    tb.pending.clear();
+  };
+
   int64_t total_length = 0;
   std::vector<std::string> tokens;
   for (corpus::DocId id = 0; id < num_documents_; ++id) {
@@ -75,10 +356,14 @@ InvertedIndex::InvertedIndex(const corpus::Corpus* corpus,
     }
     int length = 0;
     for (const auto& [term, count] : counts) {
-      if (term >= static_cast<text::TermId>(postings_.size())) {
-        postings_.resize(term + 1);
+      if (term >= static_cast<text::TermId>(builds.size())) {
+        builds.resize(term + 1);
       }
-      postings_[term].push_back({id, count});
+      TermBuild& tb = builds[term];
+      tb.pending.push_back({id, count});
+      if (tb.pending.size() == static_cast<size_t>(kPostingBlockSize)) {
+        flush(tb);
+      }
       length += count;
     }
     doc_lengths_[id] = length;
@@ -88,15 +373,46 @@ InvertedIndex::InvertedIndex(const corpus::Corpus* corpus,
       num_documents_ > 0
           ? static_cast<double>(total_length) / num_documents_
           : 0.0;
+
+  // Consolidate the per-term chunks into one shared arena + one flat
+  // block-metadata array, freeing each term's staging as it lands.
+  uint64_t total_bytes = 0, total_blocks = 0;
+  for (TermBuild& tb : builds) {
+    flush(tb);
+    total_bytes += tb.bytes.size();
+    total_blocks += tb.metas.size();
+  }
+  // +pad: decode reads the bit stream in unaligned 64-bit words and may
+  // touch up to 7 bytes past a block's payload (kDecodeOverreadPad).
+  encoded_.reserve(total_bytes + kDecodeOverreadPad);
+  blocks_.reserve(total_blocks);
+  terms_.resize(builds.size());
+  for (size_t t = 0; t < builds.size(); ++t) {
+    TermBuild& tb = builds[t];
+    TermPostings& tp = terms_[t];
+    tp.data_begin = encoded_.size();
+    tp.block_begin = static_cast<uint32_t>(blocks_.size());
+    tp.block_count = static_cast<uint32_t>(tb.metas.size());
+    tp.doc_count = tb.doc_count;
+    encoded_.insert(encoded_.end(), tb.bytes.begin(), tb.bytes.end());
+    blocks_.insert(blocks_.end(), tb.metas.begin(), tb.metas.end());
+    TermBuild().pending.swap(tb.pending);
+    std::vector<uint8_t>().swap(tb.bytes);
+    std::vector<BlockMeta>().swap(tb.metas);
+  }
+  encoded_.insert(encoded_.end(), kDecodeOverreadPad, 0);
+
   BuildScoringTables();
+  ComputeBlockMaxima();
 }
 
 void InvertedIndex::BuildScoringTables() {
-  idf_.resize(postings_.size());
-  for (size_t term = 0; term < postings_.size(); ++term) {
-    idf_[term] = Idf(postings_[term]);
+  idf_.resize(terms_.size());
+  for (size_t term = 0; term < terms_.size(); ++term) {
+    idf_[term] = Idf(terms_[term].doc_count);
   }
   bm25_norm_.resize(num_documents_);
+  bm25_norm_min_ = std::numeric_limits<double>::infinity();
   for (corpus::DocId doc = 0; doc < num_documents_; ++doc) {
     // The exact expression the untabled path evaluates, so tabled and
     // untabled scores are bit-identical.
@@ -104,6 +420,35 @@ void InvertedIndex::BuildScoringTables() {
         table_params_.k1 * (1.0 - table_params_.b +
                             table_params_.b * doc_lengths_[doc] /
                                 avg_doc_length_);
+    bm25_norm_min_ = std::min(bm25_norm_min_, bm25_norm_[doc]);
+  }
+}
+
+void InvertedIndex::ComputeBlockMaxima() {
+  uint32_t docs[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    TermPostings& tp = terms_[t];
+    const PostingListView view = ViewOf(tp);
+    const double idf = idf_[t];
+    double term_max = 0.0;
+    for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+      const BlockMeta& meta = view.block(b);
+      DecodePostingBlock(meta, view.block_data(b), view.block_base(b), docs,
+                         tfs);
+      // The exact per-posting expression the scoring loops evaluate, so
+      // every block_max is a true (achieved) maximum, not an estimate.
+      double block_max = 0.0;
+      for (int i = 0; i < meta.count; ++i) {
+        const double tf = tfs[i];
+        const double contribution = idf * tf * (table_params_.k1 + 1.0) /
+                                    (tf + bm25_norm_[docs[i]]);
+        block_max = std::max(block_max, contribution);
+      }
+      blocks_[tp.block_begin + b].block_max = block_max;
+      term_max = std::max(term_max, block_max);
+    }
+    tp.term_max = term_max;
   }
 }
 
@@ -124,22 +469,20 @@ AnalyzedQuery InvertedIndex::Analyze(std::string_view query) const {
   return analyzed;
 }
 
-const std::vector<Posting>& InvertedIndex::PostingsFor(
-    std::string_view term) const {
+PostingListView InvertedIndex::PostingsFor(std::string_view term) const {
   return PostingsFor(vocabulary_.Get(term));
 }
 
-const std::vector<Posting>& InvertedIndex::PostingsFor(
-    text::TermId term) const {
-  if (term < 0 || term >= static_cast<text::TermId>(postings_.size())) {
-    return empty_postings_;
+PostingListView InvertedIndex::PostingsFor(text::TermId term) const {
+  if (term < 0 || term >= static_cast<text::TermId>(terms_.size())) {
+    return PostingListView();
   }
-  return postings_[term];
+  return ViewOf(terms_[term]);
 }
 
-double InvertedIndex::Idf(const std::vector<Posting>& postings) const {
-  const double df = static_cast<double>(postings.size());
-  return std::log(1.0 + (num_documents_ - df + 0.5) / (df + 0.5));
+double InvertedIndex::Idf(double document_frequency) const {
+  return std::log(1.0 + (num_documents_ - document_frequency + 0.5) /
+                            (document_frequency + 0.5));
 }
 
 void InvertedIndex::DistinctKnownTerms(
@@ -147,7 +490,7 @@ void InvertedIndex::DistinctKnownTerms(
     std::vector<text::TermId>* out) const {
   out->clear();
   for (const text::TermId id : term_ids) {
-    if (id < 0 || id >= static_cast<text::TermId>(postings_.size())) continue;
+    if (id < 0 || id >= static_cast<text::TermId>(terms_.size())) continue;
     // Queries hold a handful of terms; a linear scan beats hashing.
     if (std::find(out->begin(), out->end(), id) == out->end()) {
       out->push_back(id);
@@ -161,21 +504,31 @@ double InvertedIndex::Score(const std::vector<text::TermId>& term_ids,
   const bool tabled = ParamsMatchTables(params);
   TopKScratch& scratch = LocalScratch();
   DistinctKnownTerms(term_ids, &scratch.distinct_terms);
+  uint32_t docs[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
   double score = 0.0;
   for (const text::TermId id : scratch.distinct_terms) {
-    const auto& postings = postings_[id];
-    if (postings.empty()) continue;
-    const auto it = std::lower_bound(
-        postings.begin(), postings.end(), doc,
-        [](const Posting& p, corpus::DocId d) { return p.doc < d; });
-    if (it == postings.end() || it->doc != doc) continue;
-    const double tf = it->term_frequency;
+    const PostingListView view = ViewOf(terms_[id]);
+    if (view.empty()) continue;
+    // One block decode per term: the skip metadata finds the only block
+    // that can contain `doc`.
+    const uint32_t b = view.FindBlock(doc, 0);
+    if (b == view.num_blocks()) continue;
+    const BlockMeta& meta = view.block(b);
+    DecodePostingBlock(meta, view.block_data(b), view.block_base(b), docs,
+                       tfs);
+    const uint32_t* begin = docs;
+    const uint32_t* end = docs + meta.count;
+    const uint32_t* it =
+        std::lower_bound(begin, end, static_cast<uint32_t>(doc));
+    if (it == end || static_cast<corpus::DocId>(*it) != doc) continue;
+    const double tf = tfs[it - docs];
     const double norm =
         tabled ? bm25_norm_[doc]
                : params.k1 * (1.0 - params.b +
                               params.b * DocumentLength(doc) /
                                   avg_doc_length_);
-    const double idf = tabled ? idf_[id] : Idf(postings);
+    const double idf = tabled ? idf_[id] : Idf(view.size());
     score += idf * tf * (params.k1 + 1.0) / (tf + norm);
   }
   return score;
@@ -192,57 +545,390 @@ double InvertedIndex::Score(const std::vector<std::string>& query_tokens,
 }
 
 std::vector<ScoredDoc> InvertedIndex::TopKScored(
+    const std::vector<text::TermId>& term_ids, int k, const Bm25Params& params,
+    RetrievalStats* stats) const {
+  if (k <= 0 || num_documents_ == 0) return {};
+  if (ParamsMatchTables(params)) {
+    // Candidate pool size decides whether pruning can pay (see
+    // kBlockMaxSelectivity).
+    TopKScratch& scratch = LocalScratch();
+    DistinctKnownTerms(term_ids, &scratch.distinct_terms);
+    uint64_t candidates = 0;
+    for (const text::TermId id : scratch.distinct_terms) {
+      candidates += terms_[id].doc_count;
+    }
+    if (static_cast<uint64_t>(k) * kBlockMaxSelectivity <= candidates) {
+      return TopKScoredBlockMax(term_ids, k, params, stats);
+    }
+  }
+  return TopKScoredExhaustive(term_ids, k, params, stats);
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKScoredExhaustive(
     const std::vector<text::TermId>& term_ids, int k,
-    const Bm25Params& params) const {
+    const Bm25Params& params, RetrievalStats* stats) const {
   if (k <= 0 || num_documents_ == 0) return {};
   const bool tabled = ParamsMatchTables(params);
   TopKScratch& scratch = LocalScratch();
   scratch.Begin(num_documents_);
   DistinctKnownTerms(term_ids, &scratch.distinct_terms);
+  RetrievalStats local;
 
-  // Accumulate scores term-at-a-time over the union of postings into the
-  // epoch-stamped flat array.
+  // Block-batched accumulation term-at-a-time over the union of
+  // postings: decode one block into the stack buffers, then score its
+  // postings in a tight loop against the epoch-stamped flat array. The
+  // accumulation order (term order, then doc order) matches the
+  // pre-block implementation, so scores are bit-identical.
+  uint32_t docs[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
   for (const text::TermId id : scratch.distinct_terms) {
-    const auto& postings = postings_[id];
-    if (postings.empty()) continue;
-    const double idf = tabled ? idf_[id] : Idf(postings);
-    for (const Posting& p : postings) {
-      const double tf = p.term_frequency;
-      const double norm =
-          tabled ? bm25_norm_[p.doc]
-                 : params.k1 * (1.0 - params.b +
-                                params.b * DocumentLength(p.doc) /
-                                    avg_doc_length_);
-      const double contribution = idf * tf * (params.k1 + 1.0) / (tf + norm);
-      if (scratch.epochs[p.doc] != scratch.epoch) {
-        scratch.epochs[p.doc] = scratch.epoch;
-        scratch.scores[p.doc] = contribution;
-        scratch.touched.push_back(p.doc);
-      } else {
-        scratch.scores[p.doc] += contribution;
+    const PostingListView view = ViewOf(terms_[id]);
+    if (view.empty()) continue;
+    const double idf = tabled ? idf_[id] : Idf(view.size());
+    for (uint32_t b = 0; b < view.num_blocks(); ++b) {
+      const BlockMeta& meta = view.block(b);
+      DecodePostingBlock(meta, view.block_data(b), view.block_base(b), docs,
+                         tfs);
+      ++local.blocks_scored;
+      for (int i = 0; i < meta.count; ++i) {
+        const corpus::DocId doc = static_cast<corpus::DocId>(docs[i]);
+        const double tf = tfs[i];
+        const double norm =
+            tabled ? bm25_norm_[doc]
+                   : params.k1 * (1.0 - params.b +
+                                  params.b * DocumentLength(doc) /
+                                      avg_doc_length_);
+        const double contribution =
+            idf * tf * (params.k1 + 1.0) / (tf + norm);
+        if (scratch.epochs[doc] != scratch.epoch) {
+          scratch.epochs[doc] = scratch.epoch;
+          scratch.scores[doc] = contribution;
+          scratch.touched.push_back(doc);
+        } else {
+          scratch.scores[doc] += contribution;
+        }
       }
     }
   }
+  local.docs_evaluated = scratch.touched.size();
 
-  // Bounded top-k selection: a size-k heap whose root is the *worst*
-  // retained hit under the deterministic order (score desc, doc asc).
   std::vector<ScoredDoc>& heap = scratch.heap;
   heap.clear();
   const size_t cap = static_cast<size_t>(k);
   for (const corpus::DocId doc : scratch.touched) {
-    const ScoredDoc candidate{doc, scratch.scores[doc]};
-    if (heap.size() < cap) {
-      heap.push_back(candidate);
-      std::push_heap(heap.begin(), heap.end(), Better);
-    } else if (Better(candidate, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), Better);
-      heap.back() = candidate;
-      std::push_heap(heap.begin(), heap.end(), Better);
-    }
+    HeapOffer(heap, cap, ScoredDoc{doc, scratch.scores[doc]});
   }
-  std::vector<ScoredDoc> out(heap.begin(), heap.end());
-  std::sort(out.begin(), out.end(), Better);
-  return out;
+  BumpBlockCounters(local);
+  if (stats != nullptr) *stats = local;
+  return HeapToSorted(heap);
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKScoredBlockMax(
+    const std::vector<text::TermId>& term_ids, int k,
+    const Bm25Params& params, RetrievalStats* stats) const {
+  if (k <= 0 || num_documents_ == 0) return {};
+  if (!ParamsMatchTables(params)) {
+    // Block maxima were precomputed for table_params_; with foreign
+    // params they are not bounds, so pruning would be unsound.
+    return TopKScoredExhaustive(term_ids, k, params, stats);
+  }
+  TopKScratch& scratch = LocalScratch();
+  DistinctKnownTerms(term_ids, &scratch.distinct_terms);
+  const size_t num_terms = scratch.distinct_terms.size();
+  if (num_terms == 0) {
+    if (stats != nullptr) *stats = RetrievalStats{};
+    return {};
+  }
+  if (num_terms > kMaxMergeTerms) {
+    return TopKScoredExhaustive(term_ids, k, params, stats);
+  }
+
+  // One cursor per distinct term, in term order (cursor index ==
+  // position in distinct_terms). Every kernel below folds a doc's
+  // contributions in term order, so surviving scores are bit-identical
+  // to the exhaustive accumulator's.
+  MergeScratchArena& ms = MergeScratch();
+  uint64_t total_blocks = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    MergeCursor& cur = ms.cursors[t];
+    cur.Bind(ViewOf(terms_[scratch.distinct_terms[t]]),
+             idf_[scratch.distinct_terms[t]], bm25_norm_.data(), params.k1,
+             bm25_norm_min_);
+    total_blocks += cur.num_blocks;
+  }
+
+  scratch.heap.clear();
+  BoundedTopK heap{scratch.heap, static_cast<size_t>(k)};
+  RetrievalStats local;
+  uint64_t evals = 0;
+
+  constexpr uint32_t kInfDoc = 0xffffffffu;
+  uint32_t m = 0;  // next doc id the merge has not covered yet
+  while (true) {
+    // Advance every list to its block containing docs >= m, sum the
+    // current block maxima, and find the segment end: the closest
+    // block boundary, so no list crosses a block inside [m, seg_end].
+    double ub = 0.0;
+    uint32_t seg_end = kInfDoc;
+    size_t active = 0;
+    for (size_t t = 0; t < num_terms; ++t) {
+      MergeCursor& cur = ms.cursors[t];
+      while (cur.block < cur.num_blocks &&
+             static_cast<uint32_t>(cur.view.block(cur.block).last_doc) < m) {
+        ++cur.block;
+        cur.loaded = false;
+      }
+      if (cur.block == cur.num_blocks) continue;
+      ++active;
+      const BlockMeta& meta = cur.view.block(cur.block);
+      ub += meta.block_max;
+      seg_end = std::min(seg_end, static_cast<uint32_t>(meta.last_doc));
+    }
+    if (active == 0) break;
+    const double threshold = heap.Threshold();
+    // Whole-segment skip: even a doc carrying every list's block max
+    // cannot enter the heap. (Never-decoded blocks count as skipped via
+    // the total - decoded accounting at the end.)
+    if (heap.Full() && SafeUpperBound(ub) <= threshold) {
+      m = seg_end + 1;
+      continue;
+    }
+
+    // Collect the lists whose current block overlaps the segment, and
+    // mark each *essential* (its block alone could beat the
+    // threshold). Docs present only in non-essential lists cannot
+    // enter the heap — tie-safe because the bound inflation makes a
+    // pruned candidate's score strictly below the threshold.
+    MergeCursor* seg[kMaxMergeTerms];
+    bool ess[kMaxMergeTerms];
+    size_t ns = 0;
+    for (size_t t = 0; t < num_terms; ++t) {
+      MergeCursor& cur = ms.cursors[t];
+      if (cur.block == cur.num_blocks) continue;
+      if (static_cast<uint32_t>(cur.view.block_base(cur.block)) > seg_end) {
+        continue;
+      }
+      ess[ns] = !heap.Full() ||
+                SafeUpperBound(cur.view.block(cur.block).block_max) >
+                    threshold;
+      seg[ns++] = &cur;
+    }
+    if (ns == 1 && !ess[0]) {  // lone non-essential list: skip undecoded
+      m = seg_end + 1;
+      continue;
+    }
+    for (size_t i = 0; i < ns; ++i) {
+      MergeCursor& cur = *seg[i];
+      if (!cur.loaded) cur.Load();
+      while (cur.docs[cur.pos] < m) ++cur.pos;  // sentinel-terminated
+    }
+    const uint32_t base = m;
+
+    if (ns == 2 && seg_end - m < kMergeRange) {
+      // Two lists: scatter the (globally) larger one into the tag
+      // array, probe with the smaller. The probe is branchless — per
+      // probe doc it builds an upper bound on the doc's total score
+      // from the per-tf bound tables and appends the doc to a
+      // candidate buffer only when the bound reaches the (frozen)
+      // threshold; candidates then get exact scores. swap keeps term
+      // order in the exact sum.
+      const bool swap = seg[1]->view.size() > seg[0]->view.size();
+      MergeCursor& a = swap ? *seg[1] : *seg[0];  // scatter side
+      MergeCursor& b = swap ? *seg[0] : *seg[1];  // probe side
+      const bool ess_a = swap ? ess[1] : ess[0];
+      const bool ess_b = swap ? ess[0] : ess[1];
+      if (ess_a) a.EnsureContrib();
+      if (ess_b) b.EnsureContrib();
+      double theta = heap.Threshold();
+      // Frozen for the probe filter: theta only rises, so filtering
+      // against theta0 keeps a superset of the survivors.
+      const double theta0 = theta;
+      const uint32_t* da = a.docs;
+      const uint32_t* db = b.docs;
+      const uint32_t* ta = a.tfs;
+      const uint32_t* tb = b.tfs;
+      const double* cb = b.contrib;
+      const double* bta = a.bound_tbl;
+      const double* btb = b.bound_tbl;
+      ms.tag_epoch = (ms.tag_epoch + 1) & 0xff;
+      if (ms.tag_epoch == 0) {
+        std::memset(ms.tag, 0, sizeof(ms.tag));
+        ms.tag_epoch = 1;
+      }
+      const uint16_t tag = static_cast<uint16_t>(ms.tag_epoch << 8);
+      int pa = a.pos;
+      for (; da[pa] <= seg_end; ++pa) {
+        ms.tag[da[pa] - base] = tag | static_cast<uint16_t>(pa);
+      }
+      int pb = b.pos;
+      int nc = 0;
+      if (ess_b) {
+        for (; db[pb] <= seg_end; ++pb) {
+          const uint32_t v = ms.tag[db[pb] - base];
+          const uint64_t hit = (v >> 8) == ms.tag_epoch;
+          const uint32_t ia = v & 0xff;  // stale when !hit; masked below
+          const uint32_t tfa = ta[ia], tfb = tb[pb];
+          const double bnd_a = bta[tfa < kBoundTfCap ? tfa : kBoundTfCap];
+          const double bnd_b = btb[tfb < kBoundTfCap ? tfb : kBoundTfCap];
+          // B essential: a B-only doc can still qualify on b's exact
+          // contribution alone.
+          const double cand = SelectDouble(0ull - hit, bnd_a + bnd_b, cb[pb]);
+          ms.cand[nc] = (hit << 63) | (static_cast<uint64_t>(ia) << 32) |
+                        static_cast<uint32_t>(pb);
+          nc += (cand >= theta0);
+        }
+      } else {
+        for (; db[pb] <= seg_end; ++pb) {
+          const uint32_t v = ms.tag[db[pb] - base];
+          const uint64_t hit = (v >> 8) == ms.tag_epoch;
+          const uint32_t ia = v & 0xff;
+          const uint32_t tfa = ta[ia], tfb = tb[pb];
+          const double bnd_a = bta[tfa < kBoundTfCap ? tfa : kBoundTfCap];
+          const double bnd_b = btb[tfb < kBoundTfCap ? tfb : kBoundTfCap];
+          // B not essential: only intersection docs can qualify.
+          const double cand = MaskDouble(0ull - hit, bnd_a + bnd_b);
+          ms.cand[nc] = (hit << 63) | (static_cast<uint64_t>(ia) << 32) |
+                        static_cast<uint32_t>(pb);
+          nc += (cand >= theta0);
+        }
+      }
+      for (int ci = 0; ci < nc; ++ci) {
+        const uint64_t u = ms.cand[ci];
+        const int pbx = static_cast<int>(static_cast<uint32_t>(u));
+        const int ia = static_cast<int>((u >> 32) & 0xff);
+        const uint32_t d = db[pbx];
+        double s;
+        if (u >> 63) {
+          if (ess_a) a.probed[ia >> 6] |= 1ull << (ia & 63);
+          s = swap ? b.Exact(pbx) + a.Exact(ia) : a.Exact(ia) + b.Exact(pbx);
+        } else {
+          s = b.Exact(pbx);
+        }
+        if (s >= theta) {
+          heap.Offer(s, static_cast<corpus::DocId>(d));
+          ++evals;
+          theta = heap.Threshold();
+        }
+      }
+      if (ess_a) {
+        // A-only docs the probe never touched.
+        const double* ca = a.contrib;
+        for (int p = a.pos; p < pa; ++p) {
+          if (((a.probed[p >> 6] >> (p & 63)) & 1) == 0 && ca[p] >= theta) {
+            heap.Offer(ca[p], static_cast<corpus::DocId>(da[p]));
+            ++evals;
+            theta = heap.Threshold();
+          }
+        }
+      }
+      a.pos = pa;
+      b.pos = pb;
+    } else if (ns == 1) {
+      // Lone essential list: batched exact contributions, flat scan.
+      MergeCursor& cur = *seg[0];
+      cur.EnsureContrib();
+      double theta = heap.Threshold();
+      int p = cur.pos;
+      while (cur.docs[p] <= seg_end) {
+        if (cur.contrib[p] >= theta) {
+          heap.Offer(cur.contrib[p], static_cast<corpus::DocId>(cur.docs[p]));
+          ++evals;
+          theta = heap.Threshold();
+        }
+        ++p;
+      }
+      cur.pos = p;
+    } else if (seg_end - m < kMergeRange) {
+      // Three+ lists: exact accumulation into the bitmap-backed dense
+      // array, in term order per doc (lists are visited in term order
+      // and each adds once), then one sweep over the set bits.
+      const uint32_t words = ((seg_end - m) >> 6) + 1;
+      std::memset(ms.bitmap, 0, words * sizeof(uint64_t));
+      for (size_t i = 0; i < ns; ++i) {
+        MergeCursor& cur = *seg[i];
+        cur.EnsureContrib();
+        const uint32_t* dd = cur.docs;
+        const double* cc = cur.contrib;
+        int p = cur.pos;
+        for (; dd[p] <= seg_end; ++p) {
+          const uint32_t off = dd[p] - base;
+          const uint64_t w = ms.bitmap[off >> 6];
+          const uint64_t bit = 1ull << (off & 63);
+          // First touch reads garbage; mask it to 0 instead of
+          // branching on the bit.
+          const double prev =
+              MaskDouble(0ull - ((w >> (off & 63)) & 1), ms.acc[off]);
+          ms.acc[off] = prev + cc[p];
+          ms.bitmap[off >> 6] = w | bit;
+        }
+        cur.pos = p;
+      }
+      double theta = heap.Threshold();
+      for (uint32_t w = 0; w < words; ++w) {
+        uint64_t x = ms.bitmap[w];
+        while (x) {
+          const int bit = __builtin_ctzll(x);
+          x &= x - 1;
+          const uint32_t off = w * 64 + static_cast<uint32_t>(bit);
+          const double s = ms.acc[off];
+          if (s >= theta) {
+            heap.Offer(s, static_cast<corpus::DocId>(base + off));
+            ++evals;
+            theta = heap.Threshold();
+          }
+        }
+      }
+    } else {
+      // Sparse segment (wider than the dense kernels accept): scalar
+      // min-merge. A doc is evaluated when it appears in 2+ lists or
+      // any essential one; singletons of non-essential lists are
+      // pruned by the same block-max argument as above.
+      while (true) {
+        uint32_t d = kInfDoc;
+        for (size_t i = 0; i < ns; ++i) {
+          MergeCursor& cur = *seg[i];
+          if (cur.pos < cur.count) d = std::min(d, cur.docs[cur.pos]);
+        }
+        if (d > seg_end) break;
+        int nlists = 0;
+        bool any_ess = false;
+        for (size_t i = 0; i < ns; ++i) {
+          MergeCursor& cur = *seg[i];
+          if (cur.pos < cur.count && cur.docs[cur.pos] == d) {
+            ++nlists;
+            any_ess |= ess[i];
+          }
+        }
+        if (nlists >= 2 || any_ess) {
+          double s = 0.0;
+          for (size_t i = 0; i < ns; ++i) {
+            MergeCursor& cur = *seg[i];
+            if (cur.pos < cur.count && cur.docs[cur.pos] == d) {
+              s += cur.Exact(cur.pos);
+            }
+          }
+          heap.Offer(s, static_cast<corpus::DocId>(d));
+          ++evals;
+        }
+        for (size_t i = 0; i < ns; ++i) {
+          MergeCursor& cur = *seg[i];
+          if (cur.pos < cur.count && cur.docs[cur.pos] == d) ++cur.pos;
+        }
+      }
+    }
+    m = seg_end + 1;
+  }
+
+  uint64_t decoded = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    decoded += ms.cursors[t].blocks_decoded;
+  }
+  local.blocks_scored = decoded;
+  local.blocks_skipped = total_blocks - std::min(total_blocks, decoded);
+  local.docs_evaluated = evals;
+  BumpBlockCounters(local);
+  if (stats != nullptr) *stats = local;
+  return HeapToSorted(scratch.heap);
 }
 
 std::vector<corpus::DocId> InvertedIndex::TopK(
@@ -264,6 +950,28 @@ std::vector<corpus::DocId> InvertedIndex::TopK(
     ids.push_back(vocabulary_.Get(token));
   }
   return TopK(ids, k, params);
+}
+
+IndexStats InvertedIndex::Stats() const {
+  IndexStats stats;
+  stats.documents = static_cast<uint64_t>(num_documents_);
+  stats.terms = terms_.size();
+  stats.blocks = blocks_.size();
+  // The arena ends in kDecodeOverreadPad guard bytes, not payload.
+  stats.encoded_bytes = encoded_.size() - kDecodeOverreadPad;
+  stats.metadata_bytes = blocks_.size() * sizeof(BlockMeta) +
+                         terms_.size() * sizeof(TermPostings);
+  for (const TermPostings& term : terms_) {
+    stats.postings += term.doc_count;
+  }
+  for (const BlockMeta& block : blocks_) {
+    if (block.format == static_cast<uint8_t>(BlockFormat::kPacked)) {
+      ++stats.packed_blocks;
+    } else {
+      ++stats.varint_blocks;
+    }
+  }
+  return stats;
 }
 
 }  // namespace pws::backend

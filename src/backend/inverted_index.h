@@ -1,20 +1,16 @@
 #ifndef PWS_BACKEND_INVERTED_INDEX_H_
 #define PWS_BACKEND_INVERTED_INDEX_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "backend/posting_codec.h"
 #include "corpus/corpus.h"
 #include "text/vocabulary.h"
 
 namespace pws::backend {
-
-/// One posting: a document and the term's frequency in it.
-struct Posting {
-  corpus::DocId doc = corpus::kInvalidDoc;
-  int32_t term_frequency = 0;
-};
 
 /// BM25 scoring parameters (standard Robertson defaults).
 struct Bm25Params {
@@ -40,17 +36,69 @@ struct ScoredDoc {
   double score = 0.0;
 };
 
+/// Per-query retrieval work accounting, filled by the TopK* paths when a
+/// non-null pointer is passed (tests and benches; the global
+/// backend.search.blocks_{scored,skipped} counters are always bumped).
+struct RetrievalStats {
+  /// Blocks decoded and fed to the scoring loop.
+  uint64_t blocks_scored = 0;
+  /// Blocks proven irrelevant by block-max pruning and never decoded.
+  uint64_t blocks_skipped = 0;
+  /// Documents fully evaluated (block-max path; exhaustive scores all).
+  uint64_t docs_evaluated = 0;
+};
+
+/// Index size accounting (pws_cli --index-stats, bench reports).
+struct IndexStats {
+  uint64_t documents = 0;
+  uint64_t terms = 0;
+  uint64_t postings = 0;
+  uint64_t blocks = 0;
+  uint64_t packed_blocks = 0;
+  uint64_t varint_blocks = 0;
+  /// Encoded posting payload bytes.
+  uint64_t encoded_bytes = 0;
+  /// Block + term metadata bytes (skip lists, block maxima).
+  uint64_t metadata_bytes = 0;
+
+  uint64_t TotalBytes() const { return encoded_bytes + metadata_bytes; }
+  /// The layout this replaced: one 8-byte Posting per entry.
+  uint64_t UncompressedBytes() const { return postings * sizeof(Posting); }
+  double BytesPerPosting() const {
+    return postings == 0 ? 0.0
+                         : static_cast<double>(TotalBytes()) / postings;
+  }
+};
+
 /// Disk-free inverted index over a Corpus (title + body, title tokens
 /// double-counted to mimic field boosts). Provides BM25 top-k retrieval —
 /// the stand-in for the commercial search backend of the paper.
 ///
+/// Posting storage: block-compressed lists (see posting_codec.h) —
+/// 128-document blocks with delta-encoded doc ids and tf-1 values,
+/// per-block packed fixed-width or varint (whichever is smaller), plus
+/// per-block metadata carrying the skip key (last_doc) and the block's
+/// true maximum BM25 contribution under `table_params`.
+///
 /// Scoring tables: per-term IDF and the per-document BM25 length norm
 /// `k1*(1-b+b*len/avg_len)` are precomputed at build time for
-/// `table_params`, so posting traversal on the term-id fast path is one
-/// multiply-add plus one division per posting. Calls with other
-/// Bm25Params still work (the norm is recomputed per posting) and
-/// produce bit-identical scores to the tabled path — both evaluate the
-/// exact same expressions.
+/// `table_params`. Calls with other Bm25Params still work (the norm is
+/// recomputed per posting) and produce bit-identical scores to the
+/// tabled path — both evaluate the exact same expressions.
+///
+/// Top-k paths: TopKScored dispatches between
+///  - TopKScoredExhaustive: block-batched scoring — decode one block
+///    into a stack buffer and score all its postings in a tight loop
+///    against the epoch-stamped accumulator. Bit-identical to the
+///    pre-block implementation (same expressions, same order).
+///  - TopKScoredBlockMax: block-max segment merge — the doc space is
+///    walked in block-aligned segments; per-block maxima skip whole
+///    segments (and non-essential single lists) that cannot beat the
+///    current heap threshold, and the surviving lists are merged with
+///    batched, mostly branch-free kernels (scatter/probe for two
+///    lists, bitmap accumulation for three+). Exact: returns the same
+///    top-k set and the same (bit-identical) scores as the exhaustive
+///    path; see DESIGN.md §15 for the pruning-safety argument.
 ///
 /// Duplicate-term semantics: Score and TopK both score the *set* of
 /// distinct query terms (first occurrence kept), so a duplicated token
@@ -59,8 +107,8 @@ struct ScoredDoc {
 /// Thread-safety: the index is immutable after construction; Analyze,
 /// Score, and TopK* are safe to call concurrently. TopK uses an
 /// epoch-stamped per-thread scratch arena (flat score array + touched
-/// list + bounded top-k heap), so steady-state retrieval allocates only
-/// the returned vector.
+/// list + cursors + bounded top-k heap), so steady-state retrieval
+/// allocates only the returned vector.
 class InvertedIndex {
  public:
   /// Indexes every document in `corpus` and precomputes the scoring
@@ -82,12 +130,13 @@ class InvertedIndex {
   /// indexer) and interns every token against the index vocabulary.
   AnalyzedQuery Analyze(std::string_view query) const;
 
-  /// Postings for a term string (empty for unknown terms).
-  const std::vector<Posting>& PostingsFor(std::string_view term) const;
+  /// Block-postings view for a term string (empty view for unknown
+  /// terms). Iterate with PostingCursor; no copies are made.
+  PostingListView PostingsFor(std::string_view term) const;
 
-  /// Postings for an interned term id (empty for kUnknownTerm or any id
-  /// outside the vocabulary).
-  const std::vector<Posting>& PostingsFor(text::TermId term) const;
+  /// Block-postings view for an interned term id (empty view for
+  /// kUnknownTerm or any id outside the vocabulary).
+  PostingListView PostingsFor(text::TermId term) const;
 
   /// BM25 score of `doc` for the analyzed query's distinct term ids.
   double Score(const std::vector<text::TermId>& term_ids, corpus::DocId doc,
@@ -99,9 +148,27 @@ class InvertedIndex {
 
   /// Returns the top-k documents by BM25 with their scores, best first.
   /// Ties break toward lower doc ids so results are deterministic.
-  /// k <= 0 returns an empty result.
+  /// k <= 0 returns an empty result. Dispatches to the block-max path
+  /// when it can prune (tabled params, k small relative to the
+  /// candidate pool), the exhaustive path otherwise; both return
+  /// identical results.
   std::vector<ScoredDoc> TopKScored(const std::vector<text::TermId>& term_ids,
-                                    int k, const Bm25Params& params) const;
+                                    int k, const Bm25Params& params,
+                                    RetrievalStats* stats = nullptr) const;
+
+  /// Exhaustive block-batched scoring over the full candidate union.
+  std::vector<ScoredDoc> TopKScoredExhaustive(
+      const std::vector<text::TermId>& term_ids, int k,
+      const Bm25Params& params, RetrievalStats* stats = nullptr) const;
+
+  /// Block-max early-termination top-k (segment merge). Exact (same
+  /// set, same scores as exhaustive). Falls back to exhaustive when
+  /// `params` do not match the precomputed tables (block maxima only
+  /// bound the tabled contributions) or the query holds more distinct
+  /// terms than the merge keeps cursors for.
+  std::vector<ScoredDoc> TopKScoredBlockMax(
+      const std::vector<text::TermId>& term_ids, int k,
+      const Bm25Params& params, RetrievalStats* stats = nullptr) const;
 
   /// Returns the ids of the top-k documents by BM25, best first. Ties
   /// break toward lower doc ids so results are deterministic. k <= 0
@@ -113,10 +180,26 @@ class InvertedIndex {
   std::vector<corpus::DocId> TopK(const std::vector<std::string>& query_tokens,
                                   int k, const Bm25Params& params) const;
 
+  /// Size accounting for the compressed posting storage.
+  IndexStats Stats() const;
+
  private:
-  double Idf(const std::vector<Posting>& postings) const;
+  /// One term's slice of the shared encoded arena + block metadata.
+  struct TermPostings {
+    uint64_t data_begin = 0;
+    uint32_t block_begin = 0;
+    uint32_t block_count = 0;
+    uint32_t doc_count = 0;  // == document frequency
+    /// Max block_max across the term's blocks (the WAND term bound).
+    double term_max = 0.0;
+  };
+
+  double Idf(double document_frequency) const;
   /// Precomputes idf_ and bm25_norm_ for table_params_.
   void BuildScoringTables();
+  /// Second pass over the encoded blocks: fills BlockMeta::block_max and
+  /// TermPostings::term_max from the scoring tables.
+  void ComputeBlockMaxima();
   /// Copies the distinct known term ids of `term_ids` (first-occurrence
   /// order preserved) into `*out`.
   void DistinctKnownTerms(const std::vector<text::TermId>& term_ids,
@@ -124,18 +207,29 @@ class InvertedIndex {
   bool ParamsMatchTables(const Bm25Params& params) const {
     return params.k1 == table_params_.k1 && params.b == table_params_.b;
   }
+  PostingListView ViewOf(const TermPostings& term) const {
+    return PostingListView(encoded_.data() + term.data_begin,
+                           blocks_.data() + term.block_begin,
+                           term.block_count, term.doc_count, term.term_max);
+  }
 
   const corpus::Corpus* corpus_;
   text::Vocabulary vocabulary_;
-  std::vector<std::vector<Posting>> postings_;
+  /// Block-compressed posting storage: one shared byte arena, one flat
+  /// block-metadata array, and per-term slices into both.
+  std::vector<uint8_t> encoded_;
+  std::vector<BlockMeta> blocks_;
+  std::vector<TermPostings> terms_;
   std::vector<int> doc_lengths_;
   int num_documents_ = 0;
   double avg_doc_length_ = 0.0;
-  std::vector<Posting> empty_postings_;
   /// Precomputed scoring tables (see class comment).
   Bm25Params table_params_;
   std::vector<double> idf_;        // per term id
   std::vector<double> bm25_norm_;  // per doc: k1*(1-b+b*len/avg_len)
+  /// min over bm25_norm_: the denominator floor behind the per-tf
+  /// contribution bounds the block-max merge filters candidates with.
+  double bm25_norm_min_ = 0.0;
 };
 
 }  // namespace pws::backend

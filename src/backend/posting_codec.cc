@@ -1,0 +1,330 @@
+#include "backend/posting_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "util/check.h"
+
+namespace pws::backend {
+namespace {
+
+/// Bits needed to represent `value` (0 -> 0 bits).
+int BitsFor(uint32_t value) {
+  int bits = 0;
+  while (value != 0) {
+    ++bits;
+    value >>= 1;
+  }
+  return bits;
+}
+
+int VarintLength(uint32_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    ++len;
+    value >>= 7;
+  }
+  return len;
+}
+
+void AppendVarint(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+const uint8_t* ReadVarint(const uint8_t* p, uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (true) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *value = result;
+  return p;
+}
+
+/// Appends `count` values bit-packed at `bits` each, LSB-first into a
+/// little-endian stream, padded to a byte boundary. `bits` == 0 appends
+/// nothing (all values are 0).
+void AppendPacked(const uint32_t* values, int count, int bits,
+                  std::vector<uint8_t>* out) {
+  if (bits == 0) return;
+  uint64_t buffer = 0;
+  int buffered = 0;
+  for (int i = 0; i < count; ++i) {
+    buffer |= static_cast<uint64_t>(values[i]) << buffered;
+    buffered += bits;
+    while (buffered >= 8) {
+      out->push_back(static_cast<uint8_t>(buffer));
+      buffer >>= 8;
+      buffered -= 8;
+    }
+  }
+  if (buffered > 0) out->push_back(static_cast<uint8_t>(buffer));
+}
+
+/// Reads `count` values bit-packed at `bits` each; returns the pointer
+/// past the (byte-aligned) packed run. Each step loads one unaligned
+/// 64-bit word at the current bit offset and slices 4 values out of it
+/// when bits <= 14 (4*14 + 7 alignment bits fit in 64), 2 when
+/// bits <= 28, else 1 — this is why decode may read up to 7 bytes past
+/// the payload (kDecodeOverreadPad).
+const uint8_t* ReadPacked(const uint8_t* p, int count, int bits,
+                          uint32_t* values) {
+  if (bits == 0) {
+    std::fill(values, values + count, 0u);
+    return p;
+  }
+  const uint64_t mask =
+      bits >= 32 ? 0xFFFFFFFFull : ((1ull << bits) - 1);
+  size_t bit = 0;
+  int i = 0;
+  if (bits <= 14) {
+    for (; i + 3 < count; i += 4) {
+      uint64_t w;
+      std::memcpy(&w, p + (bit >> 3), 8);
+      w >>= (bit & 7);
+      values[i] = static_cast<uint32_t>(w & mask);
+      values[i + 1] = static_cast<uint32_t>((w >> bits) & mask);
+      values[i + 2] = static_cast<uint32_t>((w >> (2 * bits)) & mask);
+      values[i + 3] = static_cast<uint32_t>((w >> (3 * bits)) & mask);
+      bit += static_cast<size_t>(bits) * 4;
+    }
+  } else if (bits <= 28) {
+    for (; i + 1 < count; i += 2) {
+      uint64_t w;
+      std::memcpy(&w, p + (bit >> 3), 8);
+      w >>= (bit & 7);
+      values[i] = static_cast<uint32_t>(w & mask);
+      values[i + 1] = static_cast<uint32_t>((w >> bits) & mask);
+      bit += static_cast<size_t>(bits) * 2;
+    }
+  }
+  for (; i < count; ++i) {
+    uint64_t w;
+    std::memcpy(&w, p + (bit >> 3), 8);
+    values[i] = static_cast<uint32_t>((w >> (bit & 7)) & mask);
+    bit += bits;
+  }
+  return p + (static_cast<size_t>(count) * bits + 7) / 8;
+}
+
+int PackedBytes(int count, int bits) { return (count * bits + 7) / 8; }
+
+/// In-place gap -> doc-id transform: docs[i] holds gap_i on entry
+/// (gap_0 = doc_0 - base, gap_i = doc_i - doc_{i-1} - 1) and the
+/// absolute doc id on exit. The running sum adds gap + 1 per element,
+/// seeded at base - 1.
+void PrefixSumDocs(uint32_t* docs, int count, uint32_t base) {
+  int i = 0;
+#if defined(__SSE2__)
+  const __m128i ones = _mm_set1_epi32(1);
+  __m128i prev = _mm_set1_epi32(static_cast<int>(base - 1));
+  for (; i + 3 < count; i += 4) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<__m128i*>(docs + i));
+    v = _mm_add_epi32(v, ones);
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+    v = _mm_add_epi32(v, prev);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(docs + i), v);
+    prev = _mm_shuffle_epi32(v, 0xFF);
+  }
+#endif
+  uint32_t running = i > 0 ? docs[i - 1] : base - 1;
+  for (; i < count; ++i) {
+    running += docs[i] + 1;
+    docs[i] = running;
+  }
+}
+
+}  // namespace
+
+BlockMeta EncodePostingBlock(const Posting* postings, int count,
+                             corpus::DocId base, std::vector<uint8_t>* out) {
+  PWS_CHECK_GT(count, 0);
+  PWS_CHECK_LE(count, kPostingBlockSize);
+  PWS_CHECK_GE(postings[0].doc, base);
+
+  // Delta-encode doc ids and shift tfs to tf-1 (clamped).
+  uint32_t gaps[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
+  corpus::DocId prev = base - 1;
+  for (int i = 0; i < count; ++i) {
+    PWS_CHECK_GT(postings[i].doc, prev);
+    gaps[i] = static_cast<uint32_t>(postings[i].doc - prev - 1);
+    prev = postings[i].doc;
+    const uint32_t tf = postings[i].term_frequency <= 0
+                            ? 1u
+                            : static_cast<uint32_t>(postings[i].term_frequency);
+    tfs[i] = std::min(tf, kMaxStoredTermFrequency) - 1;
+  }
+
+  // Width heuristic: fixed width costs max-bits for every value; varint
+  // costs per-value length. Compute both exactly (both are O(count) and
+  // cheap) and keep the smaller, preferring packed on ties because its
+  // decode loop is branch-free.
+  uint32_t max_gap = 0, max_tf = 0;
+  int varint_bytes = 0;
+  for (int i = 0; i < count; ++i) {
+    max_gap = std::max(max_gap, gaps[i]);
+    max_tf = std::max(max_tf, tfs[i]);
+    varint_bytes += VarintLength(gaps[i]) + VarintLength(tfs[i]);
+  }
+  const int doc_bits = BitsFor(max_gap);
+  const int tf_bits = BitsFor(max_tf);
+  const int packed_bytes =
+      PackedBytes(count, doc_bits) + PackedBytes(count, tf_bits);
+
+  BlockMeta meta;
+  meta.last_doc = prev;
+  meta.offset = static_cast<uint32_t>(out->size());
+  meta.count = static_cast<uint16_t>(count);
+  if (packed_bytes <= varint_bytes) {
+    meta.format = static_cast<uint8_t>(BlockFormat::kPacked);
+    meta.doc_bits = static_cast<uint8_t>(doc_bits);
+    meta.tf_bits = static_cast<uint8_t>(tf_bits);
+    AppendPacked(gaps, count, doc_bits, out);
+    AppendPacked(tfs, count, tf_bits, out);
+  } else {
+    meta.format = static_cast<uint8_t>(BlockFormat::kVarint);
+    for (int i = 0; i < count; ++i) AppendVarint(gaps[i], out);
+    for (int i = 0; i < count; ++i) AppendVarint(tfs[i], out);
+  }
+  return meta;
+}
+
+void DecodePostingBlockStoredTf(const BlockMeta& meta, const uint8_t* data,
+                                corpus::DocId base, uint32_t* docs,
+                                uint32_t* tfs) {
+  const int count = meta.count;
+  if (meta.format == static_cast<uint8_t>(BlockFormat::kPacked)) {
+    const uint8_t* p = ReadPacked(data, count, meta.doc_bits, docs);
+    ReadPacked(p, count, meta.tf_bits, tfs);
+  } else {
+    const uint8_t* p = data;
+    for (int i = 0; i < count; ++i) p = ReadVarint(p, &docs[i]);
+    for (int i = 0; i < count; ++i) p = ReadVarint(p, &tfs[i]);
+  }
+  PrefixSumDocs(docs, count, static_cast<uint32_t>(base));
+}
+
+void DecodePostingBlock(const BlockMeta& meta, const uint8_t* data,
+                        corpus::DocId base, uint32_t* docs, uint32_t* tfs) {
+  DecodePostingBlockStoredTf(meta, data, base, docs, tfs);
+  for (int i = 0; i < meta.count; ++i) tfs[i] += 1;
+}
+
+uint32_t PostingListView::FindBlock(corpus::DocId target,
+                                    uint32_t from_block) const {
+  // Galloping would help for huge lists; queries here hold a handful of
+  // terms and seeks move monotonically, so a lower_bound over the
+  // remaining metadata is already cheap.
+  const BlockMeta* begin = blocks_ + from_block;
+  const BlockMeta* end = blocks_ + num_blocks_;
+  const BlockMeta* it = std::lower_bound(
+      begin, end, target,
+      [](const BlockMeta& b, corpus::DocId t) { return b.last_doc < t; });
+  return static_cast<uint32_t>(it - blocks_);
+}
+
+std::vector<Posting> PostingListView::Materialize() const {
+  std::vector<Posting> out;
+  out.reserve(doc_count_);
+  uint32_t docs[kPostingBlockSize];
+  uint32_t tfs[kPostingBlockSize];
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    DecodePostingBlock(blocks_[b], block_data(b), block_base(b), docs, tfs);
+    for (int i = 0; i < blocks_[b].count; ++i) {
+      out.push_back({static_cast<corpus::DocId>(docs[i]),
+                     static_cast<int32_t>(tfs[i])});
+    }
+  }
+  return out;
+}
+
+void PostingCursor::Reset(const PostingListView& view) {
+  view_ = view;
+  num_blocks_ = view.num_blocks();
+  block_ = 0;
+  loaded_ = false;
+  bound_ = 0;
+  pos_ = 0;
+  count_ = 0;
+  blocks_decoded_ = 0;
+  if (num_blocks_ > 0) DecodeBlock(0);
+}
+
+void PostingCursor::DecodeBlock(uint32_t block) {
+  const BlockMeta& meta = view_.block(block);
+  DecodePostingBlock(meta, view_.block_data(block), view_.block_base(block),
+                     docs_, tfs_);
+  count_ = meta.count;
+  pos_ = 0;
+  loaded_ = true;
+  ++blocks_decoded_;
+}
+
+void PostingCursor::Next() {
+  if (++pos_ < count_) return;
+  // Crossed a block boundary: go shallow. The next block's decode base
+  // (previous last_doc + 1) is a valid lower bound on its first doc.
+  loaded_ = false;
+  if (++block_ >= num_blocks_) return;  // AtEnd
+  bound_ = view_.block_base(block_);
+}
+
+void PostingCursor::SeekTo(corpus::DocId target) {
+  if (AtEnd() || doc() >= target) return;
+  if (view_.block(block_).last_doc < target) {
+    // Shallow-skip whole blocks via last_doc metadata; the destination
+    // block stays encoded until EnsureLoaded().
+    block_ = view_.FindBlock(target, block_ + 1);
+    loaded_ = false;
+    if (AtEnd()) return;
+    bound_ = std::max(target, view_.block_base(block_));
+  } else if (loaded_) {
+    // Within the decoded block: linear scan (blocks are small and the
+    // common in-block skip distance is short). last_doc >= target
+    // guarantees a hit before the end of the block.
+    while (pos_ < count_ && static_cast<corpus::DocId>(docs_[pos_]) < target) {
+      ++pos_;
+    }
+  } else {
+    // Same still-encoded block: just raise the bound.
+    bound_ = target;
+  }
+}
+
+void PostingCursor::EnsureLoaded() {
+  if (loaded_ || AtEnd()) return;
+  const corpus::DocId target = bound_;
+  DecodeBlock(block_);
+  // The shallow invariant (block last_doc >= bound_) guarantees a hit.
+  while (pos_ < count_ && static_cast<corpus::DocId>(docs_[pos_]) < target) {
+    ++pos_;
+  }
+}
+
+bool PostingCursor::ShallowBound(corpus::DocId target, double* block_max,
+                                 corpus::DocId* block_last) const {
+  if (AtEnd()) return false;
+  uint32_t b = block_;
+  if (view_.block(b).last_doc < target) {
+    b = view_.FindBlock(target, b + 1);
+    if (b >= num_blocks_) return false;
+  }
+  *block_max = view_.block(b).block_max;
+  *block_last = view_.block(b).last_doc;
+  return true;
+}
+
+}  // namespace pws::backend

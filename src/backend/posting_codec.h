@@ -1,0 +1,225 @@
+#ifndef PWS_BACKEND_POSTING_CODEC_H_
+#define PWS_BACKEND_POSTING_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace pws::backend {
+
+/// One posting: a document and the term's frequency in it.
+struct Posting {
+  corpus::DocId doc = corpus::kInvalidDoc;
+  int32_t term_frequency = 0;
+};
+
+/// Postings are stored in fixed-size blocks of up to this many documents.
+/// 128 keeps a decoded block (ids + tfs) inside 1KB of stack and makes
+/// per-block metadata overhead ~0.2 bytes/posting.
+inline constexpr int kPostingBlockSize = 128;
+
+/// Decode reads the packed bit stream in unaligned 64-bit words, so it
+/// may touch up to 7 bytes past the end of a block's encoded payload
+/// (the values themselves never include those bits). Every encoded
+/// region passed to DecodePostingBlock* must therefore be followed by
+/// at least this many readable bytes. The index pads its arena; tests
+/// and tools that decode from their own buffers must append the pad
+/// after encoding.
+inline constexpr size_t kDecodeOverreadPad = 8;
+
+/// Stored term frequencies are clamped here at encode time. BM25's tf
+/// saturation makes contributions beyond this indistinguishable, and the
+/// clamp bounds tf_bits so a single pathological document cannot blow up
+/// a block's width.
+inline constexpr uint32_t kMaxStoredTermFrequency = (1u << 24) - 1;
+
+/// Per-block encoding, chosen per block by a cheap size heuristic.
+enum class BlockFormat : uint8_t {
+  /// Fixed-width bit-packing: all doc gaps at `doc_bits` each (LSB-first
+  /// little-endian bit stream), byte-aligned, then all (tf-1) values at
+  /// `tf_bits` each. Decode is a branch-free shift/mask loop.
+  kPacked = 0,
+  /// LEB128 varints: all doc gaps, then all (tf-1) values. Wins when one
+  /// outlier gap would force a wide fixed width on the whole block.
+  kVarint = 1,
+};
+
+/// Metadata for one encoded block: everything skip/seek and block-max
+/// pruning need without touching the encoded bytes.
+struct BlockMeta {
+  /// Doc id of the last posting in the block (skip/seek key).
+  corpus::DocId last_doc = 0;
+  /// Byte offset of the block inside the term's encoded region.
+  uint32_t offset = 0;
+  /// Upper bound on the BM25 contribution of any posting in this block,
+  /// computed at build time against the index's precomputed IDF and
+  /// doc-norm tables. A true (per-posting exact) maximum, so block-max
+  /// pruning is safe for exact top-k.
+  double block_max = 0.0;
+  /// Postings in the block (1..kPostingBlockSize).
+  uint16_t count = 0;
+  uint8_t format = 0;  // BlockFormat
+  uint8_t doc_bits = 0;
+  uint8_t tf_bits = 0;
+};
+
+/// Encodes `count` postings (sorted by strictly increasing doc, all ids
+/// >= `base`) as one block appended to `*out`. Doc ids are delta-encoded
+/// against `base` (gap_0 = doc_0 - base, gap_i = doc_i - doc_{i-1} - 1);
+/// term frequencies are stored as tf-1, clamped to
+/// kMaxStoredTermFrequency. Returns the block's metadata with
+/// `offset` relative to the start of `*out` as of this call's append and
+/// `block_max` left 0 (the index fills it in once its scoring tables
+/// exist). `count` must be in [1, kPostingBlockSize].
+BlockMeta EncodePostingBlock(const Posting* postings, int count,
+                             corpus::DocId base, std::vector<uint8_t>* out);
+
+/// Decodes the block at `data` (the term region base plus meta.offset is
+/// resolved by the caller) into `docs[0..meta.count)` and
+/// `tfs[0..meta.count)`. `base` must be the same value passed at encode
+/// time: 0 for a term's first block, previous block's last_doc + 1
+/// afterwards. Buffers must hold kPostingBlockSize entries, and `data`
+/// must be followed by kDecodeOverreadPad readable bytes.
+void DecodePostingBlock(const BlockMeta& meta, const uint8_t* data,
+                        corpus::DocId base, uint32_t* docs, uint32_t* tfs);
+
+/// Same as DecodePostingBlock but leaves term frequencies in stored form
+/// (tf - 1, clamped). The block-max merge keeps stored tfs so they index
+/// its per-tf bound tables directly and the +1 folds into the batched
+/// scoring pass; everything else wants real tfs and should call
+/// DecodePostingBlock.
+void DecodePostingBlockStoredTf(const BlockMeta& meta, const uint8_t* data,
+                                corpus::DocId base, uint32_t* docs,
+                                uint32_t* tfs);
+
+/// A lightweight read-only view of one term's block-encoded posting
+/// list: the encoded bytes plus the block metadata array. This is what
+/// InvertedIndex::PostingsFor returns — callers iterate with a
+/// PostingCursor (or materialize with Materialize for tests/tools)
+/// instead of touching a std::vector<Posting>.
+class PostingListView {
+ public:
+  PostingListView() = default;
+  PostingListView(const uint8_t* data, const BlockMeta* blocks,
+                  uint32_t num_blocks, uint32_t doc_count, double term_max)
+      : data_(data),
+        blocks_(blocks),
+        num_blocks_(num_blocks),
+        doc_count_(doc_count),
+        term_max_(term_max) {}
+
+  /// Number of postings (the term's document frequency).
+  uint32_t size() const { return doc_count_; }
+  bool empty() const { return doc_count_ == 0; }
+  uint32_t num_blocks() const { return num_blocks_; }
+  const BlockMeta& block(uint32_t i) const { return blocks_[i]; }
+  /// Encoded bytes of block i (term region base + block offset).
+  const uint8_t* block_data(uint32_t i) const {
+    return data_ + blocks_[i].offset;
+  }
+  /// Decode base for block i (see DecodePostingBlock).
+  corpus::DocId block_base(uint32_t i) const {
+    return i == 0 ? 0 : blocks_[i - 1].last_doc + 1;
+  }
+  /// Max BM25 contribution across all blocks (the WAND term bound).
+  double term_max() const { return term_max_; }
+  corpus::DocId last_doc() const {
+    return num_blocks_ == 0 ? corpus::kInvalidDoc
+                            : blocks_[num_blocks_ - 1].last_doc;
+  }
+
+  /// First block whose last_doc >= target, starting the scan at
+  /// `from_block` (callers pass their current block so seeks only move
+  /// forward). Returns num_blocks() when every block ends before target.
+  uint32_t FindBlock(corpus::DocId target, uint32_t from_block) const;
+
+  /// Decodes the whole list (tests, stats tools, reference scorers).
+  std::vector<Posting> Materialize() const;
+
+ private:
+  const uint8_t* data_ = nullptr;
+  const BlockMeta* blocks_ = nullptr;
+  uint32_t num_blocks_ = 0;
+  uint32_t doc_count_ = 0;
+  double term_max_ = 0.0;
+};
+
+/// Forward-only cursor over a PostingListView: sequential Next(),
+/// skip-capable SeekTo() (NextGEQ), and shallow block-level accessors
+/// for Block-Max WAND. One decoded block (ids + tfs) lives inline, so a
+/// cursor is ~1KB and safely stack- or scratch-allocated; it never
+/// allocates.
+///
+/// Lazy decode: SeekTo and a Next() that crosses a block boundary move
+/// the cursor *shallowly* — they position the block via metadata but do
+/// not decode it. In that state doc() returns a lower bound on the real
+/// current doc (the seek target or the block's decode base); the real
+/// posting becomes visible after EnsureLoaded(). This is what lets
+/// block-max pruning skip whole blocks without ever paying their decode
+/// cost: WAND sorts and pivots on lower bounds, and only decodes the
+/// blocks it actually evaluates.
+///
+/// Invariants outside AtEnd(): loaded() => positioned on a real posting
+/// (doc()/tf() exact); !loaded() => current block's last_doc >= doc(),
+/// so EnsureLoaded() always lands inside the current block. tf() and
+/// Next() require loaded().
+class PostingCursor {
+ public:
+  PostingCursor() = default;
+  explicit PostingCursor(const PostingListView& view) { Reset(view); }
+
+  /// (Re)binds the cursor to `view` positioned (loaded) on the first
+  /// posting.
+  void Reset(const PostingListView& view);
+
+  bool AtEnd() const { return block_ >= num_blocks_; }
+  bool loaded() const { return loaded_; }
+  /// Exact current doc when loaded(); otherwise a lower bound on it.
+  corpus::DocId doc() const {
+    return loaded_ ? static_cast<corpus::DocId>(docs_[pos_]) : bound_;
+  }
+  /// Requires loaded().
+  uint32_t tf() const { return tfs_[pos_]; }
+
+  /// Advances past the current posting. Requires loaded(); leaves the
+  /// cursor shallow when it crosses into the next block.
+  void Next();
+
+  /// Moves to the first posting with doc >= target (no-op when already
+  /// there). Shallow: skipped-over blocks are never decoded, and the
+  /// destination block is not decoded either until EnsureLoaded().
+  void SeekTo(corpus::DocId target);
+
+  /// Decodes the current block and positions on the first posting
+  /// >= doc() (no-op when already loaded or AtEnd()).
+  void EnsureLoaded();
+
+  /// Block max of the block containing the first posting >= target
+  /// (shallow: reads metadata only, moves nothing). Sets *block_last to
+  /// that block's last_doc. Returns false when the list ends before
+  /// target.
+  bool ShallowBound(corpus::DocId target, double* block_max,
+                    corpus::DocId* block_last) const;
+
+  /// Blocks decoded by this cursor so far (observability).
+  uint64_t blocks_decoded() const { return blocks_decoded_; }
+
+ private:
+  void DecodeBlock(uint32_t block);
+
+  PostingListView view_;
+  uint32_t num_blocks_ = 0;
+  uint32_t block_ = 0;  // current block; >= num_blocks_ means AtEnd
+  bool loaded_ = false;
+  corpus::DocId bound_ = 0;  // valid when !loaded_: lower bound on doc()
+  int pos_ = 0;              // position inside the decoded block
+  int count_ = 0;            // postings in the decoded block
+  uint64_t blocks_decoded_ = 0;
+  uint32_t docs_[kPostingBlockSize];
+  uint32_t tfs_[kPostingBlockSize];
+};
+
+}  // namespace pws::backend
+
+#endif  // PWS_BACKEND_POSTING_CODEC_H_

@@ -17,6 +17,9 @@ class Corpus {
   /// Appends a document; its id must equal the current size.
   void Add(Document doc);
 
+  /// Pre-sizes the backing store (one growth for a known corpus size).
+  void Reserve(int num_documents) { documents_.reserve(num_documents); }
+
   int size() const { return static_cast<int>(documents_.size()); }
   const Document& doc(DocId id) const;
   const std::vector<Document>& documents() const { return documents_; }

@@ -122,10 +122,16 @@ Document CorpusGenerator::GenerateDocument(DocId id, Random& rng) const {
 
 Corpus CorpusGenerator::Generate(Random& rng) const {
   Corpus corpus;
-  for (DocId id = 0; id < options_.num_documents; ++id) {
-    corpus.Add(GenerateDocument(id, rng));
-  }
+  corpus.Reserve(options_.num_documents);
+  GenerateStream(rng, [&corpus](Document&& doc) { corpus.Add(std::move(doc)); });
   return corpus;
+}
+
+void CorpusGenerator::GenerateStream(
+    Random& rng, const std::function<void(Document&&)>& sink) const {
+  for (DocId id = 0; id < options_.num_documents; ++id) {
+    sink(GenerateDocument(id, rng));
+  }
 }
 
 }  // namespace pws::corpus

@@ -1,6 +1,8 @@
 #ifndef PWS_CORPUS_CORPUS_GENERATOR_H_
 #define PWS_CORPUS_CORPUS_GENERATOR_H_
 
+#include <functional>
+
 #include "corpus/corpus.h"
 #include "corpus/topic_model.h"
 #include "geo/location_ontology.h"
@@ -40,8 +42,17 @@ class CorpusGenerator {
                   const geo::LocationOntology* ontology,
                   CorpusGeneratorOptions options);
 
-  /// Generates the full corpus.
+  /// Generates the full corpus (streams into the returned Corpus; peak
+  /// memory is the corpus itself plus one document under assembly).
   Corpus Generate(Random& rng) const;
+
+  /// Streams the same document sequence Generate would produce into
+  /// `sink`, one document at a time, without materializing a Corpus.
+  /// This is the bounded-memory path for very large `num_documents`:
+  /// the sink decides what to keep (counts, sizes, an index shard)
+  /// while the generator itself holds O(1) documents.
+  void GenerateStream(Random& rng,
+                      const std::function<void(Document&&)>& sink) const;
 
   /// Generates a single document with the given id (exposed for tests).
   Document GenerateDocument(DocId id, Random& rng) const;

@@ -49,8 +49,9 @@ TEST_F(IndexTest, BasicStats) {
 }
 
 TEST_F(IndexTest, PostingsReflectOccurrences) {
-  const auto& apple = index_->PostingsFor("apple");
-  ASSERT_EQ(apple.size(), 2u);  // docs 0 and 2 ("apples" is a distinct term)
+  const PostingListView apple_view = index_->PostingsFor("apple");
+  ASSERT_EQ(apple_view.size(), 2u);  // docs 0 and 2 ("apples" is distinct)
+  const auto apple = apple_view.Materialize();
   EXPECT_EQ(apple[0].doc, 0);
   EXPECT_EQ(apple[1].doc, 2);
   EXPECT_GT(apple[0].term_frequency, apple[1].term_frequency);
@@ -60,9 +61,24 @@ TEST_F(IndexTest, PostingsReflectOccurrences) {
 TEST_F(IndexTest, TitleTokensAreBoosted) {
   // "pie" appears once in title and once in body of doc 0 -> tf 3 with
   // the x2 title boost.
-  const auto& pie = index_->PostingsFor("pie");
+  const auto pie = index_->PostingsFor("pie").Materialize();
   ASSERT_EQ(pie.size(), 1u);
   EXPECT_EQ(pie[0].term_frequency, 3);
+}
+
+TEST_F(IndexTest, CursorWalksPostingsInOrder) {
+  const PostingListView view = index_->PostingsFor("apple");
+  const auto expected = view.Materialize();
+  PostingCursor cursor;
+  cursor.Reset(view);
+  for (const Posting& p : expected) {
+    ASSERT_FALSE(cursor.AtEnd());
+    cursor.EnsureLoaded();  // Next() goes shallow across block boundaries
+    EXPECT_EQ(cursor.doc(), p.doc);
+    EXPECT_EQ(static_cast<int32_t>(cursor.tf()), p.term_frequency);
+    cursor.Next();
+  }
+  EXPECT_TRUE(cursor.AtEnd());
 }
 
 TEST_F(IndexTest, TopKRanksMatchingDocsFirst) {
@@ -166,7 +182,7 @@ std::vector<ScoredDoc> ReferenceTopK(const InvertedIndex& index,
   std::unordered_map<corpus::DocId, double> acc;
   const int n = index.num_documents();
   for (const auto& term : distinct) {
-    const auto& postings = index.PostingsFor(term);
+    const auto postings = index.PostingsFor(term).Materialize();
     if (postings.empty()) continue;
     const double df = static_cast<double>(postings.size());
     const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
@@ -207,6 +223,17 @@ corpus::Corpus MakeSeededCorpus(int num_docs, uint64_t seed) {
     for (int t = 0; t < len; ++t) {
       if (t > 0) body += ' ';
       body += pool[pick(rng)];
+    }
+    // A sprinkling of heavy-tf docs gives block maxima real variance —
+    // without it every block's max contribution is identical and
+    // block-max pruning has nothing to skip.
+    if (d % 7 == 3) {
+      const std::string& heavy = pool[pick(rng)];
+      const int reps = 8 + static_cast<int>(pick(rng));
+      for (int r = 0; r < reps; ++r) {
+        body += ' ';
+        body += heavy;
+      }
     }
     // Every 5th doc duplicates the previous one's text: guaranteed exact
     // score ties, exercising the doc-id tie-break.
@@ -263,9 +290,87 @@ TEST(GoldenEquivalenceTest, FastPathMatchesReferenceScorer) {
                     got[i].score)
               << "rank " << i;
         }
+        // Both explicit top-k paths must agree with the dispatcher —
+        // exhaustive bit-identically (same accumulator), block-max as the
+        // exact same set and scores (pruning is provably lossless).
+        for (const auto& path :
+             {index.TopKScoredExhaustive(analyzed_ids, k, params),
+              index.TopKScoredBlockMax(analyzed_ids, k, params)}) {
+          ASSERT_EQ(path.size(), got.size()) << "k=" << k;
+          for (size_t i = 0; i < path.size(); ++i) {
+            EXPECT_EQ(path[i].doc, got[i].doc) << "rank " << i;
+            EXPECT_EQ(path[i].score, got[i].score) << "rank " << i;
+          }
+        }
       }
     }
   }
+}
+
+// Multi-block lists (2000 docs over a 14-word pool => every term's list
+// spans several 128-doc blocks): block-max pruning must actually skip
+// blocks and still return the exact exhaustive results.
+TEST(GoldenEquivalenceTest, BlockMaxIsExactOnMultiBlockLists) {
+  corpus::Corpus corpus = MakeSeededCorpus(2000, /*seed=*/99);
+  InvertedIndex index(&corpus);
+
+  const IndexStats stats = index.Stats();
+  EXPECT_EQ(stats.documents, 2000u);
+  EXPECT_GT(stats.blocks, stats.terms);  // multi-block lists exist
+  EXPECT_LT(stats.BytesPerPosting(), 8.0);
+
+  const std::vector<Tokens> queries = {
+      {"alpha"},
+      {"alpha", "beta"},
+      {"lake", "tower", "park"},
+      {"epsi", "zeta", "eta", "iota", "kappa"},
+  };
+  uint64_t total_skipped = 0;
+  for (const auto& q : queries) {
+    std::string joined;
+    for (const auto& t : q) {
+      if (!joined.empty()) joined += ' ';
+      joined += t;
+    }
+    const auto ids = index.Analyze(joined).term_ids;
+    for (int k : {1, 5, 10, 100, 2000}) {
+      const auto exhaustive = index.TopKScoredExhaustive(ids, k, Bm25Params{});
+      RetrievalStats stats_bm;
+      const auto block_max =
+          index.TopKScoredBlockMax(ids, k, Bm25Params{}, &stats_bm);
+      ASSERT_EQ(block_max.size(), exhaustive.size())
+          << "k=" << k << " q=" << joined;
+      for (size_t i = 0; i < block_max.size(); ++i) {
+        ASSERT_EQ(block_max[i].doc, exhaustive[i].doc)
+            << "rank " << i << " k=" << k << " q=" << joined;
+        ASSERT_EQ(block_max[i].score, exhaustive[i].score)
+            << "rank " << i << " k=" << k << " q=" << joined;
+      }
+      if (k <= 10) total_skipped += stats_bm.blocks_skipped;
+    }
+  }
+  // Small-k queries over multi-block lists must prune something, or the
+  // block-max machinery is dead weight.
+  EXPECT_GT(total_skipped, 0u);
+}
+
+// The dispatcher's fallback: params that do not match the precomputed
+// tables must route block-max requests to the exhaustive path (block
+// maxima only bound tabled scores) and still be exact.
+TEST(GoldenEquivalenceTest, BlockMaxFallsBackOnUntabledParams) {
+  corpus::Corpus corpus = MakeSeededCorpus(600, /*seed=*/7);
+  InvertedIndex index(&corpus);
+  const auto ids = index.Analyze("alpha beta lake").term_ids;
+  const Bm25Params untabled{0.9, 0.4};
+  RetrievalStats stats;
+  const auto got = index.TopKScoredBlockMax(ids, 10, untabled, &stats);
+  const auto expected = index.TopKScoredExhaustive(ids, 10, untabled);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].doc, expected[i].doc);
+    EXPECT_EQ(got[i].score, expected[i].score);
+  }
+  EXPECT_EQ(stats.blocks_skipped, 0u);  // fallback decodes everything
 }
 
 TEST(GoldenEquivalenceTest, TieBreakIsDocIdAscending) {

@@ -296,6 +296,67 @@ TEST(RetrievalConcurrencyTest, ConcurrentTopKOnSharedIndexesIsDeterministic) {
   EXPECT_FALSE(mismatch.load());
 }
 
+TEST(RetrievalConcurrencyTest, ConcurrentBlockMaxAndExhaustiveAgree) {
+  // Races the two explicit top-k paths (block-max WAND with its
+  // per-thread cursor scratch, and exhaustive block-batched scoring)
+  // over one shared multi-block index. Every thread checks exact
+  // agreement with a sequential reference; TSan covers the scratch.
+  corpus::Corpus corpus;
+  const std::vector<std::string> pool = {"alpha", "beta", "gamma", "delta",
+                                         "lake", "tower", "park", "museum"};
+  for (int d = 0; d < 2000; ++d) {
+    corpus::Document doc;
+    doc.id = d;
+    doc.title = pool[d % pool.size()] + " " + pool[(d * 3) % pool.size()];
+    doc.body = pool[d % pool.size()] + " " + pool[(d * 7 + 1) % pool.size()];
+    // Heavy-tf outliers give block maxima variance so pruning engages.
+    if (d % 61 == 7) {
+      for (int r = 0; r < 20; ++r) doc.body += " " + pool[d % pool.size()];
+    }
+    doc.url = "http://x/" + std::to_string(d);
+    doc.topic_mixture_truth = {1.0};
+    doc.primary_topic_truth = 0;
+    corpus.Add(doc);
+  }
+  const backend::InvertedIndex index(&corpus);
+
+  const std::vector<std::string> queries = {"alpha", "lake tower",
+                                            "park museum gamma", "beta delta"};
+  std::vector<std::vector<backend::ScoredDoc>> expected;
+  for (const auto& q : queries) {
+    expected.push_back(
+        index.TopKScoredExhaustive(index.Analyze(q).term_ids, 10, {}));
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        const size_t q = (t + i) % queries.size();
+        const auto ids = index.Analyze(queries[q]).term_ids;
+        backend::RetrievalStats stats;
+        const auto got = (i % 2 == 0)
+                             ? index.TopKScoredBlockMax(ids, 10, {}, &stats)
+                             : index.TopKScoredExhaustive(ids, 10, {}, &stats);
+        if (got.size() != expected[q].size()) {
+          mismatch = true;
+          continue;
+        }
+        for (size_t r = 0; r < got.size(); ++r) {
+          if (got[r].doc != expected[q][r].doc ||
+              got[r].score != expected[q][r].score) {
+            mismatch = true;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
 TEST(RetrievalConcurrencyTest, ConcurrentStemmingTokenizationIsConsistent) {
   // Stemming tokenization goes through the shared global StemCache memo;
   // overlapping word sets from many threads race its shards (and its

@@ -1,0 +1,295 @@
+#include "backend/posting_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace pws::backend {
+namespace {
+
+/// Encodes `postings` as consecutive blocks the way the index does
+/// (base 0 for the first block, previous last_doc + 1 afterwards) and
+/// returns the view pieces via out-params held by the caller.
+struct EncodedList {
+  std::vector<uint8_t> bytes;
+  std::vector<BlockMeta> blocks;
+  size_t payload_bytes = 0;  // bytes.size() minus the decode pad
+
+  PostingListView View(uint32_t doc_count) const {
+    return PostingListView(bytes.data(), blocks.data(),
+                           static_cast<uint32_t>(blocks.size()), doc_count,
+                           /*term_max=*/0.0);
+  }
+};
+
+EncodedList Encode(const std::vector<Posting>& postings) {
+  EncodedList out;
+  corpus::DocId base = 0;
+  for (size_t begin = 0; begin < postings.size();
+       begin += kPostingBlockSize) {
+    const int count = static_cast<int>(
+        std::min<size_t>(kPostingBlockSize, postings.size() - begin));
+    out.blocks.push_back(
+        EncodePostingBlock(postings.data() + begin, count, base, &out.bytes));
+    base = out.blocks.back().last_doc + 1;
+  }
+  // Decode reads up to kDecodeOverreadPad bytes past the payload (wide
+  // unaligned word loads) — same guard the index appends to its arena.
+  out.payload_bytes = out.bytes.size();
+  out.bytes.resize(out.bytes.size() + kDecodeOverreadPad);
+  return out;
+}
+
+/// Expected decode of `postings`: doc ids unchanged, tf normalized the
+/// way the codec stores it (floor 1, clamp kMaxStoredTermFrequency).
+std::vector<Posting> Normalized(std::vector<Posting> postings) {
+  for (Posting& p : postings) {
+    if (p.term_frequency <= 0) p.term_frequency = 1;
+    if (static_cast<uint32_t>(p.term_frequency) > kMaxStoredTermFrequency) {
+      p.term_frequency = static_cast<int32_t>(kMaxStoredTermFrequency);
+    }
+  }
+  return postings;
+}
+
+void ExpectRoundTrip(const std::vector<Posting>& postings) {
+  const EncodedList encoded = Encode(postings);
+  const PostingListView view =
+      encoded.View(static_cast<uint32_t>(postings.size()));
+  const std::vector<Posting> decoded = view.Materialize();
+  const std::vector<Posting> expected = Normalized(postings);
+  ASSERT_EQ(decoded.size(), expected.size());
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].doc, expected[i].doc) << "posting " << i;
+    EXPECT_EQ(decoded[i].term_frequency, expected[i].term_frequency)
+        << "posting " << i;
+  }
+}
+
+TEST(PostingCodecTest, EmptyListIsAnEmptyView) {
+  const EncodedList encoded = Encode({});
+  const PostingListView view = encoded.View(0);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.num_blocks(), 0u);
+  EXPECT_TRUE(view.Materialize().empty());
+  PostingCursor cursor(view);
+  EXPECT_TRUE(cursor.AtEnd());
+}
+
+TEST(PostingCodecTest, SingleDocRoundTrips) {
+  ExpectRoundTrip({{0, 1}});
+  ExpectRoundTrip({{42, 7}});
+  ExpectRoundTrip({{std::numeric_limits<int32_t>::max() - 1, 3}});
+}
+
+TEST(PostingCodecTest, DenseConsecutiveDocsPackToZeroGapBits) {
+  // Gaps of doc_i - doc_{i-1} - 1 == 0 everywhere: the packed format
+  // stores them in 0 bits each.
+  std::vector<Posting> postings;
+  for (int i = 0; i < kPostingBlockSize; ++i) postings.push_back({i, 1});
+  const EncodedList encoded = Encode(postings);
+  ASSERT_EQ(encoded.blocks.size(), 1u);
+  EXPECT_EQ(encoded.blocks[0].format,
+            static_cast<uint8_t>(BlockFormat::kPacked));
+  EXPECT_EQ(encoded.blocks[0].doc_bits, 0);
+  EXPECT_EQ(encoded.blocks[0].tf_bits, 0);
+  EXPECT_EQ(encoded.payload_bytes, 0u);  // the whole block is metadata-only
+  ExpectRoundTrip(postings);
+}
+
+TEST(PostingCodecTest, MaxDeltaRoundTrips) {
+  // A gap close to the full 31-bit doc space forces doc_bits to 31.
+  const corpus::DocId huge = std::numeric_limits<int32_t>::max() - 2;
+  ExpectRoundTrip({{0, 1}, {huge, 2}});
+  ExpectRoundTrip({{huge - 1, 1}, {huge, 1}});
+}
+
+TEST(PostingCodecTest, OutlierGapSelectsVarint) {
+  // 127 tiny gaps + one huge gap: fixed width would cost 31 bits for
+  // every value; varint pays for the outlier alone.
+  std::vector<Posting> postings;
+  for (int i = 0; i < kPostingBlockSize - 1; ++i) postings.push_back({i, 1});
+  postings.push_back({std::numeric_limits<int32_t>::max() - 1, 1});
+  const EncodedList encoded = Encode(postings);
+  ASSERT_EQ(encoded.blocks.size(), 1u);
+  EXPECT_EQ(encoded.blocks[0].format,
+            static_cast<uint8_t>(BlockFormat::kVarint));
+  ExpectRoundTrip(postings);
+}
+
+TEST(PostingCodecTest, TermFrequencyFloorsAndClamps) {
+  // tf <= 0 is stored as 1; tf above the cap is clamped, not wrapped.
+  ExpectRoundTrip({{0, 0}, {5, -3}, {9, 1}});
+  ExpectRoundTrip(
+      {{0, static_cast<int32_t>(kMaxStoredTermFrequency)},
+       {1, static_cast<int32_t>(kMaxStoredTermFrequency) + 1},
+       {2, std::numeric_limits<int32_t>::max()}});
+}
+
+TEST(PostingCodecTest, BlockBoundarySizesRoundTrip) {
+  // Lengths straddling the 128-doc block boundary: 127 (one partial
+  // block), 128 (one full), 129 (full + single-doc block), 255/256/257.
+  for (int n : {1, 2, kPostingBlockSize - 1, kPostingBlockSize,
+                kPostingBlockSize + 1, 2 * kPostingBlockSize - 1,
+                2 * kPostingBlockSize, 2 * kPostingBlockSize + 1}) {
+    std::vector<Posting> postings;
+    for (int i = 0; i < n; ++i) postings.push_back({i * 3 + 1, (i % 9) + 1});
+    const EncodedList encoded = Encode(postings);
+    EXPECT_EQ(encoded.blocks.size(),
+              static_cast<size_t>((n + kPostingBlockSize - 1) /
+                                  kPostingBlockSize))
+        << "n=" << n;
+    ExpectRoundTrip(postings);
+  }
+}
+
+TEST(PostingCodecTest, StoredTfDecodeIsRealTfMinusOne) {
+  // DecodePostingBlockStoredTf leaves tfs in stored form (tf - 1); the
+  // block-max merge depends on that exact offset for its bound tables.
+  std::vector<Posting> postings;
+  for (int i = 0; i < 100; ++i) postings.push_back({i * 7 + 3, (i % 13) + 1});
+  const EncodedList encoded = Encode(postings);
+  ASSERT_EQ(encoded.blocks.size(), 1u);
+  uint32_t docs[kPostingBlockSize];
+  uint32_t stored[kPostingBlockSize];
+  uint32_t real[kPostingBlockSize];
+  DecodePostingBlockStoredTf(encoded.blocks[0], encoded.bytes.data(),
+                             /*base=*/0, docs, stored);
+  uint32_t docs2[kPostingBlockSize];
+  DecodePostingBlock(encoded.blocks[0], encoded.bytes.data(), /*base=*/0,
+                     docs2, real);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(docs[i], static_cast<uint32_t>(postings[i].doc)) << i;
+    EXPECT_EQ(docs2[i], docs[i]) << i;
+    EXPECT_EQ(real[i], stored[i] + 1) << i;
+    EXPECT_EQ(static_cast<int32_t>(real[i]), postings[i].term_frequency) << i;
+  }
+}
+
+TEST(PostingCodecTest, FindBlockLocatesTargets) {
+  std::vector<Posting> postings;
+  for (int i = 0; i < 300; ++i) postings.push_back({i * 2, 1});  // even ids
+  const EncodedList encoded = Encode(postings);
+  const PostingListView view = encoded.View(300);
+  ASSERT_EQ(view.num_blocks(), 3u);
+  EXPECT_EQ(view.FindBlock(0, 0), 0u);
+  EXPECT_EQ(view.FindBlock(view.block(0).last_doc, 0), 0u);
+  EXPECT_EQ(view.FindBlock(view.block(0).last_doc + 1, 0), 1u);
+  EXPECT_EQ(view.FindBlock(view.block(2).last_doc, 0), 2u);
+  EXPECT_EQ(view.FindBlock(view.block(2).last_doc + 1, 0), 3u);  // past end
+  // from_block below an already-passed block never goes backwards.
+  EXPECT_EQ(view.FindBlock(0, 2), 2u);
+}
+
+TEST(PostingCodecTest, CursorSeekMatchesLinearScan) {
+  std::vector<Posting> postings;
+  std::mt19937_64 rng(7);
+  corpus::DocId doc = 0;
+  for (int i = 0; i < 1000; ++i) {
+    doc += 1 + static_cast<corpus::DocId>(rng() % 37);
+    postings.push_back({doc, static_cast<int32_t>(1 + rng() % 5)});
+  }
+  const EncodedList encoded = Encode(postings);
+  const PostingListView view = encoded.View(1000);
+
+  // Seek to every present doc, every absent doc between, and past-end.
+  for (int trial = 0; trial < 200; ++trial) {
+    const corpus::DocId target =
+        static_cast<corpus::DocId>(rng() % (postings.back().doc + 40));
+    PostingCursor cursor(view);
+    cursor.SeekTo(target);
+    // Linear reference.
+    size_t i = 0;
+    while (i < postings.size() && postings[i].doc < target) ++i;
+    if (i == postings.size()) {
+      // The cursor may still sit shallow in the last block; loading
+      // must push it to the end.
+      cursor.EnsureLoaded();
+      EXPECT_TRUE(cursor.AtEnd()) << "target=" << target;
+    } else {
+      ASSERT_FALSE(cursor.AtEnd()) << "target=" << target;
+      cursor.EnsureLoaded();
+      ASSERT_FALSE(cursor.AtEnd()) << "target=" << target;
+      EXPECT_EQ(cursor.doc(), postings[i].doc) << "target=" << target;
+      EXPECT_EQ(static_cast<int32_t>(cursor.tf()), postings[i].term_frequency)
+          << "target=" << target;
+    }
+  }
+}
+
+TEST(PostingCodecTest, CursorShallowDocIsALowerBound) {
+  std::vector<Posting> postings;
+  for (int i = 0; i < 400; ++i) postings.push_back({i * 5 + 2, 1});
+  const EncodedList encoded = Encode(postings);
+  const PostingListView view = encoded.View(400);
+  PostingCursor cursor(view);
+  std::mt19937_64 rng(11);
+  corpus::DocId target = 0;
+  while (!cursor.AtEnd()) {
+    target += 1 + static_cast<corpus::DocId>(rng() % 200);
+    cursor.SeekTo(target);
+    if (cursor.AtEnd()) break;
+    const corpus::DocId claimed = cursor.doc();
+    EXPECT_GE(claimed, target);
+    cursor.EnsureLoaded();
+    if (cursor.AtEnd()) break;
+    EXPECT_GE(cursor.doc(), claimed);  // loading never moves backwards
+  }
+}
+
+TEST(PostingCodecTest, RandomizedFuzzRoundTrips) {
+  std::mt19937_64 rng(0xC0DEC);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng() % 400);
+    // Mix gap regimes so both formats and many widths get exercised:
+    // dense runs, medium gaps, and occasional huge jumps.
+    std::vector<Posting> postings;
+    corpus::DocId doc = static_cast<corpus::DocId>(rng() % 1000);
+    for (int i = 0; i < n; ++i) {
+      postings.push_back(
+          {doc, static_cast<int32_t>(rng() % 2000) - 10});  // some tf <= 0
+      const int regime = static_cast<int>(rng() % 10);
+      corpus::DocId gap;
+      if (regime < 6) {
+        gap = 1 + static_cast<corpus::DocId>(rng() % 4);
+      } else if (regime < 9) {
+        gap = 1 + static_cast<corpus::DocId>(rng() % 5000);
+      } else {
+        gap = 1 + static_cast<corpus::DocId>(rng() % 2000000);
+      }
+      doc += gap;
+    }
+    ExpectRoundTrip(postings);
+  }
+}
+
+TEST(PostingCodecTest, FuzzCursorAgainstMaterialize) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng() % 600);
+    std::vector<Posting> postings;
+    corpus::DocId doc = 0;
+    for (int i = 0; i < n; ++i) {
+      doc += 1 + static_cast<corpus::DocId>(rng() % 100);
+      postings.push_back({doc, static_cast<int32_t>(1 + rng() % 30)});
+    }
+    const EncodedList encoded = Encode(postings);
+    const PostingListView view = encoded.View(n);
+    const std::vector<Posting> expected = view.Materialize();
+    PostingCursor cursor(view);
+    for (const Posting& p : expected) {
+      ASSERT_FALSE(cursor.AtEnd());
+      cursor.EnsureLoaded();
+      ASSERT_EQ(cursor.doc(), p.doc);
+      ASSERT_EQ(static_cast<int32_t>(cursor.tf()), p.term_frequency);
+      cursor.Next();
+    }
+    EXPECT_TRUE(cursor.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace pws::backend

@@ -19,11 +19,17 @@
 // Run:  ./build/pws_cli [--docs=N] [--seed=N] [--log-level=LEVEL]
 //                       [--state=PATH]
 //
+// --index-stats skips the shell entirely: it builds the index over the
+// configured corpus, prints a build-time and size report for the
+// block-compressed posting storage (bytes/posting vs the old 8-byte
+// uncompressed Posting layout), and exits.
+//
 // --state=PATH enables durability: clicks and training runs are logged
 // to PATH.wal as they happen, 'save' snapshots everything to PATH, and a
 // restart with the same --state restores the snapshot and replays the
 // log tail automatically (see DESIGN.md §12).
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -35,6 +41,7 @@
 #include "util/arg_parser.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -79,6 +86,40 @@ int main(int argc, char** argv) {
   config.corpus.num_documents = static_cast<int>(args.GetInt("docs", 8000));
   config.users.num_users = 1;
   config.backend.page_size = 30;
+
+  if (args.GetBool("index-stats", false)) {
+    // Build-report mode: generate the corpus, time a fresh index build,
+    // dump the posting-storage accounting, exit.
+    eval::World stats_world(config);
+    WallTimer timer;
+    backend::InvertedIndex index(&stats_world.corpus());
+    const double build_seconds = timer.ElapsedSeconds();
+    const backend::IndexStats stats = index.Stats();
+    std::cout << "index build report\n"
+              << "  documents          " << stats.documents << "\n"
+              << "  terms              " << stats.terms << "\n"
+              << "  postings           " << stats.postings << "\n"
+              << "  blocks             " << stats.blocks << " ("
+              << stats.packed_blocks << " packed, " << stats.varint_blocks
+              << " varint)\n"
+              << "  encoded bytes      " << stats.encoded_bytes << "\n"
+              << "  metadata bytes     " << stats.metadata_bytes << "\n"
+              << "  total bytes        " << stats.TotalBytes() << "\n"
+              << "  uncompressed bytes " << stats.UncompressedBytes()
+              << "  (old vector<Posting> layout)\n"
+              << "  bytes/posting      "
+              << FormatDouble(stats.BytesPerPosting(), 3) << "  (was "
+              << sizeof(backend::Posting) << ")\n"
+              << "  compression        "
+              << FormatDouble(static_cast<double>(stats.UncompressedBytes()) /
+                                  std::max<uint64_t>(1, stats.TotalBytes()),
+                              2)
+              << "x\n"
+              << "  build time         " << FormatDouble(build_seconds, 3)
+              << " s\n";
+    return 0;
+  }
+
   eval::World world(config);
 
   core::EngineOptions options;
