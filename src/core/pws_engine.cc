@@ -1,6 +1,7 @@
 #include "core/pws_engine.h"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_set>
 
 #include "io/engine_state_io.h"
@@ -151,9 +152,20 @@ PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
       query_location_extractor_(ontology, options_.query_location_extractor),
       query_cache_(static_cast<size_t>(
                        std::max(1, options_.query_cache_capacity)),
-                   std::max(1, options_.query_cache_shards)) {
+                   std::max(1, options_.query_cache_shards)),
+      store_(ontology, [this] {
+        UserStateStore::Options store_options;
+        store_options.shards = options_.user_store_shards;
+        store_options.pair_ring_capacity =
+            std::max(1, options_.max_training_pairs_per_user);
+        return store_options;
+      }()) {
   PWS_CHECK(backend_ != nullptr);
   PWS_CHECK(ontology_ != nullptr);
+  // An unreadable cold record degrades to a fresh (reset) state instead
+  // of dropping the user.
+  store_.SetFreshStateFactory(
+      [this](click::UserId user) { return BuildFreshState(user); });
   // Mirror the cache tallies into the process-wide registry; the
   // per-instance CacheStats stay available via query_cache_stats().
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
@@ -165,14 +177,12 @@ PwsEngine::PwsEngine(const backend::SearchBackend* search_backend,
 
 PwsEngine::~PwsEngine() = default;
 
-void PwsEngine::RegisterUser(click::UserId user) {
-  {
-    std::shared_lock<std::shared_mutex> lock(users_mutex_);
-    if (users_.find(user) != users_.end()) return;
-  }
-  auto profile = std::make_unique<profile::UserProfile>(user, ontology_);
+std::shared_ptr<UserState> PwsEngine::BuildFreshState(
+    click::UserId user) const {
+  auto state = std::make_shared<UserState>();
+  state->profile = std::make_unique<profile::UserProfile>(user, ontology_);
   auto model = std::make_shared<ranking::RankSvm>(ranking::kFeatureCount);
-  auto pairs = std::make_unique<RingBuffer<StoredPair>>(
+  state->pairs = std::make_unique<RingBuffer<StoredPair>>(
       static_cast<size_t>(std::max(1, options_.max_training_pairs_per_user)));
   if (options_.query_location_match_prior != 0.0 ||
       options_.location_affinity_prior != 0.0) {
@@ -185,40 +195,37 @@ void PwsEngine::RegisterUser(click::UserId user) {
     ranking::MaskForStrategy(prior.data(), options_.strategy);
     model->SetPrior(std::move(prior));
   }
-  // UserState carries a mutex, so it is built in place under the lock
-  // rather than moved in.
-  std::unique_lock<std::shared_mutex> lock(users_mutex_);
-  auto [it, inserted] = users_.try_emplace(user);
-  if (!inserted) return;  // Another thread won the race.
-  UserState& state = it->second;
-  state.profile = std::move(profile);
-  state.model = std::move(model);
-  state.pairs = std::move(pairs);
+  state->model = std::move(model);
+  return state;
+}
+
+void PwsEngine::RegisterUser(click::UserId user) {
+  if (store_.Contains(user)) return;
+  // A racing registration loses inside InsertIfAbsent (idempotent).
+  store_.InsertIfAbsent(user, BuildFreshState(user));
 }
 
 void PwsEngine::AttachGpsTrace(click::UserId user,
                                const geo::GpsTrace& trace) {
   RegisterUser(user);
-  UserState& state = StateOf(user);
   if (trace.empty()) return;
+  UserStateHandle state = StateOf(user);
   profile::AugmentProfileWithGps(*ontology_, trace, options_.gps_augment,
-                                 state.profile.get());
-  state.position = trace.back().point;
+                                 state->profile.get());
+  state->position = trace.back().point;
+  state->dirty.store(true, std::memory_order_release);
 }
 
-PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) {
-  std::shared_lock<std::shared_mutex> lock(users_mutex_);
-  auto it = users_.find(user);
-  PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
-  // unordered_map nodes are stable: the reference outlives the lock.
-  return it->second;
+UserStateHandle PwsEngine::StateOf(click::UserId user) const {
+  UserStateHandle handle = store_.Acquire(user);
+  PWS_CHECK(handle) << "user " << user << " not registered";
+  return handle;
 }
 
-const PwsEngine::UserState& PwsEngine::StateOf(click::UserId user) const {
-  std::shared_lock<std::shared_mutex> lock(users_mutex_);
-  auto it = users_.find(user);
-  PWS_CHECK(it != users_.end()) << "user " << user << " not registered";
-  return it->second;
+io::WriteAheadLog* PwsEngine::WalForUser(click::UserId user) {
+  if (wals_.empty()) return nullptr;
+  return wals_[static_cast<size_t>(store_.shard_of(user)) % wals_.size()]
+      .get();
 }
 
 int PwsEngine::QueryIdOf(const std::string& query) {
@@ -325,10 +332,10 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
     PWS_SPAN("engine.serve.analyze");
     analysis = AnalyzeQuery(query);
   }
-  const UserState* state;
+  UserStateHandle state;
   {
     PWS_SPAN("engine.serve.profile_lookup");
-    state = &StateOf(user);
+    state = StateOf(user);
   }
 
   PersonalizedPage page;
@@ -365,7 +372,7 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
 void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
                         const click::ClickRecord& record) {
   PWS_SPAN("engine.observe.total");
-  UserState& state = StateOf(user);
+  UserStateHandle state = StateOf(user);
   const int n = static_cast<int>(page.order.size());
   PWS_CHECK_EQ(static_cast<int>(record.interactions.size()), n)
       << "record/page size mismatch";
@@ -389,8 +396,8 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
   // spreading works even after the analysis was evicted from the cache.
   {
     PWS_SPAN("engine.observe.profile");
-    state.profile->ObserveImpression(record, shown, page.content_ontology(),
-                                     options_.profile_update);
+    state->profile->ObserveImpression(record, shown, page.content_ontology(),
+                                      options_.profile_update);
   }
 
   // Entropy bookkeeping over clicked results.
@@ -413,9 +420,9 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
         profile::MinePreferencePairs(record, options_.pair_mining);
     if (!pairs.empty()) {
       const std::string& query = page.backend_page().query;
-      auto [it, inserted] = state.pair_query_index.try_emplace(
-          query, static_cast<int32_t>(state.pair_queries.size()));
-      if (inserted) state.pair_queries.push_back(query);
+      auto [it, inserted] = state->pair_query_index.try_emplace(
+          query, static_cast<int32_t>(state->pair_queries.size()));
+      if (inserted) state->pair_queries.push_back(query);
       const int32_t query_index = it->second;
       for (const auto& pair : pairs) {
         StoredPair stored;
@@ -423,19 +430,24 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
         stored.preferred_backend_index = page.order[pair.preferred_index];
         stored.other_backend_index = page.order[pair.other_index];
         stored.weight = pair.weight;
-        state.pairs->Push(stored);
+        state->pairs->Push(stored);
       }
     }
   }
+  // Published before the pin drops: the release store pairs with the
+  // evictor's acquire of the pin count, so a later spill serializes
+  // everything this Observe wrote.
+  state->dirty.store(true, std::memory_order_release);
 
   // Log the observation after applying it: a crash between the two loses
   // at most this one event — recovery lands on the pre-observe state,
   // which is a state the engine really was in (old-or-new, never torn).
-  if (wal_ != nullptr && !replaying_) {
+  io::WriteAheadLog* wal = WalForUser(user);
+  if (wal != nullptr && !replaying_) {
     PWS_SPAN("engine.observe.wal");
     // The engine's own (user, query) are authoritative for replay: the
     // caller may have left the record's copies unset.
-    const Status status = wal_->Append(
+    const Status status = wal->Append(
         EncodeClickPayload(user, page.backend_page().query, record));
     if (!status.ok()) {
       PWS_LOG(kWarning) << "WAL append failed (observation not durable): "
@@ -446,7 +458,7 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
 
 double PwsEngine::TrainUser(click::UserId user) {
   PWS_SPAN("engine.train_user.total");
-  UserState& state = StateOf(user);
+  UserStateHandle state = StateOf(user);
   // Refresh pair features under the current profile: one feature block
   // per distinct query, copied once into the user's slab; every pair of
   // that query points at the copied rows. Chronological ForEach keeps
@@ -455,23 +467,24 @@ double PwsEngine::TrainUser(click::UserId user) {
   std::vector<ranking::TrainingPair> training_pairs;
   {
     PWS_SPAN("engine.train_user.features");
-    state.slab.Clear();
+    state->slab.Clear();
     // The profile is fixed for the duration of this retrain: scan its
     // weight maps for the feature normalizers once instead of per query.
     ProfileNorms norms;
-    norms.content = std::max(1e-9, state.profile->MaxContentWeight());
-    norms.location = std::max(1e-9, state.profile->MaxLocationWeight());
-    std::vector<const double*> query_rows(state.pair_queries.size(), nullptr);
-    std::vector<int> query_row_counts(state.pair_queries.size(), 0);
-    training_pairs.reserve(state.pairs->size());
+    norms.content = std::max(1e-9, state->profile->MaxContentWeight());
+    norms.location = std::max(1e-9, state->profile->MaxLocationWeight());
+    std::vector<const double*> query_rows(state->pair_queries.size(),
+                                          nullptr);
+    std::vector<int> query_row_counts(state->pair_queries.size(), 0);
+    training_pairs.reserve(state->pairs->size());
     ranking::FeatureBlock scratch;
-    state.pairs->ForEach([&](const StoredPair& stored) {
+    state->pairs->ForEach([&](const StoredPair& stored) {
       const double*& rows = query_rows[stored.query_index];
       if (rows == nullptr) {
         const std::shared_ptr<const QueryAnalysis> analysis =
-            AnalyzeQuery(state.pair_queries[stored.query_index]);
-        ComputeFeaturesInto(*analysis, state, scratch, &norms);
-        rows = state.slab.CopyBlock(scratch);
+            AnalyzeQuery(state->pair_queries[stored.query_index]);
+        ComputeFeaturesInto(*analysis, *state, scratch, &norms);
+        rows = state->slab.CopyBlock(scratch);
         query_row_counts[stored.query_index] = scratch.rows();
       }
       // Pairs restored from a snapshot may point past the current backend
@@ -482,7 +495,7 @@ double PwsEngine::TrainUser(click::UserId user) {
           stored.other_backend_index >= row_count) {
         PWS_LOG(kWarning) << "dropping stored pair with out-of-range backend "
                              "index for query '"
-                          << state.pair_queries[stored.query_index] << "'";
+                          << state->pair_queries[stored.query_index] << "'";
         return;
       }
       ranking::TrainingPair pair;
@@ -499,14 +512,16 @@ double PwsEngine::TrainUser(click::UserId user) {
   // Train resets weights to the prior, so copying the snapshot only
   // carries over dimension and prior — results are bit-identical to
   // training in place.
-  auto next = std::make_shared<ranking::RankSvm>(*state.ModelSnapshot());
+  auto next = std::make_shared<ranking::RankSvm>(*state->ModelSnapshot());
   const double loss = next->Train(training_pairs, options_.rank_svm);
-  state.PublishModel(std::move(next));
+  state->PublishModel(std::move(next));
+  state->dirty.store(true, std::memory_order_release);
   // One 'T' record per direct call; a TrainAllUsers sweep logs a single
   // 'A' record instead of one per user.
-  if (wal_ != nullptr && !replaying_ && !in_train_all_) {
-    const Status status = wal_->Append(std::string(1, kWalTrainUser) + "\n" +
-                                       std::to_string(user));
+  io::WriteAheadLog* wal = WalForUser(user);
+  if (wal != nullptr && !replaying_ && !in_train_all_) {
+    const Status status = wal->Append(std::string(1, kWalTrainUser) + "\n" +
+                                      std::to_string(user));
     if (!status.ok()) {
       PWS_LOG(kWarning) << "WAL append failed (training run not durable): "
                         << status;
@@ -517,15 +532,10 @@ double PwsEngine::TrainUser(click::UserId user) {
 
 void PwsEngine::TrainAllUsers() {
   PWS_SPAN("engine.train_all_users.total");
-  std::vector<click::UserId> ids;
-  {
-    std::shared_lock<std::shared_mutex> lock(users_mutex_);
-    ids.reserve(users_.size());
-    for (const auto& [user, state] : users_) ids.push_back(user);
-  }
-  // Sorted for a stable work order; numerics are per-user and do not
-  // depend on scheduling, so any thread count gives identical weights.
-  std::sort(ids.begin(), ids.end());
+  // Already sorted: a stable work order; numerics are per-user and do
+  // not depend on scheduling, so any thread count gives identical
+  // weights. Cold users fault in inside TrainUser's StateOf.
+  const std::vector<click::UserId> ids = store_.SortedUserIds();
   // Set before the fan-out, cleared after the join (both happens-before
   // the workers' reads): the per-user TrainUser calls skip their 'T'
   // records and the sweep logs one 'A' record for the lot.
@@ -534,8 +544,9 @@ void PwsEngine::TrainAllUsers() {
               static_cast<int>(ids.size()),
               [&](int i) { TrainUser(ids[i]); });
   in_train_all_ = false;
-  if (wal_ != nullptr && !replaying_) {
-    const Status status = wal_->Append(std::string(1, kWalTrainAll));
+  if (!wals_.empty() && !replaying_) {
+    // The sweep covers every shard; its single record lives on shard 0.
+    const Status status = wals_[0]->Append(std::string(1, kWalTrainAll));
     if (!status.ok()) {
       PWS_LOG(kWarning) << "WAL append failed (training sweep not durable): "
                         << status;
@@ -544,25 +555,26 @@ void PwsEngine::TrainAllUsers() {
 }
 
 void PwsEngine::AdvanceDay() {
-  std::shared_lock<std::shared_mutex> lock(users_mutex_);
-  for (auto& [user, state] : users_) {
-    state.profile->DecayDaily(options_.profile_update);
+  for (const click::UserId user : store_.SortedUserIds()) {
+    UserStateHandle state = StateOf(user);
+    state->profile->DecayDaily(options_.profile_update);
+    state->dirty.store(true, std::memory_order_release);
   }
 }
 
 const profile::UserProfile& PwsEngine::user_profile(
     click::UserId user) const {
-  return *StateOf(user).profile;
+  return *StateOf(user)->profile;
 }
 
 const ranking::RankSvm& PwsEngine::user_model(click::UserId user) const {
-  const UserState& state = StateOf(user);
-  std::lock_guard<std::mutex> lock(state.model_mutex);
-  return *state.model;
+  UserStateHandle state = StateOf(user);
+  std::lock_guard<std::mutex> lock(state->model_mutex);
+  return *state->model;
 }
 
 int PwsEngine::training_pair_count(click::UserId user) const {
-  return static_cast<int>(StateOf(user).pairs->size());
+  return static_cast<int>(StateOf(user)->pairs->size());
 }
 
 void PwsEngine::ImportUserState(click::UserId user,
@@ -570,71 +582,98 @@ void PwsEngine::ImportUserState(click::UserId user,
                                 ranking::RankSvm model) {
   PWS_CHECK_EQ(model.dimension(), ranking::kFeatureCount);
   RegisterUser(user);
-  UserState& state = StateOf(user);
-  state.profile = std::make_unique<profile::UserProfile>(std::move(profile));
-  state.PublishModel(std::make_shared<const ranking::RankSvm>(std::move(model)));
-  state.pairs->Clear();
-  state.pair_queries.clear();
-  state.pair_query_index.clear();
-  state.slab.Clear();
+  UserStateHandle state = StateOf(user);
+  state->profile = std::make_unique<profile::UserProfile>(std::move(profile));
+  state->PublishModel(
+      std::make_shared<const ranking::RankSvm>(std::move(model)));
+  state->pairs->Clear();
+  state->pair_queries.clear();
+  state->pair_query_index.clear();
+  state->slab.Clear();
+  state->dirty.store(true, std::memory_order_release);
+}
+
+Status PwsEngine::EnableTiering(const std::string& cold_dir,
+                                int64_t resident_users) {
+  return store_.EnableTiering(cold_dir, resident_users);
 }
 
 Status PwsEngine::EnableWal(const std::string& wal_path) {
-  auto wal = io::WriteAheadLog::Open(wal_path);
-  if (!wal.ok()) return wal.status();
-  wal_ = std::move(wal).value();
+  io::WriteAheadLog::Options wal_options;
+  wal_options.group_commit = options_.wal_group_commit;
+  wal_options.group_max_batch = options_.wal_group_max_batch;
+  wal_options.group_wait_us = options_.wal_group_wait_us;
+  // One shared sequence space across shards: recovery merge-sorts the
+  // per-shard tails back into total order by seq.
+  wal_options.sequencer = &wal_seq_;
+  const int shards =
+      std::max(1, std::min(options_.wal_shards, store_.shard_count()));
+  std::vector<std::unique_ptr<io::WriteAheadLog>> wals;
+  wals.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    // Shard 0 keeps the bare path, so a single-WAL log from an older
+    // run (or an older build) is picked up as shard 0.
+    const std::string path =
+        i == 0 ? wal_path : wal_path + ".s" + std::to_string(i);
+    auto wal = io::WriteAheadLog::Open(path, wal_options);
+    if (!wal.ok()) return wal.status();
+    wals.push_back(std::move(wal).value());
+  }
+  wals_ = std::move(wals);
   return OkStatus();
+}
+
+std::vector<std::string> PwsEngine::wal_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(wals_.size());
+  for (const auto& wal : wals_) paths.push_back(wal->path());
+  return paths;
 }
 
 Status PwsEngine::SaveState(const std::string& snapshot_path) {
   PWS_SPAN("engine.snapshot.save");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  io::EngineState snapshot;
   // The high-water mark is read *before* collecting user states: a
   // record sequenced after it but applied during collection is replayed
   // on recovery — at worst a redundant deterministic retrain, never a
   // skipped unapplied event. (Observe must not run concurrently; see the
   // header contract.)
-  if (wal_ != nullptr) {
-    snapshot.last_wal_seq = wal_->last_seq();
-    snapshot.wal_lineage_id = wal_->lineage_id();
+  uint64_t last_wal_seq = 0;
+  uint64_t wal_lineage_id = 0;
+  std::vector<uint64_t> wal_shard_lineages;
+  if (!wals_.empty()) {
+    last_wal_seq = wal_seq_.load(std::memory_order_acquire);
+    wal_lineage_id = wals_[0]->lineage_id();
+    wal_shard_lineages.reserve(wals_.size());
+    for (const auto& wal : wals_) {
+      wal_shard_lineages.push_back(wal->lineage_id());
+    }
   }
-  std::vector<click::UserId> ids;
-  {
-    std::shared_lock<std::shared_mutex> lock(users_mutex_);
-    ids.reserve(users_.size());
-    for (const auto& [user, state] : users_) ids.push_back(user);
-  }
-  std::sort(ids.begin(), ids.end());
-  snapshot.users.reserve(ids.size());
+  // Per-user sections: a resident user serializes from live state (the
+  // model via its published snapshot, so a concurrent TrainAllUsers
+  // swaps successors without torn reads); a cold user's spill record IS
+  // its section, spliced in without faulting anyone in.
+  const std::vector<click::UserId> ids = store_.SortedUserIds();
+  std::vector<std::string> sections;
+  sections.reserve(ids.size());
   for (const click::UserId user : ids) {
-    const UserState& state = StateOf(user);
-    // The profile is copied directly (profile-mutating calls are excluded
-    // by contract); the model is read via its published snapshot, so a
-    // concurrent TrainAllUsers swaps successors without torn reads.
-    io::PersistedUserState persisted(*state.profile, *state.ModelSnapshot());
-    persisted.user = user;
-    persisted.position = state.position;
-    persisted.pair_queries = state.pair_queries;
-    persisted.pairs.reserve(state.pairs->size());
-    state.pairs->ForEach([&](const StoredPair& stored) {
-      io::PersistedPair pair;
-      pair.query_index = stored.query_index;
-      pair.preferred_backend_index = stored.preferred_backend_index;
-      pair.other_backend_index = stored.other_backend_index;
-      pair.weight = stored.weight;
-      persisted.pairs.push_back(pair);
-    });
-    snapshot.users.push_back(std::move(persisted));
+    auto section = store_.UserSectionText(user);
+    if (!section.ok()) {
+      registry.GetCounter("engine.snapshot.save_errors")->Increment();
+      return section.status();
+    }
+    sections.push_back(std::move(section).value());
   }
-  const Status status = io::SaveEngineState(snapshot, snapshot_path);
+  const std::string text = io::ComposeEngineStateText(
+      last_wal_seq, wal_lineage_id, wal_shard_lineages, sections);
+  const Status status = WriteFileAtomic(snapshot_path, text);
   if (!status.ok()) {
     registry.GetCounter("engine.snapshot.save_errors")->Increment();
     return status;
   }
   registry.GetCounter("engine.snapshot.saves")->Increment();
-  if (wal_ != nullptr) {
-    const Status truncated = wal_->Truncate();
+  for (const auto& wal : wals_) {
+    const Status truncated = wal->Truncate();
     if (!truncated.ok()) {
       // Harmless: the snapshot's high-water mark makes replay skip the
       // already-folded records; the next snapshot retries the truncation.
@@ -659,19 +698,49 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
     }
     // Refuse a snapshot/WAL pairing from different lineages before
     // touching any user state: the snapshot's high-water mark only means
-    // something against the WAL it was taken with, so replaying this
-    // log's tail on a foreign snapshot would re-apply (or skip) records
+    // something against the WALs it was taken with, so replaying these
+    // logs' tails on a foreign snapshot would re-apply (or skip) records
     // that have nothing to do with it.
-    if (wal_ != nullptr && loaded->wal_lineage_id != 0 &&
-        wal_->lineage_id() != 0 &&
-        loaded->wal_lineage_id != wal_->lineage_id()) {
-      registry.GetCounter("engine.snapshot.lineage_mismatches")->Increment();
-      return FailedPreconditionError(
-          "snapshot " + snapshot_path + " is paired with a different WAL "
-          "lineage (snapshot wal id " +
-          std::to_string(loaded->wal_lineage_id) + ", open wal " +
-          wal_->path() + " id " + std::to_string(wal_->lineage_id()) +
-          "); restore it without this WAL or alongside its own");
+    if (!wals_.empty()) {
+      if (loaded->wal_lineage_id != 0 && wals_[0]->lineage_id() != 0 &&
+          loaded->wal_lineage_id != wals_[0]->lineage_id()) {
+        registry.GetCounter("engine.snapshot.lineage_mismatches")
+            ->Increment();
+        return FailedPreconditionError(
+            "snapshot " + snapshot_path + " is paired with a different WAL "
+            "lineage (snapshot wal id " +
+            std::to_string(loaded->wal_lineage_id) + ", open wal " +
+            wals_[0]->path() + " id " +
+            std::to_string(wals_[0]->lineage_id()) +
+            "); restore it without this WAL or alongside its own");
+      }
+      if (!loaded->wal_shard_lineages.empty()) {
+        if (loaded->wal_shard_lineages.size() != wals_.size()) {
+          registry.GetCounter("engine.snapshot.lineage_mismatches")
+              ->Increment();
+          return FailedPreconditionError(
+              "snapshot " + snapshot_path + " was taken with " +
+              std::to_string(loaded->wal_shard_lineages.size()) +
+              " WAL shards but " + std::to_string(wals_.size()) +
+              " are open; restore with the same wal_shards setting");
+        }
+        for (size_t i = 0; i < wals_.size(); ++i) {
+          if (loaded->wal_shard_lineages[i] != 0 &&
+              wals_[i]->lineage_id() != 0 &&
+              loaded->wal_shard_lineages[i] != wals_[i]->lineage_id()) {
+            registry.GetCounter("engine.snapshot.lineage_mismatches")
+                ->Increment();
+            return FailedPreconditionError(
+                "snapshot " + snapshot_path +
+                " is paired with a different WAL lineage on shard " +
+                std::to_string(i) + " (snapshot wal id " +
+                std::to_string(loaded->wal_shard_lineages[i]) +
+                ", open wal " + wals_[i]->path() + " id " +
+                std::to_string(wals_[i]->lineage_id()) +
+                "); restore it without this WAL or alongside its own");
+          }
+        }
+      }
     }
     floor_seq = loaded->last_wal_seq;
     for (io::PersistedUserState& persisted : loaded->users) {
@@ -684,56 +753,70 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
             std::to_string(persisted.user));
       }
       RegisterUser(persisted.user);
-      UserState& state = StateOf(persisted.user);
-      state.profile = std::make_unique<profile::UserProfile>(
+      UserStateHandle state = StateOf(persisted.user);
+      state->profile = std::make_unique<profile::UserProfile>(
           std::move(persisted.profile));
-      state.PublishModel(std::make_shared<const ranking::RankSvm>(
+      state->PublishModel(std::make_shared<const ranking::RankSvm>(
           std::move(persisted.model)));
-      state.position = persisted.position;
-      state.pair_queries = std::move(persisted.pair_queries);
-      state.pair_query_index.clear();
-      for (size_t q = 0; q < state.pair_queries.size(); ++q) {
-        state.pair_query_index[state.pair_queries[q]] =
+      state->position = persisted.position;
+      state->pair_queries = std::move(persisted.pair_queries);
+      state->pair_query_index.clear();
+      for (size_t q = 0; q < state->pair_queries.size(); ++q) {
+        state->pair_query_index[state->pair_queries[q]] =
             static_cast<int32_t>(q);
       }
-      state.pairs->Clear();
+      state->pairs->Clear();
       for (const io::PersistedPair& pair : persisted.pairs) {
         StoredPair stored;
         stored.query_index = pair.query_index;
         stored.preferred_backend_index = pair.preferred_backend_index;
         stored.other_backend_index = pair.other_backend_index;
         stored.weight = pair.weight;
-        state.pairs->Push(stored);
+        state->pairs->Push(stored);
       }
-      state.slab.Clear();
+      state->slab.Clear();
+      state->dirty.store(true, std::memory_order_release);
     }
   }
   registry.GetCounter("engine.snapshot.restores")->Increment();
-  if (wal_ == nullptr) return OkStatus();
+  if (wals_.empty()) return OkStatus();
 
-  // Re-impose the snapshot's high-water mark on the WAL's sequence
-  // counter. Open derives the counter only from frames still in the
-  // file, so after a snapshot truncated the log and the process
-  // restarted it would restart at 0 — and every post-restart append
-  // would reuse a sequence number at or below floor_seq, which the
-  // *next* recovery silently skips as already-folded-in.
-  wal_->EnsureSeqAtLeast(floor_seq);
+  // Re-impose the snapshot's high-water mark on every shard's sequence
+  // counter (and so on the shared sequencer). Open derives the counter
+  // only from frames still in the files, so after a snapshot truncated
+  // the logs and the process restarted it would restart at 0 — and
+  // every post-restart append would reuse a sequence number at or below
+  // floor_seq, which the *next* recovery silently skips as
+  // already-folded-in.
+  for (const auto& wal : wals_) wal->EnsureSeqAtLeast(floor_seq);
 
-  // Replay the log tail. Each 'C' record re-serves its query — Serve is
-  // deterministic, so the page order equals what the user saw — and
-  // re-observes the logged interactions; 'T'/'A' records re-run training.
-  // Records at or below the snapshot's high-water mark are already folded
-  // in and skipped.
-  auto replay = io::WriteAheadLog::Replay(wal_->path());
-  if (!replay.ok()) {
-    registry.GetCounter("engine.snapshot.restore_errors")->Increment();
-    return replay.status();
+  // Replay the log tails, merged across shards into total sequence
+  // order (all shards draw from one sequence space, so sorting by seq
+  // reconstructs the original global apply order). Each 'C' record
+  // re-serves its query — Serve is deterministic, so the page order
+  // equals what the user saw — and re-observes the logged interactions;
+  // 'T'/'A' records re-run training. Records at or below the snapshot's
+  // high-water mark are already folded in and skipped.
+  std::vector<io::WriteAheadLog::ReplayedRecord> records;
+  for (const auto& wal : wals_) {
+    auto replay = io::WriteAheadLog::Replay(wal->path());
+    if (!replay.ok()) {
+      registry.GetCounter("engine.snapshot.restore_errors")->Increment();
+      return replay.status();
+    }
+    if (replay->torn_tail) {
+      registry.GetCounter("wal.replay.torn_tails")->Increment();
+    }
+    std::move(replay->records.begin(), replay->records.end(),
+              std::back_inserter(records));
   }
-  if (replay->torn_tail) {
-    registry.GetCounter("wal.replay.torn_tails")->Increment();
-  }
+  std::sort(records.begin(), records.end(),
+            [](const io::WriteAheadLog::ReplayedRecord& a,
+               const io::WriteAheadLog::ReplayedRecord& b) {
+              return a.seq < b.seq;
+            });
   replaying_ = true;
-  for (const io::WriteAheadLog::ReplayedRecord& record : replay->records) {
+  for (const io::WriteAheadLog::ReplayedRecord& record : records) {
     if (record.seq <= floor_seq) {
       registry.GetCounter("wal.replay.skipped")->Increment();
       continue;
@@ -759,9 +842,7 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
         int64_t user = 0;
         bool registered = false;
         if (ParseInt64(body, &user)) {
-          std::shared_lock<std::shared_mutex> lock(users_mutex_);
-          registered = users_.find(static_cast<click::UserId>(user)) !=
-                       users_.end();
+          registered = store_.Contains(static_cast<click::UserId>(user));
         }
         if (registered) {
           TrainUser(static_cast<click::UserId>(user));

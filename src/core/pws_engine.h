@@ -1,17 +1,17 @@
 #ifndef PWS_CORE_PWS_ENGINE_H_
 #define PWS_CORE_PWS_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "backend/search_backend.h"
 #include "click/click_log.h"
 #include "core/personalizer.h"
+#include "core/user_state_store.h"
 #include "concepts/content_extractor.h"
 #include "concepts/content_ontology.h"
 #include "concepts/location_concepts.h"
@@ -83,6 +83,22 @@ struct EngineOptions {
   /// Shards of the query-analysis cache; each shard has its own mutex,
   /// so concurrent Serve calls rarely contend.
   int query_cache_shards = 16;
+  /// Shards of the user-state store (rounded up to a power of two).
+  /// Mutating calls on different shards never contend.
+  int user_store_shards = 16;
+  /// Write-ahead logs to spread appends over (capped at the store shard
+  /// count): WAL k takes the records of store shards congruent to k, so
+  /// clicks on different WAL shards fsync independently. All shards draw
+  /// sequence numbers from one shared counter, so recovery merge-replays
+  /// them in total order.
+  int wal_shards = 4;
+  /// Group commit for the WAL shards (see io::WriteAheadLog::Options):
+  /// concurrent appends share fsyncs instead of serializing on them.
+  /// Off by default — identical durability either way; group commit
+  /// trades a bounded ack latency for much higher append throughput.
+  bool wal_group_commit = false;
+  int wal_group_max_batch = 64;
+  int wal_group_wait_us = 200;
 };
 
 /// The cached, profile-independent analysis of one query's page: the
@@ -153,9 +169,14 @@ struct PersonalizedPage {
 ///             bookkeeping.
 ///   TrainUser: RankSVM SGD over the user's accumulated pairs.
 ///
-/// One RankSVM and one UserProfile per user; concept extraction per query
-/// is cached (it is profile-independent) in a bounded, sharded LRU cache
-/// (EngineOptions::query_cache_capacity/query_cache_shards).
+/// One RankSVM and one UserProfile per user, held in an N-way sharded
+/// UserStateStore; concept extraction per query is cached (it is
+/// profile-independent) in a bounded, sharded LRU cache
+/// (EngineOptions::query_cache_capacity/query_cache_shards). With
+/// EnableTiering the store keeps only the most recently used users in
+/// memory and spills the rest to an on-disk cold tier, so engine memory
+/// is O(resident users), not O(total users) — a cold user's next
+/// Serve/Observe faults its state back in bit-identically.
 ///
 /// Thread-safety: one engine instance may be driven from many threads.
 /// Serve, RegisterUser, AttachGpsTrace and the const accessors are safe
@@ -202,16 +223,23 @@ class PwsEngine : public Personalizer {
 
   /// Retrains every registered user, fanning out over
   /// EngineOptions::train_threads. Per-user runs are independent, so the
-  /// resulting weights are bit-identical for every thread count.
+  /// resulting weights are bit-identical for every thread count. Cold
+  /// users are faulted in (training needs every user's state).
   void TrainAllUsers() override;
 
-  /// Applies one day's profile decay to every user.
+  /// Applies one day's profile decay to every user (faulting in cold
+  /// ones — decay is global state, not working-set state).
   void AdvanceDay() override;
 
+  /// Reference into the user's live state, valid while the user stays
+  /// resident: stable without tiering; with tiering enabled the caller
+  /// must not let the user be evicted (e.g. by serving others) while
+  /// holding it. For inspection between runs, not on the hot path.
   const profile::UserProfile& user_profile(click::UserId user) const;
   /// Reference to the user's current model snapshot. Valid until the
-  /// next TrainUser/ImportUserState for this user publishes a successor;
-  /// for inspection between training rounds, not during them.
+  /// next TrainUser/ImportUserState for this user publishes a successor
+  /// (and, with tiering, while the user stays resident); for inspection
+  /// between training rounds, not during them.
   const ranking::RankSvm& user_model(click::UserId user) const;
   /// For inspection only; do not call while another thread Observes.
   const profile::ClickEntropyTracker& entropy_tracker() const {
@@ -225,8 +253,7 @@ class PwsEngine : public Personalizer {
   /// Hit/miss/eviction counters of the query-analysis cache.
   CacheStats query_cache_stats() const { return query_cache_.stats(); }
   int registered_user_count() const {
-    std::shared_lock<std::shared_mutex> lock(users_mutex_);
-    return static_cast<int>(users_.size());
+    return static_cast<int>(store_.total_users());
   }
   /// Pairs accumulated for a user so far.
   int training_pair_count(click::UserId user) const;
@@ -237,6 +264,23 @@ class PwsEngine : public Personalizer {
   /// must match. Accumulated training pairs are cleared.
   void ImportUserState(click::UserId user, profile::UserProfile profile,
                        ranking::RankSvm model);
+
+  // ---------- Capacity (see DESIGN.md §16) ----------
+
+  /// Turns on hot/cold user tiering: at most ~`resident_users` stay in
+  /// memory, the rest spill to segment files under `cold_dir` and fault
+  /// back in on their next Serve/Observe, bit-identically. Call once,
+  /// before serving traffic. The cold tier is process-transient spill
+  /// space — durability is still EnableWal + SaveState.
+  Status EnableTiering(const std::string& cold_dir, int64_t resident_users);
+
+  /// Shard layout of the user-state store, for callers (the server)
+  /// that align their own per-user locking with store shards.
+  int store_shard_count() const { return store_.shard_count(); }
+  int StoreShardOf(click::UserId user) const {
+    return store_.shard_of(user);
+  }
+  UserStateStore::Stats store_stats() const { return store_.stats(); }
 
   // ---------- Durability (see DESIGN.md §12) ----------
   //
@@ -252,82 +296,43 @@ class PwsEngine : public Personalizer {
   // before traffic and snapshot afterwards (the last position is part
   // of the snapshot).
 
-  /// Opens (creating if absent) the write-ahead log at `wal_path` and
-  /// starts logging mutating events to it. A log left by a crashed
-  /// process is picked up where it ended (torn tail repaired). Call once
-  /// before serving traffic; not thread-safe against in-flight calls.
+  /// Opens (creating if absent) EngineOptions::wal_shards write-ahead
+  /// logs and starts logging mutating events: shard 0 lives at
+  /// `wal_path` itself (so a single-WAL log from an older run is picked
+  /// up as shard 0), shard k at `wal_path + ".s<k>"`. A log left by a
+  /// crashed process is picked up where it ended (torn tail repaired).
+  /// All shards share one sequence space. Call once before serving
+  /// traffic; not thread-safe against in-flight calls.
   Status EnableWal(const std::string& wal_path);
-  bool wal_enabled() const { return wal_ != nullptr; }
+  bool wal_enabled() const { return !wals_.empty(); }
+
+  /// Paths of the open WAL shard files, in shard order (empty when the
+  /// WAL is off). Anything that copies, inspects, or deletes "the WAL"
+  /// must cover every path here, not just the one passed to EnableWal.
+  std::vector<std::string> wal_paths() const;
 
   /// Writes an atomic, checksummed, versioned snapshot of every
   /// registered user (profile, model, GPS position, training pairs) to
-  /// `snapshot_path`, then truncates the WAL — its records are now
-  /// folded into the snapshot (a crash between the two is harmless: the
-  /// snapshot stores the WAL high-water mark and recovery skips
-  /// already-applied records). Safe to call concurrently with Serve and
-  /// TrainAllUsers (models are read via their published snapshots); the
-  /// caller must not run Observe/AdvanceDay/ImportUserState concurrently
-  /// — the same contract as TrainAllUsers.
+  /// `snapshot_path`, then truncates the WAL shards — their records are
+  /// now folded into the snapshot (a crash between the two is harmless:
+  /// the snapshot stores the WAL high-water mark and recovery skips
+  /// already-applied records). Cold users are spliced in from their
+  /// spill records without faulting them in. Safe to call concurrently
+  /// with Serve and TrainAllUsers (models are read via their published
+  /// snapshots); the caller must not run Observe/AdvanceDay/
+  /// ImportUserState concurrently — the same contract as TrainAllUsers.
   Status SaveState(const std::string& snapshot_path);
 
   /// Restores from `snapshot_path` (a missing file is an empty snapshot,
-  /// supporting crash-before-first-snapshot) and, when a WAL is enabled,
-  /// replays its tail: records already covered by the snapshot are
-  /// skipped by sequence number, the rest are re-applied in order.
-  /// Intended for a freshly constructed engine; persisted users replace
-  /// any same-id in-memory state. Not thread-safe.
+  /// supporting crash-before-first-snapshot) and, when WALs are enabled,
+  /// replays their tails: records already covered by the snapshot are
+  /// skipped by sequence number; the rest are merged across shards into
+  /// total sequence order and re-applied. Intended for a freshly
+  /// constructed engine; persisted users replace any same-id in-memory
+  /// state. Not thread-safe.
   Status RestoreState(const std::string& snapshot_path);
 
  private:
-  /// A mined preference stored symbolically: indices into the user's
-  /// query dictionary and the query's backend page. Features are
-  /// recomputed against the *current* profile at training time so train
-  /// and serve see the same feature distribution (pairs recorded while
-  /// the profile was young would otherwise train the model on all-zero
-  /// profile features). 16 bytes per pair — the query string lives once
-  /// in UserState::pair_queries, not in every pair.
-  struct StoredPair {
-    int32_t query_index = -1;
-    int32_t preferred_backend_index = -1;
-    int32_t other_backend_index = -1;
-    double weight = 1.0;
-  };
-
-  struct UserState {
-    std::unique_ptr<profile::UserProfile> profile;
-    /// The user's current model, published as an immutable snapshot:
-    /// Serve copies the pointer under model_mutex and scores against the
-    /// snapshot while TrainUser trains a successor off to the side and
-    /// swaps it in. This pointer swap is the entire synchronization
-    /// between training and serving — it is what makes TrainAllUsers
-    /// safe to run concurrently with Serve.
-    std::shared_ptr<const ranking::RankSvm> model;
-    mutable std::mutex model_mutex;
-
-    std::shared_ptr<const ranking::RankSvm> ModelSnapshot() const {
-      std::lock_guard<std::mutex> lock(model_mutex);
-      return model;
-    }
-    void PublishModel(std::shared_ptr<const ranking::RankSvm> next) {
-      std::lock_guard<std::mutex> lock(model_mutex);
-      model = std::move(next);
-    }
-
-    /// Bounded pair store: pushing past the cap overwrites the oldest
-    /// pair in O(1) (the old vector erase-from-front was O(n) per
-    /// Observe once full).
-    std::unique_ptr<RingBuffer<StoredPair>> pairs;
-    /// Distinct queries pairs refer to; StoredPair::query_index points
-    /// here. Entries whose pairs have all aged out stay (bounded by the
-    /// user's distinct-query count) — they cost one string, not one
-    /// feature refresh.
-    std::vector<std::string> pair_queries;
-    std::unordered_map<std::string, int32_t> pair_query_index;
-    /// Training-time feature row arena, reused across training rounds.
-    ranking::FeatureSlab slab;
-    std::optional<geo::GeoPoint> position;
-  };
-
   /// Fetches (or computes and caches) the analysis of `query`. The
   /// returned pointer stays valid after eviction.
   std::shared_ptr<const QueryAnalysis> AnalyzeQuery(const std::string& query);
@@ -346,8 +351,18 @@ class PwsEngine : public Personalizer {
   void ComputeFeaturesInto(const QueryAnalysis& analysis,
                            const UserState& state, ranking::FeatureBlock& out,
                            const ProfileNorms* norms = nullptr) const;
-  UserState& StateOf(click::UserId user);
-  const UserState& StateOf(click::UserId user) const;
+
+  /// Pinned handle on a registered user's state (faulting it in from
+  /// the cold tier if needed). PWS_CHECK-fails for unknown users.
+  UserStateHandle StateOf(click::UserId user) const;
+
+  /// A fresh empty state for `user`: empty profile, prior-seeded model,
+  /// empty pair ring. Shared by RegisterUser and the store's
+  /// unreadable-cold-record fallback.
+  std::shared_ptr<UserState> BuildFreshState(click::UserId user) const;
+
+  /// The WAL shard taking this user's records (null when WAL disabled).
+  io::WriteAheadLog* WalForUser(click::UserId user);
 
   /// Stable, stateless query id (64-bit FNV-1a folded to a non-negative
   /// int). Replaces the old unbounded intern map: ids are identical
@@ -363,19 +378,21 @@ class PwsEngine : public Personalizer {
   /// Bounded per-query analysis cache (mutex per shard).
   mutable ShardedLruCache<std::string, std::shared_ptr<const QueryAnalysis>>
       query_cache_;
-  /// Guards the users_ map structure (insertion/lookup). The per-user
-  /// payloads behind the unique_ptrs follow the class-level contract.
-  mutable std::shared_mutex users_mutex_;
-  std::unordered_map<click::UserId, UserState> users_;
+  /// Sharded user-state table (mutable: Acquire refreshes LRU order and
+  /// may fault states in even on logically-const reads).
+  mutable UserStateStore store_;
   /// Guards entropy_tracker_ (written by Observe, read by Serve when
   /// entropy_adaptive_alpha is on).
   mutable std::mutex entropy_mutex_;
   profile::ClickEntropyTracker entropy_tracker_;
 
-  /// Durability (null until EnableWal). The WAL serializes its own
-  /// appends; these flags are only flipped in single-threaded phases
+  /// Durability (empty until EnableWal): one log per WAL shard, all
+  /// drawing sequence numbers from wal_seq_ so their records merge into
+  /// a total order on recovery. Each WAL serializes its own appends;
+  /// the flags below are only flipped in single-threaded phases
   /// (before/after ParallelFor fan-out, inside RestoreState).
-  std::unique_ptr<io::WriteAheadLog> wal_;
+  std::vector<std::unique_ptr<io::WriteAheadLog>> wals_;
+  std::atomic<uint64_t> wal_seq_{0};
   /// Suppresses WAL appends while RestoreState re-applies logged events.
   bool replaying_ = false;
   /// Suppresses per-user TRAIN records while TrainAllUsers logs one

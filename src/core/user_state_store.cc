@@ -1,0 +1,662 @@
+#include "core/user_state_store.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "io/engine_state_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/file_util.h"
+
+namespace pws::core {
+namespace {
+
+// Cold record framing, mirroring the WAL's: [u32 payload_len][u32 crc]
+// [u64 user][payload]. The CRC covers the payload_len and user header
+// fields and the payload, so a flipped length byte fails the check like
+// any other corruption.
+constexpr size_t kColdHeaderBytes = 16;
+constexpr uint32_t kMaxColdPayloadBytes = 1u << 30;
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+uint32_t ColdCrc(uint32_t payload_len, uint64_t user,
+                 std::string_view payload) {
+  std::string header_bytes;
+  header_bytes.reserve(12);
+  PutU32(&header_bytes, payload_len);
+  PutU64(&header_bytes, user);
+  return Crc32Finalize(
+      Crc32Update(Crc32Update(Crc32Init(), header_bytes), payload));
+}
+
+// Hot-path metric handles, resolved once (registry lookup takes a lock).
+struct StoreMetrics {
+  obs::Gauge* resident_users;
+  obs::Gauge* total_users;
+  obs::Gauge* cold_bytes;
+  obs::Counter* evictions;
+  obs::Counter* spills;
+  obs::Counter* faults;
+  obs::Counter* spill_errors;
+  obs::Counter* fault_errors;
+  obs::Counter* compactions;
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    StoreMetrics out;
+    out.resident_users = reg.GetGauge("store.resident_users");
+    out.total_users = reg.GetGauge("store.total_users");
+    out.cold_bytes = reg.GetGauge("store.cold_bytes");
+    out.evictions = reg.GetCounter("store.evictions");
+    out.spills = reg.GetCounter("store.spills");
+    out.faults = reg.GetCounter("store.faults");
+    out.spill_errors = reg.GetCounter("store.spill_errors");
+    out.fault_errors = reg.GetCounter("store.fault_errors");
+    out.compactions = reg.GetCounter("store.compactions");
+    return out;
+  }();
+  return m;
+}
+
+int RoundUpPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------- IdTable ----------
+
+template <typename V>
+V* UserStateStore::IdTable<V>::Find(click::UserId key) {
+  return const_cast<V*>(
+      static_cast<const IdTable<V>*>(this)->Find(key));
+}
+
+template <typename V>
+const V* UserStateStore::IdTable<V>::Find(click::UserId key) const {
+  if (slots_.empty()) return nullptr;
+  const size_t mask = slots_.size() - 1;
+  size_t idx = HashOf(key) & mask;
+  while (slots_[idx].key != kEmpty) {
+    if (slots_[idx].key == key) return &slots_[idx].value;
+    idx = (idx + 1) & mask;
+  }
+  return nullptr;
+}
+
+template <typename V>
+V* UserStateStore::IdTable<V>::Insert(click::UserId key, bool* inserted) {
+  // Grow at ~70% occupancy counting tombstones, so probe chains stay
+  // short and deleted slots get recycled by the rehash.
+  if (slots_.empty() || (used_ + 1) * 10 >= slots_.size() * 7) Grow();
+  const size_t mask = slots_.size() - 1;
+  size_t idx = HashOf(key) & mask;
+  size_t first_tombstone = slots_.size();
+  while (slots_[idx].key != kEmpty) {
+    if (slots_[idx].key == key) {
+      *inserted = false;
+      return &slots_[idx].value;
+    }
+    if (slots_[idx].key == kTombstone && first_tombstone == slots_.size()) {
+      first_tombstone = idx;
+    }
+    idx = (idx + 1) & mask;
+  }
+  if (first_tombstone != slots_.size()) {
+    idx = first_tombstone;  // Reuse the grave; used_ already counts it.
+  } else {
+    ++used_;
+  }
+  slots_[idx].key = key;
+  slots_[idx].value = V{};
+  ++size_;
+  *inserted = true;
+  return &slots_[idx].value;
+}
+
+template <typename V>
+bool UserStateStore::IdTable<V>::Erase(click::UserId key) {
+  if (slots_.empty()) return false;
+  const size_t mask = slots_.size() - 1;
+  size_t idx = HashOf(key) & mask;
+  while (slots_[idx].key != kEmpty) {
+    if (slots_[idx].key == key) {
+      slots_[idx].key = kTombstone;
+      slots_[idx].value = V{};  // Drop the payload (shared_ptr etc.) now.
+      --size_;
+      return true;
+    }
+    idx = (idx + 1) & mask;
+  }
+  return false;
+}
+
+template <typename V>
+void UserStateStore::IdTable<V>::Grow() {
+  const size_t new_cap =
+      std::max<size_t>(16, slots_.empty() ? 16 : slots_.size() * 2);
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_cap, Slot{});
+  size_ = 0;
+  used_ = 0;
+  const size_t mask = new_cap - 1;
+  for (Slot& slot : old) {
+    if (slot.key < 0) continue;
+    size_t idx = HashOf(slot.key) & mask;
+    while (slots_[idx].key != kEmpty) idx = (idx + 1) & mask;
+    slots_[idx].key = slot.key;
+    slots_[idx].value = std::move(slot.value);
+    ++size_;
+    ++used_;
+  }
+}
+
+// ---------- UserStateStore ----------
+
+UserStateStore::UserStateStore(const geo::LocationOntology* ontology,
+                               Options options)
+    : ontology_(ontology), options_(options) {
+  const int shards = RoundUpPow2(std::max(1, options_.shards));
+  shard_mask_ = static_cast<uint64_t>(shards - 1);
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+UserStateStore::~UserStateStore() {
+  for (auto& shard : shards_) {
+    if (shard->segment != nullptr) std::fclose(shard->segment);
+  }
+}
+
+Status UserStateStore::EnableTiering(const std::string& cold_dir,
+                                     int64_t resident_budget) {
+  if (resident_budget <= 0) return OkStatus();
+  if (::mkdir(cold_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return InternalError("cannot create cold store dir " + cold_dir + ": " +
+                         std::strerror(errno));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string path =
+        cold_dir + "/shard-" + std::to_string(i) + ".cold";
+    // "w+b" truncates: the cold tier is spill space for THIS process —
+    // stale segments from a previous run are invisible to recovery
+    // (which replays snapshot + WAL) and must not be read back.
+    std::FILE* file = std::fopen(path.c_str(), "w+b");
+    if (file == nullptr) {
+      return InternalError("cannot open cold segment " + path + ": " +
+                           std::strerror(errno));
+    }
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.segment != nullptr) std::fclose(shard.segment);
+    shard.segment = file;
+    shard.segment_path = path;
+    shard.segment_end = 0;
+    shard.live_bytes = 0;
+    shard.dead_bytes = 0;
+  }
+  cold_dir_ = cold_dir;
+  resident_budget_ = resident_budget;
+  PublishGauges();
+  return OkStatus();
+}
+
+UserStateHandle UserStateStore::Acquire(click::UserId user) {
+  Shard& shard = ShardFor(user);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  if (ResidentEntry* entry = shard.resident.Find(user)) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry->lru_it);
+    entry->state->pins.fetch_add(1, std::memory_order_acq_rel);
+    return UserStateHandle(entry->state);
+  }
+  const ColdLoc* loc = shard.cold.Find(user);
+  if (loc == nullptr) return UserStateHandle();
+
+  // Fault-in: read the record back under the shard mutex (a concurrent
+  // Acquire of the same user waits here and then hits the resident
+  // table), timed as its own serve stage.
+  PWS_SPAN("serve.fault_in");
+  const ColdLoc at = *loc;
+  std::shared_ptr<UserState> state;
+  auto payload = ReadColdLocked(shard, at);
+  if (payload.ok()) {
+    auto parsed = DeserializeSection(*payload);
+    if (parsed.ok()) state = std::move(parsed).value();
+  }
+  if (state == nullptr) {
+    // The record is unreadable (bit rot / torn segment). Drop it; the
+    // fresh-state factory, when set, keeps the user serving with reset
+    // personalization instead of vanishing.
+    fault_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().fault_errors->Increment();
+    shard.cold.Erase(user);
+    shard.dead_bytes += kColdHeaderBytes + at.len;
+    shard.live_bytes -= std::min<uint64_t>(shard.live_bytes,
+                                           kColdHeaderBytes + at.len);
+    if (fresh_state_factory_ == nullptr) {
+      total_users_.fetch_sub(1, std::memory_order_relaxed);
+      PublishGauges();
+      return UserStateHandle();
+    }
+    state = fresh_state_factory_(user);
+    return InsertResidentLocked(shard, user, std::move(state),
+                                /*dirty=*/true);
+  }
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().faults->Increment();
+  // The cold record stays indexed: if this user is evicted again without
+  // being mutated, the eviction is free (no rewrite).
+  return InsertResidentLocked(shard, user, std::move(state),
+                              /*dirty=*/false);
+}
+
+bool UserStateStore::InsertIfAbsent(click::UserId user,
+                                    std::shared_ptr<UserState> state) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.resident.Find(user) != nullptr ||
+      shard.cold.Find(user) != nullptr) {
+    return false;
+  }
+  total_users_.fetch_add(1, std::memory_order_relaxed);
+  state->dirty.store(true, std::memory_order_release);
+  UserStateHandle pin =
+      InsertResidentLocked(shard, user, std::move(state), /*dirty=*/true);
+  (void)pin;  // Dropped immediately: registration does not hold the user.
+  return true;
+}
+
+bool UserStateStore::Contains(click::UserId user) const {
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.resident.Find(user) != nullptr ||
+         shard.cold.Find(user) != nullptr;
+}
+
+std::vector<click::UserId> UserStateStore::SortedUserIds() const {
+  std::vector<click::UserId> ids;
+  ids.reserve(static_cast<size_t>(
+      std::max<int64_t>(0, total_users_.load(std::memory_order_relaxed))));
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.resident.ForEach(
+        [&](click::UserId id, const ResidentEntry&) { ids.push_back(id); });
+    shard.cold.ForEach(
+        [&](click::UserId id, const ColdLoc&) { ids.push_back(id); });
+  }
+  std::sort(ids.begin(), ids.end());
+  // A faulted-in user is both resident and cold-indexed.
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+StatusOr<std::string> UserStateStore::UserSectionText(click::UserId user) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (ResidentEntry* entry = shard.resident.Find(user)) {
+    return SerializeSection(user, *entry->state);
+  }
+  if (const ColdLoc* loc = shard.cold.Find(user)) {
+    // Cold users splice into the snapshot as raw record payloads — the
+    // payload IS the snapshot section, no deserialize/re-serialize.
+    return ReadColdLocked(shard, *loc);
+  }
+  return NotFoundError("user " + std::to_string(user) + " not in store");
+}
+
+UserStateStore::Stats UserStateStore::stats() const {
+  Stats out;
+  out.total_users = total_users_.load(std::memory_order_relaxed);
+  out.resident_users = resident_users_.load(std::memory_order_relaxed);
+  out.resident_budget = resident_budget_;
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.spills = spills_.load(std::memory_order_relaxed);
+  out.faults = faults_.load(std::memory_order_relaxed);
+  out.spill_errors = spill_errors_.load(std::memory_order_relaxed);
+  out.fault_errors = fault_errors_.load(std::memory_order_relaxed);
+  out.compactions = compactions_.load(std::memory_order_relaxed);
+  out.shards = shard_count();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.cold_live_bytes += shard.live_bytes;
+    out.cold_dead_bytes += shard.dead_bytes;
+    out.cold_users += static_cast<int64_t>(shard.cold.size());
+  }
+  return out;
+}
+
+std::string UserStateStore::SerializeSection(click::UserId user,
+                                             const UserState& state) {
+  io::PersistedUserState persisted(*state.profile,
+                                   ranking::RankSvm(*state.ModelSnapshot()));
+  persisted.user = user;
+  persisted.position = state.position;
+  persisted.pair_queries = state.pair_queries;
+  if (state.pairs != nullptr) {
+    persisted.pairs.reserve(state.pairs->size());
+    state.pairs->ForEach([&](const StoredPair& sp) {
+      io::PersistedPair pp;
+      pp.query_index = sp.query_index;
+      pp.preferred_backend_index = sp.preferred_backend_index;
+      pp.other_backend_index = sp.other_backend_index;
+      pp.weight = sp.weight;
+      persisted.pairs.push_back(pp);
+    });
+  }
+  return io::PersistedUserToText(persisted);
+}
+
+StatusOr<std::shared_ptr<UserState>> UserStateStore::DeserializeSection(
+    const std::string& text) {
+  auto parsed = io::PersistedUserFromText(text, ontology_);
+  if (!parsed.ok()) return parsed.status();
+  auto state = std::make_shared<UserState>();
+  state->profile =
+      std::make_unique<profile::UserProfile>(std::move(parsed->profile));
+  state->model =
+      std::make_shared<const ranking::RankSvm>(std::move(parsed->model));
+  state->pairs = std::make_unique<RingBuffer<StoredPair>>(
+      std::max(1, options_.pair_ring_capacity));
+  state->pair_queries = std::move(parsed->pair_queries);
+  state->pair_query_index.reserve(state->pair_queries.size());
+  for (size_t i = 0; i < state->pair_queries.size(); ++i) {
+    state->pair_query_index[state->pair_queries[i]] =
+        static_cast<int32_t>(i);
+  }
+  for (const io::PersistedPair& pp : parsed->pairs) {
+    StoredPair sp;
+    sp.query_index = pp.query_index;
+    sp.preferred_backend_index = pp.preferred_backend_index;
+    sp.other_backend_index = pp.other_backend_index;
+    sp.weight = pp.weight;
+    state->pairs->Push(sp);
+  }
+  state->position = parsed->position;
+  return state;
+}
+
+Status UserStateStore::SpillLocked(Shard& shard, click::UserId user,
+                                   const std::string& section) {
+  if (shard.segment == nullptr) {
+    return InternalError("cold tier not enabled");
+  }
+  if (section.size() > kMaxColdPayloadBytes) {
+    return InternalError("cold record too large");
+  }
+  const uint32_t payload_len = static_cast<uint32_t>(section.size());
+  std::string frame;
+  frame.reserve(kColdHeaderBytes + section.size());
+  PutU32(&frame, payload_len);
+  PutU32(&frame, ColdCrc(payload_len, static_cast<uint64_t>(user), section));
+  PutU64(&frame, static_cast<uint64_t>(user));
+  frame += section;
+
+  // Appends go through the hooked write so crash-point sweeps can tear
+  // an eviction mid-record; no fsync — the cold tier is spill space,
+  // not the durability story (snapshot + WAL is).
+  if (std::fseek(shard.segment, static_cast<long>(shard.segment_end),
+                 SEEK_SET) != 0) {
+    return InternalError("seek failed on " + shard.segment_path);
+  }
+  Status written =
+      internal_file::HookedWrite(shard.segment, frame, shard.segment_path);
+  if (!written.ok()) {
+    // A torn frame may sit past segment_end now; harmless — the next
+    // append seeks back to segment_end and overwrites it, and no index
+    // entry ever points at it.
+    return written;
+  }
+  if (std::fflush(shard.segment) != 0) {
+    return InternalError("flush failed on " + shard.segment_path);
+  }
+  bool inserted = false;
+  ColdLoc* loc = shard.cold.Insert(user, &inserted);
+  if (!inserted) {
+    const uint64_t old_frame = kColdHeaderBytes + loc->len;
+    shard.dead_bytes += old_frame;
+    shard.live_bytes -= std::min(shard.live_bytes, old_frame);
+  }
+  loc->offset = shard.segment_end;
+  loc->len = payload_len;
+  shard.segment_end += frame.size();
+  shard.live_bytes += frame.size();
+  Metrics().cold_bytes->Add(static_cast<int64_t>(frame.size()));
+  return OkStatus();
+}
+
+StatusOr<std::string> UserStateStore::ReadColdLocked(Shard& shard,
+                                                     const ColdLoc& loc) {
+  if (shard.segment == nullptr) {
+    return InternalError("cold tier not enabled");
+  }
+  if (std::fseek(shard.segment, static_cast<long>(loc.offset), SEEK_SET) !=
+      0) {
+    return InternalError("seek failed on " + shard.segment_path);
+  }
+  char header[kColdHeaderBytes];
+  if (std::fread(header, 1, kColdHeaderBytes, shard.segment) !=
+      kColdHeaderBytes) {
+    return DataLossError("cold record header short read in " +
+                         shard.segment_path);
+  }
+  const uint32_t payload_len = GetU32(header);
+  const uint32_t crc = GetU32(header + 4);
+  const uint64_t user = GetU64(header + 8);
+  if (payload_len != loc.len) {
+    return DataLossError("cold record length mismatch in " +
+                         shard.segment_path);
+  }
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 &&
+      std::fread(payload.data(), 1, payload_len, shard.segment) !=
+          payload_len) {
+    return DataLossError("cold record short read in " + shard.segment_path);
+  }
+  if (ColdCrc(payload_len, user, payload) != crc) {
+    return DataLossError("cold record checksum mismatch in " +
+                         shard.segment_path);
+  }
+  return payload;
+}
+
+UserStateHandle UserStateStore::InsertResidentLocked(
+    Shard& shard, click::UserId user, std::shared_ptr<UserState> state,
+    bool dirty) {
+  state->dirty.store(dirty, std::memory_order_release);
+  shard.lru.push_front(user);
+  bool inserted = false;
+  ResidentEntry* entry = shard.resident.Insert(user, &inserted);
+  entry->state = std::move(state);
+  entry->lru_it = shard.lru.begin();
+  resident_users_.fetch_add(1, std::memory_order_relaxed);
+  // Pin before any eviction scan so the newcomer is never its own victim.
+  entry->state->pins.fetch_add(1, std::memory_order_acq_rel);
+  UserStateHandle handle(entry->state);
+  MaybeEvictLocked(shard);
+  PublishGauges();
+  return handle;
+}
+
+void UserStateStore::MaybeEvictLocked(Shard& shard) {
+  if (resident_budget_ <= 0 || shard.segment == nullptr) return;
+  bool wrote = false;
+  while (resident_users_.load(std::memory_order_relaxed) >
+         resident_budget_) {
+    // Walk from the LRU tail toward the head for the first unpinned
+    // victim. Pinned states (a caller mid-Serve/Observe) are skipped:
+    // new pins are only granted under this mutex, and the acquire load
+    // pairs with the last handle's release decrement, so a zero here
+    // means every mutation is visible to the spill below.
+    auto it = shard.lru.rbegin();
+    while (it != shard.lru.rend()) {
+      ResidentEntry* entry = shard.resident.Find(*it);
+      if (entry != nullptr &&
+          entry->state->pins.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      ++it;
+    }
+    if (it == shard.lru.rend()) break;  // Everyone here is pinned.
+    const click::UserId victim = *it;
+    ResidentEntry* entry = shard.resident.Find(victim);
+    const bool dirty = entry->state->dirty.load(std::memory_order_acquire);
+    if (dirty || shard.cold.Find(victim) == nullptr) {
+      const std::string section = SerializeSection(victim, *entry->state);
+      Status spilled = SpillLocked(shard, victim, section);
+      if (!spilled.ok()) {
+        // Keep the user resident — tiering degrades to all-resident
+        // rather than losing state. Stop evicting for now; a later
+        // insert retries.
+        spill_errors_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().spill_errors->Increment();
+        break;
+      }
+      spills_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().spills->Increment();
+      wrote = true;
+    }
+    shard.lru.erase(entry->lru_it);
+    shard.resident.Erase(victim);
+    resident_users_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().evictions->Increment();
+  }
+  if (wrote) MaybeCompactLocked(shard);
+}
+
+void UserStateStore::MaybeCompactLocked(Shard& shard) {
+  if (shard.dead_bytes <= shard.live_bytes ||
+      shard.dead_bytes < options_.compact_min_dead_bytes) {
+    return;
+  }
+  // Rewrite only the indexed (live) records into a fresh segment and
+  // atomically swap it in; on any failure the old segment stays.
+  const std::string tmp_path = shard.segment_path + ".tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) {
+    spill_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().spill_errors->Increment();
+    return;
+  }
+  struct LiveRecord {
+    click::UserId user;
+    ColdLoc loc;
+  };
+  std::vector<LiveRecord> live;
+  live.reserve(shard.cold.size());
+  shard.cold.ForEach([&](click::UserId id, const ColdLoc& loc) {
+    live.push_back({id, loc});
+  });
+  uint64_t new_end = 0;
+  std::vector<ColdLoc> new_locs(live.size());
+  bool failed = false;
+  for (size_t i = 0; i < live.size() && !failed; ++i) {
+    auto payload = ReadColdLocked(shard, live[i].loc);
+    if (!payload.ok()) {
+      failed = true;
+      break;
+    }
+    std::string frame;
+    frame.reserve(kColdHeaderBytes + payload->size());
+    const uint32_t len = static_cast<uint32_t>(payload->size());
+    PutU32(&frame, len);
+    PutU32(&frame,
+           ColdCrc(len, static_cast<uint64_t>(live[i].user), *payload));
+    PutU64(&frame, static_cast<uint64_t>(live[i].user));
+    frame += *payload;
+    if (!internal_file::HookedWrite(tmp, frame, tmp_path).ok()) {
+      failed = true;
+      break;
+    }
+    new_locs[i].offset = new_end;
+    new_locs[i].len = len;
+    new_end += frame.size();
+  }
+  if (failed || std::fflush(tmp) != 0) {
+    std::fclose(tmp);
+    std::remove(tmp_path.c_str());
+    spill_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().spill_errors->Increment();
+    return;
+  }
+  std::fclose(tmp);
+  if (!internal_file::HookedRename(tmp_path, shard.segment_path).ok()) {
+    std::remove(tmp_path.c_str());
+    spill_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().spill_errors->Increment();
+    return;
+  }
+  // The rename already replaced the directory entry; reopen our handle
+  // onto the new file (the old FILE* still references the unlinked
+  // inode).
+  std::FILE* reopened = std::fopen(shard.segment_path.c_str(), "r+b");
+  if (reopened == nullptr) {
+    // Extremely unlikely (the file we just renamed into place). Drop
+    // the cold index: those users are unreachable through the old
+    // handle's inode only until process exit, so keep using it.
+    spill_errors_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().spill_errors->Increment();
+    return;
+  }
+  std::fclose(shard.segment);
+  shard.segment = reopened;
+  for (size_t i = 0; i < live.size(); ++i) {
+    ColdLoc* loc = shard.cold.Find(live[i].user);
+    if (loc != nullptr) *loc = new_locs[i];
+  }
+  Metrics().cold_bytes->Add(static_cast<int64_t>(new_end) -
+                            static_cast<int64_t>(shard.segment_end));
+  shard.segment_end = new_end;
+  shard.live_bytes = new_end;
+  shard.dead_bytes = 0;
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().compactions->Increment();
+}
+
+void UserStateStore::PublishGauges() const {
+  Metrics().resident_users->Set(
+      resident_users_.load(std::memory_order_relaxed));
+  Metrics().total_users->Set(total_users_.load(std::memory_order_relaxed));
+}
+
+}  // namespace pws::core

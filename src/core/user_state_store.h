@@ -1,0 +1,366 @@
+#ifndef PWS_CORE_USER_STATE_STORE_H_
+#define PWS_CORE_USER_STATE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "click/click_log.h"
+#include "geo/geo_point.h"
+#include "geo/location_ontology.h"
+#include "profile/user_profile.h"
+#include "ranking/feature_slab.h"
+#include "ranking/rank_svm.h"
+#include "util/ring_buffer.h"
+#include "util/status.h"
+
+namespace pws::core {
+
+/// A mined preference stored symbolically: indices into the user's query
+/// dictionary and the query's backend page. Features are recomputed
+/// against the *current* profile at training time so train and serve see
+/// the same feature distribution (pairs recorded while the profile was
+/// young would otherwise train the model on all-zero profile features).
+/// 16 bytes per pair — the query string lives once in
+/// UserState::pair_queries, not in every pair.
+struct StoredPair {
+  int32_t query_index = -1;
+  int32_t preferred_backend_index = -1;
+  int32_t other_backend_index = -1;
+  double weight = 1.0;
+};
+
+/// Everything the engine knows about one user, resident in memory. Owned
+/// by UserStateStore behind a shared_ptr; pinned (see UserStateHandle)
+/// while any caller works on it so the store never spills a state
+/// mid-mutation.
+struct UserState {
+  std::unique_ptr<profile::UserProfile> profile;
+  /// The user's current model, published as an immutable snapshot: Serve
+  /// copies the pointer under model_mutex and scores against the
+  /// snapshot while TrainUser trains a successor off to the side and
+  /// swaps it in. This pointer swap is the entire synchronization
+  /// between training and serving — it is what makes TrainAllUsers safe
+  /// to run concurrently with Serve.
+  std::shared_ptr<const ranking::RankSvm> model;
+  mutable std::mutex model_mutex;
+
+  std::shared_ptr<const ranking::RankSvm> ModelSnapshot() const {
+    std::lock_guard<std::mutex> lock(model_mutex);
+    return model;
+  }
+  void PublishModel(std::shared_ptr<const ranking::RankSvm> next) {
+    std::lock_guard<std::mutex> lock(model_mutex);
+    model = std::move(next);
+  }
+
+  /// Bounded pair store: pushing past the cap overwrites the oldest pair
+  /// in O(1).
+  std::unique_ptr<RingBuffer<StoredPair>> pairs;
+  /// Distinct queries pairs refer to; StoredPair::query_index points
+  /// here. Entries whose pairs have all aged out stay (bounded by the
+  /// user's distinct-query count) — they cost one string, not one
+  /// feature refresh.
+  std::vector<std::string> pair_queries;
+  std::unordered_map<std::string, int32_t> pair_query_index;
+  /// Training-time feature row arena, reused across training rounds.
+  ranking::FeatureSlab slab;
+  std::optional<geo::GeoPoint> position;
+
+  /// Outstanding UserStateHandles. Eviction only considers states with
+  /// zero pins, taken under the shard mutex (which also gates new pins):
+  /// a release-decrement by the last handle paired with the evictor's
+  /// acquire-load publishes every mutation the handle made before the
+  /// spill serializes the state.
+  std::atomic<int> pins{0};
+  /// True when the in-memory state has diverged from its cold-store
+  /// record (or has none). A clean evictee whose record is still on disk
+  /// drops from memory for free; a dirty one is re-spilled first.
+  /// Mutators store with release; the evictor's acquire-load of pins
+  /// orders the read.
+  std::atomic<bool> dirty{true};
+};
+
+/// RAII pin on a UserState checked out of a UserStateStore. While any
+/// handle is live the state stays resident (eviction skips it); the
+/// shared_ptr additionally keeps the object alive even across an
+/// (impossible by contract, but harmless) eviction race. Move-only.
+class UserStateHandle {
+ public:
+  UserStateHandle() = default;
+  /// Takes ownership of one already-counted pin.
+  explicit UserStateHandle(std::shared_ptr<UserState> state)
+      : state_(std::move(state)) {}
+  ~UserStateHandle() { Release(); }
+
+  UserStateHandle(UserStateHandle&& other) noexcept
+      : state_(std::move(other.state_)) {
+    other.state_.reset();
+  }
+  UserStateHandle& operator=(UserStateHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      state_ = std::move(other.state_);
+      other.state_.reset();
+    }
+    return *this;
+  }
+  UserStateHandle(const UserStateHandle&) = delete;
+  UserStateHandle& operator=(const UserStateHandle&) = delete;
+
+  UserState* get() const { return state_.get(); }
+  UserState* operator->() const { return state_.get(); }
+  UserState& operator*() const { return *state_; }
+  explicit operator bool() const { return state_ != nullptr; }
+
+ private:
+  void Release() {
+    if (state_ != nullptr) {
+      state_->pins.fetch_sub(1, std::memory_order_acq_rel);
+      state_.reset();
+    }
+  }
+  std::shared_ptr<UserState> state_;
+};
+
+/// N-way sharded user-state table with optional hot/cold tiering — the
+/// structure that makes engine memory O(resident users) instead of
+/// O(total users). Each shard has its own mutex, an open-addressed
+/// id→state table of *resident* users, an LRU list over them, and (when
+/// tiering is enabled) an append-only cold segment file plus an
+/// open-addressed id→record index over it.
+///
+/// Eviction: inserts and fault-ins that push the global resident count
+/// over the budget evict the least-recently-Acquired unpinned users of
+/// the *same* shard — dirty ones serialize to a cold record first (the
+/// snapshot per-user section format, so fault-in is bit-identical),
+/// clean ones just drop (their record is still valid). Fault-in: an
+/// Acquire that misses the resident table but hits the cold index reads
+/// the record back under the shard mutex (concurrent Acquires of the
+/// same user therefore fault exactly once) and re-inserts it resident.
+///
+/// The cold store is process-transient spill space, not the durability
+/// story: EnableTiering truncates any stale segments, records are not
+/// fsynced, and crash recovery still runs snapshot + WAL replay. A
+/// failed spill keeps the user resident (counted in Stats::spill_errors)
+/// — tiering degrades to all-resident rather than losing state.
+///
+/// Thread-safety: all methods are safe from any thread. Mutating the
+/// *contents* of a checked-out UserState follows the engine's contract
+/// (callers serialize mutators per user); the store itself only needs
+/// the pin to know not to spill mid-mutation.
+class UserStateStore {
+ public:
+  struct Options {
+    /// Shard count (rounded up to a power of two, min 1).
+    int shards = 16;
+    /// Capacity of each user's bounded pair ring (engine option
+    /// max_training_pairs_per_user); fault-in rebuilds rings at this
+    /// capacity.
+    int pair_ring_capacity = 20000;
+    /// A segment compacts when its dead bytes exceed its live bytes and
+    /// this floor (rewriting tiny files buys nothing).
+    uint64_t compact_min_dead_bytes = 1 << 20;
+  };
+
+  struct Stats {
+    int64_t total_users = 0;
+    int64_t resident_users = 0;
+    int64_t resident_budget = 0;  // 0 = tiering off
+    uint64_t evictions = 0;
+    uint64_t spills = 0;  // dirty evictions that wrote a record
+    uint64_t faults = 0;
+    uint64_t spill_errors = 0;
+    uint64_t fault_errors = 0;
+    uint64_t compactions = 0;
+    uint64_t cold_live_bytes = 0;
+    uint64_t cold_dead_bytes = 0;
+    int64_t cold_users = 0;
+    int shards = 0;
+  };
+
+  /// `ontology` must outlive the store (fault-in parses profiles
+  /// against it).
+  UserStateStore(const geo::LocationOntology* ontology, Options options);
+  ~UserStateStore();
+
+  UserStateStore(const UserStateStore&) = delete;
+  UserStateStore& operator=(const UserStateStore&) = delete;
+
+  /// Turns on hot/cold tiering: per-shard segment files live under
+  /// `cold_dir` (created if absent; stale segments truncated) and at
+  /// most ~`resident_budget` users stay in memory. Call once, before
+  /// concurrent use. `resident_budget` <= 0 keeps everything resident.
+  Status EnableTiering(const std::string& cold_dir, int64_t resident_budget);
+  bool tiering_enabled() const { return resident_budget_ > 0; }
+
+  /// Fallback for a cold record that cannot be read back (bit rot,
+  /// truncated segment): the factory builds a fresh empty state so the
+  /// user keeps serving (with reset personalization) instead of
+  /// disappearing. Unset, a failed fault-in returns a null handle.
+  void SetFreshStateFactory(
+      std::function<std::shared_ptr<UserState>(click::UserId)> factory) {
+    fresh_state_factory_ = std::move(factory);
+  }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int shard_of(click::UserId user) const {
+    return static_cast<int>(HashOf(user) & shard_mask_);
+  }
+
+  /// Pins and returns the user's state, faulting it in from the cold
+  /// tier if needed (the fault is timed as the `serve.fault_in` span).
+  /// Null when the user is unknown. Refreshes the user's LRU position.
+  UserStateHandle Acquire(click::UserId user);
+
+  /// Inserts a new user (resident, dirty). False if the user already
+  /// exists — resident or cold. May evict colder users of the shard.
+  bool InsertIfAbsent(click::UserId user, std::shared_ptr<UserState> state);
+
+  /// True when the user exists, resident or cold. Does not fault in or
+  /// touch LRU order.
+  bool Contains(click::UserId user) const;
+
+  int64_t total_users() const {
+    return total_users_.load(std::memory_order_relaxed);
+  }
+  int64_t resident_users() const {
+    return resident_users_.load(std::memory_order_relaxed);
+  }
+
+  /// Every user id, resident or cold, ascending.
+  std::vector<click::UserId> SortedUserIds() const;
+
+  /// The user's snapshot section (io::PersistedUserToText format): a
+  /// resident user serializes from live state (model via ModelSnapshot,
+  /// so concurrent training is safe); a cold user's record bytes are
+  /// returned as-is — SaveState splices cold users into the snapshot
+  /// without deserializing them. kNotFound for unknown users.
+  StatusOr<std::string> UserSectionText(click::UserId user);
+
+  Stats stats() const;
+
+ private:
+  struct ColdLoc {
+    uint64_t offset = 0;  // of the record header in the segment file
+    uint32_t len = 0;     // payload bytes (header excluded)
+  };
+
+  /// Open-addressed, linear-probing id→V table (power-of-two capacity,
+  /// tombstone deletion, rehash clears tombstones). unordered_map costs
+  /// ~56 bytes of node + pointer per user; at a million cold users the
+  /// index must stay near sizeof(V) per user.
+  template <typename V>
+  class IdTable {
+   public:
+    V* Find(click::UserId key);
+    const V* Find(click::UserId key) const;
+    /// Returns the (existing or new) slot value; sets `*inserted`.
+    V* Insert(click::UserId key, bool* inserted);
+    bool Erase(click::UserId key);
+    size_t size() const { return size_; }
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      for (const Slot& slot : slots_) {
+        if (slot.key >= 0) fn(slot.key, slot.value);
+      }
+    }
+
+   private:
+    static constexpr click::UserId kEmpty = -1;
+    static constexpr click::UserId kTombstone = -2;
+    struct Slot {
+      click::UserId key = kEmpty;
+      V value{};
+    };
+    void Grow();
+    std::vector<Slot> slots_;
+    size_t size_ = 0;
+    size_t used_ = 0;  // live + tombstones
+  };
+
+  struct ResidentEntry {
+    std::shared_ptr<UserState> state;
+    /// Position in the shard's LRU list (front = most recent).
+    std::list<click::UserId>::iterator lru_it{};
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    IdTable<ResidentEntry> resident;
+    std::list<click::UserId> lru;  // front = most recently Acquired
+    // ---- cold tier (null/zero until EnableTiering) ----
+    std::FILE* segment = nullptr;
+    std::string segment_path;
+    IdTable<ColdLoc> cold;
+    uint64_t segment_end = 0;
+    uint64_t live_bytes = 0;
+    uint64_t dead_bytes = 0;
+  };
+
+  static uint64_t HashOf(click::UserId user) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(user)) *
+            0x9E3779B97F4A7C15ull) >>
+           32;
+  }
+
+  Shard& ShardFor(click::UserId user) { return *shards_[shard_of(user)]; }
+  const Shard& ShardFor(click::UserId user) const {
+    return *shards_[shard_of(user)];
+  }
+
+  /// Serializes `state` as its snapshot section.
+  std::string SerializeSection(click::UserId user, const UserState& state);
+  /// Rebuilds a UserState from a snapshot section (fresh pins, clean).
+  StatusOr<std::shared_ptr<UserState>> DeserializeSection(
+      const std::string& text);
+
+  /// Appends a cold record for `user` and updates the index; shard mutex
+  /// held. Marks any previous record's bytes dead.
+  Status SpillLocked(Shard& shard, click::UserId user,
+                     const std::string& section);
+  /// Reads the payload of the user's cold record; shard mutex held.
+  StatusOr<std::string> ReadColdLocked(Shard& shard, const ColdLoc& loc);
+  /// Evicts unpinned LRU-tail users of `shard` while the global resident
+  /// count exceeds the budget; shard mutex held.
+  void MaybeEvictLocked(Shard& shard);
+  /// Rewrites the segment keeping only indexed records; shard mutex held.
+  void MaybeCompactLocked(Shard& shard);
+  /// Inserts a faulted-in or fresh state as resident MRU; shard mutex
+  /// held. Returns the pinned handle.
+  UserStateHandle InsertResidentLocked(Shard& shard, click::UserId user,
+                                       std::shared_ptr<UserState> state,
+                                       bool dirty);
+  void PublishGauges() const;
+
+  const geo::LocationOntology* ontology_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+  std::string cold_dir_;
+  /// 0 = tiering off. Set once in EnableTiering (before concurrent use).
+  int64_t resident_budget_ = 0;
+  std::function<std::shared_ptr<UserState>(click::UserId)>
+      fresh_state_factory_;
+
+  std::atomic<int64_t> total_users_{0};
+  std::atomic<int64_t> resident_users_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> spills_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> spill_errors_{0};
+  std::atomic<uint64_t> fault_errors_{0};
+  std::atomic<uint64_t> compactions_{0};
+};
+
+}  // namespace pws::core
+
+#endif  // PWS_CORE_USER_STATE_STORE_H_

@@ -153,36 +153,203 @@ StatusOr<std::string> UnwrapDurable(std::string_view kind, uint32_t version,
 
 // ---------- Whole-engine snapshot ----------
 
-std::string EngineStateToText(const EngineState& state) {
-  std::string payload = "ENGINE\t" + std::to_string(state.users.size()) +
-                        "\t" + std::to_string(state.last_wal_seq) + "\t" +
-                        HexU64(state.wal_lineage_id) + "\n";
-  for (const PersistedUserState& user : state.users) {
-    payload += "USER\t" + std::to_string(user.user) + "\n";
-    if (user.position.has_value()) {
-      payload += "POS\t" + HexDouble(user.position->lat) + "\t" +
-                 HexDouble(user.position->lon) + "\n";
-    }
-    payload += ProfileToText(user.profile);
-    payload += kSeparator;
-    payload += '\n';
-    payload += ModelToText(user.model);
-    payload += "PQ\t" + std::to_string(user.pair_queries.size()) + "\n";
-    for (const std::string& query : user.pair_queries) {
-      // Queries are caller-supplied strings; an embedded line break
-      // would tear this line-based format apart on restore.
-      payload += "Q\t" + EscapeLineBreaks(query) + "\n";
-    }
-    payload += "PAIRS\t" + std::to_string(user.pairs.size()) + "\n";
-    for (const PersistedPair& pair : user.pairs) {
-      payload += "P\t" + std::to_string(pair.query_index) + "\t" +
-                 std::to_string(pair.preferred_backend_index) + "\t" +
-                 std::to_string(pair.other_backend_index) + "\t" +
-                 HexDouble(pair.weight) + "\n";
-    }
-    payload += "ENDUSER\n";
+std::string PersistedUserToText(const PersistedUserState& user) {
+  std::string payload = "USER\t" + std::to_string(user.user) + "\n";
+  if (user.position.has_value()) {
+    payload += "POS\t" + HexDouble(user.position->lat) + "\t" +
+               HexDouble(user.position->lon) + "\n";
   }
+  payload += ProfileToText(user.profile);
+  payload += kSeparator;
+  payload += '\n';
+  payload += ModelToText(user.model);
+  payload += "PQ\t" + std::to_string(user.pair_queries.size()) + "\n";
+  for (const std::string& query : user.pair_queries) {
+    // Queries are caller-supplied strings; an embedded line break
+    // would tear this line-based format apart on restore.
+    payload += "Q\t" + EscapeLineBreaks(query) + "\n";
+  }
+  payload += "PAIRS\t" + std::to_string(user.pairs.size()) + "\n";
+  for (const PersistedPair& pair : user.pairs) {
+    payload += "P\t" + std::to_string(pair.query_index) + "\t" +
+               std::to_string(pair.preferred_backend_index) + "\t" +
+               std::to_string(pair.other_backend_index) + "\t" +
+               HexDouble(pair.weight) + "\n";
+  }
+  payload += "ENDUSER\n";
+  return payload;
+}
+
+std::string ComposeEngineStateText(
+    uint64_t last_wal_seq, uint64_t wal_lineage_id,
+    const std::vector<uint64_t>& wal_shard_lineages,
+    const std::vector<std::string>& user_sections) {
+  size_t total = 128;
+  for (const std::string& section : user_sections) total += section.size();
+  std::string payload;
+  payload.reserve(total);
+  payload += "ENGINE\t" + std::to_string(user_sections.size()) + "\t" +
+             std::to_string(last_wal_seq) + "\t" + HexU64(wal_lineage_id) +
+             "\n";
+  if (!wal_shard_lineages.empty()) {
+    // Optional so pre-sharding snapshots (no WALS line) still load.
+    payload += "WALS";
+    for (const uint64_t lineage : wal_shard_lineages) {
+      payload += '\t';
+      payload += HexU64(lineage);
+    }
+    payload += '\n';
+  }
+  for (const std::string& section : user_sections) payload += section;
   return WrapDurable(kSnapshotKind, kSnapshotVersion, payload);
+}
+
+std::string EngineStateToText(const EngineState& state) {
+  std::vector<std::string> sections;
+  sections.reserve(state.users.size());
+  for (const PersistedUserState& user : state.users) {
+    sections.push_back(PersistedUserToText(user));
+  }
+  return ComposeEngineStateText(state.last_wal_seq, state.wal_lineage_id,
+                                state.wal_shard_lineages, sections);
+}
+
+namespace {
+
+/// Parses one USER..ENDUSER section at the cursor of `next_line` (a
+/// callable yielding the next non-empty line or nullptr). Shared by the
+/// whole-snapshot parser and the cold-tier record parser.
+template <typename NextLine>
+StatusOr<PersistedUserState> ParseUserSection(
+    NextLine&& next_line, const geo::LocationOntology* ontology) {
+  const std::string* user_line = next_line();
+  if (user_line == nullptr || !StartsWith(*user_line, "USER\t")) {
+    return InvalidArgumentError("expected USER line");
+  }
+  int64_t user_id = 0;
+  if (!ParseInt64(user_line->substr(5), &user_id)) {
+    return InvalidArgumentError("bad user id: " + *user_line);
+  }
+
+  std::optional<geo::GeoPoint> position;
+  const std::string* line = next_line();
+  if (line != nullptr && StartsWith(*line, "POS\t")) {
+    const std::vector<std::string> fields = StrSplit(*line, '\t');
+    geo::GeoPoint point;
+    if (fields.size() != 3 || !ParseDouble(fields[1], &point.lat) ||
+        !ParseDouble(fields[2], &point.lon) || !std::isfinite(point.lat) ||
+        !std::isfinite(point.lon)) {
+      return InvalidArgumentError("bad POS line: " + *line);
+    }
+    position = point;
+    line = next_line();
+  }
+
+  // Profile section: everything up to the ---MODEL--- separator.
+  std::string profile_text;
+  while (line != nullptr && *line != kSeparator) {
+    profile_text += *line;
+    profile_text += '\n';
+    line = next_line();
+  }
+  if (line == nullptr) {
+    return InvalidArgumentError("snapshot user missing model separator");
+  }
+  auto profile = ProfileFromText(profile_text, ontology);
+  if (!profile.ok()) return profile.status();
+  if (profile->user() != static_cast<click::UserId>(user_id)) {
+    return InvalidArgumentError("USER/profile id mismatch for user " +
+                                std::to_string(user_id));
+  }
+
+  // Model section: everything up to the PQ line.
+  std::string model_text;
+  line = next_line();
+  while (line != nullptr && !StartsWith(*line, "PQ\t")) {
+    model_text += *line;
+    model_text += '\n';
+    line = next_line();
+  }
+  if (line == nullptr) {
+    return InvalidArgumentError("snapshot user missing PQ section");
+  }
+  auto model = ModelFromText(model_text);
+  if (!model.ok()) return model.status();
+
+  PersistedUserState user(std::move(profile).value(),
+                          std::move(model).value());
+  user.user = static_cast<click::UserId>(user_id);
+  user.position = position;
+
+  int64_t num_queries = 0;
+  if (!ParseInt64(line->substr(3), &num_queries) || num_queries < 0) {
+    return InvalidArgumentError("bad PQ line: " + *line);
+  }
+  user.pair_queries.reserve(static_cast<size_t>(num_queries));
+  for (int64_t q = 0; q < num_queries; ++q) {
+    line = next_line();
+    if (line == nullptr || !StartsWith(*line, "Q\t")) {
+      return InvalidArgumentError("expected Q line");
+    }
+    user.pair_queries.push_back(UnescapeLineBreaks(line->substr(2)));
+  }
+
+  line = next_line();
+  if (line == nullptr || !StartsWith(*line, "PAIRS\t")) {
+    return InvalidArgumentError("expected PAIRS line");
+  }
+  int64_t num_pairs = 0;
+  if (!ParseInt64(line->substr(6), &num_pairs) || num_pairs < 0) {
+    return InvalidArgumentError("bad PAIRS line: " + *line);
+  }
+  user.pairs.reserve(static_cast<size_t>(num_pairs));
+  for (int64_t p = 0; p < num_pairs; ++p) {
+    line = next_line();
+    if (line == nullptr || !StartsWith(*line, "P\t")) {
+      return InvalidArgumentError("expected P line");
+    }
+    const std::vector<std::string> fields = StrSplit(*line, '\t');
+    PersistedPair pair;
+    int64_t query_index = 0;
+    int64_t preferred = 0;
+    int64_t other = 0;
+    if (fields.size() != 5 || !ParseInt64(fields[1], &query_index) ||
+        !ParseInt64(fields[2], &preferred) ||
+        !ParseInt64(fields[3], &other) ||
+        !ParseDouble(fields[4], &pair.weight) ||
+        !std::isfinite(pair.weight)) {
+      return InvalidArgumentError("bad P line: " + *line);
+    }
+    if (query_index < 0 ||
+        query_index >= static_cast<int64_t>(user.pair_queries.size()) ||
+        preferred < 0 || other < 0) {
+      return InvalidArgumentError("pair index out of range: " + *line);
+    }
+    pair.query_index = static_cast<int32_t>(query_index);
+    pair.preferred_backend_index = static_cast<int32_t>(preferred);
+    pair.other_backend_index = static_cast<int32_t>(other);
+    user.pairs.push_back(pair);
+  }
+
+  line = next_line();
+  if (line == nullptr || *line != "ENDUSER") {
+    return InvalidArgumentError("expected ENDUSER for user " +
+                                std::to_string(user_id));
+  }
+  return user;
+}
+
+}  // namespace
+
+StatusOr<PersistedUserState> PersistedUserFromText(
+    const std::string& text, const geo::LocationOntology* ontology) {
+  const std::vector<std::string> lines = SplitLines(text);
+  size_t i = 0;
+  auto next_line = [&]() -> const std::string* {
+    while (i < lines.size() && lines[i].empty()) ++i;  // Trailing blanks.
+    return i < lines.size() ? &lines[i++] : nullptr;
+  };
+  return ParseUserSection(next_line, ontology);
 }
 
 StatusOr<EngineState> EngineStateFromText(
@@ -217,124 +384,29 @@ StatusOr<EngineState> EngineStateFromText(
   EngineState state;
   state.last_wal_seq = static_cast<uint64_t>(last_wal_seq);
   state.wal_lineage_id = wal_lineage_id;
+
+  // Optional per-shard WAL lineage line (snapshots from sharded-WAL
+  // engines). Peek: if the next line is not WALS, rewind.
+  const size_t before_wals = i;
+  const std::string* wals = next_line();
+  if (wals != nullptr && StartsWith(*wals, "WALS\t")) {
+    const std::vector<std::string> fields = StrSplit(*wals, '\t');
+    for (size_t f = 1; f < fields.size(); ++f) {
+      uint64_t lineage = 0;
+      if (!ParseHexU64(fields[f], &lineage)) {
+        return InvalidArgumentError("bad WALS line: " + *wals);
+      }
+      state.wal_shard_lineages.push_back(lineage);
+    }
+  } else {
+    i = before_wals;
+  }
+
   state.users.reserve(static_cast<size_t>(num_users));
   for (int64_t u = 0; u < num_users; ++u) {
-    const std::string* user_line = next_line();
-    if (user_line == nullptr || !StartsWith(*user_line, "USER\t")) {
-      return InvalidArgumentError("expected USER line for user " +
-                                  std::to_string(u));
-    }
-    int64_t user_id = 0;
-    if (!ParseInt64(user_line->substr(5), &user_id)) {
-      return InvalidArgumentError("bad user id: " + *user_line);
-    }
-
-    std::optional<geo::GeoPoint> position;
-    const std::string* line = next_line();
-    if (line != nullptr && StartsWith(*line, "POS\t")) {
-      const std::vector<std::string> fields = StrSplit(*line, '\t');
-      geo::GeoPoint point;
-      if (fields.size() != 3 || !ParseDouble(fields[1], &point.lat) ||
-          !ParseDouble(fields[2], &point.lon) || !std::isfinite(point.lat) ||
-          !std::isfinite(point.lon)) {
-        return InvalidArgumentError("bad POS line: " + *line);
-      }
-      position = point;
-      line = next_line();
-    }
-
-    // Profile section: everything up to the ---MODEL--- separator.
-    std::string profile_text;
-    while (line != nullptr && *line != kSeparator) {
-      profile_text += *line;
-      profile_text += '\n';
-      line = next_line();
-    }
-    if (line == nullptr) {
-      return InvalidArgumentError("snapshot user missing model separator");
-    }
-    auto profile = ProfileFromText(profile_text, ontology);
-    if (!profile.ok()) return profile.status();
-    if (profile->user() != static_cast<click::UserId>(user_id)) {
-      return InvalidArgumentError("USER/profile id mismatch for user " +
-                                  std::to_string(user_id));
-    }
-
-    // Model section: everything up to the PQ line.
-    std::string model_text;
-    line = next_line();
-    while (line != nullptr && !StartsWith(*line, "PQ\t")) {
-      model_text += *line;
-      model_text += '\n';
-      line = next_line();
-    }
-    if (line == nullptr) {
-      return InvalidArgumentError("snapshot user missing PQ section");
-    }
-    auto model = ModelFromText(model_text);
-    if (!model.ok()) return model.status();
-
-    PersistedUserState user(std::move(profile).value(),
-                            std::move(model).value());
-    user.user = static_cast<click::UserId>(user_id);
-    user.position = position;
-
-    int64_t num_queries = 0;
-    if (!ParseInt64(line->substr(3), &num_queries) || num_queries < 0) {
-      return InvalidArgumentError("bad PQ line: " + *line);
-    }
-    user.pair_queries.reserve(static_cast<size_t>(num_queries));
-    for (int64_t q = 0; q < num_queries; ++q) {
-      line = next_line();
-      if (line == nullptr || !StartsWith(*line, "Q\t")) {
-        return InvalidArgumentError("expected Q line");
-      }
-      user.pair_queries.push_back(UnescapeLineBreaks(line->substr(2)));
-    }
-
-    line = next_line();
-    if (line == nullptr || !StartsWith(*line, "PAIRS\t")) {
-      return InvalidArgumentError("expected PAIRS line");
-    }
-    int64_t num_pairs = 0;
-    if (!ParseInt64(line->substr(6), &num_pairs) || num_pairs < 0) {
-      return InvalidArgumentError("bad PAIRS line: " + *line);
-    }
-    user.pairs.reserve(static_cast<size_t>(num_pairs));
-    for (int64_t p = 0; p < num_pairs; ++p) {
-      line = next_line();
-      if (line == nullptr || !StartsWith(*line, "P\t")) {
-        return InvalidArgumentError("expected P line");
-      }
-      const std::vector<std::string> fields = StrSplit(*line, '\t');
-      PersistedPair pair;
-      int64_t query_index = 0;
-      int64_t preferred = 0;
-      int64_t other = 0;
-      if (fields.size() != 5 || !ParseInt64(fields[1], &query_index) ||
-          !ParseInt64(fields[2], &preferred) ||
-          !ParseInt64(fields[3], &other) ||
-          !ParseDouble(fields[4], &pair.weight) ||
-          !std::isfinite(pair.weight)) {
-        return InvalidArgumentError("bad P line: " + *line);
-      }
-      if (query_index < 0 ||
-          query_index >= static_cast<int64_t>(user.pair_queries.size()) ||
-          preferred < 0 || other < 0) {
-        return InvalidArgumentError("pair index out of range: " + *line);
-      }
-      pair.query_index = static_cast<int32_t>(query_index);
-      pair.preferred_backend_index = static_cast<int32_t>(preferred);
-      pair.other_backend_index = static_cast<int32_t>(other);
-      user.pairs.push_back(pair);
-    }
-
-    line = next_line();
-    if (line == nullptr || *line != "ENDUSER") {
-      return InvalidArgumentError("expected ENDUSER for user " +
-                                  std::to_string(user_id));
-    }
-    state.users.push_back(std::move(user));
+    auto user = ParseUserSection(next_line, ontology);
+    if (!user.ok()) return user.status();
+    state.users.push_back(std::move(user).value());
   }
   return state;
 }

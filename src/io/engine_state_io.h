@@ -99,9 +99,37 @@ struct EngineState {
   /// engine had no WAL, or the WAL predates lineage headers). Sequence
   /// numbers are only comparable within one log's history, so recovery
   /// refuses to replay a WAL tail over a snapshot whose lineage differs.
+  /// With sharded WALs this is shard 0's lineage (kept for backward
+  /// compatibility); wal_shard_lineages carries the full set.
   uint64_t wal_lineage_id = 0;
+  /// Lineage ids of every WAL shard the snapshot was taken with, in
+  /// shard order (empty for single-WAL snapshots written before WAL
+  /// sharding; all shards share one sequence space, so last_wal_seq is
+  /// the single high-water mark across them).
+  std::vector<uint64_t> wal_shard_lineages;
   std::vector<PersistedUserState> users;
 };
+
+/// Serializes one user's persisted state as the snapshot's per-user
+/// section (USER ... ENDUSER). This is also the cold-tier record format
+/// of core::UserStateStore: a spilled user's on-disk bytes are exactly
+/// its snapshot section, so SaveState can splice cold users into the
+/// snapshot without deserializing and fault-in round-trips are
+/// bit-identical.
+std::string PersistedUserToText(const PersistedUserState& user);
+
+/// Parses exactly one PersistedUserToText section.
+StatusOr<PersistedUserState> PersistedUserFromText(
+    const std::string& text, const geo::LocationOntology* ontology);
+
+/// Composes a full snapshot (durable envelope included) from
+/// pre-serialized per-user sections — each a PersistedUserToText block —
+/// without materializing PersistedUserStates. EngineStateToText is the
+/// materialized-state convenience over this.
+std::string ComposeEngineStateText(
+    uint64_t last_wal_seq, uint64_t wal_lineage_id,
+    const std::vector<uint64_t>& wal_shard_lineages,
+    const std::vector<std::string>& user_sections);
 
 /// Serializes an engine snapshot, durable envelope included.
 std::string EngineStateToText(const EngineState& state);

@@ -1,5 +1,7 @@
 #include "io/wal.h"
 
+#include <algorithm>
+#include <chrono>
 #include <random>
 
 #include "obs/metrics.h"
@@ -111,7 +113,10 @@ WriteAheadLog::WriteAheadLog(std::string path, Options options,
       last_seq_(last_seq),
       lineage_id_(lineage_id),
       header_bytes_(header_bytes),
-      valid_bytes_(valid_bytes) {}
+      valid_bytes_(valid_bytes),
+      written_bytes_(valid_bytes),
+      written_seq_(last_seq),
+      durable_seq_(last_seq) {}
 
 WriteAheadLog::~WriteAheadLog() {
   if (file_ != nullptr) std::fclose(file_);
@@ -221,6 +226,16 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     written = internal_file::HookedFlushAndSync(file, path);
     if (!written.ok()) return written;
     log->valid_bytes_ = kLineageHeaderBytes;
+    log->written_bytes_ = kLineageHeaderBytes;
+  }
+  if (options.sequencer != nullptr) {
+    // Shard logs share one sequence space: raise the shared counter to
+    // this file's max so the next assignment continues past every frame
+    // already on disk in any shard.
+    uint64_t current = options.sequencer->load();
+    while (current < last_seq &&
+           !options.sequencer->compare_exchange_weak(current, last_seq)) {
+    }
   }
   return log;
 }
@@ -230,14 +245,94 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   return Open(path, Options());
 }
 
+uint64_t WriteAheadLog::NextSeqLocked() {
+  uint64_t seq;
+  if (options_.sequencer != nullptr) {
+    seq = options_.sequencer->fetch_add(1) + 1;
+    if (seq > last_seq_) last_seq_ = seq;
+  } else {
+    seq = ++last_seq_;
+  }
+  return seq;
+}
+
+void WriteAheadLog::RollbackSeqLocked(uint64_t seq) {
+  // The whole assignment+write ran under one mutex hold, so the failed
+  // frame's seq is still the newest this log assigned; un-assigning it
+  // lets the next append reuse the number instead of leaving a gap.
+  if (written_seq_ == seq) written_seq_ = seq - 1;
+  if (last_seq_ == seq) last_seq_ = seq - 1;
+  if (options_.sequencer != nullptr) {
+    uint64_t expected = seq;
+    options_.sequencer->compare_exchange_strong(expected, seq - 1);
+  }
+}
+
+Status WriteAheadLog::AwaitDurableLocked(uint64_t seq,
+                                         std::unique_lock<std::mutex>& lock) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (;;) {
+    // Rolled back by a failed sync: the frame is gone; report it before
+    // checking durable_seq_, which later successful syncs advance past
+    // the failure range.
+    if (seq <= failed_seq_ && seq > durable_seq_) {
+      return DataLossError("wal group sync failed: " + path_);
+    }
+    if (seq <= durable_seq_) return OkStatus();
+    if (sync_in_flight_) {
+      sync_cv_.wait(lock);
+      continue;
+    }
+    // Become the sync leader. Optionally linger for more appends to
+    // join — frames written while we wait ride this sync for free.
+    sync_in_flight_ = true;
+    if (options_.group_wait_us > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.group_wait_us);
+      sync_cv_.wait_until(lock, deadline, [&] {
+        return written_seq_ - durable_seq_ >=
+               static_cast<uint64_t>(std::max(1, options_.group_max_batch));
+      });
+    }
+    const uint64_t target_seq = written_seq_;
+    const uint64_t target_bytes = written_bytes_;
+    lock.unlock();
+    // The fsync (and the stdio flush before it) runs outside the mutex:
+    // followers keep writing frames into the file behind it — they join
+    // the *next* sync. stdio calls lock the FILE internally, so a
+    // concurrent fwrite and this fflush serialize per call.
+    const Status status = internal_file::HookedFlushAndSync(file_, path_);
+    lock.lock();
+    sync_in_flight_ = false;
+    if (status.ok()) {
+      durable_seq_ = target_seq;
+      if (target_bytes > valid_bytes_) valid_bytes_ = target_bytes;
+      registry.GetCounter("wal.group_syncs")->Increment();
+    } else {
+      // Every frame in (durable_seq_, target_seq] is suspect: roll the
+      // file back to the last synced boundary so a torn frame cannot
+      // hide later appends, and fail those frames' waiters.
+      registry.GetCounter("wal.append.errors")->Increment();
+      if (target_seq > failed_seq_) failed_seq_ = target_seq;
+      const Status rollback = internal_file::HookedTruncate(
+          file_, static_cast<size_t>(valid_bytes_), path_);
+      if (!rollback.ok()) {
+        registry.GetCounter("wal.append.rollback_errors")->Increment();
+      }
+      written_bytes_ = valid_bytes_;
+    }
+    sync_cv_.notify_all();
+  }
+}
+
 Status WriteAheadLog::Append(std::string_view payload) {
   PWS_SPAN("wal.append");
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   if (file_ == nullptr) {
     return FailedPreconditionError("wal is closed: " + path_);
   }
-  const uint64_t seq = last_seq_ + 1;
+  const uint64_t seq = NextSeqLocked();
   frame_buffer_.clear();
   frame_buffer_.reserve(kFrameHeaderBytes + payload.size());
   const uint32_t payload_len = static_cast<uint32_t>(payload.size());
@@ -245,14 +340,8 @@ Status WriteAheadLog::Append(std::string_view payload) {
   PutU32(&frame_buffer_, FrameCrc(payload_len, seq, payload));
   PutU64(&frame_buffer_, seq);
   frame_buffer_.append(payload);
+  const size_t frame_bytes = frame_buffer_.size();
   Status status = internal_file::HookedWrite(file_, frame_buffer_, path_);
-  if (status.ok() && options_.sync_each_append) {
-    status = internal_file::HookedFlushAndSync(file_, path_);
-  } else if (status.ok()) {
-    if (std::fflush(file_) != 0) {
-      status = InternalError("wal flush failed: " + path_);
-    }
-  }
   if (!status.ok()) {
     registry.GetCounter("wal.append.errors")->Increment();
     // Roll the file back to the last good frame boundary: the torn frame
@@ -260,14 +349,41 @@ Status WriteAheadLog::Append(std::string_view payload) {
     // append from Replay. Best effort — if the rollback fails too (e.g.
     // the device is gone), the post-crash Open repairs the tail instead.
     const Status rollback = internal_file::HookedTruncate(
-        file_, static_cast<size_t>(valid_bytes_), path_);
+        file_, static_cast<size_t>(written_bytes_), path_);
     if (!rollback.ok()) {
       registry.GetCounter("wal.append.rollback_errors")->Increment();
     }
+    RollbackSeqLocked(seq);
     return status;
   }
-  last_seq_ = seq;
-  valid_bytes_ += frame_buffer_.size();
+  written_bytes_ += frame_bytes;
+  if (seq > written_seq_) written_seq_ = seq;
+
+  if (options_.group_commit) {
+    sync_cv_.notify_all();  // A batching leader may be waiting for us.
+    status = AwaitDurableLocked(seq, lock);
+    if (status.ok()) registry.GetCounter("wal.appends")->Increment();
+    return status;
+  }
+
+  if (options_.sync_each_append) {
+    status = internal_file::HookedFlushAndSync(file_, path_);
+  } else if (std::fflush(file_) != 0) {
+    status = InternalError("wal flush failed: " + path_);
+  }
+  if (!status.ok()) {
+    registry.GetCounter("wal.append.errors")->Increment();
+    written_bytes_ -= frame_bytes;
+    const Status rollback = internal_file::HookedTruncate(
+        file_, static_cast<size_t>(written_bytes_), path_);
+    if (!rollback.ok()) {
+      registry.GetCounter("wal.append.rollback_errors")->Increment();
+    }
+    RollbackSeqLocked(seq);
+    return status;
+  }
+  valid_bytes_ = written_bytes_;
+  durable_seq_ = written_seq_;
   registry.GetCounter("wal.appends")->Increment();
   return OkStatus();
 }
@@ -286,6 +402,7 @@ Status WriteAheadLog::Truncate() {
   status = internal_file::HookedFlushAndSync(file_, path_);
   if (!status.ok()) return status;
   valid_bytes_ = header_bytes_;
+  written_bytes_ = header_bytes_;
   obs::MetricsRegistry::Global().GetCounter("wal.truncates")->Increment();
   return OkStatus();
 }
@@ -293,6 +410,14 @@ Status WriteAheadLog::Truncate() {
 void WriteAheadLog::EnsureSeqAtLeast(uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (seq > last_seq_) last_seq_ = seq;
+  if (seq > written_seq_) written_seq_ = seq;
+  if (seq > durable_seq_) durable_seq_ = seq;
+  if (options_.sequencer != nullptr) {
+    uint64_t current = options_.sequencer->load();
+    while (current < seq &&
+           !options_.sequencer->compare_exchange_weak(current, seq)) {
+    }
+  }
 }
 
 uint64_t WriteAheadLog::last_seq() const {

@@ -1,6 +1,8 @@
 #ifndef PWS_IO_WAL_H_
 #define PWS_IO_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -59,14 +61,42 @@ namespace pws::io {
 ///
 /// Thread-safety: Append and Truncate are mutually serialized by an
 /// internal mutex, so concurrent Observe calls on different users may
-/// share one log. Replay is a static read-only scan of a path.
+/// share one log. With Options::group_commit the frame writes stay
+/// serialized but the fsync runs outside the mutex and is shared by
+/// every frame written since the previous sync — concurrent appenders
+/// pay ~one fsync per batch instead of one each, and each Append still
+/// returns only after its own record is durable. Replay is a static
+/// read-only scan of a path.
 class WriteAheadLog {
  public:
   struct Options {
     /// fsync after every append. Turning this off batches durability to
     /// the OS's writeback (faster, loses the tail on power failure —
-    /// never an inconsistent state, just a shorter log).
+    /// never an inconsistent state, just a shorter log). Ignored when
+    /// group_commit is on (group commit always syncs before acking).
     bool sync_each_append = true;
+    /// Group commit: concurrent appends write their frames immediately
+    /// but *share* fsyncs — one leader syncs everything written so far
+    /// while followers wait, so N concurrent appends cost ~1 fsync, not
+    /// N. Append still returns only after its own record is durable, so
+    /// the durability contract is unchanged: an acked record survives
+    /// any crash. What a crash can lose is exactly the un-synced tail —
+    /// frames whose Append had not yet returned (at-most-tail loss; the
+    /// next Open repairs any torn frame at the end). Off by default.
+    bool group_commit = false;
+    /// Most frames one group-commit fsync may cover: once this many
+    /// appends are waiting the leader stops batching and syncs.
+    int group_max_batch = 64;
+    /// How long (µs) the sync leader waits for more appends to join its
+    /// batch before syncing what it has. 0 = sync immediately (batching
+    /// still happens opportunistically while a sync is in flight).
+    int group_wait_us = 200;
+    /// When set, sequence numbers are drawn from this shared counter
+    /// instead of the per-file one, so several shard logs share one
+    /// sequence space and their records can be merge-replayed into a
+    /// total order. Open raises the counter to at least the file's own
+    /// max. Must outlive the log.
+    std::atomic<uint64_t>* sequencer = nullptr;
   };
 
   /// One decoded record.
@@ -138,6 +168,19 @@ class WriteAheadLog {
                 uint64_t last_seq, uint64_t valid_bytes, uint64_t lineage_id,
                 uint64_t header_bytes);
 
+  /// Assigns the next sequence number (caller holds mutex_).
+  uint64_t NextSeqLocked();
+  /// Un-assigns `seq` after a failed append whose frame never reached
+  /// the file, so the number is reused instead of leaving a gap (caller
+  /// holds mutex_; the frame must have been rolled back already). With
+  /// a shared sequencer the give-back is best effort — another shard
+  /// may have drawn a later number, and replay tolerates the gap.
+  void RollbackSeqLocked(uint64_t seq);
+  /// The group-commit wait loop: blocks until `seq` is durable (OK), its
+  /// frame was rolled back by a failed sync (error), or this thread
+  /// becomes the sync leader and runs one shared fsync.
+  Status AwaitDurableLocked(uint64_t seq, std::unique_lock<std::mutex>& lock);
+
   std::string path_;
   Options options_;
   std::FILE* file_;
@@ -148,10 +191,25 @@ class WriteAheadLog {
   /// Size of the lineage header at the file's start (0 for legacy files);
   /// Truncate cuts back to this offset, not to 0.
   uint64_t header_bytes_ = 0;
-  /// File size after the last successful append/truncate. A failed
-  /// append rolls the file back to this point so the torn frame cannot
-  /// hide later successful appends from Replay.
+  /// File size covered by the last successful fsync (or truncate). A
+  /// failed *sync* rolls the file back to this point: the suspect frames
+  /// cannot hide later successful appends from Replay.
   uint64_t valid_bytes_ = 0;
+  /// File size after the last successfully *written* frame (>=
+  /// valid_bytes_; equal outside group commit). A failed write rolls
+  /// back to here, removing only the torn frame, not the pending
+  /// not-yet-synced frames of concurrent appenders.
+  uint64_t written_bytes_ = 0;
+  // ---- group-commit state (all guarded by mutex_) ----
+  /// Highest seq whose frame has been written (not necessarily synced).
+  uint64_t written_seq_ = 0;
+  /// Highest seq covered by a successful fsync.
+  uint64_t durable_seq_ = 0;
+  /// Highest seq whose frame was destroyed by a failed-sync rollback;
+  /// waiters at or below it (and above durable_seq_) report the error.
+  uint64_t failed_seq_ = 0;
+  bool sync_in_flight_ = false;
+  std::condition_variable sync_cv_;
   std::string frame_buffer_;  // Reused per append under mutex_.
 };
 

@@ -38,8 +38,9 @@ class AllShardsLock {
 
 PwsServer::PwsServer(core::PwsEngine* engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)) {
-  user_locks_.reserve(kUserLockShards);
-  for (int i = 0; i < kUserLockShards; ++i) {
+  const int lock_shards = engine_->store_shard_count();
+  user_locks_.reserve(lock_shards);
+  for (int i = 0; i < lock_shards; ++i) {
     user_locks_.push_back(std::make_unique<std::shared_mutex>());
   }
   auto& registry = obs::MetricsRegistry::Global();
@@ -55,8 +56,10 @@ PwsServer::PwsServer(core::PwsEngine* engine, ServerOptions options)
 PwsServer::~PwsServer() { Stop(); }
 
 std::shared_mutex& PwsServer::ShardOf(int64_t user) {
-  const uint64_t h = static_cast<uint64_t>(user) * 0x9e3779b97f4a7c15ULL;
-  return *user_locks_[h % kUserLockShards];
+  // Delegate to the store's mapping so lock shards and store shards
+  // cover exactly the same users (see the class comment).
+  return *user_locks_[engine_->StoreShardOf(
+      static_cast<click::UserId>(user))];
 }
 
 Status PwsServer::Start() {

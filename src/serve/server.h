@@ -74,9 +74,13 @@ struct ServerOptions {
 ///
 /// Concurrency: the engine's contract (Serve concurrent-safe; Observe/
 /// TrainUser per-user serialized; TrainAllUsers/SaveState exclusive) is
-/// enforced with 64 sharded reader-writer locks keyed by user id —
-/// serves take a shard shared, mutations take it exclusive, and the
-/// whole-engine verbs take every shard exclusive. Readers (one thread
+/// enforced with sharded reader-writer locks keyed by user id — one
+/// lock per engine store shard, using the store's own shard mapping, so
+/// a lock shard and a store shard cover exactly the same users (an
+/// exclusive hold on a user's lock also serializes every user whose
+/// state shares the store shard's mutex and LRU). Serves take a shard
+/// shared, mutations take it exclusive, and the whole-engine verbs take
+/// every shard exclusive. Readers (one thread
 /// per connection) only parse and enqueue; all engine work happens on
 /// pool workers.
 ///
@@ -182,8 +186,8 @@ class PwsServer {
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;
 
-  /// Serializes SaveState against the whole-engine verbs and itself.
-  static constexpr int kUserLockShards = 64;
+  /// One lock per engine store shard (aligned with the store's own
+  /// user→shard mapping; sized in the constructor).
   std::vector<std::unique_ptr<std::shared_mutex>> user_locks_;
 };
 

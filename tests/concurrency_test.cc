@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,16 @@
 
 namespace pws {
 namespace {
+
+// Removes a sharded WAL: the bare path (shard 0) plus every possible
+// `.s<k>` shard file. Tests that only remove the bare path leak shard
+// files into the next run, whose replay then sees stale records.
+void RemoveWalFiles(const std::string& wal_path) {
+  std::remove(wal_path.c_str());
+  for (int i = 1; i < 64; ++i) {
+    std::remove((wal_path + ".s" + std::to_string(i)).c_str());
+  }
+}
 
 // ---------- ThreadPool / ParallelFor ----------
 
@@ -907,7 +918,7 @@ TEST_F(ConcurrencyTest, SaveStateConcurrentWithServeAndTrainAllUsers) {
   // TSan build turns any violation into a hard failure.
   const std::string base = ::testing::TempDir() + "/pws_conc_save";
   const std::string wal_path = base + ".wal";
-  std::remove(wal_path.c_str());
+  RemoveWalFiles(wal_path);
 
   core::EngineOptions options = CombinedOptions();
   options.train_threads = 2;
@@ -952,7 +963,7 @@ TEST_F(ConcurrencyTest, SaveStateConcurrentWithServeAndTrainAllUsers) {
         << path;
     std::remove(path.c_str());
   }
-  std::remove(wal_path.c_str());
+  RemoveWalFiles(wal_path);
 }
 
 TEST_F(ConcurrencyTest, ConcurrentObservesAllReachTheWalAndReplayCleanly) {
@@ -964,7 +975,7 @@ TEST_F(ConcurrencyTest, ConcurrentObservesAllReachTheWalAndReplayCleanly) {
   const std::string base = ::testing::TempDir() + "/pws_conc_observe";
   const std::string wal_path = base + ".wal";
   std::remove(base.c_str());
-  std::remove(wal_path.c_str());
+  RemoveWalFiles(wal_path);
 
   core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
                          CombinedOptions());
@@ -999,11 +1010,23 @@ TEST_F(ConcurrencyTest, ConcurrentObservesAllReachTheWalAndReplayCleanly) {
   }
   for (auto& th : threads) th.join();
 
-  const auto replay = io::WriteAheadLog::Replay(wal_path);
-  ASSERT_TRUE(replay.ok());
-  EXPECT_FALSE(replay->torn_tail);
-  EXPECT_EQ(replay->records.size(),
-            world_->users().size() * kObservesPerUser);
+  // The WAL is sharded: each user's records land on one shard file, and
+  // the union across shards must be exactly one intact frame per
+  // observation, with globally unique sequence numbers (all shards draw
+  // from one shared sequence space).
+  size_t total_records = 0;
+  std::vector<uint64_t> seqs;
+  for (const std::string& path : engine.wal_paths()) {
+    const auto replay = io::WriteAheadLog::Replay(path);
+    ASSERT_TRUE(replay.ok()) << path;
+    EXPECT_FALSE(replay->torn_tail) << path;
+    total_records += replay->records.size();
+    for (const auto& record : replay->records) seqs.push_back(record.seq);
+  }
+  EXPECT_EQ(total_records, world_->users().size() * kObservesPerUser);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_TRUE(std::adjacent_find(seqs.begin(), seqs.end()) == seqs.end())
+      << "duplicate sequence numbers across WAL shards";
 
   // WAL-only recovery (no snapshot was ever written) rebuilds each
   // user's learned state exactly.
@@ -1019,7 +1042,7 @@ TEST_F(ConcurrencyTest, ConcurrentObservesAllReachTheWalAndReplayCleanly) {
               engine.user_profile(user.id).TopContentConcepts(10))
         << "user " << user.id;
   }
-  std::remove(wal_path.c_str());
+  RemoveWalFiles(wal_path);
 }
 
 // ---------- Satellite: priors land on their intended features ----------

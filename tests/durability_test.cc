@@ -19,6 +19,15 @@
 namespace pws::core {
 namespace {
 
+// Removes a sharded WAL: the bare path (shard 0) plus every possible
+// `.s<k>` shard file, so no stale shard records leak into the next run.
+void RemoveWalFiles(const std::string& wal_path) {
+  std::remove(wal_path.c_str());
+  for (int i = 1; i < 64; ++i) {
+    std::remove((wal_path + ".s" + std::to_string(i)).c_str());
+  }
+}
+
 class DurabilityTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -45,14 +54,14 @@ class DurabilityTest : public ::testing::Test {
   void TearDown() override {
     FileFaultInjector::Global().Disarm();
     std::remove(snapshot_path_.c_str());
-    std::remove(wal_path_.c_str());
+    RemoveWalFiles(wal_path_);
   }
 
   void NewPaths(const std::string& tag) {
     snapshot_path_ = ::testing::TempDir() + "/pws_state_" + tag;
     wal_path_ = snapshot_path_ + ".wal";
     std::remove(snapshot_path_.c_str());
-    std::remove(wal_path_.c_str());
+    RemoveWalFiles(wal_path_);
   }
 
   static std::unique_ptr<PwsEngine> NewEngine() {
@@ -255,7 +264,38 @@ TEST_F(DurabilityTest, RestoringForeignSnapshotOverLiveWalIsRefused) {
   EXPECT_TRUE(fresh->RestoreState(foreign_snapshot).ok());
 
   std::remove(foreign_snapshot.c_str());
-  std::remove(foreign_wal.c_str());
+  RemoveWalFiles(foreign_wal);
+}
+
+TEST_F(DurabilityTest, RestoreWithDifferentWalShardCountIsRefused) {
+  NewPaths("shardcount");
+  // Snapshot taken with the default shard fan-out: its lineage line
+  // records one id per open WAL shard.
+  {
+    auto engine = NewEngine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+    Click(*engine, 1, queries_[1], 2, 93.0625);  // Tail lives in the WALs.
+  }
+  // A process restarted with fewer WAL shards would replay only part of
+  // the tail (the unopened shard files' records silently vanish). The
+  // shard-count check refuses before any state is touched.
+  EngineOptions narrow;
+  narrow.strategy = ranking::Strategy::kCombinedGps;
+  narrow.wal_shards = 2;
+  auto engine = std::make_unique<PwsEngine>(&world_->search_backend(),
+                                            &world_->ontology(), narrow);
+  ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+  const Status status = engine->RestoreState(snapshot_path_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+
+  // The same shard count restores cleanly, tail included.
+  auto fresh = NewEngine();
+  ASSERT_TRUE(fresh->EnableWal(wal_path_).ok());
+  EXPECT_TRUE(fresh->RestoreState(snapshot_path_).ok());
+  EXPECT_EQ(fresh->registered_user_count(), 2);
 }
 
 TEST_F(DurabilityTest, QueriesWithLineBreaksSurviveRestart) {
@@ -294,7 +334,7 @@ TEST_F(DurabilityTest, SaveStateCrashSweepAlwaysRecoversPreCrashState) {
     FileFaultInjector::Global().Disarm();
     ASSERT_GT(ops, 0);
     std::remove(snapshot_path_.c_str());
-    std::remove(wal_path_.c_str());
+    RemoveWalFiles(wal_path_);
   }
 
   for (int fail_at = 0; fail_at < ops; ++fail_at) {
@@ -326,7 +366,7 @@ TEST_F(DurabilityTest, SaveStateCrashSweepAlwaysRecoversPreCrashState) {
     EXPECT_TRUE(Capture(*restored, {0, 1}) == before)
         << "state diverged after crash at boundary " << fail_at;
     std::remove(snapshot_path_.c_str());
-    std::remove(wal_path_.c_str());
+    RemoveWalFiles(wal_path_);
   }
 }
 
@@ -367,7 +407,7 @@ TEST_F(DurabilityTest, WalAppendCrashSweepLosesAtMostTheFinalEvent) {
         << "crash at append boundary " << fail_at
         << " recovered to a state the engine was never in";
     std::remove(snapshot_path_.c_str());
-    std::remove(wal_path_.c_str());
+    RemoveWalFiles(wal_path_);
   }
 }
 

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <deque>
 #include <limits>
+#include <set>
+#include <thread>
 
 #include "geo/gazetteer.h"
 #include "corpus/corpus_generator.h"
@@ -719,6 +723,231 @@ TEST_F(WalTest, FailedAppendRollsBackAndDoesNotAdvanceSequence) {
   EXPECT_EQ(replay->records[0].payload, "good one");
   EXPECT_EQ(replay->records[1].seq, 2u);
   EXPECT_EQ(replay->records[1].payload, "good two");
+}
+
+// ---------- Group commit ----------
+
+TEST_F(WalTest, GroupCommitConcurrentAppendsAllDurableAndReplayClean) {
+  const std::string path = NewPath("wal_group.log");
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_max_batch = 8;
+  options.group_wait_us = 100;
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, &failed, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        std::string payload = "t";
+        payload += std::to_string(t);
+        payload += '#';
+        payload += std::to_string(i);
+        if (!(*wal)->Append(payload).ok()) failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+
+  // Every acked append is one intact frame; sequence numbers are a
+  // gap-free 1..N despite the leader/follower handoff.
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  constexpr size_t kTotal =
+      static_cast<size_t>(kThreads) * kAppendsPerThread;
+  ASSERT_EQ(replay->records.size(), kTotal);
+  std::set<std::string> payloads;
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    EXPECT_EQ(replay->records[i].seq, i + 1);
+    payloads.insert(replay->records[i].payload);
+  }
+  EXPECT_EQ(payloads.size(), kTotal);  // No payload lost or duplicated.
+}
+
+TEST_F(WalTest, GroupCommitAckedRecordsSurviveCrashAtMostTailLost) {
+  // The group-commit durability contract: an Append that returned OK
+  // survives any crash; what a crash can lose is only frames whose
+  // Append had not yet acked. Emulate the crash with the injector's
+  // crash mode (every disk op fails from the chosen point on), then
+  // "restart" by replaying the file a fresh process would find.
+  const std::string path = NewPath("wal_group_crash.log");
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_wait_us = 0;  // Deterministic: each append syncs itself.
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->Append("acked one").ok());
+  ASSERT_TRUE((*wal)->Append("acked two").ok());
+
+  // Crash at the very next boundary: the third append's frame may be
+  // torn mid-write; its Append reports failure — it was never acked.
+  FileFaultInjector::Global().Arm(0, /*crash=*/true,
+                                  /*partial_write_fraction=*/0.5);
+  EXPECT_FALSE((*wal)->Append("never acked").ok());
+  FileFaultInjector::Global().Disarm();
+
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].payload, "acked one");
+  EXPECT_EQ(replay->records[1].payload, "acked two");
+
+  // The repaired log accepts new appends after "restart", and the
+  // acked prefix still replays ahead of them.
+  auto reopened = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  ASSERT_TRUE((*reopened)->Append("post restart").ok());
+  const auto after = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->torn_tail);
+  ASSERT_EQ(after->records.size(), 3u);
+  EXPECT_EQ(after->records[2].payload, "post restart");
+}
+
+TEST_F(WalTest, GroupCommitFailedSyncFailsEveryWaiterInTheBatch) {
+  // A failed shared fsync rolls the file back to the last durable
+  // point; every append whose frame the sync covered must report the
+  // failure (none of them may ack un-durable data).
+  const std::string path = NewPath("wal_group_sync_fail.log");
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_max_batch = 16;
+  options.group_wait_us = 5000;  // Wide window so appends batch together.
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->Append("durable base").ok());
+
+  // Every disk op fails from here on: whether an append dies at its own
+  // frame write or at the batch's shared fsync, it must come back
+  // non-OK — no waiter may ack un-durable data.
+  FileFaultInjector::Global().Arm(0, /*crash=*/true);
+  constexpr int kThreads = 4;
+  std::atomic<int> acked{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, &acked, t] {
+      if ((*wal)->Append("batched " + std::to_string(t)).ok()) ++acked;
+    });
+  }
+  for (auto& th : threads) th.join();
+  FileFaultInjector::Global().Disarm();
+  EXPECT_EQ(acked.load(), 0);
+
+  // The rollback left only the durable prefix visible to replay.
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0].payload, "durable base");
+}
+
+// ---------- Shared sequencer across shard logs ----------
+
+TEST_F(WalTest, SharedSequencerMergesShardLogsIntoTotalOrder) {
+  const std::string path_a = NewPath("wal_shard_a.log");
+  const std::string path_b = path_a + ".s1";
+  std::atomic<uint64_t> sequencer{0};
+  WriteAheadLog::Options options;
+  options.sequencer = &sequencer;
+  auto wal_a = WriteAheadLog::Open(path_a, options);
+  auto wal_b = WriteAheadLog::Open(path_b, options);
+  ASSERT_TRUE(wal_a.ok());
+  ASSERT_TRUE(wal_b.ok());
+
+  // Interleave appends across the two files the way sharded Observe
+  // traffic does.
+  ASSERT_TRUE((*wal_a)->Append("a1").ok());
+  ASSERT_TRUE((*wal_b)->Append("b1").ok());
+  ASSERT_TRUE((*wal_b)->Append("b2").ok());
+  ASSERT_TRUE((*wal_a)->Append("a2").ok());
+  ASSERT_TRUE((*wal_b)->Append("b3").ok());
+  EXPECT_EQ(sequencer.load(), 5u);
+
+  // Each file's seqs are a strictly increasing subsequence; the union
+  // is the gap-free total order 1..5 a merge replay sorts into.
+  std::vector<std::pair<uint64_t, std::string>> merged;
+  for (const std::string& path : {path_a, path_b}) {
+    const auto replay = WriteAheadLog::Replay(path);
+    ASSERT_TRUE(replay.ok()) << path;
+    uint64_t prev = 0;
+    for (const auto& record : replay->records) {
+      EXPECT_GT(record.seq, prev) << path;
+      prev = record.seq;
+      merged.emplace_back(record.seq, record.payload);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  ASSERT_EQ(merged.size(), 5u);
+  const std::vector<std::string> expected = {"a1", "b1", "b2", "a2", "b3"};
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].first, i + 1);
+    EXPECT_EQ(merged[i].second, expected[i]);
+  }
+  std::remove(path_b.c_str());
+}
+
+TEST_F(WalTest, OpenRaisesSharedSequencerPastExistingFrames) {
+  // Reopening shard files after a restart must push the shared counter
+  // past every frame already on disk, whichever file holds the max —
+  // otherwise post-restart appends would reuse claimed numbers.
+  const std::string path_a = NewPath("wal_seqraise_a.log");
+  const std::string path_b = path_a + ".s1";
+  {
+    std::atomic<uint64_t> sequencer{0};
+    WriteAheadLog::Options options;
+    options.sequencer = &sequencer;
+    auto wal_a = WriteAheadLog::Open(path_a, options);
+    auto wal_b = WriteAheadLog::Open(path_b, options);
+    ASSERT_TRUE(wal_a.ok());
+    ASSERT_TRUE(wal_b.ok());
+    ASSERT_TRUE((*wal_a)->Append("a1").ok());
+    ASSERT_TRUE((*wal_b)->Append("b1").ok());
+    ASSERT_TRUE((*wal_b)->Append("b2").ok());
+  }
+  std::atomic<uint64_t> fresh{0};
+  WriteAheadLog::Options options;
+  options.sequencer = &fresh;
+  auto wal_a = WriteAheadLog::Open(path_a, options);
+  ASSERT_TRUE(wal_a.ok());
+  EXPECT_EQ(fresh.load(), 1u);  // Raised to file A's max.
+  auto wal_b = WriteAheadLog::Open(path_b, options);
+  ASSERT_TRUE(wal_b.ok());
+  EXPECT_EQ(fresh.load(), 3u);  // Raised again to file B's max.
+  ASSERT_TRUE((*wal_a)->Append("a2").ok());
+  const auto replay = WriteAheadLog::Replay(path_a);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].seq, 4u);  // Not a reused 2.
+  std::remove(path_b.c_str());
+}
+
+TEST_F(WalTest, RolledBackSharedSeqIsReusedNotLeftAsPermanentGap) {
+  // With a shared sequencer a failed append gives its number back (best
+  // effort): the immediately following append on the same quiet log
+  // reuses it instead of burning one per failure.
+  const std::string path = NewPath("wal_shared_rollback.log");
+  std::atomic<uint64_t> sequencer{0};
+  WriteAheadLog::Options options;
+  options.sequencer = &sequencer;
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append("one").ok());
+  FileFaultInjector::Global().Arm(0, /*crash=*/false,
+                                  /*partial_write_fraction=*/0.5);
+  EXPECT_FALSE((*wal)->Append("torn").ok());
+  FileFaultInjector::Global().Disarm();
+  EXPECT_EQ(sequencer.load(), 1u);  // Seq 2 was handed back.
+  ASSERT_TRUE((*wal)->Append("two").ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[1].seq, 2u);
+  EXPECT_EQ(replay->records[1].payload, "two");
 }
 
 // ---------- Durable envelope ----------

@@ -25,6 +25,15 @@
 namespace pws::serve {
 namespace {
 
+// Removes a sharded WAL: the bare path (shard 0) plus every possible
+// `.s<k>` shard file, so no stale shard records leak into the next run.
+void RemoveWalFiles(const std::string& wal_path) {
+  std::remove(wal_path.c_str());
+  for (int i = 1; i < 64; ++i) {
+    std::remove((wal_path + ".s" + std::to_string(i)).c_str());
+  }
+}
+
 // ---------- Protocol codec ----------
 
 TEST(ProtocolTest, ServeRequestRoundTrips) {
@@ -511,7 +520,7 @@ TEST_F(ServeTest, StateSurvivesServerRestart) {
   const std::string state = ::testing::TempDir() + "/pws_serve_state";
   const std::string wal = state + ".wal";
   std::remove(state.c_str());
-  std::remove(wal.c_str());
+  RemoveWalFiles(wal);
 
   int pairs_before = 0;
   {
@@ -536,7 +545,7 @@ TEST_F(ServeTest, StateSurvivesServerRestart) {
     EXPECT_EQ(engine->training_pair_count(0), pairs_before);
   }
   std::remove(state.c_str());
-  std::remove(wal.c_str());
+  RemoveWalFiles(wal);
 }
 
 }  // namespace

@@ -1,0 +1,367 @@
+// Hot/cold user-state tiering (DESIGN.md §16): the sharded
+// UserStateStore behind PwsEngine must keep resident memory near the
+// budget without ever changing results — an evicted user's next touch
+// faults bit-identical state back in, whatever order eviction happened
+// in, whatever threads were serving meanwhile, and whatever disk fault
+// interrupted the spill.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "util/file_util.h"
+#include "util/random.h"
+
+namespace pws::core {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 23;
+    config.num_topics = 6;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 12;
+    config.users.gps_fraction = 1.0;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+    for (int i = 0; i < 6; ++i) {
+      queries_.push_back(world_->queries()[i * 3].text);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    queries_.clear();
+  }
+
+  void TearDown() override { FileFaultInjector::Global().Disarm(); }
+
+  static std::string NewColdDir(const std::string& tag) {
+    // EnableTiering truncates stale segments, so reusing a directory
+    // across runs is safe by design.
+    return ::testing::TempDir() + "/pws_cold_" + tag;
+  }
+
+  static std::unique_ptr<PwsEngine> NewEngine(int store_shards) {
+    EngineOptions options;
+    options.strategy = ranking::Strategy::kCombinedGps;
+    options.user_store_shards = store_shards;
+    return std::make_unique<PwsEngine>(&world_->search_backend(),
+                                       &world_->ontology(), options);
+  }
+
+  static click::ClickRecord MakeClick(const PersonalizedPage& page,
+                                      int position, double dwell) {
+    click::ClickRecord record;
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      click::Interaction interaction;
+      interaction.doc = page.backend_page().results[page.order[j]].doc;
+      interaction.rank = static_cast<int>(j);
+      if (static_cast<int>(j) == position) {
+        interaction.clicked = true;
+        interaction.dwell_units = dwell;
+        interaction.last_click_in_session = true;
+      }
+      record.interactions.push_back(interaction);
+    }
+    return record;
+  }
+
+  static void Click(PwsEngine& engine, click::UserId user,
+                    const std::string& query, int position, double dwell) {
+    const PersonalizedPage page = engine.Serve(user, query);
+    ASSERT_GT(page.order.size(), static_cast<size_t>(position));
+    engine.Observe(user, page, MakeClick(page, position, dwell));
+  }
+
+  /// Everything tiering promises to preserve bit for bit across
+  /// evict→reload: rankings, model weights, pair counts, profile top
+  /// concepts.
+  struct Signature {
+    std::vector<std::vector<int>> orders;
+    std::vector<std::vector<double>> weights;
+    std::vector<int> pair_counts;
+    std::vector<std::pair<std::string, double>> top_concepts;
+
+    bool operator==(const Signature& other) const {
+      return orders == other.orders && weights == other.weights &&
+             pair_counts == other.pair_counts &&
+             top_concepts == other.top_concepts;
+    }
+  };
+
+  static Signature Capture(PwsEngine& engine,
+                           const std::vector<click::UserId>& users) {
+    Signature signature;
+    for (const click::UserId user : users) {
+      for (const std::string& query : queries_) {
+        signature.orders.push_back(engine.Serve(user, query).order);
+      }
+      signature.weights.push_back(engine.user_model(user).weights());
+      signature.pair_counts.push_back(engine.training_pair_count(user));
+      for (const auto& entry :
+           engine.user_profile(user).TopContentConcepts(5)) {
+        signature.top_concepts.push_back(entry);
+      }
+    }
+    return signature;
+  }
+
+  static eval::World* world_;
+  static std::vector<std::string> queries_;
+};
+
+eval::World* StoreTest::world_ = nullptr;
+std::vector<std::string> StoreTest::queries_;
+
+TEST_F(StoreTest, TieringKeepsResidentNearBudgetAndNoUserIsLost) {
+  auto engine = NewEngine(/*store_shards=*/4);
+  ASSERT_TRUE(engine->EnableTiering(NewColdDir("budget"), 4).ok());
+  for (const auto& user : world_->users()) engine->RegisterUser(user.id);
+  for (const auto& user : world_->users()) {
+    (void)engine->Serve(user.id, queries_[user.id % queries_.size()]);
+  }
+  UserStateStore::Stats stats = engine->store_stats();
+  EXPECT_EQ(stats.total_users, 12);
+  // Eviction is shard-local against the global budget, so residency can
+  // overshoot transiently but never by more than the shard count (one
+  // pinned newcomer per shard).
+  EXPECT_LE(stats.resident_users, 4 + engine->store_shard_count());
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_EQ(stats.spill_errors, 0u);
+
+  // Every user — resident or cold — is still reachable, and touching
+  // the cold ones faults them in.
+  for (const auto& user : world_->users()) {
+    EXPECT_GE(engine->training_pair_count(user.id), 0);
+  }
+  stats = engine->store_stats();
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_EQ(stats.fault_errors, 0u);
+  EXPECT_EQ(engine->registered_user_count(), 12);
+}
+
+TEST_F(StoreTest, EvictReloadIsBitIdenticalAcrossRandomizedEvictionOrders) {
+  // Property test: a harshly tiered engine (budget 2, so nearly every
+  // touch evicts someone) must stay bit-identical to an all-resident
+  // reference through randomized access orders — each trial's shuffled
+  // event order produces a different eviction/fault-in history.
+  for (const uint64_t trial_seed : {101u, 202u}) {
+    auto reference = NewEngine(/*store_shards=*/2);
+    auto tiered = NewEngine(/*store_shards=*/2);
+    ASSERT_TRUE(
+        tiered
+            ->EnableTiering(
+                NewColdDir("prop" + std::to_string(trial_seed)), 2)
+            .ok());
+    for (const auto& user : world_->users()) {
+      reference->RegisterUser(user.id);
+      tiered->RegisterUser(user.id);
+      reference->AttachGpsTrace(user.id, user.gps_trace);
+      tiered->AttachGpsTrace(user.id, user.gps_trace);
+    }
+
+    Random rng(trial_seed);
+    for (int round = 0; round < 3; ++round) {
+      // Every (user, query) event of the round in random order.
+      std::vector<std::pair<click::UserId, int>> events;
+      for (const auto& user : world_->users()) {
+        for (int q = 0; q < 3; ++q) {
+          events.emplace_back(user.id, (q + round) % queries_.size());
+        }
+      }
+      rng.Shuffle(events);
+      for (const auto& [user, q] : events) {
+        const int position = (user + q) % 3 + 1;
+        const double dwell = 90.25 + user * 7.5 + q;
+        const PersonalizedPage ref_page =
+            reference->Serve(user, queries_[q]);
+        const PersonalizedPage tiered_page = tiered->Serve(user, queries_[q]);
+        ASSERT_EQ(ref_page.order, tiered_page.order)
+            << "trial " << trial_seed << " round " << round << " user "
+            << user;
+        ASSERT_EQ(ref_page.features, tiered_page.features);
+        reference->Observe(user, ref_page,
+                           MakeClick(ref_page, position, dwell));
+        tiered->Observe(user, tiered_page,
+                        MakeClick(tiered_page, position, dwell));
+      }
+      // Training faults every cold user in, retrains, and the weights
+      // must not differ by a single ULP from the all-resident run.
+      reference->TrainAllUsers();
+      tiered->TrainAllUsers();
+      std::vector<click::UserId> ids;
+      for (const auto& user : world_->users()) ids.push_back(user.id);
+      EXPECT_TRUE(Capture(*reference, ids) == Capture(*tiered, ids))
+          << "trial " << trial_seed << " round " << round;
+    }
+
+    // The property is vacuous unless eviction actually churned.
+    const UserStateStore::Stats stats = tiered->store_stats();
+    EXPECT_GT(stats.evictions, 0u) << "trial " << trial_seed;
+    EXPECT_GT(stats.faults, 0u) << "trial " << trial_seed;
+    EXPECT_EQ(stats.spill_errors, 0u);
+    EXPECT_EQ(stats.fault_errors, 0u);
+  }
+}
+
+TEST_F(StoreTest, ConcurrentServeDuringEvictionMatchesReference) {
+  // The TSan exercise for the tiering machinery: many threads Serve
+  // overlapping users on a budget small enough that evictions and
+  // fault-ins run continuously under the servers' feet. Orders must
+  // still match an untired reference (untrained users share priors, so
+  // every user's order matches the user-0 reference per query).
+  auto tiered = NewEngine(/*store_shards=*/4);
+  ASSERT_TRUE(tiered->EnableTiering(NewColdDir("tsan"), 3).ok());
+  auto reference = NewEngine(/*store_shards=*/4);
+  const int num_users = static_cast<int>(world_->users().size());
+  for (const auto& user : world_->users()) {
+    tiered->RegisterUser(user.id);
+    reference->RegisterUser(user.id);
+  }
+  std::vector<std::vector<int>> expected(queries_.size());
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    expected[q] = reference->Serve(0, queries_[q]).order;
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        for (size_t q = 0; q < queries_.size(); ++q) {
+          const click::UserId user = (t + i + static_cast<int>(q)) %
+                                     num_users;
+          const PersonalizedPage page = tiered->Serve(user, queries_[q]);
+          if (page.order != expected[q]) mismatch = true;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  const UserStateStore::Stats stats = tiered->store_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_EQ(stats.fault_errors, 0u);
+  EXPECT_EQ(tiered->registered_user_count(), num_users);
+}
+
+TEST_F(StoreTest, EvictionSpillCrashPointSweepNeverLosesState) {
+  // Crash-point sweep through the eviction write path: every hooked
+  // write during the churn phase below is a cold-record spill. A spill
+  // that fails at any boundary — including a torn half-written frame —
+  // must leave the victim resident and the engine's results untouched.
+  const std::vector<click::UserId> ids = {0, 1, 2, 3, 4, 5};
+  const auto drive = [&](PwsEngine& engine) {
+    for (const click::UserId user : ids) engine.RegisterUser(user);
+    for (int round = 0; round < 3; ++round) {
+      for (const click::UserId user : ids) {
+        Click(engine, user,
+              queries_[(user + round) % queries_.size()],
+              (user + round) % 3 + 1, 120.5 + user * 3.25 + round);
+      }
+    }
+  };
+
+  // Reference: the same script on an all-resident engine.
+  Signature expected;
+  {
+    auto reference = NewEngine(/*store_shards=*/1);
+    drive(*reference);
+    expected = Capture(*reference, ids);
+  }
+
+  // Count pass: one shard and budget 2 make the spill sequence
+  // deterministic, so every op index is a reproducible crash point.
+  int ops = 0;
+  {
+    auto engine = NewEngine(/*store_shards=*/1);
+    ASSERT_TRUE(engine->EnableTiering(NewColdDir("sweep_count"), 2).ok());
+    FileFaultInjector::Global().Arm(-1, /*crash=*/false);
+    drive(*engine);
+    ops = FileFaultInjector::Global().ops_seen();
+    FileFaultInjector::Global().Disarm();
+    ASSERT_TRUE(Capture(*engine, ids) == expected);
+    ASSERT_GT(ops, 0);
+  }
+
+  for (int fail_at = 0; fail_at < ops; ++fail_at) {
+    auto engine = NewEngine(/*store_shards=*/1);
+    ASSERT_TRUE(engine
+                    ->EnableTiering(
+                        NewColdDir("sweep_" + std::to_string(fail_at)), 2)
+                    .ok());
+    // Half the sweep tears the frame mid-write (a prefix reaches the
+    // segment before the failure) — the torn bytes must never be
+    // indexed or faulted back in.
+    const double partial = (fail_at % 2 == 0) ? 0.0 : 0.5;
+    FileFaultInjector::Global().Arm(fail_at, /*crash=*/false, partial);
+    drive(*engine);
+    FileFaultInjector::Global().Disarm();
+    const UserStateStore::Stats stats = engine->store_stats();
+    EXPECT_GE(stats.spill_errors, 1u) << "fail_at " << fail_at;
+    EXPECT_EQ(stats.fault_errors, 0u) << "fail_at " << fail_at;
+    EXPECT_TRUE(Capture(*engine, ids) == expected)
+        << "state diverged after spill failure at op " << fail_at;
+  }
+}
+
+TEST_F(StoreTest, CorruptColdRecordDegradesToFreshStateNotACrash) {
+  // Bit rot in the cold segment: the faulting read fails its checksum,
+  // the record is dropped, and the engine's fresh-state fallback keeps
+  // the user serving with reset personalization instead of vanishing.
+  const std::string cold_dir = NewColdDir("bitrot");
+  auto engine = NewEngine(/*store_shards=*/1);
+  ASSERT_TRUE(engine->EnableTiering(cold_dir, 2).ok());
+  for (click::UserId user = 0; user < 6; ++user) {
+    engine->RegisterUser(user);
+    Click(*engine, user, queries_[user % queries_.size()], 1,
+          150.5 + user);
+  }
+  // Users 0..3 are now cold (budget 2, single shard). Flip bytes across
+  // the whole segment so every cold record fails its CRC.
+  const std::string segment = cold_dir + "/shard-0.cold";
+  auto contents = ReadFileToString(segment);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_GT(contents->size(), 0u);
+  std::string damaged = *contents;
+  for (size_t i = 12; i < damaged.size(); i += 16) damaged[i] ^= 0x5A;
+  {
+    std::FILE* file = std::fopen(segment.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fwrite(damaged.data(), 1, damaged.size(), file),
+              damaged.size());
+    std::fclose(file);
+  }
+
+  // Touching a cold user must neither crash nor drop them: the state
+  // comes back fresh (no training pairs) and keeps serving.
+  int reset_users = 0;
+  for (click::UserId user = 0; user < 6; ++user) {
+    const PersonalizedPage page =
+        engine->Serve(user, queries_[user % queries_.size()]);
+    EXPECT_FALSE(page.order.empty()) << "user " << user;
+    if (engine->training_pair_count(user) == 0) ++reset_users;
+  }
+  EXPECT_GT(reset_users, 0);
+  const UserStateStore::Stats stats = engine->store_stats();
+  EXPECT_GT(stats.fault_errors, 0u);
+  EXPECT_EQ(engine->registered_user_count(), 6);
+}
+
+}  // namespace
+}  // namespace pws::core

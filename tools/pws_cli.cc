@@ -24,6 +24,13 @@
 // block-compressed posting storage (bytes/posting vs the old 8-byte
 // uncompressed Posting layout), and exits.
 //
+// --store-stats also skips the shell: it builds the engine (restoring
+// --state when given, honoring --resident-users/--cold-dir tiering),
+// prints the user-state store report — shards, resident vs total
+// users, eviction/spill/fault counters, cold-segment bytes — and
+// exits. The same numbers stream live from the server's `metrics`
+// verb as store.* gauges and counters (DESIGN.md §16).
+//
 // --state=PATH enables durability: clicks and training runs are logged
 // to PATH.wal as they happen, 'save' snapshots everything to PATH, and a
 // restart with the same --state restores the snapshot and replays the
@@ -125,6 +132,18 @@ int main(int argc, char** argv) {
   core::EngineOptions options;
   options.strategy = ranking::Strategy::kCombinedGps;
   core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+
+  const int64_t resident_users = args.GetInt("resident-users", 0);
+  if (resident_users > 0) {
+    const std::string cold_dir =
+        args.GetString("cold-dir", "/tmp/pws_cli_cold");
+    if (const Status status = engine.EnableTiering(cold_dir, resident_users);
+        !status.ok()) {
+      std::cerr << "cannot enable tiering under " << cold_dir << ": "
+                << status << "\n";
+      return 1;
+    }
+  }
   engine.RegisterUser(kUser);
 
   const std::string state_path = args.GetString("state", "");
@@ -145,6 +164,32 @@ int main(int argc, char** argv) {
               << state_path << ".wal ("
               << engine.training_pair_count(kUser)
               << " training pairs recovered)\n";
+  }
+
+  if (args.GetBool("store-stats", false)) {
+    // One-shot report mode: the same numbers the server publishes as
+    // store.* metrics, printed as a table over whatever state the
+    // flags above loaded.
+    const core::UserStateStore::Stats stats = engine.store_stats();
+    std::cout << "user-state store\n"
+              << "  shards           " << stats.shards << "\n"
+              << "  users            " << stats.total_users << " ("
+              << stats.resident_users << " resident, " << stats.cold_users
+              << " cold)\n"
+              << "  resident budget  "
+              << (stats.resident_budget > 0
+                      ? std::to_string(stats.resident_budget)
+                      : std::string("unlimited"))
+              << "\n"
+              << "  evictions        " << stats.evictions << " ("
+              << stats.spills << " spills, " << stats.spill_errors
+              << " spill errors)\n"
+              << "  fault-ins        " << stats.faults << " ("
+              << stats.fault_errors << " errors)\n"
+              << "  cold bytes       " << stats.cold_live_bytes << " live / "
+              << stats.cold_dead_bytes << " dead (" << stats.compactions
+              << " compactions)\n";
+    return 0;
   }
 
   std::cout << "pws demo shell — " << world.corpus().size()

@@ -19,8 +19,19 @@
 // Run:  ./build/pws_loadgen --port=N [--connections=8] [--requests=2000]
 //           [--open-rps=200] [--open-duration-s=10] [--zipf-s=1.1]
 //           [--users=16] [--click-rate=0.1] [--seed=1]
+//           [--users-sweep=1000,10000,100000] [--sweep-requests=N]
 //           [--metrics-out=BENCH_SERVE.json] [--trace-out=trace.json]
 //           [--shutdown]
+//
+// --users is the working-set knob: the server registers users on first
+// touch, so raising it grows the engine's user population live. Every
+// loop also samples the server's store.faults / store.evictions
+// counters before and after and reports faults per request — the
+// cold-tier miss ratio (0 when everything fits in the resident
+// budget; see DESIGN.md §16). --users-sweep runs an extra closed-loop
+// pass per working-set size so one invocation maps the hot/cold
+// transition: sizes below --resident-users serve from RAM, sizes
+// above it start faulting.
 //
 // --trace-out fetches the server's `trace` verb after the run and
 // writes the Chrome trace_event JSON (open in chrome://tracing or
@@ -31,8 +42,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -230,6 +243,67 @@ LoopStats RunOpenLoop(const WorkloadConfig& config, double rps,
   return merged;
 }
 
+/// Store-tier counters sampled from the server's `metrics` verb around
+/// a loop; the delta is the loop's own hot/cold behavior.
+struct StoreCounters {
+  int64_t faults = 0;
+  int64_t evictions = 0;
+  int64_t resident_users = 0;
+  int64_t total_users = 0;
+};
+
+int64_t ExtractJsonInt(const std::string& json, const std::string& name) {
+  // Counters serialize as `"name": 123`, gauges as
+  // `"name": {"value": 123, ...}` — skip to the first digit either way.
+  const std::string key = "\"" + name + "\":";
+  const size_t pos = json.find(key);
+  if (pos == std::string::npos) return 0;
+  size_t i = pos + key.size();
+  while (i < json.size() && !(std::isdigit(json[i]) || json[i] == '-')) {
+    if (json[i] == ',' || json[i] == '}') return 0;  // Malformed/empty.
+    ++i;
+  }
+  return std::strtoll(json.c_str() + i, nullptr, 10);
+}
+
+StoreCounters FetchStoreCounters(Client& control) {
+  StoreCounters counters;
+  serve::Request request;
+  request.type = serve::RequestType::kMetrics;
+  serve::Reply reply;
+  if (!control.Call(request, &reply) || !reply.ok || reply.fields.empty()) {
+    return counters;
+  }
+  const std::string json = UnescapeLineBreaks(reply.fields[0]);
+  counters.faults = ExtractJsonInt(json, "store.faults");
+  counters.evictions = ExtractJsonInt(json, "store.evictions");
+  counters.resident_users = ExtractJsonInt(json, "store.resident_users");
+  counters.total_users = ExtractJsonInt(json, "store.total_users");
+  return counters;
+}
+
+/// The loop's cold-tier report: counter deltas over the loop, faults
+/// per request (the cold-miss ratio), and the store population after.
+std::string StoreDeltaJson(const StoreCounters& before,
+                           const StoreCounters& after, int64_t requests) {
+  const int64_t faults = after.faults - before.faults;
+  const int64_t evictions = after.evictions - before.evictions;
+  const double per_request =
+      requests > 0 ? static_cast<double>(faults) /
+                         static_cast<double>(requests)
+                   : 0.0;
+  std::string json = "{";
+  json += "\"faults\": " + std::to_string(faults);
+  json += ", \"evictions\": " + std::to_string(evictions);
+  json += ", \"faults_per_request\": " + FormatDouble(per_request, 4);
+  json += ", \"hot_hit_ratio\": " +
+          FormatDouble(per_request > 1.0 ? 0.0 : 1.0 - per_request, 4);
+  json += ", \"resident_users\": " + std::to_string(after.resident_users);
+  json += ", \"total_users\": " + std::to_string(after.total_users);
+  json += "}";
+  return json;
+}
+
 std::string LoopStatsJson(LoopStats& stats) {
   std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
   std::string json = "{";
@@ -306,11 +380,47 @@ int main(int argc, char** argv) {
 
   std::cerr << "closed loop: " << closed_requests << " requests over "
             << config.connections << " connections...\n";
+  const StoreCounters closed_before = FetchStoreCounters(*control);
   LoopStats closed = RunClosedLoop(config, closed_requests);
+  const StoreCounters closed_after = FetchStoreCounters(*control);
 
   std::cerr << "open loop: " << open_rps << " rps for " << open_duration_s
             << "s...\n";
+  const StoreCounters open_before = closed_after;
   LoopStats open = RunOpenLoop(config, open_rps, open_duration_s);
+  const StoreCounters open_after = FetchStoreCounters(*control);
+
+  // Working-set sweep: one extra closed-loop pass per --users-sweep
+  // size, mapping throughput and cold-miss ratio against population.
+  struct SweepStep {
+    int users = 0;
+    LoopStats stats;
+    StoreCounters before, after;
+  };
+  std::vector<SweepStep> sweep;
+  {
+    const std::string sweep_arg = args.GetString("users-sweep", "");
+    const int sweep_requests = static_cast<int>(
+        args.GetInt("sweep-requests", closed_requests));
+    if (!sweep_arg.empty()) {
+      for (const std::string& token : StrSplit(sweep_arg, ',')) {
+        int64_t users = 0;
+        if (!ParseInt64(StrTrim(token), &users) || users <= 0) {
+          std::cerr << "bad --users-sweep entry '" << token << "'\n";
+          return 2;
+        }
+        SweepStep step;
+        step.users = static_cast<int>(users);
+        std::cerr << "sweep: users=" << users << ", " << sweep_requests
+                  << " requests...\n";
+        config.users = step.users;
+        step.before = FetchStoreCounters(*control);
+        step.stats = RunClosedLoop(config, sweep_requests);
+        step.after = FetchStoreCounters(*control);
+        sweep.push_back(std::move(step));
+      }
+    }
+  }
 
   // The server's own per-stage view (engine stage histograms plus the
   // serve.* queue metrics), percentiles included.
@@ -337,12 +447,42 @@ int main(int argc, char** argv) {
   json += ", \"open_duration_s\": " + FormatDouble(open_duration_s, 1);
   json += ", \"seed\": " + std::to_string(config.seed);
   json += "},\n  \"closed\": " + LoopStatsJson(closed);
+  json += ",\n  \"closed_store\": " +
+          StoreDeltaJson(closed_before, closed_after, closed.sent);
   json += ",\n  \"open\": " + LoopStatsJson(open);
+  json += ",\n  \"open_store\": " +
+          StoreDeltaJson(open_before, open_after, open.sent);
+  if (!sweep.empty()) {
+    json += ",\n  \"users_sweep\": [";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += "{\"users\": " + std::to_string(sweep[i].users);
+      json += ", \"run\": " + LoopStatsJson(sweep[i].stats);
+      json += ", \"store\": " +
+              StoreDeltaJson(sweep[i].before, sweep[i].after,
+                             sweep[i].stats.sent);
+      json += "}";
+    }
+    json += "]";
+  }
   json += ",\n  \"server_metrics\": " + server_metrics;
   json += "\n}\n";
 
   std::cout << "closed: " << LoopStatsJson(closed) << "\n";
+  std::cout << "        store " << StoreDeltaJson(closed_before, closed_after,
+                                                  closed.sent)
+            << "\n";
   std::cout << "open:   " << LoopStatsJson(open) << "\n";
+  std::cout << "        store " << StoreDeltaJson(open_before, open_after,
+                                                  open.sent)
+            << "\n";
+  for (auto& step : sweep) {
+    std::cout << "sweep users=" << step.users << ": "
+              << LoopStatsJson(step.stats) << "\n"
+              << "        store "
+              << StoreDeltaJson(step.before, step.after, step.stats.sent)
+              << "\n";
+  }
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
     out << json;

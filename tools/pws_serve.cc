@@ -8,15 +8,27 @@
 // Run:  ./build/pws_serve [--port=N] [--workers=N] [--queue-capacity=N]
 //                         [--docs=N] [--users=N] [--seed=N]
 //                         [--state=PATH] [--snapshot-every-s=SECONDS]
+//                         [--wal-shards=N] [--group-commit]
+//                         [--resident-users=N] [--cold-dir=PATH]
+//                         [--store-shards=N]
 //                         [--trace-sample-every=N] [--trace-capacity=N]
 //                         [--slow-us=N] [--exemplar-capacity=N]
 //                         [--slo-target-us=N] [--slo-goal=F]
 //                         [--log-level=LEVEL]
 //
 // --state=PATH turns on durability: mutations are WAL-logged as they
-// happen, the server snapshots periodically (--snapshot-every-s) and at
-// shutdown, and a restart with the same --state restores the snapshot
-// and replays the WAL tail before accepting traffic (DESIGN.md §12).
+// happen (across --wal-shards log files sharing one sequence space;
+// --group-commit batches fsyncs across concurrent appenders), the
+// server snapshots periodically (--snapshot-every-s) and at shutdown,
+// and a restart with the same --state restores the snapshot and
+// replays the merged WAL tails before accepting traffic (DESIGN.md
+// §12, §16).
+//
+// --resident-users=N caps how many users the engine keeps in RAM: the
+// rest spill to per-shard cold files under --cold-dir (default: next
+// to --state, or the tmpdir when stateless) and fault back in on
+// first touch (DESIGN.md §16). Watch resident/evictions/fault-in p95
+// live in pws_top.
 //
 // Observability (DESIGN.md §14): --trace-sample-every=N captures every
 // Nth request's per-stage trace (fetch with the `trace` verb, view in
@@ -68,12 +80,35 @@ int main(int argc, char** argv) {
   eval::World world(config);
 
   core::EngineOptions options;
+  options.user_store_shards =
+      static_cast<int>(args.GetInt("store-shards", options.user_store_shards));
+  options.wal_shards =
+      static_cast<int>(args.GetInt("wal-shards", options.wal_shards));
+  options.wal_group_commit = args.GetBool("group-commit", false);
   core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+
+  const std::string state_path = args.GetString("state", "");
+  const int64_t resident_users = args.GetInt("resident-users", 0);
+  if (resident_users > 0) {
+    std::string cold_dir = args.GetString("cold-dir", "");
+    if (cold_dir.empty()) {
+      cold_dir = state_path.empty() ? std::string("/tmp/pws_cold")
+                                    : state_path + ".cold";
+    }
+    if (const Status status = engine.EnableTiering(cold_dir, resident_users);
+        !status.ok()) {
+      std::cerr << "cannot enable tiering under " << cold_dir << ": "
+                << status << "\n";
+      return 1;
+    }
+    std::cerr << "tiering on: resident-users=" << resident_users
+              << " cold-dir=" << cold_dir << "\n";
+  }
+
   for (int u = 0; u < config.users.num_users; ++u) {
     engine.RegisterUser(u);
   }
 
-  const std::string state_path = args.GetString("state", "");
   if (!state_path.empty()) {
     if (const Status status = engine.EnableWal(state_path + ".wal");
         !status.ok()) {

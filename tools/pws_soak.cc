@@ -1,0 +1,336 @@
+// Capacity soak harness for the tiered user-state store (DESIGN.md
+// §16): registers a large user population against a small resident
+// budget, drives Zipf-skewed serve/click traffic straight into the
+// engine (no server hop, so the store is the bottleneck under test),
+// and reports peak RSS, hot/cold store counters, and a bit-identical
+// evict→reload verification — all as one process whose exit code CI
+// can gate on.
+//
+// Run:  ./build/pws_soak [--users=1000000] [--resident-users=50000]
+//           [--cold-dir=PATH] [--requests=200000] [--threads=4]
+//           [--click-rate=0.05] [--zipf-s=1.05] [--docs=2000]
+//           [--seed=1] [--state=PATH] [--group-commit=1]
+//           [--wal-shards=4] [--save-at-end=0] [--verify-users=16]
+//           [--rss-cap-mb=0] [--report-json=PATH]
+//
+// Phases, in order:
+//
+//   register  — RegisterUser over the whole population. With a
+//               resident budget this immediately exercises eviction:
+//               all but --resident-users spill to cold segments.
+//   traffic   — --requests serve/click requests across --threads
+//               workers, users Zipf-skewed so a hot set stays
+//               resident while the tail faults in and out. With
+//               --state, every click is WAL-logged (group commit by
+//               default); kill -9 anywhere in this phase and a rerun
+//               with the same --state must recover and exit 0 — the
+//               CI soak-smoke does exactly that.
+//   verify    — quiesced: capture rankings + model weights + pair
+//               counts for sampled users, cycle the LRU so every
+//               sample is evicted and faulted back, recapture, and
+//               require bit-identical results.
+//
+// --rss-cap-mb turns the peak-RSS report into a hard gate: exit 1
+// when getrusage peak RSS exceeds the cap. Run once with
+// --resident-users=0 (tiering off) to measure the all-resident
+// baseline the cap should undercut.
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/world.h"
+#include "util/arg_parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace pws;
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+click::ClickRecord SatisfiedClick(const core::PersonalizedPage& page,
+                                  click::UserId user, size_t position) {
+  click::ClickRecord record;
+  record.user = user;
+  record.query_text = page.backend_page().query;
+  for (size_t j = 0; j < page.order.size(); ++j) {
+    click::Interaction interaction;
+    interaction.doc = page.backend_page().results[page.order[j]].doc;
+    interaction.rank = static_cast<int>(j);
+    if (j == position) {
+      interaction.clicked = true;
+      interaction.dwell_units = 120.0;
+      interaction.last_click_in_session = true;
+    }
+    record.interactions.push_back(interaction);
+  }
+  return record;
+}
+
+/// Everything the evict→reload contract promises to preserve for one
+/// user, captured bit-for-bit.
+struct UserSignature {
+  std::vector<int> order;
+  std::vector<double> weights;
+  int pairs = 0;
+
+  bool operator==(const UserSignature& other) const {
+    return order == other.order && weights == other.weights &&
+           pairs == other.pairs;
+  }
+};
+
+UserSignature CaptureUser(core::PwsEngine& engine, click::UserId user,
+                          const std::string& query) {
+  UserSignature signature;
+  signature.order = engine.Serve(user, query).order;
+  signature.weights = engine.user_model(user).weights();
+  signature.pairs = engine.training_pair_count(user);
+  return signature;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string log_level = args.GetString("log-level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::cerr << "invalid --log-level '" << log_level << "'\n";
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+
+  const int64_t num_users = args.GetInt("users", 1'000'000);
+  const int64_t resident_users = args.GetInt("resident-users", 50'000);
+  const int64_t requests = args.GetInt("requests", 200'000);
+  const int threads = static_cast<int>(args.GetInt("threads", 4));
+  const double click_rate = args.GetDouble("click-rate", 0.05);
+  const double zipf_s = args.GetDouble("zipf-s", 1.05);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string state_path = args.GetString("state", "");
+  const std::string report_json = args.GetString("report-json", "");
+  const double rss_cap_mb = args.GetDouble("rss-cap-mb", 0.0);
+  const int verify_users = static_cast<int>(args.GetInt("verify-users", 16));
+
+  eval::WorldConfig config;
+  config.seed = seed;
+  config.corpus.num_documents = static_cast<int>(args.GetInt("docs", 2000));
+  config.users.num_users = 4;  // World users only seed GPS traces.
+  config.backend.page_size = 20;
+  std::cerr << "building world (" << config.corpus.num_documents
+            << " docs)...\n";
+  eval::World world(config);
+
+  core::EngineOptions options;
+  options.wal_shards =
+      static_cast<int>(args.GetInt("wal-shards", options.wal_shards));
+  options.wal_group_commit = args.GetBool("group-commit", true);
+  core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
+
+  if (resident_users > 0) {
+    std::string cold_dir = args.GetString("cold-dir", "");
+    if (cold_dir.empty()) {
+      cold_dir = state_path.empty() ? std::string("/tmp/pws_soak_cold")
+                                    : state_path + ".cold";
+    }
+    if (const Status status = engine.EnableTiering(cold_dir, resident_users);
+        !status.ok()) {
+      std::cerr << "cannot enable tiering: " << status << "\n";
+      return 1;
+    }
+    std::cerr << "tiering on: resident-users=" << resident_users
+              << " cold-dir=" << cold_dir << "\n";
+  }
+
+  if (!state_path.empty()) {
+    if (const Status status = engine.EnableWal(state_path + ".wal");
+        !status.ok()) {
+      std::cerr << "cannot open WAL: " << status << "\n";
+      return 1;
+    }
+    WallTimer restore_timer;
+    if (const Status status = engine.RestoreState(state_path); !status.ok()) {
+      std::cerr << "cannot restore state: " << status << "\n";
+      return 1;
+    }
+    std::cerr << "restored " << engine.registered_user_count() << " users in "
+              << FormatDouble(restore_timer.ElapsedSeconds(), 2) << "s\n";
+  }
+
+  // ---- register ----
+  WallTimer register_timer;
+  for (int64_t u = 0; u < num_users; ++u) {
+    engine.RegisterUser(static_cast<click::UserId>(u));
+  }
+  const double register_s = register_timer.ElapsedSeconds();
+  std::cerr << "registered " << num_users << " users in "
+            << FormatDouble(register_s, 2) << "s; resident "
+            << engine.store_stats().resident_users << ", rss "
+            << FormatDouble(PeakRssMb(), 1) << "MB\n";
+
+  // ---- traffic ----
+  std::vector<std::string> queries;
+  for (const auto& intent : world.queries()) queries.push_back(intent.text);
+  std::atomic<int64_t> clicks{0};
+  WallTimer traffic_timer;
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each worker owns the ids congruent to t, so per-user
+        // mutation stays single-threaded (the engine's Observe
+        // contract) while users churn concurrently across shards.
+        Random rng(seed * 6271 + static_cast<uint64_t>(t));
+        const int64_t quota = requests / threads;
+        const int64_t span = std::max<int64_t>(1, num_users / threads);
+        for (int64_t i = 0; i < quota; ++i) {
+          const int64_t pick = rng.Zipf(static_cast<int>(
+                                            std::min<int64_t>(span, 1 << 30)),
+                                        zipf_s);
+          const auto user = static_cast<click::UserId>(
+              (pick * threads + t) % num_users);
+          const std::string& query =
+              queries[(static_cast<size_t>(user) + static_cast<size_t>(i)) %
+                      queries.size()];
+          const core::PersonalizedPage page = engine.Serve(user, query);
+          if (!page.order.empty() && rng.Bernoulli(click_rate)) {
+            engine.Observe(user, page,
+                           SatisfiedClick(page, user, i % 3));
+            clicks.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const double traffic_s = traffic_timer.ElapsedSeconds();
+  const core::UserStateStore::Stats after_traffic = engine.store_stats();
+  std::cerr << "traffic: " << requests << " requests ("
+            << clicks.load() << " clicks) in "
+            << FormatDouble(traffic_s, 2) << "s = "
+            << FormatDouble(requests / std::max(traffic_s, 1e-9), 0)
+            << " rps; faults " << after_traffic.faults << ", evictions "
+            << after_traffic.evictions << "\n";
+
+  // ---- verify: evict → reload must be bit-identical ----
+  bool bit_identical = true;
+  if (verify_users > 0) {
+    std::vector<click::UserId> samples;
+    for (int i = 0; i < verify_users; ++i) {
+      // Half from the hot head, half spread across the cold tail.
+      samples.push_back(static_cast<click::UserId>(
+          i % 2 == 0 ? i / 2
+                     : (num_users - 1) - (i / 2) * (num_users /
+                                                    (verify_users + 1))));
+    }
+    std::vector<UserSignature> before;
+    for (const click::UserId user : samples) {
+      before.push_back(CaptureUser(engine, user, queries[user % 7]));
+    }
+    if (engine.store_stats().resident_budget > 0) {
+      // Cycle the LRU: touching twice the budget in foreign ids pushes
+      // every sampled user out to the cold tier.
+      const int64_t budget = engine.store_stats().resident_budget;
+      for (int64_t i = 0; i < 2 * budget; ++i) {
+        engine.training_pair_count(static_cast<click::UserId>(
+            (i * 13 + 7) % num_users));
+      }
+    }
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const UserSignature after =
+          CaptureUser(engine, samples[i], queries[samples[i] % 7]);
+      if (!(after == before[i])) {
+        bit_identical = false;
+        std::cerr << "VERIFY FAILED: user " << samples[i]
+                  << " diverged across evict/reload\n";
+      }
+    }
+    std::cerr << "verify: " << samples.size() << " users "
+              << (bit_identical ? "bit-identical" : "DIVERGED")
+              << " across evict/reload\n";
+  }
+
+  if (args.GetBool("save-at-end", false) && !state_path.empty()) {
+    if (const Status status = engine.SaveState(state_path); !status.ok()) {
+      std::cerr << "final save failed: " << status << "\n";
+      return 1;
+    }
+    std::cerr << "saved " << state_path << "\n";
+  }
+
+  const double peak_rss_mb = PeakRssMb();
+  const core::UserStateStore::Stats stats = engine.store_stats();
+  std::cerr << "peak rss " << FormatDouble(peak_rss_mb, 1) << "MB ("
+            << stats.resident_users << "/" << stats.total_users
+            << " resident, cold "
+            << FormatDouble(static_cast<double>(stats.cold_live_bytes) /
+                                (1024.0 * 1024.0),
+                            1)
+            << "MB live)\n";
+
+  std::string json = "{\n";
+  json += "  \"users\": " + std::to_string(num_users);
+  json += ",\n  \"resident_budget\": " + std::to_string(resident_users);
+  json += ",\n  \"requests\": " + std::to_string(requests);
+  json += ",\n  \"clicks\": " + std::to_string(clicks.load());
+  json += ",\n  \"register_s\": " + FormatDouble(register_s, 3);
+  json += ",\n  \"traffic_s\": " + FormatDouble(traffic_s, 3);
+  json += ",\n  \"throughput_rps\": " +
+          FormatDouble(requests / std::max(traffic_s, 1e-9), 1);
+  json += ",\n  \"peak_rss_mb\": " + FormatDouble(peak_rss_mb, 1);
+  json += ",\n  \"bit_identical\": " +
+          std::string(bit_identical ? "true" : "false");
+  json += ",\n  \"store\": {";
+  json += "\"total_users\": " + std::to_string(stats.total_users);
+  json += ", \"resident_users\": " + std::to_string(stats.resident_users);
+  json += ", \"evictions\": " + std::to_string(stats.evictions);
+  json += ", \"spills\": " + std::to_string(stats.spills);
+  json += ", \"faults\": " + std::to_string(stats.faults);
+  json += ", \"spill_errors\": " + std::to_string(stats.spill_errors);
+  json += ", \"fault_errors\": " + std::to_string(stats.fault_errors);
+  json += ", \"compactions\": " + std::to_string(stats.compactions);
+  json += ", \"cold_live_bytes\": " + std::to_string(stats.cold_live_bytes);
+  json += ", \"cold_dead_bytes\": " + std::to_string(stats.cold_dead_bytes);
+  json += "}";
+  json += "\n}\n";
+  std::cout << json;
+  if (!report_json.empty()) {
+    std::ofstream out(report_json);
+    out << json;
+    if (!out) {
+      std::cerr << "cannot write " << report_json << "\n";
+      return 1;
+    }
+  }
+
+  if (!bit_identical) return 1;
+  if (stats.spill_errors > 0 || stats.fault_errors > 0) {
+    std::cerr << "FAILED: store errors (spill " << stats.spill_errors
+              << ", fault " << stats.fault_errors << ")\n";
+    return 1;
+  }
+  if (rss_cap_mb > 0 && peak_rss_mb > rss_cap_mb) {
+    std::cerr << "FAILED: peak rss " << FormatDouble(peak_rss_mb, 1)
+              << "MB exceeds cap " << FormatDouble(rss_cap_mb, 1) << "MB\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,8 +1,10 @@
 // Terminal ops console for a running pws_serve: polls the `metrics`
 // verb and renders the live (rolling-window) view — per-verb and
 // per-stage p50/p95/p99 over the last ~10s, queue depth against
-// capacity, shed/error rates, SLO burn, and the latest slow-request
-// exemplars with their per-stage breakdown.
+// capacity, shed/error rates, SLO burn, the user-state store's
+// hot/cold tiering row (resident vs total users, cold-segment bytes,
+// eviction and fault-in rates, fault-in p95 — DESIGN.md §16), and the
+// latest slow-request exemplars with their per-stage breakdown.
 //
 // Run:  ./build/pws_top --port=N [--interval-ms=1000] [--frames=0]
 //
@@ -71,7 +73,52 @@ void RenderWindowedTable(const JsonValue& windowed, std::ostream& os) {
   os << table.ToAligned();
 }
 
-void RenderFrame(const JsonValue& doc, std::ostream& os) {
+/// Cumulative store counters from the previous frame, for rates.
+struct StoreFrame {
+  double evictions = 0;
+  double faults = 0;
+  bool valid = false;
+};
+
+std::string Mb(double bytes) {
+  return FormatDouble(bytes / (1024.0 * 1024.0), 1) + "MB";
+}
+
+/// The user-state store's tiering row: resident vs total population,
+/// cold-segment footprint, eviction/fault rates since the last frame,
+/// and the fault-in latency p95 (DESIGN.md §16). Hidden until the
+/// engine registers its first user.
+void RenderStoreLine(const JsonValue& doc, StoreFrame* prev,
+                     double interval_s, std::ostream& os) {
+  const JsonValue& gauges = doc["gauges"];
+  const JsonValue& counters = doc["counters"];
+  const double total = gauges["store.total_users"]["value"].Number();
+  if (total <= 0) return;
+  const double resident = gauges["store.resident_users"]["value"].Number();
+  const double evictions = counters["store.evictions"].Number();
+  const double faults = counters["store.faults"].Number();
+  os << "store: " << resident << "/" << total << " resident";
+  if (gauges.Has("store.cold_bytes")) {
+    os << ", cold " << Mb(gauges["store.cold_bytes"]["value"].Number());
+  }
+  os << ", evictions " << evictions << ", faults " << faults;
+  if (prev->valid && interval_s > 0) {
+    os << " (+" << FormatDouble((evictions - prev->evictions) / interval_s, 1)
+       << "/s, +" << FormatDouble((faults - prev->faults) / interval_s, 1)
+       << "/s)";
+  }
+  const JsonValue& fault_in = doc["histograms"]["serve.fault_in.us"];
+  if (fault_in["count"].Number() > 0) {
+    os << ", fault-in p95 " << Ms(fault_in["p95"].Number()) << "ms";
+  }
+  os << "\n";
+  prev->evictions = evictions;
+  prev->faults = faults;
+  prev->valid = true;
+}
+
+void RenderFrame(const JsonValue& doc, StoreFrame* store_frame,
+                 double interval_s, std::ostream& os) {
   const JsonValue& gauges = doc["gauges"];
   const JsonValue& slo = doc["slo"];
   const JsonValue& window = slo["window"];
@@ -82,6 +129,7 @@ void RenderFrame(const JsonValue& doc, std::ostream& os) {
   os << "pws_top — uptime " << gauges["serve.uptime_s"]["value"].Number()
      << "s, queue " << depth << "/" << capacity << " (max " << depth_max
      << ")\n";
+  RenderStoreLine(doc, store_frame, interval_s, os);
 
   const double requests = window["requests"].Number();
   os << "window " << FormatDouble(slo["window_s"].Number(), 1) << "s: "
@@ -140,6 +188,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
 
   const bool interactive = frames != 1;
+  StoreFrame store_frame;
   for (int64_t frame = 0; g_signal == 0 && (frames == 0 || frame < frames);
        ++frame) {
     JsonValue doc;
@@ -150,7 +199,7 @@ int main(int argc, char** argv) {
     std::string out;
     {
       std::ostringstream buffer;
-      RenderFrame(doc, buffer);
+      RenderFrame(doc, &store_frame, interval_ms / 1000.0, buffer);
       out = buffer.str();
     }
     // Repaint in place for live watching; plain print for one-shot runs
