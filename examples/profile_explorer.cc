@@ -7,6 +7,7 @@
 // Run:  ./build/examples/profile_explorer [--user=N] [--days=N]
 
 #include <iostream>
+#include <vector>
 
 #include "core/pws_engine.h"
 #include "eval/harness.h"
@@ -97,7 +98,7 @@ int main(int argc, char** argv) {
       "location: query match",        "location: profile affinity",
       "location: direct weight",      "location: page dominant",
       "location: has location",       "location: gps proximity"};
-  const auto& w = engine.user_model(user.id).weights();
+  const std::vector<double> w = engine.user_model(user.id).weights();
   for (int d = 0; d < ranking::kFeatureCount; ++d) {
     weights.AddRow({feature_names[d], FormatDouble(w[d], 3)});
   }

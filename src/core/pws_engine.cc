@@ -562,15 +562,14 @@ void PwsEngine::AdvanceDay() {
   }
 }
 
-const profile::UserProfile& PwsEngine::user_profile(
-    click::UserId user) const {
+profile::UserProfile PwsEngine::user_profile(click::UserId user) const {
+  // Copied out while the handle pins the state resident; the pin (and,
+  // with tiering, possibly the state itself) is gone once we return.
   return *StateOf(user)->profile;
 }
 
-const ranking::RankSvm& PwsEngine::user_model(click::UserId user) const {
-  UserStateHandle state = StateOf(user);
-  std::lock_guard<std::mutex> lock(state->model_mutex);
-  return *state->model;
+ranking::RankSvm PwsEngine::user_model(click::UserId user) const {
+  return *StateOf(user)->ModelSnapshot();
 }
 
 int PwsEngine::training_pair_count(click::UserId user) const {

@@ -231,16 +231,16 @@ class PwsEngine : public Personalizer {
   /// ones — decay is global state, not working-set state).
   void AdvanceDay() override;
 
-  /// Reference into the user's live state, valid while the user stays
-  /// resident: stable without tiering; with tiering enabled the caller
-  /// must not let the user be evicted (e.g. by serving others) while
-  /// holding it. For inspection between runs, not on the hot path.
-  const profile::UserProfile& user_profile(click::UserId user) const;
-  /// Reference to the user's current model snapshot. Valid until the
-  /// next TrainUser/ImportUserState for this user publishes a successor
-  /// (and, with tiering, while the user stays resident); for inspection
-  /// between training rounds, not during them.
-  const ranking::RankSvm& user_model(click::UserId user) const;
+  /// Copy of the user's current profile (faulting it in when cold). A
+  /// copy, not a reference: with tiering enabled the state can be
+  /// evicted — and freed — the moment the internal pin drops, so no
+  /// reference could safely outlive the call. For inspection between
+  /// runs, not on the hot path.
+  profile::UserProfile user_profile(click::UserId user) const;
+  /// Copy of the user's current model snapshot (same rationale as
+  /// user_profile; also immune to the next TrainUser/ImportUserState
+  /// publishing a successor). For inspection between training rounds.
+  ranking::RankSvm user_model(click::UserId user) const;
   /// For inspection only; do not call while another thread Observes.
   const profile::ClickEntropyTracker& entropy_tracker() const {
     return entropy_tracker_;

@@ -519,9 +519,18 @@ UserStateHandle UserStateStore::InsertResidentLocked(
 
 void UserStateStore::MaybeEvictLocked(Shard& shard) {
   if (resident_budget_ <= 0 || shard.segment == nullptr) return;
+  // The budget is global but evictions are shard-local (only this
+  // shard's mutex is held), so bound the work per call: one insert
+  // overshoots the budget by one, and a little headroom catches up
+  // after inserts whose evictions were blocked by pins. Without the
+  // bound, one insert into a hot shard would drain that entire shard
+  // whenever the excess residents live in *other* shards — they pay
+  // down their own share on their next insert instead.
+  int evictions_left = 4;
   bool wrote = false;
-  while (resident_users_.load(std::memory_order_relaxed) >
-         resident_budget_) {
+  while (evictions_left > 0 &&
+         resident_users_.load(std::memory_order_relaxed) >
+             resident_budget_) {
     // Walk from the LRU tail toward the head for the first unpinned
     // victim. Pinned states (a caller mid-Serve/Observe) are skipped:
     // new pins are only granted under this mutex, and the acquire load
@@ -560,6 +569,7 @@ void UserStateStore::MaybeEvictLocked(Shard& shard) {
     resident_users_.fetch_sub(1, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     Metrics().evictions->Increment();
+    --evictions_left;
   }
   if (wrote) MaybeCompactLocked(shard);
 }
@@ -631,9 +641,12 @@ void UserStateStore::MaybeCompactLocked(Shard& shard) {
   // inode).
   std::FILE* reopened = std::fopen(shard.segment_path.c_str(), "r+b");
   if (reopened == nullptr) {
-    // Extremely unlikely (the file we just renamed into place). Drop
-    // the cold index: those users are unreachable through the old
-    // handle's inode only until process exit, so keep using it.
+    // Extremely unlikely (the file we just renamed into place). Keep
+    // serving reads and appends through the old FILE*: it still
+    // references the replaced (now unlinked) inode, whose contents
+    // match the untouched cold index. The freshly compacted file on
+    // disk is simply abandoned until a later compaction renames over
+    // it — the cold tier is process-transient, so nothing reads it.
     spill_errors_.fetch_add(1, std::memory_order_relaxed);
     Metrics().spill_errors->Increment();
     return;

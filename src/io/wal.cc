@@ -270,12 +270,30 @@ void WriteAheadLog::RollbackSeqLocked(uint64_t seq) {
 
 Status WriteAheadLog::AwaitDurableLocked(uint64_t seq,
                                          std::unique_lock<std::mutex>& lock) {
+  ++group_waiters_;
+  const Status status = GroupWaitLoopLocked(seq, lock);
+  // Failed ranges exist to answer waiters that were in flight when a
+  // sync failed; once the last waiter leaves, every future seq is past
+  // every recorded range, so the bookkeeping can be reclaimed.
+  if (--group_waiters_ == 0) failed_ranges_.clear();
+  return status;
+}
+
+bool WriteAheadLog::SeqFailedLocked(uint64_t seq) const {
+  for (const auto& [lo, hi] : failed_ranges_) {
+    if (seq > lo && seq <= hi) return true;
+  }
+  return false;
+}
+
+Status WriteAheadLog::GroupWaitLoopLocked(uint64_t seq,
+                                          std::unique_lock<std::mutex>& lock) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (;;) {
-    // Rolled back by a failed sync: the frame is gone; report it before
-    // checking durable_seq_, which later successful syncs advance past
-    // the failure range.
-    if (seq <= failed_seq_ && seq > durable_seq_) {
+    // Destroyed by a failed-sync rollback: the frame is gone and its seq
+    // will never be rewritten, so the verdict is sticky — it holds even
+    // after later successful syncs advance durable_seq_ past the hole.
+    if (SeqFailedLocked(seq)) {
       return DataLossError("wal group sync failed: " + path_);
     }
     if (seq <= durable_seq_) return OkStatus();
@@ -309,11 +327,24 @@ Status WriteAheadLog::AwaitDurableLocked(uint64_t seq,
       if (target_bytes > valid_bytes_) valid_bytes_ = target_bytes;
       registry.GetCounter("wal.group_syncs")->Increment();
     } else {
-      // Every frame in (durable_seq_, target_seq] is suspect: roll the
-      // file back to the last synced boundary so a torn frame cannot
-      // hide later appends, and fail those frames' waiters.
+      // Roll the file back to the last synced boundary so a torn frame
+      // cannot hide later appends. The truncation destroys *every*
+      // written-but-unsynced frame — not just the batch up to
+      // target_seq, but also frames appended while the sync was in
+      // flight — so record the whole range (durable_seq_, written_seq_]
+      // as failed and roll written_seq_ back: those frames are gone and
+      // their waiters must report data loss, never ride a later sync.
       registry.GetCounter("wal.append.errors")->Increment();
-      if (target_seq > failed_seq_) failed_seq_ = target_seq;
+      if (written_seq_ > durable_seq_) {
+        if (!failed_ranges_.empty() &&
+            failed_ranges_.back().second >= durable_seq_) {
+          failed_ranges_.back().second =
+              std::max(failed_ranges_.back().second, written_seq_);
+        } else {
+          failed_ranges_.emplace_back(durable_seq_, written_seq_);
+        }
+      }
+      written_seq_ = durable_seq_;
       const Status rollback = internal_file::HookedTruncate(
           file_, static_cast<size_t>(valid_bytes_), path_);
       if (!rollback.ok()) {

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -176,10 +177,15 @@ class WriteAheadLog {
   /// a shared sequencer the give-back is best effort — another shard
   /// may have drawn a later number, and replay tolerates the gap.
   void RollbackSeqLocked(uint64_t seq);
-  /// The group-commit wait loop: blocks until `seq` is durable (OK), its
-  /// frame was rolled back by a failed sync (error), or this thread
-  /// becomes the sync leader and runs one shared fsync.
+  /// The group-commit wait loop: blocks until `seq` is durable (OK) or
+  /// its frame was destroyed by a failed-sync rollback (error), becoming
+  /// the sync leader and running the shared fsync when no sync is in
+  /// flight. Maintains group_waiters_ around GroupWaitLoopLocked.
   Status AwaitDurableLocked(uint64_t seq, std::unique_lock<std::mutex>& lock);
+  Status GroupWaitLoopLocked(uint64_t seq, std::unique_lock<std::mutex>& lock);
+  /// True when `seq` falls in a failed range — its frame was truncated
+  /// away by a failed-sync rollback (caller holds mutex_).
+  bool SeqFailedLocked(uint64_t seq) const;
 
   std::string path_;
   Options options_;
@@ -205,9 +211,19 @@ class WriteAheadLog {
   uint64_t written_seq_ = 0;
   /// Highest seq covered by a successful fsync.
   uint64_t durable_seq_ = 0;
-  /// Highest seq whose frame was destroyed by a failed-sync rollback;
-  /// waiters at or below it (and above durable_seq_) report the error.
-  uint64_t failed_seq_ = 0;
+  /// Seq ranges (lo, hi] destroyed by failed-sync rollbacks. A failed
+  /// sync truncates the file back to valid_bytes_, which destroys every
+  /// written-but-unsynced frame — including frames appended *while* the
+  /// sync was in flight — and destroyed seqs are never reassigned
+  /// (last_seq_ / the shared sequencer are not rolled back), so range
+  /// membership is a sticky verdict: the waiter reports data loss even
+  /// after later successful syncs advance durable_seq_ past the hole.
+  /// Adjacent failures merge into one range, and the vector is cleared
+  /// when the last group-commit waiter leaves — every future seq is
+  /// beyond every recorded range by construction.
+  std::vector<std::pair<uint64_t, uint64_t>> failed_ranges_;
+  /// Appends currently inside the group-commit wait loop.
+  int group_waiters_ = 0;
   bool sync_in_flight_ = false;
   std::condition_variable sync_cv_;
   std::string frame_buffer_;  // Reused per append under mutex_.

@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace pws {
 
@@ -34,12 +36,14 @@ FileFaultInjector& FileFaultInjector::Global() {
 }
 
 void FileFaultInjector::Arm(int fail_at, bool crash,
-                            double partial_write_fraction) {
+                            double partial_write_fraction,
+                            int fail_delay_us) {
   std::lock_guard<std::mutex> lock(mutex_);
   fail_at_ = fail_at;
   crash_ = crash;
   tripped_ = false;
   partial_write_fraction_ = partial_write_fraction;
+  fail_delay_us_ = fail_delay_us;
   ops_seen_.store(0, std::memory_order_relaxed);
   armed_.store(true, std::memory_order_relaxed);
 }
@@ -51,6 +55,7 @@ void FileFaultInjector::Disarm() {
   crash_ = false;
   tripped_ = false;
   partial_write_fraction_ = 0.0;
+  fail_delay_us_ = 0;
   ops_seen_.store(0, std::memory_order_relaxed);
 }
 
@@ -59,18 +64,31 @@ bool FileFaultInjector::ShouldFail(Op op, size_t requested,
   (void)op;
   if (partial_bytes != nullptr) *partial_bytes = 0;
   if (!armed_.load(std::memory_order_relaxed)) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!armed_.load(std::memory_order_relaxed)) return false;
-  const int index = ops_seen_.fetch_add(1, std::memory_order_relaxed);
-  if (tripped_ && crash_) return true;  // The process is "dead".
-  if (index != fail_at_) return false;
-  tripped_ = true;
-  if (partial_bytes != nullptr && partial_write_fraction_ > 0.0) {
-    *partial_bytes = static_cast<size_t>(
-        static_cast<double>(requested) *
-        std::min(1.0, std::max(0.0, partial_write_fraction_)));
+  bool fail = false;
+  int delay_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    const int index = ops_seen_.fetch_add(1, std::memory_order_relaxed);
+    if (tripped_ && crash_) {
+      fail = true;  // The process is "dead".
+    } else if (index == fail_at_) {
+      tripped_ = true;
+      fail = true;
+      delay_us = fail_delay_us_;
+      if (partial_bytes != nullptr && partial_write_fraction_ > 0.0) {
+        *partial_bytes = static_cast<size_t>(
+            static_cast<double>(requested) *
+            std::min(1.0, std::max(0.0, partial_write_fraction_)));
+      }
+    }
   }
-  return true;
+  if (fail && delay_us > 0) {
+    // A slow dying device: stall outside the mutex so concurrent
+    // writers keep going while this operation hangs.
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return fail;
 }
 
 // ---------- Hooked primitives ----------

@@ -42,7 +42,11 @@ bool FileExists(const std::string& path);
 /// with crash=true every later operation fails too, emulating a process
 /// that died at that point: nothing after the crash reaches the disk. A
 /// failing write can first persist a prefix of its payload
-/// (`partial_write_fraction`), emulating a torn/short write.
+/// (`partial_write_fraction`), emulating a torn/short write. The
+/// failing operation can also stall for `fail_delay_us` before
+/// reporting (a slow dying device) — the stall runs outside the
+/// injector mutex, so concurrent writers proceed during it; tests use
+/// this to land operations inside another thread's failing fsync.
 ///
 /// Tests sweep crash points by first running the scenario with
 /// Arm(-1, false) — count-only mode: no op index ever matches -1, so
@@ -56,7 +60,8 @@ class FileFaultInjector {
 
   static FileFaultInjector& Global();
 
-  void Arm(int fail_at, bool crash, double partial_write_fraction = 0.0);
+  void Arm(int fail_at, bool crash, double partial_write_fraction = 0.0,
+           int fail_delay_us = 0);
   void Disarm();
 
   /// Operations intercepted since the last Arm/Disarm.
@@ -76,6 +81,7 @@ class FileFaultInjector {
   bool crash_ = false;
   bool tripped_ = false;
   double partial_write_fraction_ = 0.0;
+  int fail_delay_us_ = 0;
 };
 
 namespace internal_file {

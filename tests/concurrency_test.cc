@@ -863,8 +863,8 @@ TEST_F(ConcurrencyTest, TrainAllUsersParallelIsBitIdenticalToSerial) {
   parallel.TrainAllUsers();
 
   for (const auto& user : world_->users()) {
-    const auto& sw = serial.user_model(user.id).weights();
-    const auto& pw = parallel.user_model(user.id).weights();
+    const std::vector<double> sw = serial.user_model(user.id).weights();
+    const std::vector<double> pw = parallel.user_model(user.id).weights();
     ASSERT_EQ(sw.size(), pw.size());
     for (size_t d = 0; d < sw.size(); ++d) {
       // Bit-exact: per-user training is fully independent, so the
@@ -1057,7 +1057,7 @@ TEST_F(ConcurrencyTest, RegisterUserPriorsLandOnNamedFeatureIndexes) {
   core::PwsEngine engine(&world_->search_backend(), &world_->ontology(),
                          options);
   engine.RegisterUser(0);
-  const std::vector<double>& prior = engine.user_model(0).prior();
+  const std::vector<double> prior = engine.user_model(0).prior();
   ASSERT_EQ(prior.size(), static_cast<size_t>(ranking::kFeatureCount));
   EXPECT_DOUBLE_EQ(prior[ranking::kQueryLocationMatchIndex], 0.25);
   EXPECT_DOUBLE_EQ(prior[ranking::kProfileLocationAffinityIndex], 0.5);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -844,6 +846,135 @@ TEST_F(WalTest, GroupCommitFailedSyncFailsEveryWaiterInTheBatch) {
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay->records.size(), 1u);
   EXPECT_EQ(replay->records[0].payload, "durable base");
+}
+
+TEST_F(WalTest, GroupCommitFailedSyncVerdictIsStickyAndLogStaysUsable) {
+  // A failed shared fsync destroys its frame for good: the destroyed
+  // record must never be acked by (or reappear under) a later
+  // successful sync, its sequence number is never reused, and the log
+  // keeps accepting appends afterwards.
+  const std::string path = NewPath("wal_group_sticky_fail.log");
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_wait_us = 0;  // Deterministic: each append syncs itself.
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->Append("acked one").ok());
+
+  // Ops after Arm: the frame write (0) succeeds, the group fsync (1)
+  // fails — the append's frame is truncated away and it must not ack.
+  FileFaultInjector::Global().Arm(1, /*crash=*/false);
+  EXPECT_FALSE((*wal)->Append("destroyed two").ok());
+  FileFaultInjector::Global().Disarm();
+
+  // The log recovers: the next append acks, on a fresh sequence number
+  // (the destroyed frame's number is burned, leaving a gap replay
+  // tolerates), and the destroyed record stays gone.
+  ASSERT_TRUE((*wal)->Append("acked three").ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].payload, "acked one");
+  EXPECT_EQ(replay->records[0].seq, 1u);
+  EXPECT_EQ(replay->records[1].payload, "acked three");
+  EXPECT_EQ(replay->records[1].seq, 3u);
+}
+
+TEST_F(WalTest, GroupCommitFailsFramesWrittenWhileAFailingSyncWasInFlight) {
+  // A frame written while a (slow, ultimately failing) shared fsync is
+  // in flight is beyond the sync's target but still destroyed by the
+  // failure rollback — its append must report the loss rather than
+  // ride a later successful sync past the hole.
+  const std::string path = NewPath("wal_group_inflight_fail.log");
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_wait_us = 0;  // The leader syncs without lingering.
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->Append("durable base").ok());
+
+  // Ops after Arm: the leader's frame write (0) succeeds; its group
+  // fsync (1) stalls 100ms and then fails. The stall is the window in
+  // which the second append writes its frame.
+  FileFaultInjector::Global().Arm(1, /*crash=*/false,
+                                  /*partial_write_fraction=*/0.0,
+                                  /*fail_delay_us=*/100000);
+  std::atomic<bool> leader_failed{false};
+  std::thread leader([&wal, &leader_failed] {
+    leader_failed = !(*wal)->Append("doomed leader").ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const Status in_flight = (*wal)->Append("doomed in-flight");
+  leader.join();
+  FileFaultInjector::Global().Disarm();
+  EXPECT_TRUE(leader_failed.load());
+
+  // The log keeps working afterwards, and the contract holds for every
+  // append: acked ⇒ present in replay. Under the intended schedule the
+  // in-flight frame was truncated away, so its append must have failed;
+  // if the schedule slipped and it landed after the rollback, it acked
+  // and must be on disk.
+  ASSERT_TRUE((*wal)->Append("acked after").ok());
+  const auto replay = WriteAheadLog::Replay(path);
+  ASSERT_TRUE(replay.ok());
+  std::set<std::string> on_disk;
+  for (const auto& record : replay->records) on_disk.insert(record.payload);
+  EXPECT_EQ(on_disk.count("durable base"), 1u);
+  EXPECT_EQ(on_disk.count("acked after"), 1u);
+  EXPECT_EQ(on_disk.count("doomed leader"), 0u);
+  EXPECT_TRUE(!in_flight.ok() || on_disk.count("doomed in-flight") > 0)
+      << "acked a frame the failure rollback destroyed";
+}
+
+TEST_F(WalTest, GroupCommitNeverAcksAFrameTheFailureRollbackDestroyed) {
+  // Sweep a single injected failure across the op sequence of a burst
+  // of concurrent group-commit appends. Whatever the failing op hits —
+  // a frame write or a shared fsync — an append that returned OK must
+  // have its record survive replay. This covers the subtle case of
+  // frames written *while* a failing sync was in flight: the rollback
+  // truncates them away, so their appends must report the failure
+  // rather than ride a later successful sync.
+  WriteAheadLog::Options options;
+  options.group_commit = true;
+  options.group_max_batch = 4;
+  options.group_wait_us = 200;
+  constexpr int kThreads = 4;
+  constexpr int kAppendsPerThread = 6;
+  for (int fail_at = 0; fail_at < 12; ++fail_at) {
+    const std::string path =
+        NewPath("wal_group_sweep_" + std::to_string(fail_at) + ".log");
+    auto wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    std::mutex acked_mutex;
+    std::vector<std::string> acked;
+    FileFaultInjector::Global().Arm(fail_at, /*crash=*/false);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, &acked_mutex, &acked, t] {
+        for (int i = 0; i < kAppendsPerThread; ++i) {
+          std::string payload = "t";
+          payload += std::to_string(t);
+          payload += '#';
+          payload += std::to_string(i);
+          if ((*wal)->Append(payload).ok()) {
+            std::lock_guard<std::mutex> lock(acked_mutex);
+            acked.push_back(payload);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    FileFaultInjector::Global().Disarm();
+    const auto replay = WriteAheadLog::Replay(path);
+    ASSERT_TRUE(replay.ok()) << "fail_at=" << fail_at;
+    std::set<std::string> on_disk;
+    for (const auto& record : replay->records) on_disk.insert(record.payload);
+    for (const std::string& payload : acked) {
+      EXPECT_TRUE(on_disk.count(payload) > 0)
+          << "acked but lost at fail_at=" << fail_at << ": " << payload;
+    }
+  }
 }
 
 // ---------- Shared sequencer across shard logs ----------
