@@ -369,6 +369,27 @@ void BM_Observe(benchmark::State& state) {
 }
 BENCHMARK(BM_Observe)->Unit(benchmark::kMicrosecond);
 
+void BM_ObserveIncremental(benchmark::State& state) {
+  // Observe with per-click incremental training: the same profile
+  // update + pair mining as BM_Observe, plus a TrainIncremental pass
+  // over the freshly mined pairs and a model publish. The delta vs
+  // BM_Observe is the per-click cost of staying trained without waiting
+  // for the BM_TrainUser retrain sweep.
+  static LearnedEngineFixture& fixture = *[] {
+    core::EngineOptions options;
+    options.incremental_training = true;
+    return new LearnedEngineFixture(options);
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t k = i % fixture.pages.size();
+    fixture.engine.Observe(0, fixture.pages[k], fixture.records[k]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObserveIncremental)->Unit(benchmark::kMicrosecond);
+
 void BM_TrainUser(benchmark::State& state) {
   // Full single-user retrain: per-query feature refresh against the
   // current profile plus the RankSVM SGD epochs.

@@ -1,0 +1,99 @@
+// E14 — In-session personalization and contextual-bandit blend
+// adaptation on session-structured traffic: users issue same-day queries
+// in topically coherent bursts (--stickiness), the regime where a
+// bounded window of recent in-session clicks carries signal the
+// long-term profile hasn't absorbed yet.
+//
+// Compared head-to-head, all on the same paired traffic:
+//   fixed a=0.5        Combined at a fixed blend (floor)
+//   entropy-adaptive   the per-query fixed rule (the bar to beat)
+//   session            kSession: in-session concept boost on top of the
+//                      entropy rule
+//   bandit             UCB1 bandit over discretized alpha arms learning
+//                      the blend online per user
+//   session+bandit     both mechanisms together
+//
+// Online NDCG/MRR (graded during training, where sessions are live) is
+// the headline; frozen test-phase metrics are reported alongside. The
+// run is deterministic per seed — the golden tests pin its aggregates.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pws;
+  ArgParser args(argc, argv);
+  bench::BenchConfig config = bench::ParseBenchConfig(argc, argv);
+  // Session-structured traffic plus online grading, the whole point of
+  // this experiment; both default-off flags in every other driver.
+  config.sim.session_stickiness = args.GetDouble("stickiness", 0.85);
+  config.sim.measure_online = true;
+  const double session_boost = args.GetDouble("session_boost", 0.5);
+  ranking::BanditOptions bandit;
+  bandit.enabled = true;
+  bandit.arms = static_cast<int>(args.GetInt("bandit_arms", bandit.arms));
+  bandit.epsilon = args.GetDouble("bandit_epsilon", bandit.epsilon);
+  bandit.ucb_c = args.GetDouble("bandit_ucb", bandit.ucb_c);
+  eval::World world(config.world);
+  eval::SimulationHarness harness(&world, config.sim);
+
+  std::vector<std::string> labels;
+  std::vector<core::EngineOptions> configs;
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.alpha = 0.5;
+    labels.push_back("fixed a=0.5");
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.entropy_adaptive_alpha = true;
+    labels.push_back("entropy-adaptive");
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kSession);
+    options.entropy_adaptive_alpha = true;
+    options.session_boost_weight = session_boost;
+    labels.push_back("session");
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kCombined);
+    options.bandit = bandit;
+    labels.push_back("bandit");
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options =
+        bench::MakeEngineOptions(ranking::Strategy::kSession);
+    options.bandit = bandit;
+    options.session_boost_weight = session_boost;
+    labels.push_back("session+bandit");
+    configs.push_back(options);
+  }
+
+  WallTimer timer;
+  const std::vector<eval::StrategyMetrics> results =
+      harness.RunManyAveraged(configs, config.repetitions);
+
+  Table table({"config", "online_NDCG@10", "online_MRR", "NDCG@10", "MRR",
+               "avg_rank"});
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const eval::StrategyMetrics& m = results[i];
+    table.AddNumericRow(labels[i],
+                        {m.online_ndcg10, m.online_mrr, m.ndcg10, m.mrr,
+                         m.avg_rank_relevant},
+                        3);
+  }
+  table.Print(std::cout,
+              "E14: session boost + bandit blend vs fixed entropy rule "
+              "(stickiness " + FormatDouble(config.sim.session_stickiness, 2) +
+              ")");
+  bench::PrintHarnessReport(std::cout, harness, timer);
+  bench::MaybeExportMetrics(std::cout, config);
+  return 0;
+}

@@ -320,6 +320,32 @@ void PwsEngine::ComputeFeaturesInto(const QueryAnalysis& analysis,
   ranking::MaskBlockForStrategy(out, options_.strategy);
 }
 
+std::vector<double> PwsEngine::ComputeSessionBoost(
+    const QueryAnalysis& analysis,
+    const profile::SessionWindow& window) const {
+  const int n = static_cast<int>(analysis.page.results.size());
+  std::vector<double> boost(n, 0.0);
+  IdMap<concepts::ConceptId, double> content_weights;
+  IdMap<geo::LocationId, double> location_weights;
+  window.AccumulateWeights(options_.session, &content_weights,
+                           &location_weights);
+  for (int i = 0; i < n; ++i) {
+    double overlap = 0.0;
+    for (const concepts::ConceptId id : analysis.impression.content_ids(i)) {
+      overlap += content_weights.ValueOr(id, 0.0);
+    }
+    for (const geo::LocationId loc :
+         analysis.impression.locations_per_result[i]) {
+      overlap += location_weights.ValueOr(loc, 0.0);
+    }
+    // Saturating overlap/(1+overlap): a result sharing *something* with
+    // the session moves up, but no pile-up of shared concepts can drown
+    // the learned score.
+    boost[i] = options_.session_boost_weight * overlap / (1.0 + overlap);
+  }
+  return boost;
+}
+
 PersonalizedPage PwsEngine::Serve(click::UserId user,
                                   const std::string& query) {
   // Stage spans feed the engine.serve.* latency histograms; the query
@@ -358,6 +384,38 @@ PersonalizedPage PwsEngine::Serve(click::UserId user,
     std::lock_guard<std::mutex> lock(entropy_mutex_);
     ranker_options.alpha = entropy_tracker_.AdaptiveLocationBlend(
         qid, options_.min_alpha, options_.max_alpha);
+  }
+  // The session boost and the bandit's α choice both read the user's
+  // online-adaptation state; one lock hold covers them. Selection is
+  // read-only — Observe records the pull and reward, so WAL replay
+  // (which rebuilds arm statistics click by click) re-selects exactly
+  // the arms the original process played.
+  std::vector<double> session_boost;
+  {
+    std::lock_guard<std::mutex> lock(state->session_mutex);
+    if (options_.bandit.enabled) {
+      const int arm_count = std::max(1, options_.bandit.arms);
+      int64_t total_pulls = 0;
+      for (const ranking::BanditArm& arm : state->bandit_arms) {
+        total_pulls += arm.pulls;
+      }
+      std::span<const ranking::BanditArm> arms(state->bandit_arms);
+      // A user restored from an older snapshot (or a reconfigured arm
+      // count) selects over what exists; Observe resizes on update.
+      const int arm = static_cast<int>(state->bandit_arms.size()) == arm_count
+          ? ranking::SelectArm(
+                arms, options_.bandit,
+                ranking::BanditDrawKey(options_.bandit.seed, user,
+                                       QueryIdOf(query), total_pulls))
+          : 0;
+      page.bandit_arm = arm;
+      ranker_options.alpha = ranking::ArmAlpha(arm, options_.bandit);
+    }
+    if (options_.strategy == ranking::Strategy::kSession &&
+        !state->session.empty()) {
+      session_boost = ComputeSessionBoost(*page.analysis, state->session);
+      ranker_options.session_boost = &session_boost;
+    }
   }
   page.alpha_used = ranker_options.alpha;
   // Score against a model snapshot: a concurrent TrainUser publishes a
@@ -411,6 +469,46 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
     }
   }
 
+  // Online-adaptation state: the session window eats the clicked
+  // results' concepts (kSession only — the five paper strategies stay
+  // bit-identical with this code in place), and the bandit credits the
+  // arm Serve played with this page's click reward. Both run during WAL
+  // replay too, which is what reconstructs them after a crash.
+  if (options_.strategy == ranking::Strategy::kSession ||
+      options_.bandit.enabled) {
+    std::lock_guard<std::mutex> lock(state->session_mutex);
+    if (options_.strategy == ranking::Strategy::kSession) {
+      for (int j = 0; j < n; ++j) {
+        if (!record.interactions[j].clicked) continue;
+        state->session.AddClick(qid, static_cast<double>(record.day),
+                                shown.content_ids(j),
+                                shown.locations_per_result[j],
+                                options_.session);
+      }
+    }
+    if (options_.bandit.enabled && page.bandit_arm >= 0) {
+      const int arm_count = std::max(1, options_.bandit.arms);
+      if (static_cast<int>(state->bandit_arms.size()) != arm_count) {
+        state->bandit_arms.assign(static_cast<size_t>(arm_count),
+                                  ranking::BanditArm{});
+      }
+      // Reciprocal rank of the first click: rewards pages whose top
+      // results got clicked, 0 for click-less pages.
+      double reward = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (record.interactions[j].clicked) {
+          reward = 1.0 / (1.0 + static_cast<double>(j));
+          break;
+        }
+      }
+      ranking::BanditArm& arm =
+          state->bandit_arms[static_cast<size_t>(page.bandit_arm) %
+                             state->bandit_arms.size()];
+      ++arm.pulls;
+      arm.reward_sum += reward;
+    }
+  }
+
   // Preference pairs, stored symbolically (features are recomputed with
   // the current profile at training time). The ring overwrites the
   // oldest pair once the per-user cap is reached.
@@ -431,6 +529,31 @@ void PwsEngine::Observe(click::UserId user, const PersonalizedPage& page,
         stored.other_backend_index = page.order[pair.other_index];
         stored.weight = pair.weight;
         state->pairs->Push(stored);
+      }
+      if (options_.incremental_training) {
+        // Fold this impression's pairs into the model right now: the
+        // page's feature rows are exactly what a retrain would recompute
+        // for this query under the current profile (strategy-masked,
+        // backend order), so the online step trains on the same
+        // distribution as the full sweep. The successor-copy + publish
+        // dance matches TrainUser: a concurrent Serve keeps scoring its
+        // snapshot.
+        PWS_SPAN("engine.observe.incremental_train");
+        std::vector<ranking::TrainingPair> fresh;
+        fresh.reserve(pairs.size());
+        for (const auto& pair : pairs) {
+          ranking::TrainingPair tp;
+          tp.preferred = page.features.row(page.order[pair.preferred_index]);
+          tp.other = page.features.row(page.order[pair.other_index]);
+          tp.weight = pair.weight;
+          fresh.push_back(tp);
+        }
+        auto next =
+            std::make_shared<ranking::RankSvm>(*state->ModelSnapshot());
+        ranking::RankSvmOptions incremental_options = options_.rank_svm;
+        incremental_options.epochs = std::max(1, options_.incremental_epochs);
+        next->TrainIncremental(fresh, incremental_options);
+        state->PublishModel(std::move(next));
       }
     }
   }
@@ -663,8 +786,38 @@ Status PwsEngine::SaveState(const std::string& snapshot_path) {
     }
     sections.push_back(std::move(section).value());
   }
+  // Click-entropy state rides in the snapshot too: without it a
+  // restored engine's entropy_adaptive_alpha rankings diverged from the
+  // pre-crash process (the WAL high-water mark makes replay skip every
+  // pre-snapshot click, so the counts were simply lost). Ids become
+  // terms: concept ids are process-local interner order.
+  std::string entropy_section;
+  {
+    const concepts::ConceptInterner& interner =
+        concepts::ConceptInterner::Global();
+    std::lock_guard<std::mutex> lock(entropy_mutex_);
+    const auto exported = entropy_tracker_.Export();
+    std::vector<io::PersistedQueryEntropy> persisted;
+    persisted.reserve(exported.size());
+    for (const auto& query : exported) {
+      io::PersistedQueryEntropy entry;
+      entry.query_id = query.query_id;
+      entry.clicks = query.clicks;
+      entry.content_clicks.reserve(query.content_clicks.size());
+      for (const auto& [id, count] : query.content_clicks) {
+        entry.content_clicks.emplace_back(interner.TermOf(id), count);
+      }
+      entry.location_clicks.reserve(query.location_clicks.size());
+      for (const auto& [id, count] : query.location_clicks) {
+        entry.location_clicks.emplace_back(static_cast<int>(id), count);
+      }
+      persisted.push_back(std::move(entry));
+    }
+    entropy_section = io::EntropySectionText(persisted);
+  }
   const std::string text = io::ComposeEngineStateText(
-      last_wal_seq, wal_lineage_id, wal_shard_lineages, sections);
+      last_wal_seq, wal_lineage_id, wal_shard_lineages, sections,
+      entropy_section);
   const Status status = WriteFileAtomic(snapshot_path, text);
   if (!status.ok()) {
     registry.GetCounter("engine.snapshot.save_errors")->Increment();
@@ -742,6 +895,30 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
       }
     }
     floor_seq = loaded->last_wal_seq;
+    // Entropy first, before any replayed click re-adds counts on top.
+    if (!loaded->entropy.empty()) {
+      concepts::ConceptInterner& interner =
+          concepts::ConceptInterner::Global();
+      std::vector<profile::ClickEntropyTracker::QueryClickStats> stats;
+      stats.reserve(loaded->entropy.size());
+      for (const io::PersistedQueryEntropy& entry : loaded->entropy) {
+        profile::ClickEntropyTracker::QueryClickStats query;
+        query.query_id = entry.query_id;
+        query.clicks = entry.clicks;
+        query.content_clicks.reserve(entry.content_clicks.size());
+        for (const auto& [term, count] : entry.content_clicks) {
+          query.content_clicks.emplace_back(interner.Intern(term), count);
+        }
+        query.location_clicks.reserve(entry.location_clicks.size());
+        for (const auto& [id, count] : entry.location_clicks) {
+          query.location_clicks.emplace_back(
+              static_cast<geo::LocationId>(id), count);
+        }
+        stats.push_back(std::move(query));
+      }
+      std::lock_guard<std::mutex> lock(entropy_mutex_);
+      entropy_tracker_.Import(stats);
+    }
     for (io::PersistedUserState& persisted : loaded->users) {
       if (persisted.model.dimension() != ranking::kFeatureCount) {
         registry.GetCounter("engine.snapshot.restore_errors")->Increment();
@@ -774,6 +951,19 @@ Status PwsEngine::RestoreState(const std::string& snapshot_path) {
         state->pairs->Push(stored);
       }
       state->slab.Clear();
+      {
+        std::lock_guard<std::mutex> lock(state->session_mutex);
+        state->session.Restore(
+            RestoreSessionEvents(persisted.session_events));
+        state->bandit_arms.clear();
+        state->bandit_arms.reserve(persisted.bandit_arms.size());
+        for (const io::PersistedBanditArm& pa : persisted.bandit_arms) {
+          ranking::BanditArm arm;
+          arm.pulls = pa.pulls;
+          arm.reward_sum = pa.reward_sum;
+          state->bandit_arms.push_back(arm);
+        }
+      }
       state->dirty.store(true, std::memory_order_release);
     }
   }

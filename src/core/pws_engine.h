@@ -21,7 +21,9 @@
 #include "profile/entropy.h"
 #include "profile/gps_augment.h"
 #include "profile/preference_pairs.h"
+#include "profile/session_model.h"
 #include "profile/user_profile.h"
+#include "ranking/bandit.h"
 #include "ranking/feature_slab.h"
 #include "ranking/features.h"
 #include "ranking/rank_svm.h"
@@ -69,6 +71,24 @@ struct EngineOptions {
   double max_alpha = 0.75;
   /// GPS proximity feature distance scale.
   double gps_decay_scale_km = 150.0;
+  /// Session window (Strategy::kSession; DESIGN.md §17): bound, gap
+  /// threshold, and age decay of the per-user in-session click window.
+  profile::SessionModelOptions session;
+  /// Scale of the serve-time session boost added to each result's score
+  /// (the per-result affinity is already saturated to [0, 1)).
+  double session_boost_weight = 0.5;
+  /// Contextual-bandit blend controller: when enabled, α is chosen per
+  /// query by a per-user bandit over discretized arms instead of the
+  /// fixed/entropy rule (bandit.enabled wins over
+  /// entropy_adaptive_alpha).
+  ranking::BanditOptions bandit;
+  /// Fold each observation's freshly mined pairs into the user's model
+  /// immediately (one in-order SGD pass continuing from the current
+  /// weights — see RankSvm::TrainIncremental) instead of waiting for the
+  /// next full retrain sweep. Pairs still accumulate for full retrains.
+  bool incremental_training = false;
+  /// Passes TrainIncremental makes over one observation's pairs.
+  int incremental_epochs = 1;
   /// Cap on accumulated training pairs per user (oldest dropped).
   int max_training_pairs_per_user = 20000;
   /// Threads for TrainAllUsers (0 = all hardware threads, 1 = serial).
@@ -131,8 +151,12 @@ struct PersonalizedPage {
   std::vector<int> order;
   /// Feature rows in backend order, already strategy-masked.
   ranking::FeatureBlock features;
-  /// The α used for this page (fixed or entropy-adaptive).
+  /// The α used for this page (fixed, entropy-adaptive, or a bandit
+  /// arm's value).
   double alpha_used = 0.5;
+  /// The bandit arm that chose alpha_used (-1 when the bandit is off).
+  /// Observe credits this arm with the page's click reward.
+  int bandit_arm = -1;
 
   /// The untouched backend page (results in backend rank order).
   const backend::ResultPage& backend_page() const { return analysis->page; }
@@ -241,8 +265,12 @@ class PwsEngine : public Personalizer {
   /// user_profile; also immune to the next TrainUser/ImportUserState
   /// publishing a successor). For inspection between training rounds.
   ranking::RankSvm user_model(click::UserId user) const;
-  /// For inspection only; do not call while another thread Observes.
-  const profile::ClickEntropyTracker& entropy_tracker() const {
+  /// Copy of the click-entropy state, taken under the same lock Observe
+  /// writes with — safe to call concurrently with traffic (the same
+  /// copy-out contract as user_profile/user_model; a reference would
+  /// hand out state a concurrent Observe mutates).
+  profile::ClickEntropyTracker entropy_tracker() const {
+    std::lock_guard<std::mutex> lock(entropy_mutex_);
     return entropy_tracker_;
   }
   const EngineOptions& options() const { return options_; }
@@ -351,6 +379,13 @@ class PwsEngine : public Personalizer {
   void ComputeFeaturesInto(const QueryAnalysis& analysis,
                            const UserState& state, ranking::FeatureBlock& out,
                            const ProfileNorms* norms = nullptr) const;
+
+  /// Per-result session-affinity boosts (backend order) for one page
+  /// under the user's current window, scaled by session_boost_weight;
+  /// empty when the window is empty. Caller holds state.session_mutex.
+  std::vector<double> ComputeSessionBoost(
+      const QueryAnalysis& analysis,
+      const profile::SessionWindow& window) const;
 
   /// Pinned handle on a registered user's state (faulting it in from
   /// the cold tier if needed). PWS_CHECK-fails for unknown users.

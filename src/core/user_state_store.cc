@@ -365,6 +365,47 @@ UserStateStore::Stats UserStateStore::stats() const {
   return out;
 }
 
+std::vector<io::PersistedSessionEvent> PersistSessionEvents(
+    const profile::SessionWindow& window) {
+  const concepts::ConceptInterner& interner =
+      concepts::ConceptInterner::Global();
+  std::vector<io::PersistedSessionEvent> out;
+  out.reserve(window.events().size());
+  for (const profile::SessionEvent& event : window.events()) {
+    io::PersistedSessionEvent persisted;
+    persisted.query_id = event.query_id;
+    persisted.day = event.day;
+    persisted.content_terms.reserve(event.content.size());
+    for (const concepts::ConceptId id : event.content) {
+      persisted.content_terms.push_back(interner.TermOf(id));
+    }
+    persisted.locations.assign(event.locations.begin(),
+                               event.locations.end());
+    out.push_back(std::move(persisted));
+  }
+  return out;
+}
+
+std::vector<profile::SessionEvent> RestoreSessionEvents(
+    const std::vector<io::PersistedSessionEvent>& events) {
+  concepts::ConceptInterner& interner = concepts::ConceptInterner::Global();
+  std::vector<profile::SessionEvent> out;
+  out.reserve(events.size());
+  for (const io::PersistedSessionEvent& persisted : events) {
+    profile::SessionEvent event;
+    event.query_id = persisted.query_id;
+    event.day = persisted.day;
+    event.content.reserve(persisted.content_terms.size());
+    for (const std::string& term : persisted.content_terms) {
+      event.content.push_back(interner.Intern(term));
+    }
+    event.locations.assign(persisted.locations.begin(),
+                           persisted.locations.end());
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
 std::string UserStateStore::SerializeSection(click::UserId user,
                                              const UserState& state) {
   io::PersistedUserState persisted(*state.profile,
@@ -382,6 +423,19 @@ std::string UserStateStore::SerializeSection(click::UserId user,
       pp.weight = sp.weight;
       persisted.pairs.push_back(pp);
     });
+  }
+  {
+    // Like ModelSnapshot above: a concurrent Serve of this user may be
+    // reading the window/arms while the evictor serializes.
+    std::lock_guard<std::mutex> lock(state.session_mutex);
+    persisted.session_events = PersistSessionEvents(state.session);
+    persisted.bandit_arms.reserve(state.bandit_arms.size());
+    for (const ranking::BanditArm& arm : state.bandit_arms) {
+      io::PersistedBanditArm pa;
+      pa.pulls = arm.pulls;
+      pa.reward_sum = arm.reward_sum;
+      persisted.bandit_arms.push_back(pa);
+    }
   }
   return io::PersistedUserToText(persisted);
 }
@@ -412,6 +466,14 @@ StatusOr<std::shared_ptr<UserState>> UserStateStore::DeserializeSection(
     state->pairs->Push(sp);
   }
   state->position = parsed->position;
+  state->session.Restore(RestoreSessionEvents(parsed->session_events));
+  state->bandit_arms.reserve(parsed->bandit_arms.size());
+  for (const io::PersistedBanditArm& pa : parsed->bandit_arms) {
+    ranking::BanditArm arm;
+    arm.pulls = pa.pulls;
+    arm.reward_sum = pa.reward_sum;
+    state->bandit_arms.push_back(arm);
+  }
   return state;
 }
 

@@ -16,13 +16,27 @@
 #include "click/click_log.h"
 #include "geo/geo_point.h"
 #include "geo/location_ontology.h"
+#include "profile/session_model.h"
 #include "profile/user_profile.h"
+#include "ranking/bandit.h"
 #include "ranking/feature_slab.h"
 #include "ranking/rank_svm.h"
 #include "util/ring_buffer.h"
 #include "util/status.h"
 
+namespace pws::io {
+struct PersistedSessionEvent;
+}  // namespace pws::io
+
 namespace pws::core {
+
+/// Conversions between the live session window (interned concept ids)
+/// and its persisted form (terms — ids are process-local). Shared by the
+/// store's section serializer and the engine's snapshot restore.
+std::vector<io::PersistedSessionEvent> PersistSessionEvents(
+    const profile::SessionWindow& window);
+std::vector<profile::SessionEvent> RestoreSessionEvents(
+    const std::vector<io::PersistedSessionEvent>& events);
 
 /// A mined preference stored symbolically: indices into the user's query
 /// dictionary and the query's backend page. Features are recomputed
@@ -74,6 +88,16 @@ struct UserState {
   /// Training-time feature row arena, reused across training rounds.
   ranking::FeatureSlab slab;
   std::optional<geo::GeoPoint> position;
+
+  /// Online-adaptation state (DESIGN.md §17): the in-session click
+  /// window and the bandit's per-arm statistics. Serve (reader) may run
+  /// concurrently with an Observe of the same user, so both sides take
+  /// session_mutex — the same shape as model/model_mutex. Serialized
+  /// into the user's snapshot section, so the state tiers, snapshots,
+  /// and WAL-replays like everything else.
+  mutable std::mutex session_mutex;
+  profile::SessionWindow session;
+  std::vector<ranking::BanditArm> bandit_arms;
 
   /// Outstanding UserStateHandles. Eviction only considers states with
   /// zero pins, taken under the shard mutex (which also gates new pins):

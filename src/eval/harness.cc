@@ -35,6 +35,9 @@ StrategyMetrics AverageMetrics(const std::vector<StrategyMetrics>& runs) {
     }
     mean.ctr_at_1 += run.ctr_at_1 / n;
     mean.impressions += run.impressions;
+    mean.online_ndcg10 += run.online_ndcg10 / n;
+    mean.online_mrr += run.online_mrr / n;
+    mean.online_impressions += run.online_impressions;
     for (int c = 0; c < 3; ++c) {
       mean.avg_rank_by_class[c] += run.avg_rank_by_class[c] / n;
       mean.ctr1_by_class[c] += run.ctr1_by_class[c] / n;
@@ -91,6 +94,22 @@ const click::QueryIntent& SimulationHarness::SampleQuery(
   // path this replaces.
   const std::vector<double>& weights = CachedQueryWeightsFor(user);
   return world_->queries()[rng.Categorical(weights)];
+}
+
+const click::QueryIntent& SimulationHarness::SampleQueryInTopic(
+    const click::SimulatedUser& user, int topic, Random& rng) const {
+  const auto& queries = world_->queries();
+  const std::vector<double>& weights = CachedQueryWeightsFor(user);
+  std::vector<double> restricted(weights.size(), 0.0);
+  double total = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].topic == topic) {
+      restricted[q] = weights[q];
+      total += weights[q];
+    }
+  }
+  if (total <= 0.0) return SampleQuery(user, rng);
+  return queries[rng.Categorical(restricted)];
 }
 
 std::vector<const click::QueryIntent*> SimulationHarness::TestQueriesFor(
@@ -222,16 +241,41 @@ StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
   Random rng(seed);
 
   // --- Training phase: serve, click, observe, periodically retrain. ---
+  MeanAccumulator online_ndcg;
+  MeanAccumulator online_mrr;
+  int online_impressions = 0;
   for (int day = 0; day < options_.train_days; ++day) {
     PWS_SPAN("harness.train.day");
     for (const auto& user : world_->users()) {
+      // Session anchor: with session_stickiness, each query after the
+      // first repeats the previous query's topic with that probability.
+      // Sessions never span days (mirrors click::SessionOptions).
+      int anchor_topic = -1;
       for (int q = 0; q < options_.queries_per_user_day; ++q) {
-        const click::QueryIntent& intent = SampleQuery(user, rng);
+        const click::QueryIntent* intent;
+        if (options_.session_stickiness > 0.0 && anchor_topic >= 0 &&
+            rng.Bernoulli(options_.session_stickiness)) {
+          intent = &SampleQueryInTopic(user, anchor_topic, rng);
+        } else {
+          intent = &SampleQuery(user, rng);
+        }
+        anchor_topic = intent->topic;
         core::PersonalizedPage page =
-            personalizer->Serve(user.id, intent.text);
+            personalizer->Serve(user.id, intent->text);
         const backend::ResultPage shown = page.ShownPage();
+        if (options_.measure_online) {
+          GradeList grades;
+          grades.reserve(shown.results.size());
+          for (const auto& result : shown.results) {
+            grades.push_back(world_->relevance().TrueGrade(
+                user, *intent, world_->corpus().doc(result.doc)));
+          }
+          online_ndcg.Add(NdcgAtK(grades, 10));
+          online_mrr.Add(ReciprocalRank(grades));
+          ++online_impressions;
+        }
         const click::ClickRecord record = world_->click_model().Simulate(
-            user, intent, shown, world_->corpus(), day, rng);
+            user, *intent, shown, world_->corpus(), day, rng);
         if (rng.Bernoulli(options_.training_fraction)) {
           personalizer->Observe(user.id, page, record);
         }
@@ -317,6 +361,9 @@ StrategyMetrics SimulationHarness::RunPersonalizerSeeded(
     metrics.precision_at[k] = precision[k].Mean();
   }
   metrics.ctr_at_1 = ctr1.Mean();
+  metrics.online_ndcg10 = online_ndcg.Mean();
+  metrics.online_mrr = online_mrr.Mean();
+  metrics.online_impressions = online_impressions;
   for (int c = 0; c < 3; ++c) {
     metrics.avg_rank_by_class[c] = class_rank[c].Mean();
     metrics.ctr1_by_class[c] = class_ctr1[c].Mean();

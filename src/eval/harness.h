@@ -42,6 +42,17 @@ struct SimulationOptions {
   /// its engine and stays sequential inside — so every thread count
   /// produces bit-identical metrics and outcomes.
   int threads = 0;
+  /// Session-structured training traffic (E14): when > 0, each query
+  /// after the first in a user-day repeats the previous query's topic
+  /// with this probability, so same-day traffic arrives in topically
+  /// coherent bursts (the regime in-session personalization exploits).
+  /// 0 keeps the original i.i.d. sampling, bit-identical draw for draw.
+  double session_stickiness = 0.0;
+  /// Grade every page served during training and fill the online_*
+  /// fields of StrategyMetrics. Off by default: online adaptation
+  /// (session boost, bandit exploration) only shows up in training-phase
+  /// quality, but grading costs a relevance lookup per shown result.
+  bool measure_online = false;
 };
 
 /// Aggregated test-day metrics for one engine configuration.
@@ -59,6 +70,13 @@ struct StrategyMetrics {
   std::array<double, 3> avg_rank_by_class{};
   std::array<double, 3> ctr1_by_class{};
   std::array<int, 3> impressions_by_class{};
+  /// Training-phase ("online") quality, filled only when
+  /// SimulationOptions::measure_online is set. This is where in-session
+  /// adaptation acts: the frozen test phase serves queries with no live
+  /// session around them.
+  double online_ndcg10 = 0.0;
+  double online_mrr = 0.0;
+  int online_impressions = 0;
 };
 
 /// Element-wise mean of several runs' metrics (for seed-averaged
@@ -159,6 +177,12 @@ class SimulationHarness {
   /// Samples the query a user issues (favourite-topic biased).
   const click::QueryIntent& SampleQuery(const click::SimulatedUser& user,
                                         Random& rng) const;
+
+  /// Samples a query restricted to `topic`, with the user's usual
+  /// weights renormalized over that topic (falls back to SampleQuery if
+  /// the topic has no queries). Drives session_stickiness.
+  const click::QueryIntent& SampleQueryInTopic(
+      const click::SimulatedUser& user, int topic, Random& rng) const;
 
  private:
   /// One full protocol run with an explicit simulation seed (the

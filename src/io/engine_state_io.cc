@@ -176,15 +176,66 @@ std::string PersistedUserToText(const PersistedUserState& user) {
                std::to_string(pair.other_backend_index) + "\t" +
                HexDouble(pair.weight) + "\n";
   }
+  // Optional sections, emitted only when non-empty: users without
+  // session/bandit state serialize byte-identically to the pre-§17
+  // format, which keeps old snapshots loadable and old cold-tier
+  // records valid as-is.
+  if (!user.session_events.empty()) {
+    payload += "SESS\t" + std::to_string(user.session_events.size()) + "\n";
+    for (const PersistedSessionEvent& event : user.session_events) {
+      payload += "SE\t" + std::to_string(event.query_id) + "\t" +
+                 HexDouble(event.day) + "\t" +
+                 std::to_string(event.content_terms.size()) + "\t" +
+                 std::to_string(event.locations.size()) + "\n";
+      for (const std::string& term : event.content_terms) {
+        // Terms come from the tokenizer (no tabs), but line breaks are
+        // escaped like every other caller-adjacent string here.
+        payload += "SC\t" + EscapeLineBreaks(term) + "\n";
+      }
+      for (const int location : event.locations) {
+        payload += "SL\t" + std::to_string(location) + "\n";
+      }
+    }
+  }
+  if (!user.bandit_arms.empty()) {
+    payload += "BANDIT\t" + std::to_string(user.bandit_arms.size()) + "\n";
+    for (const PersistedBanditArm& arm : user.bandit_arms) {
+      payload += "BA\t" + std::to_string(arm.pulls) + "\t" +
+                 HexDouble(arm.reward_sum) + "\n";
+    }
+  }
   payload += "ENDUSER\n";
   return payload;
+}
+
+std::string EntropySectionText(
+    const std::vector<PersistedQueryEntropy>& entropy) {
+  if (entropy.empty()) return std::string();
+  std::string out = "ENTROPY\t" + std::to_string(entropy.size()) + "\n";
+  for (const PersistedQueryEntropy& query : entropy) {
+    out += "EQ\t" + std::to_string(query.query_id) + "\t" +
+           std::to_string(query.clicks) + "\t" +
+           std::to_string(query.content_clicks.size()) + "\t" +
+           std::to_string(query.location_clicks.size()) + "\n";
+    for (const auto& [term, count] : query.content_clicks) {
+      // Count first, term last: terms are the one free-form field.
+      out += "EC\t" + std::to_string(count) + "\t" +
+             EscapeLineBreaks(term) + "\n";
+    }
+    for (const auto& [location, count] : query.location_clicks) {
+      out += "EL\t" + std::to_string(location) + "\t" +
+             std::to_string(count) + "\n";
+    }
+  }
+  return out;
 }
 
 std::string ComposeEngineStateText(
     uint64_t last_wal_seq, uint64_t wal_lineage_id,
     const std::vector<uint64_t>& wal_shard_lineages,
-    const std::vector<std::string>& user_sections) {
-  size_t total = 128;
+    const std::vector<std::string>& user_sections,
+    const std::string& entropy_section) {
+  size_t total = 128 + entropy_section.size();
   for (const std::string& section : user_sections) total += section.size();
   std::string payload;
   payload.reserve(total);
@@ -200,6 +251,9 @@ std::string ComposeEngineStateText(
     }
     payload += '\n';
   }
+  // Optional like WALS: an empty tracker writes nothing, keeping
+  // entropy-free snapshots byte-identical to the pre-§17 format.
+  payload += entropy_section;
   for (const std::string& section : user_sections) payload += section;
   return WrapDurable(kSnapshotKind, kSnapshotVersion, payload);
 }
@@ -211,7 +265,8 @@ std::string EngineStateToText(const EngineState& state) {
     sections.push_back(PersistedUserToText(user));
   }
   return ComposeEngineStateText(state.last_wal_seq, state.wal_lineage_id,
-                                state.wal_shard_lineages, sections);
+                                state.wal_shard_lineages, sections,
+                                EntropySectionText(state.entropy));
 }
 
 namespace {
@@ -331,8 +386,84 @@ StatusOr<PersistedUserState> ParseUserSection(
     user.pairs.push_back(pair);
   }
 
+  // Optional trailing sections (SESS, BANDIT), in any order, then
+  // ENDUSER. Sections absent from pre-§17 snapshots simply never match.
   line = next_line();
-  if (line == nullptr || *line != "ENDUSER") {
+  while (line != nullptr && *line != "ENDUSER") {
+    if (StartsWith(*line, "SESS\t")) {
+      int64_t num_events = 0;
+      if (!ParseInt64(line->substr(5), &num_events) || num_events < 0) {
+        return InvalidArgumentError("bad SESS line: " + *line);
+      }
+      user.session_events.reserve(static_cast<size_t>(num_events));
+      for (int64_t e = 0; e < num_events; ++e) {
+        line = next_line();
+        if (line == nullptr || !StartsWith(*line, "SE\t")) {
+          return InvalidArgumentError("expected SE line");
+        }
+        const std::vector<std::string> fields = StrSplit(*line, '\t');
+        PersistedSessionEvent event;
+        int64_t query_id = 0;
+        int64_t num_terms = 0;
+        int64_t num_locations = 0;
+        if (fields.size() != 5 || !ParseInt64(fields[1], &query_id) ||
+            !ParseDouble(fields[2], &event.day) ||
+            !std::isfinite(event.day) ||
+            !ParseInt64(fields[3], &num_terms) || num_terms < 0 ||
+            !ParseInt64(fields[4], &num_locations) || num_locations < 0) {
+          return InvalidArgumentError("bad SE line: " + *line);
+        }
+        event.query_id = static_cast<int>(query_id);
+        event.content_terms.reserve(static_cast<size_t>(num_terms));
+        for (int64_t t = 0; t < num_terms; ++t) {
+          line = next_line();
+          if (line == nullptr || !StartsWith(*line, "SC\t")) {
+            return InvalidArgumentError("expected SC line");
+          }
+          event.content_terms.push_back(UnescapeLineBreaks(line->substr(3)));
+        }
+        event.locations.reserve(static_cast<size_t>(num_locations));
+        for (int64_t l = 0; l < num_locations; ++l) {
+          line = next_line();
+          if (line == nullptr || !StartsWith(*line, "SL\t")) {
+            return InvalidArgumentError("expected SL line");
+          }
+          int64_t location = 0;
+          if (!ParseInt64(line->substr(3), &location) || location < 0 ||
+              location >= ontology->size()) {
+            return InvalidArgumentError("bad SL line: " + *line);
+          }
+          event.locations.push_back(static_cast<int>(location));
+        }
+        user.session_events.push_back(std::move(event));
+      }
+    } else if (StartsWith(*line, "BANDIT\t")) {
+      int64_t num_arms = 0;
+      if (!ParseInt64(line->substr(7), &num_arms) || num_arms < 0) {
+        return InvalidArgumentError("bad BANDIT line: " + *line);
+      }
+      user.bandit_arms.reserve(static_cast<size_t>(num_arms));
+      for (int64_t a = 0; a < num_arms; ++a) {
+        line = next_line();
+        if (line == nullptr || !StartsWith(*line, "BA\t")) {
+          return InvalidArgumentError("expected BA line");
+        }
+        const std::vector<std::string> fields = StrSplit(*line, '\t');
+        PersistedBanditArm arm;
+        if (fields.size() != 3 || !ParseInt64(fields[1], &arm.pulls) ||
+            arm.pulls < 0 || !ParseDouble(fields[2], &arm.reward_sum) ||
+            !std::isfinite(arm.reward_sum)) {
+          return InvalidArgumentError("bad BA line: " + *line);
+        }
+        user.bandit_arms.push_back(arm);
+      }
+    } else {
+      return InvalidArgumentError("unexpected line in user section: " +
+                                  *line);
+    }
+    line = next_line();
+  }
+  if (line == nullptr) {
     return InvalidArgumentError("expected ENDUSER for user " +
                                 std::to_string(user_id));
   }
@@ -400,6 +531,75 @@ StatusOr<EngineState> EngineStateFromText(
     }
   } else {
     i = before_wals;
+  }
+
+  // Optional click-entropy section (same peek-and-rewind pattern).
+  const size_t before_entropy = i;
+  const std::string* entropy_header = next_line();
+  if (entropy_header != nullptr && StartsWith(*entropy_header, "ENTROPY\t")) {
+    int64_t num_queries = 0;
+    if (!ParseInt64(entropy_header->substr(8), &num_queries) ||
+        num_queries < 0) {
+      return InvalidArgumentError("bad ENTROPY line: " + *entropy_header);
+    }
+    state.entropy.reserve(static_cast<size_t>(num_queries));
+    for (int64_t q = 0; q < num_queries; ++q) {
+      const std::string* eq = next_line();
+      if (eq == nullptr || !StartsWith(*eq, "EQ\t")) {
+        return InvalidArgumentError("expected EQ line");
+      }
+      const std::vector<std::string> fields = StrSplit(*eq, '\t');
+      PersistedQueryEntropy query;
+      int64_t query_id = 0;
+      int64_t clicks = 0;
+      int64_t num_content = 0;
+      int64_t num_locations = 0;
+      if (fields.size() != 5 || !ParseInt64(fields[1], &query_id) ||
+          !ParseInt64(fields[2], &clicks) || clicks < 0 ||
+          !ParseInt64(fields[3], &num_content) || num_content < 0 ||
+          !ParseInt64(fields[4], &num_locations) || num_locations < 0) {
+        return InvalidArgumentError("bad EQ line: " + *eq);
+      }
+      query.query_id = static_cast<int>(query_id);
+      query.clicks = static_cast<int>(clicks);
+      query.content_clicks.reserve(static_cast<size_t>(num_content));
+      for (int64_t c = 0; c < num_content; ++c) {
+        const std::string* ec = next_line();
+        if (ec == nullptr || !StartsWith(*ec, "EC\t")) {
+          return InvalidArgumentError("expected EC line");
+        }
+        // Count first, term (free-form, may embed tabs) last.
+        const size_t count_end = ec->find('\t', 3);
+        int64_t count = 0;
+        if (count_end == std::string::npos ||
+            !ParseInt64(ec->substr(3, count_end - 3), &count) || count < 0) {
+          return InvalidArgumentError("bad EC line: " + *ec);
+        }
+        query.content_clicks.emplace_back(
+            UnescapeLineBreaks(ec->substr(count_end + 1)),
+            static_cast<int>(count));
+      }
+      query.location_clicks.reserve(static_cast<size_t>(num_locations));
+      for (int64_t l = 0; l < num_locations; ++l) {
+        const std::string* el = next_line();
+        if (el == nullptr || !StartsWith(*el, "EL\t")) {
+          return InvalidArgumentError("expected EL line");
+        }
+        const std::vector<std::string> el_fields = StrSplit(*el, '\t');
+        int64_t location = 0;
+        int64_t count = 0;
+        if (el_fields.size() != 3 || !ParseInt64(el_fields[1], &location) ||
+            location < 0 || location >= ontology->size() ||
+            !ParseInt64(el_fields[2], &count) || count < 0) {
+          return InvalidArgumentError("bad EL line: " + *el);
+        }
+        query.location_clicks.emplace_back(static_cast<int>(location),
+                                           static_cast<int>(count));
+      }
+      state.entropy.push_back(std::move(query));
+    }
+  } else {
+    i = before_entropy;
   }
 
   state.users.reserve(static_cast<size_t>(num_users));

@@ -74,6 +74,24 @@ struct PersistedPair {
   double weight = 1.0;
 };
 
+/// One session-window click event (DESIGN.md §17). Content concepts are
+/// persisted as interned *terms*, not ids: concept ids are assigned by
+/// the process-global interner in first-seen order, so they are not
+/// stable across restarts (profiles persist terms for the same reason).
+/// Location ids are ontology positions, deterministic per world.
+struct PersistedSessionEvent {
+  int query_id = 0;
+  double day = 0.0;
+  std::vector<std::string> content_terms;
+  std::vector<int> locations;
+};
+
+/// One bandit arm's running statistics (ranking::BanditArm).
+struct PersistedBanditArm {
+  int64_t pulls = 0;
+  double reward_sum = 0.0;
+};
+
 /// Everything the engine knows about one user that must survive a
 /// restart: learned profile and model, last GPS position, and the
 /// accumulated training pairs (chronological order).
@@ -84,6 +102,12 @@ struct PersistedUserState {
   std::optional<geo::GeoPoint> position;
   std::vector<std::string> pair_queries;
   std::vector<PersistedPair> pairs;
+  /// Session window events, oldest first (empty for users without
+  /// session state; the section is omitted from the text form then, so
+  /// pre-session snapshots and records round-trip byte-identically).
+  std::vector<PersistedSessionEvent> session_events;
+  /// Bandit arm statistics, arm order (empty when the bandit is off).
+  std::vector<PersistedBanditArm> bandit_arms;
 
   PersistedUserState(profile::UserProfile p, ranking::RankSvm m)
       : profile(std::move(p)), model(std::move(m)) {}
@@ -93,6 +117,17 @@ struct PersistedUserState {
 /// every WAL record with seq <= last_wal_seq is already folded into the
 /// snapshot, so recovery skips it (this is what makes a crash between
 /// snapshot commit and WAL truncation harmless).
+/// One query's persisted click-entropy distribution — the engine-global
+/// ClickEntropyTracker state that drives entropy_adaptive_alpha. Content
+/// concepts are terms for the same cross-process-stability reason as
+/// PersistedSessionEvent.
+struct PersistedQueryEntropy {
+  int query_id = 0;
+  int clicks = 0;
+  std::vector<std::pair<std::string, int>> content_clicks;
+  std::vector<std::pair<int, int>> location_clicks;
+};
+
 struct EngineState {
   uint64_t last_wal_seq = 0;
   /// Lineage id of the WAL this snapshot is paired with (0 when the
@@ -107,6 +142,13 @@ struct EngineState {
   /// sharding; all shards share one sequence space, so last_wal_seq is
   /// the single high-water mark across them).
   std::vector<uint64_t> wal_shard_lineages;
+  /// Click-entropy state, queries ascending (empty trackers omit the
+  /// section entirely, so pre-entropy snapshots still load and
+  /// entropy-free snapshots are byte-identical to the old format).
+  /// Without this, a restored engine's entropy_adaptive_alpha rankings
+  /// diverged from the pre-crash process: snapshots carried no counts
+  /// and the WAL high-water mark made replay skip pre-snapshot clicks.
+  std::vector<PersistedQueryEntropy> entropy;
   std::vector<PersistedUserState> users;
 };
 
@@ -126,10 +168,16 @@ StatusOr<PersistedUserState> PersistedUserFromText(
 /// pre-serialized per-user sections — each a PersistedUserToText block —
 /// without materializing PersistedUserStates. EngineStateToText is the
 /// materialized-state convenience over this.
+/// Serializes engine-global click-entropy state as the snapshot's
+/// optional ENTROPY section ("" when `entropy` is empty).
+std::string EntropySectionText(
+    const std::vector<PersistedQueryEntropy>& entropy);
+
 std::string ComposeEngineStateText(
     uint64_t last_wal_seq, uint64_t wal_lineage_id,
     const std::vector<uint64_t>& wal_shard_lineages,
-    const std::vector<std::string>& user_sections);
+    const std::vector<std::string>& user_sections,
+    const std::string& entropy_section = std::string());
 
 /// Serializes an engine snapshot, durable envelope included.
 std::string EngineStateToText(const EngineState& state);

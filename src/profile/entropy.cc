@@ -1,5 +1,7 @@
 #include "profile/entropy.h"
 
+#include <algorithm>
+
 #include "util/math_util.h"
 
 namespace pws::profile {
@@ -53,6 +55,48 @@ double ClickEntropyTracker::AdaptiveLocationBlend(int query_id,
   const double h = LocationEntropy(query_id);
   const double t = Clamp(h / 1.5, 0.0, 1.0);
   return min_alpha + t * (max_alpha - min_alpha);
+}
+
+std::vector<ClickEntropyTracker::QueryClickStats> ClickEntropyTracker::Export()
+    const {
+  std::vector<QueryClickStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [query_id, stats] : stats_) {
+    QueryClickStats entry;
+    entry.query_id = query_id;
+    entry.clicks = stats.clicks;
+    entry.content_clicks.reserve(stats.content_clicks.size());
+    stats.content_clicks.ForEach(
+        [&](concepts::ConceptId id, const int& count) {
+          entry.content_clicks.emplace_back(id, count);
+        });
+    entry.location_clicks.reserve(stats.location_clicks.size());
+    stats.location_clicks.ForEach([&](geo::LocationId id, const int& count) {
+      entry.location_clicks.emplace_back(id, count);
+    });
+    std::sort(entry.content_clicks.begin(), entry.content_clicks.end());
+    std::sort(entry.location_clicks.begin(), entry.location_clicks.end());
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryClickStats& a, const QueryClickStats& b) {
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+void ClickEntropyTracker::Import(const std::vector<QueryClickStats>& stats) {
+  stats_.clear();
+  for (const QueryClickStats& entry : stats) {
+    QueryStats& query_stats = stats_[entry.query_id];
+    query_stats.clicks = entry.clicks;
+    for (const auto& [id, count] : entry.content_clicks) {
+      query_stats.content_clicks[id] = count;
+    }
+    for (const auto& [id, count] : entry.location_clicks) {
+      query_stats.location_clicks[id] = count;
+    }
+  }
 }
 
 }  // namespace pws::profile

@@ -49,6 +49,24 @@ class ClickEntropyTracker {
   double AdaptiveLocationBlend(int query_id, double min_alpha,
                                double max_alpha) const;
 
+  /// One query's click distribution in deterministic export form:
+  /// queries ascending, counts sorted by id. (The live IdMaps iterate in
+  /// insertion order, which depends on click arrival order — fine in
+  /// memory, wrong for byte-compared snapshots.)
+  struct QueryClickStats {
+    int query_id = 0;
+    int clicks = 0;
+    std::vector<std::pair<concepts::ConceptId, int>> content_clicks;
+    std::vector<std::pair<geo::LocationId, int>> location_clicks;
+  };
+
+  /// Dumps the full tracker state for persistence (SaveState).
+  std::vector<QueryClickStats> Export() const;
+
+  /// Replaces the tracker state with an exported dump (RestoreState —
+  /// WAL replay then re-adds any post-snapshot clicks).
+  void Import(const std::vector<QueryClickStats>& stats);
+
  private:
   struct QueryStats {
     IdMap<concepts::ConceptId, int> content_clicks;

@@ -1,0 +1,58 @@
+#include "profile/session_model.h"
+
+#include <algorithm>
+
+namespace pws::profile {
+
+void SessionWindow::AddClick(int query_id, double day,
+                             std::span<const concepts::ConceptId> content,
+                             std::span<const geo::LocationId> locations,
+                             const SessionModelOptions& options) {
+  if (!events_.empty() && day - events_.back().day > options.max_gap_days) {
+    events_.clear();
+  }
+  SessionEvent event;
+  event.query_id = query_id;
+  event.day = day;
+  event.content.assign(content.begin(), content.end());
+  event.locations.assign(locations.begin(), locations.end());
+  events_.push_back(std::move(event));
+  const int max_events = std::max(1, options.max_events);
+  if (static_cast<int>(events_.size()) > max_events) {
+    events_.erase(events_.begin(),
+                  events_.begin() + (events_.size() - max_events));
+  }
+}
+
+void SessionWindow::AccumulateWeights(
+    const SessionModelOptions& options,
+    IdMap<concepts::ConceptId, double>* content,
+    IdMap<geo::LocationId, double>* locations) const {
+  double weight = 1.0;
+  // Walk newest-to-oldest so the age-decay is one running multiply.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    for (concepts::ConceptId id : it->content) (*content)[id] += weight;
+    for (geo::LocationId loc : it->locations) (*locations)[loc] += weight;
+    weight *= options.decay;
+  }
+}
+
+double SessionWindow::ResultAffinity(
+    std::span<const concepts::ConceptId> content,
+    std::span<const geo::LocationId> locations,
+    const SessionModelOptions& options) const {
+  if (events_.empty()) return 0.0;
+  IdMap<concepts::ConceptId, double> content_weights;
+  IdMap<geo::LocationId, double> location_weights;
+  AccumulateWeights(options, &content_weights, &location_weights);
+  double overlap = 0.0;
+  for (concepts::ConceptId id : content) {
+    overlap += content_weights.ValueOr(id, 0.0);
+  }
+  for (geo::LocationId loc : locations) {
+    overlap += location_weights.ValueOr(loc, 0.0);
+  }
+  return overlap / (1.0 + overlap);
+}
+
+}  // namespace pws::profile

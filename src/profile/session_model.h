@@ -1,0 +1,89 @@
+#ifndef PWS_PROFILE_SESSION_MODEL_H_
+#define PWS_PROFILE_SESSION_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "concepts/concept_interner.h"
+#include "geo/location_ontology.h"
+#include "util/id_map.h"
+
+namespace pws::profile {
+
+/// Knobs of the per-user session window (DESIGN.md §17).
+struct SessionModelOptions {
+  /// Bounded window: at most this many recent click events are kept
+  /// (oldest dropped first).
+  int max_events = 8;
+  /// Session segmentation, matching click::SessionOptions semantics: a
+  /// gap *strictly greater* than this many days since the last click
+  /// starts a new session (the window resets). The default keeps one
+  /// session per active day — the harness logs integer days.
+  double max_gap_days = 0.0;
+  /// Per-event age decay: the most recent event weighs 1, the one
+  /// before it `decay`, then `decay²`, …
+  double decay = 0.7;
+};
+
+/// One clicked result's concepts, remembered in the session window.
+struct SessionEvent {
+  int query_id = 0;
+  double day = 0.0;
+  std::vector<concepts::ConceptId> content;
+  std::vector<geo::LocationId> locations;
+};
+
+/// A bounded window of the user's recent in-session clicks — the
+/// short-term complement to the long-term UserProfile. The serve path
+/// turns it into a per-result score boost: results sharing concepts with
+/// what the user just clicked in this session move up, following the
+/// session-context reranking of Volkovs, "Context Models for Web Search
+/// Personalization". Plain value type; the engine guards each user's
+/// window with UserState's session mutex.
+class SessionWindow {
+ public:
+  /// Records one clicked result's concepts. A day gap strictly greater
+  /// than options.max_gap_days since the previous event first clears the
+  /// window (new session); the window then keeps at most
+  /// options.max_events events.
+  void AddClick(int query_id, double day,
+                std::span<const concepts::ConceptId> content,
+                std::span<const geo::LocationId> locations,
+                const SessionModelOptions& options);
+
+  /// Accumulates the window's decay-weighted click counts into flat
+  /// maps: concept/location c gets Σ over events containing c of
+  /// decay^age (age 0 = most recent event). The serve path calls this
+  /// once per page and scores each result against the maps.
+  void AccumulateWeights(const SessionModelOptions& options,
+                         IdMap<concepts::ConceptId, double>* content,
+                         IdMap<geo::LocationId, double>* locations) const;
+
+  /// Session affinity of one result: the summed weights of its concepts
+  /// under AccumulateWeights, saturated to [0, 1) via x / (1 + x).
+  /// Convenience for tests and one-off scoring; the engine batches via
+  /// AccumulateWeights.
+  double ResultAffinity(std::span<const concepts::ConceptId> content,
+                        std::span<const geo::LocationId> locations,
+                        const SessionModelOptions& options) const;
+
+  bool empty() const { return events_.empty(); }
+  int size() const { return static_cast<int>(events_.size()); }
+  /// Day of the most recent event (0 when empty).
+  double last_day() const { return events_.empty() ? 0.0 : events_.back().day; }
+  /// Events oldest-first — the persistence layer serializes these.
+  const std::vector<SessionEvent>& events() const { return events_; }
+
+  void Clear() { events_.clear(); }
+  /// Installs persisted events (oldest-first), replacing the window.
+  void Restore(std::vector<SessionEvent> events) {
+    events_ = std::move(events);
+  }
+
+ private:
+  std::vector<SessionEvent> events_;  // oldest first
+};
+
+}  // namespace pws::profile
+
+#endif  // PWS_PROFILE_SESSION_MODEL_H_

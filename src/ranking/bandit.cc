@@ -1,0 +1,89 @@
+#include "ranking/bandit.h"
+
+#include <cmath>
+
+namespace pws::ranking {
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mixing, the same primitive
+// util::Random seeds with.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from one mixed key.
+double UnitDouble(uint64_t key) {
+  return static_cast<double>(Mix64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double ArmAlpha(int arm, const BanditOptions& options) {
+  if (options.arms <= 1) {
+    return 0.5 * (options.min_alpha + options.max_alpha);
+  }
+  const double t = static_cast<double>(arm) /
+                   static_cast<double>(options.arms - 1);
+  return options.min_alpha + t * (options.max_alpha - options.min_alpha);
+}
+
+uint64_t BanditDrawKey(uint64_t seed, int64_t user, int query_id,
+                       int64_t total_pulls) {
+  uint64_t h = Mix64(seed ^ static_cast<uint64_t>(user));
+  h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(query_id)));
+  return Mix64(h ^ static_cast<uint64_t>(total_pulls));
+}
+
+int SelectArm(std::span<const BanditArm> arms, const BanditOptions& options,
+              uint64_t draw_key) {
+  const int n = static_cast<int>(arms.size());
+  if (n <= 1) return 0;
+  int64_t total = 0;
+  for (const BanditArm& arm : arms) total += arm.pulls;
+  // Every arm gets one forced pull before any policy kicks in — both
+  // UCB1's initialization step and a cheap way to seed the means.
+  for (int i = 0; i < n; ++i) {
+    if (arms[i].pulls == 0) return i;
+  }
+  if (options.ucb_c > 0.0) {
+    const double log_total = std::log(static_cast<double>(total));
+    int best = 0;
+    double best_score = -1.0;
+    for (int i = 0; i < n; ++i) {
+      const double mean =
+          arms[i].reward_sum / static_cast<double>(arms[i].pulls);
+      const double bonus = options.ucb_c *
+          std::sqrt(log_total / static_cast<double>(arms[i].pulls));
+      const double score = mean + bonus;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+  // Epsilon-greedy: explore uniformly with probability epsilon,
+  // otherwise exploit the best empirical mean. The explore draw reuses
+  // the key through a second mix so it is independent of the
+  // explore/exploit coin.
+  if (UnitDouble(draw_key) < options.epsilon) {
+    return static_cast<int>(Mix64(draw_key ^ 0x517cc1b727220a95ull) %
+                            static_cast<uint64_t>(n));
+  }
+  int best = 0;
+  double best_mean = -1.0;
+  for (int i = 0; i < n; ++i) {
+    const double mean =
+        arms[i].reward_sum / static_cast<double>(arms[i].pulls);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace pws::ranking

@@ -1,0 +1,63 @@
+#ifndef PWS_RANKING_BANDIT_H_
+#define PWS_RANKING_BANDIT_H_
+
+#include <cstdint>
+#include <span>
+
+namespace pws::ranking {
+
+/// Contextual-bandit controller over the content/location blend weight α
+/// (DESIGN.md §17): instead of the fixed or entropy-adaptive rule, α is
+/// chosen per query from a small set of discretized arms whose empirical
+/// click rewards are learned online, per user. Selection is a pure
+/// function of (arm statistics, options, draw key), so WAL replay —
+/// which reconstructs the arm statistics click by click — re-selects
+/// exactly the arms the original process played.
+struct BanditOptions {
+  /// Off by default: the engine keeps its fixed/entropy α rule.
+  bool enabled = false;
+  /// Number of discretized α arms spread evenly over
+  /// [min_alpha, max_alpha].
+  int arms = 5;
+  double min_alpha = 0.1;
+  double max_alpha = 0.75;
+  /// Epsilon-greedy exploration rate (used when ucb_c == 0).
+  double epsilon = 0.1;
+  /// > 0 selects UCB1 with this exploration constant; epsilon is then
+  /// ignored. UCB1 is the default policy: on the E14 session workload it
+  /// matches the entropy rule online while epsilon-greedy pays a small
+  /// exploration tax (set ucb_c = 0 to get epsilon-greedy back).
+  double ucb_c = 0.5;
+  /// Seed of the deterministic exploration stream. Draws are keyed on
+  /// (seed, user, query id, the user's total pull count), so identical
+  /// histories explore identically.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Running statistics of one α arm. Lives in core::UserState so it
+/// tiers, snapshots, and WAL-replays like the rest of a user's state.
+struct BanditArm {
+  int64_t pulls = 0;
+  double reward_sum = 0.0;
+};
+
+/// The α value arm `arm` plays: arms spread evenly over
+/// [min_alpha, max_alpha] (a single arm sits at the midpoint).
+double ArmAlpha(int arm, const BanditOptions& options);
+
+/// Deterministic 64-bit draw key for one selection; mixing in
+/// `total_pulls` advances the stream one step per observed impression
+/// without storing a cursor.
+uint64_t BanditDrawKey(uint64_t seed, int64_t user, int query_id,
+                       int64_t total_pulls);
+
+/// Picks the arm to play: untried arms first (lowest index), then UCB1
+/// when ucb_c > 0, else epsilon-greedy on the empirical means (ties go
+/// to the lowest index). Read-only — the caller records the pull and
+/// reward after observing the impression.
+int SelectArm(std::span<const BanditArm> arms, const BanditOptions& options,
+              uint64_t draw_key);
+
+}  // namespace pws::ranking
+
+#endif  // PWS_RANKING_BANDIT_H_

@@ -82,6 +82,49 @@ double RankSvm::Train(std::span<const TrainingPair> pairs,
   return final_epoch_loss;
 }
 
+double RankSvm::TrainIncremental(std::span<const TrainingPair> pairs,
+                                 const RankSvmOptions& options) {
+  PWS_CHECK_GE(options.epochs, 1) << "RankSvmOptions::epochs must be >= 1";
+  PWS_SPAN("ranksvm.train_incremental");
+  static obs::Counter* pairs_counter = obs::MetricsRegistry::Global()
+      .GetCounter("ranksvm.incremental.pairs");
+  pairs_counter->Increment(pairs.size());
+  trained_ = true;
+  if (pairs.empty()) return 0.0;
+  const int dim = dimension();
+  double* const w = weights_.data();
+  const double* const prior = prior_.data();
+  const double pull = options.learning_rate * options.l2_lambda;
+  double final_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (const TrainingPair& pair : pairs) {
+      const double* const p = pair.preferred;
+      const double* const o = pair.other;
+      double margin = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        margin += w[d] * (p[d] - o[d]);
+      }
+      const double hinge = std::max(0.0, 1.0 - margin);
+      epoch_loss += pair.weight * hinge;
+      // Same fused L2-pull + hinge step as Train's inner loop.
+      if (hinge > 0.0) {
+        const double step = options.learning_rate * pair.weight;
+        for (int d = 0; d < dim; ++d) {
+          w[d] -= pull * (w[d] - prior[d]);
+          w[d] += step * (p[d] - o[d]);
+        }
+      } else {
+        for (int d = 0; d < dim; ++d) {
+          w[d] -= pull * (w[d] - prior[d]);
+        }
+      }
+    }
+    final_epoch_loss = epoch_loss / pairs.size();
+  }
+  return final_epoch_loss;
+}
+
 double RankSvm::Score(const double* x) const {
   return ScoreRange(x, 0, dimension());
 }

@@ -50,6 +50,19 @@ class RankSvm {
   double Train(std::span<const TrainingPair> pairs,
                const RankSvmOptions& options);
 
+  /// Online update: options.epochs in-order SGD passes over `pairs`,
+  /// continuing from the *current* weights instead of resetting to the
+  /// prior (contrast Train, whose retrain-from-prior contract makes a
+  /// full sweep independent of earlier sweeps). This is the per-click
+  /// training path: the handful of pairs mined from one impression is
+  /// folded into the model at observe time for O(pairs) cost, instead of
+  /// waiting for the next O(all pairs · epochs) retrain. No shuffling —
+  /// visiting the fresh pairs in mined order keeps the update
+  /// deterministic without an RNG cursor in the model. Marks the model
+  /// trained. Returns the final pass's average hinge loss.
+  double TrainIncremental(std::span<const TrainingPair> pairs,
+                          const RankSvmOptions& options);
+
   /// w · x over the full vector (x must have dimension() entries).
   double Score(const double* x) const;
   double Score(const std::vector<double>& x) const;

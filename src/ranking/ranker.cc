@@ -21,8 +21,22 @@ const char* StrategyToString(Strategy strategy) {
       return "combined";
     case Strategy::kCombinedGps:
       return "combined+gps";
+    case Strategy::kSession:
+      return "session";
   }
   return "unknown";
+}
+
+bool StrategyFromString(const std::string& name, Strategy* out) {
+  for (const Strategy s :
+       {Strategy::kBaseline, Strategy::kContentOnly, Strategy::kLocationOnly,
+        Strategy::kCombined, Strategy::kCombinedGps, Strategy::kSession}) {
+    if (name == StrategyToString(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 void MaskForStrategy(double* x, Strategy strategy) {
@@ -41,6 +55,11 @@ void MaskForStrategy(double* x, Strategy strategy) {
       x[kGpsFeatureIndex] = 0.0;
       break;
     case Strategy::kCombinedGps:
+      break;
+    case Strategy::kSession:
+      // The session boost is a score-level addition, not a feature: the
+      // model sees exactly the kCombined blocks.
+      x[kGpsFeatureIndex] = 0.0;
       break;
   }
 }
@@ -95,7 +114,14 @@ std::vector<int> RankResults(const RankSvm& model,
   const int n = features.rows();
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
-  if (strategy == Strategy::kBaseline || !model.is_trained()) return order;
+  // A session boost re-ranks even before the first training sweep; the
+  // boost-free paths keep the old early-out (and so stay bit-identical).
+  const std::vector<double>* boost = options.session_boost;
+  if (boost != nullptr && boost->empty()) boost = nullptr;
+  if (strategy == Strategy::kBaseline ||
+      (!model.is_trained() && boost == nullptr)) {
+    return order;
+  }
   // Two spans split the serve-side ranking cost: the RankSVM scoring
   // pass and the re-rank sort.
   std::vector<double> scores(n);
@@ -125,6 +151,10 @@ std::vector<int> RankResults(const RankSvm& model,
             kRrfK * (1.0 - alpha) / (kRrfK + content_ranks[i]) +
             kRrfK * alpha / (kRrfK + location_ranks[i]);
       }
+    }
+    if (boost != nullptr) {
+      const int m = std::min(n, static_cast<int>(boost->size()));
+      for (int i = 0; i < m; ++i) scores[i] += (*boost)[i];
     }
   }
   PWS_SPAN("ranker.rerank");

@@ -1,6 +1,7 @@
 #ifndef PWS_RANKING_RANKER_H_
 #define PWS_RANKING_RANKER_H_
 
+#include <string>
 #include <vector>
 
 #include "ranking/features.h"
@@ -20,9 +21,19 @@ enum class Strategy {
   kCombined = 3,
   /// Combined plus the GPS proximity feature (mobile scenario).
   kCombinedGps = 4,
+  /// Combined plus a session-context boost: a bounded window of the
+  /// user's recent in-session clicked concepts re-weights each result's
+  /// score at serve time (DESIGN.md §17). Feature masking matches
+  /// kCombined; the boost arrives via RankerOptions::session_boost.
+  kSession = 5,
 };
 
 const char* StrategyToString(Strategy strategy);
+
+/// Inverse of StrategyToString (accepts exactly its spellings, e.g.
+/// "combined+gps", "session"). Returns false and leaves `out` untouched
+/// on an unknown name — tools use this to parse --strategy flags.
+bool StrategyFromString(const std::string& name, Strategy* out);
 
 /// How the content and location preference signals are combined.
 enum class BlendMode {
@@ -46,6 +57,12 @@ struct RankerOptions {
   /// confident enough to move results.
   double rank_prior_weight = 0.6;
   BlendMode blend_mode = BlendMode::kScoreBlend;
+  /// Optional per-result additive score boost (backend order, one entry
+  /// per row) from the serve-time session model; null for the five
+  /// non-session strategies. Not owned; must outlive the RankResults
+  /// call. A non-null boost re-ranks even an untrained model — the
+  /// session signal exists before the first training sweep.
+  const std::vector<double>* session_boost = nullptr;
 };
 
 /// Masks the feature blocks a strategy must not see, in place on one
@@ -56,6 +73,7 @@ struct RankerOptions {
 ///  kLocationOnly -> content block masked
 ///  kCombined     -> GPS feature masked
 ///  kCombinedGps  -> nothing masked
+///  kSession      -> GPS feature masked (same blocks as kCombined)
 void MaskForStrategy(double* x, Strategy strategy);
 void MaskForStrategy(std::vector<double>& x, Strategy strategy);
 

@@ -466,6 +466,111 @@ TEST_F(DurabilityTest, CorruptSnapshotIsDataLossNotGarbageState) {
   EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status;
 }
 
+TEST_F(DurabilityTest, EntropyStateSurvivesSnapshotRestoreAndDrivesAlpha) {
+  // Regression: the snapshot used to drop the engine-global
+  // ClickEntropyTracker, and replay skips every WAL record at or below
+  // the snapshot's high-water mark — so after save → crash → restore
+  // the tracker came back empty and entropy_adaptive_alpha served
+  // different blends (and different orders) than the pre-crash engine.
+  NewPaths("entropy");
+  EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  options.entropy_adaptive_alpha = true;
+  const auto make_engine = [&] {
+    return std::make_unique<PwsEngine>(&world_->search_backend(),
+                                       &world_->ontology(), options);
+  };
+  std::vector<profile::ClickEntropyTracker::QueryClickStats> exported_before;
+  std::vector<double> alphas_before;
+  std::vector<std::vector<int>> orders_before;
+  {
+    auto engine = make_engine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    // Concentrated clicks under queries_[0] vs spread clicks under
+    // queries_[1]: distinct entropies, so the adaptive rule maps the two
+    // probe queries to distinct alphas a fresh tracker cannot reproduce.
+    for (int i = 0; i < 4; ++i) Click(*engine, 0, queries_[0], 1, 120.5);
+    Click(*engine, 1, queries_[1], 0, 95.25);
+    Click(*engine, 1, queries_[1], 5, 80.5);
+    Click(*engine, 0, queries_[1], 9, 60.25);
+    engine->TrainUser(0);
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+    exported_before = engine->entropy_tracker().Export();
+    ASSERT_FALSE(exported_before.empty());
+    for (const std::string& query : queries_) {
+      const PersonalizedPage page = engine->Serve(0, query);
+      alphas_before.push_back(page.alpha_used);
+      orders_before.push_back(page.order);
+    }
+  }
+  // Restart. Every WAL click predates the snapshot, so replay skips them
+  // all: the snapshot is the only way the entropy counts come back.
+  auto restored = make_engine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  const auto exported_after = restored->entropy_tracker().Export();
+  ASSERT_EQ(exported_before.size(), exported_after.size());
+  for (size_t i = 0; i < exported_before.size(); ++i) {
+    EXPECT_EQ(exported_before[i].query_id, exported_after[i].query_id);
+    EXPECT_EQ(exported_before[i].clicks, exported_after[i].clicks);
+    EXPECT_EQ(exported_before[i].content_clicks,
+              exported_after[i].content_clicks);
+    EXPECT_EQ(exported_before[i].location_clicks,
+              exported_after[i].location_clicks);
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const PersonalizedPage page = restored->Serve(0, queries_[i]);
+    EXPECT_EQ(alphas_before[i], page.alpha_used) << "probe query " << i;
+    EXPECT_EQ(orders_before[i], page.order) << "probe query " << i;
+  }
+}
+
+TEST_F(DurabilityTest, SessionAndBanditStateSurviveRestart) {
+  // The per-user session window and bandit arm statistics ride the same
+  // snapshot + WAL-replay contract as profiles and models: a restart
+  // must reproduce the pre-crash serve decisions (arm choice, alpha,
+  // session-boosted order) bit for bit.
+  NewPaths("sessband");
+  EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.bandit.enabled = true;
+  const auto make_engine = [&] {
+    return std::make_unique<PwsEngine>(&world_->search_backend(),
+                                       &world_->ontology(), options);
+  };
+  std::vector<double> alphas_before;
+  std::vector<int> arms_before;
+  std::vector<std::vector<int>> orders_before;
+  {
+    auto engine = make_engine();
+    ASSERT_TRUE(engine->EnableWal(wal_path_).ok());
+    Click(*engine, 0, queries_[0], 1, 137.25);
+    Click(*engine, 0, queries_[1], 2, 93.0625);
+    Click(*engine, 1, queries_[2], 3, 210.15625);
+    engine->TrainUser(0);
+    // Snapshot mid-stream: pre-snapshot state must come from the
+    // snapshot sections, post-snapshot clicks from WAL replay.
+    ASSERT_TRUE(engine->SaveState(snapshot_path_).ok());
+    Click(*engine, 0, queries_[3], 2, 301.0078125);
+    Click(*engine, 1, queries_[4], 1, 88.3125);
+    for (const std::string& query : queries_) {
+      const PersonalizedPage page = engine->Serve(0, query);
+      alphas_before.push_back(page.alpha_used);
+      arms_before.push_back(page.bandit_arm);
+      orders_before.push_back(page.order);
+    }
+  }
+  auto restored = make_engine();
+  ASSERT_TRUE(restored->EnableWal(wal_path_).ok());
+  ASSERT_TRUE(restored->RestoreState(snapshot_path_).ok());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const PersonalizedPage page = restored->Serve(0, queries_[i]);
+    EXPECT_EQ(alphas_before[i], page.alpha_used) << "probe query " << i;
+    EXPECT_EQ(arms_before[i], page.bandit_arm) << "probe query " << i;
+    EXPECT_EQ(orders_before[i], page.order) << "probe query " << i;
+  }
+}
+
 TEST_F(DurabilityTest, RestoreWithoutSnapshotOrWalIsEmpty) {
   NewPaths("empty");
   auto engine = NewEngine();

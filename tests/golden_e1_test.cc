@@ -204,5 +204,112 @@ TEST_F(GoldenE1Test, AllStrategyMetricsBitIdenticalToSeedCapture) {
   }
 }
 
+// PR 10 configurations: the in-session boost strategy and the bandit
+// blend controller (DESIGN.md §17). Pinned separately so the original
+// five-row table above stays byte-for-byte at its seed capture. Same
+// regeneration protocol: PWS_GOLDEN_PRINT=1, paste over kGoldenSession.
+struct GoldenSessionRow {
+  const char* label;
+  const char* values[21];
+};
+
+const GoldenSessionRow kGoldenSession[] = {
+    // clang-format off
+    {"session", {
+        "0x1.d5a35a35a35a3p+2",         "0x1.7666666666665p-1",
+        "0x1.4c75154af1e3ap-1",         "0x1.583dc6020e1eap-1",
+        "0x1.5p-1",         "0x1.38p-1",
+        "0x1.4555555555555p-1",         "0x1.44p-1",
+        "0x1.3cccccccccccdp-1",         "0x1.37ffffffffffep-1",
+        "0x1.2fffffffffffep-1",         "0x1.2cp-1",
+        "0x1.31c71c71c71c7p-1",         "0x1.2ffffffffffffp-1",
+        "0x1.5p-1",         "0x1.edf4737d1cdf4p+2",
+        "0x1.cp+1",         "0x1.d8e38e38e38e4p+2",
+        "0x1.86bca1af286bdp-1",         "0x1p-2",
+        "0x1.38e38e38e38e4p-1",     }},
+    {"combined+bandit", {
+        "0x1.08e983ed942e9p+3",         "0x1.6c41041041041p-1",
+        "0x1.2daf60f6f06a5p-1",         "0x1.40cf60e3bba23p-1",
+        "0x1.5p-1",         "0x1.28p-1",
+        "0x1.2p-1",         "0x1.1cp-1",
+        "0x1.1333333333333p-1",         "0x1.1aaaaaaaaaaaap-1",
+        "0x1.2000000000001p-1",         "0x1.22p-1",
+        "0x1.238e38e38e38dp-1",         "0x1.28p-1",
+        "0x1.4p-1",         "0x1.06d801b6006d8p+3",
+        "0x1.7p+3",         "0x1.ecbda12f684bcp+2",
+        "0x1.79435e50d7943p-1",         "0x1p-3",
+        "0x1.38e38e38e38e4p-1",     }},
+    {"session+bandit", {
+        "0x1.0546ebe635dadp+3",         "0x1.6ec6980c6980bp-1",
+        "0x1.2af7df564806cp-1",         "0x1.457c17878c1fcp-1",
+        "0x1.5p-1",         "0x1.38p-1",
+        "0x1.2ffffffffffffp-1",         "0x1.2cp-1",
+        "0x1.2p-1",         "0x1.22aaaaaaaaaaap-1",
+        "0x1.1924924924924p-1",         "0x1.2p-1",
+        "0x1.238e38e38e38ep-1",         "0x1.2666666666666p-1",
+        "0x1.4p-1",         "0x1.05e04311aa5ep+3",
+        "0x1.6p+3",         "0x1.dfb425ed097b5p+2",
+        "0x1.79435e50d7943p-1",         "0x1p-3",
+        "0x1.38e38e38e38e4p-1",     }},
+    // clang-format on
+};
+
+TEST_F(GoldenE1Test, SessionAndBanditMetricsBitIdenticalToCapture) {
+  SimulationOptions sim;
+  sim.train_days = 4;
+  sim.train_every_days = 2;
+  sim.queries_per_user_day = 4;
+  sim.test_queries_per_user = 8;
+  sim.ctr_samples_per_impression = 2;
+  SimulationHarness harness(world_, sim);
+
+  std::vector<const char*> labels = {"session", "combined+bandit",
+                                     "session+bandit"};
+  std::vector<core::EngineOptions> configs;
+  {
+    core::EngineOptions options;
+    options.strategy = ranking::Strategy::kSession;
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options;
+    options.strategy = ranking::Strategy::kCombined;
+    options.bandit.enabled = true;
+    configs.push_back(options);
+  }
+  {
+    core::EngineOptions options;
+    options.strategy = ranking::Strategy::kSession;
+    options.bandit.enabled = true;
+    configs.push_back(options);
+  }
+  const std::vector<StrategyMetrics> results =
+      harness.RunMany(configs, nullptr);
+
+  if (std::getenv("PWS_GOLDEN_PRINT") != nullptr) {
+    for (size_t s = 0; s < configs.size(); ++s) {
+      const auto values = Flatten(results[s]);
+      std::printf("    {\"%s\", {\n", labels[s]);
+      for (size_t v = 0; v < values.size(); ++v) {
+        std::printf("        \"%s\",%s", values[v].c_str(),
+                    (v + 1) % 2 == 0 ? "\n" : " ");
+      }
+      std::printf("    }},\n");
+    }
+    GTEST_SKIP() << "printed golden rows; paste them into kGoldenSession";
+  }
+
+  ASSERT_EQ(std::size(kGoldenSession), configs.size());
+  for (size_t s = 0; s < configs.size(); ++s) {
+    EXPECT_STREQ(kGoldenSession[s].label, labels[s]);
+    const auto values = Flatten(results[s]);
+    ASSERT_EQ(values.size(), std::size(kGoldenSession[s].values));
+    for (size_t v = 0; v < values.size(); ++v) {
+      EXPECT_STREQ(values[v].c_str(), kGoldenSession[s].values[v])
+          << "config " << labels[s] << " metric index " << v;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pws::eval

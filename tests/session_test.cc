@@ -1,0 +1,518 @@
+// In-session personalization and bandit blend adaptation (DESIGN.md
+// §17): SessionWindow segmentation/decay edge cases, deterministic
+// bandit arm selection, per-click incremental training, the
+// session-structured traffic generator's thread-count invariance, and
+// the Serve/Observe session-state concurrency contract (the TSan CI
+// job runs this binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pws_engine.h"
+#include "eval/harness.h"
+#include "eval/world.h"
+#include "io/engine_state_io.h"
+#include "profile/session_model.h"
+#include "ranking/bandit.h"
+#include "ranking/ranker.h"
+
+namespace pws {
+namespace {
+
+using concepts::ConceptId;
+using geo::LocationId;
+
+// ---------- SessionWindow ----------
+
+ConceptId Cid(const std::string& term) {
+  return concepts::ConceptInterner::Global().Intern(term);
+}
+
+class SessionWindowTest : public ::testing::Test {
+ protected:
+  profile::SessionModelOptions options_;  // defaults: 8 events, decay 0.7
+};
+
+TEST_F(SessionWindowTest, EmptyWindowHasNoWeightAnywhere) {
+  profile::SessionWindow window;
+  EXPECT_TRUE(window.empty());
+  IdMap<ConceptId, double> content;
+  IdMap<LocationId, double> locations;
+  window.AccumulateWeights(options_, &content, &locations);
+  const ConceptId c = Cid("sess-empty");
+  EXPECT_EQ(content.ValueOr(c, 0.0), 0.0);
+  const std::vector<ConceptId> probe = {c};
+  EXPECT_EQ(window.ResultAffinity(probe, {}, options_), 0.0);
+}
+
+TEST_F(SessionWindowTest, SingleClickSessionWeighsItsConceptsFully) {
+  profile::SessionWindow window;
+  const std::vector<ConceptId> content = {Cid("sess-a"), Cid("sess-b")};
+  const std::vector<LocationId> locations = {3};
+  window.AddClick(7, 0.0, content, locations, options_);
+  EXPECT_EQ(window.size(), 1);
+  IdMap<ConceptId, double> cw;
+  IdMap<LocationId, double> lw;
+  window.AccumulateWeights(options_, &cw, &lw);
+  // age 0 ⇒ weight decay⁰ = 1 for every concept of the only event.
+  EXPECT_DOUBLE_EQ(cw.ValueOr(Cid("sess-a"), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cw.ValueOr(Cid("sess-b"), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lw.ValueOr(3, 0.0), 1.0);
+  // Affinity saturates: overlap 2 ⇒ 2 / (1 + 2).
+  EXPECT_DOUBLE_EQ(window.ResultAffinity(content, {}, options_), 2.0 / 3.0);
+}
+
+TEST_F(SessionWindowTest, OlderEventsDecayGeometrically) {
+  profile::SessionWindow window;
+  const std::vector<ConceptId> first = {Cid("sess-old")};
+  const std::vector<ConceptId> second = {Cid("sess-new")};
+  window.AddClick(1, 0.0, first, {}, options_);
+  window.AddClick(2, 0.0, second, {}, options_);
+  IdMap<ConceptId, double> cw;
+  IdMap<LocationId, double> lw;
+  window.AccumulateWeights(options_, &cw, &lw);
+  EXPECT_DOUBLE_EQ(cw.ValueOr(Cid("sess-new"), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cw.ValueOr(Cid("sess-old"), 0.0), options_.decay);
+}
+
+TEST_F(SessionWindowTest, WindowIsBoundedOldestDroppedFirst) {
+  options_.max_events = 3;
+  profile::SessionWindow window;
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<ConceptId> c = {Cid("sess-n" + std::to_string(i))};
+    window.AddClick(i, 0.0, c, {}, options_);
+  }
+  EXPECT_EQ(window.size(), 3);
+  EXPECT_EQ(window.events().front().query_id, 7);
+  EXPECT_EQ(window.events().back().query_id, 9);
+}
+
+TEST_F(SessionWindowTest, GapStrictlyGreaterThanMaxStartsNewSession) {
+  options_.max_gap_days = 1.0;
+  profile::SessionWindow window;
+  const std::vector<ConceptId> c = {Cid("sess-gap")};
+  window.AddClick(1, 0.0, c, {}, options_);
+  // Exactly the allowed gap: same session (matches click::SessionOptions
+  // "strictly greater" semantics).
+  window.AddClick(2, 1.0, c, {}, options_);
+  EXPECT_EQ(window.size(), 2);
+  // One ulp past the gap: the window resets to just the new event.
+  window.AddClick(3, 2.0 + 1e-9, c, {}, options_);
+  EXPECT_EQ(window.size(), 1);
+  EXPECT_EQ(window.events().front().query_id, 3);
+}
+
+TEST_F(SessionWindowTest, PersistRestoreRoundTripsEvents) {
+  profile::SessionWindow window;
+  const std::vector<ConceptId> content = {Cid("sess-rt-a"), Cid("sess-rt-b")};
+  const std::vector<LocationId> locations = {5, 9};
+  window.AddClick(11, 2.5, content, {}, options_);
+  window.AddClick(12, 2.5, {}, locations, options_);
+  const auto persisted = core::PersistSessionEvents(window);
+  profile::SessionWindow restored;
+  restored.Restore(core::RestoreSessionEvents(persisted));
+  ASSERT_EQ(restored.size(), window.size());
+  for (int i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(restored.events()[i].query_id, window.events()[i].query_id);
+    EXPECT_EQ(restored.events()[i].day, window.events()[i].day);
+    EXPECT_EQ(restored.events()[i].content, window.events()[i].content);
+    EXPECT_EQ(restored.events()[i].locations, window.events()[i].locations);
+  }
+}
+
+// ---------- Bandit primitives ----------
+
+TEST(BanditTest, ArmAlphaSpreadsEvenlyAcrossTheRange) {
+  ranking::BanditOptions options;
+  options.arms = 5;
+  options.min_alpha = 0.1;
+  options.max_alpha = 0.75;
+  EXPECT_DOUBLE_EQ(ranking::ArmAlpha(0, options), 0.1);
+  EXPECT_DOUBLE_EQ(ranking::ArmAlpha(4, options), 0.75);
+  EXPECT_LT(ranking::ArmAlpha(1, options), ranking::ArmAlpha(2, options));
+  options.arms = 1;
+  EXPECT_DOUBLE_EQ(ranking::ArmAlpha(0, options), (0.1 + 0.75) / 2.0);
+}
+
+TEST(BanditTest, UntriedArmsArePlayedFirstInIndexOrder) {
+  ranking::BanditOptions options;
+  std::vector<ranking::BanditArm> arms(4);
+  arms[0].pulls = 2;
+  arms[0].reward_sum = 2.0;  // Best mean — but 1..3 are untried.
+  EXPECT_EQ(ranking::SelectArm(arms, options, 123), 1);
+  arms[1].pulls = 1;
+  EXPECT_EQ(ranking::SelectArm(arms, options, 123), 2);
+}
+
+TEST(BanditTest, SelectionIsAPureFunctionOfStatsAndKey) {
+  ranking::BanditOptions options;
+  options.epsilon = 0.3;
+  options.ucb_c = 0.0;  // Epsilon-greedy, the draw-key-sensitive policy.
+  std::vector<ranking::BanditArm> arms(5);
+  for (int i = 0; i < 5; ++i) {
+    arms[i].pulls = 3 + i;
+    arms[i].reward_sum = 0.5 * i;
+  }
+  for (uint64_t key : {1ull, 99ull, 0xdeadbeefull}) {
+    const int a = ranking::SelectArm(arms, options, key);
+    EXPECT_EQ(a, ranking::SelectArm(arms, options, key));
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+  // The draw key chain actually varies selections (exploration is live).
+  std::set<int> seen;
+  for (uint64_t key = 0; key < 64; ++key) {
+    seen.insert(ranking::SelectArm(
+        arms, options, ranking::BanditDrawKey(7, 0, 42, key)));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(BanditTest, Ucb1ConvergesOnTheBestArmAndIgnoresTheKey) {
+  ranking::BanditOptions options;
+  options.ucb_c = 0.5;
+  std::vector<ranking::BanditArm> arms(3);
+  // Arm 1 clearly best, all heavily pulled: UCB exploits.
+  arms[0] = {100, 10.0};
+  arms[1] = {100, 80.0};
+  arms[2] = {100, 30.0};
+  EXPECT_EQ(ranking::SelectArm(arms, options, 1), 1);
+  EXPECT_EQ(ranking::SelectArm(arms, options, 999), 1);
+  // A barely-pulled arm gets the optimism bonus.
+  arms[2] = {1, 0.5};
+  EXPECT_EQ(ranking::SelectArm(arms, options, 1), 2);
+}
+
+// ---------- Engine-level behavior ----------
+
+class SessionEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 29;
+    config.num_topics = 6;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 4;
+    config.queries.queries_per_class = 8;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+    for (int i = 0; i < 6; ++i) {
+      queries_.push_back(world_->queries()[i * 3].text);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+    queries_.clear();
+  }
+
+  static std::unique_ptr<core::PwsEngine> NewEngine(
+      const core::EngineOptions& options) {
+    return std::make_unique<core::PwsEngine>(&world_->search_backend(),
+                                             &world_->ontology(), options);
+  }
+
+  static click::ClickRecord MakeClick(const core::PersonalizedPage& page,
+                                      int position, double dwell,
+                                      int day = 0) {
+    click::ClickRecord record;
+    record.day = day;
+    for (size_t j = 0; j < page.order.size(); ++j) {
+      click::Interaction interaction;
+      interaction.doc = page.backend_page().results[page.order[j]].doc;
+      interaction.rank = static_cast<int>(j);
+      if (static_cast<int>(j) == position) {
+        interaction.clicked = true;
+        interaction.dwell_units = dwell;
+        interaction.last_click_in_session = true;
+      }
+      record.interactions.push_back(interaction);
+    }
+    return record;
+  }
+
+  static eval::World* world_;
+  static std::vector<std::string> queries_;
+};
+
+eval::World* SessionEngineTest::world_ = nullptr;
+std::vector<std::string> SessionEngineTest::queries_;
+
+TEST_F(SessionEngineTest, SessionStrategyWithEmptySessionMatchesCombined) {
+  // Before any click there is no session context: kSession must serve
+  // exactly what kCombined serves (the boost path is inert, not a
+  // perturbation).
+  core::EngineOptions combined;
+  combined.strategy = ranking::Strategy::kCombined;
+  core::EngineOptions session;
+  session.strategy = ranking::Strategy::kSession;
+  auto a = NewEngine(combined);
+  auto b = NewEngine(session);
+  a->RegisterUser(0);
+  b->RegisterUser(0);
+  for (const std::string& query : queries_) {
+    EXPECT_EQ(a->Serve(0, query).order, b->Serve(0, query).order) << query;
+  }
+}
+
+TEST_F(SessionEngineTest, SessionClicksChangeSubsequentRanking) {
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.session_boost_weight = 2.0;  // Loud, so the re-rank is visible.
+  auto engine = NewEngine(options);
+  engine->RegisterUser(0);
+  const std::vector<int> before = engine->Serve(0, queries_[1]).order;
+  // A burst of in-session clicks on another query's results.
+  for (int i = 0; i < 3; ++i) {
+    const core::PersonalizedPage page = engine->Serve(0, queries_[0]);
+    engine->Observe(0, page, MakeClick(page, i + 1, 120.5 + i));
+  }
+  const std::vector<int> after = engine->Serve(0, queries_[1]).order;
+  EXPECT_NE(before, after)
+      << "session clicks produced no boost on a related query";
+}
+
+TEST_F(SessionEngineTest, BanditArmSequenceIsDeterministicAcrossEngines) {
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  options.bandit.enabled = true;
+  auto a = NewEngine(options);
+  auto b = NewEngine(options);
+  a->RegisterUser(0);
+  b->RegisterUser(0);
+  std::set<int> arms_played;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& query : queries_) {
+      const core::PersonalizedPage pa = a->Serve(0, query);
+      const core::PersonalizedPage pb = b->Serve(0, query);
+      ASSERT_EQ(pa.bandit_arm, pb.bandit_arm) << "round " << round;
+      ASSERT_EQ(pa.alpha_used, pb.alpha_used) << "round " << round;
+      ASSERT_GE(pa.bandit_arm, 0);
+      arms_played.insert(pa.bandit_arm);
+      a->Observe(0, pa, MakeClick(pa, 1, 95.5));
+      b->Observe(0, pb, MakeClick(pb, 1, 95.5));
+    }
+  }
+  // Untried-first start-up guarantees real exploration happened.
+  EXPECT_GT(arms_played.size(), 1u);
+}
+
+TEST_F(SessionEngineTest, IncrementalTrainingIsDeterministicAndTrains) {
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  options.incremental_training = true;
+  auto a = NewEngine(options);
+  auto b = NewEngine(options);
+  a->RegisterUser(0);
+  b->RegisterUser(0);
+  for (const std::string& query : queries_) {
+    const core::PersonalizedPage pa = a->Serve(0, query);
+    const core::PersonalizedPage pb = b->Serve(0, query);
+    a->Observe(0, pa, MakeClick(pa, 2, 130.25));
+    b->Observe(0, pb, MakeClick(pb, 2, 130.25));
+  }
+  // Clicks alone trained the model — no TrainUser sweep ran.
+  EXPECT_TRUE(a->user_model(0).is_trained());
+  EXPECT_EQ(a->user_model(0).weights(), b->user_model(0).weights());
+  for (const std::string& query : queries_) {
+    EXPECT_EQ(a->Serve(0, query).order, b->Serve(0, query).order);
+  }
+}
+
+TEST_F(SessionEngineTest, SessionTimeoutStraddlingASnapshotIsPreserved) {
+  // A session window saved on day 0 and restored must expire exactly
+  // like the live window when the next click lands past the gap: live
+  // and restored engines converge on identical state and rankings.
+  const std::string snapshot =
+      ::testing::TempDir() + "/pws_session_snapshot";
+  std::remove(snapshot.c_str());
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.session.max_gap_days = 1.0;
+  options.session_boost_weight = 2.0;
+  auto live = NewEngine(options);
+  live->RegisterUser(0);
+  for (int i = 0; i < 2; ++i) {
+    const core::PersonalizedPage page = live->Serve(0, queries_[0]);
+    live->Observe(0, page, MakeClick(page, i + 1, 110.5, /*day=*/0));
+  }
+  ASSERT_TRUE(live->SaveState(snapshot).ok());
+  auto restored = NewEngine(options);
+  ASSERT_TRUE(restored->RestoreState(snapshot).ok());
+  // Same pre-expiry state on both sides of the restart.
+  for (const std::string& query : queries_) {
+    ASSERT_EQ(live->Serve(0, query).order, restored->Serve(0, query).order);
+  }
+  // Day 3 is past the 1-day gap: both windows must reset to just the
+  // new event, and keep serving identically after.
+  {
+    const core::PersonalizedPage pl = live->Serve(0, queries_[2]);
+    const core::PersonalizedPage pr = restored->Serve(0, queries_[2]);
+    ASSERT_EQ(pl.order, pr.order);
+    live->Observe(0, pl, MakeClick(pl, 1, 140.25, /*day=*/3));
+    restored->Observe(0, pr, MakeClick(pr, 1, 140.25, /*day=*/3));
+  }
+  for (const std::string& query : queries_) {
+    EXPECT_EQ(live->Serve(0, query).order, restored->Serve(0, query).order)
+        << query;
+  }
+  std::remove(snapshot.c_str());
+}
+
+TEST_F(SessionEngineTest, ConcurrentServeObserveOnSharedSessionState) {
+  // The session window and bandit arms are written by Observe while
+  // Serve reads them for the same user. Drive both sides hot from many
+  // threads under the engine's documented contract — Serve concurrent
+  // with anything, same-user Observe externally serialized — using the
+  // serving layer's reader-writer discipline (shared for Serve,
+  // exclusive for Observe; see serve/server.h). The TSan job turns
+  // this into a race detector for the new session/bandit state.
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.bandit.enabled = true;
+  options.incremental_training = true;
+  auto engine = NewEngine(options);
+  engine->RegisterUser(0);
+  engine->RegisterUser(1);
+  std::shared_mutex user_locks[2];
+  constexpr int kThreads = 6;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const click::UserId user = t % 2;
+      for (int i = 0; i < 30; ++i) {
+        const std::string& query = queries_[(t + i) % queries_.size()];
+        if (t % 2 == 0) {
+          // Click path: exclusive, like the server's `click` verb.
+          std::unique_lock<std::shared_mutex> lock(user_locks[user]);
+          const core::PersonalizedPage page = engine->Serve(user, query);
+          if (page.order.empty()) failed = true;
+          engine->Observe(user, page, MakeClick(page, i % 3 + 1, 100.5 + i));
+        } else {
+          std::shared_lock<std::shared_mutex> lock(user_locks[user]);
+          if (engine->Serve(user, query).order.empty()) failed = true;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(engine->registered_user_count(), 2);
+}
+
+// ---------- Session-structured traffic generation ----------
+
+class SessionTrafficTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorldConfig config;
+    config.seed = 31;
+    config.corpus.num_documents = 1500;
+    config.users.num_users = 4;
+    config.queries.queries_per_class = 6;
+    config.backend.page_size = 12;
+    world_ = new eval::World(config);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static eval::SimulationOptions FastSim() {
+    eval::SimulationOptions sim;
+    sim.train_days = 2;
+    sim.queries_per_user_day = 4;
+    sim.test_queries_per_user = 6;
+    sim.ctr_samples_per_impression = 2;
+    sim.session_stickiness = 0.8;
+    sim.measure_online = true;
+    return sim;
+  }
+
+  static eval::World* world_;
+};
+
+eval::World* SessionTrafficTest::world_ = nullptr;
+
+TEST_F(SessionTrafficTest, SessionTrafficIsBitIdenticalAcrossThreadCounts) {
+  // The generator samples sticky topics from the per-run RNG; the
+  // harness parallelizes across runs, never inside one, so every
+  // thread count must produce bit-identical aggregates.
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.bandit.enabled = true;
+  eval::SimulationOptions sequential = FastSim();
+  sequential.threads = 1;
+  eval::SimulationOptions parallel = FastSim();
+  parallel.threads = 2;
+  const eval::StrategyMetrics a =
+      eval::SimulationHarness(world_, sequential).RunAveraged(options, 2);
+  const eval::StrategyMetrics b =
+      eval::SimulationHarness(world_, parallel).RunAveraged(options, 2);
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+  EXPECT_DOUBLE_EQ(a.ndcg10, b.ndcg10);
+  EXPECT_DOUBLE_EQ(a.avg_rank_relevant, b.avg_rank_relevant);
+  EXPECT_DOUBLE_EQ(a.online_ndcg10, b.online_ndcg10);
+  EXPECT_DOUBLE_EQ(a.online_mrr, b.online_mrr);
+  EXPECT_EQ(a.online_impressions, b.online_impressions);
+  EXPECT_GT(a.online_impressions, 0);
+}
+
+TEST_F(SessionTrafficTest, StickinessActuallyShapesTraffic) {
+  // stickiness 0 must reproduce the original i.i.d. sampler (the flag
+  // is opt-in); a high stickiness draws a different query stream, so
+  // training trajectories — and metrics — diverge.
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  eval::SimulationOptions iid = FastSim();
+  iid.session_stickiness = 0.0;
+  eval::SimulationOptions sticky = FastSim();
+  const eval::StrategyMetrics a =
+      eval::SimulationHarness(world_, iid).Run(options);
+  const eval::StrategyMetrics b =
+      eval::SimulationHarness(world_, iid).Run(options);
+  EXPECT_DOUBLE_EQ(a.online_ndcg10, b.online_ndcg10);  // Reproducible.
+  const eval::StrategyMetrics c =
+      eval::SimulationHarness(world_, sticky).Run(options);
+  EXPECT_TRUE(a.online_ndcg10 != c.online_ndcg10 ||
+              a.online_mrr != c.online_mrr || a.mrr != c.mrr)
+      << "session stickiness had no effect on the click stream";
+}
+
+TEST_F(SessionTrafficTest, OnlineMetricsAreOptIn) {
+  core::EngineOptions options;
+  options.strategy = ranking::Strategy::kCombined;
+  eval::SimulationOptions sim = FastSim();
+  sim.measure_online = false;
+  const eval::StrategyMetrics m =
+      eval::SimulationHarness(world_, sim).Run(options);
+  EXPECT_EQ(m.online_impressions, 0);
+  EXPECT_EQ(m.online_ndcg10, 0.0);
+}
+
+// ---------- Strategy parsing ----------
+
+TEST(StrategyParseTest, RoundTripsEveryStrategy) {
+  for (const ranking::Strategy s :
+       {ranking::Strategy::kBaseline, ranking::Strategy::kContentOnly,
+        ranking::Strategy::kLocationOnly, ranking::Strategy::kCombined,
+        ranking::Strategy::kCombinedGps, ranking::Strategy::kSession}) {
+    ranking::Strategy parsed;
+    ASSERT_TRUE(
+        ranking::StrategyFromString(ranking::StrategyToString(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  ranking::Strategy parsed = ranking::Strategy::kBaseline;
+  EXPECT_FALSE(ranking::StrategyFromString("sessions", &parsed));
+  EXPECT_EQ(parsed, ranking::Strategy::kBaseline);  // Untouched on failure.
+}
+
+}  // namespace
+}  // namespace pws

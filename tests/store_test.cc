@@ -320,6 +320,57 @@ TEST_F(StoreTest, EvictionSpillCrashPointSweepNeverLosesState) {
   }
 }
 
+TEST_F(StoreTest, SessionAndBanditStateBitIdenticalAcrossEvictReload) {
+  // The per-user session window and bandit arm statistics live in
+  // UserState, so they spill and fault with the rest of it. A budget of
+  // 2 across 12 round-robin users means every user's state crosses the
+  // cold tier between their own consecutive touches — any bit lost in
+  // the SESS/BANDIT round trip shows up as a diverging arm choice,
+  // alpha, or session-boosted order vs the all-resident reference.
+  EngineOptions options;
+  options.strategy = ranking::Strategy::kSession;
+  options.bandit.enabled = true;
+  options.user_store_shards = 2;
+  const auto make_engine = [&] {
+    return std::make_unique<PwsEngine>(&world_->search_backend(),
+                                       &world_->ontology(), options);
+  };
+  auto reference = make_engine();
+  auto tiered = make_engine();
+  ASSERT_TRUE(tiered->EnableTiering(NewColdDir("sessband"), 2).ok());
+  for (const auto& user : world_->users()) {
+    reference->RegisterUser(user.id);
+    tiered->RegisterUser(user.id);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (const auto& user : world_->users()) {
+      const std::string& query =
+          queries_[(user.id + round) % queries_.size()];
+      const PersonalizedPage ref_page = reference->Serve(user.id, query);
+      const PersonalizedPage tiered_page = tiered->Serve(user.id, query);
+      ASSERT_EQ(ref_page.bandit_arm, tiered_page.bandit_arm)
+          << "round " << round << " user " << user.id;
+      ASSERT_EQ(ref_page.alpha_used, tiered_page.alpha_used)
+          << "round " << round << " user " << user.id;
+      ASSERT_EQ(ref_page.order, tiered_page.order)
+          << "round " << round << " user " << user.id;
+      const int position = (user.id + round) % 3 + 1;
+      const double dwell = 105.5 + user.id * 5.25 + round;
+      reference->Observe(user.id, ref_page,
+                         MakeClick(ref_page, position, dwell));
+      tiered->Observe(user.id, tiered_page,
+                      MakeClick(tiered_page, position, dwell));
+    }
+  }
+  // Vacuous unless the tiered run actually churned through the cold
+  // tier while sessions and arm stats were live.
+  const UserStateStore::Stats stats = tiered->store_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_EQ(stats.spill_errors, 0u);
+  EXPECT_EQ(stats.fault_errors, 0u);
+}
+
 TEST_F(StoreTest, CorruptColdRecordDegradesToFreshStateNotACrash) {
   // Bit rot in the cold segment: the faulting read fails its checksum,
   // the record is dropped, and the engine's fresh-state fallback keeps

@@ -17,7 +17,14 @@
 //   quit
 //
 // Run:  ./build/pws_cli [--docs=N] [--seed=N] [--log-level=LEVEL]
-//                       [--state=PATH]
+//                       [--state=PATH] [--strategy=NAME] [--bandit]
+//                       [--incremental]
+//
+// --strategy picks the re-ranking strategy (baseline | content-only |
+// location-only | combined | combined+gps | session; default
+// combined+gps). --bandit turns on the UCB1 blend controller over
+// discretized alpha arms; --incremental trains the RankSVM from each
+// click instead of waiting for 'train' (DESIGN.md §17).
 //
 // --index-stats skips the shell entirely: it builds the index over the
 // configured corpus, prints a build-time and size report for the
@@ -131,6 +138,16 @@ int main(int argc, char** argv) {
 
   core::EngineOptions options;
   options.strategy = ranking::Strategy::kCombinedGps;
+  const std::string strategy_name = args.GetString("strategy", "");
+  if (!strategy_name.empty() &&
+      !ranking::StrategyFromString(strategy_name, &options.strategy)) {
+    std::cerr << "invalid --strategy '" << strategy_name
+              << "' (want baseline|content-only|location-only|combined|"
+                 "combined+gps|session)\n";
+    return 2;
+  }
+  options.bandit.enabled = args.GetBool("bandit", false);
+  options.incremental_training = args.GetBool("incremental", false);
   core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
 
   const int64_t resident_users = args.GetInt("resident-users", 0);

@@ -14,7 +14,13 @@
 //                         [--trace-sample-every=N] [--trace-capacity=N]
 //                         [--slow-us=N] [--exemplar-capacity=N]
 //                         [--slo-target-us=N] [--slo-goal=F]
+//                         [--strategy=NAME] [--bandit] [--incremental]
 //                         [--log-level=LEVEL]
+//
+// --strategy picks the re-ranking strategy served (default the engine's
+// combined default; "session" adds the in-session concept boost),
+// --bandit turns on the UCB1 blend controller, and --incremental trains
+// each user's RankSVM from every click as it arrives (DESIGN.md §17).
 //
 // --state=PATH turns on durability: mutations are WAL-logged as they
 // happen (across --wal-shards log files sharing one sequence space;
@@ -85,6 +91,16 @@ int main(int argc, char** argv) {
   options.wal_shards =
       static_cast<int>(args.GetInt("wal-shards", options.wal_shards));
   options.wal_group_commit = args.GetBool("group-commit", false);
+  const std::string strategy_name = args.GetString("strategy", "");
+  if (!strategy_name.empty() &&
+      !ranking::StrategyFromString(strategy_name, &options.strategy)) {
+    std::cerr << "invalid --strategy '" << strategy_name
+              << "' (want baseline|content-only|location-only|combined|"
+                 "combined+gps|session)\n";
+    return 2;
+  }
+  options.bandit.enabled = args.GetBool("bandit", false);
+  options.incremental_training = args.GetBool("incremental", false);
   core::PwsEngine engine(&world.search_backend(), &world.ontology(), options);
 
   const std::string state_path = args.GetString("state", "");
